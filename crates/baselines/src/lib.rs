@@ -1,0 +1,18 @@
+//! # ecocapsule-baselines
+//!
+//! The comparison systems the paper evaluates against:
+//!
+//! - [`pab`] — *Piezo-Acoustic Backscatter* (Jang & Adib, SIGCOMM'19):
+//!   the underwater backscatter system used as the main baseline in
+//!   Figs 12, 15 and 16. 15 kHz carrier, two test pools;
+//! - [`u2b`] — *Ultra-wideband underwater backscatter* (Ghaffarivardavagh
+//!   et al., SIGCOMM'20): the wideband baseline in Fig 16;
+//! - [`rf`] — passive RFID embedded in concrete (§3.5): the RF
+//!   alternative whose centimetre range motivates acoustic backscatter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pab;
+pub mod rf;
+pub mod u2b;

@@ -1,0 +1,86 @@
+//! PAB: underwater piezo-acoustic backscatter (SIGCOMM'19) — the paper's
+//! primary baseline.
+//!
+//! PAB runs at a 15 kHz carrier in water. Water carries no shear waves
+//! (§3.1), so PAB's channel is single-mode — simpler than concrete — but
+//! the low carrier caps the modulation band at ~3 kbps (Fig 16) and its
+//! decoder needs ~11 dB for the 1e-5 BER floor vs EcoCapsule's 8 dB
+//! (Fig 15).
+
+use channel::linkbudget::{LinkBudget, PabPool};
+use rand::Rng;
+use reader::rx::{simulate_fm0_ber, snr_vs_bitrate_db};
+
+/// PAB carrier frequency (Hz).
+pub const PAB_CARRIER_HZ: f64 = 15e3;
+
+/// SNR penalty of PAB's decoder relative to EcoCapsule's (dB): Fig 15
+/// shows its BER floor crossing at ~11 dB vs ~8 dB.
+pub const PAB_DECODER_PENALTY_DB: f64 = 3.0;
+
+/// PAB modulation band limit (bps): "it is limited to 3 kbps in PAB"
+/// (Fig 16 discussion).
+pub const PAB_BAND_LIMIT_BPS: f64 = 3.3e3;
+
+/// Link budget of a PAB pool (re-exported from the channel layer, where
+/// the pool geometry lives).
+pub fn pool_link_budget(pool: PabPool) -> LinkBudget {
+    pool.link_budget()
+}
+
+/// PAB's BER at a given SNR (Fig 15's PAB curve): EcoCapsule's FM0
+/// decoder with the 3 dB front-end penalty.
+pub fn pab_ber<R: Rng>(snr_db: f64, n_bits: usize, rng: &mut R) -> f64 {
+    simulate_fm0_ber(snr_db - PAB_DECODER_PENALTY_DB, n_bits, rng)
+}
+
+/// PAB's uplink SNR vs bitrate (Fig 16's PAB curve).
+pub fn pab_snr_vs_bitrate_db(bitrate_bps: f64) -> f64 {
+    snr_vs_bitrate_db(bitrate_bps, 17.0, PAB_BAND_LIMIT_BPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reader::rx::ecocapsule_snr_vs_bitrate_db;
+
+    #[test]
+    fn fig15_pab_needs_3db_more_than_ecocapsule() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let eco = simulate_fm0_ber(8.0, 30_000, &mut rng);
+        let pab_at_8 = pab_ber(8.0, 30_000, &mut rng);
+        let pab_at_11 = pab_ber(11.0, 30_000, &mut rng);
+        assert!(pab_at_8 > eco, "PAB worse at 8 dB: {pab_at_8} vs {eco}");
+        assert!(pab_at_11 <= eco * 3.0 + 1e-4, "PAB at 11 dB ≈ Eco at 8 dB");
+    }
+
+    #[test]
+    fn fig16_pab_dies_past_3kbps() {
+        assert!(pab_snr_vs_bitrate_db(1e3) > 10.0);
+        let at_3k = pab_snr_vs_bitrate_db(3e3);
+        assert!(at_3k < 6.0, "3 kbps: {at_3k}");
+        assert_eq!(pab_snr_vs_bitrate_db(4e3), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn fig16_ecocapsule_outlasts_pab() {
+        // EcoCapsule's 230 kHz carrier "can piggyback a wider data band".
+        for r in [4e3, 8e3, 12e3] {
+            assert!(
+                ecocapsule_snr_vs_bitrate_db(r) > pab_snr_vs_bitrate_db(r),
+                "at {r} bps"
+            );
+        }
+    }
+
+    #[test]
+    fn pool2_needs_more_voltage_than_pool1() {
+        let p1 = pool_link_budget(PabPool::Pool1);
+        let p2 = pool_link_budget(PabPool::Pool2);
+        // At 60 V, pool 1 works, pool 2 does not.
+        assert!(p1.max_range_m(60.0, 0.5).is_some());
+        assert!(p2.max_range_m(60.0, 0.5).is_none());
+    }
+}

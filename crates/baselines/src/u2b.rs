@@ -1,0 +1,64 @@
+//! U²B: ultra-wideband underwater backscatter via piezoelectric
+//! metamaterials (SIGCOMM'20) — the wideband baseline of Fig 16.
+//!
+//! U²B trades front-end sensitivity for bandwidth: its metamaterial
+//! transducer covers a much wider band, so its SNR-vs-bitrate curve
+//! starts lower than EcoCapsule's but rolls off later — it "achieves
+//! higher SNR than EcoCapsule when bitrate exceeds 9 kbps since it takes
+//! a wider band".
+
+use reader::rx::{ecocapsule_snr_vs_bitrate_db, snr_vs_bitrate_db};
+
+/// U²B modulation band limit (bps).
+pub const U2B_BAND_LIMIT_BPS: f64 = 40e3;
+
+/// U²B base SNR at 1 kbps (dB) — lower than EcoCapsule's 17 dB because
+/// the wideband front end collects more noise.
+pub const U2B_BASE_SNR_DB: f64 = 15.1;
+
+/// U²B's uplink SNR vs bitrate (Fig 16's U²B curve).
+pub fn u2b_snr_vs_bitrate_db(bitrate_bps: f64) -> f64 {
+    snr_vs_bitrate_db(bitrate_bps, U2B_BASE_SNR_DB, U2B_BAND_LIMIT_BPS)
+}
+
+/// The crossover bitrate (bps) where U²B overtakes EcoCapsule, scanned
+/// at 100 bps resolution; `None` if it never does below `limit_bps`.
+pub fn crossover_bps(limit_bps: f64) -> Option<f64> {
+    let mut r = 1e3;
+    while r < limit_bps {
+        if u2b_snr_vs_bitrate_db(r) > ecocapsule_snr_vs_bitrate_db(r) {
+            return Some(r);
+        }
+        r += 100.0;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_u2b_starts_below_ecocapsule() {
+        for r in [1e3, 2e3, 4e3] {
+            assert!(
+                u2b_snr_vs_bitrate_db(r) < ecocapsule_snr_vs_bitrate_db(r),
+                "at {r} bps U²B should be below EcoCapsule"
+            );
+        }
+    }
+
+    #[test]
+    fn fig16_u2b_overtakes_around_9_to_11_kbps() {
+        // Paper: "achieves higher SNR than EcoCapsule when bitrate
+        // exceeds 9 kbps".
+        let x = crossover_bps(16e3).expect("curves must cross");
+        assert!((8e3..12e3).contains(&x), "crossover at {x}");
+    }
+
+    #[test]
+    fn u2b_band_is_widest() {
+        assert!(u2b_snr_vs_bitrate_db(20e3).is_finite());
+        assert_eq!(ecocapsule_snr_vs_bitrate_db(20e3), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,57 @@
+//! Benches for the channel simulator (Figs 18/24 workloads).
+
+use channel::multipath::Wall2d;
+use channel::uplink::{synthesize_uplink, UplinkConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsp::fft::power_spectrum;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn nc_wall() -> Wall2d {
+    let mix = concrete::ConcreteGrade::Nc.mix();
+    Wall2d::new(2.0, 2.0, mix.material().cs_m_s, mix.attenuation_s(), 230e3)
+}
+
+fn bench_fig18_position_sweep(c: &mut Criterion) {
+    let wall = nc_wall();
+    c.bench_function("fig18_rss_amplitude_40_positions_order3", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..40 {
+                let x = 0.9 + 0.3 * (i % 8) as f64 / 8.0;
+                let y = 0.05 + 1.9 * (i / 8) as f64 / 4.0;
+                acc += wall.rss_amplitude(black_box((0.1, 1.0)), (x, y), 3);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_image_source_arrivals(c: &mut Criterion) {
+    let wall = nc_wall();
+    c.bench_function("image_source_arrivals_order5", |b| {
+        b.iter(|| black_box(wall.arrivals(black_box((0.3, 0.7)), (1.6, 1.2), 5)))
+    });
+}
+
+fn bench_fig24_spectrum(c: &mut Criterion) {
+    let cfg = UplinkConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(3);
+    let bits = vec![false; 200];
+    let (y, _) = synthesize_uplink(&cfg, &bits, 4e3, 0.0, 0.001, &mut rng);
+    let mut group = c.benchmark_group("fig24");
+    group.sample_size(10);
+    group.bench_function("uplink_power_spectrum", |b| {
+        b.iter(|| black_box(power_spectrum(black_box(&y), cfg.fs_hz).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig18_position_sweep,
+    bench_image_source_arrivals,
+    bench_fig24_spectrum
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benches for wireless charging (Fig 12 workload).
+
+use channel::linkbudget::{LinkBudget, PabPool};
+use concrete::structure::Structure;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig12_range_sweep(c: &mut Criterion) {
+    let budgets: Vec<LinkBudget> = Structure::paper_set()
+        .iter()
+        .map(LinkBudget::for_structure)
+        .chain([PabPool::Pool1.link_budget(), PabPool::Pool2.link_budget()])
+        .collect();
+    c.bench_function("fig12_range_sweep_6_structures_13_voltages", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for lb in &budgets {
+                for v in (10..=250).step_by(20) {
+                    if let Some(r) = lb.max_range_m(black_box(v as f64), 0.5) {
+                        acc += r;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_link_budget_construction(c: &mut Criterion) {
+    let s3 = Structure::s3_common_wall();
+    c.bench_function("link_budget_for_structure", |b| {
+        b.iter(|| black_box(LinkBudget::for_structure(black_box(&s3))))
+    });
+}
+
+criterion_group!(benches, bench_fig12_range_sweep, bench_link_budget_construction);
+criterion_main!(benches);

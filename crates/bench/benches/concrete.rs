@@ -1,0 +1,35 @@
+//! Benches for the concrete substrate (Fig 5(b) workload).
+
+use concrete::response::Block;
+use concrete::ConcreteGrade;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig05_frequency_sweep(c: &mut Criterion) {
+    let blocks = [
+        Block::new(ConcreteGrade::Nc.mix(), 0.07),
+        Block::new(ConcreteGrade::Nc.mix(), 0.15),
+        Block::new(ConcreteGrade::Uhpc.mix(), 0.15),
+        Block::new(ConcreteGrade::Uhpfrc.mix(), 0.15),
+    ];
+    c.bench_function("fig05_sweep_4_blocks_20_400khz", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for blk in &blocks {
+                let (_, amps) = blk.sweep(20e3, 400e3, 10e3, black_box(100.0));
+                acc += amps.iter().sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_peak_search(c: &mut Criterion) {
+    let blk = Block::new(ConcreteGrade::Uhpc.mix(), 0.15);
+    c.bench_function("fig05_peak_frequency_search", |b| {
+        b.iter(|| black_box(blk.peak_frequency_hz()))
+    });
+}
+
+criterion_group!(benches, bench_fig05_frequency_sweep, bench_peak_search);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benches for the downlink (Figs 19/20 workloads).
+
+use channel::downlink::DownlinkChannel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use phy::modulation::DownlinkScheme;
+use std::hint::black_box;
+
+fn bench_fig19_prism_sweep(c: &mut Criterion) {
+    let ch = DownlinkChannel::paper_default();
+    let mut group = c.benchmark_group("fig19");
+    group.sample_size(10);
+    group.bench_function("snr_vs_incident_angle_8pts", |b| {
+        b.iter(|| {
+            black_box(ch.snr_vs_incident_angle(
+                black_box(&[0.0, 15.0, 30.0, 45.0, 50.0, 60.0, 70.0, 75.0]),
+                1e3,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig20_fsk_vs_ook(c: &mut Criterion) {
+    let ch = DownlinkChannel::paper_default();
+    let off = concrete::ConcreteGrade::Nc.mix().off_resonant_frequency_hz();
+    let mut group = c.benchmark_group("fig20");
+    group.sample_size(10);
+    group.bench_function("symbol_snr_fsk_and_ook_at_2kbps", |b| {
+        b.iter(|| {
+            let fsk = ch.symbol_snr_db(black_box(2e3), DownlinkScheme::FskInOokOut { off_hz: off });
+            let ook = ch.symbol_snr_db(2e3, DownlinkScheme::Ook);
+            black_box((fsk, ook))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig19_prism_sweep, bench_fig20_fsk_vs_ook);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benches for the elastic-wave substrate (Fig 4 / Fig 3a workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic::interface::SolidInterface;
+use elastic::Material;
+use std::hint::black_box;
+
+fn bench_fig04_mode_sweep(c: &mut Criterion) {
+    let iface = SolidInterface::new(Material::PLA, Material::CONCRETE_REF);
+    c.bench_function("fig04_zoeppritz_sweep_0_to_80deg", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for deg in 0..=80 {
+                let s = iface.incident_p(black_box(deg as f64).to_radians().min(1.57));
+                acc += s.energy_trans_s;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fig03a_beam(c: &mut Criterion) {
+    c.bench_function("fig03a_half_beam_and_cone", |b| {
+        b.iter(|| {
+            let a = elastic::beam::half_beam_angle(black_box(3338.0), 230e3, 0.040).unwrap();
+            black_box(elastic::beam::cone_volume_m3(a, 0.15))
+        })
+    });
+}
+
+fn bench_piston_directivity(c: &mut Criterion) {
+    c.bench_function("piston_directivity_360pts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..360 {
+                let theta = i as f64 * std::f64::consts::PI / 720.0;
+                acc += elastic::beam::piston_directivity(black_box(theta), 230e3, 3338.0, 0.04);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig04_mode_sweep, bench_fig03a_beam, bench_piston_directivity);
+criterion_main!(benches);

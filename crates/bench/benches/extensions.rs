@@ -1,0 +1,89 @@
+//! Benches for the extension modules (DESIGN.md §6): spectrogram,
+//! carrier tuning, curing scans, selective inventory, damage analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_spectrogram(c: &mut Criterion) {
+    let fs = 1.0e6;
+    let sig: Vec<f64> = (0..20_000)
+        .map(|i| (2.0 * std::f64::consts::PI * 230e3 * i as f64 / fs).sin())
+        .collect();
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(20);
+    group.bench_function("spectrogram_20k_samples", |b| {
+        b.iter(|| black_box(dsp::spectrogram::Spectrogram::compute(black_box(&sig), 512, 256, fs)))
+    });
+    group.finish();
+}
+
+fn bench_fine_tuning(c: &mut Criterion) {
+    use concrete::defects::DefectChannel;
+    use concrete::response::Block;
+    let block = Block::new(concrete::ConcreteGrade::Nc.mix(), 0.15);
+    let cs = concrete::ConcreteGrade::Nc.material().cs_m_s;
+    let ch = DefectChannel::reinforced(1.5, cs, 3.0, 42);
+    c.bench_function("fine_tune_40khz_span", |b| {
+        b.iter(|| black_box(reader::tuning::fine_tune(black_box(&block), &ch, 40e3, 0.5e3)))
+    });
+}
+
+fn bench_curing_scan(c: &mut Criterion) {
+    use concrete::curing::CuringConcrete;
+    c.bench_function("curing_first_usable_day", |b| {
+        b.iter(|| {
+            black_box(CuringConcrete::first_usable_day(
+                black_box(concrete::ConcreteGrade::Nc.mix()),
+                0.9,
+            ))
+        })
+    });
+}
+
+fn bench_selective_inventory(c: &mut Criterion) {
+    use protocol::frame::Command;
+    use protocol::inventory::{inventory_all, NodeProtocol};
+    c.bench_function("select_then_inventory_16_of_32", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut nodes: Vec<NodeProtocol> = (0..16u32)
+                .map(|i| NodeProtocol::new(0xA000_0000 + i))
+                .chain((0..16u32).map(|i| NodeProtocol::new(0xB000_0000 + i)))
+                .collect();
+            let sel = Command::Select {
+                prefix: 0xA000_0000,
+                prefix_bits: 16,
+            };
+            for n in nodes.iter_mut() {
+                n.on_command(&sel, &mut rng);
+            }
+            black_box(inventory_all(&mut nodes, 4, 60, &mut rng))
+        })
+    });
+}
+
+fn bench_damage_analyses(c: &mut Criterion) {
+    use shm::damage::{corrosion_risk, strain_drift};
+    let strain: Vec<(f64, f64)> = (0..1000)
+        .map(|i| (i as f64 * 86_400.0, 1e-6 * i as f64))
+        .collect();
+    let irh: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64 * 86_400.0, 75.0)).collect();
+    c.bench_function("damage_strain_drift_1k_samples", |b| {
+        b.iter(|| black_box(strain_drift(black_box(&strain), 50.0)))
+    });
+    c.bench_function("damage_corrosion_risk_1k_samples", |b| {
+        b.iter(|| black_box(corrosion_risk(black_box(&irh))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spectrogram,
+    bench_fine_tuning,
+    bench_curing_scan,
+    bench_selective_inventory,
+    bench_damage_analyses
+);
+criterion_main!(benches);

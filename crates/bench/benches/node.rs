@@ -1,0 +1,70 @@
+//! Benches for the node hardware models (Figs 13/14, Eqn 4 shells).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use node::harvester::Harvester;
+use node::power::PowerModel;
+use node::shell::Shell;
+use std::hint::black_box;
+
+fn bench_fig14_cold_start_curve(c: &mut Criterion) {
+    let h = Harvester::default();
+    c.bench_function("fig14_cold_start_100pts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                let v = 0.4 + i as f64 * 0.05;
+                if let Some(t) = h.cold_start_s(black_box(v)) {
+                    acc += t;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fig13_power_curve(c: &mut Criterion) {
+    c.bench_function("fig13_power_curve", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..=80 {
+                acc += PowerModel.consumption_w(black_box(r as f64 * 100.0));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_eqn04_shell_ratings(c: &mut Criterion) {
+    c.bench_function("eqn04_shell_ratings", |b| {
+        b.iter(|| {
+            let resin = Shell::paper_resin();
+            let steel = Shell::paper_steel();
+            black_box((
+                resin.max_building_height_m(black_box(2300.0)),
+                steel.max_building_height_m(2360.0),
+            ))
+        })
+    });
+}
+
+fn bench_store_simulation(c: &mut Criterion) {
+    let h = Harvester::default();
+    let envelope: Vec<(f64, f64)> = (0..100)
+        .map(|i| (1e-3, if i % 2 == 0 { 1.5 } else { 0.0 }))
+        .collect();
+    let mut group = c.benchmark_group("harvester");
+    group.sample_size(30);
+    group.bench_function("store_simulation_100ms", |b| {
+        b.iter(|| black_box(h.simulate_store(black_box(&envelope), 1e-5)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig14_cold_start_curve,
+    bench_fig13_power_curve,
+    bench_eqn04_shell_ratings,
+    bench_store_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benches for the PHY layer (Fig 7 ring effect, Eqn 5 HRA, line codes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phy::fm0::Fm0;
+use phy::hra::HelmholtzResonator;
+use phy::modulation::{synthesize_drive, DownlinkScheme};
+use phy::pie::Pie;
+use phy::pzt::Pzt;
+use std::hint::black_box;
+
+fn bench_fig07_ring_effect(c: &mut Criterion) {
+    let fs = 2.0e6;
+    let pzt = Pzt::reader_disc(fs);
+    let pie = Pie::new(0.5e-3);
+    let segments = pie.encode(&[false]);
+    let drive = synthesize_drive(&segments, DownlinkScheme::Ook, 230e3, fs);
+    let mut group = c.benchmark_group("fig07");
+    group.sample_size(20);
+    group.bench_function("pzt_ring_response_1ms_at_2msps", |b| {
+        b.iter(|| black_box(pzt.respond(black_box(&drive))))
+    });
+    group.finish();
+}
+
+fn bench_eqn05_hra(c: &mut Criterion) {
+    c.bench_function("eqn05_hra_design_and_gain", |b| {
+        b.iter(|| {
+            let r = HelmholtzResonator::paper_geometry().design_for(black_box(230e3), 1941.0);
+            black_box(r.gain_at(230e3, 1941.0, 3.0))
+        })
+    });
+}
+
+fn bench_line_codes(c: &mut Criterion) {
+    let pie = Pie::new(100e-6);
+    let fm0 = Fm0::new(16);
+    let bits: Vec<bool> = (0..512).map(|i| i % 3 == 0).collect();
+    c.bench_function("pie_encode_decode_512bits", |b| {
+        b.iter(|| {
+            let segs = pie.encode(black_box(&bits));
+            black_box(pie.decode(&segs).unwrap())
+        })
+    });
+    c.bench_function("fm0_encode_ml_decode_512bits", |b| {
+        b.iter(|| {
+            let wave = fm0.encode(black_box(&bits));
+            black_box(fm0.decode_ml(&wave))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig07_ring_effect, bench_eqn05_hra, bench_line_codes);
+criterion_main!(benches);

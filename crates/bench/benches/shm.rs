@@ -1,0 +1,43 @@
+//! Benches for the SHM pilot study (Fig 21 workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shm::health::{grade_sections, Region};
+use shm::pilot::{Channel, PilotStudy};
+use std::hint::black_box;
+
+fn bench_fig21_month_generation(c: &mut Criterion) {
+    let study = PilotStudy::new(2021_07);
+    let mut group = c.benchmark_group("fig21");
+    group.sample_size(20);
+    group.bench_function("generate_one_month_acceleration", |b| {
+        b.iter(|| black_box(study.generate(black_box(Channel::Acceleration(1)))))
+    });
+    group.bench_function("anomaly_detection_full_month", |b| {
+        b.iter(|| black_box(study.detect_anomalies(black_box(Channel::Acceleration(1)), 1.8)))
+    });
+    group.finish();
+}
+
+fn bench_health_grading(c: &mut Criterion) {
+    use shm::footbridge::Section;
+    let counts: Vec<(Section, usize, f64)> = Section::ALL
+        .iter()
+        .map(|&s| (s, 7usize, 1.2f64))
+        .collect();
+    c.bench_function("grade_5_sections", |b| {
+        b.iter(|| black_box(grade_sections(black_box(&counts))))
+    });
+    c.bench_function("region_grade_1000pts", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1000 {
+                let pao = i as f64 * 0.005;
+                acc += Region::HongKong.grade(black_box(pao)) as usize;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig21_month_generation, bench_health_grading);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Benches for the uplink (Figs 15/16/17/22 workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig15_ber_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group.bench_function("fm0_ber_10kbits_at_8db", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(reader::rx::simulate_fm0_ber(black_box(8.0), 10_000, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_fig16_snr_curves(c: &mut Criterion) {
+    c.bench_function("fig16_three_curves_15pts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=15 {
+                let (e, p, u) = ecocapsule::scenario::fig16_point(black_box(i as f64 * 1e3));
+                for v in [e, p, u] {
+                    if v.is_finite() {
+                        acc += v;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fig17_throughputs(c: &mut Criterion) {
+    c.bench_function("fig17_throughput_3_grades", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for g in concrete::ConcreteGrade::ALL {
+                acc += ecocapsule::scenario::throughput_for_grade(black_box(g));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fig22_waveform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22");
+    group.sample_size(10);
+    group.bench_function("backscatter_waveform_18ms", |b| {
+        b.iter(|| black_box(ecocapsule::scenario::fig22_waveform(4e-3, 1000.0, black_box(18e-3))))
+    });
+    group.finish();
+}
+
+fn bench_full_reply_decode(c: &mut Criterion) {
+    use channel::uplink::{synthesize_uplink, UplinkConfig};
+    use protocol::frame::Reply;
+    use reader::rx::{Capture, Receiver};
+    let cfg = UplinkConfig {
+        delay_s: 0.0,
+        ..UplinkConfig::paper_default()
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut bits = phy::fm0::PREAMBLE_BITS.to_vec();
+    bits.extend(Reply::NodeId { id: 42 }.encode());
+    let (samples, _) = synthesize_uplink(&cfg, &bits, 2e3, 1e-3, 0.005, &mut rng);
+    let capture = Capture {
+        samples,
+        fs_hz: cfg.fs_hz,
+    };
+    let rx = Receiver::new(2e3);
+    let mut group = c.benchmark_group("rx");
+    group.sample_size(10);
+    group.bench_function("decode_reply_full_chain", |b| {
+        b.iter(|| black_box(rx.decode_reply(black_box(&capture)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig15_ber_point,
+    bench_fig16_snr_curves,
+    bench_fig17_throughputs,
+    bench_fig22_waveform,
+    bench_full_reply_decode
+);
+criterion_main!(benches);

@@ -1,0 +1,345 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out.
+//!
+//! ```sh
+//! cargo run -p bench --bin ablations --release -- all
+//! ```
+//!
+//! | id | question |
+//! |---|---|
+//! | prism-material | does PLA beat stiffer/softer wedge stock? |
+//! | hra | what does the Helmholtz array actually buy? |
+//! | stages | multiplier stage count vs cold start and range |
+//! | coding | FM0 vs Miller M=2/4/8 under noise |
+//! | antiring | braking-voltage calibration cliff vs FSK |
+//! | defects | defect load vs channel loss, and what retuning recovers |
+//! | node-scale | prototype vs §8 mm-scale node |
+//! | curing | how many days after the pour until the link works? |
+//! | surface | what kills the TX→RX surface-wave leak? |
+
+use bench::{fmt, print_table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map(String::as_str).unwrap_or("all");
+    let known: &[(&str, fn())] = &[
+        ("prism-material", prism_material),
+        ("hra", hra),
+        ("stages", stages),
+        ("coding", coding),
+        ("antiring", antiring),
+        ("defects", defects),
+        ("node-scale", node_scale),
+        ("curing", curing),
+        ("surface", surface),
+    ];
+    if id == "all" {
+        for (name, f) in known {
+            println!("\n######## {name} ########");
+            f();
+        }
+        return;
+    }
+    match known.iter().find(|(name, _)| *name == id) {
+        Some((_, f)) => f(),
+        None => {
+            eprintln!("unknown ablation `{id}`; available:");
+            for (name, _) in known {
+                eprintln!("  {name}");
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Would a different wedge material beat PLA? Sweep plausible polymer
+/// stocks and report the S-only window and the best transmitted S energy.
+fn prism_material() {
+    use elastic::prism::Prism;
+    use elastic::Material;
+    let stocks = [
+        Material { name: "soft polymer", density_kg_m3: 1000.0, cp_m_s: 1500.0, cs_m_s: 700.0 },
+        Material::PLA,
+        Material { name: "acrylic", density_kg_m3: 1190.0, cp_m_s: 2730.0, cs_m_s: 1430.0 },
+        Material { name: "nylon", density_kg_m3: 1140.0, cp_m_s: 2600.0, cs_m_s: 1100.0 },
+    ];
+    let mut rows = Vec::new();
+    for stock in stocks {
+        let p = Prism::new(stock, Material::CONCRETE_REF, 45f64.to_radians());
+        match p.s_only_window() {
+            Some((ca1, ca2)) => {
+                let (theta, inj) = p.optimal_angle(0.25).unwrap();
+                rows.push(vec![
+                    stock.name.to_string(),
+                    fmt(ca1.to_degrees(), 1),
+                    fmt(ca2.to_degrees(), 1),
+                    fmt(theta.to_degrees(), 1),
+                    fmt(inj.energy_s, 3),
+                ]);
+            }
+            None => rows.push(vec![
+                stock.name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "0".into(),
+            ]),
+        }
+    }
+    print_table(
+        "Prism stock ablation — S-only window and best S energy into reference concrete",
+        &["stock", "CA1_deg", "CA2_deg", "best_deg", "S_energy"],
+        &rows,
+    );
+    println!("PLA's low longitudinal speed opens the widest usable window —");
+    println!("the paper's §3.2 trade-off (and why acrylic's window is narrow).");
+}
+
+/// What the Helmholtz resonator array buys at the node's receiving face.
+fn hra() {
+    use phy::hra::HelmholtzArray;
+    let cs = 1941.0;
+    let arr = HelmholtzArray::ecocapsule(230e3, cs);
+    let mut rows = Vec::new();
+    for f in [180e3, 210e3, 230e3, 250e3, 280e3] {
+        rows.push(vec![
+            fmt(f / 1e3, 0),
+            fmt(arr.element.gain_at(f, cs, arr.q), 2),
+            fmt(arr.gain_at(f, cs), 2),
+        ]);
+    }
+    print_table(
+        "HRA ablation — gain without (element=1 baseline far off-resonance) and with the array",
+        &["f_kHz", "single_HR", "array"],
+        &rows,
+    );
+    let g = arr.gain_at(230e3, cs);
+    println!("at the carrier the array multiplies the received amplitude by {g:.1}×");
+    println!("({:.1} dB of extra link budget — roughly the margin that lets a", 20.0 * g.log10());
+    println!("node at 6 m still clear the 0.5 V activation threshold).");
+}
+
+/// Voltage-multiplier stage count vs what actually matters.
+fn stages() {
+    use node::harvester::{Harvester, DIODE_DROP_V, LDO_DROPOUT_V, LDO_OUTPUT_V};
+    let mut rows = Vec::new();
+    for stages in [1u32, 2, 3, 4, 6, 8] {
+        let h = Harvester {
+            stages,
+            ..Harvester::default()
+        };
+        // Minimum PZT voltage whose multiplied output clears the LDO.
+        let need = (LDO_OUTPUT_V + LDO_DROPOUT_V) / (2.0 * stages as f64) + DIODE_DROP_V;
+        rows.push(vec![
+            fmt(stages as f64, 0),
+            fmt(h.multiplier_output_v(0.5), 2),
+            fmt(need, 3),
+            if h.can_activate(0.5) { "yes".into() } else { "no".into() },
+        ]);
+    }
+    print_table(
+        "Multiplier stage ablation — output at 0.5 V input, and the input each stage count needs",
+        &["stages", "Vout@0.5V", "Vin_min", "activates@0.5V"],
+        &rows,
+    );
+    println!("below 3 stages the 0.5 V Fig 14 threshold cannot clear the 1.88 V LDO");
+    println!("input; beyond 4 the extra diode drops eat the gain — the paper's choice.");
+}
+
+/// FM0 vs Miller under the same noise.
+fn coding() {
+    use phy::fm0::Fm0;
+    use phy::miller::Miller;
+    let mut rng = StdRng::seed_from_u64(77);
+    let n_bits = 20_000;
+    let bits: Vec<bool> = (0..n_bits).map(|_| rng.gen_bool(0.5)).collect();
+    let sigma = 1.1;
+
+    let mut rows = Vec::new();
+    // FM0 at 4 samples/bit.
+    let fm0 = Fm0::new(4);
+    let mut wave = fm0.encode(&bits);
+    for x in wave.iter_mut() {
+        *x += channel::noise::gaussian(&mut rng) * sigma;
+    }
+    let err = fm0
+        .decode_ml(&wave)
+        .iter()
+        .zip(&bits)
+        .filter(|(a, b)| a != b)
+        .count();
+    rows.push(vec![
+        "FM0".into(),
+        fmt(4.0, 0),
+        fmt(1.0, 0),
+        format!("{:.2e}", err as f64 / n_bits as f64),
+    ]);
+    for m in [2usize, 4, 8] {
+        let codec = Miller::new(m, 1);
+        let mut wave = codec.encode(&bits);
+        for x in wave.iter_mut() {
+            *x += channel::noise::gaussian(&mut rng) * sigma;
+        }
+        let err = codec
+            .decode_ml(&wave)
+            .iter()
+            .zip(&bits)
+            .filter(|(a, b)| a != b)
+            .count();
+        rows.push(vec![
+            format!("Miller-{m}"),
+            fmt(codec.samples_per_bit() as f64, 0),
+            fmt(m as f64, 0),
+            format!("{:.2e}", err as f64 / n_bits as f64),
+        ]);
+    }
+    print_table(
+        "Coding ablation — BER at equal per-sample noise (σ=1.1)",
+        &["code", "samples/bit", "BLF_multiple", "BER"],
+        &rows,
+    );
+    println!("Miller burns M× the occupied band (and samples) for its coding gain");
+    println!("and carrier separation; FM0 matches the paper's rate-first choice.");
+}
+
+/// The braking-voltage strawman vs the FSK trick.
+fn antiring() {
+    use phy::braking::{braked_tail_s, BrakingConfig};
+    use phy::pzt::Pzt;
+    let pzt = Pzt::reader_disc(2.0e6);
+    let cal = BrakingConfig::calibrated(&pzt);
+    let mut rows = Vec::new();
+    let cases: [(&str, BrakingConfig); 6] = [
+        ("no braking", BrakingConfig { duration_s: 0.0, amplitude: 0.0, timing_error_s: 0.0 }),
+        ("calibrated", cal),
+        ("30% weak", BrakingConfig { amplitude: cal.amplitude * 0.7, ..cal }),
+        ("2x strong", BrakingConfig { amplitude: cal.amplitude * 2.0, ..cal }),
+        ("50 us late", BrakingConfig { timing_error_s: 50e-6, ..cal }),
+        ("150 us late", BrakingConfig { timing_error_s: 150e-6, ..cal }),
+    ];
+    for (name, cfg) in cases {
+        let tail = braked_tail_s(&pzt, &cfg, 0.5e-3);
+        rows.push(vec![
+            name.to_string(),
+            tail.map_or("-".into(), |t| fmt(t * 1e6, 0)),
+        ]);
+    }
+    print_table(
+        "Anti-ring ablation — residual tail (µs) after the high edge",
+        &["braking config", "tail_us"],
+        &rows,
+    );
+    println!("Braking only helps at its calibration point (§3.3's objection);");
+    println!("the FSK-in/OOK-out scheme needs no per-deployment parameters at all.");
+}
+
+/// Defect load vs channel loss, and what carrier retuning recovers.
+fn defects() {
+    use concrete::defects::DefectChannel;
+    use concrete::response::Block;
+    use concrete::ConcreteGrade;
+    let block = Block::new(ConcreteGrade::Nc.mix(), 0.15);
+    let cs = ConcreteGrade::Nc.material().cs_m_s;
+    let mut rows = Vec::new();
+    for (void_pct, seed) in [(0.5, 3u64), (2.0, 3), (5.0, 3), (2.0, 17), (2.0, 29)] {
+        let ch = DefectChannel::reinforced(1.5, cs, void_pct, seed);
+        let nominal = block.mix.resonant_frequency_hz();
+        let loss_db = -20.0 * ch.amplitude_factor(nominal).log10();
+        let tuned = reader::tuning::fine_tune(&block, &ch, 40e3, 0.5e3);
+        rows.push(vec![
+            fmt(void_pct, 1),
+            fmt(seed as f64, 0),
+            fmt(loss_db, 1),
+            fmt((tuned.best_hz - nominal) / 1e3, 1),
+            fmt(tuned.improvement_db, 1),
+        ]);
+    }
+    print_table(
+        "Defect ablation — loss at the nominal carrier and the retuning recovery (§3.5)",
+        &["void_%", "geometry", "loss_dB", "retune_kHz", "recovered_dB"],
+        &rows,
+    );
+}
+
+/// Prototype vs the §8 mm-scale node.
+fn node_scale() {
+    use node::budget::NodeVariant;
+    use node::harvester::Harvester;
+    let h = Harvester::default();
+    let mut rows = Vec::new();
+    for v in [NodeVariant::prototype(), NodeVariant::mm_scale()] {
+        rows.push(vec![
+            v.name.to_string(),
+            fmt(v.diameter_m * 1e3, 0),
+            fmt(v.active_w * 1e6, 0),
+            fmt(v.harvest_scale(), 3),
+            fmt(v.min_continuous_voltage(&h), 2),
+            if v.is_aggregate_compatible() { "yes".into() } else { "no".into() },
+        ]);
+    }
+    print_table(
+        "Node-scale ablation — the §8 future-work variant",
+        &["variant", "dia_mm", "active_uW", "harvest_x", "Vmin_cont", "aggregate-ok"],
+        &rows,
+    );
+    println!("the mm node captures 25× less power but draws 18× less: its");
+    println!("continuous-operation voltage is within ~2× of the prototype's,");
+    println!("while finally being small enough to count as fine aggregate.");
+}
+
+/// Days after casting until the in-concrete link becomes usable.
+fn curing() {
+    use concrete::curing::CuringConcrete;
+    use concrete::ConcreteGrade;
+    let mut rows = Vec::new();
+    for g in ConcreteGrade::ALL {
+        let mix = g.mix();
+        let d70 = CuringConcrete::first_usable_day(mix, 0.7);
+        let d90 = CuringConcrete::first_usable_day(mix, 0.9);
+        rows.push(vec![
+            g.to_string(),
+            fmt(CuringConcrete::at_age(mix, 7.0).fco_mpa(), 0),
+            d70.map_or("-".into(), |d| fmt(d, 1)),
+            d90.map_or("-".into(), |d| fmt(d, 1)),
+        ]);
+    }
+    print_table(
+        "Curing ablation — strength at 7 days and first day the link reaches 70%/90% of mature coupling",
+        &["mix", "f7_MPa", "day_70%", "day_90%"],
+        &rows,
+    );
+    println!("the capsules answer within the first week of curing — well before");
+    println!("the member carries design load (28-day strength).");
+}
+
+/// What suppresses the TX→RX surface-wave leak.
+fn surface() {
+    use channel::surface::SurfacePath;
+    let base = SurfacePath::paper_reader_layout();
+    let mut rows = Vec::new();
+    let cases = [
+        ("paper layout (20 cm)", base),
+        ("50 cm separation", SurfacePath { distance_m: 0.5, ..base }),
+        ("1 corner en route", SurfacePath { corners: 1, ..base }),
+        ("2 corners en route", SurfacePath { corners: 2, ..base }),
+    ];
+    for (name, p) in cases {
+        rows.push(vec![
+            name.to_string(),
+            fmt(p.leak_amplitude(230e3) / base.leak_amplitude(230e3), 3),
+            fmt(
+                channel::surface::self_interference_amplitude(&p, 230e3, 0.1) / 0.1,
+                1,
+            ),
+        ]);
+    }
+    print_table(
+        "Surface-leak ablation — relative Rayleigh leak and total self-interference (× backscatter)",
+        &["layout", "surface_leak", "total_SI_x"],
+        &rows,
+    );
+    println!("corners kill the surface wave (§5.1's sharp-edge filtering); the");
+    println!("residual self-interference is the body-wave leak the BLF guard");
+    println!("band dodges in frequency (Fig 24).");
+}

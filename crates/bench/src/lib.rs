@@ -1,0 +1,38 @@
+//! Shared helpers for the experiment harness and the Criterion benches.
+
+/// Prints a two-column numeric series with a caption.
+pub fn print_series(caption: &str, x_label: &str, y_label: &str, rows: &[(f64, f64)]) {
+    println!("\n== {caption} ==");
+    println!("{x_label:>14} {y_label:>14}");
+    for (x, y) in rows {
+        if y.is_finite() {
+            println!("{x:>14.3} {y:>14.4}");
+        } else {
+            println!("{x:>14.3} {:>14}", "-");
+        }
+    }
+}
+
+/// Prints a table with a header row and aligned numeric cells.
+pub fn print_table(caption: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {caption} ==");
+    for h in header {
+        print!("{h:>14}");
+    }
+    println!();
+    for row in rows {
+        for cell in row {
+            print!("{cell:>14}");
+        }
+        println!();
+    }
+}
+
+/// Formats a float or "-" for non-finite values.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        "-".to_string()
+    }
+}

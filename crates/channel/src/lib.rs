@@ -1,0 +1,27 @@
+//! # ecocapsule-channel
+//!
+//! The acoustic channel simulator: how elastic waves actually get from
+//! the reader's PZT to an EcoCapsule and back, in concrete (and in water
+//! for the PAB baseline comparisons).
+//!
+//! - [`linkbudget`] — wireless-charging link budget behind Fig 12:
+//!   voltage → injected amplitude → structure-specific spreading +
+//!   S-wave absorption → received voltage and maximum power-up range;
+//! - [`multipath`] — 2-D image-source model of boundary S-reflections,
+//!   producing per-position arrival sets; drives Fig 18 (SNR vs node
+//!   position) and the dual-mode ISI penalty of Fig 19;
+//! - [`noise`] — seeded AWGN and measurement-noise helpers;
+//! - [`downlink`] — received downlink waveform composition: prism mode
+//!   content, PZT ring, concrete FSK suppression (Figs 7, 19, 20);
+//! - [`uplink`] — received uplink waveform composition: CBW
+//!   self-interference + backscatter sidebands at the BLF (Figs 22, 24).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod downlink;
+pub mod linkbudget;
+pub mod multipath;
+pub mod noise;
+pub mod surface;
+pub mod uplink;

@@ -1,0 +1,290 @@
+//! Wireless-charging link budget (Fig 12).
+//!
+//! The received open-circuit voltage at a node PZT a distance `d` from
+//! the reader is modelled as
+//!
+//! ```text
+//! V_rx(d) = V_tx · κ · T_s · (r₀/d)^p · e^(−α_s(f)·d)
+//! ```
+//!
+//! where `κ` is the electro-mechanical coupling chain (amp → TX PZT →
+//! glue → node PZT → HRA), `T_s` the prism's S-mode amplitude
+//! transmission, `p` the structure's spreading exponent and `α_s` the
+//! S-wave absorption. The spreading exponent encodes Fig 12's central
+//! finding: narrow members guide the wave (p → ~0.5 or below), bulk
+//! members spread it spherically (p → 1), and an elongated corridor like
+//! PAB's Pool 2 approaches a lossless duct (p ≈ 0.12) — which is why its
+//! range explodes once the activation threshold is reached.
+
+use concrete::structure::Structure;
+use elastic::attenuation::PowerLawAttenuation;
+
+/// Reference distance for the spreading law (m): roughly the TX PZT's
+/// near-field edge.
+pub const REF_DISTANCE_M: f64 = 0.10;
+
+/// Electro-mechanical coupling chain for the concrete deployments,
+/// calibrated once so S3 at 50 V powers a node at ≈1.3 m (Fig 12).
+pub const CONCRETE_COUPLING: f64 = 0.042;
+
+/// An end-to-end charging link.
+#[derive(Debug, Clone)]
+pub struct LinkBudget {
+    /// Overall voltage coupling κ·T_s (dimensionless).
+    pub coupling: f64,
+    /// Spreading exponent `p` (0 = guided, 0.5 = cylindrical, 1 = spherical).
+    pub spreading_exp: f64,
+    /// Reference distance r₀ (m).
+    pub ref_m: f64,
+    /// Mode-appropriate absorption law.
+    pub attenuation: PowerLawAttenuation,
+    /// Carrier frequency (Hz).
+    pub carrier_hz: f64,
+    /// Longest physical path the structure allows (m); `f64::INFINITY`
+    /// when unbounded.
+    pub max_path_m: f64,
+}
+
+impl LinkBudget {
+    /// Link budget for one of the paper's concrete structures, with the
+    /// PLA wedge tuned into the structure's own S-only window (the paper
+    /// defaults to 60°, which sits inside the window for its reference
+    /// concrete; our Table-1-derived NC has a slightly faster S-wave, so
+    /// the operator-tuned optimum is used instead of a fixed angle).
+    pub fn for_structure(s: &Structure) -> Self {
+        let probe = elastic::prism::Prism::new(
+            elastic::Material::PLA,
+            s.mix.material(),
+            40f64.to_radians(),
+        );
+        let t_s = probe
+            .optimal_angle(0.5)
+            .map(|(_, inj)| inj.energy_s)
+            .unwrap_or(1e-6)
+            .sqrt();
+        // Normalize against the reference prism at its own optimum so the
+        // calibrated κ stays anchored at S3.
+        let t_ref = elastic::prism::Prism::paper_default()
+            .optimal_angle(0.5)
+            .map(|(_, inj)| inj.energy_s)
+            .unwrap_or(1.0)
+            .sqrt();
+        let confine = s.geometry.confining_dimension_m();
+        LinkBudget {
+            coupling: CONCRETE_COUPLING * (t_s / t_ref),
+            spreading_exp: spreading_exponent(confine),
+            ref_m: REF_DISTANCE_M,
+            attenuation: s.mix.attenuation_s(),
+            carrier_hz: s.mix.resonant_frequency_hz(),
+            max_path_m: s.geometry.max_path_m(),
+        }
+    }
+
+    /// Received open-circuit voltage at distance `d_m` for TX drive
+    /// `v_tx` volts.
+    pub fn received_voltage(&self, v_tx: f64, d_m: f64) -> f64 {
+        assert!(v_tx >= 0.0 && d_m >= 0.0, "invalid link query");
+        if d_m > self.max_path_m {
+            return 0.0;
+        }
+        let spread = if d_m <= self.ref_m {
+            1.0
+        } else {
+            (self.ref_m / d_m).powf(self.spreading_exp)
+        };
+        v_tx * self.coupling * spread * self.attenuation.amplitude_factor(self.carrier_hz, d_m)
+    }
+
+    /// Maximum distance (m) at which the received voltage still meets
+    /// `v_activate`, or `None` if even contact distance fails. Capped at
+    /// the structure's physical extent (the paper's S1/S2 curves
+    /// "terminate at their lengths").
+    pub fn max_range_m(&self, v_tx: f64, v_activate: f64) -> Option<f64> {
+        assert!(v_activate > 0.0, "activation voltage must be positive");
+        if self.received_voltage(v_tx, self.ref_m) < v_activate {
+            return None;
+        }
+        // Received voltage is monotone decreasing in d: bisect.
+        let mut lo = self.ref_m;
+        let mut hi = self.max_path_m.min(100.0);
+        if self.received_voltage(v_tx, hi) >= v_activate {
+            return Some(hi);
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.received_voltage(v_tx, mid) >= v_activate {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+}
+
+/// Spreading exponent from the confining transverse dimension:
+/// 15–20 cm walls guide (≈0.5), ≥70 cm members are effectively bulk
+/// (≈1.0), linear in between.
+pub fn spreading_exponent(confining_m: f64) -> f64 {
+    assert!(confining_m > 0.0, "confining dimension must be positive");
+    if confining_m <= 0.20 {
+        0.5
+    } else if confining_m >= 0.70 {
+        1.0
+    } else {
+        0.5 + 0.5 * (confining_m - 0.20) / 0.50
+    }
+}
+
+/// The PAB underwater pools from Fig 12, reused by the baselines crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PabPool {
+    /// Bulk test pool (near-spherical spreading).
+    Pool1,
+    /// Elongated corridor pool — acts as an acoustic duct; ranges grow
+    /// explosively with voltage (125 V reaches 6.5 m).
+    Pool2,
+}
+
+impl PabPool {
+    /// Link budget for the pool at PAB's 15 kHz carrier.
+    pub fn link_budget(self) -> LinkBudget {
+        // Seawater absorption at 15 kHz is ~1 dB/km: negligible here.
+        let atten = PowerLawAttenuation::new(1e-4, 15e3, 1.0);
+        match self {
+            PabPool::Pool1 => LinkBudget {
+                coupling: 0.0146,
+                spreading_exp: 0.59,
+                ref_m: REF_DISTANCE_M,
+                attenuation: atten,
+                carrier_hz: 15e3,
+                max_path_m: 10.0,
+            },
+            PabPool::Pool2 => LinkBudget {
+                coupling: 0.00657,
+                spreading_exp: 0.12,
+                ref_m: REF_DISTANCE_M,
+                attenuation: atten,
+                carrier_hz: 15e3,
+                max_path_m: 10.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concrete::structure::Structure;
+
+    /// MCU activation threshold from Fig 14 (V).
+    const V_ACT: f64 = 0.5;
+
+    #[test]
+    fn fig12_s3_anchors() {
+        let lb = LinkBudget::for_structure(&Structure::s3_common_wall());
+        let r50 = lb.max_range_m(50.0, V_ACT).unwrap();
+        let r200 = lb.max_range_m(200.0, V_ACT).unwrap();
+        let r250 = lb.max_range_m(250.0, V_ACT).unwrap();
+        // Paper: 134 cm at 50 V, 500 cm at 200 V, "up to 6 m" at 250 V.
+        assert!((1.0..1.8).contains(&r50), "S3@50V = {r50}");
+        assert!((4.0..6.5).contains(&r200), "S3@200V = {r200}");
+        assert!(r250 >= 5.5, "S3@250V = {r250}");
+    }
+
+    #[test]
+    fn fig12_structure_ordering_at_200v() {
+        // S3 (20 cm wall) > S4 (50 cm wall) > S2 (70 cm column).
+        let r = |s: &Structure| {
+            LinkBudget::for_structure(s)
+                .max_range_m(200.0, V_ACT)
+                .unwrap()
+        };
+        let (s2, s3, s4) = (
+            r(&Structure::s2_column()),
+            r(&Structure::s3_common_wall()),
+            r(&Structure::s4_protective_wall()),
+        );
+        assert!(s3 > s4, "S3 {s3} vs S4 {s4}");
+        assert!(s4 > s2, "S4 {s4} vs S2 {s2}");
+    }
+
+    #[test]
+    fn fig12_s1_terminates_at_slab_length() {
+        let lb = LinkBudget::for_structure(&Structure::s1_slab());
+        let r200 = lb.max_range_m(200.0, V_ACT).unwrap();
+        assert!((r200 - 1.5).abs() < 1e-9, "S1 capped at its 150 cm length, got {r200}");
+    }
+
+    #[test]
+    fn fig12_pab_pool1_anchors() {
+        let lb = PabPool::Pool1.link_budget();
+        let r50 = lb.max_range_m(50.0, V_ACT).unwrap();
+        let r200 = lb.max_range_m(200.0, V_ACT).unwrap();
+        assert!((0.1..0.35).contains(&r50), "Pool1@50V = {r50}");
+        assert!((1.5..2.6).contains(&r200), "Pool1@200V = {r200}");
+    }
+
+    #[test]
+    fn fig12_pab_pool2_superlinear_corridor() {
+        let lb = PabPool::Pool2.link_budget();
+        // Needs ≥ ~84 V for any range at all…
+        assert!(lb.max_range_m(50.0, V_ACT).is_none(), "50 V insufficient in Pool 2");
+        let r84 = lb.max_range_m(84.0, V_ACT).unwrap();
+        assert!((0.1..0.5).contains(&r84), "Pool2@84V = {r84}");
+        // …but 125 V reaches ~6.5 m.
+        let r125 = lb.max_range_m(125.0, V_ACT).unwrap();
+        assert!((5.0..8.0).contains(&r125), "Pool2@125V = {r125}");
+    }
+
+    #[test]
+    fn concrete_beats_pool1_at_every_voltage() {
+        // Fig 12 finding (3): elastic waves go further in dense media.
+        let s3 = LinkBudget::for_structure(&Structure::s3_common_wall());
+        let p1 = PabPool::Pool1.link_budget();
+        for v in [50.0, 100.0, 150.0, 200.0] {
+            let rc = s3.max_range_m(v, V_ACT).unwrap();
+            let rw = p1.max_range_m(v, V_ACT).unwrap();
+            assert!(rc > rw, "at {v} V: concrete {rc} vs water {rw}");
+        }
+    }
+
+    #[test]
+    fn received_voltage_monotone_decreasing() {
+        let lb = LinkBudget::for_structure(&Structure::s3_common_wall());
+        let mut last = f64::INFINITY;
+        for i in 1..100 {
+            let v = lb.received_voltage(200.0, i as f64 * 0.1);
+            assert!(v <= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn range_monotone_in_voltage() {
+        let lb = LinkBudget::for_structure(&Structure::s4_protective_wall());
+        let mut last = 0.0;
+        for v in [20.0, 50.0, 100.0, 150.0, 200.0, 250.0] {
+            if let Some(r) = lb.max_range_m(v, V_ACT) {
+                assert!(r >= last, "range shrank at {v} V");
+                last = r;
+            }
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn spreading_exponent_bounds() {
+        assert_eq!(spreading_exponent(0.15), 0.5);
+        assert_eq!(spreading_exponent(0.70), 1.0);
+        assert_eq!(spreading_exponent(2.0), 1.0);
+        let mid = spreading_exponent(0.45);
+        assert!(mid > 0.5 && mid < 1.0);
+    }
+
+    #[test]
+    fn beyond_structure_extent_no_signal() {
+        let lb = LinkBudget::for_structure(&Structure::s1_slab());
+        assert_eq!(lb.received_voltage(250.0, 2.0), 0.0);
+    }
+}

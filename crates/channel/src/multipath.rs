@@ -1,0 +1,461 @@
+//! Image-source multipath inside a bounded member.
+//!
+//! Body waves bounce almost losslessly off the concrete/air boundary
+//! (R = 99.98%, Eqn 1), so the field at a node is a sum of the direct
+//! arrival plus mirror-image arrivals. We use a 2-D image-source model
+//! over the wall's face (length × height): adequate because the
+//! through-thickness dimension is what *creates* the waveguide and is
+//! already folded into the link budget's spreading exponent.
+//!
+//! Two consumers:
+//! - Fig 18 (SNR vs node position): nodes near a free edge sit close to
+//!   their first image sources, so reflections arrive nearly in phase
+//!   and boost the harvested/backscattered power — "EcoCapsules deployed
+//!   close to the margins achieve relatively higher SNR".
+//! - Fig 19 (prism sweep): below the first critical angle the channel
+//!   carries *two* mode copies (P and S) at different speeds — modelled
+//!   as two arrival combs offset by the P/S delay.
+
+use elastic::attenuation::PowerLawAttenuation;
+
+/// One ray arrival at the receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Propagation delay (s).
+    pub delay_s: f64,
+    /// Signed amplitude (reflections flip sign at each free boundary:
+    /// R ≈ −1 for solid→air in displacement).
+    pub amplitude: f64,
+}
+
+/// A rectangular 2-D member face with a source and receiver inside it.
+#[derive(Debug, Clone, Copy)]
+pub struct Wall2d {
+    /// Face length (m), x direction.
+    pub length_m: f64,
+    /// Face height (m), y direction.
+    pub height_m: f64,
+    /// Wave speed of the propagating mode (m/s).
+    pub wave_speed_m_s: f64,
+    /// Absorption law for the propagating mode.
+    pub attenuation: PowerLawAttenuation,
+    /// Carrier frequency (Hz) for absorption evaluation.
+    pub carrier_hz: f64,
+}
+
+impl Wall2d {
+    /// Creates a wall model. Panics on non-positive dimensions/speed.
+    pub fn new(
+        length_m: f64,
+        height_m: f64,
+        wave_speed_m_s: f64,
+        attenuation: PowerLawAttenuation,
+        carrier_hz: f64,
+    ) -> Self {
+        assert!(
+            length_m > 0.0 && height_m > 0.0 && wave_speed_m_s > 0.0 && carrier_hz > 0.0,
+            "wall parameters must be positive"
+        );
+        Wall2d {
+            length_m,
+            height_m,
+            wave_speed_m_s,
+            attenuation,
+            carrier_hz,
+        }
+    }
+
+    /// Image-source arrivals between `src` and `rx` (positions in metres,
+    /// inside the face), up to reflection order `order` in each axis.
+    ///
+    /// Amplitudes combine spreading (cylindrical within the face),
+    /// absorption and the per-bounce reflection sign. Panics if either
+    /// point lies outside the face.
+    pub fn arrivals(&self, src: (f64, f64), rx: (f64, f64), order: i32) -> Vec<Arrival> {
+        for &(x, y) in &[src, rx] {
+            assert!(
+                (0.0..=self.length_m).contains(&x) && (0.0..=self.height_m).contains(&y),
+                "point ({x},{y}) outside the wall face"
+            );
+        }
+        assert!(order >= 0, "reflection order must be non-negative");
+        let ref_m = 0.05;
+        let mut out = Vec::new();
+        for mx in -order..=order {
+            for my in -order..=order {
+                // Image of the source after mx reflections in x, my in y.
+                let ix = image_coord(src.0, self.length_m, mx);
+                let iy = image_coord(src.1, self.height_m, my);
+                let d = ((rx.0 - ix).powi(2) + (rx.1 - iy).powi(2)).sqrt().max(ref_m);
+                let bounces = mx.unsigned_abs() + my.unsigned_abs();
+                // Displacement reflection at a traction-free surface is
+                // +1 (the stress flips sign, the displacement doubles) —
+                // this is why nodes near a free edge sit at a displacement
+                // antinode and harvest more power (Fig 18).
+                let refl = 0.9998f64.powi(bounces as i32);
+                let spread = (ref_m / d).sqrt();
+                let absorb = self.attenuation.amplitude_factor(self.carrier_hz, d);
+                out.push(Arrival {
+                    delay_s: d / self.wave_speed_m_s,
+                    amplitude: refl * spread * absorb,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.delay_s.partial_cmp(&b.delay_s).unwrap());
+        out
+    }
+
+    /// Root-sum-square amplitude of all arrivals — the incoherent power
+    /// proxy used for position-dependent SNR (Fig 18).
+    pub fn rss_amplitude(&self, src: (f64, f64), rx: (f64, f64), order: i32) -> f64 {
+        self.arrivals(src, rx, order)
+            .iter()
+            .map(|a| a.amplitude * a.amplitude)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Coherent sum of arrival phasors at the carrier — captures the
+    /// constructive/destructive superposition the paper warns about
+    /// ("the reflection is a double-edged sword").
+    pub fn coherent_amplitude(&self, src: (f64, f64), rx: (f64, f64), order: i32) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * self.carrier_hz;
+        let (mut re, mut im) = (0.0, 0.0);
+        for a in self.arrivals(src, rx, order) {
+            re += a.amplitude * (w * a.delay_s).cos();
+            im += a.amplitude * (w * a.delay_s).sin();
+        }
+        re.hypot(im)
+    }
+
+    /// Convolves a sampled waveform with the arrival comb (tapped delay
+    /// line at `fs_hz`) — the time-domain channel used by end-to-end
+    /// waveform simulations.
+    pub fn apply(&self, signal: &[f64], src: (f64, f64), rx: (f64, f64), order: i32, fs_hz: f64) -> Vec<f64> {
+        assert!(fs_hz > 0.0, "sample rate must be positive");
+        let arrivals = self.arrivals(src, rx, order);
+        let max_delay = arrivals.last().map_or(0.0, |a| a.delay_s);
+        let n_out = signal.len() + (max_delay * fs_hz).ceil() as usize;
+        let mut out = vec![0.0; n_out];
+        for a in &arrivals {
+            let shift = (a.delay_s * fs_hz).round() as usize;
+            for (i, &x) in signal.iter().enumerate() {
+                out[i + shift] += a.amplitude * x;
+            }
+        }
+        out
+    }
+}
+
+/// A full 3-D rectangular member with image sources along all three
+/// axes — the higher-fidelity sibling of [`Wall2d`] used when the
+/// through-thickness reflections matter (thick members, or validating
+/// the 2-D model's waveguide assumption).
+#[derive(Debug, Clone, Copy)]
+pub struct Box3d {
+    /// Extent along x (m).
+    pub lx_m: f64,
+    /// Extent along y (m).
+    pub ly_m: f64,
+    /// Extent along z (m) — usually the thickness.
+    pub lz_m: f64,
+    /// Wave speed (m/s).
+    pub wave_speed_m_s: f64,
+    /// Absorption law.
+    pub attenuation: PowerLawAttenuation,
+    /// Carrier frequency (Hz).
+    pub carrier_hz: f64,
+}
+
+impl Box3d {
+    /// Creates a box model. Panics on non-positive dimensions.
+    pub fn new(
+        lx_m: f64,
+        ly_m: f64,
+        lz_m: f64,
+        wave_speed_m_s: f64,
+        attenuation: PowerLawAttenuation,
+        carrier_hz: f64,
+    ) -> Self {
+        assert!(
+            lx_m > 0.0 && ly_m > 0.0 && lz_m > 0.0 && wave_speed_m_s > 0.0 && carrier_hz > 0.0,
+            "box parameters must be positive"
+        );
+        Box3d {
+            lx_m,
+            ly_m,
+            lz_m,
+            wave_speed_m_s,
+            attenuation,
+            carrier_hz,
+        }
+    }
+
+    /// Image-source arrivals up to reflection `order` per axis, with
+    /// spherical spreading per path (the 3-D free-space law — guiding
+    /// emerges from the image sum itself rather than an assumed
+    /// spreading exponent).
+    pub fn arrivals(&self, src: (f64, f64, f64), rx: (f64, f64, f64), order: i32) -> Vec<Arrival> {
+        for &(x, y, z) in &[src, rx] {
+            assert!(
+                (0.0..=self.lx_m).contains(&x)
+                    && (0.0..=self.ly_m).contains(&y)
+                    && (0.0..=self.lz_m).contains(&z),
+                "point ({x},{y},{z}) outside the box"
+            );
+        }
+        assert!(order >= 0, "reflection order must be non-negative");
+        let ref_m = 0.05;
+        let mut out = Vec::new();
+        for mx in -order..=order {
+            let ix = image_coord(src.0, self.lx_m, mx);
+            for my in -order..=order {
+                let iy = image_coord(src.1, self.ly_m, my);
+                for mz in -order..=order {
+                    let iz = image_coord(src.2, self.lz_m, mz);
+                    let d = ((rx.0 - ix).powi(2) + (rx.1 - iy).powi(2) + (rx.2 - iz).powi(2))
+                        .sqrt()
+                        .max(ref_m);
+                    let bounces = mx.unsigned_abs() + my.unsigned_abs() + mz.unsigned_abs();
+                    let refl = 0.9998f64.powi(bounces as i32);
+                    let spread = ref_m / d; // spherical
+                    let absorb = self.attenuation.amplitude_factor(self.carrier_hz, d);
+                    out.push(Arrival {
+                        delay_s: d / self.wave_speed_m_s,
+                        amplitude: refl * spread * absorb,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.delay_s.partial_cmp(&b.delay_s).unwrap());
+        out
+    }
+
+    /// Root-sum-square amplitude of all arrivals.
+    pub fn rss_amplitude(&self, src: (f64, f64, f64), rx: (f64, f64, f64), order: i32) -> f64 {
+        self.arrivals(src, rx, order)
+            .iter()
+            .map(|a| a.amplitude * a.amplitude)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+fn image_coord(x: f64, extent: f64, m: i32) -> f64 {
+    // Mirror positions: even m → translate, odd m → reflect.
+    let k = m.div_euclid(2) as f64;
+    if m.rem_euclid(2) == 0 {
+        x + 2.0 * k * extent
+    } else {
+        -x + 2.0 * (k + 1.0) * extent
+    }
+}
+
+/// A dual-mode channel: the same geometry traversed by both a P and an S
+/// copy of the signal (prism incidence below the first critical angle).
+/// `p_fraction` is the amplitude fraction carried by the P copy.
+#[derive(Debug, Clone, Copy)]
+pub struct DualModeChannel {
+    /// P-wave speed (m/s).
+    pub cp_m_s: f64,
+    /// S-wave speed (m/s).
+    pub cs_m_s: f64,
+    /// Amplitude fraction in the P copy, in [0,1].
+    pub p_fraction: f64,
+    /// Path length (m).
+    pub distance_m: f64,
+}
+
+impl DualModeChannel {
+    /// Applies the two-copy channel to a waveform at `fs_hz`: the P copy
+    /// arrives first (faster), the S copy 40%-ish later — producing the
+    /// "60% data overlap" intra-symbol interference of §3.2.
+    pub fn apply(&self, signal: &[f64], fs_hz: f64) -> Vec<f64> {
+        assert!(fs_hz > 0.0, "sample rate must be positive");
+        assert!((0.0..=1.0).contains(&self.p_fraction), "p_fraction must be in [0,1]");
+        let t_p = self.distance_m / self.cp_m_s;
+        let t_s = self.distance_m / self.cs_m_s;
+        let shift_p = (t_p * fs_hz).round() as usize;
+        let shift_s = (t_s * fs_hz).round() as usize;
+        let mut out = vec![0.0; signal.len() + shift_s.max(shift_p)];
+        for (i, &x) in signal.iter().enumerate() {
+            out[i + shift_p] += self.p_fraction * x;
+            out[i + shift_s] += (1.0 - self.p_fraction) * x;
+        }
+        out
+    }
+
+    /// The inter-copy delay (s).
+    pub fn mode_delay_s(&self) -> f64 {
+        self.distance_m / self.cs_m_s - self.distance_m / self.cp_m_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nc_wall() -> Wall2d {
+        let mix = concrete::ConcreteGrade::Nc.mix();
+        Wall2d::new(2.0, 2.0, mix.material().cs_m_s, mix.attenuation_s(), 230e3)
+    }
+
+    #[test]
+    fn direct_path_is_first_and_strongest_arrival() {
+        let w = nc_wall();
+        let arr = w.arrivals((0.3, 1.0), (1.5, 1.0), 1);
+        let direct_d = 1.2;
+        assert!((arr[0].delay_s - direct_d / w.wave_speed_m_s).abs() < 1e-9);
+        let max_amp = arr.iter().map(|a| a.amplitude.abs()).fold(0.0, f64::max);
+        assert!((arr[0].amplitude.abs() - max_amp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_order_is_single_arrival() {
+        let w = nc_wall();
+        assert_eq!(w.arrivals((0.5, 0.5), (1.5, 1.5), 0).len(), 1);
+    }
+
+    #[test]
+    fn arrival_count_is_grid_complete() {
+        let w = nc_wall();
+        assert_eq!(w.arrivals((0.5, 0.5), (1.5, 1.5), 2).len(), 25);
+    }
+
+    #[test]
+    fn margin_positions_collect_more_power_than_middle() {
+        // Fig 18: nodes near the wall's free edges see higher SNR than
+        // mid-wall nodes at similar reader distance.
+        // "The distances between the reader and the node are similar":
+        // both nodes sit ~1.0 m from the source, but the top node hugs
+        // the free edge where its first image sources are close.
+        let w = nc_wall();
+        let src = (0.1, 1.0);
+        let rx_middle = (1.1, 1.0); // d = 1.00 m
+        let rx_top = (0.55, 1.95); // d ≈ 1.05 m
+        let p_mid = w.rss_amplitude(src, rx_middle, 3);
+        let p_top = w.rss_amplitude(src, rx_top, 3);
+        assert!(p_top > p_mid, "top {p_top} vs middle {p_mid}");
+    }
+
+    #[test]
+    fn reflections_add_power_over_direct_only() {
+        let w = nc_wall();
+        let p0 = w.rss_amplitude((0.2, 1.0), (1.8, 1.0), 0);
+        let p3 = w.rss_amplitude((0.2, 1.0), (1.8, 1.0), 3);
+        assert!(p3 > p0, "reflections must add energy: {p3} vs {p0}");
+    }
+
+    #[test]
+    fn apply_superposes_delayed_copies() {
+        let w = nc_wall();
+        let fs = 1.0e6;
+        let impulse = {
+            let mut v = vec![0.0; 10];
+            v[0] = 1.0;
+            v
+        };
+        let h = w.apply(&impulse, (0.5, 1.0), (1.5, 1.0), 1, fs);
+        let nonzero = h.iter().filter(|&&x| x.abs() > 1e-9).count();
+        // 9 image sources; some land on the same rounded sample.
+        assert!(nonzero >= 3, "expected several taps, got {nonzero}");
+    }
+
+    #[test]
+    fn dual_mode_delay_matches_speed_gap() {
+        // §3.2: S spreads 40% slower ⇒ 60% overlap for adjacent data.
+        let ch = DualModeChannel {
+            cp_m_s: 3338.0,
+            cs_m_s: 1941.0,
+            p_fraction: 0.5,
+            distance_m: 1.0,
+        };
+        let dt = ch.mode_delay_s();
+        assert!((dt - (1.0 / 1941.0 - 1.0 / 3338.0)).abs() < 1e-12);
+        assert!(dt > 0.0);
+    }
+
+    #[test]
+    fn dual_mode_apply_creates_two_copies() {
+        let ch = DualModeChannel {
+            cp_m_s: 3000.0,
+            cs_m_s: 1500.0,
+            p_fraction: 0.4,
+            distance_m: 0.3,
+        };
+        let fs = 1.0e6;
+        let mut impulse = vec![0.0; 4];
+        impulse[0] = 1.0;
+        let y = ch.apply(&impulse, fs);
+        let taps: Vec<(usize, f64)> = y
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x.abs() > 1e-12)
+            .map(|(i, &x)| (i, x))
+            .collect();
+        assert_eq!(taps.len(), 2);
+        assert!((taps[0].1 - 0.4).abs() < 1e-12, "P copy amplitude");
+        assert!((taps[1].1 - 0.6).abs() < 1e-12, "S copy amplitude");
+        assert_eq!(taps[0].0, (0.3 / 3000.0 * fs).round() as usize);
+        assert_eq!(taps[1].0, (0.3 / 1500.0 * fs).round() as usize);
+    }
+
+    #[test]
+    fn box3d_thin_member_guides_energy_better_than_thick() {
+        // The waveguide effect emerges from the image sum: at equal
+        // distance, a 20 cm member retains more energy than a 70 cm one
+        // because its z-axis images are closer (Fig 12 finding 2, derived
+        // rather than assumed).
+        let mix = concrete::ConcreteGrade::Nc.mix();
+        let cs = mix.material().cs_m_s;
+        let thin = Box3d::new(6.0, 6.0, 0.20, cs, mix.attenuation_s(), 230e3);
+        let thick = Box3d::new(6.0, 6.0, 0.70, cs, mix.attenuation_s(), 230e3);
+        let d = 3.0;
+        let a_thin = thin.rss_amplitude((0.2, 3.0, 0.10), (0.2 + d, 3.0, 0.10), 4);
+        let a_thick = thick.rss_amplitude((0.2, 3.0, 0.35), (0.2 + d, 3.0, 0.35), 4);
+        assert!(a_thin > a_thick, "thin {a_thin} vs thick {a_thick}");
+    }
+
+    #[test]
+    fn box3d_direct_path_matches_geometry() {
+        let mix = concrete::ConcreteGrade::Nc.mix();
+        let cs = mix.material().cs_m_s;
+        let b = Box3d::new(2.0, 2.0, 0.2, cs, mix.attenuation_s(), 230e3);
+        let arr = b.arrivals((0.2, 1.0, 0.1), (1.4, 1.0, 0.1), 0);
+        assert_eq!(arr.len(), 1);
+        assert!((arr[0].delay_s - 1.2 / cs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box3d_arrival_count_is_cubic_in_order() {
+        let mix = concrete::ConcreteGrade::Nc.mix();
+        let b = Box3d::new(1.0, 1.0, 0.2, 2000.0, mix.attenuation_s(), 230e3);
+        assert_eq!(b.arrivals((0.5, 0.5, 0.1), (0.6, 0.5, 0.1), 1).len(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn box3d_rejects_point_outside() {
+        let mix = concrete::ConcreteGrade::Nc.mix();
+        let b = Box3d::new(1.0, 1.0, 0.2, 2000.0, mix.attenuation_s(), 230e3);
+        let _ = b.arrivals((0.5, 0.5, 0.5), (0.6, 0.5, 0.1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_point_outside_wall() {
+        let w = nc_wall();
+        let _ = w.arrivals((3.0, 0.5), (1.0, 1.0), 1);
+    }
+
+    #[test]
+    fn image_coords_tile_correctly() {
+        // Wall of extent 2: images of x=0.5 are at -0.5 (m=1... reflect),
+        // 4.5 (m=2 translate), etc.
+        assert_eq!(image_coord(0.5, 2.0, 0), 0.5);
+        assert_eq!(image_coord(0.5, 2.0, 1), 3.5); // reflect about x=2
+        assert_eq!(image_coord(0.5, 2.0, -1), -0.5); // reflect about x=0
+        assert_eq!(image_coord(0.5, 2.0, 2), 4.5);
+        assert_eq!(image_coord(0.5, 2.0, -2), -3.5);
+    }
+}

@@ -1,0 +1,199 @@
+//! Uplink waveform composition (§3.4, Figs 22 & 24).
+//!
+//! During the uplink the reader's TX keeps emitting the CBW; the node
+//! toggles its piezo impedance switch, amplitude-modulating the portion
+//! of the CBW it reflects. The receiving PZT therefore sees
+//!
+//! ```text
+//! y(t) = L·sin(2πf_c t)                      (self-interference: CBW leak
+//!                                             + S-reflections + surface waves)
+//!      + A·m(t)·sin(2πf_c (t−τ))             (backscatter, m(t) ∈ {lo, hi})
+//!      + n(t)
+//! ```
+//!
+//! The leak is ~10× stronger than the backscatter (§3.4); the node's
+//! switching at the backscatter link frequency (BLF) pushes the data
+//! into sidebands at `f_c ± BLF`, leaving a guard band the reader can
+//! filter on (Appendix C / Fig 24).
+
+use phy::fm0::Fm0;
+use rand::Rng;
+
+/// Parameters of one uplink capture.
+#[derive(Debug, Clone, Copy)]
+pub struct UplinkConfig {
+    /// Carrier (CBW) frequency, Hz. Paper default 230 kHz.
+    pub carrier_hz: f64,
+    /// Receiver sample rate, Hz. Paper's oscilloscope: 1 MS/s.
+    pub fs_hz: f64,
+    /// Self-interference (leak) amplitude at the RX.
+    pub leak_amplitude: f64,
+    /// Backscatter amplitude at the RX (≈ leak/10 per §3.4).
+    pub backscatter_amplitude: f64,
+    /// Reflection-state modulation depth: the absorptive state still
+    /// reflects a little; `0.1` means lo = 10% of hi.
+    pub absorptive_residual: f64,
+    /// Propagation delay from node to RX (s).
+    pub delay_s: f64,
+}
+
+impl UplinkConfig {
+    /// The paper's nominal uplink: 230 kHz carrier, 1 MS/s capture,
+    /// 10:1 leak-to-backscatter, 1 m node standoff in NC.
+    pub fn paper_default() -> Self {
+        UplinkConfig {
+            carrier_hz: 230e3,
+            fs_hz: 1.0e6,
+            leak_amplitude: 1.0,
+            backscatter_amplitude: 0.1,
+            absorptive_residual: 0.1,
+            delay_s: 1.0 / 1941.0,
+        }
+    }
+}
+
+/// Synthesizes the received uplink waveform for FM0-coded `bits` at
+/// `bitrate_bps`, with optional leading CBW-only time `lead_s` (cold
+/// start / settling — Fig 22 shows backscatter starting at 4 ms).
+/// Returns `(waveform, fm0_codec)`.
+pub fn synthesize_uplink<R: Rng>(
+    cfg: &UplinkConfig,
+    bits: &[bool],
+    bitrate_bps: f64,
+    lead_s: f64,
+    noise_sigma: f64,
+    rng: &mut R,
+) -> (Vec<f64>, Fm0) {
+    assert!(bitrate_bps > 0.0 && lead_s >= 0.0, "invalid uplink parameters");
+    let fm0 = Fm0::for_bitrate(bitrate_bps, cfg.fs_hz);
+    let baseband = fm0.encode(bits); // ±1
+    let n_lead = (lead_s * cfg.fs_hz).round() as usize;
+    let delay_samples = (cfg.delay_s * cfg.fs_hz).round() as usize;
+    // Trail with unmodulated CBW so decoder sync slop can never truncate
+    // the final symbol (the real reader keeps capturing past the frame).
+    let n_tail = 3 * fm0.samples_per_bit() + delay_samples;
+    let n_total = n_lead + baseband.len() + n_tail;
+    let w = 2.0 * std::f64::consts::PI * cfg.carrier_hz / cfg.fs_hz;
+
+    let mut y = Vec::with_capacity(n_total);
+    for i in 0..n_total {
+        // Reflection state: map ±1 FM0 level to {residual, 1}.
+        let m = if i < n_lead + delay_samples {
+            cfg.absorptive_residual
+        } else {
+            let k = i - n_lead - delay_samples;
+            if k < baseband.len() {
+                if baseband[k] > 0.0 {
+                    1.0
+                } else {
+                    cfg.absorptive_residual
+                }
+            } else {
+                cfg.absorptive_residual
+            }
+        };
+        let leak = cfg.leak_amplitude * (w * i as f64).sin();
+        let bs = cfg.backscatter_amplitude * m * (w * (i as f64 - delay_samples as f64)).sin();
+        let n = if noise_sigma > 0.0 {
+            crate::noise::gaussian(rng) * noise_sigma
+        } else {
+            0.0
+        };
+        y.push(leak + bs + n);
+    }
+    (y, fm0)
+}
+
+/// The backscatter link frequency implied by an FM0 bitrate: the
+/// fundamental of the densest toggling pattern (a run of zeros toggles
+/// every half-symbol ⇒ BLF = bitrate).
+pub fn blf_hz(bitrate_bps: f64) -> f64 {
+    assert!(bitrate_bps > 0.0, "bitrate must be positive");
+    bitrate_bps
+}
+
+/// Guard band the paper reserves between downlink and uplink spectra
+/// (§3.4: "several kHz").
+pub const GUARD_BAND_HZ: f64 = 3e3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp::fft::{dominant_bin, power_spectrum};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spectrum_shows_carrier_and_blf_sidebands() {
+        // Fig 24: the received spectrum has three peaks — the CBW and the
+        // two AM sidebands of the backscatter signal.
+        let cfg = UplinkConfig::paper_default();
+        let mut rng = StdRng::seed_from_u64(11);
+        // A run of zeros toggles at the BLF: clean sidebands.
+        let bits = vec![false; 200];
+        let bitrate = 4e3;
+        let (y, _) = synthesize_uplink(&cfg, &bits, bitrate, 0.0, 0.0, &mut rng);
+        let (freqs, power) = power_spectrum(&y, cfg.fs_hz).unwrap();
+        let (_, f_pk, p_carrier) = dominant_bin(&freqs, &power).unwrap();
+        assert!((f_pk - 230e3).abs() < 200.0, "carrier at {f_pk}");
+        // Sideband power at f_c ± BLF must stand out over the floor.
+        let bin_hz = freqs[1] - freqs[0];
+        let p_at = |f: f64| {
+            let idx = (f / bin_hz).round() as usize;
+            power[idx - 1..=idx + 1].iter().cloned().fold(0.0, f64::max)
+        };
+        let sb_lo = p_at(230e3 - blf_hz(bitrate));
+        let sb_hi = p_at(230e3 + blf_hz(bitrate));
+        let floor = p_at(180e3);
+        assert!(sb_lo > 30.0 * floor, "lower sideband {sb_lo} vs floor {floor}");
+        assert!(sb_hi > 30.0 * floor, "upper sideband {sb_hi} vs floor {floor}");
+        assert!(p_carrier > sb_lo, "carrier dominates");
+    }
+
+    #[test]
+    fn leak_dominates_backscatter_by_10x() {
+        let cfg = UplinkConfig::paper_default();
+        assert!((cfg.leak_amplitude / cfg.backscatter_amplitude - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lead_interval_has_no_modulation() {
+        // Fig 22: CBW only until the node starts backscattering at 4 ms.
+        let cfg = UplinkConfig::paper_default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (y, _) = synthesize_uplink(&cfg, &[true, false, true], 1e3, 4e-3, 0.0, &mut rng);
+        // During the lead the envelope is constant: peak of first 2 ms
+        // equals peak of second 2 ms.
+        let n = (2e-3 * cfg.fs_hz) as usize;
+        let p1 = y[..n].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let p2 = y[n..2 * n].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!((p1 - p2).abs() < 0.01 * p1);
+    }
+
+    #[test]
+    fn modulated_section_has_amplitude_contrast() {
+        // Zero node delay so leak and backscatter add in phase (at an
+        // arbitrary delay they may be destructive — the superposition the
+        // paper's §5.3 position discussion warns about).
+        let cfg = UplinkConfig {
+            delay_s: 0.0,
+            ..UplinkConfig::paper_default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let bits = vec![false; 50];
+        let (y, fm0) = synthesize_uplink(&cfg, &bits, 2e3, 0.0, 0.0, &mut rng);
+        // Envelope must alternate between leak+bs and leak+residual·bs.
+        let sps = fm0.samples_per_bit();
+        let seg = &y[5 * sps..6 * sps];
+        let hi = seg.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let lo = seg.iter().fold(f64::MAX, |m, &x| m.min(x.abs()));
+        let _ = lo;
+        // hi should approach leak + backscatter.
+        assert!(hi > cfg.leak_amplitude + 0.5 * cfg.backscatter_amplitude, "hi {hi}");
+    }
+
+    #[test]
+    fn blf_is_bitrate() {
+        assert_eq!(blf_hz(2e3), 2e3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Concrete curing: when does a freshly cast self-sensing wall come
+//! alive?
+//!
+//! EcoCapsules are mixed in at casting (§5.1), but fresh concrete is a
+//! slurry: no shear stiffness, no S-waves, no link. Strength and
+//! stiffness develop over weeks following the ACI 209 maturity law
+//! `f(t) = f₂₈ · t / (a + b·t)` (moist-cured OPC: a = 4, b = 0.85), the
+//! elastic modulus tracks `√(f/f₂₈)`, and the wave speeds follow from
+//! the growing modulus — so the earliest day the reader can power and
+//! read the implanted capsules falls out of the model.
+
+use crate::materials::ConcreteMix;
+use elastic::Material;
+
+/// ACI 209 time-ratio coefficients for moist-cured ordinary Portland
+/// cement.
+pub const ACI_A_DAYS: f64 = 4.0;
+/// ACI 209 slope coefficient.
+pub const ACI_B: f64 = 0.85;
+
+/// Setting time (days) before any meaningful shear stiffness exists.
+pub const SETTING_DAYS: f64 = 0.5;
+
+/// A curing mix: the target (28-day) mix plus its age.
+#[derive(Debug, Clone, Copy)]
+pub struct CuringConcrete {
+    /// The mature mix the pour will become.
+    pub mix: ConcreteMix,
+    /// Age since casting (days).
+    pub age_days: f64,
+}
+
+impl CuringConcrete {
+    /// Creates a curing state. Panics on negative age.
+    pub fn at_age(mix: ConcreteMix, age_days: f64) -> Self {
+        assert!(age_days >= 0.0, "age must be non-negative");
+        CuringConcrete { mix, age_days }
+    }
+
+    /// Strength development ratio `f(t)/f₂₈ ∈ [0, ~1.06]` (ACI 209).
+    /// Zero before setting.
+    pub fn strength_ratio(&self) -> f64 {
+        if self.age_days < SETTING_DAYS {
+            return 0.0;
+        }
+        self.age_days / (ACI_A_DAYS + ACI_B * self.age_days)
+    }
+
+    /// Compressive strength at this age (MPa).
+    pub fn fco_mpa(&self) -> f64 {
+        self.mix.fco_mpa * self.strength_ratio()
+    }
+
+    /// Elastic modulus at this age (Pa): `E ∝ √(f/f₂₈)` (ACI 318's
+    /// `E ∝ √f'c` applied through the maturity ratio).
+    pub fn ec_pa(&self) -> f64 {
+        self.mix.ec_gpa * 1e9 * self.strength_ratio().sqrt()
+    }
+
+    /// The elastic medium at this age; `None` before setting (a slurry
+    /// carries no shear).
+    pub fn material(&self) -> Option<Material> {
+        let e = self.ec_pa();
+        if e <= 1e7 {
+            return None;
+        }
+        Some(Material::from_engineering(
+            "curing concrete",
+            e,
+            self.mix.poisson,
+            self.mix.density_kg_m3(),
+        ))
+    }
+
+    /// Fraction of the mature S-wave speed available at this age.
+    pub fn s_speed_ratio(&self) -> f64 {
+        match self.material() {
+            None => 0.0,
+            Some(m) => m.cs_m_s / self.mix.material().cs_m_s,
+        }
+    }
+
+    /// The earliest age (days) at which the link budget's received
+    /// voltage reaches `fraction` of its mature value, assuming the
+    /// channel amplitude scales with the medium's S impedance (stiffer
+    /// matrix → better coupling and less scattering). Scanned at 0.25-day
+    /// resolution out to 90 days.
+    pub fn first_usable_day(mix: ConcreteMix, fraction: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let mature_z = mix.material().impedance_s();
+        let mut day = SETTING_DAYS;
+        while day <= 90.0 {
+            let c = CuringConcrete::at_age(mix, day);
+            if let Some(m) = c.material() {
+                if m.impedance_s() >= fraction * mature_z {
+                    return Some(day);
+                }
+            }
+            day += 0.25;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materials::ConcreteGrade;
+
+    #[test]
+    fn aci_landmarks() {
+        let mix = ConcreteGrade::Nc.mix();
+        // 7-day strength ≈ 70% of 28-day; 28-day ratio ≈ 1.0.
+        let r7 = CuringConcrete::at_age(mix, 7.0).strength_ratio();
+        assert!((0.65..0.75).contains(&r7), "7-day ratio {r7}");
+        let r28 = CuringConcrete::at_age(mix, 28.0).strength_ratio();
+        assert!((0.98..1.03).contains(&r28), "28-day ratio {r28}");
+    }
+
+    #[test]
+    fn fresh_pour_carries_no_shear() {
+        let mix = ConcreteGrade::Nc.mix();
+        let fresh = CuringConcrete::at_age(mix, 0.1);
+        assert_eq!(fresh.material(), None);
+        assert_eq!(fresh.s_speed_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stiffness_grows_monotonically() {
+        let mix = ConcreteGrade::Uhpc.mix();
+        let mut last = -1.0;
+        for d in [1.0, 3.0, 7.0, 14.0, 28.0, 56.0] {
+            let e = CuringConcrete::at_age(mix, d).ec_pa();
+            assert!(e > last, "E shrank at day {d}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn wave_speed_reaches_90_percent_within_two_weeks() {
+        let mix = ConcreteGrade::Nc.mix();
+        let day14 = CuringConcrete::at_age(mix, 14.0).s_speed_ratio();
+        assert!(day14 > 0.9, "day-14 speed ratio {day14}");
+    }
+
+    #[test]
+    fn link_comes_alive_in_the_first_week() {
+        // 70% of the mature S impedance — comfortably decodable — arrives
+        // within the first week of curing.
+        let mix = ConcreteGrade::Nc.mix();
+        let day = CuringConcrete::first_usable_day(mix, 0.7).unwrap();
+        assert!((1.0..8.0).contains(&day), "first usable day {day}");
+    }
+
+    #[test]
+    fn stronger_fraction_takes_longer() {
+        let mix = ConcreteGrade::Nc.mix();
+        let d70 = CuringConcrete::first_usable_day(mix, 0.7).unwrap();
+        let d95 = CuringConcrete::first_usable_day(mix, 0.95).unwrap();
+        assert!(d95 > d70, "d95 {d95} vs d70 {d70}");
+    }
+
+    #[test]
+    fn mature_strength_matches_table1() {
+        let mix = ConcreteGrade::Uhpfrc.mix();
+        let f = CuringConcrete::at_age(mix, 28.0).fco_mpa();
+        assert!((f - 215.0).abs() / 215.0 < 0.03, "28-day f'c {f}");
+    }
+}

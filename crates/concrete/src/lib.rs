@@ -1,0 +1,29 @@
+//! # ecocapsule-concrete
+//!
+//! Concrete substrate: everything the paper knows about its host medium.
+//!
+//! - [`materials`] — the Table 1 registry (NC / UHPC / UHPFRC mix
+//!   proportions and mechanical properties) converted into elastic media
+//!   (wave speeds from `E_c`, ν and mix density) plus per-material
+//!   attenuation laws;
+//! - [`response`] — the measured-style concrete frequency response of
+//!   Fig 5(b): a transducer-pair resonance shaped by thickness-dependent
+//!   attenuation, peaking in the 200–250 kHz carrier band;
+//! - [`structure`] — the four evaluated structures (S1 slab, S2 bearing
+//!   column, S3/S4 walls) and the block geometry, with the narrow-
+//!   structure waveguide classification behind Fig 12's finding (2);
+//! - [`casting`] — mixing EcoCapsules into a mould: placement, cover
+//!   checks, and the CT-scan intactness model of Fig 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod casting;
+pub mod curing;
+pub mod defects;
+pub mod materials;
+pub mod response;
+pub mod structure;
+
+pub use materials::{ConcreteGrade, ConcreteMix};
+pub use structure::Structure;

@@ -1,0 +1,279 @@
+//! The Table 1 concrete registry.
+//!
+//! The paper evaluates three concretes: normal concrete (NC),
+//! ultra-high-performance concrete (UHPC) and ultra-high-performance
+//! fiber-reinforced concrete (UHPFRC — the strongest concrete produced
+//! with standard mixing, 215 MPa compressive). Table 1 gives mix
+//! proportions (kg/m³) and the mechanical properties we need to derive
+//! wave speeds: elastic modulus `E_c`, Poisson's ratio ν and (via the mix
+//! masses) density.
+
+use elastic::attenuation::PowerLawAttenuation;
+use elastic::Material;
+
+/// The three evaluated concrete grades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConcreteGrade {
+    /// Normal concrete (f_co = 54.1 MPa).
+    Nc,
+    /// Ultra-high-performance concrete (f_co = 195.3 MPa).
+    Uhpc,
+    /// Ultra-high-performance fiber-reinforced concrete — the paper's
+    /// UHPSSC column in Table 1 (f_co = 215.0 MPa, 471 kg/m³ steel fiber).
+    Uhpfrc,
+}
+
+impl ConcreteGrade {
+    /// All grades, in Table 1 order.
+    pub const ALL: [ConcreteGrade; 3] = [ConcreteGrade::Nc, ConcreteGrade::Uhpc, ConcreteGrade::Uhpfrc];
+
+    /// The Table 1 mix for this grade.
+    pub fn mix(self) -> ConcreteMix {
+        match self {
+            ConcreteGrade::Nc => ConcreteMix {
+                grade: self,
+                name: "NC",
+                cement_kg_m3: 300.0,
+                silica_fume_kg_m3: 0.0,
+                fly_ash_kg_m3: 200.0,
+                quartz_powder_kg_m3: 0.0,
+                sand_kg_m3: 796.0,
+                granite_kg_m3: 829.0,
+                steel_fiber_kg_m3: 0.0,
+                water_kg_m3: 175.0,
+                hrwr_kg_m3: 9.0,
+                fco_mpa: 54.1,
+                ec_gpa: 27.8,
+                poisson: 0.18,
+                eps_co_percent: 0.263,
+            },
+            ConcreteGrade::Uhpc => ConcreteMix {
+                grade: self,
+                name: "UHPC",
+                cement_kg_m3: 830.0,
+                silica_fume_kg_m3: 207.0,
+                fly_ash_kg_m3: 0.0,
+                quartz_powder_kg_m3: 207.0,
+                sand_kg_m3: 913.0,
+                granite_kg_m3: 0.0,
+                steel_fiber_kg_m3: 0.0,
+                water_kg_m3: 164.0,
+                hrwr_kg_m3: 27.0,
+                fco_mpa: 195.3,
+                ec_gpa: 52.5,
+                poisson: 0.21,
+                eps_co_percent: 0.447,
+            },
+            ConcreteGrade::Uhpfrc => ConcreteMix {
+                grade: self,
+                name: "UHPFRC",
+                cement_kg_m3: 807.0,
+                silica_fume_kg_m3: 202.0,
+                fly_ash_kg_m3: 0.0,
+                quartz_powder_kg_m3: 202.0,
+                sand_kg_m3: 888.0,
+                granite_kg_m3: 0.0,
+                steel_fiber_kg_m3: 471.0,
+                water_kg_m3: 158.0,
+                hrwr_kg_m3: 29.0,
+                fco_mpa: 215.0,
+                ec_gpa: 52.7,
+                poisson: 0.21,
+                eps_co_percent: 0.447,
+            },
+        }
+    }
+
+    /// Shorthand for `self.mix().material()`.
+    pub fn material(self) -> Material {
+        self.mix().material()
+    }
+}
+
+impl std::fmt::Display for ConcreteGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.mix().name)
+    }
+}
+
+/// A Table 1 row: mix proportions (kg per m³ of concrete) and mechanical
+/// properties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcreteMix {
+    /// Which grade this is.
+    pub grade: ConcreteGrade,
+    /// Display name.
+    pub name: &'static str,
+    /// Cement content.
+    pub cement_kg_m3: f64,
+    /// Silica fume content.
+    pub silica_fume_kg_m3: f64,
+    /// Fly ash content.
+    pub fly_ash_kg_m3: f64,
+    /// Quartz powder content.
+    pub quartz_powder_kg_m3: f64,
+    /// Sand content.
+    pub sand_kg_m3: f64,
+    /// Granite (coarse aggregate) content.
+    pub granite_kg_m3: f64,
+    /// Steel fiber content.
+    pub steel_fiber_kg_m3: f64,
+    /// Water content.
+    pub water_kg_m3: f64,
+    /// High-range water reducer content.
+    pub hrwr_kg_m3: f64,
+    /// Compressive strength f_co (MPa).
+    pub fco_mpa: f64,
+    /// Elastic modulus E_c (GPa).
+    pub ec_gpa: f64,
+    /// Poisson's ratio ν.
+    pub poisson: f64,
+    /// Strain at f_co, ε_co (%).
+    pub eps_co_percent: f64,
+}
+
+impl ConcreteMix {
+    /// Fresh density: the sum of the mix masses per m³.
+    pub fn density_kg_m3(&self) -> f64 {
+        self.cement_kg_m3
+            + self.silica_fume_kg_m3
+            + self.fly_ash_kg_m3
+            + self.quartz_powder_kg_m3
+            + self.sand_kg_m3
+            + self.granite_kg_m3
+            + self.steel_fiber_kg_m3
+            + self.water_kg_m3
+            + self.hrwr_kg_m3
+    }
+
+    /// Elastic medium derived from `E_c`, ν and the mix density.
+    pub fn material(&self) -> Material {
+        Material::from_engineering(self.name, self.ec_gpa * 1e9, self.poisson, self.density_kg_m3())
+    }
+
+    /// Frequency-power-law attenuation for this concrete.
+    ///
+    /// Coarse aggregate (granite) scatters ultrasound strongly — NC
+    /// attenuates far more than the fine-grained UHPC family. The
+    /// reference values are calibrated so the Fig 5(b) peak-amplitude
+    /// ordering (UHPFRC ≳ UHPC ≫ NC) and the NC-7cm vs NC-15cm gap are
+    /// reproduced, and so that ranges in Fig 12 land at the right scale.
+    pub fn attenuation(&self) -> PowerLawAttenuation {
+        // Scattering contribution grows with coarse-aggregate fraction;
+        // dense UHPC matrices attenuate less.
+        let coarse_fraction = self.granite_kg_m3 / self.density_kg_m3();
+        let alpha0 = 1.2 + 16.0 * coarse_fraction; // Np/m at 230 kHz
+        PowerLawAttenuation::new(alpha0, 230e3, 1.8)
+    }
+
+    /// S-wave attenuation law.
+    ///
+    /// §3.1: "the attenuation coefficient of S-wave is much smaller than
+    /// that of P-waves [39], which means S-wave can travel further" — the
+    /// whole reason the prism selects the S mode. The S law is what the
+    /// metre-scale range results (Fig 12) ride on; the P law
+    /// ([`Self::attenuation`]) is what the block-scale frequency response
+    /// (Fig 5b) measures.
+    pub fn attenuation_s(&self) -> PowerLawAttenuation {
+        let coarse_fraction = self.granite_kg_m3 / self.density_kg_m3();
+        let alpha0 = 0.10 + 0.14 * coarse_fraction; // Np/m at 230 kHz
+        PowerLawAttenuation::new(alpha0, 230e3, 1.0)
+    }
+
+    /// Resonant carrier frequency of the transducer/concrete system (§3.3:
+    /// "regardless of concrete type, the resonant frequency appears
+    /// between 200 kHz and 250 kHz").
+    pub fn resonant_frequency_hz(&self) -> f64 {
+        // Slightly stiffer matrices resonate marginally higher.
+        225e3 + 10e3 * (self.ec_gpa - 27.8) / 25.0
+    }
+
+    /// The paper's off-resonance FSK frequency (§3.3 uses 180 kHz against
+    /// a 230 kHz carrier).
+    pub fn off_resonant_frequency_hz(&self) -> f64 {
+        self.resonant_frequency_hz() - 50e3
+    }
+
+    /// Relative transmission-amplitude scale of this concrete vs NC.
+    ///
+    /// §5.3: "high density (i.e., high compressive strength) results in a
+    /// high impedance, thereby benefiting the propagation of elastic
+    /// waves" — UHPC/UHPFRC peak responses are far greater than NC's.
+    pub fn strength_gain(&self) -> f64 {
+        let nc = ConcreteGrade::Nc.mix();
+        (self.fco_mpa / nc.fco_mpa).sqrt() * (1.0 + 1e-4 * self.steel_fiber_kg_m3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densities_are_in_the_ordinary_concrete_band() {
+        // §4.1: ordinary concrete densities run 1840–2360 kg/m³ (UHPFRC's
+        // steel fibers push it a bit above).
+        assert!((2250.0..2360.0).contains(&ConcreteGrade::Nc.mix().density_kg_m3()));
+        assert!((2300.0..2400.0).contains(&ConcreteGrade::Uhpc.mix().density_kg_m3()));
+        assert!((2700.0..2800.0).contains(&ConcreteGrade::Uhpfrc.mix().density_kg_m3()));
+    }
+
+    #[test]
+    fn nc_wave_speeds_match_paper_ballpark() {
+        // §3.2 quotes C_con ≈ 3700 m/s for the P-wave.
+        let m = ConcreteGrade::Nc.material();
+        assert!((3300.0..3900.0).contains(&m.cp_m_s), "cp = {}", m.cp_m_s);
+        assert!((1900.0..2400.0).contains(&m.cs_m_s), "cs = {}", m.cs_m_s);
+    }
+
+    #[test]
+    fn uhpc_is_faster_than_nc() {
+        let nc = ConcreteGrade::Nc.material();
+        let uhpc = ConcreteGrade::Uhpc.material();
+        assert!(uhpc.cp_m_s > nc.cp_m_s);
+    }
+
+    #[test]
+    fn attenuation_ordering_nc_worst() {
+        let a_nc = ConcreteGrade::Nc.mix().attenuation().alpha_np_m(230e3);
+        let a_uhpc = ConcreteGrade::Uhpc.mix().attenuation().alpha_np_m(230e3);
+        let a_uhpfrc = ConcreteGrade::Uhpfrc.mix().attenuation().alpha_np_m(230e3);
+        assert!(a_nc > 2.0 * a_uhpc, "NC {a_nc} vs UHPC {a_uhpc}");
+        assert!(a_uhpc < 2.0 && a_uhpfrc < 2.0);
+    }
+
+    #[test]
+    fn resonant_band_is_200_to_250_khz_for_all_grades() {
+        for g in ConcreteGrade::ALL {
+            let f = g.mix().resonant_frequency_hz();
+            assert!((200e3..250e3).contains(&f), "{g}: {f}");
+            let off = g.mix().off_resonant_frequency_hz();
+            assert!(off < f && off > 150e3);
+        }
+    }
+
+    #[test]
+    fn strength_gain_ordering() {
+        let g_nc = ConcreteGrade::Nc.mix().strength_gain();
+        let g_uhpc = ConcreteGrade::Uhpc.mix().strength_gain();
+        let g_uhpfrc = ConcreteGrade::Uhpfrc.mix().strength_gain();
+        assert!((g_nc - 1.0).abs() < 1e-12);
+        assert!(g_uhpc > 1.7, "UHPC gain {g_uhpc}");
+        assert!(g_uhpfrc > g_uhpc, "fibers add gain");
+    }
+
+    #[test]
+    fn table1_strength_values() {
+        assert_eq!(ConcreteGrade::Nc.mix().fco_mpa, 54.1);
+        assert_eq!(ConcreteGrade::Uhpc.mix().fco_mpa, 195.3);
+        assert_eq!(ConcreteGrade::Uhpfrc.mix().fco_mpa, 215.0);
+        // §1/abstract: UHPFRC compressive strength "up to 215 MPa".
+        assert!(ConcreteGrade::Uhpfrc.mix().fco_mpa >= 215.0);
+    }
+
+    #[test]
+    fn grades_display_names() {
+        assert_eq!(ConcreteGrade::Nc.to_string(), "NC");
+        assert_eq!(ConcreteGrade::Uhpfrc.to_string(), "UHPFRC");
+    }
+}

@@ -1,0 +1,179 @@
+//! Concrete frequency response (Fig 5).
+//!
+//! The paper sweeps a 100 V sinusoid from 20 kHz to 400 kHz through four
+//! blocks (NC-7cm, NC-15cm, UHPC-15cm, UHPFRC-15cm) and measures the RX
+//! PZT amplitude. Two findings: (1) every concrete resonates between
+//! 200–250 kHz, beyond which propagation attenuates rapidly; (2) the
+//! UHPC/UHPFRC peaks are far greater than NC's.
+//!
+//! We model the measured chain as
+//! `A(f) = V_tx · k · G_strength · |H_pzt(f)|² · e^{−α(f)·d}`,
+//! where `|H_pzt|²` is the TX/RX transducer-pair resonance (two identical
+//! second-order resonators) and `α(f)` the grade's scattering/absorption
+//! power law. The calibration constant `k` is fixed once so the NC-15cm
+//! peak lands near the figure's ≈1.4 V.
+
+use crate::materials::ConcreteMix;
+
+/// A test block: a concrete mix at a given propagation thickness.
+#[derive(Debug, Clone, Copy)]
+pub struct Block {
+    /// The concrete grade/mix.
+    pub mix: ConcreteMix,
+    /// Propagation path length through the block (m).
+    pub thickness_m: f64,
+}
+
+/// RX amplitude calibration constant (mV of RX amplitude per TX volt at
+/// the resonance peak of an unattenuated path). Fixed so NC-15cm peaks
+/// near 1.4 V at 100 V drive, as in Fig 5(b).
+const K_MV_PER_V: f64 = 38.0;
+
+/// Quality factor of each PZT (TX and RX are identical 230 kHz discs).
+const PZT_Q: f64 = 4.0;
+
+impl Block {
+    /// Creates a block. Panics on non-positive thickness.
+    pub fn new(mix: ConcreteMix, thickness_m: f64) -> Self {
+        assert!(thickness_m > 0.0, "block thickness must be positive");
+        Block { mix, thickness_m }
+    }
+
+    /// Transducer-pair magnitude response at `f_hz` (unitless, ≤ 1,
+    /// peaking at the grade's resonant frequency).
+    pub fn transducer_pair_response(&self, f_hz: f64) -> f64 {
+        let fr = self.mix.resonant_frequency_hz();
+        let r = f_hz / fr;
+        // Second-order band-pass magnitude for one transducer…
+        let single = (r / PZT_Q) / (((1.0 - r * r).powi(2) + (r / PZT_Q).powi(2)).sqrt());
+        // …squared for the TX/RX pair.
+        single * single
+    }
+
+    /// RX amplitude (mV) for a `v_tx` volt sinusoid at `f_hz` — the
+    /// quantity Fig 5(b) plots.
+    pub fn rx_amplitude_mv(&self, f_hz: f64, v_tx: f64) -> f64 {
+        assert!(f_hz > 0.0 && v_tx >= 0.0, "invalid stimulus");
+        let atten = self.mix.attenuation().amplitude_factor(f_hz, self.thickness_m);
+        v_tx * K_MV_PER_V * self.mix.strength_gain() * self.transducer_pair_response(f_hz) * atten
+    }
+
+    /// Sweeps the frequency response like the paper's experiment:
+    /// `f_start..=f_stop` inclusive in `step` increments at `v_tx` volts.
+    /// Returns `(frequencies_hz, amplitudes_mv)`.
+    pub fn sweep(&self, f_start_hz: f64, f_stop_hz: f64, step_hz: f64, v_tx: f64) -> (Vec<f64>, Vec<f64>) {
+        assert!(f_start_hz > 0.0 && f_stop_hz > f_start_hz && step_hz > 0.0, "invalid sweep");
+        let mut freqs = Vec::new();
+        let mut amps = Vec::new();
+        let mut f = f_start_hz;
+        while f <= f_stop_hz + 1e-6 {
+            freqs.push(f);
+            amps.push(self.rx_amplitude_mv(f, v_tx));
+            f += step_hz;
+        }
+        (freqs, amps)
+    }
+
+    /// Frequency (Hz) of the peak response, located by sweeping at 1 kHz
+    /// resolution over the paper's 20–400 kHz measurement span.
+    pub fn peak_frequency_hz(&self) -> f64 {
+        let (freqs, amps) = self.sweep(20e3, 400e3, 1e3, 1.0);
+        let mut best = 0usize;
+        for (i, &a) in amps.iter().enumerate() {
+            if a > amps[best] {
+                best = i;
+            }
+        }
+        freqs[best]
+    }
+
+    /// Response ratio between the carrier (resonant) and the FSK
+    /// off-resonant frequency — the suppression the anti-ring-effect trick
+    /// relies on (§3.3 / Fig 20).
+    pub fn fsk_suppression_ratio(&self) -> f64 {
+        let on = self.rx_amplitude_mv(self.mix.resonant_frequency_hz(), 1.0);
+        let off = self.rx_amplitude_mv(self.mix.off_resonant_frequency_hz(), 1.0);
+        on / off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materials::ConcreteGrade;
+
+    fn paper_blocks() -> [Block; 4] {
+        [
+            Block::new(ConcreteGrade::Nc.mix(), 0.07),
+            Block::new(ConcreteGrade::Nc.mix(), 0.15),
+            Block::new(ConcreteGrade::Uhpc.mix(), 0.15),
+            Block::new(ConcreteGrade::Uhpfrc.mix(), 0.15),
+        ]
+    }
+
+    #[test]
+    fn peaks_fall_in_the_carrier_band() {
+        // Fig 5(b) finding 1: resonance between 200 and 250 kHz for all.
+        for b in paper_blocks() {
+            let f = b.peak_frequency_hz();
+            assert!((200e3..=250e3).contains(&f), "{}-{}cm peak at {f}", b.mix.name, b.thickness_m * 100.0);
+        }
+    }
+
+    #[test]
+    fn uhpc_family_peaks_far_above_nc() {
+        // Fig 5(b) finding 2.
+        let [_, nc15, uhpc, uhpfrc] = paper_blocks();
+        let a_nc = nc15.rx_amplitude_mv(nc15.peak_frequency_hz(), 100.0);
+        let a_uhpc = uhpc.rx_amplitude_mv(uhpc.peak_frequency_hz(), 100.0);
+        let a_uhpfrc = uhpfrc.rx_amplitude_mv(uhpfrc.peak_frequency_hz(), 100.0);
+        assert!(a_uhpc > 2.5 * a_nc, "UHPC {a_uhpc} vs NC {a_nc}");
+        assert!(a_uhpfrc >= a_uhpc, "UHPFRC {a_uhpfrc} vs UHPC {a_uhpc}");
+    }
+
+    #[test]
+    fn peak_amplitudes_match_figure_scale() {
+        // Fig 5(b) y-axis: NC-15cm ≈ 1–2 V, UHPC/UHPFRC ≈ 5–7 V at 100 V.
+        let [nc7, nc15, uhpc, uhpfrc] = paper_blocks();
+        let at_peak = |b: &Block| b.rx_amplitude_mv(b.peak_frequency_hz(), 100.0);
+        assert!((800.0..2500.0).contains(&at_peak(&nc15)), "NC-15: {}", at_peak(&nc15));
+        assert!(at_peak(&nc7) > at_peak(&nc15), "thinner NC responds more");
+        assert!((4000.0..7500.0).contains(&at_peak(&uhpc)), "UHPC: {}", at_peak(&uhpc));
+        assert!((4000.0..7500.0).contains(&at_peak(&uhpfrc)), "UHPFRC: {}", at_peak(&uhpfrc));
+    }
+
+    #[test]
+    fn response_attenuates_rapidly_beyond_250_khz() {
+        let b = Block::new(ConcreteGrade::Nc.mix(), 0.15);
+        let peak = b.rx_amplitude_mv(b.peak_frequency_hz(), 100.0);
+        let high = b.rx_amplitude_mv(380e3, 100.0);
+        assert!(high < 0.35 * peak, "380 kHz response {high} vs peak {peak}");
+    }
+
+    #[test]
+    fn sweep_covers_requested_grid() {
+        let b = Block::new(ConcreteGrade::Nc.mix(), 0.15);
+        let (freqs, amps) = b.sweep(20e3, 400e3, 10e3, 100.0);
+        assert_eq!(freqs.len(), 39);
+        assert_eq!(amps.len(), 39);
+        assert!((freqs[0] - 20e3).abs() < 1.0 && (freqs[38] - 400e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn fsk_suppression_supports_3_to_5x_snr_gain() {
+        // Fig 20: FSK beats OOK by 3–5×; the concrete must suppress the
+        // off-resonant tone by at least that much in amplitude.
+        for b in paper_blocks() {
+            let r = b.fsk_suppression_ratio();
+            assert!(r > 2.5, "{}: suppression {r}", b.mix.name);
+        }
+    }
+
+    #[test]
+    fn amplitude_scales_linearly_with_drive() {
+        let b = Block::new(ConcreteGrade::Uhpc.mix(), 0.15);
+        let a100 = b.rx_amplitude_mv(230e3, 100.0);
+        let a50 = b.rx_amplitude_mv(230e3, 50.0);
+        assert!((a100 / a50 - 2.0).abs() < 1e-9);
+    }
+}

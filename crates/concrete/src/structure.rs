@@ -1,0 +1,203 @@
+//! The evaluated concrete structures (§5.1, Fig 11).
+//!
+//! Four structures host the range/uplink experiments:
+//!
+//! - **S1** — a 150 × 50 × 15 cm slab;
+//! - **S2** — a 250 cm bearing column, 70 cm diameter;
+//! - **S3** — a 2000 × 2000 × 20 cm common wall;
+//! - **S4** — a 2000 × 2000 × 50 cm protective wall.
+//!
+//! Fig 12's finding (2): narrow structures act as waveguides — boundary
+//! reflections confine the energy so it spreads cylindrically (∝1/√r)
+//! instead of spherically (∝1/r), which is why the 20 cm wall S3
+//! outranges both the 50 cm wall S4 and the 70 cm column S2.
+
+use crate::materials::{ConcreteGrade, ConcreteMix};
+use elastic::attenuation::Spreading;
+
+/// Geometry of a concrete member.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Geometry {
+    /// A rectangular slab/wall: length × height × thickness (m). Waves
+    /// travel along the length.
+    Slab {
+        /// Extent along the propagation direction (m).
+        length_m: f64,
+        /// Height (m).
+        height_m: f64,
+        /// Thickness — the waveguide-confining dimension (m).
+        thickness_m: f64,
+    },
+    /// A cylindrical column: height × diameter (m). Waves travel along
+    /// the height.
+    Column {
+        /// Extent along the propagation direction (m).
+        height_m: f64,
+        /// Diameter (m).
+        diameter_m: f64,
+    },
+}
+
+impl Geometry {
+    /// The maximum distance a node can be from the reader along the
+    /// propagation direction.
+    pub fn max_path_m(&self) -> f64 {
+        match *self {
+            Geometry::Slab { length_m, .. } => length_m,
+            Geometry::Column { height_m, .. } => height_m,
+        }
+    }
+
+    /// The smallest transverse dimension — what decides waveguide
+    /// confinement.
+    pub fn confining_dimension_m(&self) -> f64 {
+        match *self {
+            Geometry::Slab { thickness_m, .. } => thickness_m,
+            Geometry::Column { diameter_m, .. } => diameter_m,
+        }
+    }
+}
+
+/// A concrete structure: geometry plus material.
+#[derive(Debug, Clone, Copy)]
+pub struct Structure {
+    /// Display name ("S1".."S4" for the paper's set).
+    pub name: &'static str,
+    /// Member geometry.
+    pub geometry: Geometry,
+    /// Concrete mix the member is cast from.
+    pub mix: ConcreteMix,
+}
+
+/// Transverse dimension (m) below which boundary reflections confine the
+/// wavefield into an effectively 2-D guide at the 230 kHz carrier.
+/// The S-wavelength in concrete is ~1 cm; confinement needs the wall to
+/// hold many overlapping reflections within a symbol, which empirically
+/// (Fig 12) holds for the 15–20 cm members but no longer for 50–70 cm.
+pub const WAVEGUIDE_THRESHOLD_M: f64 = 0.35;
+
+impl Structure {
+    /// S1: the 150 × 50 × 15 cm slab, normal concrete.
+    pub fn s1_slab() -> Self {
+        Structure {
+            name: "S1",
+            geometry: Geometry::Slab {
+                length_m: 1.5,
+                height_m: 0.5,
+                thickness_m: 0.15,
+            },
+            mix: ConcreteGrade::Nc.mix(),
+        }
+    }
+
+    /// S2: the 250 cm bearing column, 70 cm diameter, normal concrete.
+    pub fn s2_column() -> Self {
+        Structure {
+            name: "S2",
+            geometry: Geometry::Column {
+                height_m: 2.5,
+                diameter_m: 0.7,
+            },
+            mix: ConcreteGrade::Nc.mix(),
+        }
+    }
+
+    /// S3: the 2000 × 2000 × 20 cm common wall, normal concrete.
+    pub fn s3_common_wall() -> Self {
+        Structure {
+            name: "S3",
+            geometry: Geometry::Slab {
+                length_m: 20.0,
+                height_m: 20.0,
+                thickness_m: 0.20,
+            },
+            mix: ConcreteGrade::Nc.mix(),
+        }
+    }
+
+    /// S4: the 2000 × 2000 × 50 cm protective wall, normal concrete.
+    pub fn s4_protective_wall() -> Self {
+        Structure {
+            name: "S4",
+            geometry: Geometry::Slab {
+                length_m: 20.0,
+                height_m: 20.0,
+                thickness_m: 0.50,
+            },
+            mix: ConcreteGrade::Nc.mix(),
+        }
+    }
+
+    /// The paper's four structures in order.
+    pub fn paper_set() -> [Structure; 4] {
+        [
+            Structure::s1_slab(),
+            Structure::s2_column(),
+            Structure::s3_common_wall(),
+            Structure::s4_protective_wall(),
+        ]
+    }
+
+    /// Geometric spreading regime for waves travelling along this member.
+    pub fn spreading(&self) -> Spreading {
+        if self.geometry.confining_dimension_m() <= WAVEGUIDE_THRESHOLD_M {
+            Spreading::Cylindrical
+        } else {
+            Spreading::Spherical
+        }
+    }
+
+    /// Waveguide quality in (0, 1]: how strongly boundary reflections
+    /// reinforce the guided field. Thinner members reflect more often per
+    /// metre, concentrating energy (Fig 12 finding 2). Normalized so a
+    /// 15 cm member scores 1.
+    pub fn waveguide_quality(&self) -> f64 {
+        (0.15 / self.geometry.confining_dimension_m()).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let [s1, s2, s3, s4] = Structure::paper_set();
+        assert_eq!(s1.geometry.max_path_m(), 1.5);
+        assert_eq!(s2.geometry.max_path_m(), 2.5);
+        assert_eq!(s3.geometry.max_path_m(), 20.0);
+        assert_eq!(s4.geometry.confining_dimension_m(), 0.50);
+        assert_eq!(s2.geometry.confining_dimension_m(), 0.7);
+    }
+
+    #[test]
+    fn narrow_members_are_waveguides() {
+        assert_eq!(Structure::s1_slab().spreading(), Spreading::Cylindrical);
+        assert_eq!(Structure::s3_common_wall().spreading(), Spreading::Cylindrical);
+        assert_eq!(Structure::s2_column().spreading(), Spreading::Spherical);
+        assert_eq!(Structure::s4_protective_wall().spreading(), Spreading::Spherical);
+    }
+
+    #[test]
+    fn waveguide_quality_ordering_matches_fig12() {
+        // S1 (15 cm) ≈ S3 (20 cm) > S4 (50 cm) > S2 (70 cm).
+        let [s1, s2, s3, s4] = Structure::paper_set();
+        assert!(s1.waveguide_quality() >= s3.waveguide_quality());
+        assert!(s3.waveguide_quality() > s4.waveguide_quality());
+        assert!(s4.waveguide_quality() > s2.waveguide_quality());
+    }
+
+    #[test]
+    fn quality_is_capped_at_one() {
+        let thin = Structure {
+            name: "thin",
+            geometry: Geometry::Slab {
+                length_m: 1.0,
+                height_m: 1.0,
+                thickness_m: 0.05,
+            },
+            mix: ConcreteGrade::Nc.mix(),
+        };
+        assert_eq!(thin.waveguide_quality(), 1.0);
+    }
+}

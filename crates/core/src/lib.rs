@@ -1,0 +1,54 @@
+//! # ecocapsule
+//!
+//! A full-system reproduction of *Empowering Smart Buildings with
+//! Self-Sensing Concrete for Structural Health Monitoring* (SIGCOMM'22):
+//! battery-free piezoelectric backscatter nodes ("EcoCapsules") mixed
+//! into concrete, charged and read through elastic waves.
+//!
+//! This facade crate re-exports every layer and adds end-to-end
+//! [`scenario`] builders:
+//!
+//! ```
+//! use ecocapsule::scenario::SelfSensingWall;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // A 20 cm NC wall with three capsules at 0.5/1.0/1.5 m from the reader.
+//! let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
+//! let report = wall.survey(200.0, &mut rng);
+//! assert_eq!(report.powered_ids.len(), 3);
+//! ```
+//!
+//! Layer map (bottom-up): [`dsp`] → [`elastic`] → [`concrete`], [`phy`]
+//! → [`channel`], [`node`], [`protocol`] → [`reader`], [`baselines`] →
+//! [`shm`] → here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use channel;
+pub use concrete;
+pub use dsp;
+pub use elastic;
+pub use node;
+pub use phy;
+pub use protocol;
+pub use reader;
+pub use shm;
+
+pub mod scenario;
+
+/// Convenience re-exports of the types most applications touch.
+pub mod prelude {
+    pub use crate::scenario::{MonitoringCampaign, SelfSensingWall, SurveyReport};
+    pub use channel::linkbudget::LinkBudget;
+    pub use concrete::{ConcreteGrade, Structure};
+    pub use node::capsule::{EcoCapsule, Environment};
+    pub use protocol::frame::SensorKind;
+    pub use reader::app::ReaderSession;
+    pub use shm::footbridge::Footbridge;
+    pub use shm::health::{HealthLevel, Region};
+    pub use shm::pilot::{Channel, PilotStudy};
+}

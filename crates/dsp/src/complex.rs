@@ -1,0 +1,249 @@
+//! Minimal complex-number type.
+//!
+//! The allowed third-party crates don't include `num-complex`, and the DSP
+//! layer only needs a small, predictable surface: arithmetic, polar
+//! conversion, conjugation and magnitude. Implemented over `f64` only —
+//! the simulator never needs `f32` precision trade-offs.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    pub fn from_polar(mag: f64, phase_rad: f64) -> Self {
+        Complex::new(mag * phase_rad.cos(), mag * phase_rad.sin())
+    }
+
+    /// `e^{iθ}` — a unit phasor at angle `theta_rad`.
+    pub fn cis(theta_rad: f64) -> Self {
+        Complex::from_polar(1.0, theta_rad)
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (avoids the square root).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse. Returns non-finite components if `self` is zero.
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        // Branch cut along the negative real axis (principal branch).
+        let m = self.abs();
+        let re = ((m + self.re) / 2.0).max(0.0).sqrt();
+        let im = ((m - self.re) / 2.0).max(0.0).sqrt();
+        Complex::new(re, if self.im < 0.0 { -im } else { im })
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// True when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_re(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+        assert!(close(z.abs(), 5.0));
+        assert!(close(z.norm_sqr(), 25.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!(close(z.abs(), 2.0));
+        assert!(close(z.arg(), std::f64::consts::FRAC_PI_3));
+    }
+
+    #[test]
+    fn division_inverse() {
+        let z = Complex::new(1.5, -2.5);
+        let q = z / z;
+        assert!(close(q.re, 1.0) && close(q.im, 0.0));
+    }
+
+    #[test]
+    fn sqrt_of_negative_real_is_imaginary() {
+        let z = Complex::from_re(-4.0).sqrt();
+        assert!(close(z.re, 0.0));
+        assert!(close(z.im, 2.0));
+    }
+
+    #[test]
+    fn sqrt_principal_branch_negative_imaginary() {
+        let z = Complex::new(0.0, -2.0).sqrt();
+        // sqrt(-2i) = 1 - i
+        assert!(close(z.re, 1.0));
+        assert!(close(z.im, -1.0));
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_unit_circle() {
+        let z = Complex::new(0.0, std::f64::consts::PI).exp();
+        assert!((z.re + 1.0).abs() < 1e-12);
+        assert!(z.im.abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn sqrt_squares_back(re in -1e3f64..1e3, im in -1e3f64..1e3) {
+            let z = Complex::new(re, im);
+            let s = z.sqrt();
+            let back = s * s;
+            prop_assert!((back.re - z.re).abs() < 1e-6 * (1.0 + z.abs()));
+            prop_assert!((back.im - z.im).abs() < 1e-6 * (1.0 + z.abs()));
+        }
+
+        #[test]
+        fn mul_commutes(a in -1e3f64..1e3, b in -1e3f64..1e3,
+                        c in -1e3f64..1e3, d in -1e3f64..1e3) {
+            let x = Complex::new(a, b);
+            let y = Complex::new(c, d);
+            let p = x * y;
+            let q = y * x;
+            prop_assert!((p.re - q.re).abs() < 1e-9);
+            prop_assert!((p.im - q.im).abs() < 1e-9);
+        }
+
+        #[test]
+        fn conj_preserves_magnitude(a in -1e3f64..1e3, b in -1e3f64..1e3) {
+            let z = Complex::new(a, b);
+            prop_assert!((z.conj().abs() - z.abs()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Correlation and matched filtering.
+//!
+//! The maximum-likelihood FM0 decoder correlates each symbol window with
+//! the candidate FM0 basis waveforms; these helpers implement the inner
+//! products and the preamble search.
+
+/// Inner product of two equal-length slices.
+///
+/// Panics if the lengths differ (caller bug).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Normalized correlation coefficient in [-1, 1]; 0 when either side has
+/// zero energy.
+pub fn normalized_correlation(a: &[f64], b: &[f64]) -> f64 {
+    let ea = dot(a, a);
+    let eb = dot(b, b);
+    if ea <= 0.0 || eb <= 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (ea * eb).sqrt()
+}
+
+/// Full cross-correlation of `signal` against `template` for all lags in
+/// `0..=signal.len()-template.len()`. Returns the raw correlation values.
+pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || template.len() > signal.len() {
+        return Vec::new();
+    }
+    let n = signal.len() - template.len() + 1;
+    (0..n)
+        .map(|lag| dot(&signal[lag..lag + template.len()], template))
+        .collect()
+}
+
+/// Lag of the best normalized match of `template` within `signal`
+/// (largest |score|, so an inverted-polarity match wins too).
+/// Returns `(lag, score)`; `None` when the template doesn't fit.
+///
+/// Window energies come from a prefix-sum, so the scan is O(n·m) for the
+/// dot products but O(n) for the normalization — fast enough for the
+/// receiver's symbol-rate preamble searches.
+pub fn best_match(signal: &[f64], template: &[f64]) -> Option<(usize, f64)> {
+    if template.is_empty() || template.len() > signal.len() {
+        return None;
+    }
+    let m = template.len();
+    let et = dot(template, template);
+    if et <= 0.0 {
+        return Some((0, 0.0));
+    }
+    // Prefix sums of signal energy for O(1) window energy.
+    let mut prefix = Vec::with_capacity(signal.len() + 1);
+    prefix.push(0.0f64);
+    for &x in signal {
+        prefix.push(prefix.last().unwrap() + x * x);
+    }
+    let n = signal.len() - m + 1;
+    let mut best = (0usize, 0.0f64);
+    let mut best_abs = f64::NEG_INFINITY;
+    for lag in 0..n {
+        let es = prefix[lag + m] - prefix[lag];
+        if es <= 0.0 {
+            continue;
+        }
+        let score = dot(&signal[lag..lag + m], template) / (es * et).sqrt();
+        if score.abs() > best_abs {
+            best_abs = score.abs();
+            best = (lag, score);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basics() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn normalized_correlation_bounds() {
+        let a = [1.0, -1.0, 1.0, -1.0];
+        assert!((normalized_correlation(&a, &a) - 1.0).abs() < 1e-12);
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((normalized_correlation(&a, &b) + 1.0).abs() < 1e-12);
+        assert_eq!(normalized_correlation(&a, &[0.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn best_match_finds_embedded_template() {
+        let template = [1.0, 1.0, -1.0, -1.0, 1.0, -1.0];
+        let mut signal = vec![0.01; 100];
+        for (i, &t) in template.iter().enumerate() {
+            signal[42 + i] = t;
+        }
+        let (lag, score) = best_match(&signal, &template).unwrap();
+        assert_eq!(lag, 42);
+        assert!(score > 0.99);
+    }
+
+    #[test]
+    fn best_match_none_when_template_longer() {
+        assert!(best_match(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn cross_correlate_length() {
+        let s = vec![0.0; 10];
+        let t = vec![1.0; 3];
+        assert_eq!(cross_correlate(&s, &t).len(), 8);
+        assert!(cross_correlate(&t, &s).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Digital downconversion (DDC).
+//!
+//! The reader's decoder first estimates the carrier frequency from the
+//! power spectrum, then mixes the real capture with a complex exponential
+//! at that frequency and lowpasses, yielding the complex baseband whose
+//! magnitude carries the backscatter envelope (§5.1).
+
+use crate::complex::Complex;
+use crate::fft;
+use crate::filter::{Fir, OnePole};
+use crate::window::Window;
+
+/// Estimates the dominant carrier frequency of a real capture.
+///
+/// Uses an FFT peak search (excluding DC) refined by parabolic
+/// interpolation on the log-power of the three bins around the peak.
+pub fn estimate_carrier_hz(signal: &[f64], fs_hz: f64) -> Option<f64> {
+    if signal.len() < 8 {
+        return None;
+    }
+    let mut windowed = signal.to_vec();
+    Window::Hann.apply(&mut windowed);
+    let (freqs, power) = fft::power_spectrum(&windowed, fs_hz).ok()?;
+    let (idx, f_peak, _) = fft::dominant_bin(&freqs, &power)?;
+    if idx == 0 || idx + 1 >= power.len() {
+        return Some(f_peak);
+    }
+    // Parabolic interpolation in log power.
+    let eps = 1e-300;
+    let l = (power[idx - 1] + eps).ln();
+    let c = (power[idx] + eps).ln();
+    let r = (power[idx + 1] + eps).ln();
+    let denom = l - 2.0 * c + r;
+    let delta = if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        0.5 * (l - r) / denom
+    };
+    let bin_hz = fs_hz / signal.len() as f64;
+    Some(f_peak + delta.clamp(-0.5, 0.5) * bin_hz)
+}
+
+/// Mixes a real signal to complex baseband at `carrier_hz` and lowpasses
+/// with cutoff `bw_hz` (one-sided). Output sample rate equals the input's.
+pub fn downconvert(signal: &[f64], carrier_hz: f64, bw_hz: f64, fs_hz: f64) -> Vec<Complex> {
+    let f = Fir::lowpass(bw_hz, fs_hz, 129, Window::Hamming);
+    let mut re_path = Vec::with_capacity(signal.len());
+    let mut im_path = Vec::with_capacity(signal.len());
+    let w = 2.0 * std::f64::consts::PI * carrier_hz / fs_hz;
+    for (n, &x) in signal.iter().enumerate() {
+        let ph = w * n as f64;
+        re_path.push(x * ph.cos());
+        im_path.push(-x * ph.sin());
+    }
+    let re_f = f.filter_aligned(&re_path);
+    let im_f = f.filter_aligned(&im_path);
+    re_f
+        .into_iter()
+        .zip(im_f)
+        .map(|(re, im)| Complex::new(2.0 * re, 2.0 * im))
+        .collect()
+}
+
+/// Fast baseband magnitude via mixing + one-pole smoothing — cheaper than
+/// [`downconvert`] when only the envelope is needed (throughput-scale
+/// Monte-Carlo runs).
+pub fn baseband_magnitude(signal: &[f64], carrier_hz: f64, tau_s: f64, fs_hz: f64) -> Vec<f64> {
+    let w = 2.0 * std::f64::consts::PI * carrier_hz / fs_hz;
+    let mut rc_i = OnePole::new(tau_s, fs_hz);
+    let mut rc_q = OnePole::new(tau_s, fs_hz);
+    signal
+        .iter()
+        .enumerate()
+        .map(|(n, &x)| {
+            let ph = w * n as f64;
+            let i = rc_i.step(x * ph.cos());
+            let q = rc_q.step(-x * ph.sin());
+            2.0 * i.hypot(q)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn am_tone(fs: f64, fc: f64, fm: f64, depth: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let env = 1.0 + depth * (2.0 * std::f64::consts::PI * fm * t).sin();
+                env * (2.0 * std::f64::consts::PI * fc * t).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn carrier_estimation_is_sub_bin_accurate() {
+        let fs = 1.0e6;
+        let fc = 231_337.0; // deliberately off-bin
+        let n = 8192;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * fc * i as f64 / fs).sin())
+            .collect();
+        let est = estimate_carrier_hz(&sig, fs).unwrap();
+        assert!((est - fc).abs() < 30.0, "estimated {est}");
+    }
+
+    #[test]
+    fn carrier_estimation_too_short_is_none() {
+        assert!(estimate_carrier_hz(&[1.0; 4], 1.0e6).is_none());
+    }
+
+    #[test]
+    fn downconvert_recovers_am_envelope() {
+        let fs = 1.0e6;
+        let sig = am_tone(fs, 230e3, 2e3, 0.5, 20_000);
+        let bb = downconvert(&sig, 230e3, 20e3, fs);
+        // The baseband magnitude should oscillate at 2 kHz between 0.5 and 1.5.
+        let mags: Vec<f64> = bb.iter().map(|z| z.abs()).collect();
+        let mid = &mags[2000..18_000];
+        let max = mid.iter().cloned().fold(f64::MIN, f64::max);
+        let min = mid.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - 1.5).abs() < 0.1, "max={max}");
+        assert!((min - 0.5).abs() < 0.1, "min={min}");
+    }
+
+    #[test]
+    fn baseband_magnitude_tracks_envelope() {
+        let fs = 1.0e6;
+        let sig = am_tone(fs, 230e3, 1e3, 0.8, 30_000);
+        let mag = baseband_magnitude(&sig, 230e3, 30e-6, fs);
+        let mid = &mag[5000..25_000];
+        let max = mid.iter().cloned().fold(f64::MIN, f64::max);
+        let min = mid.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 1.5 && min < 0.5, "max={max} min={min}");
+    }
+
+    #[test]
+    fn downconvert_rejects_far_interferer() {
+        let fs = 1.0e6;
+        let n = 20_000;
+        // Wanted carrier at 230 kHz amplitude 0.1; interferer at 150 kHz amp 1.0.
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                0.1 * (2.0 * std::f64::consts::PI * 230e3 * t).sin()
+                    + (2.0 * std::f64::consts::PI * 150e3 * t).sin()
+            })
+            .collect();
+        let bb = downconvert(&sig, 230e3, 10e3, fs);
+        let mag: Vec<f64> = bb[5000..15_000].iter().map(|z| z.abs()).collect();
+        let mean = mag.iter().sum::<f64>() / mag.len() as f64;
+        assert!((mean - 0.1).abs() < 0.02, "mean baseband magnitude {mean}");
+    }
+}

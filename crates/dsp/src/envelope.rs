@@ -1,0 +1,133 @@
+//! Envelope detection.
+//!
+//! EcoCapsule's downlink demodulator is a diode envelope detector: the
+//! voltage-multiplier rectifies the carrier and an RC smooths it, then a
+//! level shifter binarizes the result (§4.2). [`diode_envelope`] models
+//! exactly that; [`peak_envelope`] is the ideal block-max envelope used by
+//! analysis code where detector imperfections would only add noise.
+
+use crate::filter::OnePole;
+
+/// Diode-detector envelope: full-wave rectify then RC-smooth with time
+/// constant `tau_s`. Output has the same length as the input.
+pub fn diode_envelope(signal: &[f64], tau_s: f64, fs_hz: f64) -> Vec<f64> {
+    let mut rc = OnePole::new(tau_s, fs_hz);
+    signal.iter().map(|&x| rc.step(x.abs())).collect()
+}
+
+/// Ideal envelope via per-block peak magnitude. `block` samples per output
+/// point; the envelope is then held flat across the block (same length as
+/// input). `block` must be non-zero.
+pub fn peak_envelope(signal: &[f64], block: usize) -> Vec<f64> {
+    assert!(block > 0, "block size must be non-zero");
+    let mut out = Vec::with_capacity(signal.len());
+    for chunk in signal.chunks(block) {
+        let peak = chunk.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        out.extend(std::iter::repeat(peak).take(chunk.len()));
+    }
+    out
+}
+
+/// Binarizes an envelope with hysteresis, modelling the TXB0302 level
+/// shifter: output flips high above `hi`, low below `lo` (`lo < hi`).
+pub fn binarize_hysteresis(envelope: &[f64], lo: f64, hi: f64) -> Vec<bool> {
+    assert!(lo < hi, "hysteresis thresholds must satisfy lo < hi");
+    let mut state = false;
+    envelope
+        .iter()
+        .map(|&e| {
+            if e >= hi {
+                state = true;
+            } else if e <= lo {
+                state = false;
+            }
+            state
+        })
+        .collect()
+}
+
+/// Automatic threshold pair for [`binarize_hysteresis`]: mid ± 25% of the
+/// envelope's dynamic range.
+pub fn auto_thresholds(envelope: &[f64]) -> (f64, f64) {
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &e in envelope {
+        min = min.min(e);
+        max = max.max(e);
+    }
+    if !min.is_finite() || !max.is_finite() || max <= min {
+        return (0.25, 0.75);
+    }
+    let mid = 0.5 * (min + max);
+    let span = max - min;
+    (mid - 0.25 * span / 2.0, mid + 0.25 * span / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ook_burst(fs: f64, f0: f64, pattern: &[(f64, f64)]) -> Vec<f64> {
+        // pattern: (duration_s, amplitude)
+        let mut out = Vec::new();
+        let mut t = 0usize;
+        for &(dur, amp) in pattern {
+            let n = (dur * fs) as usize;
+            for _ in 0..n {
+                out.push(amp * (2.0 * std::f64::consts::PI * f0 * t as f64 / fs).sin());
+                t += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn diode_envelope_tracks_ook() {
+        let fs = 1.0e6;
+        let sig = ook_burst(fs, 230e3, &[(1e-3, 1.0), (1e-3, 0.1), (1e-3, 1.0)]);
+        let env = diode_envelope(&sig, 20e-6, fs);
+        // Sample mid-segment values.
+        let hi1 = env[500];
+        let lo = env[1500];
+        let hi2 = env[2500];
+        assert!(hi1 > 3.0 * lo, "hi1={hi1} lo={lo}");
+        assert!(hi2 > 3.0 * lo);
+    }
+
+    #[test]
+    fn peak_envelope_exact_for_constant_tone() {
+        let fs = 1.0e6;
+        let sig = ook_burst(fs, 230e3, &[(2e-3, 0.8)]);
+        let env = peak_envelope(&sig, 64);
+        assert_eq!(env.len(), sig.len());
+        // Away from the first block the peak should be ~0.8.
+        assert!((env[1000] - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn binarize_recovers_bit_pattern() {
+        let fs = 1.0e6;
+        let sig = ook_burst(fs, 230e3, &[(1e-3, 1.0), (1e-3, 0.05), (1e-3, 1.0)]);
+        let env = diode_envelope(&sig, 15e-6, fs);
+        let (lo, hi) = auto_thresholds(&env);
+        let bits = binarize_hysteresis(&env, lo, hi);
+        assert!(bits[800], "should be high in first segment");
+        assert!(!bits[1800], "should be low in middle segment");
+        assert!(bits[2800], "should be high in last segment");
+    }
+
+    #[test]
+    fn hysteresis_suppresses_chatter() {
+        // Envelope that wiggles around the midpoint should not toggle.
+        let env: Vec<f64> = (0..1000)
+            .map(|i| 0.5 + 0.05 * ((i as f64) * 0.3).sin())
+            .collect();
+        let bits = binarize_hysteresis(&env, 0.3, 0.7);
+        assert!(bits.iter().all(|&b| !b), "never crossed hi, must stay low");
+    }
+
+    #[test]
+    fn auto_thresholds_degenerate_input() {
+        let (lo, hi) = auto_thresholds(&[0.5; 10]);
+        assert!(lo < hi);
+    }
+}

@@ -1,0 +1,293 @@
+//! Fast Fourier transform.
+//!
+//! Iterative radix-2 Cooley–Tukey for power-of-two lengths, with a
+//! Bluestein chirp-z fallback so callers can transform arbitrary lengths
+//! (the reader's capture windows are not always powers of two). Also
+//! provides real-signal helpers used by the spectrum experiments
+//! (Fig 24 self-interference spectrum, Fig 5(b) frequency response).
+
+use crate::complex::Complex;
+
+/// Errors produced by the FFT routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftError {
+    /// The input length was zero.
+    Empty,
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::Empty => write!(f, "FFT input must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// In-place radix-2 FFT on a power-of-two-length buffer.
+///
+/// `inverse` selects the inverse transform (including the `1/N` scale).
+/// Panics if the length is not a power of two — use [`fft`] for general
+/// lengths.
+pub fn fft_pow2_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft_pow2_in_place requires power-of-two length");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let shift = usize::BITS - n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits().wrapping_shr(shift);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+}
+
+/// Forward FFT of arbitrary length (radix-2 when possible, Bluestein
+/// otherwise). Returns the spectrum, same length as the input.
+pub fn fft(input: &[Complex]) -> Result<Vec<Complex>, FftError> {
+    transform(input, false)
+}
+
+/// Inverse FFT of arbitrary length (scaled by `1/N`).
+pub fn ifft(input: &[Complex]) -> Result<Vec<Complex>, FftError> {
+    transform(input, true)
+}
+
+fn transform(input: &[Complex], inverse: bool) -> Result<Vec<Complex>, FftError> {
+    if input.is_empty() {
+        return Err(FftError::Empty);
+    }
+    let n = input.len();
+    let mut buf = input.to_vec();
+    if n.is_power_of_two() {
+        fft_pow2_in_place(&mut buf, inverse);
+        return Ok(buf);
+    }
+    // Bluestein: express the length-n DFT as a convolution, evaluated with
+    // a power-of-two FFT of length >= 2n-1.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = (2 * n - 1).next_power_of_two();
+    // Chirp w[k] = exp(sign * i*pi*k^2/n); reduce k^2 mod 2n to keep the
+    // angle argument small (k*k overflows f64 precision for big n).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = buf[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    fft_pow2_in_place(&mut a, false);
+    fft_pow2_in_place(&mut b, false);
+    for k in 0..m {
+        a[k] = a[k] * b[k];
+    }
+    fft_pow2_in_place(&mut a, true);
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        out.push(a[k] * chirp[k]);
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for z in out.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+    Ok(out)
+}
+
+/// FFT of a real signal; returns the full complex spectrum.
+pub fn fft_real(input: &[f64]) -> Result<Vec<Complex>, FftError> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_re(x)).collect();
+    fft(&buf)
+}
+
+/// One-sided power spectrum of a real signal sampled at `fs_hz`.
+///
+/// Returns `(frequencies_hz, power)` with `N/2 + 1` bins; the power is
+/// `|X[k]|²/N²` with the one-sided doubling applied to interior bins.
+pub fn power_spectrum(input: &[f64], fs_hz: f64) -> Result<(Vec<f64>, Vec<f64>), FftError> {
+    let n = input.len();
+    let spec = fft_real(input)?;
+    let half = n / 2;
+    let norm = 1.0 / (n as f64 * n as f64);
+    let mut freqs = Vec::with_capacity(half + 1);
+    let mut power = Vec::with_capacity(half + 1);
+    for k in 0..=half {
+        freqs.push(k as f64 * fs_hz / n as f64);
+        let mut p = spec[k].norm_sqr() * norm;
+        if k != 0 && !(n % 2 == 0 && k == half) {
+            p *= 2.0;
+        }
+        power.push(p);
+    }
+    Ok((freqs, power))
+}
+
+/// Index and frequency of the strongest bin in a one-sided power spectrum,
+/// excluding the DC bin. Returns `(index, frequency_hz, power)`.
+pub fn dominant_bin(freqs: &[f64], power: &[f64]) -> Option<(usize, f64, f64)> {
+    power
+        .iter()
+        .enumerate()
+        .skip(1)
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, &p)| (i, freqs[i], p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(fft(&[]).unwrap_err(), FftError::Empty);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        let spec = fft(&x).unwrap();
+        for z in spec {
+            assert!(close(z.re, 1.0, 1e-12) && close(z.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_right_bin() {
+        let n = 256;
+        let bin = 19;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64))
+            .collect();
+        let spec = fft(&x).unwrap();
+        for (k, z) in spec.iter().enumerate() {
+            if k == bin {
+                assert!(close(z.abs(), n as f64, 1e-8));
+            } else {
+                assert!(z.abs() < 1e-7, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_pow2() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let back = ifft(&fft(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(back.iter()) {
+            assert!(close(a.re, b.re, 1e-10) && close(a.im, b.im, 1e-10));
+        }
+    }
+
+    #[test]
+    fn roundtrip_non_pow2_bluestein() {
+        let x: Vec<Complex> = (0..100)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let back = ifft(&fft(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(back.iter()) {
+            assert!(close(a.re, b.re, 1e-8) && close(a.im, b.im, 1e-8));
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        let n = 37;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let fast = fft(&x).unwrap();
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (i, xi) in x.iter().enumerate() {
+                acc += *xi
+                    * Complex::cis(-2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64);
+            }
+            assert!(close(fast[k].re, acc.re, 1e-8), "bin {k}");
+            assert!(close(fast[k].im, acc.im, 1e-8), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x: Vec<Complex> = (0..128)
+            .map(|i| Complex::new((i as f64 * 0.21).sin(), 0.0))
+            .collect();
+        let spec = fft(&x).unwrap();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        assert!(close(time_energy, freq_energy, 1e-8));
+    }
+
+    #[test]
+    fn power_spectrum_finds_tone() {
+        let fs = 1.0e6;
+        let f0 = 230.0e3;
+        let n = 4096;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let (freqs, power) = power_spectrum(&x, fs).unwrap();
+        let (_, fpk, _) = dominant_bin(&freqs, &power).unwrap();
+        assert!((fpk - f0).abs() < fs / n as f64 * 1.5, "peak at {fpk}");
+    }
+
+    #[test]
+    fn power_spectrum_amplitude_calibration() {
+        // A unit-amplitude sine has one-sided power 0.5 concentrated in one bin
+        // when the frequency is bin-aligned.
+        let fs = 1024.0;
+        let n = 1024;
+        let f0 = 100.0; // exactly bin 100
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let (_, power) = power_spectrum(&x, fs).unwrap();
+        assert!(close(power[100], 0.5, 1e-9));
+    }
+}

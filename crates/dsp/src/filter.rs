@@ -1,0 +1,370 @@
+//! Digital filters: windowed-sinc FIR design and RBJ biquad IIR sections.
+//!
+//! The reader's receive chain needs a decimating lowpass after
+//! downconversion and a bandpass around the backscatter link frequency;
+//! the node's envelope detector needs a cheap one-pole smoother. All are
+//! built from the primitives here.
+
+use crate::window::Window;
+
+/// A finite-impulse-response filter applied by direct convolution.
+#[derive(Debug, Clone)]
+pub struct Fir {
+    taps: Vec<f64>,
+}
+
+impl Fir {
+    /// Builds a FIR from explicit taps.
+    ///
+    /// Panics if `taps` is empty.
+    pub fn from_taps(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        Fir { taps }
+    }
+
+    /// Windowed-sinc lowpass with cutoff `fc_hz` at sample rate `fs_hz`.
+    ///
+    /// `n_taps` is forced odd so the filter has integer group delay
+    /// `(n_taps-1)/2`. Taps are normalized to unit DC gain.
+    pub fn lowpass(fc_hz: f64, fs_hz: f64, n_taps: usize, window: Window) -> Self {
+        assert!(fs_hz > 0.0 && fc_hz > 0.0 && fc_hz < fs_hz / 2.0, "cutoff must be in (0, fs/2)");
+        let n = if n_taps % 2 == 0 { n_taps + 1 } else { n_taps.max(1) };
+        let fc = fc_hz / fs_hz; // normalized cycles/sample
+        let mid = (n - 1) as f64 / 2.0;
+        let mut taps: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 - mid;
+                let sinc = if t == 0.0 {
+                    2.0 * fc
+                } else {
+                    (2.0 * std::f64::consts::PI * fc * t).sin() / (std::f64::consts::PI * t)
+                };
+                sinc * window.coeff(i, n)
+            })
+            .collect();
+        let sum: f64 = taps.iter().sum();
+        for t in taps.iter_mut() {
+            *t /= sum;
+        }
+        Fir { taps }
+    }
+
+    /// Windowed-sinc bandpass for `[f_lo_hz, f_hi_hz]`, built by spectral
+    /// subtraction of two lowpass prototypes. Normalized to unit gain at
+    /// the band center.
+    pub fn bandpass(f_lo_hz: f64, f_hi_hz: f64, fs_hz: f64, n_taps: usize, window: Window) -> Self {
+        assert!(f_lo_hz > 0.0 && f_hi_hz > f_lo_hz && f_hi_hz < fs_hz / 2.0, "band must satisfy 0 < lo < hi < fs/2");
+        let hi = Fir::lowpass(f_hi_hz, fs_hz, n_taps, window);
+        let lo = Fir::lowpass(f_lo_hz, fs_hz, hi.taps.len(), window);
+        let mut taps: Vec<f64> = hi
+            .taps
+            .iter()
+            .zip(lo.taps.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        // Normalize to unit magnitude at band center.
+        let fc = 0.5 * (f_lo_hz + f_hi_hz);
+        let g = gain_at(&taps, fc, fs_hz);
+        if g > 0.0 {
+            for t in taps.iter_mut() {
+                *t /= g;
+            }
+        }
+        Fir { taps }
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Group delay in samples (linear-phase symmetric design).
+    pub fn group_delay(&self) -> usize {
+        (self.taps.len() - 1) / 2
+    }
+
+    /// Filters `input`, returning a same-length output (zero-padded edges,
+    /// *not* delay-compensated).
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; input.len()];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &t) in self.taps.iter().enumerate() {
+                if let Some(k) = i.checked_sub(j) {
+                    acc += t * input[k];
+                }
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Filters and compensates the group delay, so feature positions in the
+    /// output line up with the input (edge samples are still transient).
+    pub fn filter_aligned(&self, input: &[f64]) -> Vec<f64> {
+        let d = self.group_delay();
+        let mut padded = input.to_vec();
+        padded.extend(std::iter::repeat(*input.last().unwrap_or(&0.0)).take(d));
+        let y = self.filter(&padded);
+        y[d..].to_vec()
+    }
+
+    /// Magnitude response at `f_hz`.
+    pub fn magnitude_at(&self, f_hz: f64, fs_hz: f64) -> f64 {
+        gain_at(&self.taps, f_hz, fs_hz)
+    }
+}
+
+fn gain_at(taps: &[f64], f_hz: f64, fs_hz: f64) -> f64 {
+    let w = 2.0 * std::f64::consts::PI * f_hz / fs_hz;
+    let (mut re, mut im) = (0.0, 0.0);
+    for (n, &t) in taps.iter().enumerate() {
+        re += t * (w * n as f64).cos();
+        im -= t * (w * n as f64).sin();
+    }
+    re.hypot(im)
+}
+
+/// A single second-order IIR section (biquad), direct form I, with
+/// coefficients from the RBJ audio-EQ cookbook.
+#[derive(Debug, Clone)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    x1: f64,
+    x2: f64,
+    y1: f64,
+    y2: f64,
+}
+
+impl Biquad {
+    fn from_normalized(b0: f64, b1: f64, b2: f64, a0: f64, a1: f64, a2: f64) -> Self {
+        Biquad {
+            b0: b0 / a0,
+            b1: b1 / a0,
+            b2: b2 / a0,
+            a1: a1 / a0,
+            a2: a2 / a0,
+            x1: 0.0,
+            x2: 0.0,
+            y1: 0.0,
+            y2: 0.0,
+        }
+    }
+
+    /// RBJ lowpass at `fc_hz` with quality factor `q`.
+    pub fn lowpass(fc_hz: f64, fs_hz: f64, q: f64) -> Self {
+        assert!(fc_hz > 0.0 && fc_hz < fs_hz / 2.0 && q > 0.0, "invalid lowpass parameters");
+        let w0 = 2.0 * std::f64::consts::PI * fc_hz / fs_hz;
+        let alpha = w0.sin() / (2.0 * q);
+        let c = w0.cos();
+        Biquad::from_normalized(
+            (1.0 - c) / 2.0,
+            1.0 - c,
+            (1.0 - c) / 2.0,
+            1.0 + alpha,
+            -2.0 * c,
+            1.0 - alpha,
+        )
+    }
+
+    /// RBJ highpass at `fc_hz` with quality factor `q`.
+    pub fn highpass(fc_hz: f64, fs_hz: f64, q: f64) -> Self {
+        assert!(fc_hz > 0.0 && fc_hz < fs_hz / 2.0 && q > 0.0, "invalid highpass parameters");
+        let w0 = 2.0 * std::f64::consts::PI * fc_hz / fs_hz;
+        let alpha = w0.sin() / (2.0 * q);
+        let c = w0.cos();
+        Biquad::from_normalized(
+            (1.0 + c) / 2.0,
+            -(1.0 + c),
+            (1.0 + c) / 2.0,
+            1.0 + alpha,
+            -2.0 * c,
+            1.0 - alpha,
+        )
+    }
+
+    /// RBJ bandpass (constant 0 dB peak gain) centered at `fc_hz`.
+    pub fn bandpass(fc_hz: f64, fs_hz: f64, q: f64) -> Self {
+        assert!(fc_hz > 0.0 && fc_hz < fs_hz / 2.0 && q > 0.0, "invalid bandpass parameters");
+        let w0 = 2.0 * std::f64::consts::PI * fc_hz / fs_hz;
+        let alpha = w0.sin() / (2.0 * q);
+        let c = w0.cos();
+        Biquad::from_normalized(alpha, 0.0, -alpha, 1.0 + alpha, -2.0 * c, 1.0 - alpha)
+    }
+
+    /// Processes one sample.
+    pub fn step(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.b1 * self.x1 + self.b2 * self.x2
+            - self.a1 * self.y1
+            - self.a2 * self.y2;
+        self.x2 = self.x1;
+        self.x1 = x;
+        self.y2 = self.y1;
+        self.y1 = y;
+        y
+    }
+
+    /// Processes a block, returning the filtered signal.
+    pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&x| self.step(x)).collect()
+    }
+
+    /// Resets the delay-line state.
+    pub fn reset(&mut self) {
+        self.x1 = 0.0;
+        self.x2 = 0.0;
+        self.y1 = 0.0;
+        self.y2 = 0.0;
+    }
+}
+
+/// One-pole exponential smoother `y += k (x - y)` — the discrete model of
+/// the RC lowpass behind the node's diode envelope detector.
+#[derive(Debug, Clone)]
+pub struct OnePole {
+    k: f64,
+    y: f64,
+}
+
+impl OnePole {
+    /// Creates a smoother with time constant `tau_s` at rate `fs_hz`.
+    pub fn new(tau_s: f64, fs_hz: f64) -> Self {
+        assert!(tau_s > 0.0 && fs_hz > 0.0, "invalid one-pole parameters");
+        OnePole {
+            k: 1.0 - (-1.0 / (tau_s * fs_hz)).exp(),
+            y: 0.0,
+        }
+    }
+
+    /// Processes one sample.
+    pub fn step(&mut self, x: f64) -> f64 {
+        self.y += self.k * (x - self.y);
+        self.y
+    }
+
+    /// Current output value.
+    pub fn value(&self) -> f64 {
+        self.y
+    }
+
+    /// Resets the state to zero.
+    pub fn reset(&mut self) {
+        self.y = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(f: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn fir_lowpass_passes_low_blocks_high() {
+        let fs = 1.0e6;
+        let f = Fir::lowpass(50e3, fs, 101, Window::Hamming);
+        let low = f.filter(&tone(10e3, fs, 4000));
+        let high = f.filter(&tone(300e3, fs, 4000));
+        assert!(rms(&low[500..]) > 0.6);
+        assert!(rms(&high[500..]) < 0.01);
+    }
+
+    #[test]
+    fn fir_lowpass_dc_gain_is_unity() {
+        let f = Fir::lowpass(50e3, 1.0e6, 64, Window::Hann);
+        assert!((f.taps().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(f.taps().len() % 2, 1, "taps forced odd");
+    }
+
+    #[test]
+    fn fir_bandpass_selects_band() {
+        let fs = 1.0e6;
+        let f = Fir::bandpass(200e3, 260e3, fs, 151, Window::Hamming);
+        let inband = f.filter(&tone(230e3, fs, 4000));
+        let below = f.filter(&tone(100e3, fs, 4000));
+        let above = f.filter(&tone(400e3, fs, 4000));
+        assert!(rms(&inband[500..]) > 0.5);
+        assert!(rms(&below[500..]) < 0.02);
+        assert!(rms(&above[500..]) < 0.02);
+    }
+
+    #[test]
+    fn fir_aligned_output_preserves_feature_position() {
+        let fs = 1.0e6;
+        // Step at sample 2000.
+        let mut x = vec![0.0; 4000];
+        for v in x.iter_mut().skip(2000) {
+            *v = 1.0;
+        }
+        let f = Fir::lowpass(20e3, fs, 101, Window::Hamming);
+        let y = f.filter_aligned(&x);
+        assert_eq!(y.len(), x.len());
+        // 50% crossing should happen within a few dozen samples of 2000.
+        let cross = y.iter().position(|&v| v > 0.5).unwrap();
+        assert!((cross as i64 - 2000).unsigned_abs() < 40, "crossing at {cross}");
+    }
+
+    #[test]
+    fn biquad_lowpass_attenuates_high_frequency() {
+        let fs = 1.0e6;
+        let mut bq = Biquad::lowpass(30e3, fs, std::f64::consts::FRAC_1_SQRT_2);
+        let low = bq.process(&tone(5e3, fs, 8000));
+        bq.reset();
+        let high = bq.process(&tone(300e3, fs, 8000));
+        assert!(rms(&low[2000..]) > 0.6);
+        assert!(rms(&high[2000..]) < 0.02);
+    }
+
+    #[test]
+    fn biquad_bandpass_peak_gain_is_unity() {
+        let fs = 1.0e6;
+        let mut bq = Biquad::bandpass(230e3, fs, 5.0);
+        let y = bq.process(&tone(230e3, fs, 20000));
+        let g = rms(&y[10000..]) / std::f64::consts::FRAC_1_SQRT_2;
+        assert!((g - 1.0).abs() < 0.05, "peak gain {g}");
+    }
+
+    #[test]
+    fn biquad_highpass_blocks_dc() {
+        let mut bq = Biquad::highpass(10e3, 1.0e6, std::f64::consts::FRAC_1_SQRT_2);
+        let y = bq.process(&vec![1.0; 5000]);
+        assert!(y[4999].abs() < 1e-3);
+    }
+
+    #[test]
+    fn one_pole_settles_to_input() {
+        let fs = 1.0e6;
+        let mut p = OnePole::new(10e-6, fs);
+        let mut last = 0.0;
+        for _ in 0..1000 {
+            last = p.step(1.0);
+        }
+        assert!((last - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_pole_time_constant() {
+        let fs = 1.0e6;
+        let tau = 50e-6;
+        let mut p = OnePole::new(tau, fs);
+        let n_tau = (tau * fs) as usize;
+        let mut y = 0.0;
+        for _ in 0..n_tau {
+            y = p.step(1.0);
+        }
+        // After one time constant a first-order system reaches 1 - 1/e.
+        assert!((y - (1.0 - (-1.0f64).exp())).abs() < 0.01, "y={y}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # ecocapsule-dsp
+//!
+//! Digital-signal-processing substrate used throughout the EcoCapsule
+//! reproduction. The paper's reader digitizes the receiving PZT at 1 MS/s
+//! and post-processes in MATLAB (carrier estimation → digital
+//! downconversion → envelope extraction → maximum-likelihood FM0
+//! decoding); this crate supplies every primitive that pipeline needs,
+//! implemented from scratch so the whole stack stays auditable:
+//!
+//! - [`Complex`] arithmetic and [`fft`] (iterative radix-2, plus a
+//!   Bluestein fallback for non-power-of-two lengths),
+//! - [`goertzel`] single-bin tone detection (used by the node's cheap
+//!   envelope detector and by spectrum probes),
+//! - [`filter`] FIR windowed-sinc design and RBJ biquad IIR sections,
+//! - [`envelope`] diode-detector-style envelope extraction,
+//! - [`ddc`] digital downconversion (complex mix + decimating lowpass),
+//! - [`correlate`] matched filtering and cross-correlation,
+//! - [`spectrogram`] short-time Fourier analysis (FSK diagnostics),
+//! - [`window`] tapers, [`resample`] decimation,
+//! - [`stats`] waveform statistics, SNR and BER estimation.
+//!
+//! Everything is deterministic and allocation-explicit; no global state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod correlate;
+pub mod ddc;
+pub mod envelope;
+pub mod fft;
+pub mod filter;
+pub mod goertzel;
+pub mod resample;
+pub mod spectrogram;
+pub mod stats;
+pub mod window;
+
+pub use complex::Complex;

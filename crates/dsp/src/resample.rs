@@ -1,0 +1,73 @@
+//! Sample-rate reduction.
+//!
+//! The 1 MS/s capture is decimated before symbol-rate processing; the
+//! anti-alias filter keeps the backscatter sidebands intact.
+
+use crate::filter::Fir;
+use crate::window::Window;
+
+/// Decimates by an integer `factor` after an anti-alias lowpass at 80% of
+/// the post-decimation Nyquist. Returns the decimated signal.
+///
+/// Panics when `factor == 0`.
+pub fn decimate(signal: &[f64], factor: usize, fs_hz: f64) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be non-zero");
+    if factor == 1 {
+        return signal.to_vec();
+    }
+    let out_nyquist = fs_hz / (2.0 * factor as f64);
+    let f = Fir::lowpass(0.8 * out_nyquist, fs_hz, 8 * factor + 1, Window::Hamming);
+    let filtered = f.filter_aligned(signal);
+    filtered.into_iter().step_by(factor).collect()
+}
+
+/// Plain sample dropping (no anti-alias) — only safe when the signal is
+/// already band-limited, e.g. an envelope after RC smoothing.
+pub fn downsample(signal: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "downsample factor must be non-zero");
+    signal.iter().copied().step_by(factor).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(f: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn decimate_preserves_in_band_tone() {
+        let fs = 1.0e6;
+        let x = tone(10e3, fs, 40_000);
+        let y = decimate(&x, 10, fs);
+        assert_eq!(y.len(), 4000);
+        assert!((rms(&y[500..]) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+    }
+
+    #[test]
+    fn decimate_suppresses_alias() {
+        let fs = 1.0e6;
+        // 90 kHz would alias to 10 kHz at fs/10 = 100 kHz without filtering.
+        let x = tone(90e3, fs, 40_000);
+        let y = decimate(&x, 10, fs);
+        assert!(rms(&y[500..]) < 0.03, "alias energy {}", rms(&y[500..]));
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let x = tone(10e3, 1.0e6, 100);
+        assert_eq!(decimate(&x, 1, 1.0e6), x);
+    }
+
+    #[test]
+    fn downsample_lengths() {
+        assert_eq!(downsample(&[1.0, 2.0, 3.0, 4.0, 5.0], 2), vec![1.0, 3.0, 5.0]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Short-time Fourier transform (spectrogram).
+//!
+//! Diagnostics substrate: the FSK downlink is a *time–frequency* scheme
+//! (230 kHz high edges, 180 kHz low edges), so verifying a transmitter or
+//! debugging a deteriorated channel wants a spectrogram, not a single
+//! spectrum. Used by the waveform-inspection experiments.
+
+use crate::fft;
+use crate::window::Window;
+
+/// A computed spectrogram.
+#[derive(Debug, Clone)]
+pub struct Spectrogram {
+    /// Frame start times (s).
+    pub times_s: Vec<f64>,
+    /// Frequency bins (Hz), one-sided.
+    pub freqs_hz: Vec<f64>,
+    /// Power per `[frame][bin]`.
+    pub power: Vec<Vec<f64>>,
+}
+
+impl Spectrogram {
+    /// Computes an STFT with `frame_len` samples per frame (forced to
+    /// the next power of two), `hop` samples between frames, and a Hann
+    /// window.
+    ///
+    /// Panics on zero `hop` or `frame_len`, or a non-positive rate.
+    pub fn compute(signal: &[f64], frame_len: usize, hop: usize, fs_hz: f64) -> Self {
+        assert!(frame_len > 0 && hop > 0, "frame and hop must be non-zero");
+        assert!(fs_hz > 0.0, "sample rate must be positive");
+        let n = frame_len.next_power_of_two();
+        let freqs_hz: Vec<f64> = (0..=n / 2).map(|k| k as f64 * fs_hz / n as f64).collect();
+        let mut times_s = Vec::new();
+        let mut power = Vec::new();
+        let mut start = 0usize;
+        while start + frame_len <= signal.len() {
+            let mut frame: Vec<f64> = signal[start..start + frame_len].to_vec();
+            Window::Hann.apply(&mut frame);
+            frame.resize(n, 0.0);
+            let (_, p) = fft::power_spectrum(&frame, fs_hz).expect("non-empty frame");
+            times_s.push(start as f64 / fs_hz);
+            power.push(p);
+            start += hop;
+        }
+        Spectrogram {
+            times_s,
+            freqs_hz,
+            power,
+        }
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        self.power.len()
+    }
+
+    /// The dominant frequency of frame `i`, excluding DC.
+    pub fn dominant_hz(&self, i: usize) -> Option<f64> {
+        let p = self.power.get(i)?;
+        fft::dominant_bin(&self.freqs_hz, p).map(|(_, f, _)| f)
+    }
+
+    /// The dominant-frequency track across all frames.
+    pub fn frequency_track(&self) -> Vec<f64> {
+        (0..self.frames())
+            .filter_map(|i| self.dominant_hz(i))
+            .collect()
+    }
+
+    /// Band power of frame `i` over `[f_lo, f_hi]` Hz.
+    pub fn band_power(&self, i: usize, f_lo_hz: f64, f_hi_hz: f64) -> Option<f64> {
+        assert!(f_lo_hz <= f_hi_hz, "band must be ordered");
+        let p = self.power.get(i)?;
+        Some(
+            self.freqs_hz
+                .iter()
+                .zip(p)
+                .filter(|(f, _)| (f_lo_hz..=f_hi_hz).contains(f))
+                .map(|(_, &v)| v)
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_an_fsk_hop() {
+        // 2 ms of 230 kHz then 2 ms of 180 kHz at 1 MS/s.
+        let fs = 1.0e6;
+        let sig: Vec<f64> = (0..4000)
+            .map(|i| {
+                let f = if i < 2000 { 230e3 } else { 180e3 };
+                (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin()
+            })
+            .collect();
+        let sg = Spectrogram::compute(&sig, 256, 128, fs);
+        let track = sg.frequency_track();
+        assert!(track.len() > 20);
+        // Early frames near 230 kHz, late frames near 180 kHz.
+        assert!((track[2] - 230e3).abs() < 8e3, "early {}", track[2]);
+        let last = track[track.len() - 3];
+        assert!((last - 180e3).abs() < 8e3, "late {last}");
+    }
+
+    #[test]
+    fn frame_count_follows_hop() {
+        let sig = vec![0.0; 1000];
+        let sg = Spectrogram::compute(&sig, 128, 64, 1e6);
+        assert_eq!(sg.frames(), (1000 - 128) / 64 + 1);
+        assert_eq!(sg.times_s.len(), sg.frames());
+    }
+
+    #[test]
+    fn band_power_selects_the_tone() {
+        let fs = 1.0e6;
+        let sig: Vec<f64> = (0..2048)
+            .map(|i| (2.0 * std::f64::consts::PI * 230e3 * i as f64 / fs).sin())
+            .collect();
+        let sg = Spectrogram::compute(&sig, 512, 512, fs);
+        let inband = sg.band_power(0, 220e3, 240e3).unwrap();
+        let outband = sg.band_power(0, 100e3, 150e3).unwrap();
+        assert!(inband > 100.0 * outband, "in {inband} out {outband}");
+    }
+
+    #[test]
+    fn short_signal_has_no_frames() {
+        let sg = Spectrogram::compute(&[0.0; 10], 128, 64, 1e6);
+        assert_eq!(sg.frames(), 0);
+        assert!(sg.frequency_track().is_empty());
+    }
+}

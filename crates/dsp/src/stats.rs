@@ -1,0 +1,230 @@
+//! Waveform statistics, SNR and BER estimation.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance; 0 for empty input.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Root-mean-square value; 0 for empty input.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    (x.iter().map(|&v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// Peak absolute value; 0 for empty input.
+pub fn peak(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// Linear power ratio → decibels. Non-positive ratios map to `-inf` dB.
+pub fn db_from_power_ratio(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    10.0 * ratio.log10()
+}
+
+/// Decibels → linear power ratio.
+pub fn power_ratio_from_db(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// SNR in dB from separate signal and noise records (power ratio of RMS²).
+pub fn snr_db(signal: &[f64], noise: &[f64]) -> f64 {
+    let ps = rms(signal).powi(2);
+    let pn = rms(noise).powi(2);
+    db_from_power_ratio(ps / pn)
+}
+
+/// Empirical CDF of `samples` evaluated at the sorted sample points.
+/// Returns `(sorted_values, cumulative_probability)`.
+pub fn empirical_cdf(samples: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    let probs = (1..=n).map(|i| i as f64 / n as f64).collect();
+    (sorted, probs)
+}
+
+/// Percentile (0..=100) by nearest-rank on a copy of `samples`.
+/// Returns `None` for empty input or out-of-range `p`.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// Bit-error statistics from two bit streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerReport {
+    /// Bits compared (the shorter stream's length).
+    pub compared: usize,
+    /// Bits that differed.
+    pub errors: usize,
+    /// Bits missing from the decoded stream relative to the reference.
+    pub truncated: usize,
+}
+
+impl BerReport {
+    /// Bit error rate over compared + truncated bits, counting truncation
+    /// as errors (a decoder that loses sync has not delivered those bits).
+    pub fn ber(&self) -> f64 {
+        let total = self.compared + self.truncated;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.errors + self.truncated) as f64 / total as f64
+    }
+}
+
+/// Compares a decoded bit stream against a reference.
+pub fn compare_bits(reference: &[bool], decoded: &[bool]) -> BerReport {
+    let compared = reference.len().min(decoded.len());
+    let errors = reference
+        .iter()
+        .zip(decoded.iter())
+        .filter(|(a, b)| a != b)
+        .count();
+    BerReport {
+        compared,
+        errors,
+        truncated: reference.len().saturating_sub(decoded.len()),
+    }
+}
+
+/// Standard-normal tail probability Q(x) via the complementary error
+/// function (Abramowitz–Stegun 7.1.26 rational approximation, |ε| < 1.5e-7).
+///
+/// Used for closed-form BER sanity curves (coherent OOK/FSK references).
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (A&S 7.1.26; accurate to ~1.5e-7).
+pub fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let y = poly * (-x * x).exp();
+    if sign_neg {
+        2.0 - y
+    } else {
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_moments() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&x), 2.5);
+        assert!((variance(&x) - 1.25).abs() < 1e-12);
+        assert!((rms(&x) - (7.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(peak(&[-3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(peak(&[]), 0.0);
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-20.0, 0.0, 3.0, 10.0] {
+            let back = db_from_power_ratio(power_ratio_from_db(db));
+            assert!((back - db).abs() < 1e-9);
+        }
+        assert_eq!(db_from_power_ratio(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn snr_of_equal_power_is_zero_db() {
+        let s = [1.0, -1.0, 1.0, -1.0];
+        assert!(snr_db(&s, &s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let (vals, probs) = empirical_cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+        assert_eq!(probs.last().copied(), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 50.0), Some(20.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&xs, 101.0), None);
+    }
+
+    #[test]
+    fn ber_counts_truncation_as_errors() {
+        let r = compare_bits(&[true, false, true, true], &[true, true]);
+        assert_eq!(r.compared, 2);
+        assert_eq!(r.errors, 1);
+        assert_eq!(r.truncated, 2);
+        assert!((r.ber() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_function_known_values() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+        assert!((q_function(1.0) - 0.158_655).abs() < 1e-4);
+        assert!((q_function(3.0) - 1.349_898e-3).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn variance_is_nonnegative(xs in proptest::collection::vec(-1e3f64..1e3, 0..100)) {
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn cdf_probs_sorted(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let (vals, probs) = empirical_cdf(&xs);
+            prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(probs.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn q_function_is_decreasing(a in -5.0f64..5.0, d in 0.01f64..2.0) {
+            prop_assert!(q_function(a) > q_function(a + d));
+        }
+    }
+}

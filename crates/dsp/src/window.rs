@@ -1,0 +1,95 @@
+//! Window (taper) functions for spectral analysis and FIR design.
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Rectangular (no taper).
+    Rect,
+    /// Hann (raised cosine).
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman (three-term).
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at position `i` of an `n`-point window.
+    pub fn coeff(self, i: usize, n: usize) -> f64 {
+        assert!(n > 0, "window length must be positive");
+        if n == 1 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        let tau = 2.0 * std::f64::consts::PI;
+        match self {
+            Window::Rect => 1.0,
+            Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
+            }
+        }
+    }
+
+    /// Generates the full `n`-point window.
+    pub fn build(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.coeff(i, n)).collect()
+    }
+
+    /// Applies the window to `signal` in place.
+    pub fn apply(self, signal: &mut [f64]) {
+        let n = signal.len();
+        if n == 0 {
+            return;
+        }
+        for (i, x) in signal.iter_mut().enumerate() {
+            *x *= self.coeff(i, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let w = Window::Hann.build(101);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[100].abs() < 1e-12);
+        assert!((w[50] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = win.build(64);
+            for i in 0..32 {
+                assert!((w[i] - w[63 - i]).abs() < 1e-12, "{win:?} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rect_is_all_ones() {
+        assert!(Window::Rect.build(10).iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn length_one_window_is_unity() {
+        for win in [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman] {
+            assert_eq!(win.build(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn apply_matches_build() {
+        let mut sig = vec![2.0; 32];
+        Window::Hamming.apply(&mut sig);
+        let w = Window::Hamming.build(32);
+        for (s, w) in sig.iter().zip(w.iter()) {
+            assert!((s - 2.0 * w).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Amplitude loss along a propagation path.
+//!
+//! Two multiplicative mechanisms (§3.1, §5.2):
+//!
+//! - **Material absorption + scattering**, modelled as a frequency power
+//!   law `α(f) = α₀ · (f/f₀)^n` in Np/m. Concrete attenuates strongly
+//!   above its aggregate-scattering knee — the reason Fig 5(b) collapses
+//!   past ~250 kHz — and S-waves attenuate *less* than P-waves (paper
+//!   reference [39]), which is why the S-wave is the preferred carrier.
+//! - **Geometric spreading**: spherical (1/r) in a bulk solid,
+//!   cylindrical (1/√r) in a plate/wall acting as a waveguide, and none
+//!   for a guided plane wave. The paper's Fig 12 finding (2) — "the range
+//!   is longer in a narrow structure" — is exactly the spherical→
+//!   waveguide transition.
+
+/// Frequency-power-law attenuation `α(f) = α₀·(f/f₀)^n` (Np/m).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawAttenuation {
+    /// Reference attenuation α₀ in nepers/metre at `f0_hz`.
+    pub alpha0_np_m: f64,
+    /// Reference frequency (Hz).
+    pub f0_hz: f64,
+    /// Frequency exponent `n` (≈1–2 for absorption, ≈4 in the Rayleigh
+    /// scattering regime; concrete sits in between).
+    pub exponent: f64,
+}
+
+impl PowerLawAttenuation {
+    /// Creates a power law. Panics on non-positive `alpha0` or `f0`.
+    pub fn new(alpha0_np_m: f64, f0_hz: f64, exponent: f64) -> Self {
+        assert!(alpha0_np_m >= 0.0, "attenuation must be non-negative");
+        assert!(f0_hz > 0.0, "reference frequency must be positive");
+        PowerLawAttenuation {
+            alpha0_np_m,
+            f0_hz,
+            exponent,
+        }
+    }
+
+    /// Attenuation coefficient at `f_hz` in Np/m.
+    pub fn alpha_np_m(&self, f_hz: f64) -> f64 {
+        assert!(f_hz >= 0.0, "frequency must be non-negative");
+        if f_hz == 0.0 {
+            return 0.0;
+        }
+        self.alpha0_np_m * (f_hz / self.f0_hz).powf(self.exponent)
+    }
+
+    /// Attenuation coefficient at `f_hz` in dB/m.
+    pub fn alpha_db_m(&self, f_hz: f64) -> f64 {
+        self.alpha_np_m(f_hz) * NP_TO_DB
+    }
+
+    /// Amplitude factor after travelling `distance_m` at `f_hz`:
+    /// `exp(−α·d)` ∈ (0, 1].
+    pub fn amplitude_factor(&self, f_hz: f64, distance_m: f64) -> f64 {
+        assert!(distance_m >= 0.0, "distance must be non-negative");
+        (-self.alpha_np_m(f_hz) * distance_m).exp()
+    }
+}
+
+/// Nepers → decibels conversion factor (20·log₁₀(e)).
+pub const NP_TO_DB: f64 = 8.685_889_638_065_035;
+
+/// Geometric spreading law for the wavefront.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spreading {
+    /// Spherical spreading: amplitude ∝ 1/r (bulk 3-D medium, e.g. the
+    /// thick column S2 or a pool).
+    Spherical,
+    /// Cylindrical spreading: amplitude ∝ 1/√r (a wall thin enough that
+    /// top/bottom reflections confine the wave to 2-D, e.g. S3/S4).
+    Cylindrical,
+    /// Guided plane wave: no geometric loss (an idealized narrow bar).
+    Plane,
+}
+
+impl Spreading {
+    /// Amplitude factor at `distance_m` relative to the amplitude at
+    /// `ref_m` (both must be positive; distances below `ref_m` clamp to 1).
+    pub fn amplitude_factor(&self, distance_m: f64, ref_m: f64) -> f64 {
+        assert!(distance_m >= 0.0 && ref_m > 0.0, "invalid spreading distances");
+        if distance_m <= ref_m {
+            return 1.0;
+        }
+        match self {
+            Spreading::Spherical => ref_m / distance_m,
+            Spreading::Cylindrical => (ref_m / distance_m).sqrt(),
+            Spreading::Plane => 1.0,
+        }
+    }
+}
+
+/// Combined path loss: spreading × absorption, as an amplitude factor.
+pub fn path_amplitude_factor(
+    law: &PowerLawAttenuation,
+    spreading: Spreading,
+    f_hz: f64,
+    distance_m: f64,
+    ref_m: f64,
+) -> f64 {
+    law.amplitude_factor(f_hz, distance_m) * spreading.amplitude_factor(distance_m, ref_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alpha_grows_with_frequency() {
+        let law = PowerLawAttenuation::new(1.0, 100e3, 2.0);
+        assert!(law.alpha_np_m(200e3) > law.alpha_np_m(100e3));
+        assert!((law.alpha_np_m(200e3) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn np_db_conversion() {
+        let law = PowerLawAttenuation::new(1.0, 100e3, 1.0);
+        assert!((law.alpha_db_m(100e3) - 8.685889638).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_frequency_zero_alpha() {
+        let law = PowerLawAttenuation::new(1.0, 100e3, 1.5);
+        assert_eq!(law.alpha_np_m(0.0), 0.0);
+        assert_eq!(law.amplitude_factor(0.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn spreading_ordering_matches_paper_finding() {
+        // Fig 12 finding (2): narrow structures (waveguide) carry energy
+        // further than bulk ones at the same distance.
+        let d = 5.0;
+        let r0 = 0.1;
+        let sph = Spreading::Spherical.amplitude_factor(d, r0);
+        let cyl = Spreading::Cylindrical.amplitude_factor(d, r0);
+        let pl = Spreading::Plane.amplitude_factor(d, r0);
+        assert!(sph < cyl && cyl < pl, "{sph} < {cyl} < {pl}");
+    }
+
+    #[test]
+    fn near_field_clamps_to_unity() {
+        assert_eq!(Spreading::Spherical.amplitude_factor(0.05, 0.1), 1.0);
+    }
+
+    #[test]
+    fn combined_path_loss_composes() {
+        let law = PowerLawAttenuation::new(0.5, 230e3, 1.5);
+        let f = path_amplitude_factor(&law, Spreading::Cylindrical, 230e3, 2.0, 0.1);
+        let expected = (-0.5f64 * 2.0).exp() * (0.1f64 / 2.0).sqrt();
+        assert!((f - expected).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn amplitude_factor_in_unit_interval(
+            f in 1e3f64..1e6, d in 0.0f64..20.0, a0 in 0.0f64..5.0, n in 0.5f64..4.0
+        ) {
+            let law = PowerLawAttenuation::new(a0, 230e3, n);
+            let amp = law.amplitude_factor(f, d);
+            prop_assert!((0.0..=1.0).contains(&amp));
+        }
+
+        #[test]
+        fn farther_is_weaker(
+            d1 in 0.2f64..10.0, extra in 0.1f64..10.0
+        ) {
+            let law = PowerLawAttenuation::new(0.3, 230e3, 1.5);
+            let a1 = path_amplitude_factor(&law, Spreading::Spherical, 230e3, d1, 0.1);
+            let a2 = path_amplitude_factor(&law, Spreading::Spherical, 230e3, d1 + extra, 0.1);
+            prop_assert!(a2 < a1);
+        }
+    }
+}

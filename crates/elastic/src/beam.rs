@@ -1,0 +1,138 @@
+//! Circular-piston radiation: half-beam angle and directivity.
+//!
+//! The reader's transmitting PZT is a round disc vibrating in a push–pull
+//! pattern (§3.2). Attached flat to a wall it radiates a narrow P-wave
+//! cone with half-beam angle `α = arcsin(0.514·C_p/(f·D))` — ≈11° for a
+//! 40 mm disc at 230 kHz in concrete, covering only a ~132 cm³ cone in a
+//! 15 cm wall. That tiny coverage is the paper's motivation for the prism.
+
+/// Half-beam angle (radians) of a circular piston of diameter `d_m`
+/// radiating at `f_hz` into a medium with sound speed `c_m_s` (paper
+/// §3.2). Returns `None` when the argument of `arcsin` exceeds 1 (the
+/// source is smaller than ~half a wavelength: no collimated beam forms).
+///
+/// Panics on non-positive inputs.
+pub fn half_beam_angle(c_m_s: f64, f_hz: f64, d_m: f64) -> Option<f64> {
+    assert!(c_m_s > 0.0 && f_hz > 0.0 && d_m > 0.0, "piston parameters must be positive");
+    let x = 0.514 * c_m_s / (f_hz * d_m);
+    if x > 1.0 {
+        None
+    } else {
+        Some(x.asin())
+    }
+}
+
+/// Volume of the insonified cone (m³) for a beam with half-angle
+/// `alpha` (radians) crossing a wall `thickness_m` deep, with the cone
+/// apex at the surface (the paper's idealization — it quotes ≈132 cm³ for
+/// α ≈ 11° through a 15 cm wall): `V = (π/3)·h³·tan²α`.
+pub fn cone_volume_m3(alpha: f64, thickness_m: f64) -> f64 {
+    assert!(thickness_m > 0.0, "invalid cone geometry");
+    assert!((0.0..std::f64::consts::FRAC_PI_2).contains(&alpha), "half angle must be in [0, 90°)");
+    let t = alpha.tan();
+    std::f64::consts::PI / 3.0 * thickness_m.powi(3) * t * t
+}
+
+/// Far-field directivity of a baffled circular piston:
+/// `D(θ) = |2·J₁(k·a·sinθ) / (k·a·sinθ)|`, 1 on axis.
+pub fn piston_directivity(theta: f64, f_hz: f64, c_m_s: f64, d_m: f64) -> f64 {
+    assert!(c_m_s > 0.0 && f_hz > 0.0 && d_m > 0.0, "piston parameters must be positive");
+    let k = 2.0 * std::f64::consts::PI * f_hz / c_m_s;
+    let x = k * (d_m / 2.0) * theta.sin().abs();
+    if x < 1e-9 {
+        return 1.0;
+    }
+    (2.0 * bessel_j1(x) / x).abs()
+}
+
+/// Bessel function of the first kind, order one (Abramowitz & Stegun
+/// 9.4.4/9.4.6 rational approximations; |ε| < 4e-8 over all x).
+pub fn bessel_j1(x: f64) -> f64 {
+    let ax = x.abs();
+    let result = if ax < 8.0 {
+        let y = x * x;
+        let p1 = x
+            * (72362614232.0
+                + y * (-7895059235.0
+                    + y * (242396853.1 + y * (-2972611.439 + y * (15704.48260 + y * -30.16036606)))));
+        let p2 = 144725228442.0
+            + y * (2300535178.0
+                + y * (18583304.74 + y * (99447.43394 + y * (376.9991397 + y))));
+        p1 / p2
+    } else {
+        let z = 8.0 / ax;
+        let y = z * z;
+        let xx = ax - 2.356194491;
+        let p1 = 1.0
+            + y * (0.183105e-2
+                + y * (-0.3516396496e-4 + y * (0.2457520174e-5 + y * -0.240337019e-6)));
+        let p2 = 0.04687499995
+            + y * (-0.2002690873e-3
+                + y * (0.8449199096e-5 + y * (-0.88228987e-6 + y * 0.105787412e-6)));
+        let ans = (0.636619772 / ax).sqrt() * (xx.cos() * p1 - z * xx.sin() * p2);
+        if x < 0.0 {
+            -ans
+        } else {
+            ans
+        }
+    };
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_half_beam_angle_is_11_degrees() {
+        // §3.2: D = 40 mm, f = 230 kHz, C_p = 3338 m/s → α ≈ 11°.
+        let a = half_beam_angle(3338.0, 230e3, 0.040).unwrap().to_degrees();
+        assert!((a - 11.0).abs() < 0.5, "α = {a}°");
+    }
+
+    #[test]
+    fn paper_cone_volume_is_about_132_cm3() {
+        // §3.2: the CBW covers only a ≈132 cm³ cone in a 15 cm wall.
+        let a = half_beam_angle(3338.0, 230e3, 0.040).unwrap();
+        let v = cone_volume_m3(a, 0.15) * 1e6; // cm³
+        assert!((110.0..160.0).contains(&v), "V = {v} cm³");
+    }
+
+    #[test]
+    fn tiny_piston_has_no_beam() {
+        assert!(half_beam_angle(3338.0, 230e3, 0.002).is_none());
+    }
+
+    #[test]
+    fn directivity_is_one_on_axis_and_falls_off() {
+        let d0 = piston_directivity(0.0, 230e3, 3338.0, 0.040);
+        let d10 = piston_directivity(10f64.to_radians(), 230e3, 3338.0, 0.040);
+        let d30 = piston_directivity(30f64.to_radians(), 230e3, 3338.0, 0.040);
+        assert!((d0 - 1.0).abs() < 1e-9);
+        assert!(d10 < d0);
+        assert!(d30 < 0.2, "sidelobe level {d30}");
+    }
+
+    #[test]
+    fn bessel_j1_known_values() {
+        // Reference values from A&S tables.
+        assert!((bessel_j1(0.0)).abs() < 1e-10);
+        assert!((bessel_j1(1.0) - 0.4400505857).abs() < 1e-7);
+        assert!((bessel_j1(2.0) - 0.5767248078).abs() < 1e-7);
+        assert!((bessel_j1(5.0) - (-0.3275791376)).abs() < 1e-7);
+        assert!((bessel_j1(10.0) - 0.0434727462).abs() < 1e-7);
+        assert!((bessel_j1(-1.0) + 0.4400505857).abs() < 1e-7, "odd function");
+    }
+
+    #[test]
+    fn first_null_of_directivity_near_3_83() {
+        // 2J1(x)/x first null at x = 3.8317.
+        let f = 230e3;
+        let c = 3338.0;
+        let d = 0.040;
+        let k = 2.0 * std::f64::consts::PI * f / c;
+        let theta_null = (3.8317 / (k * d / 2.0)).asin();
+        let v = piston_directivity(theta_null, f, c, d);
+        assert!(v < 1e-3, "null value {v}");
+    }
+}

@@ -1,0 +1,444 @@
+//! Plane-wave scattering at a boundary between two media.
+//!
+//! Two levels of fidelity:
+//!
+//! 1. [`normal_incidence_reflection`] — the paper's Eqn 1,
+//!    `R = (Z₂−Z₁)/(Z₂+Z₁)`, used for the concrete/air boundary
+//!    (R = 99.98%, the basis of "S-reflections" coverage) and for the
+//!    prism/concrete energy budget (~67% conducted).
+//!
+//! 2. [`SolidInterface::incident_p`] — the full welded solid–solid
+//!    P-SV scattering matrix in the Aki & Richards form of the Zoeppritz
+//!    equations, with complex vertical slownesses so post-critical
+//!    (evanescent) branches are handled correctly. This produces Fig 4's
+//!    "relative amplitude of P and S waves vs incident angle".
+//!
+//! Sign/geometry conventions follow Aki & Richards, *Quantitative
+//! Seismology* (2nd ed., §5.2.4): incident P travels downward from
+//! medium 1 into medium 2; the ray parameter is `p = sin θ₁ / α₁`.
+
+use crate::material::{Material, WaveMode};
+use dsp::Complex;
+
+/// Amplitude reflection coefficient at normal incidence between impedances
+/// `z1` (incident side) and `z2`: `R = (z2 − z1)/(z2 + z1)` (paper Eqn 1,
+/// written there with the wave inside the concrete looking out at air).
+///
+/// Panics when both impedances are zero.
+pub fn normal_incidence_reflection(z1: f64, z2: f64) -> f64 {
+    assert!(z1 >= 0.0 && z2 >= 0.0 && z1 + z2 > 0.0, "impedances must be non-negative, not both zero");
+    (z2 - z1) / (z2 + z1)
+}
+
+/// Energy (intensity) transmission coefficient at normal incidence:
+/// `T = 1 − R²`.
+pub fn normal_incidence_transmission(z1: f64, z2: f64) -> f64 {
+    let r = normal_incidence_reflection(z1, z2);
+    1.0 - r * r
+}
+
+/// Displacement-amplitude scattering coefficients for an incident P wave
+/// on a welded solid–solid interface.
+#[derive(Debug, Clone, Copy)]
+pub struct PScattering {
+    /// Incident angle (radians).
+    pub theta_i: f64,
+    /// Reflected P displacement amplitude (complex: post-critical phases).
+    pub refl_p: Complex,
+    /// Reflected SV displacement amplitude.
+    pub refl_s: Complex,
+    /// Transmitted P displacement amplitude.
+    pub trans_p: Complex,
+    /// Transmitted SV displacement amplitude.
+    pub trans_s: Complex,
+    /// Energy fraction carried away by the transmitted P wave
+    /// (0 when evanescent).
+    pub energy_trans_p: f64,
+    /// Energy fraction carried away by the transmitted SV wave.
+    pub energy_trans_s: f64,
+    /// Energy fraction in the reflected P wave.
+    pub energy_refl_p: f64,
+    /// Energy fraction in the reflected SV wave.
+    pub energy_refl_s: f64,
+}
+
+impl PScattering {
+    /// Total scattered energy (should be ≈1 for propagating regimes —
+    /// checked by tests as an energy-conservation invariant).
+    pub fn energy_total(&self) -> f64 {
+        self.energy_trans_p + self.energy_trans_s + self.energy_refl_p + self.energy_refl_s
+    }
+}
+
+/// Displacement-amplitude scattering coefficients for an incident SV
+/// wave on a welded solid–solid interface.
+#[derive(Debug, Clone, Copy)]
+pub struct SvScattering {
+    /// Incident angle (radians).
+    pub theta_j: f64,
+    /// Reflected P displacement amplitude.
+    pub refl_p: Complex,
+    /// Reflected SV displacement amplitude.
+    pub refl_s: Complex,
+    /// Transmitted P displacement amplitude.
+    pub trans_p: Complex,
+    /// Transmitted SV displacement amplitude.
+    pub trans_s: Complex,
+    /// Energy fraction in the transmitted P wave.
+    pub energy_trans_p: f64,
+    /// Energy fraction in the transmitted SV wave.
+    pub energy_trans_s: f64,
+    /// Energy fraction in the reflected P wave.
+    pub energy_refl_p: f64,
+    /// Energy fraction in the reflected SV wave.
+    pub energy_refl_s: f64,
+}
+
+impl SvScattering {
+    /// Total scattered energy (≈1 when all branches propagate).
+    pub fn energy_total(&self) -> f64 {
+        self.energy_trans_p + self.energy_trans_s + self.energy_refl_p + self.energy_refl_s
+    }
+}
+
+/// A welded interface between two isotropic solids.
+#[derive(Debug, Clone, Copy)]
+pub struct SolidInterface {
+    /// Incident-side medium.
+    pub upper: Material,
+    /// Transmission-side medium.
+    pub lower: Material,
+}
+
+impl SolidInterface {
+    /// Creates an interface. Both media must be solids (use
+    /// [`normal_incidence_reflection`] for fluid boundaries).
+    ///
+    /// Panics if either medium is a fluid.
+    pub fn new(upper: Material, lower: Material) -> Self {
+        assert!(upper.is_solid() && lower.is_solid(), "SolidInterface requires two solids");
+        SolidInterface { upper, lower }
+    }
+
+    /// Solves the P-SV Zoeppritz system for an incident P wave at
+    /// `theta_i` radians (0 = normal incidence).
+    ///
+    /// Panics if `theta_i ∉ [0, π/2)`.
+    pub fn incident_p(&self, theta_i: f64) -> PScattering {
+        assert!(
+            (0.0..std::f64::consts::FRAC_PI_2).contains(&theta_i),
+            "incident angle must be in [0, 90°)"
+        );
+        let (a1, b1, r1) = (self.upper.cp_m_s, self.upper.cs_m_s, self.upper.density_kg_m3);
+        let (a2, b2, r2) = (self.lower.cp_m_s, self.lower.cs_m_s, self.lower.density_kg_m3);
+        let p = theta_i.sin() / a1; // ray parameter, s/m
+
+        // Vertical slowness cos θ / c for each mode, complex past critical.
+        // For evanescent branches cos θ = sqrt(1 - (cp)²) with (cp) > 1
+        // gives a positive-imaginary root (decaying downward).
+        let vs = |c: f64| -> Complex {
+            let s = c * p;
+            let c2 = Complex::from_re(1.0 - s * s).sqrt();
+            // principal sqrt of a negative real is +i·|..|: decaying branch.
+            Complex::new(c2.re / c, c2.im / c)
+        };
+        let ci1 = vs(a1); // cos i1 / a1
+        let cj1 = vs(b1); // cos j1 / b1
+        let ci2 = vs(a2); // cos i2 / a2
+        let cj2 = vs(b2); // cos j2 / b2
+
+        // Aki & Richards (5.32)-(5.39).
+        let p2 = p * p;
+        let a = Complex::from_re(r2 * (1.0 - 2.0 * b2 * b2 * p2) - r1 * (1.0 - 2.0 * b1 * b1 * p2));
+        let b = Complex::from_re(r2 * (1.0 - 2.0 * b2 * b2 * p2) + 2.0 * r1 * b1 * b1 * p2);
+        let c = Complex::from_re(r1 * (1.0 - 2.0 * b1 * b1 * p2) + 2.0 * r2 * b2 * b2 * p2);
+        let d = Complex::from_re(2.0 * (r2 * b2 * b2 - r1 * b1 * b1));
+
+        let e = b * ci1 + c * ci2;
+        let f = b * cj1 + c * cj2;
+        let g = a - d * ci1 * cj2;
+        let h = a - d * ci2 * cj1;
+        let det = e * f + g * h * p2;
+
+        let refl_p = ((b * ci1 - c * ci2) * f - (a + d * ci1 * cj2) * h * Complex::from_re(p2)) / det;
+        let refl_s = -(ci1 * (a * b + c * d * ci2 * cj2)).scale(2.0 * p * a1 / b1) / det;
+        let trans_p = (ci1 * f).scale(2.0 * r1 * a1 / a2) / det;
+        let trans_s = (ci1 * h).scale(2.0 * r1 * p * a1 / b2) / det;
+
+        // Energy flux normal to the interface for displacement amplitude A
+        // in mode with density ρ, velocity c, vertical angle cosine cosθ:
+        //   F ∝ ρ c |A|² cosθ.  Normalize by the incident flux.
+        let inc_flux = r1 * a1 * theta_i.cos();
+        let flux = |amp: Complex, rho: f64, c: f64, vslow: Complex| -> f64 {
+            if vslow.im.abs() > 1e-12 {
+                return 0.0; // evanescent: no average energy flux
+            }
+            let cos_t = vslow.re * c;
+            rho * c * amp.norm_sqr() * cos_t / inc_flux
+        };
+        PScattering {
+            theta_i,
+            refl_p,
+            refl_s,
+            trans_p,
+            trans_s,
+            energy_refl_p: flux(refl_p, r1, a1, ci1),
+            energy_refl_s: flux(refl_s, r1, b1, cj1),
+            energy_trans_p: flux(trans_p, r2, a2, ci2),
+            energy_trans_s: flux(trans_s, r2, b2, cj2),
+        }
+    }
+
+    /// Solves the P-SV Zoeppritz system for an incident SV wave at
+    /// `theta_j` radians. The S-reflections filling the wall (§3.2) hit
+    /// every boundary as SV; this gives their mode bookkeeping.
+    ///
+    /// Panics if `theta_j ∉ [0, π/2)`.
+    pub fn incident_sv(&self, theta_j: f64) -> SvScattering {
+        assert!(
+            (0.0..std::f64::consts::FRAC_PI_2).contains(&theta_j),
+            "incident angle must be in [0, 90°)"
+        );
+        let (a1, b1, r1) = (self.upper.cp_m_s, self.upper.cs_m_s, self.upper.density_kg_m3);
+        let (a2, b2, r2) = (self.lower.cp_m_s, self.lower.cs_m_s, self.lower.density_kg_m3);
+        let p = theta_j.sin() / b1; // ray parameter from the SV leg
+
+        let vs = |c: f64| -> Complex {
+            let s = c * p;
+            let c2 = Complex::from_re(1.0 - s * s).sqrt();
+            Complex::new(c2.re / c, c2.im / c)
+        };
+        let ci1 = vs(a1);
+        let cj1 = vs(b1);
+        let ci2 = vs(a2);
+        let cj2 = vs(b2);
+
+        let p2 = p * p;
+        let a = Complex::from_re(r2 * (1.0 - 2.0 * b2 * b2 * p2) - r1 * (1.0 - 2.0 * b1 * b1 * p2));
+        let b = Complex::from_re(r2 * (1.0 - 2.0 * b2 * b2 * p2) + 2.0 * r1 * b1 * b1 * p2);
+        let c = Complex::from_re(r1 * (1.0 - 2.0 * b1 * b1 * p2) + 2.0 * r2 * b2 * b2 * p2);
+        let d = Complex::from_re(2.0 * (r2 * b2 * b2 - r1 * b1 * b1));
+
+        let e = b * ci1 + c * ci2;
+        let f = b * cj1 + c * cj2;
+        let g = a - d * ci1 * cj2;
+        let h = a - d * ci2 * cj1;
+        let det = e * f + g * h * p2;
+
+        // Aki & Richards (5.36)-(5.39), incident SV.
+        let refl_p = -(cj1 * (a * b + c * d * ci2 * cj2)).scale(2.0 * p * b1 / a1) / det;
+        let refl_s = -((b * cj1 - c * cj2) * e - (a + d * ci2 * cj1) * g * Complex::from_re(p2)) / det;
+        let trans_p = -(cj1 * g).scale(2.0 * r1 * p * b1 / a2) / det;
+        let trans_s = (cj1 * e).scale(2.0 * r1 * b1 / b2) / det;
+
+        let inc_flux = r1 * b1 * theta_j.cos();
+        let flux = |amp: Complex, rho: f64, cvel: f64, vslow: Complex| -> f64 {
+            if vslow.im.abs() > 1e-12 {
+                return 0.0;
+            }
+            let cos_t = vslow.re * cvel;
+            rho * cvel * amp.norm_sqr() * cos_t / inc_flux
+        };
+        SvScattering {
+            theta_j,
+            refl_p,
+            refl_s,
+            trans_p,
+            trans_s,
+            energy_refl_p: flux(refl_p, r1, a1, ci1),
+            energy_refl_s: flux(refl_s, r1, b1, cj1),
+            energy_trans_p: flux(trans_p, r2, a2, ci2),
+            energy_trans_s: flux(trans_s, r2, b2, cj2),
+        }
+    }
+
+    /// Relative transmitted displacement amplitude of `mode` at `theta_i`
+    /// — the quantity Fig 4 plots. Zero when evanescent.
+    pub fn transmitted_amplitude(&self, theta_i: f64, mode: WaveMode) -> f64 {
+        let s = self.incident_p(theta_i);
+        match mode {
+            WaveMode::P => {
+                if s.energy_trans_p > 0.0 {
+                    s.trans_p.abs()
+                } else {
+                    0.0
+                }
+            }
+            WaveMode::S => {
+                if s.energy_trans_s > 0.0 {
+                    s.trans_s.abs()
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pla_concrete() -> SolidInterface {
+        SolidInterface::new(Material::PLA, Material::CONCRETE_REF)
+    }
+
+    #[test]
+    fn paper_eqn1_concrete_air() {
+        // §3.2: Z_con = 4.66e6, Z_air = 4.15e2 → R = 99.98%.
+        let r = normal_incidence_reflection(4.66e6, 4.15e2).abs();
+        assert!((r - 0.9998).abs() < 1e-4, "R = {r}");
+    }
+
+    #[test]
+    fn paper_prism_transmission_about_67_percent() {
+        // §3.2: "approximately 67% energy of P-waves generated by the PZT
+        // can be conducted into the concrete" (R ≈ 33.43% energy reflected).
+        let z_pla = Material::PLA.impedance_p();
+        let z_con = Material::CONCRETE_REF.impedance_p();
+        let t = normal_incidence_transmission(z_pla, z_con);
+        assert!((0.55..0.80).contains(&t), "T = {t}");
+    }
+
+    #[test]
+    fn normal_incidence_identity_interface_reflects_nothing() {
+        assert_eq!(normal_incidence_reflection(4.0e6, 4.0e6), 0.0);
+        assert_eq!(normal_incidence_transmission(4.0e6, 4.0e6), 1.0);
+    }
+
+    #[test]
+    fn energy_is_conserved_below_first_critical_angle() {
+        let iface = pla_concrete();
+        for deg in [0.0, 5.0, 10.0, 20.0, 30.0, 33.0] {
+            let s = iface.incident_p((deg as f64).to_radians());
+            let tot = s.energy_total();
+            assert!(
+                (tot - 1.0).abs() < 1e-6,
+                "energy at {deg}° sums to {tot}"
+            );
+        }
+    }
+
+    #[test]
+    fn p_transmission_vanishes_past_first_critical_angle() {
+        let iface = pla_concrete();
+        let s = iface.incident_p(40f64.to_radians());
+        assert_eq!(s.energy_trans_p, 0.0);
+        assert!(s.energy_trans_s > 0.05, "S still carries energy: {}", s.energy_trans_s);
+    }
+
+    #[test]
+    fn s_transmission_vanishes_past_second_critical_angle() {
+        let iface = pla_concrete();
+        let s = iface.incident_p(78f64.to_radians());
+        assert_eq!(s.energy_trans_p, 0.0);
+        assert_eq!(s.energy_trans_s, 0.0);
+    }
+
+    #[test]
+    fn s_only_window_carries_usable_energy() {
+        // §3.2: inside [34°, 73°] the S-wave is the sole body wave and the
+        // prism design relies on it carrying real power.
+        let iface = pla_concrete();
+        for deg in [40.0, 50.0, 60.0, 70.0] {
+            let s = iface.incident_p((deg as f64).to_radians());
+            assert!(s.energy_trans_s > 0.02, "S energy at {deg}° = {}", s.energy_trans_s);
+            assert_eq!(s.energy_trans_p, 0.0, "P must be gone at {deg}°");
+        }
+    }
+
+    #[test]
+    fn no_mode_conversion_at_normal_incidence() {
+        let s = pla_concrete().incident_p(0.0);
+        assert!(s.refl_s.abs() < 1e-12, "no reflected SV at 0°");
+        assert!(s.trans_s.abs() < 1e-12, "no transmitted SV at 0°");
+        // 2Z1/(Z1+Z2) ≈ 0.46 for PLA→concrete.
+        assert!(s.trans_p.abs() > 0.3, "P transmits at 0°: {}", s.trans_p.abs());
+    }
+
+    #[test]
+    fn normal_incidence_amplitude_matches_impedance_formula() {
+        // At θ=0 the Zoeppritz solution must collapse to the 1-D
+        // displacement transmission 2Z1/(Z1+Z2).
+        let s = pla_concrete().incident_p(0.0);
+        let z1 = Material::PLA.impedance_p();
+        let z2 = Material::CONCRETE_REF.impedance_p();
+        let expected = 2.0 * z1 / (z1 + z2);
+        assert!(
+            (s.trans_p.abs() - expected).abs() < 1e-6,
+            "Tpp(0) = {}, expected {expected}",
+            s.trans_p.abs()
+        );
+    }
+
+    #[test]
+    fn fig4_shape_s_dominates_between_critical_angles() {
+        let iface = pla_concrete();
+        let amp_p_20 = iface.transmitted_amplitude(20f64.to_radians(), WaveMode::P);
+        let amp_s_50 = iface.transmitted_amplitude(50f64.to_radians(), WaveMode::S);
+        let amp_p_50 = iface.transmitted_amplitude(50f64.to_radians(), WaveMode::P);
+        assert!(amp_p_20 > 0.0);
+        assert!(amp_s_50 > 0.0);
+        assert_eq!(amp_p_50, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two solids")]
+    fn rejects_fluid_half_space() {
+        let _ = SolidInterface::new(Material::WATER, Material::CONCRETE_REF);
+    }
+
+    #[test]
+    fn incident_sv_conserves_energy_below_critical_angles() {
+        // PLA→concrete, incident SV at β1 = 900 m/s: the tightest critical
+        // angle is asin(900/3338) ≈ 15.6° (transmitted P). Below it every
+        // branch propagates and the energy must sum to 1.
+        let iface = pla_concrete();
+        for deg in [0.0, 3.0, 6.0, 9.0, 12.0, 15.0] {
+            let s = iface.incident_sv((deg as f64).to_radians());
+            assert!(
+                (s.energy_total() - 1.0).abs() < 1e-6,
+                "SV energy at {deg}° sums to {}",
+                s.energy_total()
+            );
+        }
+    }
+
+    #[test]
+    fn incident_sv_normal_incidence_matches_shear_impedance_formula() {
+        let s = pla_concrete().incident_sv(0.0);
+        let z1 = Material::PLA.impedance_s();
+        let z2 = Material::CONCRETE_REF.impedance_s();
+        let expected_t = 2.0 * z1 / (z1 + z2);
+        assert!(
+            (s.trans_s.abs() - expected_t).abs() < 1e-6,
+            "Tss(0) = {}, expected {expected_t}",
+            s.trans_s.abs()
+        );
+        let expected_r = ((z1 - z2) / (z1 + z2)).abs();
+        assert!(
+            (s.refl_s.abs() - expected_r).abs() < 1e-6,
+            "Rss(0) = {}, expected {expected_r}",
+            s.refl_s.abs()
+        );
+        // No mode conversion straight-on.
+        assert!(s.refl_p.abs() < 1e-12);
+        assert!(s.trans_p.abs() < 1e-12);
+    }
+
+    #[test]
+    fn incident_sv_transmitted_p_dies_past_its_critical_angle() {
+        let iface = pla_concrete();
+        // asin(900/3338) ≈ 15.6°.
+        let s = iface.incident_sv(20f64.to_radians());
+        assert_eq!(s.energy_trans_p, 0.0);
+        assert!(s.energy_trans_s > 0.0, "S still crosses at 20°");
+    }
+
+    #[test]
+    fn incident_sv_mode_converts_at_oblique_angles() {
+        let s = pla_concrete().incident_sv(10f64.to_radians());
+        assert!(s.energy_trans_p > 0.0, "SV→P conversion: {}", s.energy_trans_p);
+        assert!(s.energy_refl_p > 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Transmission through a thin intermediate layer.
+//!
+//! §5.1: "We adhere the constructed concrete blocks onto a building using
+//! concrete glue … The glue may cause an approximately 3% loss of wave
+//! energy." A bond line is a classic three-medium problem: a layer of
+//! impedance `Z₂` and thickness `d` between half-spaces `Z₁`, `Z₃`
+//! transmits the intensity fraction
+//!
+//! ```text
+//! T = 4·Z₁·Z₃ / [ (Z₁+Z₃)²·cos²(k₂d) + (Z₂ + Z₁Z₃/Z₂)²·sin²(k₂d) ]
+//! ```
+//!
+//! which also yields the two classical limits: the contact formula as
+//! `d → 0`, and perfect transmission through a quarter-wave layer with
+//! `Z₂ = √(Z₁Z₃)` (the matching-layer trick transducer makers use).
+
+use crate::material::Material;
+
+/// A thin layer between two half-spaces (normal incidence, longitudinal).
+#[derive(Debug, Clone, Copy)]
+pub struct ThinLayer {
+    /// Incident half-space.
+    pub from: Material,
+    /// The layer material.
+    pub layer: Material,
+    /// Receiving half-space.
+    pub into: Material,
+    /// Layer thickness (m).
+    pub thickness_m: f64,
+}
+
+/// Construction epoxy / concrete glue stock.
+pub const GLUE: Material = Material {
+    name: "construction adhesive",
+    density_kg_m3: 1500.0,
+    cp_m_s: 2400.0,
+    cs_m_s: 1100.0,
+};
+
+impl ThinLayer {
+    /// Creates a layer. Panics on negative thickness.
+    pub fn new(from: Material, layer: Material, into: Material, thickness_m: f64) -> Self {
+        assert!(thickness_m >= 0.0, "thickness must be non-negative");
+        ThinLayer {
+            from,
+            layer,
+            into,
+            thickness_m,
+        }
+    }
+
+    /// The paper's glue bond: a 0.5 mm adhesive line between two concrete
+    /// faces.
+    pub fn paper_glue_bond() -> Self {
+        ThinLayer::new(
+            Material::CONCRETE_REF,
+            GLUE,
+            Material::CONCRETE_REF,
+            0.5e-3,
+        )
+    }
+
+    /// Intensity (energy) transmission coefficient at `f_hz`.
+    pub fn energy_transmission(&self, f_hz: f64) -> f64 {
+        assert!(f_hz > 0.0, "frequency must be positive");
+        let z1 = self.from.impedance_p();
+        let z2 = self.layer.impedance_p();
+        let z3 = self.into.impedance_p();
+        let k2d = 2.0 * std::f64::consts::PI * f_hz / self.layer.cp_m_s * self.thickness_m;
+        let c = k2d.cos();
+        let s = k2d.sin();
+        4.0 * z1 * z3 / ((z1 + z3).powi(2) * c * c + (z2 + z1 * z3 / z2).powi(2) * s * s)
+    }
+
+    /// Amplitude transmission (√ of the energy coefficient, with the
+    /// impedance normalization folded in for same-medium half-spaces).
+    pub fn amplitude_transmission(&self, f_hz: f64) -> f64 {
+        self.energy_transmission(f_hz).sqrt()
+    }
+
+    /// Excess loss of the bonded joint relative to a perfect (weldless)
+    /// interface between the same half-spaces, as an energy fraction lost.
+    pub fn excess_energy_loss(&self, f_hz: f64) -> f64 {
+        let z1 = self.from.impedance_p();
+        let z3 = self.into.impedance_p();
+        let direct = 4.0 * z1 * z3 / (z1 + z3).powi(2);
+        (1.0 - self.energy_transmission(f_hz) / direct).max(0.0)
+    }
+
+    /// Quarter-wave thickness of the layer at `f_hz`: `λ/4 = c₂/(4f)`.
+    pub fn quarter_wave_thickness_m(&self, f_hz: f64) -> f64 {
+        assert!(f_hz > 0.0, "frequency must be positive");
+        self.layer.cp_m_s / (4.0 * f_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_thickness_reduces_to_contact_formula() {
+        let bond = ThinLayer::new(Material::PLA, GLUE, Material::CONCRETE_REF, 0.0);
+        let z1 = Material::PLA.impedance_p();
+        let z3 = Material::CONCRETE_REF.impedance_p();
+        let contact = 4.0 * z1 * z3 / (z1 + z3).powi(2);
+        assert!((bond.energy_transmission(230e3) - contact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_glue_bond_loses_about_3_percent() {
+        // §5.1: "approximately 3% loss of wave energy".
+        let bond = ThinLayer::paper_glue_bond();
+        let loss = bond.excess_energy_loss(230e3);
+        assert!((0.01..0.08).contains(&loss), "glue loss {}", loss * 100.0);
+    }
+
+    #[test]
+    fn thicker_bond_line_loses_more() {
+        let thin = ThinLayer { thickness_m: 0.3e-3, ..ThinLayer::paper_glue_bond() };
+        let thick = ThinLayer { thickness_m: 1.5e-3, ..ThinLayer::paper_glue_bond() };
+        assert!(thick.excess_energy_loss(230e3) > thin.excess_energy_loss(230e3));
+    }
+
+    #[test]
+    fn identical_media_with_no_layer_transmit_everything() {
+        let b = ThinLayer::new(Material::CONCRETE_REF, GLUE, Material::CONCRETE_REF, 0.0);
+        assert!((b.energy_transmission(230e3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarter_wave_matching_layer_is_transparent() {
+        // The classic transducer trick: Z₂ = √(Z₁Z₃), d = λ/4 ⇒ T = 1.
+        let z1 = Material::PLA.impedance_p();
+        let z3 = Material::CONCRETE_REF.impedance_p();
+        let z2_target = (z1 * z3).sqrt();
+        // Build a matching material with that impedance at c = 2000 m/s.
+        let c2 = 2000.0;
+        let matcher = Material {
+            name: "matching layer",
+            density_kg_m3: z2_target / c2,
+            cp_m_s: c2,
+            cs_m_s: 900.0,
+        };
+        let f = 230e3;
+        let mut bond = ThinLayer::new(Material::PLA, matcher, Material::CONCRETE_REF, 0.0);
+        bond.thickness_m = bond.quarter_wave_thickness_m(f);
+        let t = bond.energy_transmission(f);
+        assert!((t - 1.0).abs() < 1e-9, "quarter-wave T = {t}");
+        // And it genuinely beats direct contact.
+        let direct = 4.0 * z1 * z3 / (z1 + z3).powi(2);
+        assert!(t > direct);
+    }
+
+    #[test]
+    fn transmission_is_periodic_in_thickness() {
+        // A half-wave layer is acoustically invisible (T equals contact).
+        let f = 230e3;
+        let glue = ThinLayer::paper_glue_bond();
+        let half_wave = 2.0 * glue.quarter_wave_thickness_m(f);
+        let bond = ThinLayer { thickness_m: half_wave, ..glue };
+        let contact = ThinLayer { thickness_m: 0.0, ..glue };
+        assert!(
+            (bond.energy_transmission(f) - contact.energy_transmission(f)).abs() < 1e-9,
+            "half-wave layer must be invisible"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # ecocapsule-elastic
+//!
+//! Elastic-wave physics substrate for the EcoCapsule reproduction.
+//!
+//! Everything the paper's §3 ("Wireless charging and wireless
+//! communication in concrete") derives from first principles lives here:
+//!
+//! - [`material`] — isotropic solids/fluids, Lamé parameters, P/S wave
+//!   velocities (paper Appendix A, Eqns 8 & 10), acoustic impedance;
+//! - [`snell`] — refraction angles and the two critical angles (Eqn 2/3);
+//! - [`interface`] — plane-wave reflection/transmission with full P↔SV
+//!   mode conversion at a welded solid–solid interface (Aki & Richards
+//!   form of the Zoeppritz equations, complex post-critical branches) plus
+//!   the normal-incidence impedance-mismatch coefficient (Eqn 1);
+//! - [`attenuation`] — frequency-power-law material absorption and
+//!   geometric spreading laws (spherical, cylindrical/waveguide, plane);
+//! - [`beam`] — circular-piston directivity and the half-beam angle
+//!   formula `α = arcsin(0.514·C/(f·D))` from §3.2;
+//! - [`prism`] — the PLA wave-prism design: S-only incident window,
+//!   transmitted-mode purity, and energy conducted into the concrete.
+//!
+//! All angles are radians unless a name says `_deg`. All units SI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attenuation;
+pub mod beam;
+pub mod interface;
+pub mod layered;
+pub mod material;
+pub mod prism;
+pub mod rayleigh;
+pub mod snell;
+
+pub use material::Material;

@@ -1,0 +1,280 @@
+//! Isotropic elastic media.
+//!
+//! A body wave travels through an isotropic medium with two velocities
+//! (paper Appendix A): the P-wave velocity `α = √((λ+2μ)/ρ)` and the
+//! S-wave velocity `β = √(μ/ρ)`. Fluids have `μ = 0`, hence no S-wave —
+//! the reason the paper calls underwater piezoelectric backscatter
+//! "relatively easier" (§3.1).
+
+/// An isotropic elastic medium characterized by density and the two
+/// body-wave velocities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Human-readable name (static — materials are a closed registry plus
+    /// custom constructions).
+    pub name: &'static str,
+    /// Density ρ in kg/m³.
+    pub density_kg_m3: f64,
+    /// P-wave (longitudinal) velocity in m/s.
+    pub cp_m_s: f64,
+    /// S-wave (shear) velocity in m/s; `0` for fluids.
+    pub cs_m_s: f64,
+}
+
+impl Material {
+    /// Air at standard conditions. Z = 4.15e2 kg/m²s per the paper's
+    /// reference [61].
+    pub const AIR: Material = Material {
+        name: "air",
+        density_kg_m3: 1.2,
+        cp_m_s: 346.0,
+        cs_m_s: 0.0,
+    };
+
+    /// Fresh water (the PAB baseline's medium).
+    pub const WATER: Material = Material {
+        name: "water",
+        density_kg_m3: 1000.0,
+        cp_m_s: 1480.0,
+        cs_m_s: 0.0,
+    };
+
+    /// Polylactic-acid (PLA) wave-prism stock.
+    ///
+    /// The paper quotes "C_prism ≈ 1250 m/s" but also a first critical
+    /// angle of 34° against concrete — mutually inconsistent (see
+    /// DESIGN.md §2). 1250 is PLA's *shear* speed regime; its longitudinal
+    /// speed is ~1800–2250 m/s. We use 1870 m/s, which reproduces the
+    /// paper's critical-angle window [34°, 73°] against the reference
+    /// concrete velocities C_p = 3338, C_s = 1941 m/s.
+    pub const PLA: Material = Material {
+        name: "PLA",
+        density_kg_m3: 1240.0,
+        cp_m_s: 1870.0,
+        cs_m_s: 900.0,
+    };
+
+    /// Reference normal concrete with the paper's §3.1 velocities
+    /// (C_p ≈ 3338 m/s, C_s ≈ 1941 m/s, from reference [41]).
+    pub const CONCRETE_REF: Material = Material {
+        name: "concrete(ref)",
+        density_kg_m3: 2300.0,
+        cp_m_s: 3338.0,
+        cs_m_s: 1941.0,
+    };
+
+    /// Structural steel (rebar, and the alloy-steel shell variant of §4.1).
+    pub const STEEL: Material = Material {
+        name: "steel",
+        density_kg_m3: 7850.0,
+        cp_m_s: 5960.0,
+        cs_m_s: 3235.0,
+    };
+
+    /// SLA printing resin (the EcoCapsule shell material: ~65 MPa tensile
+    /// strength, ~2.2 GPa Young's modulus per §4.1).
+    pub const RESIN: Material = Material {
+        name: "SLA resin",
+        density_kg_m3: 1180.0,
+        cp_m_s: 2530.0,
+        cs_m_s: 1100.0,
+    };
+
+    /// Builds a material from engineering constants: Young's modulus `E`
+    /// (Pa), Poisson's ratio `ν` and density (kg/m³). This is how the
+    /// concrete registry converts Table 1 properties into wave speeds.
+    ///
+    /// Panics if `E <= 0`, `density <= 0` or `ν ∉ (-1, 0.5)`.
+    pub fn from_engineering(name: &'static str, e_pa: f64, nu: f64, density_kg_m3: f64) -> Self {
+        assert!(e_pa > 0.0, "Young's modulus must be positive");
+        assert!(density_kg_m3 > 0.0, "density must be positive");
+        assert!(nu > -1.0 && nu < 0.5, "Poisson's ratio must be in (-1, 0.5)");
+        let lambda = e_pa * nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+        let mu = e_pa / (2.0 * (1.0 + nu));
+        Material::from_lame(name, lambda, mu, density_kg_m3)
+    }
+
+    /// Builds a material from Lamé parameters `λ`, `μ` (Pa) and density.
+    ///
+    /// Panics if `μ < 0`, `λ + 2μ <= 0` or `density <= 0`.
+    pub fn from_lame(name: &'static str, lambda_pa: f64, mu_pa: f64, density_kg_m3: f64) -> Self {
+        assert!(mu_pa >= 0.0, "shear modulus must be non-negative");
+        assert!(lambda_pa + 2.0 * mu_pa > 0.0, "P-wave modulus must be positive");
+        assert!(density_kg_m3 > 0.0, "density must be positive");
+        Material {
+            name,
+            density_kg_m3,
+            cp_m_s: ((lambda_pa + 2.0 * mu_pa) / density_kg_m3).sqrt(),
+            cs_m_s: (mu_pa / density_kg_m3).sqrt(),
+        }
+    }
+
+    /// Builds a fluid (no shear support).
+    ///
+    /// Panics on non-positive arguments.
+    pub fn fluid(name: &'static str, sound_speed_m_s: f64, density_kg_m3: f64) -> Self {
+        assert!(sound_speed_m_s > 0.0 && density_kg_m3 > 0.0, "fluid parameters must be positive");
+        Material {
+            name,
+            density_kg_m3,
+            cp_m_s: sound_speed_m_s,
+            cs_m_s: 0.0,
+        }
+    }
+
+    /// True when the medium supports shear (S) waves.
+    pub fn is_solid(&self) -> bool {
+        self.cs_m_s > 0.0
+    }
+
+    /// Longitudinal (P-wave) acoustic impedance `Z = ρ·c_p` in kg/m²s.
+    pub fn impedance_p(&self) -> f64 {
+        self.density_kg_m3 * self.cp_m_s
+    }
+
+    /// Shear (S-wave) acoustic impedance `Z = ρ·c_s`; `0` for fluids.
+    pub fn impedance_s(&self) -> f64 {
+        self.density_kg_m3 * self.cs_m_s
+    }
+
+    /// Shear modulus `μ = ρ·c_s²` in Pa.
+    pub fn shear_modulus_pa(&self) -> f64 {
+        self.density_kg_m3 * self.cs_m_s * self.cs_m_s
+    }
+
+    /// First Lamé parameter `λ = ρ·(c_p² − 2·c_s²)` in Pa.
+    pub fn lame_lambda_pa(&self) -> f64 {
+        self.density_kg_m3 * (self.cp_m_s * self.cp_m_s - 2.0 * self.cs_m_s * self.cs_m_s)
+    }
+
+    /// Poisson's ratio implied by the velocity pair. Fluids return 0.5.
+    pub fn poisson_ratio(&self) -> f64 {
+        if !self.is_solid() {
+            return 0.5;
+        }
+        let r2 = (self.cp_m_s / self.cs_m_s).powi(2);
+        (r2 - 2.0) / (2.0 * (r2 - 1.0))
+    }
+
+    /// Young's modulus implied by the velocity pair, in Pa. 0 for fluids.
+    pub fn youngs_modulus_pa(&self) -> f64 {
+        if !self.is_solid() {
+            return 0.0;
+        }
+        let mu = self.shear_modulus_pa();
+        let nu = self.poisson_ratio();
+        2.0 * mu * (1.0 + nu)
+    }
+
+    /// Velocity of the requested wave mode; `None` for S in a fluid.
+    pub fn velocity(&self, mode: WaveMode) -> Option<f64> {
+        match mode {
+            WaveMode::P => Some(self.cp_m_s),
+            WaveMode::S if self.is_solid() => Some(self.cs_m_s),
+            WaveMode::S => None,
+        }
+    }
+}
+
+/// The two body-wave modes (paper Appendix A / Fig 23).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaveMode {
+    /// Primary (longitudinal, push–pull) wave. Faster, attenuates more.
+    P,
+    /// Secondary (shear, transverse) wave. ~40% slower, travels further;
+    /// the carrier EcoCapsule uses.
+    S,
+}
+
+impl std::fmt::Display for WaveMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveMode::P => write!(f, "P-wave"),
+            WaveMode::S => write!(f, "S-wave"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_reference_velocities() {
+        // §3.1: S-waves are ~40% slower than P-waves in concrete.
+        let c = Material::CONCRETE_REF;
+        let ratio = c.cs_m_s / c.cp_m_s;
+        assert!((ratio - 0.58).abs() < 0.02, "Cs/Cp = {ratio}");
+    }
+
+    #[test]
+    fn concrete_air_impedance_contrast_matches_paper() {
+        // §3.2: Z_con = 4.66e6, Z_air = 4.15e2 kg/m²s → R = 99.98%.
+        let z_con = 4.66e6;
+        let z_air = Material::AIR.impedance_p();
+        assert!((z_air - 4.15e2).abs() / 4.15e2 < 0.01, "Z_air = {z_air}");
+        let r = (z_con - z_air) / (z_con + z_air);
+        assert!(r > 0.9998, "R = {r}");
+    }
+
+    #[test]
+    fn engineering_roundtrip() {
+        // NC from Table 1: E = 27.8 GPa, ν = 0.18, ρ ≈ 2300.
+        let m = Material::from_engineering("NC", 27.8e9, 0.18, 2300.0);
+        assert!((m.poisson_ratio() - 0.18).abs() < 1e-9);
+        assert!((m.youngs_modulus_pa() - 27.8e9).abs() / 27.8e9 < 1e-9);
+        // Wave speeds should land in the civil-engineering range.
+        assert!(m.cp_m_s > 3000.0 && m.cp_m_s < 4500.0, "cp = {}", m.cp_m_s);
+        assert!(m.cs_m_s > 1800.0 && m.cs_m_s < 2800.0, "cs = {}", m.cs_m_s);
+    }
+
+    #[test]
+    fn lame_construction_matches_velocity_formulas() {
+        // Appendix A Eqns 8/10.
+        let (lambda, mu, rho) = (8.0e9, 11.0e9, 2300.0);
+        let m = Material::from_lame("x", lambda, mu, rho);
+        assert!((m.cp_m_s - ((lambda + 2.0 * mu) / rho).sqrt()).abs() < 1e-9);
+        assert!((m.cs_m_s - (mu / rho).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fluids_have_no_shear() {
+        assert!(!Material::WATER.is_solid());
+        assert_eq!(Material::WATER.velocity(WaveMode::S), None);
+        assert_eq!(Material::WATER.impedance_s(), 0.0);
+        assert_eq!(Material::WATER.poisson_ratio(), 0.5);
+    }
+
+    #[test]
+    fn pla_prism_critical_window_matches_paper() {
+        // The chosen PLA longitudinal speed must put the critical angles at
+        // ~34° and ~73° against the reference concrete (Fig 4).
+        let pla = Material::PLA;
+        let con = Material::CONCRETE_REF;
+        let ca1 = (pla.cp_m_s / con.cp_m_s).asin().to_degrees();
+        let ca2 = (pla.cp_m_s / con.cs_m_s).asin().to_degrees();
+        assert!((ca1 - 34.0).abs() < 1.0, "first critical angle {ca1}");
+        assert!((ca2 - 73.0).abs() < 2.0, "second critical angle {ca2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson")]
+    fn rejects_bad_poisson() {
+        let _ = Material::from_engineering("bad", 1e9, 0.5, 1000.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cp_always_exceeds_cs(e in 1e9f64..100e9, nu in 0.01f64..0.45, rho in 500f64..8000.0) {
+            let m = Material::from_engineering("p", e, nu, rho);
+            prop_assert!(m.cp_m_s > m.cs_m_s);
+        }
+
+        #[test]
+        fn poisson_roundtrip(e in 1e9f64..100e9, nu in 0.01f64..0.45, rho in 500f64..8000.0) {
+            let m = Material::from_engineering("p", e, nu, rho);
+            prop_assert!((m.poisson_ratio() - nu).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The wave prism (§3.2, Figs 3–4, evaluated in Fig 19).
+//!
+//! A polymer wedge between the transmitting PZT and the concrete injects
+//! the piston's P-wave at an oblique incident angle. Between the first
+//! and second critical angles only the mode-converted S-wave propagates
+//! in the concrete, which then fills the structure via boundary
+//! reflections ("S-reflections"). This module packages the design rules:
+//! which incident angles give a pure S-wave, how much energy gets in, and
+//! a *mode-purity* figure of merit that predicts the downlink SNR shape
+//! of Fig 19.
+
+use crate::interface::SolidInterface;
+use crate::material::Material;
+use crate::snell;
+
+/// A wedge prism coupling a piston source into a solid at a fixed
+/// incident angle.
+#[derive(Debug, Clone, Copy)]
+pub struct Prism {
+    /// Prism stock (e.g. [`Material::PLA`]).
+    pub material: Material,
+    /// Target solid (the concrete).
+    pub target: Material,
+    /// Wedge (incident) angle, radians.
+    pub incident_angle: f64,
+}
+
+/// What propagates in the concrete for a given incidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionRegime {
+    /// Below the first critical angle: both P and S propagate — the
+    /// receiver gets two time-shifted copies (intra-symbol interference).
+    DualMode,
+    /// Between the critical angles: pure S-wave — the design point.
+    SOnly,
+    /// Beyond the second critical angle: nothing propagates (surface wave
+    /// only).
+    None,
+}
+
+/// Energy/mode analysis of a prism at one incident angle.
+#[derive(Debug, Clone, Copy)]
+pub struct Injection {
+    /// Which regime this incidence falls into.
+    pub regime: InjectionRegime,
+    /// Energy fraction entering as P.
+    pub energy_p: f64,
+    /// Energy fraction entering as S.
+    pub energy_s: f64,
+    /// Refraction angle of the S wave (radians), when propagating.
+    pub s_angle: Option<f64>,
+    /// Mode purity in [0,1]: transmitted S energy over total transmitted
+    /// energy. 1.0 = pure S; 0 when nothing is transmitted.
+    pub purity: f64,
+}
+
+impl Injection {
+    /// Total transmitted energy fraction.
+    pub fn energy_total(&self) -> f64 {
+        self.energy_p + self.energy_s
+    }
+}
+
+impl Prism {
+    /// Builds a prism. Both media must be solids; the incident angle must
+    /// be in `[0°, 90°)`.
+    pub fn new(material: Material, target: Material, incident_angle: f64) -> Self {
+        assert!(material.is_solid() && target.is_solid(), "prism and target must be solids");
+        assert!(
+            (0.0..std::f64::consts::FRAC_PI_2).contains(&incident_angle),
+            "incident angle must be in [0°, 90°)"
+        );
+        Prism {
+            material,
+            target,
+            incident_angle,
+        }
+    }
+
+    /// The paper's default: a PLA wedge at 60° into the reference concrete.
+    pub fn paper_default() -> Self {
+        Prism::new(Material::PLA, Material::CONCRETE_REF, 60f64.to_radians())
+    }
+
+    /// The S-only incidence window `[CA1, CA2]` in radians.
+    pub fn s_only_window(&self) -> Option<(f64, f64)> {
+        snell::s_only_window(self.material.cp_m_s, &self.target)
+    }
+
+    /// Analyzes the injection at the configured incident angle.
+    pub fn inject(&self) -> Injection {
+        self.inject_at(self.incident_angle)
+    }
+
+    /// Analyzes the injection at an arbitrary incident angle (used by the
+    /// Fig 19 sweep without rebuilding prisms).
+    pub fn inject_at(&self, theta_i: f64) -> Injection {
+        let iface = SolidInterface::new(self.material, self.target);
+        let sc = iface.incident_p(theta_i);
+        let energy_p = sc.energy_trans_p;
+        let energy_s = sc.energy_trans_s;
+        let total = energy_p + energy_s;
+        let regime = match (energy_p > 0.0, energy_s > 0.0) {
+            (true, _) => InjectionRegime::DualMode,
+            (false, true) => InjectionRegime::SOnly,
+            (false, false) => InjectionRegime::None,
+        };
+        Injection {
+            regime,
+            energy_p,
+            energy_s,
+            s_angle: snell::refract(
+                self.material.cp_m_s,
+                theta_i,
+                &self.target,
+                crate::material::WaveMode::S,
+            )
+            .angle(),
+            purity: if total > 0.0 { energy_s / total } else { 0.0 },
+        }
+    }
+
+    /// Picks the incident angle inside the S-only window that maximizes
+    /// transmitted S energy, scanning at `step_deg` resolution.
+    /// Returns `(angle_rad, injection)`, or `None` if no window exists.
+    pub fn optimal_angle(&self, step_deg: f64) -> Option<(f64, Injection)> {
+        assert!(step_deg > 0.0, "step must be positive");
+        let (ca1, ca2) = self.s_only_window()?;
+        let mut best: Option<(f64, Injection)> = None;
+        let mut theta = ca1 + 1e-6;
+        while theta < ca2 {
+            let inj = self.inject_at(theta);
+            if best.map_or(true, |(_, b)| inj.energy_s > b.energy_s) {
+                best = Some((theta, inj));
+            }
+            theta += step_deg.to_radians();
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_in_s_only_regime() {
+        let p = Prism::paper_default();
+        let inj = p.inject();
+        assert_eq!(inj.regime, InjectionRegime::SOnly);
+        assert_eq!(inj.purity, 1.0);
+        assert!(inj.energy_s > 0.05, "usable S energy: {}", inj.energy_s);
+    }
+
+    #[test]
+    fn regimes_partition_the_angle_axis() {
+        let p = Prism::paper_default();
+        assert_eq!(p.inject_at(15f64.to_radians()).regime, InjectionRegime::DualMode);
+        assert_eq!(p.inject_at(30f64.to_radians()).regime, InjectionRegime::DualMode);
+        assert_eq!(p.inject_at(50f64.to_radians()).regime, InjectionRegime::SOnly);
+        assert_eq!(p.inject_at(70f64.to_radians()).regime, InjectionRegime::SOnly);
+        assert_eq!(p.inject_at(80f64.to_radians()).regime, InjectionRegime::None);
+    }
+
+    #[test]
+    fn window_matches_snell() {
+        let p = Prism::paper_default();
+        let (ca1, ca2) = p.s_only_window().unwrap();
+        assert!((ca1.to_degrees() - 34.0).abs() < 1.0);
+        assert!((ca2.to_degrees() - 73.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn purity_below_window_is_partial() {
+        let p = Prism::paper_default();
+        let inj = p.inject_at(20f64.to_radians());
+        assert!(inj.purity > 0.0 && inj.purity < 1.0, "purity {}", inj.purity);
+    }
+
+    #[test]
+    fn optimal_angle_lands_inside_window() {
+        let p = Prism::paper_default();
+        let (theta, inj) = p.optimal_angle(0.5).unwrap();
+        let (ca1, ca2) = p.s_only_window().unwrap();
+        assert!(theta >= ca1 && theta <= ca2);
+        assert_eq!(inj.regime, InjectionRegime::SOnly);
+    }
+
+    #[test]
+    fn nothing_transmits_past_second_critical_angle() {
+        let p = Prism::paper_default();
+        let inj = p.inject_at(78f64.to_radians());
+        assert_eq!(inj.energy_total(), 0.0);
+        assert_eq!(inj.purity, 0.0);
+        assert!(inj.s_angle.is_none());
+    }
+}

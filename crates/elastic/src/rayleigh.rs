@@ -1,0 +1,135 @@
+//! Rayleigh surface waves.
+//!
+//! The paper's Fig 4 marks a surface-wave band at grazing incidence, and
+//! §5.1 notes that "surface waves are almost filtered out because of the
+//! sharp edges and corners" while §3.4 counts "surface waves leaked from
+//! the transmitting PZT" among the self-interference. This module solves
+//! the classical Rayleigh characteristic equation so the channel layer
+//! can model that leakage with the right propagation speed.
+//!
+//! With `ξ = (c_s/c_p)²` and `r = (c_R/c_s)²`, the Rayleigh equation is
+//!
+//! ```text
+//! r³ − 8r² + 8(3 − 2ξ)r − 16(1 − ξ) = 0
+//! ```
+//!
+//! whose unique root in `(0, 1)` gives the surface-wave speed `c_R`.
+
+use crate::material::Material;
+
+/// Exact Rayleigh wave speed (m/s) for a solid, by bisection on the
+/// characteristic equation. Returns `None` for fluids.
+pub fn rayleigh_speed_m_s(m: &Material) -> Option<f64> {
+    if !m.is_solid() {
+        return None;
+    }
+    let xi = (m.cs_m_s / m.cp_m_s).powi(2);
+    let f = |r: f64| r * r * r - 8.0 * r * r + 8.0 * (3.0 - 2.0 * xi) * r - 16.0 * (1.0 - xi);
+    // The Rayleigh root lies in (0, 1); f(0) = -16(1-ξ) < 0, f(1) = ... > 0.
+    let (mut lo, mut hi) = (1e-9, 1.0 - 1e-12);
+    debug_assert!(f(lo) < 0.0);
+    if f(hi) <= 0.0 {
+        return None; // degenerate (ξ → 1, i.e. cp ≈ cs: unphysical solid)
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(m.cs_m_s * (0.5 * (lo + hi)).sqrt())
+}
+
+/// Viktorov's closed-form approximation
+/// `c_R ≈ c_s · (0.862 + 1.14ν)/(1 + ν)` — handy for quick estimates and
+/// as an independent check on the exact solver.
+pub fn rayleigh_speed_approx_m_s(m: &Material) -> Option<f64> {
+    if !m.is_solid() {
+        return None;
+    }
+    let nu = m.poisson_ratio();
+    Some(m.cs_m_s * (0.862 + 1.14 * nu) / (1.0 + nu))
+}
+
+/// Amplitude factor of Rayleigh-wave leakage at the receiving PZT
+/// relative to the body-wave arrival: surface waves decay exponentially
+/// with depth (skin depth ≈ one wavelength), so a node buried
+/// `depth_m` deep at frequency `f_hz` barely sees them — while a
+/// surface-mounted RX PZT sees them at full strength (the §3.4
+/// self-interference term).
+pub fn surface_wave_depth_factor(m: &Material, f_hz: f64, depth_m: f64) -> f64 {
+    assert!(f_hz > 0.0 && depth_m >= 0.0, "invalid surface-wave query");
+    let Some(cr) = rayleigh_speed_m_s(m) else {
+        return 0.0;
+    };
+    let wavelength = cr / f_hz;
+    (-depth_m / wavelength).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rayleigh_is_slightly_slower_than_shear() {
+        // Classical result: c_R ≈ 0.87..0.96 · c_s depending on ν.
+        let m = Material::CONCRETE_REF;
+        let cr = rayleigh_speed_m_s(&m).unwrap();
+        let ratio = cr / m.cs_m_s;
+        assert!((0.86..0.96).contains(&ratio), "cR/cs = {ratio}");
+    }
+
+    #[test]
+    fn exact_and_viktorov_agree() {
+        for m in [Material::CONCRETE_REF, Material::STEEL, Material::PLA] {
+            let exact = rayleigh_speed_m_s(&m).unwrap();
+            let approx = rayleigh_speed_approx_m_s(&m).unwrap();
+            assert!(
+                (exact - approx).abs() / exact < 0.01,
+                "{}: exact {exact} vs approx {approx}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn root_satisfies_characteristic_equation() {
+        let m = Material::CONCRETE_REF;
+        let cr = rayleigh_speed_m_s(&m).unwrap();
+        let xi = (m.cs_m_s / m.cp_m_s).powi(2);
+        let r = (cr / m.cs_m_s).powi(2);
+        let res = r * r * r - 8.0 * r * r + 8.0 * (3.0 - 2.0 * xi) * r - 16.0 * (1.0 - xi);
+        assert!(res.abs() < 1e-9, "residual {res}");
+    }
+
+    #[test]
+    fn fluids_have_no_rayleigh_wave() {
+        assert_eq!(rayleigh_speed_m_s(&Material::WATER), None);
+        assert_eq!(rayleigh_speed_approx_m_s(&Material::AIR), None);
+    }
+
+    #[test]
+    fn buried_nodes_barely_see_surface_waves() {
+        // A node 10 cm deep at 230 kHz: the Rayleigh wavelength in
+        // concrete is ~8 mm, so the leakage is e^{-12} ≈ nothing. That is
+        // why the paper only fights surface waves at the *reader's* RX.
+        let m = Material::CONCRETE_REF;
+        let deep = surface_wave_depth_factor(&m, 230e3, 0.10);
+        let surface = surface_wave_depth_factor(&m, 230e3, 0.0);
+        assert_eq!(surface, 1.0);
+        assert!(deep < 1e-4, "depth factor {deep}");
+    }
+
+    #[test]
+    fn depth_factor_monotone() {
+        let m = Material::CONCRETE_REF;
+        let mut last = 1.1;
+        for d in [0.0, 0.002, 0.005, 0.01, 0.05] {
+            let f = surface_wave_depth_factor(&m, 230e3, d);
+            assert!(f < last);
+            last = f;
+        }
+    }
+}

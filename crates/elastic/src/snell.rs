@@ -1,0 +1,166 @@
+//! Snell's law and critical angles (paper §3.2, Eqns 2–3).
+//!
+//! A wave crossing a boundary at non-zero incidence refracts with
+//! `sin θ_i / C_i = sin θ_p / C_p = sin θ_s / C_s`. Because `C_p > C_s`,
+//! the refracted P-angle exceeds the S-angle, and as the incidence grows
+//! the P-wave hits 90° first (the *first critical angle*) and vanishes,
+//! leaving a pure S-wave in the concrete — the prism's entire trick.
+
+use crate::material::{Material, WaveMode};
+
+/// Outcome of refracting into a given mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Refraction {
+    /// The mode propagates at this refraction angle (radians).
+    Propagating(f64),
+    /// Past the mode's critical angle: the transmitted wave is evanescent
+    /// (exponentially decaying along depth), carrying no body-wave energy.
+    Evanescent,
+    /// The target medium does not support this mode (S into a fluid).
+    Unsupported,
+}
+
+impl Refraction {
+    /// The propagation angle, if any.
+    pub fn angle(self) -> Option<f64> {
+        match self {
+            Refraction::Propagating(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True if the mode propagates.
+    pub fn is_propagating(self) -> bool {
+        matches!(self, Refraction::Propagating(_))
+    }
+}
+
+/// Refraction angle of `mode` in `into`, for a wave arriving from a medium
+/// with phase velocity `c_incident_m_s` at `theta_i` radians from normal.
+///
+/// Panics if `c_incident_m_s <= 0` or `theta_i ∉ [0, π/2]`.
+pub fn refract(c_incident_m_s: f64, theta_i: f64, into: &Material, mode: WaveMode) -> Refraction {
+    assert!(c_incident_m_s > 0.0, "incident velocity must be positive");
+    assert!(
+        (0.0..=std::f64::consts::FRAC_PI_2).contains(&theta_i),
+        "incident angle must be in [0, 90°]"
+    );
+    let Some(c_t) = into.velocity(mode) else {
+        return Refraction::Unsupported;
+    };
+    let s = theta_i.sin() * c_t / c_incident_m_s;
+    if s > 1.0 {
+        Refraction::Evanescent
+    } else {
+        Refraction::Propagating(s.asin())
+    }
+}
+
+/// Critical incident angle (radians) above which `mode` in `into` becomes
+/// evanescent. `None` when the transmitted mode is slower than the
+/// incident wave (no critical angle) or unsupported.
+pub fn critical_angle(c_incident_m_s: f64, into: &Material, mode: WaveMode) -> Option<f64> {
+    assert!(c_incident_m_s > 0.0, "incident velocity must be positive");
+    let c_t = into.velocity(mode)?;
+    if c_t <= c_incident_m_s {
+        None
+    } else {
+        Some((c_incident_m_s / c_t).asin())
+    }
+}
+
+/// The S-only incidence window `[first critical angle, second critical
+/// angle]` for a P-wave entering `into` from a medium with longitudinal
+/// velocity `c_incident_m_s` (paper §3.2: ≈ [34°, 73°] for PLA→concrete).
+///
+/// `None` when no such window exists (e.g. incident medium faster than the
+/// target's P velocity, or the target is a fluid).
+pub fn s_only_window(c_incident_m_s: f64, into: &Material) -> Option<(f64, f64)> {
+    let ca1 = critical_angle(c_incident_m_s, into, WaveMode::P)?;
+    let ca2 = critical_angle(c_incident_m_s, into, WaveMode::S)?;
+    if ca2 <= ca1 {
+        return None;
+    }
+    Some((ca1, ca2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const PLA: Material = Material::PLA;
+    const CON: Material = Material::CONCRETE_REF;
+
+    #[test]
+    fn paper_critical_window() {
+        let (ca1, ca2) = s_only_window(PLA.cp_m_s, &CON).unwrap();
+        assert!((ca1.to_degrees() - 34.0).abs() < 1.0, "CA1 {}", ca1.to_degrees());
+        assert!((ca2.to_degrees() - 73.0).abs() < 2.0, "CA2 {}", ca2.to_degrees());
+    }
+
+    #[test]
+    fn refracted_p_angle_exceeds_s_angle() {
+        // Eqn 3: C_p > C_s ⇒ θ_p > θ_s.
+        let theta_i = 20f64.to_radians();
+        let p = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::P).angle().unwrap();
+        let s = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::S).angle().unwrap();
+        assert!(p > s, "θp={} θs={}", p.to_degrees(), s.to_degrees());
+    }
+
+    #[test]
+    fn normal_incidence_does_not_refract() {
+        let p = refract(PLA.cp_m_s, 0.0, &CON, WaveMode::P).angle().unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn beyond_first_critical_angle_p_is_evanescent_s_propagates() {
+        let theta = 45f64.to_radians();
+        assert_eq!(refract(PLA.cp_m_s, theta, &CON, WaveMode::P), Refraction::Evanescent);
+        assert!(refract(PLA.cp_m_s, theta, &CON, WaveMode::S).is_propagating());
+    }
+
+    #[test]
+    fn beyond_second_critical_angle_nothing_propagates() {
+        let theta = 80f64.to_radians();
+        assert_eq!(refract(PLA.cp_m_s, theta, &CON, WaveMode::P), Refraction::Evanescent);
+        assert_eq!(refract(PLA.cp_m_s, theta, &CON, WaveMode::S), Refraction::Evanescent);
+    }
+
+    #[test]
+    fn s_into_fluid_is_unsupported() {
+        assert_eq!(
+            refract(CON.cp_m_s, 0.3, &Material::WATER, WaveMode::S),
+            Refraction::Unsupported
+        );
+        assert_eq!(critical_angle(1000.0, &Material::WATER, WaveMode::S), None);
+    }
+
+    #[test]
+    fn no_critical_angle_into_slower_medium() {
+        // Concrete → PLA: transmitted modes are slower, always propagating.
+        assert_eq!(critical_angle(CON.cp_m_s, &PLA, WaveMode::P), None);
+        assert!(s_only_window(CON.cp_m_s, &PLA).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn snell_invariant_holds(theta_deg in 0.0f64..33.0) {
+            // Below CA1 both modes propagate; sinθ/c must be conserved.
+            let theta_i = theta_deg.to_radians();
+            let inv = theta_i.sin() / PLA.cp_m_s;
+            let p = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::P).angle().unwrap();
+            let s = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::S).angle().unwrap();
+            prop_assert!((p.sin() / CON.cp_m_s - inv).abs() < 1e-12);
+            prop_assert!((s.sin() / CON.cs_m_s - inv).abs() < 1e-12);
+        }
+
+        #[test]
+        fn refraction_angle_monotone_in_incidence(a in 1.0f64..30.0, d in 0.5f64..3.0) {
+            let t1 = refract(PLA.cp_m_s, a.to_radians(), &CON, WaveMode::S).angle().unwrap();
+            let t2 = refract(PLA.cp_m_s, (a + d).to_radians(), &CON, WaveMode::S).angle().unwrap();
+            prop_assert!(t2 > t1);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Energy budgeting and duty cycling.
+//!
+//! An EcoCapsule's power is whatever the CBW delivers. Near the reader
+//! the harvest sustains continuous operation; at range it only covers
+//! standby — or less, forcing a charge/burst duty cycle. This module
+//! turns (harvested power, power model) into an operating plan, and
+//! parameterizes the paper's §8 future-work variant ("transfer all logic
+//! circuitry into a nano-scale chip to reduce the size to mm-scale").
+
+use crate::harvester::Harvester;
+use crate::power::{PowerModel, ACTIVE_PLATEAU_W, STANDBY_W};
+
+/// How a node can operate at a given harvest level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OperatingPlan {
+    /// Harvest below even duty-cycled operation: unreachable.
+    Unreachable,
+    /// Must accumulate charge, then burst: `(charge_s, burst_s)` per
+    /// cycle, sustainable indefinitely.
+    DutyCycled {
+        /// Seconds spent charging per cycle.
+        charge_s: f64,
+        /// Seconds of active transmission per cycle.
+        burst_s: f64,
+    },
+    /// Standby sustained continuously, bursts still need charging.
+    StandbyContinuous,
+    /// Fully continuous active operation.
+    Continuous,
+}
+
+/// Storage energy usable per duty cycle (J): a 10 µF store swung between
+/// 3.3 V and the 1.9 V LDO minimum holds ½C(V₁²−V₀²) ≈ 36 µJ.
+pub const STORE_SWING_J: f64 = 0.5 * 10e-6 * (3.3 * 3.3 - 1.9 * 1.9);
+
+/// Plans operation for a node harvesting `harvested_w` watts that wants
+/// to transmit at `bitrate_bps` during bursts.
+pub fn plan(harvested_w: f64, bitrate_bps: f64) -> OperatingPlan {
+    assert!(harvested_w >= 0.0 && bitrate_bps > 0.0, "invalid plan query");
+    let active_w = PowerModel.consumption_w(bitrate_bps);
+    if harvested_w >= active_w {
+        return OperatingPlan::Continuous;
+    }
+    if harvested_w >= STANDBY_W {
+        return OperatingPlan::StandbyContinuous;
+    }
+    // Duty cycle: charge the store at `harvested_w` (MCU asleep, ~1 µW),
+    // then burst at `active_w` until the store is drained.
+    let net_charge_w = harvested_w - 1e-6;
+    if net_charge_w <= 0.0 {
+        return OperatingPlan::Unreachable;
+    }
+    let charge_s = STORE_SWING_J / net_charge_w;
+    let burst_s = STORE_SWING_J / active_w;
+    OperatingPlan::DutyCycled { charge_s, burst_s }
+}
+
+/// Mean sustainable sensing rate (readings/hour) under a plan, where one
+/// reading costs `reading_j` joules end to end (decode command + sample
+/// + backscatter ≈ active power × 50 ms ≈ 18 µJ).
+pub fn readings_per_hour(plan: OperatingPlan, reading_j: f64) -> f64 {
+    assert!(reading_j > 0.0, "reading cost must be positive");
+    match plan {
+        OperatingPlan::Unreachable => 0.0,
+        OperatingPlan::Continuous | OperatingPlan::StandbyContinuous => {
+            // Bounded by protocol pacing, not energy; report a nominal
+            // once-per-second ceiling.
+            3600.0
+        }
+        OperatingPlan::DutyCycled { charge_s, burst_s } => {
+            let cycle_s = charge_s + burst_s;
+            let readings_per_cycle = (burst_s * ACTIVE_PLATEAU_W / reading_j).max(0.0);
+            // Same protocol-pacing ceiling as the continuous plans.
+            (readings_per_cycle * 3600.0 / cycle_s).min(3600.0)
+        }
+    }
+}
+
+/// A hardware generation of the node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeVariant {
+    /// Display name.
+    pub name: &'static str,
+    /// Shell diameter (m).
+    pub diameter_m: f64,
+    /// PZT diameter (m) — sets the harvest aperture.
+    pub pzt_diameter_m: f64,
+    /// Active-mode draw (W).
+    pub active_w: f64,
+    /// Standby draw (W).
+    pub standby_w: f64,
+}
+
+impl NodeVariant {
+    /// The paper's prototype: 45 mm ping-pong-ball shell, 10 mm PZT,
+    /// MSP430-class electronics.
+    pub fn prototype() -> Self {
+        NodeVariant {
+            name: "prototype",
+            diameter_m: 0.045,
+            pzt_diameter_m: 0.010,
+            active_w: ACTIVE_PLATEAU_W,
+            standby_w: STANDBY_W,
+        }
+    }
+
+    /// §8's future mm-scale node: "transfer all logic circuitry into a
+    /// nano-scale chip to reduce the size to mm-scale" — a 5 mm sphere
+    /// with a 2 mm PZT and an ASIC drawing ~20 µW active.
+    pub fn mm_scale() -> Self {
+        NodeVariant {
+            name: "mm-scale",
+            diameter_m: 0.005,
+            pzt_diameter_m: 0.002,
+            active_w: 20e-6,
+            standby_w: 2e-6,
+        }
+    }
+
+    /// Harvest scale relative to the prototype: the captured power goes
+    /// with the PZT aperture area.
+    pub fn harvest_scale(&self) -> f64 {
+        (self.pzt_diameter_m / NodeVariant::prototype().pzt_diameter_m).powi(2)
+    }
+
+    /// Minimum received PZT voltage sustaining continuous *active*
+    /// operation for this variant, inverted through the harvester's
+    /// quadratic power curve scaled by the aperture.
+    pub fn min_continuous_voltage(&self, h: &Harvester) -> f64 {
+        // harvested(v) · scale = active_w → solve for v by bisection.
+        let scale = self.harvest_scale();
+        let f = |v: f64| h.harvested_power_w(v) * scale - self.active_w;
+        let (mut lo, mut hi) = (0.37, 50.0);
+        if f(hi) < 0.0 {
+            return f64::INFINITY;
+        }
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Whether this variant still disturbs the aggregate skeleton — §8
+    /// worries that prototype-sized capsules "may bring structural risks"
+    /// while mm-scale ones are comparable to sand grains (< 8 mm counts
+    /// as fine aggregate).
+    pub fn is_aggregate_compatible(&self) -> bool {
+        self.diameter_m <= 0.008
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_near_the_reader() {
+        // 1 V harvests ~1 mW ≫ 360 µW.
+        let h = Harvester::default();
+        let p = plan(h.harvested_power_w(1.0), 1e3);
+        assert_eq!(p, OperatingPlan::Continuous);
+    }
+
+    #[test]
+    fn standby_only_at_midrange() {
+        let p = plan(150e-6, 1e3);
+        assert_eq!(p, OperatingPlan::StandbyContinuous);
+    }
+
+    #[test]
+    fn duty_cycling_at_long_range() {
+        let p = plan(40e-6, 1e3);
+        let OperatingPlan::DutyCycled { charge_s, burst_s } = p else {
+            panic!("expected duty cycle, got {p:?}");
+        };
+        assert!(charge_s > burst_s, "charging dominates: {charge_s} vs {burst_s}");
+        // Still useful: at least a few readings an hour.
+        let rate = readings_per_hour(p, 18e-6);
+        assert!(rate > 10.0, "readings/hour {rate}");
+    }
+
+    #[test]
+    fn zero_harvest_is_unreachable() {
+        assert_eq!(plan(0.0, 1e3), OperatingPlan::Unreachable);
+        assert_eq!(readings_per_hour(OperatingPlan::Unreachable, 18e-6), 0.0);
+    }
+
+    #[test]
+    fn more_harvest_never_fewer_readings() {
+        let mut last = -1.0;
+        for uw in [5.0, 20.0, 50.0, 100.0, 400.0, 1500.0] {
+            let r = readings_per_hour(plan(uw * 1e-6, 1e3), 18e-6);
+            assert!(r >= last, "rate dropped at {uw} µW");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn mm_scale_tradeoff() {
+        // The mm node captures 25× less power but needs 18× less of it:
+        // its continuous-operation voltage is close to the prototype's.
+        let h = Harvester::default();
+        let proto = NodeVariant::prototype();
+        let mm = NodeVariant::mm_scale();
+        assert!((mm.harvest_scale() - 0.04).abs() < 1e-12);
+        let v_proto = proto.min_continuous_voltage(&h);
+        let v_mm = mm.min_continuous_voltage(&h);
+        assert!(v_proto < 1.2, "prototype needs {v_proto} V");
+        assert!(v_mm < 3.0 * v_proto, "mm-scale needs {v_mm} V");
+    }
+
+    #[test]
+    fn only_mm_scale_is_aggregate_compatible() {
+        assert!(!NodeVariant::prototype().is_aggregate_compatible());
+        assert!(NodeVariant::mm_scale().is_aggregate_compatible());
+    }
+}

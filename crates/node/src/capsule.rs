@@ -1,0 +1,384 @@
+//! The assembled EcoCapsule node.
+//!
+//! Wires together the harvester (power-up & cold start), the MCU power
+//! model, the envelope-detector downlink receiver (voltage multiplier
+//! reused as envelope detector + TXB0302 level shifter, §4.2), the
+//! Gen2-like protocol engine, the sensors and the impedance switch.
+
+use crate::harvester::Harvester;
+use crate::mcu::TimerDecoder;
+use crate::power::{PowerMode, PowerModel};
+use crate::sensors::{Accelerometer, Aht10, StrainGauge};
+use crate::shell::Shell;
+use dsp::envelope::{auto_thresholds, binarize_hysteresis, diode_envelope};
+use phy::fm0::PREAMBLE_BITS;
+use phy::pie::{segments_from_bools, Pie};
+use protocol::frame::{Command, Reply, SensorKind};
+use protocol::inventory::NodeProtocol;
+use rand::Rng;
+
+/// The physical quantities inside the concrete around a capsule — what
+/// its sensors would read if sampled now.
+#[derive(Debug, Clone, Copy)]
+pub struct Environment {
+    /// Internal temperature (°C).
+    pub temperature_c: f64,
+    /// Internal relative humidity (%).
+    pub humidity_percent: f64,
+    /// Internal strain (strain units, signed).
+    pub strain: f64,
+    /// Deck/member acceleration (m/s²).
+    pub acceleration_m_s2: f64,
+    /// Host concrete elastic modulus (Pa) for strain→stress conversion.
+    pub concrete_e_pa: f64,
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment {
+            temperature_c: 25.0,
+            humidity_percent: 70.0,
+            strain: 0.0,
+            acceleration_m_s2: 0.0,
+            concrete_e_pa: 27.8e9,
+        }
+    }
+}
+
+/// Node lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapsuleState {
+    /// Insufficient harvested energy.
+    Dead,
+    /// Charging the store; `remaining_s` until the MCU boots.
+    ColdStarting {
+        /// Seconds of charging still needed.
+        remaining_s: f64,
+    },
+    /// MCU up, decoding downlink.
+    Operational,
+}
+
+/// A complete EcoCapsule.
+#[derive(Debug, Clone)]
+pub struct EcoCapsule {
+    /// Factory ID.
+    pub id: u32,
+    /// Energy chain.
+    pub harvester: Harvester,
+    /// Power model.
+    pub power: PowerModel,
+    /// Mechanical shell.
+    pub shell: Shell,
+    /// Protocol engine.
+    pub protocol: NodeProtocol,
+    /// Strain channel.
+    pub strain_gauge: StrainGauge,
+    /// Acceleration channel.
+    pub accelerometer: Accelerometer,
+    /// Lifecycle state.
+    pub state: CapsuleState,
+    /// PIE codec the node expects on the downlink.
+    pub pie: Pie,
+    /// Timer front end (tick quantization + DCO clock error) the firmware
+    /// measures edges with.
+    pub timer: TimerDecoder,
+}
+
+impl EcoCapsule {
+    /// A paper-default capsule: resin shell, 4-stage harvester, 1 kbps
+    /// PIE timing.
+    pub fn new(id: u32) -> Self {
+        EcoCapsule {
+            id,
+            harvester: Harvester::default(),
+            power: PowerModel,
+            shell: Shell::paper_resin(),
+            protocol: NodeProtocol::new(id),
+            strain_gauge: StrainGauge::default(),
+            accelerometer: Accelerometer::default(),
+            state: CapsuleState::Dead,
+            pie: Pie::for_bitrate(1000.0),
+            timer: TimerDecoder::paper_default(),
+        }
+    }
+
+    /// A capsule whose DCO runs `clock_error` fractionally fast (+) or
+    /// slow (−) — failure-injection knob for the MSP430's uncalibrated
+    /// oscillator (±3% over temperature).
+    pub fn with_clock_error(id: u32, clock_error: f64) -> Self {
+        let mut c = EcoCapsule::new(id);
+        c.timer = TimerDecoder::new(1e-6, clock_error, c.pie);
+        c
+    }
+
+    /// Applies harvested input for `dt_s` seconds at PZT peak voltage
+    /// `v_peak`, advancing the lifecycle (Fig 14 cold start).
+    pub fn harvest(&mut self, v_peak: f64, dt_s: f64) {
+        assert!(dt_s >= 0.0, "time step must be non-negative");
+        match self.harvester.cold_start_s(v_peak) {
+            None => {
+                // Below threshold: dies (no storage across outages at this
+                // fidelity — the store holds for ms, not s).
+                self.state = CapsuleState::Dead;
+            }
+            Some(needed) => {
+                self.state = match self.state {
+                    CapsuleState::Dead => {
+                        if dt_s >= needed {
+                            CapsuleState::Operational
+                        } else {
+                            CapsuleState::ColdStarting {
+                                remaining_s: needed - dt_s,
+                            }
+                        }
+                    }
+                    CapsuleState::ColdStarting { remaining_s } => {
+                        if dt_s >= remaining_s {
+                            CapsuleState::Operational
+                        } else {
+                            CapsuleState::ColdStarting {
+                                remaining_s: remaining_s - dt_s,
+                            }
+                        }
+                    }
+                    CapsuleState::Operational => CapsuleState::Operational,
+                };
+            }
+        }
+    }
+
+    /// True when the MCU is running.
+    pub fn is_operational(&self) -> bool {
+        self.state == CapsuleState::Operational
+    }
+
+    /// Current power mode for consumption accounting.
+    pub fn power_mode(&self) -> PowerMode {
+        match self.state {
+            CapsuleState::Operational => PowerMode::Standby,
+            _ => PowerMode::Sleep,
+        }
+    }
+
+    /// Demodulates a received downlink waveform (carrier-level, at
+    /// `fs_hz`) through the envelope detector + level shifter + PIE timer
+    /// decoding, returning the recovered command if the frame parses.
+    ///
+    /// This is the node's whole receive path: no FFT, no downconversion —
+    /// just rectify, smooth, slice, and measure intervals (§4.2).
+    pub fn demodulate_downlink(&self, waveform: &[f64], fs_hz: f64) -> Option<Command> {
+        if !self.is_operational() {
+            return None;
+        }
+        let env = diode_envelope(waveform, self.pie.tari_s / 6.0, fs_hz);
+        let (lo, hi) = auto_thresholds(&env);
+        let sliced = binarize_hysteresis(&env, lo, hi);
+        let segments = segments_from_bools(&sliced, fs_hz);
+        // Drop leading/trailing idle (the carrier before/after the frame)
+        // by trimming segments shorter than half a tari.
+        let trimmed: Vec<(f64, bool)> = segments
+            .into_iter()
+            .filter(|s| s.duration_s > 0.4 * self.pie.tari_s)
+            .map(|s| (s.duration_s, s.high))
+            .collect();
+        // Edge intervals go through the firmware's timer capture (tick
+        // quantization + DCO clock error) before classification.
+        let bits = self.timer.decode_edges(&trimmed).ok()?;
+        // Scan for a parseable frame: commands are self-delimiting only
+        // by length, so try every suffix length the codec allows.
+        for start in 0..bits.len().min(8) {
+            for end in (start + 9..=bits.len()).rev() {
+                if let Ok(cmd) = Command::decode(&bits[start..end]) {
+                    return Some(cmd);
+                }
+            }
+        }
+        None
+    }
+
+    /// Executes a decoded command against the protocol engine and the
+    /// environment, returning the uplink reply (with real sensor data
+    /// substituted) if the node answers.
+    pub fn execute<R: Rng>(
+        &mut self,
+        cmd: &Command,
+        env: &Environment,
+        rng: &mut R,
+    ) -> Option<Reply> {
+        if !self.is_operational() {
+            return None;
+        }
+        let reply = self.protocol.on_command(cmd, rng)?;
+        Some(match reply {
+            Reply::SensorData { kind, .. } => Reply::SensorData {
+                kind,
+                raw: self.sample(kind, env),
+            },
+            other => other,
+        })
+    }
+
+    /// Samples one sensor channel against the environment.
+    pub fn sample(&self, kind: SensorKind, env: &Environment) -> u16 {
+        match kind {
+            SensorKind::Temperature => Aht10::encode_temperature(env.temperature_c),
+            SensorKind::Humidity => Aht10::encode_humidity(env.humidity_percent),
+            SensorKind::Strain => self.strain_gauge.encode(env.strain),
+            SensorKind::Acceleration => self.accelerometer.encode(env.acceleration_m_s2),
+            SensorKind::Stress => {
+                // Transport stress as a strain-scaled word: the reader
+                // knows E and re-derives MPa.
+                self.strain_gauge.encode(env.strain)
+            }
+        }
+    }
+
+    /// The bit stream this node backscatters for `reply`: FM0 preamble +
+    /// CRC-16-protected frame.
+    pub fn backscatter_bits(&self, reply: &Reply) -> Vec<bool> {
+        let mut bits = PREAMBLE_BITS.to_vec();
+        bits.extend(reply.encode());
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phy::modulation::{synthesize_drive, DownlinkScheme};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 1.0e6;
+
+    fn powered_capsule() -> EcoCapsule {
+        let mut c = EcoCapsule::new(99);
+        c.harvest(2.0, 0.1);
+        assert!(c.is_operational());
+        c
+    }
+
+    #[test]
+    fn cold_start_progression() {
+        let mut c = EcoCapsule::new(1);
+        assert_eq!(c.state, CapsuleState::Dead);
+        c.harvest(0.5, 20e-3); // needs ~55 ms
+        assert!(matches!(c.state, CapsuleState::ColdStarting { .. }));
+        c.harvest(0.5, 40e-3);
+        assert!(c.is_operational());
+    }
+
+    #[test]
+    fn power_loss_kills_the_node() {
+        let mut c = powered_capsule();
+        c.harvest(0.2, 1e-3);
+        assert_eq!(c.state, CapsuleState::Dead);
+    }
+
+    #[test]
+    fn dead_node_does_not_demodulate() {
+        let c = EcoCapsule::new(1);
+        let cbw = phy::modulation::synthesize_cbw(230e3, 1e-3, FS);
+        assert_eq!(c.demodulate_downlink(&cbw, FS), None);
+    }
+
+    #[test]
+    fn end_to_end_downlink_demodulation() {
+        // Encode a command with PIE/FSK, pass the *ideal* waveform (FSK
+        // low tone at 35% residual amplitude as the concrete would leave
+        // it), and check the node decodes it with its envelope detector.
+        let c = powered_capsule();
+        let cmd = Command::Ack { rn16: 0x5A5A };
+        let segments = c.pie.encode(&cmd.encode());
+        let drive = synthesize_drive(&segments, DownlinkScheme::Ook, 230e3, FS);
+        let decoded = c.demodulate_downlink(&drive, FS);
+        assert_eq!(decoded, Some(cmd));
+    }
+
+    #[test]
+    fn downlink_demodulation_survives_fsk_residual() {
+        // With FSK the low edge is an off-resonant tone the concrete
+        // attenuates to ~25%: the slicer must still split the levels.
+        let c = powered_capsule();
+        let cmd = Command::ReadSensor {
+            kind: SensorKind::Temperature,
+        };
+        let segments = c.pie.encode(&cmd.encode());
+        let mut drive = synthesize_drive(
+            &segments,
+            DownlinkScheme::FskInOokOut { off_hz: 180e3 },
+            230e3,
+            FS,
+        );
+        // Concrete suppression of the off tone: scale low-edge samples.
+        let mut idx = 0usize;
+        for seg in &segments {
+            let n = (seg.duration_s * FS).round() as usize;
+            for _ in 0..n {
+                if !seg.high && idx < drive.len() {
+                    drive[idx] *= 0.25;
+                }
+                idx += 1;
+            }
+        }
+        assert_eq!(c.demodulate_downlink(&drive, FS), Some(cmd));
+    }
+
+    #[test]
+    fn sensor_sampling_encodes_environment() {
+        let c = powered_capsule();
+        let env = Environment {
+            temperature_c: 31.5,
+            humidity_percent: 82.0,
+            strain: 120e-6,
+            acceleration_m_s2: 0.03,
+            concrete_e_pa: 27.8e9,
+        };
+        let t = Aht10::decode_temperature(c.sample(SensorKind::Temperature, &env));
+        assert!((t - 31.5).abs() < 0.01);
+        let h = Aht10::decode_humidity(c.sample(SensorKind::Humidity, &env));
+        assert!((h - 82.0).abs() < 0.01);
+        let s = c.strain_gauge.decode(c.sample(SensorKind::Strain, &env));
+        assert!((s - 120e-6).abs() < 1e-7);
+    }
+
+    #[test]
+    fn execute_substitutes_real_readings() {
+        let mut c = powered_capsule();
+        let mut rng = StdRng::seed_from_u64(3);
+        let env = Environment::default();
+        // Walk to Acknowledged.
+        let rn16 = loop {
+            if let Some(Reply::Rn16 { rn16 }) =
+                c.execute(&Command::Query { q: 0, session: 0 }, &env, &mut rng)
+            {
+                break rn16;
+            }
+        };
+        assert_eq!(
+            c.execute(&Command::Ack { rn16 }, &env, &mut rng),
+            Some(Reply::NodeId { id: 99 })
+        );
+        let data = c.execute(
+            &Command::ReadSensor {
+                kind: SensorKind::Humidity,
+            },
+            &env,
+            &mut rng,
+        );
+        let Some(Reply::SensorData { raw, .. }) = data else {
+            panic!("expected data")
+        };
+        assert!((Aht10::decode_humidity(raw) - 70.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn backscatter_bits_carry_preamble_and_crc() {
+        let c = powered_capsule();
+        let reply = Reply::NodeId { id: 7 };
+        let bits = c.backscatter_bits(&reply);
+        assert_eq!(&bits[..6], &PREAMBLE_BITS);
+        assert_eq!(Reply::decode(&bits[6..]), Ok(reply));
+    }
+}

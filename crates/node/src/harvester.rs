@@ -1,0 +1,212 @@
+//! Energy harvesting chain (§4.2, Figs 9 & 14).
+//!
+//! The acoustic signal on the node PZT feeds a four-stage voltage
+//! multiplier (doubling per stage minus diode drops), a storage
+//! capacitor, and a Ti LP5900SD-1.8 LDO that regulates to 1.8 V for the
+//! MCU and sensors. A diode in front of the LDO blocks reverse current.
+//!
+//! Cold start (Fig 14): below 0.5 V of harvested input the node never
+//! wakes; at 0.5 V activation takes ≈55 ms, falling to ≈4.4 ms at 2 V.
+//! We model the storage-cap charge-up with a charging current
+//! proportional to the input overhead above a dead-zone voltage `V₀`,
+//! which reproduces the measured hyperbola `t = A/(V − V₀)`.
+
+/// Minimum PZT input voltage that can activate the MCU (Fig 14).
+pub const MIN_ACTIVATION_V: f64 = 0.5;
+
+/// Regulated rail (LP5900SD-1.8).
+pub const LDO_OUTPUT_V: f64 = 1.8;
+
+/// LDO dropout: the multiplier must deliver at least rail + dropout.
+pub const LDO_DROPOUT_V: f64 = 0.08;
+
+/// Schottky drop per multiplier diode.
+pub const DIODE_DROP_V: f64 = 0.18;
+
+/// The four-stage multiplier + LDO chain.
+#[derive(Debug, Clone, Copy)]
+pub struct Harvester {
+    /// Number of multiplier stages (paper: 4).
+    pub stages: u32,
+    /// Storage capacitance (F).
+    pub storage_f: f64,
+}
+
+impl Default for Harvester {
+    fn default() -> Self {
+        Harvester {
+            stages: 4,
+            storage_f: 10e-6,
+        }
+    }
+}
+
+/// Cold-start hyperbola dead zone (V): the effective input level below
+/// which the multiplier cannot push charge into the store. Calibrated
+/// with [`COLD_START_A_VS`] to Fig 14's two anchors (55 ms @ 0.5 V,
+/// 4.4 ms @ 2 V).
+pub const COLD_START_V0: f64 = 0.3696;
+
+/// Cold-start hyperbola scale (V·s).
+pub const COLD_START_A_VS: f64 = 7.17e-3;
+
+impl Harvester {
+    /// Unloaded DC output of the multiplier for a PZT peak voltage
+    /// `v_peak`: each stage ideally doubles the peak minus two diode
+    /// drops.
+    pub fn multiplier_output_v(&self, v_peak: f64) -> f64 {
+        assert!(v_peak >= 0.0, "peak voltage must be non-negative");
+        (2.0 * self.stages as f64 * (v_peak - DIODE_DROP_V).max(0.0)).max(0.0)
+    }
+
+    /// Whether a PZT input at `v_peak` can ever power the node up.
+    pub fn can_activate(&self, v_peak: f64) -> bool {
+        v_peak >= MIN_ACTIVATION_V
+            && self.multiplier_output_v(v_peak) >= LDO_OUTPUT_V + LDO_DROPOUT_V
+    }
+
+    /// Cold-start time (s) from dead to MCU-running at input `v_peak`,
+    /// or `None` below the activation threshold (Fig 14).
+    pub fn cold_start_s(&self, v_peak: f64) -> Option<f64> {
+        if !self.can_activate(v_peak) {
+            return None;
+        }
+        Some(COLD_START_A_VS / (v_peak - COLD_START_V0))
+    }
+
+    /// Steady-state harvested power (W) available from input `v_peak`
+    /// into a matched load: quadratic in the usable overhead, saturating
+    /// at the multiplier's delivery limit. Calibrated so a 1 V input
+    /// sustains the node's ~360 µW active draw with margin.
+    pub fn harvested_power_w(&self, v_peak: f64) -> f64 {
+        assert!(v_peak >= 0.0, "peak voltage must be non-negative");
+        let overhead = (v_peak - COLD_START_V0).max(0.0);
+        // k calibrated: 1 V → ≈1 mW.
+        let k = 2.5e-3;
+        k * overhead * overhead
+    }
+
+    /// Simulates the storage-capacitor voltage over time for a piecewise
+    /// input envelope `(duration_s, v_peak)`. Returns sampled
+    /// `(t_s, v_store)` at `dt_s` resolution — used by the failure-
+    /// injection tests (brown-out under PIE low edges).
+    pub fn simulate_store(&self, envelope: &[(f64, f64)], dt_s: f64) -> Vec<(f64, f64)> {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let mut t = 0.0;
+        let mut v_store = 0.0f64;
+        let mut out = Vec::new();
+        for &(dur, v_in) in envelope {
+            assert!(dur >= 0.0 && v_in >= 0.0, "invalid envelope entry");
+            let target = self.multiplier_output_v(v_in).min(3.6); // clamp rail
+            let n = (dur / dt_s).ceil() as usize;
+            for _ in 0..n {
+                // RC-like approach to the target with the cold-start time
+                // constant; discharge through the load when unpowered.
+                let tau = if target > v_store {
+                    COLD_START_A_VS / (v_in - COLD_START_V0).max(1e-3)
+                } else {
+                    20e-3 // load discharge
+                };
+                v_store += (target - v_store) * (dt_s / tau).min(1.0);
+                out.push((t, v_store));
+                t += dt_s;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_anchor_points() {
+        let h = Harvester::default();
+        let t_05 = h.cold_start_s(0.5).unwrap();
+        let t_20 = h.cold_start_s(2.0).unwrap();
+        assert!((t_05 - 55e-3).abs() < 3e-3, "0.5 V → {} ms", t_05 * 1e3);
+        assert!((t_20 - 4.4e-3).abs() < 0.3e-3, "2 V → {} ms", t_20 * 1e3);
+    }
+
+    #[test]
+    fn below_threshold_never_activates() {
+        let h = Harvester::default();
+        assert_eq!(h.cold_start_s(0.45), None);
+        assert!(!h.can_activate(0.49));
+        assert!(h.can_activate(0.5));
+    }
+
+    #[test]
+    fn cold_start_monotone_decreasing_in_voltage() {
+        let h = Harvester::default();
+        let mut last = f64::INFINITY;
+        for v in [0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0] {
+            let t = h.cold_start_s(v).unwrap();
+            assert!(t < last, "cold start not monotone at {v} V");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn multiplier_gain() {
+        let h = Harvester::default();
+        // 4 stages ≈ 8× minus drops.
+        let v = h.multiplier_output_v(1.0);
+        assert!((v - 8.0 * (1.0 - DIODE_DROP_V)).abs() < 1e-9);
+        assert_eq!(h.multiplier_output_v(0.1), 0.0, "below diode drop");
+    }
+
+    #[test]
+    fn one_volt_sustains_active_node() {
+        let h = Harvester::default();
+        let p = h.harvested_power_w(1.0);
+        assert!(p > 400e-6, "1 V harvests {} µW", p * 1e6);
+    }
+
+    #[test]
+    fn half_volt_sustains_standby_only() {
+        let h = Harvester::default();
+        let p = h.harvested_power_w(0.5);
+        assert!(p > 30e-6, "0.5 V harvests {} µW", p * 1e6);
+        assert!(p < 360e-6, "0.5 V cannot run active mode");
+    }
+
+    #[test]
+    fn store_charges_and_holds() {
+        let h = Harvester::default();
+        let trace = h.simulate_store(&[(50e-3, 1.0)], 1e-4);
+        let final_v = trace.last().unwrap().1;
+        assert!(final_v > 1.8, "store reached {final_v}");
+        // Monotone non-decreasing under constant input.
+        for w in trace.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn store_droops_when_input_drops() {
+        let h = Harvester::default();
+        let trace = h.simulate_store(&[(50e-3, 1.0), (50e-3, 0.0)], 1e-4);
+        let mid = trace[(50e-3 / 1e-4) as usize - 1].1;
+        let end = trace.last().unwrap().1;
+        assert!(end < mid, "store must droop unpowered: {mid} → {end}");
+    }
+
+    #[test]
+    fn pie_low_edges_do_not_brown_out() {
+        // PIE guarantees ≥50% power: alternating 100 µs on/off must keep
+        // the store above the LDO minimum once charged.
+        let h = Harvester::default();
+        let mut envelope = vec![(100e-3, 1.5)]; // charge fully
+        for _ in 0..50 {
+            envelope.push((100e-6, 1.5));
+            envelope.push((100e-6, 0.0));
+        }
+        let trace = h.simulate_store(&envelope, 1e-5);
+        let after_charge = (100e-3 / 1e-5) as usize;
+        for &(t, v) in &trace[after_charge..] {
+            assert!(v > LDO_OUTPUT_V + LDO_DROPOUT_V, "brown-out at t={t}: {v} V");
+        }
+    }
+}

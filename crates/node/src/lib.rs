@@ -1,0 +1,33 @@
+//! # ecocapsule-node
+//!
+//! The EcoCapsule itself: a battery-free piezoelectric backscatter node
+//! implanted permanently in concrete (§4).
+//!
+//! - [`harvester`] — the 4-stage voltage multiplier + LP5900 LDO energy
+//!   chain, with the cold-start dynamics of Fig 14 (0.5 V minimum,
+//!   55 ms → 4.4 ms activation);
+//! - [`power`] — the MSP430G2553-based power model of Fig 13 (80.1 µW
+//!   standby, ~360 µW active regardless of bitrate);
+//! - [`sensors`] — AHT10 temperature/humidity, BFH1K strain bridge, and
+//!   the pilot study's acceleration/stress channels, with raw 16-bit
+//!   encodings for the air protocol;
+//! - [`shell`] — the stressless spherical shell (§4.1): pour-pressure
+//!   tolerance, buckling/strength limits reproducing the paper's
+//!   4.3 MPa → 195 m (resin) and 115.2 MPa → ~4985 m (alloy steel);
+//! - [`mcu`] — the firmware's timer-interrupt PIE decoder with tick
+//!   quantization and DCO clock error;
+//! - [`budget`] — energy planning (continuous / standby / duty-cycled
+//!   operation) and the §8 mm-scale node variant;
+//! - [`capsule`] — the assembled node: harvester + MCU state machine +
+//!   protocol engine + sensors + impedance switch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod capsule;
+pub mod harvester;
+pub mod mcu;
+pub mod power;
+pub mod sensors;
+pub mod shell;

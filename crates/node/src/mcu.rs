@@ -1,0 +1,150 @@
+//! The MSP430-class firmware's timer-interrupt PIE decoder (§4.2).
+//!
+//! "The MCU decodes the downlink PIE command by using the timer interrupt
+//! to measure the time interval between every edge of the demodulator
+//! output." That measurement is quantized to the MCU's timer tick and
+//! skewed by its (uncalibrated DCO) clock error — both of which the PIE
+//! symbol classifier must tolerate. This module models exactly that path:
+//! edges in, tick counts, interval classification, frame bits out.
+
+use phy::pie::{Pie, PieError, Segment};
+
+/// The timer-capture front end of the firmware.
+#[derive(Debug, Clone, Copy)]
+pub struct TimerDecoder {
+    /// Timer tick period (s). MSP430G2553 SMCLK at 1 MHz → 1 µs.
+    pub tick_s: f64,
+    /// Fractional clock error of the DCO (±; datasheet: up to ±3%
+    /// uncalibrated over temperature).
+    pub clock_error: f64,
+    /// PIE timing the firmware was programmed for.
+    pub pie: Pie,
+}
+
+impl TimerDecoder {
+    /// The paper's firmware: 1 µs tick, perfect trim, 1 kbps PIE.
+    pub fn paper_default() -> Self {
+        TimerDecoder {
+            tick_s: 1e-6,
+            clock_error: 0.0,
+            pie: Pie::for_bitrate(1000.0),
+        }
+    }
+
+    /// Creates a decoder. Panics on non-positive tick or |error| ≥ 10%.
+    pub fn new(tick_s: f64, clock_error: f64, pie: Pie) -> Self {
+        assert!(tick_s > 0.0, "tick must be positive");
+        assert!(clock_error.abs() < 0.10, "clock error must be under 10%");
+        TimerDecoder {
+            tick_s,
+            clock_error,
+            pie,
+        }
+    }
+
+    /// Converts a true edge interval (s) into the tick count the timer
+    /// capture registers under this clock.
+    pub fn measure_ticks(&self, interval_s: f64) -> u32 {
+        assert!(interval_s >= 0.0, "interval must be non-negative");
+        let apparent = interval_s * (1.0 + self.clock_error);
+        (apparent / self.tick_s).round() as u32
+    }
+
+    /// Reconstructs segments from `(tick_count, level)` capture pairs —
+    /// what the interrupt handler accumulates.
+    pub fn segments_from_captures(&self, captures: &[(u32, bool)]) -> Vec<Segment> {
+        captures
+            .iter()
+            .map(|&(ticks, high)| Segment {
+                duration_s: ticks as f64 * self.tick_s,
+                high,
+            })
+            .collect()
+    }
+
+    /// The full firmware receive path: true edge intervals (from the
+    /// level shifter) → timer capture (quantization + clock skew) →
+    /// PIE classification → bits.
+    pub fn decode_edges(&self, edges: &[(f64, bool)]) -> Result<Vec<bool>, PieError> {
+        let captures: Vec<(u32, bool)> = edges
+            .iter()
+            .map(|&(dur, high)| (self.measure_ticks(dur), high))
+            .collect();
+        let segments = self.segments_from_captures(&captures);
+        self.pie.decode(&segments)
+    }
+
+    /// Largest clock error this decoder tolerates for its PIE timing,
+    /// found by scanning: the PIE classifier accepts ±35% on the short
+    /// interval, so with a `t` tari and tick `τ`, tolerance ≈
+    /// 0.35 − τ/(2t) fractional error.
+    pub fn clock_error_tolerance(&self) -> f64 {
+        0.35 - self.tick_s / (2.0 * self.pie.tari_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges_for(bits: &[bool], pie: &Pie) -> Vec<(f64, bool)> {
+        pie.encode(bits)
+            .into_iter()
+            .map(|s| (s.duration_s, s.high))
+            .collect()
+    }
+
+    #[test]
+    fn clean_decode_through_the_timer_path() {
+        let dec = TimerDecoder::paper_default();
+        let bits = vec![true, false, true, true, false];
+        let edges = edges_for(&bits, &dec.pie);
+        assert_eq!(dec.decode_edges(&edges).unwrap(), bits);
+    }
+
+    #[test]
+    fn survives_datasheet_clock_error() {
+        // ±3% DCO error must not break 1 kbps PIE.
+        let bits = vec![false, true, false, false, true, true];
+        for err in [-0.03, 0.03] {
+            let dec = TimerDecoder::new(1e-6, err, Pie::for_bitrate(1000.0));
+            let edges = edges_for(&bits, &dec.pie);
+            assert_eq!(dec.decode_edges(&edges).unwrap(), bits, "error {err}");
+        }
+    }
+
+    #[test]
+    fn breaks_when_tick_exceeds_the_tari() {
+        // A 40 µs tick cannot resolve a 20 µs tari: the bit-0 high
+        // interval rounds to 2 tari — matching neither symbol.
+        let bits = vec![false, true];
+        let coarse = TimerDecoder::new(40e-6, 0.0, Pie::new(20e-6));
+        let edges = edges_for(&bits, &coarse.pie);
+        let result = coarse.decode_edges(&edges);
+        assert!(
+            result.is_err() || result.unwrap() != bits,
+            "tick ≥ 2×tari must break the classifier"
+        );
+    }
+
+    #[test]
+    fn tick_quantization_rounds() {
+        let dec = TimerDecoder::paper_default();
+        assert_eq!(dec.measure_ticks(333.4e-6), 333);
+        assert_eq!(dec.measure_ticks(333.6e-6), 334);
+        assert_eq!(dec.measure_ticks(0.0), 0);
+    }
+
+    #[test]
+    fn tolerance_shrinks_with_coarser_ticks() {
+        let fine = TimerDecoder::new(1e-6, 0.0, Pie::for_bitrate(1000.0));
+        let coarse = TimerDecoder::new(50e-6, 0.0, Pie::for_bitrate(1000.0));
+        assert!(fine.clock_error_tolerance() > coarse.clock_error_tolerance());
+    }
+
+    #[test]
+    #[should_panic(expected = "clock error")]
+    fn rejects_wild_clock() {
+        let _ = TimerDecoder::new(1e-6, 0.2, Pie::for_bitrate(1000.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Node power model (§4.2, §5.2, Fig 13).
+//!
+//! Measured with Ti EnergyTrace in the paper: 80.1 µW on standby (MCU in
+//! LPM3 waiting to decode downlink), and a total that "fluctuates around
+//! 360 µW slightly regardless of the bitrate" once transmitting —
+//! backscatter costs almost nothing because the impedance switch burns
+//! microwatts and the carrier energy comes from the reader.
+
+/// MSP430G2553 active-mode core draw (datasheet/paper: 414 µW at 1.8 V).
+pub const MCU_ACTIVE_W: f64 = 414e-6;
+
+/// MSP430G2553 LPM3 sleep draw (paper: 0.9 µW).
+pub const MCU_SLEEP_W: f64 = 0.9e-6;
+
+/// Measured standby total (Fig 13 at 0 kbps).
+pub const STANDBY_W: f64 = 80.1e-6;
+
+/// Measured active-mode plateau (Fig 13 for 1–8 kbps).
+pub const ACTIVE_PLATEAU_W: f64 = 360e-6;
+
+/// Operating modes of the node firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerMode {
+    /// Harvesting only; MCU asleep in LPM3.
+    Sleep,
+    /// Awake, envelope detector armed, decoding downlink edges.
+    Standby,
+    /// Transmitting on the uplink at some bitrate.
+    Active,
+}
+
+/// Power model replicating Fig 13.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerModel;
+
+impl PowerModel {
+    /// Total node draw (W) at an uplink `bitrate_bps` (0 = standby).
+    ///
+    /// Matches Fig 13: 80.1 µW at zero, then a plateau near 360 µW with a
+    /// tiny slope from the switch toggling energy (CV² per transition).
+    pub fn consumption_w(&self, bitrate_bps: f64) -> f64 {
+        assert!(bitrate_bps >= 0.0, "bitrate must be non-negative");
+        if bitrate_bps == 0.0 {
+            return STANDBY_W;
+        }
+        // Switch energy: ~2 transitions/bit, C ≈ 50 pF, V = 1.8 V.
+        let switch_w = 2.0 * bitrate_bps * 50e-12 * 1.8 * 1.8;
+        ACTIVE_PLATEAU_W + switch_w
+    }
+
+    /// Draw in an explicit mode.
+    pub fn mode_w(&self, mode: PowerMode) -> f64 {
+        match mode {
+            PowerMode::Sleep => MCU_SLEEP_W,
+            PowerMode::Standby => STANDBY_W,
+            PowerMode::Active => ACTIVE_PLATEAU_W,
+        }
+    }
+
+    /// Maximum sustainable uplink bitrate for a given harvested power, or
+    /// `None` if even standby cannot be sustained.
+    pub fn max_bitrate_bps(&self, harvested_w: f64) -> Option<f64> {
+        assert!(harvested_w >= 0.0, "power must be non-negative");
+        if harvested_w < STANDBY_W {
+            return None;
+        }
+        if harvested_w < ACTIVE_PLATEAU_W {
+            return Some(0.0);
+        }
+        // Invert the switch term.
+        let overhead = harvested_w - ACTIVE_PLATEAU_W;
+        Some(overhead / (2.0 * 50e-12 * 1.8 * 1.8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_standby_is_80_uw() {
+        let p = PowerModel.consumption_w(0.0);
+        assert!((p - 80.1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig13_active_plateau_is_flat_around_360_uw() {
+        let p1 = PowerModel.consumption_w(1e3);
+        let p8 = PowerModel.consumption_w(8e3);
+        assert!((p1 - 360e-6).abs() / 360e-6 < 0.02, "1 kbps: {} µW", p1 * 1e6);
+        assert!((p8 - 360e-6).abs() / 360e-6 < 0.02, "8 kbps: {} µW", p8 * 1e6);
+        // "fluctuates ... slightly regardless of the bitrate".
+        assert!((p8 - p1) / p1 < 0.01);
+    }
+
+    #[test]
+    fn backscatter_is_nearly_free() {
+        // The whole point of backscatter: 8 kbps costs < 1 µW extra.
+        let extra = PowerModel.consumption_w(8e3) - PowerModel.consumption_w(1e-9);
+        assert!(extra < 3e-6, "toggling cost {} µW", extra * 1e6);
+    }
+
+    #[test]
+    fn sleep_is_under_a_microwatt() {
+        assert!(PowerModel.mode_w(PowerMode::Sleep) < 1e-6);
+    }
+
+    #[test]
+    fn max_bitrate_thresholds() {
+        let m = PowerModel;
+        assert_eq!(m.max_bitrate_bps(50e-6), None, "below standby");
+        assert_eq!(m.max_bitrate_bps(100e-6), Some(0.0), "standby only");
+        assert!(m.max_bitrate_bps(400e-6).unwrap() > 8e3, "active with margin");
+    }
+}

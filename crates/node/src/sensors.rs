@@ -1,0 +1,178 @@
+//! Sensor models and raw encodings (§4.2: AHT10 temperature + humidity
+//! over I²C, BFH1K-3EB full-bridge strain gauge on the internal ADC;
+//! plus the pilot study's acceleration and stress channels).
+//!
+//! The air protocol carries 16-bit raw words; each sensor defines its
+//! physical↔raw scaling here so both ends agree.
+
+/// AHT10 integrated temperature/humidity sensor.
+///
+/// The real part outputs 20-bit words; we transport the top 16 bits.
+/// Scaling per datasheet: `RH% = raw/2²⁰·100`, `T°C = raw/2²⁰·200 − 50`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aht10;
+
+impl Aht10 {
+    /// Encodes a humidity percentage (0..=100) to a 16-bit raw word.
+    pub fn encode_humidity(rh_percent: f64) -> u16 {
+        let clamped = rh_percent.clamp(0.0, 100.0);
+        ((clamped / 100.0) * 65535.0).round() as u16
+    }
+
+    /// Decodes a 16-bit raw humidity word.
+    pub fn decode_humidity(raw: u16) -> f64 {
+        raw as f64 / 65535.0 * 100.0
+    }
+
+    /// Encodes a temperature (−50..=150 °C) to a 16-bit raw word.
+    pub fn encode_temperature(t_c: f64) -> u16 {
+        let clamped = t_c.clamp(-50.0, 150.0);
+        (((clamped + 50.0) / 200.0) * 65535.0).round() as u16
+    }
+
+    /// Decodes a 16-bit raw temperature word.
+    pub fn decode_temperature(raw: u16) -> f64 {
+        raw as f64 / 65535.0 * 200.0 - 50.0
+    }
+}
+
+/// BFH1K-3EB full-bridge strain gauge on the shell's back face,
+/// "to measure two-directional concrete internal strains" (§4.2).
+///
+/// Bridge output: `V_out = V_exc · GF · ε / 4` with gauge factor GF ≈ 2;
+/// the ADC digitizes ±V_exc·GF·ε_max/4 over 16 bits (offset binary).
+#[derive(Debug, Clone, Copy)]
+pub struct StrainGauge {
+    /// Gauge factor (≈2 for metal foil).
+    pub gauge_factor: f64,
+    /// Full-scale strain (±, in strain units; 3000 µε default).
+    pub full_scale: f64,
+}
+
+impl Default for StrainGauge {
+    fn default() -> Self {
+        StrainGauge {
+            gauge_factor: 2.0,
+            full_scale: 3000e-6,
+        }
+    }
+}
+
+impl StrainGauge {
+    /// Encodes a strain (signed, strain units) into offset-binary 16 bits.
+    pub fn encode(&self, strain: f64) -> u16 {
+        let x = (strain / self.full_scale).clamp(-1.0, 1.0);
+        (((x + 1.0) / 2.0) * 65535.0).round() as u16
+    }
+
+    /// Decodes offset-binary 16 bits back into strain.
+    pub fn decode(&self, raw: u16) -> f64 {
+        (raw as f64 / 65535.0 * 2.0 - 1.0) * self.full_scale
+    }
+
+    /// Converts a measured strain into stress (Pa) through the host
+    /// concrete's elastic modulus — the quantity the pilot study logs.
+    pub fn stress_pa(&self, strain: f64, concrete_e_pa: f64) -> f64 {
+        assert!(concrete_e_pa > 0.0, "modulus must be positive");
+        strain * concrete_e_pa
+    }
+}
+
+/// Accelerometer channel (pilot study; ±0.5 m/s² full scale covers the
+/// footbridge's ≤0.08 m/s² deck accelerations with headroom).
+#[derive(Debug, Clone, Copy)]
+pub struct Accelerometer {
+    /// Full-scale acceleration (±, m/s²).
+    pub full_scale_m_s2: f64,
+}
+
+impl Default for Accelerometer {
+    fn default() -> Self {
+        Accelerometer {
+            full_scale_m_s2: 0.5,
+        }
+    }
+}
+
+impl Accelerometer {
+    /// Encodes an acceleration into offset-binary 16 bits.
+    pub fn encode(&self, a_m_s2: f64) -> u16 {
+        let x = (a_m_s2 / self.full_scale_m_s2).clamp(-1.0, 1.0);
+        (((x + 1.0) / 2.0) * 65535.0).round() as u16
+    }
+
+    /// Decodes offset-binary 16 bits back into m/s².
+    pub fn decode(&self, raw: u16) -> f64 {
+        (raw as f64 / 65535.0 * 2.0 - 1.0) * self.full_scale_m_s2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn aht10_roundtrip_accuracy() {
+        for rh in [0.0, 12.5, 55.0, 99.9, 100.0] {
+            let back = Aht10::decode_humidity(Aht10::encode_humidity(rh));
+            assert!((back - rh).abs() < 0.01, "RH {rh} → {back}");
+        }
+        for t in [-50.0, -10.0, 0.0, 25.0, 85.0, 150.0] {
+            let back = Aht10::decode_temperature(Aht10::encode_temperature(t));
+            assert!((back - t).abs() < 0.01, "T {t} → {back}");
+        }
+    }
+
+    #[test]
+    fn aht10_clamps_out_of_range() {
+        assert_eq!(Aht10::encode_humidity(150.0), u16::MAX);
+        assert_eq!(Aht10::encode_humidity(-5.0), 0);
+        assert_eq!(Aht10::encode_temperature(1000.0), u16::MAX);
+    }
+
+    #[test]
+    fn strain_roundtrip_and_stress() {
+        let g = StrainGauge::default();
+        let eps = 250e-6; // typical service strain
+        let back = g.decode(g.encode(eps));
+        assert!((back - eps).abs() < 1e-7, "{eps} → {back}");
+        // Stress at NC's E = 27.8 GPa: 250 µε → 6.95 MPa.
+        let s = g.stress_pa(eps, 27.8e9);
+        assert!((s - 6.95e6).abs() / 6.95e6 < 1e-6);
+    }
+
+    #[test]
+    fn strain_is_signed() {
+        let g = StrainGauge::default();
+        let tension = g.encode(1000e-6);
+        let compression = g.encode(-1000e-6);
+        assert!(tension > g.encode(0.0));
+        assert!(compression < g.encode(0.0));
+        assert!(g.decode(compression) < 0.0);
+    }
+
+    #[test]
+    fn accel_covers_footbridge_range() {
+        // Pilot study deck accelerations stay within ±0.08 m/s².
+        let a = Accelerometer::default();
+        let x = 0.08;
+        let back = a.decode(a.encode(x));
+        assert!((back - x).abs() < 1e-4);
+    }
+
+    proptest! {
+        #[test]
+        fn strain_roundtrip_random(eps_ue in -3000.0f64..3000.0) {
+            let g = StrainGauge::default();
+            let eps = eps_ue * 1e-6;
+            let back = g.decode(g.encode(eps));
+            prop_assert!((back - eps).abs() < 1.2e-7);
+        }
+
+        #[test]
+        fn humidity_monotone(a in 0.0f64..99.0, d in 0.01f64..1.0) {
+            prop_assert!(Aht10::encode_humidity(a + d) >= Aht10::encode_humidity(a));
+        }
+    }
+}

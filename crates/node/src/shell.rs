@@ -1,0 +1,249 @@
+//! The stressless spherical shell (§4.1, Fig 8, Eqn 4).
+//!
+//! A capsule implanted at depth `h` in a building carries the pressure
+//! difference `ΔP = ρ·g·h − P_air` between the concrete outside and the
+//! air inside (Eqn 4). The 2 mm SLA-resin sphere the paper prints
+//! tolerates `ΔP_max ≈ 4.3 MPa`, bounding buildings to `h_max ≈ 195 m`;
+//! an alloy-steel shell raises that to 115.2 MPa and ≈4985 m.
+//!
+//! Those two numbers come from *different* failure modes, which our
+//! model unifies:
+//!
+//! - thin resin shells fail by **elastic buckling**:
+//!   `P_cr = γ · 2·E·t² / (r²·√(3(1−ν²)))` with the standard empirical
+//!   knockdown `γ ≈ 0.2` for imperfect spheres — 4.3 MPa for the paper's
+//!   resin geometry;
+//! - steel shells fail by **membrane yield**: `σ = ΔP·r/(2t) ≤ σ_yield`
+//!   — 115.2 MPa for a 648 MPa alloy at the same geometry.
+//!
+//! `ΔP_max = min(yield limit, buckling limit)` reproduces both paper
+//! values from one formula.
+
+/// Standard atmospheric pressure (Pa), as used in Eqn 4.
+pub const P_AIR_PA: f64 = 101_325.0;
+
+/// Gravitational acceleration (m/s²).
+pub const G: f64 = 9.81;
+
+/// Empirical buckling knock-down factor for imperfect thin spheres.
+pub const BUCKLING_KNOCKDOWN: f64 = 0.2;
+
+/// A shell material's mechanical constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShellMaterial {
+    /// Display name.
+    pub name: &'static str,
+    /// Young's modulus (Pa).
+    pub youngs_pa: f64,
+    /// Poisson's ratio.
+    pub poisson: f64,
+    /// Strength limit (tensile/yield, Pa).
+    pub strength_pa: f64,
+}
+
+impl ShellMaterial {
+    /// The paper's SLA resin: ~65 MPa tensile, ~2.2 GPa modulus.
+    pub const SLA_RESIN: ShellMaterial = ShellMaterial {
+        name: "SLA resin",
+        youngs_pa: 2.2e9,
+        poisson: 0.40,
+        strength_pa: 65e6,
+    };
+
+    /// Alloy steel (e.g. 4140: ~648 MPa yield, 200 GPa modulus).
+    pub const ALLOY_STEEL: ShellMaterial = ShellMaterial {
+        name: "alloy steel",
+        youngs_pa: 200e9,
+        poisson: 0.30,
+        strength_pa: 648e6,
+    };
+}
+
+/// A spherical capsule shell.
+#[derive(Debug, Clone, Copy)]
+pub struct Shell {
+    /// Material.
+    pub material: ShellMaterial,
+    /// Outer radius (m). The paper's capsule: 45 mm diameter.
+    pub radius_m: f64,
+    /// Wall thickness (m). The paper: 2.0 mm.
+    pub thickness_m: f64,
+}
+
+impl Shell {
+    /// The paper's printed prototype: 45 mm resin sphere, 2 mm wall.
+    pub fn paper_resin() -> Self {
+        Shell {
+            material: ShellMaterial::SLA_RESIN,
+            radius_m: 0.0225,
+            thickness_m: 0.002,
+        }
+    }
+
+    /// The §4.1 steel variant at the same geometry.
+    pub fn paper_steel() -> Self {
+        Shell {
+            material: ShellMaterial::ALLOY_STEEL,
+            ..Shell::paper_resin()
+        }
+    }
+
+    /// Creates a shell. Panics on non-positive geometry or `t ≥ r`.
+    pub fn new(material: ShellMaterial, radius_m: f64, thickness_m: f64) -> Self {
+        assert!(radius_m > 0.0 && thickness_m > 0.0, "geometry must be positive");
+        assert!(thickness_m < radius_m, "wall must be thinner than the radius");
+        Shell {
+            material,
+            radius_m,
+            thickness_m,
+        }
+    }
+
+    /// Membrane compressive stress under external pressure `dp_pa`:
+    /// `σ = ΔP·r / (2t)`.
+    pub fn membrane_stress_pa(&self, dp_pa: f64) -> f64 {
+        assert!(dp_pa >= 0.0, "pressure must be non-negative");
+        dp_pa * self.radius_m / (2.0 * self.thickness_m)
+    }
+
+    /// Pressure limit from material strength.
+    pub fn yield_limit_pa(&self) -> f64 {
+        self.material.strength_pa * 2.0 * self.thickness_m / self.radius_m
+    }
+
+    /// Pressure limit from elastic buckling (classical critical pressure
+    /// with the empirical knockdown).
+    pub fn buckling_limit_pa(&self) -> f64 {
+        let m = &self.material;
+        BUCKLING_KNOCKDOWN * 2.0 * m.youngs_pa * self.thickness_m * self.thickness_m
+            / (self.radius_m * self.radius_m * (3.0 * (1.0 - m.poisson * m.poisson)).sqrt())
+    }
+
+    /// The governing pressure tolerance: `min(yield, buckling)`.
+    pub fn dp_max_pa(&self) -> f64 {
+        self.yield_limit_pa().min(self.buckling_limit_pa())
+    }
+
+    /// Eqn 4: pressure difference at depth `h_m` in concrete of density
+    /// `rho_kg_m3` (clamped at 0 — near the surface the interior air
+    /// pushes outward, which the shell trivially holds).
+    pub fn dp_at_depth_pa(h_m: f64, rho_kg_m3: f64) -> f64 {
+        assert!(h_m >= 0.0 && rho_kg_m3 > 0.0, "invalid depth query");
+        (rho_kg_m3 * G * h_m - P_AIR_PA).max(0.0)
+    }
+
+    /// Maximum building height (m) this shell can be implanted under,
+    /// inverting Eqn 4: `h_max = (ΔP_max + P_air) / (ρ·g)`.
+    pub fn max_building_height_m(&self, rho_kg_m3: f64) -> f64 {
+        assert!(rho_kg_m3 > 0.0, "density must be positive");
+        (self.dp_max_pa() + P_AIR_PA) / (rho_kg_m3 * G)
+    }
+
+    /// Radial deformation under `dp_pa`:
+    /// `δ = ΔP·r²·(1−ν) / (2·E·t)` (thin-shell membrane solution).
+    pub fn deformation_m(&self, dp_pa: f64) -> f64 {
+        assert!(dp_pa >= 0.0, "pressure must be non-negative");
+        dp_pa * self.radius_m * self.radius_m * (1.0 - self.material.poisson)
+            / (2.0 * self.material.youngs_pa * self.thickness_m)
+    }
+
+    /// Fractional deformation `δ/r` — the paper tolerates at most 5%.
+    pub fn deformation_fraction(&self, dp_pa: f64) -> f64 {
+        self.deformation_m(dp_pa) / self.radius_m
+    }
+
+    /// Whether the shell survives implantation at depth `h_m` in concrete
+    /// of density `rho_kg_m3`.
+    pub fn survives_depth(&self, h_m: f64, rho_kg_m3: f64) -> bool {
+        Shell::dp_at_depth_pa(h_m, rho_kg_m3) <= self.dp_max_pa()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_resin_dp_max_is_4_3_mpa() {
+        // §4.1: "ΔP_max ≈ 4.3 MPa" for the printed resin shell.
+        let dp = Shell::paper_resin().dp_max_pa();
+        assert!((dp - 4.3e6).abs() / 4.3e6 < 0.10, "resin ΔP_max = {} MPa", dp / 1e6);
+    }
+
+    #[test]
+    fn paper_resin_max_height_is_195_m() {
+        // §4.1: "h_max = 195 m ... any building under 195 m (~55 floors)".
+        let h = Shell::paper_resin().max_building_height_m(2300.0);
+        assert!((h - 195.0).abs() < 15.0, "resin h_max = {h} m");
+    }
+
+    #[test]
+    fn paper_steel_dp_max_is_115_mpa() {
+        // §4.1: "ΔP_max ≈ 115.2 MPa for the shell made from alloy steel".
+        let dp = Shell::paper_steel().dp_max_pa();
+        assert!((dp - 115.2e6).abs() / 115.2e6 < 0.05, "steel ΔP_max = {} MPa", dp / 1e6);
+    }
+
+    #[test]
+    fn paper_steel_max_height_is_about_4985_m() {
+        // §4.1: "h_max = 4985 m, far higher than the highest man-made
+        // building".
+        let h = Shell::paper_steel().max_building_height_m(2360.0);
+        assert!((4600.0..5400.0).contains(&h), "steel h_max = {h} m");
+    }
+
+    #[test]
+    fn resin_fails_by_buckling_steel_by_yield() {
+        let resin = Shell::paper_resin();
+        assert!(resin.buckling_limit_pa() < resin.yield_limit_pa());
+        let steel = Shell::paper_steel();
+        assert!(steel.yield_limit_pa() < steel.buckling_limit_pa());
+    }
+
+    #[test]
+    fn eqn4_depth_pressure() {
+        // ΔP = ρgh − P_air; at 195 m and ρ = 2300 → ≈ 4.3 MPa.
+        let dp = Shell::dp_at_depth_pa(195.0, 2300.0);
+        assert!((dp - 4.3e6).abs() / 4.3e6 < 0.03, "ΔP(195 m) = {} MPa", dp / 1e6);
+        // Near the surface the net inward pressure clamps at 0.
+        assert_eq!(Shell::dp_at_depth_pa(1.0, 2300.0), 0.0);
+    }
+
+    #[test]
+    fn deformation_stays_under_5_percent_at_rating() {
+        // §4.1: "5% deformation is tolerated at most".
+        let shell = Shell::paper_resin();
+        let frac = shell.deformation_fraction(shell.dp_max_pa());
+        assert!(frac < 0.05, "deformation at rating: {}%", frac * 100.0);
+    }
+
+    #[test]
+    fn survives_55_floor_building_but_not_300m() {
+        let shell = Shell::paper_resin();
+        assert!(shell.survives_depth(190.0, 2300.0));
+        assert!(!shell.survives_depth(300.0, 2300.0));
+    }
+
+    #[test]
+    fn thicker_wall_tolerates_more() {
+        let thin = Shell::new(ShellMaterial::SLA_RESIN, 0.0225, 0.0015);
+        let thick = Shell::new(ShellMaterial::SLA_RESIN, 0.0225, 0.003);
+        assert!(thick.dp_max_pa() > thin.dp_max_pa());
+    }
+
+    #[test]
+    #[should_panic(expected = "thinner")]
+    fn rejects_solid_sphere() {
+        let _ = Shell::new(ShellMaterial::SLA_RESIN, 0.002, 0.002);
+    }
+
+    #[test]
+    fn stress_formula() {
+        let s = Shell::paper_resin();
+        // σ = ΔP r / 2t: at 4.3 MPa → 4.3e6 · 0.0225 / 0.004 = 24.2 MPa.
+        let sigma = s.membrane_stress_pa(4.3e6);
+        assert!((sigma - 24.19e6).abs() / 24.19e6 < 0.01);
+        // Well under the 65 MPa strength — buckling governs, not stress.
+        assert!(sigma < ShellMaterial::SLA_RESIN.strength_pa);
+    }
+}

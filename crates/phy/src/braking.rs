@@ -1,0 +1,163 @@
+//! The traditional anti-ring approach: reverse braking voltage (§3.3).
+//!
+//! "The traditional approach of the anti-ring-effect is to apply a
+//! reverse braking voltage in the ending of the high-power edge to
+//! counteract the tailing wave. However, this approach encounters two
+//! difficulties, that is, the parameters of braking timing and braking
+//! voltage are hard to determine. Braking too early or too late (braking
+//! too high or too low) weakens the ending of the high-voltage edge or
+//! raises the beginning of the low-voltage edge."
+//!
+//! This module implements that strawman so the ablation benches can
+//! quantify *why* the paper's FSK trick wins: braking works perfectly at
+//! its exact calibration point and degrades sharply with parameter
+//! error, while FSK needs no per-deployment calibration at all.
+
+use crate::pzt::{measure_tail_s, Pzt};
+
+/// A braking configuration: an anti-phase burst appended to the drive.
+#[derive(Debug, Clone, Copy)]
+pub struct BrakingConfig {
+    /// Braking burst duration (s).
+    pub duration_s: f64,
+    /// Braking amplitude relative to the drive amplitude.
+    pub amplitude: f64,
+    /// Timing error (s): positive = brake starts late.
+    pub timing_error_s: f64,
+}
+
+impl BrakingConfig {
+    /// The ideal calibration for a transducer with quality factor `q` at
+    /// `f0_hz`: brake for the time the ring needs to decay to ~20% with
+    /// an amplitude matching the residual vibration.
+    pub fn calibrated(pzt: &Pzt) -> Self {
+        BrakingConfig {
+            duration_s: pzt.ring_down_time_s(0.5),
+            amplitude: 0.95,
+            timing_error_s: 0.0,
+        }
+    }
+}
+
+/// Synthesizes an OOK burst (on `on_s`, then off) with a braking burst
+/// and returns the transducer's response. `f0_hz` is both the drive tone
+/// and the transducer resonance. The record is `total_s` long.
+pub fn braked_burst_response(
+    pzt: &Pzt,
+    cfg: &BrakingConfig,
+    on_s: f64,
+    total_s: f64,
+) -> Vec<f64> {
+    assert!(on_s > 0.0 && total_s > on_s, "invalid burst timing");
+    let fs = pzt.fs_hz;
+    let n = (total_s * fs) as usize;
+    let n_on = (on_s * fs) as usize;
+    let brake_start = ((on_s + cfg.timing_error_s).max(0.0) * fs) as usize;
+    let brake_end = brake_start + (cfg.duration_s * fs) as usize;
+    let w = 2.0 * std::f64::consts::PI * pzt.f0_hz / fs;
+    let drive: Vec<f64> = (0..n)
+        .map(|i| {
+            if i < n_on {
+                (w * i as f64).sin()
+            } else if i >= brake_start && i < brake_end {
+                // Anti-phase burst: π-shifted continuation of the carrier.
+                -cfg.amplitude * (w * i as f64).sin()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    pzt.respond(&drive)
+}
+
+/// Residual tail (s) after the high edge for a braking configuration —
+/// the metric the ablation sweeps over timing/amplitude error.
+pub fn braked_tail_s(pzt: &Pzt, cfg: &BrakingConfig, on_s: f64) -> Option<f64> {
+    let total = on_s + 10.0 * pzt.ring_down_time_s(0.05);
+    let y = braked_burst_response(pzt, cfg, on_s, total);
+    // Measure from the end of the braking burst (its own drive counts as
+    // intentional, not tail).
+    let brake_end_s = (on_s + cfg.timing_error_s).max(0.0) + cfg.duration_s;
+    measure_tail_s(&y, brake_end_s.max(on_s), 0.05, pzt.fs_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pzt() -> Pzt {
+        Pzt::reader_disc(2.0e6)
+    }
+
+    #[test]
+    fn calibrated_braking_beats_no_braking() {
+        let p = pzt();
+        let cfg = BrakingConfig::calibrated(&p);
+        let braked = braked_tail_s(&p, &cfg, 0.5e-3).unwrap();
+        let unbraked = braked_tail_s(
+            &p,
+            &BrakingConfig {
+                duration_s: 0.0,
+                amplitude: 0.0,
+                timing_error_s: 0.0,
+            },
+            0.5e-3,
+        )
+        .unwrap();
+        assert!(
+            braked < 0.5 * unbraked,
+            "calibrated braking {braked} vs unbraked {unbraked}"
+        );
+    }
+
+    #[test]
+    fn late_braking_loses_the_benefit() {
+        // §3.3: "braking too early or too late" fails. A brake delayed by
+        // the full ring-down time arrives after the tail it should cancel.
+        let p = pzt();
+        let good = braked_tail_s(&p, &BrakingConfig::calibrated(&p), 0.5e-3).unwrap();
+        let late = braked_tail_s(
+            &p,
+            &BrakingConfig {
+                timing_error_s: p.ring_down_time_s(0.05),
+                ..BrakingConfig::calibrated(&p)
+            },
+            0.5e-3,
+        )
+        .unwrap();
+        assert!(late > 1.5 * good, "late {late} vs calibrated {good}");
+    }
+
+    #[test]
+    fn overdriven_braking_rings_on_its_own() {
+        // "braking too high … raises the beginning of the low-voltage
+        // edge": a 3× overdriven brake injects a new oscillation.
+        let p = pzt();
+        let good = braked_tail_s(&p, &BrakingConfig::calibrated(&p), 0.5e-3).unwrap();
+        let over = braked_tail_s(
+            &p,
+            &BrakingConfig {
+                amplitude: 3.0,
+                ..BrakingConfig::calibrated(&p)
+            },
+            0.5e-3,
+        )
+        .unwrap();
+        assert!(over > good, "overdriven {over} vs calibrated {good}");
+    }
+
+    #[test]
+    fn braking_sensitivity_is_the_papers_argument() {
+        // Quantify the calibration cliff: ±40% amplitude error must cost
+        // a meaningful tail increase. (FSK has no such parameter at all.)
+        let p = pzt();
+        let cal = BrakingConfig::calibrated(&p);
+        let good = braked_tail_s(&p, &cal, 0.5e-3).unwrap();
+        let lo = braked_tail_s(&p, &BrakingConfig { amplitude: cal.amplitude * 0.6, ..cal }, 0.5e-3).unwrap();
+        let hi = braked_tail_s(&p, &BrakingConfig { amplitude: cal.amplitude * 1.4, ..cal }, 0.5e-3).unwrap();
+        assert!(
+            lo > good || hi > good,
+            "a mis-set brake must be worse: good {good}, lo {lo}, hi {hi}"
+        );
+    }
+}

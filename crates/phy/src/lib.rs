@@ -1,0 +1,29 @@
+//! # ecocapsule-phy
+//!
+//! Physical-layer building blocks shared by the reader and the node:
+//!
+//! - [`pzt`] — the piezoelectric transducer as a second-order resonator,
+//!   reproducing the *ring effect* (§3.3, Fig 7): a PZT keeps vibrating
+//!   after the drive stops, smearing PIE symbols;
+//! - [`pie`] — pulse-interval encoding for the downlink (Fig 6), with the
+//!   ≥50% / ≈63% power-delivery guarantees the paper quotes;
+//! - [`fm0`] — FM0 line coding for the uplink (§3.4);
+//! - [`modulation`] — carrier synthesis: plain OOK and the paper's
+//!   anti-ring *FSK-in/OOK-out* trick (resonant vs off-resonant tone);
+//! - [`hra`] — the Helmholtz resonator array on the node's receiving PZT
+//!   (§4.1, Eqn 5), including the geometry→frequency design rule;
+//! - [`miller`] — Miller-modulated subcarrier coding, the Gen2
+//!   alternative to FM0 (design-choice ablation);
+//! - [`braking`] — the traditional reverse-braking-voltage anti-ring
+//!   approach the paper rejects (§3.3), with its calibration cliff.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod braking;
+pub mod fm0;
+pub mod hra;
+pub mod miller;
+pub mod modulation;
+pub mod pie;
+pub mod pzt;

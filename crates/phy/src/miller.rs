@@ -1,0 +1,193 @@
+//! Miller-modulated subcarrier coding — the Gen2 alternative to FM0.
+//!
+//! The paper follows "the practices of traditional backscatter systems"
+//! and picks FM0 for its uplink. Gen2 readers can instead request Miller
+//! M=2/4/8, which trades bitrate for spectral separation from the
+//! carrier: each bit spans `M` subcarrier cycles, data-1 carrying a
+//! phase inversion mid-bit. We implement it as the design-choice
+//! ablation DESIGN.md §6 calls for: at the same *symbol* rate Miller
+//! needs M× the bandwidth but survives closer to the self-interference
+//! skirt.
+
+/// Miller codec with subcarrier factor `m ∈ {2, 4, 8}`.
+#[derive(Debug, Clone, Copy)]
+pub struct Miller {
+    /// Subcarrier cycles per bit.
+    pub m: usize,
+    /// Samples per subcarrier half-cycle.
+    pub half_cycle: usize,
+}
+
+impl Miller {
+    /// Creates a codec. Panics unless `m ∈ {2,4,8}` and `half_cycle ≥ 1`.
+    pub fn new(m: usize, half_cycle: usize) -> Self {
+        assert!(matches!(m, 2 | 4 | 8), "Miller M must be 2, 4 or 8");
+        assert!(half_cycle >= 1, "need at least one sample per half-cycle");
+        Miller { m, half_cycle }
+    }
+
+    /// Samples per encoded bit.
+    pub fn samples_per_bit(&self) -> usize {
+        2 * self.m * self.half_cycle
+    }
+
+    /// Encodes bits into a ±1 baseband.
+    ///
+    /// Baseband Miller: the subcarrier toggles every half-cycle; a data-1
+    /// adds an extra phase inversion at mid-bit; a data-0 following a
+    /// data-0 inverts at the bit boundary (keeping the line DC-free).
+    pub fn encode(&self, bits: &[bool]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(bits.len() * self.samples_per_bit());
+        let mut phase = 1.0f64;
+        let mut prev_bit = true; // Gen2 initial condition
+        for &bit in bits {
+            if !bit && !prev_bit {
+                phase = -phase; // boundary inversion between consecutive 0s
+            }
+            let halves = 2 * self.m;
+            for h in 0..halves {
+                if bit && h == self.m {
+                    phase = -phase; // mid-bit inversion for data-1
+                }
+                for _ in 0..self.half_cycle {
+                    out.push(phase);
+                }
+                phase = -phase; // subcarrier toggle
+            }
+            prev_bit = bit;
+        }
+        out
+    }
+
+    /// ML decoding mirroring the encoder's state: for each bit window,
+    /// correlate against the data-0 and data-1 waveforms generated from
+    /// the tracked (phase, previous-bit) state and pick the larger.
+    pub fn decode_ml(&self, baseband: &[f64]) -> Vec<bool> {
+        let spb = self.samples_per_bit();
+        let n_bits = baseband.len() / spb;
+        let mut bits = Vec::with_capacity(n_bits);
+        let mut phase = 1.0f64;
+        let mut prev_bit = true;
+        for k in 0..n_bits {
+            let window = &baseband[k * spb..(k + 1) * spb];
+            let (t0, p0) = self.bit_template(false, phase, prev_bit);
+            let (t1, p1) = self.bit_template(true, phase, prev_bit);
+            let c0: f64 = window.iter().zip(&t0).map(|(x, t)| x * t).sum();
+            let c1: f64 = window.iter().zip(&t1).map(|(x, t)| x * t).sum();
+            let bit = c1 > c0;
+            phase = if bit { p1 } else { p0 };
+            prev_bit = bit;
+            bits.push(bit);
+        }
+        bits
+    }
+
+    /// The waveform of one bit given the entry state; returns the
+    /// waveform and the exit phase.
+    fn bit_template(&self, bit: bool, mut phase: f64, prev_bit: bool) -> (Vec<f64>, f64) {
+        if !bit && !prev_bit {
+            phase = -phase;
+        }
+        let mut out = Vec::with_capacity(self.samples_per_bit());
+        let halves = 2 * self.m;
+        for h in 0..halves {
+            if bit && h == self.m {
+                phase = -phase;
+            }
+            for _ in 0..self.half_cycle {
+                out.push(phase);
+            }
+            phase = -phase;
+        }
+        (out, phase)
+    }
+
+    /// Subcarrier frequency for a given bitrate: `M × bitrate` — the
+    /// spectral-separation advantage over FM0's `1 × bitrate` (the
+    /// backscatter sidebands sit M× further from the CBW).
+    pub fn subcarrier_hz(&self, bitrate_bps: f64) -> f64 {
+        assert!(bitrate_bps > 0.0, "bitrate must be positive");
+        self.m as f64 * bitrate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_all_m() {
+        let bits = [true, false, false, true, true, false, true, false];
+        for m in [2, 4, 8] {
+            let codec = Miller::new(m, 3);
+            let bb = codec.encode(&bits);
+            assert_eq!(codec.decode_ml(&bb), bits, "M={m}");
+        }
+    }
+
+    #[test]
+    fn subcarrier_toggles_every_half_cycle() {
+        let codec = Miller::new(2, 1);
+        let bb = codec.encode(&[false]);
+        // 4 half-cycles of alternating sign, no mid-bit inversion.
+        assert_eq!(bb, vec![1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn data1_inverts_mid_bit() {
+        let codec = Miller::new(2, 1);
+        let bb = codec.encode(&[true]);
+        // Toggle pattern with an extra inversion after 2 half-cycles:
+        // 1, -1, then inversion makes the third half-cycle repeat the
+        // second's sign.
+        assert_eq!(bb[1], bb[2], "mid-bit inversion breaks the toggle");
+    }
+
+    #[test]
+    fn dc_free_over_long_runs() {
+        let codec = Miller::new(4, 2);
+        for pattern in [vec![false; 50], vec![true; 50]] {
+            let bb = codec.encode(&pattern);
+            let mean: f64 = bb.iter().sum::<f64>() / bb.len() as f64;
+            assert!(mean.abs() < 1e-12, "DC {mean}");
+        }
+    }
+
+    #[test]
+    fn miller_survives_noise_like_fm0() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let codec = Miller::new(4, 2);
+        let bits: Vec<bool> = (0..500).map(|_| rng.gen_bool(0.5)).collect();
+        let mut bb = codec.encode(&bits);
+        for x in bb.iter_mut() {
+            *x += rng.gen_range(-1.2..1.2);
+        }
+        let decoded = codec.decode_ml(&bb);
+        let errors = decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert!(errors < 10, "errors {errors}");
+    }
+
+    #[test]
+    fn subcarrier_separation_scales_with_m() {
+        assert_eq!(Miller::new(2, 1).subcarrier_hz(2e3), 4e3);
+        assert_eq!(Miller::new(8, 1).subcarrier_hz(2e3), 16e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "Miller M")]
+    fn rejects_bad_m() {
+        let _ = Miller::new(3, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let codec = Miller::new(2, 2);
+            let bb = codec.encode(&bits);
+            prop_assert_eq!(codec.decode_ml(&bb), bits);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Downlink carrier synthesis: plain OOK vs the paper's FSK trick.
+//!
+//! A traditional backscatter reader keys the carrier on and off (OOK).
+//! In concrete the PZT's ring effect smears every off-edge (§3.3). The
+//! paper instead *never stops the PZT*: high-voltage edges drive it at
+//! the concrete's resonant frequency, low-voltage edges at an
+//! off-resonant frequency that the concrete suppresses by its own
+//! off-resonance damping — FSK at the transmitter, OOK at the receiver.
+
+use crate::pie::Segment;
+
+/// Downlink modulation scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DownlinkScheme {
+    /// On/off keying: the drive is silent during low edges (suffers the
+    /// ring effect).
+    Ook,
+    /// Frequency-shift keying between the resonant and off-resonant tone
+    /// (the paper's anti-ring approach).
+    FskInOokOut {
+        /// Low-edge (off-resonant) tone frequency (Hz).
+        off_hz: f64,
+    },
+}
+
+/// Synthesizes the TX drive waveform for PIE `segments` on a carrier at
+/// `carrier_hz`, sampled at `fs_hz`, with unit high-edge amplitude.
+///
+/// The phase is continuous across segment boundaries (a hardware DDS
+/// would behave the same), which matters for the FSK scheme: phase jumps
+/// would re-excite the transducer.
+pub fn synthesize_drive(
+    segments: &[Segment],
+    scheme: DownlinkScheme,
+    carrier_hz: f64,
+    fs_hz: f64,
+) -> Vec<f64> {
+    assert!(carrier_hz > 0.0 && fs_hz > 0.0, "frequencies must be positive");
+    if let DownlinkScheme::FskInOokOut { off_hz } = scheme {
+        assert!(off_hz > 0.0 && off_hz < fs_hz / 2.0, "off tone must be in (0, fs/2)");
+    }
+    let mut out = Vec::new();
+    let mut phase = 0.0f64;
+    for seg in segments {
+        let n = (seg.duration_s * fs_hz).round() as usize;
+        let (f, amp) = match (scheme, seg.high) {
+            (_, true) => (carrier_hz, 1.0),
+            (DownlinkScheme::Ook, false) => (carrier_hz, 0.0),
+            (DownlinkScheme::FskInOokOut { off_hz }, false) => (off_hz, 1.0),
+        };
+        let dphi = 2.0 * std::f64::consts::PI * f / fs_hz;
+        for _ in 0..n {
+            out.push(amp * phase.sin());
+            phase += dphi;
+            if phase > std::f64::consts::TAU {
+                phase -= std::f64::consts::TAU;
+            }
+        }
+    }
+    out
+}
+
+/// Continuous body wave: an unmodulated carrier of `duration_s` — what
+/// the reader emits for wireless charging and as the uplink's
+/// backscatter carrier (§3.2).
+pub fn synthesize_cbw(carrier_hz: f64, duration_s: f64, fs_hz: f64) -> Vec<f64> {
+    assert!(carrier_hz > 0.0 && fs_hz > 0.0 && duration_s >= 0.0, "invalid CBW parameters");
+    let n = (duration_s * fs_hz).round() as usize;
+    let dphi = 2.0 * std::f64::consts::PI * carrier_hz / fs_hz;
+    (0..n).map(|i| (dphi * i as f64).sin()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pie::Pie;
+    use dsp::goertzel::tone_power;
+
+    const FS: f64 = 2.0e6;
+
+    #[test]
+    fn ook_low_edges_are_silent() {
+        let pie = Pie::new(100e-6);
+        let segs = pie.encode(&[false]);
+        let drive = synthesize_drive(&segs, DownlinkScheme::Ook, 230e3, FS);
+        let n_high = (100e-6 * FS) as usize;
+        assert!(drive[..n_high].iter().any(|&x| x.abs() > 0.5));
+        assert!(drive[n_high..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn fsk_low_edges_carry_the_off_tone() {
+        let pie = Pie::new(200e-6);
+        let segs = pie.encode(&[false]);
+        let drive = synthesize_drive(
+            &segs,
+            DownlinkScheme::FskInOokOut { off_hz: 180e3 },
+            230e3,
+            FS,
+        );
+        let n_high = (200e-6 * FS) as usize;
+        let low_part = &drive[n_high..];
+        let p_off = tone_power(low_part, 180e3, FS);
+        let p_on = tone_power(low_part, 230e3, FS);
+        assert!(p_off > 20.0 * p_on, "off {p_off} vs on {p_on}");
+    }
+
+    #[test]
+    fn fsk_is_phase_continuous() {
+        let pie = Pie::new(100e-6);
+        let segs = pie.encode(&[false, true]);
+        let drive = synthesize_drive(
+            &segs,
+            DownlinkScheme::FskInOokOut { off_hz: 180e3 },
+            230e3,
+            FS,
+        );
+        // No sample-to-sample jump may exceed the max slew of a unit sine
+        // at the higher tone.
+        let max_step = 2.0 * std::f64::consts::PI * 230e3 / FS * 1.05;
+        for w in drive.windows(2) {
+            assert!((w[1] - w[0]).abs() <= max_step, "phase discontinuity");
+        }
+    }
+
+    #[test]
+    fn cbw_is_a_pure_tone() {
+        let cbw = synthesize_cbw(230e3, 5e-3, FS);
+        assert_eq!(cbw.len(), (5e-3 * FS) as usize);
+        let p_on = tone_power(&cbw, 230e3, FS);
+        let p_off = tone_power(&cbw, 100e3, FS);
+        assert!(p_on > 1e4 * p_off);
+    }
+
+    #[test]
+    fn drive_amplitude_is_unit() {
+        let cbw = synthesize_cbw(230e3, 1e-3, FS);
+        let peak = cbw.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!((peak - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,197 @@
+//! The piezoelectric transducer as a second-order resonator.
+//!
+//! A PZT responds to both electrical and mechanical stimuli (§2). Its
+//! mechanical port behaves like a damped harmonic oscillator: driven at
+//! resonance it rings up to full amplitude; when the drive stops it keeps
+//! oscillating — the **ring effect** (§3.3, reference [49]) — with an
+//! exponential decay `e^{−ω₀ t / 2Q}`. At the paper's 230 kHz and the
+//! observed ≈0.3 ms tail, Q ≈ 70, typical of a hard ceramic disc.
+
+use dsp::filter::Biquad;
+
+/// A transducer model: resonant frequency, quality factor, sample rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Pzt {
+    /// Mechanical resonance (Hz).
+    pub f0_hz: f64,
+    /// Quality factor (dimensionless).
+    pub q: f64,
+    /// Simulation sample rate (Hz).
+    pub fs_hz: f64,
+}
+
+impl Pzt {
+    /// The reader's 40 mm / 230 kHz transmitting disc.
+    pub fn reader_disc(fs_hz: f64) -> Self {
+        Pzt::new(230e3, 70.0, fs_hz)
+    }
+
+    /// The node's 10 mm receiving disc (slightly lossier mounting).
+    pub fn node_disc(fs_hz: f64) -> Self {
+        Pzt::new(230e3, 40.0, fs_hz)
+    }
+
+    /// Creates a transducer. Panics on non-positive parameters or if the
+    /// resonance is above Nyquist.
+    pub fn new(f0_hz: f64, q: f64, fs_hz: f64) -> Self {
+        assert!(f0_hz > 0.0 && q > 0.0 && fs_hz > 0.0, "PZT parameters must be positive");
+        assert!(f0_hz < fs_hz / 2.0, "resonance must be below Nyquist");
+        Pzt { f0_hz, q, fs_hz }
+    }
+
+    /// Exponential ring-down time (s) until the residual vibration falls
+    /// to `fraction` of its initial amplitude: `t = 2Q·ln(1/fraction)/ω₀`.
+    ///
+    /// Panics unless `fraction ∈ (0, 1)`.
+    pub fn ring_down_time_s(&self, fraction: f64) -> f64 {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        let w0 = 2.0 * std::f64::consts::PI * self.f0_hz;
+        2.0 * self.q * (1.0 / fraction).ln() / w0
+    }
+
+    /// Steady-state magnitude response to a drive at `f_hz`, normalized
+    /// to 1 at resonance (second-order band-pass).
+    pub fn magnitude_at(&self, f_hz: f64) -> f64 {
+        assert!(f_hz > 0.0, "frequency must be positive");
+        let r = f_hz / self.f0_hz;
+        (r / self.q) / (((1.0 - r * r).powi(2) + (r / self.q).powi(2)).sqrt())
+    }
+
+    /// Mechanical response to an arbitrary drive waveform, including the
+    /// ring-up and ring-down transients. Implemented as the RBJ band-pass
+    /// biquad matching (f₀, Q), whose impulse response is exactly the
+    /// damped oscillation of the physical model.
+    pub fn respond(&self, drive: &[f64]) -> Vec<f64> {
+        let mut bq = Biquad::bandpass(self.f0_hz, self.fs_hz, self.q);
+        bq.process(drive)
+    }
+
+    /// Bandwidth between the −3 dB points, `f₀/Q`.
+    pub fn bandwidth_hz(&self) -> f64 {
+        self.f0_hz / self.q
+    }
+}
+
+/// Measures the tail length of a burst response: time (s) from `t_off_s`
+/// until the envelope of `signal` stays below `threshold` × (the envelope
+/// just before `t_off_s`). Returns `None` if it never decays below the
+/// threshold within the record.
+pub fn measure_tail_s(signal: &[f64], t_off_s: f64, threshold: f64, fs_hz: f64) -> Option<f64> {
+    assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0,1)");
+    assert!(fs_hz > 0.0, "sample rate must be positive");
+    let off = (t_off_s * fs_hz) as usize;
+    if off >= signal.len() {
+        return None;
+    }
+    // Envelope reference: peak over the cycle before turn-off.
+    let cycle = (fs_hz / 10e3) as usize; // generous window (≥ one carrier cycle)
+    let start = off.saturating_sub(cycle);
+    let ref_amp = signal[start..off].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    if ref_amp <= 0.0 {
+        return Some(0.0);
+    }
+    let limit = threshold * ref_amp;
+    // Find the last sample exceeding the limit after turn-off.
+    let mut last_above: Option<usize> = None;
+    for (i, &x) in signal[off..].iter().enumerate() {
+        if x.abs() > limit {
+            last_above = Some(i);
+        }
+    }
+    match last_above {
+        None => Some(0.0),
+        Some(i) if off + i + 1 >= signal.len() => None, // still ringing at record end
+        Some(i) => Some((i + 1) as f64 / fs_hz),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 2.0e6;
+
+    fn burst_drive(f_hz: f64, on_s: f64, total_s: f64) -> Vec<f64> {
+        let n = (total_s * FS) as usize;
+        let n_on = (on_s * FS) as usize;
+        (0..n)
+            .map(|i| {
+                if i < n_on {
+                    (2.0 * std::f64::consts::PI * f_hz * i as f64 / FS).sin()
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resonant_drive_reaches_unit_gain() {
+        let pzt = Pzt::reader_disc(FS);
+        let y = pzt.respond(&burst_drive(230e3, 2e-3, 2e-3));
+        let peak = y[(1.5e-3 * FS) as usize..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!((peak - 1.0).abs() < 0.05, "steady-state peak {peak}");
+    }
+
+    #[test]
+    fn off_resonant_drive_is_suppressed() {
+        let pzt = Pzt::reader_disc(FS);
+        let y = pzt.respond(&burst_drive(180e3, 2e-3, 2e-3));
+        let peak = y[(1.5e-3 * FS) as usize..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let expected = pzt.magnitude_at(180e3);
+        assert!(peak < 0.2, "off-resonance response {peak}");
+        assert!((peak - expected).abs() < 0.05, "matches closed form {expected}");
+    }
+
+    #[test]
+    fn ring_effect_tail_is_about_0_3_ms() {
+        // Fig 7(a): the vibration "consumes an additional 0.3 ms" after
+        // the drive stops.
+        let pzt = Pzt::reader_disc(FS);
+        let y = pzt.respond(&burst_drive(230e3, 0.5e-3, 1.5e-3));
+        let tail = measure_tail_s(&y, 0.5e-3, 0.05, FS).expect("decays in record");
+        assert!((0.15e-3..0.5e-3).contains(&tail), "tail = {} ms", tail * 1e3);
+    }
+
+    #[test]
+    fn ring_down_closed_form_matches_simulation() {
+        let pzt = Pzt::reader_disc(FS);
+        let predicted = pzt.ring_down_time_s(0.05);
+        let y = pzt.respond(&burst_drive(230e3, 0.5e-3, 2.0e-3));
+        let measured = measure_tail_s(&y, 0.5e-3, 0.05, FS).unwrap();
+        assert!(
+            (measured - predicted).abs() / predicted < 0.35,
+            "measured {measured}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn higher_q_rings_longer() {
+        let hi = Pzt::new(230e3, 100.0, FS);
+        let lo = Pzt::new(230e3, 20.0, FS);
+        assert!(hi.ring_down_time_s(0.05) > lo.ring_down_time_s(0.05));
+        let y_hi = hi.respond(&burst_drive(230e3, 0.5e-3, 3e-3));
+        let y_lo = lo.respond(&burst_drive(230e3, 0.5e-3, 3e-3));
+        let t_hi = measure_tail_s(&y_hi, 0.5e-3, 0.05, FS).unwrap();
+        let t_lo = measure_tail_s(&y_lo, 0.5e-3, 0.05, FS).unwrap();
+        assert!(t_hi > t_lo, "hi-Q tail {t_hi} vs lo-Q {t_lo}");
+    }
+
+    #[test]
+    fn bandwidth_formula() {
+        let pzt = Pzt::new(230e3, 70.0, FS);
+        assert!((pzt.bandwidth_hz() - 230e3 / 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_tail_of_silence_is_zero() {
+        let sig = vec![0.0; 1000];
+        assert_eq!(measure_tail_s(&sig, 1e-4, 0.05, 1e6), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn rejects_supernyquist_resonance() {
+        let _ = Pzt::new(600e3, 10.0, 1e6);
+    }
+}

@@ -1,0 +1,186 @@
+//! Bit-vector serialization.
+//!
+//! Frames are built MSB-first into `Vec<bool>` — the natural currency of
+//! a PIE/FM0 modem where every bit becomes a line-code symbol.
+
+/// Writer that appends fields MSB-first.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bits: Vec<bool>,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `width` bits of `value`, MSB first.
+    ///
+    /// Panics if `width > 64` or `value` doesn't fit in `width` bits.
+    pub fn push_bits(&mut self, value: u64, width: u8) -> &mut Self {
+        assert!(width <= 64, "width must be <= 64");
+        if width < 64 {
+            assert!(value < (1u64 << width), "value {value} exceeds {width} bits");
+        }
+        for i in (0..width).rev() {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+        self
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) -> &mut Self {
+        self.bits.push(bit);
+        self
+    }
+
+    /// Consumes the writer, returning the bits.
+    pub fn finish(self) -> Vec<bool> {
+        self.bits
+    }
+
+    /// Current bit content (for CRC computation over a prefix).
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of bits written.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+/// Reader that consumes fields MSB-first.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bits: &'a [bool],
+    pos: usize,
+}
+
+/// Error for out-of-bits reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit stream exhausted")
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bits`.
+    pub fn new(bits: &'a [bool]) -> Self {
+        BitReader { bits, pos: 0 }
+    }
+
+    /// Reads `width` bits MSB-first.
+    pub fn read_bits(&mut self, width: u8) -> Result<u64, OutOfBits> {
+        assert!(width <= 64, "width must be <= 64");
+        if self.pos + width as usize > self.bits.len() {
+            return Err(OutOfBits);
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | (self.bits[self.pos] as u64);
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Result<bool, OutOfBits> {
+        if self.pos >= self.bits.len() {
+            return Err(OutOfBits);
+        }
+        let b = self.bits[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Packs bits (MSB-first) into bytes, zero-padding the tail.
+pub fn to_bytes(bits: &[bool]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut b = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            if bit {
+                b |= 1 << (7 - i);
+            }
+        }
+        out.push(b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_fields() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011, 4).push_bits(0xBEEF, 16).push_bit(true);
+        let bits = w.finish();
+        assert_eq!(bits.len(), 21);
+        let mut r = BitReader::new(&bits);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(16).unwrap(), 0xBEEF);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_bit(), Err(OutOfBits));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_oversized_value() {
+        BitWriter::new().push_bits(16, 4);
+    }
+
+    #[test]
+    fn to_bytes_msb_first() {
+        let bits = [true, false, true, false, true, false, true, false, true];
+        assert_eq!(to_bytes(&bits), vec![0b10101010, 0b10000000]);
+    }
+
+    #[test]
+    fn full_width_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push_bits(u64::MAX, 64);
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_roundtrip(v in 0u64..u64::MAX, w in 1u8..=64) {
+            let masked = if w == 64 { v } else { v & ((1 << w) - 1) };
+            let mut bw = BitWriter::new();
+            bw.push_bits(masked, w);
+            let bits = bw.finish();
+            prop_assert_eq!(bits.len(), w as usize);
+            let mut r = BitReader::new(&bits);
+            prop_assert_eq!(r.read_bits(w).unwrap(), masked);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! CRCs from the EPC Gen2 air interface.
+//!
+//! Commands carry a CRC-5 (polynomial x⁵+x³+1, preset 0b01001 per Gen2);
+//! data frames carry CRC-16/CCITT (x¹⁶+x¹²+x⁵+1, preset 0xFFFF, inverted
+//! output). Both are computed bit-serially over the frame bits — frames
+//! here are bit vectors, not bytes.
+
+/// Gen2 CRC-5: polynomial 0b101001 (x⁵+x³+1), preset `0b01001`.
+pub fn crc5(bits: &[bool]) -> u8 {
+    let mut reg: u8 = 0b01001;
+    for &bit in bits {
+        let msb = (reg >> 4) & 1 == 1;
+        reg = (reg << 1) & 0b11111;
+        if msb != bit {
+            reg ^= 0b01001; // x³ + 1 taps
+        }
+    }
+    reg
+}
+
+/// CRC-16/CCITT as used by Gen2: preset 0xFFFF, polynomial 0x1021,
+/// output complemented.
+pub fn crc16(bits: &[bool]) -> u16 {
+    let mut reg: u16 = 0xFFFF;
+    for &bit in bits {
+        let msb = (reg >> 15) & 1 == 1;
+        reg <<= 1;
+        if msb != bit {
+            reg ^= 0x1021;
+        }
+    }
+    !reg
+}
+
+/// Verifies a frame whose last 16 bits are its CRC-16: recomputing the
+/// CRC over payload+crc yields the fixed residue 0x1D0F.
+pub fn crc16_check(bits_with_crc: &[bool]) -> bool {
+    if bits_with_crc.len() < 16 {
+        return false;
+    }
+    let mut reg: u16 = 0xFFFF;
+    for &bit in bits_with_crc {
+        let msb = (reg >> 15) & 1 == 1;
+        reg <<= 1;
+        if msb != bit {
+            reg ^= 0x1021;
+        }
+    }
+    reg == 0x1D0F
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+    use proptest::prelude::*;
+
+    fn bits_of(value: u64, width: u8) -> Vec<bool> {
+        let mut w = BitWriter::new();
+        w.push_bits(value, width);
+        w.finish()
+    }
+
+    #[test]
+    fn crc5_is_5_bits() {
+        for v in [0u64, 1, 0xFF, 0xDEAD] {
+            assert!(crc5(&bits_of(v, 16)) < 32);
+        }
+    }
+
+    #[test]
+    fn crc5_detects_single_bit_flips() {
+        let bits = bits_of(0b1101_0110_1010_0011, 16);
+        let c = crc5(&bits);
+        for i in 0..bits.len() {
+            let mut flipped = bits.clone();
+            flipped[i] = !flipped[i];
+            assert_ne!(crc5(&flipped), c, "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE of ASCII "123456789" is 0x29B1;
+        // the Gen2 variant complements the output: !0x29B1 = 0xD64E.
+        let mut w = BitWriter::new();
+        for b in b"123456789" {
+            w.push_bits(*b as u64, 8);
+        }
+        assert_eq!(crc16(&w.finish()), !0x29B1);
+    }
+
+    #[test]
+    fn crc16_check_roundtrip() {
+        let payload = bits_of(0xCAFEBABE, 32);
+        let c = crc16(&payload);
+        let mut framed = payload.clone();
+        framed.extend(bits_of(c as u64, 16));
+        assert!(crc16_check(&framed));
+        // Corrupt any bit → fails.
+        let mut bad = framed.clone();
+        bad[7] = !bad[7];
+        assert!(!crc16_check(&bad));
+    }
+
+    #[test]
+    fn crc16_check_too_short() {
+        assert!(!crc16_check(&[true; 8]));
+    }
+
+    proptest! {
+        #[test]
+        fn crc16_roundtrip_random(payload in proptest::collection::vec(any::<bool>(), 1..256)) {
+            let c = crc16(&payload);
+            let mut framed = payload.clone();
+            let mut w = BitWriter::new();
+            w.push_bits(c as u64, 16);
+            framed.extend(w.finish());
+            prop_assert!(crc16_check(&framed));
+        }
+
+        #[test]
+        fn crc16_detects_burst_errors(
+            payload in proptest::collection::vec(any::<bool>(), 24..128),
+            start in 0usize..20,
+        ) {
+            let c = crc16(&payload);
+            let mut corrupted = payload.clone();
+            // Flip a 3-bit burst.
+            for i in start..(start + 3).min(corrupted.len()) {
+                corrupted[i] = !corrupted[i];
+            }
+            prop_assert_ne!(crc16(&corrupted), c);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Typed command and reply frames (§5.1: "We design the downlink packet
+//! structure following the EPC UHF Gen2 protocol. The downlink packet
+//! may include commands to set nodes' backscatter link frequencies and
+//! request their sensed data.").
+//!
+//! Wire layout (bits, MSB-first):
+//!
+//! ```text
+//! Command:  [4b opcode][payload][CRC-5 over opcode+payload]
+//! Reply:    [payload][CRC-16 over payload]
+//! ```
+
+use crate::bits::{BitReader, BitWriter};
+use crate::crc::{crc16, crc16_check, crc5};
+
+/// Sensor channels an EcoCapsule exposes (§4.2: temperature, humidity,
+/// strain — plus the pilot study's acceleration and stress).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorKind {
+    /// AHT10 internal temperature (°C).
+    Temperature,
+    /// AHT10 internal relative humidity (%).
+    Humidity,
+    /// BFH1K full-bridge strain gauge (µε).
+    Strain,
+    /// Accelerometer channel (m/s², pilot study).
+    Acceleration,
+    /// Derived internal stress (MPa, pilot study).
+    Stress,
+}
+
+impl SensorKind {
+    const ALL: [SensorKind; 5] = [
+        SensorKind::Temperature,
+        SensorKind::Humidity,
+        SensorKind::Strain,
+        SensorKind::Acceleration,
+        SensorKind::Stress,
+    ];
+
+    fn code(self) -> u64 {
+        match self {
+            SensorKind::Temperature => 0,
+            SensorKind::Humidity => 1,
+            SensorKind::Strain => 2,
+            SensorKind::Acceleration => 3,
+            SensorKind::Stress => 4,
+        }
+    }
+
+    fn from_code(c: u64) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.code() == c)
+    }
+}
+
+/// Downlink commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Starts an inventory round with `2^q` slots in `session`.
+    Query {
+        /// Slot-count exponent (0..=15).
+        q: u8,
+        /// Session number (0..=3).
+        session: u8,
+    },
+    /// Advances to the next slot of the current round.
+    QueryRep,
+    /// Acknowledges the RN16 heard in the current slot.
+    Ack {
+        /// The random handle echoed back to the node.
+        rn16: u16,
+    },
+    /// Asks the acknowledged node for one sensor reading.
+    ReadSensor {
+        /// Which channel to sample.
+        kind: SensorKind,
+    },
+    /// Sets the acknowledged node's backscatter link frequency offset
+    /// from the carrier, in units of 100 Hz (self-interference guard,
+    /// Appendix C).
+    SetBlf {
+        /// Offset in 100 Hz steps (1..=255 → 0.1..25.5 kHz).
+        offset_100hz: u8,
+    },
+    /// Gen2-style Select: only nodes whose ID starts with `prefix`'s top
+    /// `prefix_bits` bits participate in subsequent inventory rounds
+    /// (`prefix_bits = 0` re-selects everyone). Lets the operator target
+    /// one wall section's capsules.
+    Select {
+        /// ID prefix, left-aligned in the top `prefix_bits` bits.
+        prefix: u32,
+        /// Number of significant prefix bits (0..=32).
+        prefix_bits: u8,
+    },
+}
+
+/// Uplink replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// Slot reply: a fresh 16-bit random handle.
+    Rn16 {
+        /// The handle.
+        rn16: u16,
+    },
+    /// Identification after ACK: the node's 32-bit ID.
+    NodeId {
+        /// Factory-assigned node identifier.
+        id: u32,
+    },
+    /// A sensor reading: raw 16-bit ADC/register value.
+    SensorData {
+        /// Which channel was sampled.
+        kind: SensorKind,
+        /// Raw reading (sensor-specific scaling).
+        raw: u16,
+    },
+}
+
+/// Frame decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Not enough bits for the claimed layout.
+    Truncated,
+    /// CRC mismatch.
+    BadCrc,
+    /// Unknown opcode or field value.
+    Malformed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadCrc => write!(f, "frame CRC mismatch"),
+            FrameError::Malformed => write!(f, "frame malformed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const OP_QUERY: u64 = 0b0001;
+const OP_QUERY_REP: u64 = 0b0010;
+const OP_ACK: u64 = 0b0011;
+const OP_READ: u64 = 0b0100;
+const OP_SET_BLF: u64 = 0b0101;
+const OP_SELECT: u64 = 0b0110;
+
+const REPLY_RN16: u64 = 0b01;
+const REPLY_NODE_ID: u64 = 0b10;
+const REPLY_SENSOR: u64 = 0b11;
+
+impl Command {
+    /// Serializes to bits with trailing CRC-5.
+    pub fn encode(&self) -> Vec<bool> {
+        let mut w = BitWriter::new();
+        match *self {
+            Command::Query { q, session } => {
+                assert!(q <= 15, "q must be <= 15");
+                assert!(session <= 3, "session must be <= 3");
+                w.push_bits(OP_QUERY, 4).push_bits(q as u64, 4).push_bits(session as u64, 2);
+            }
+            Command::QueryRep => {
+                w.push_bits(OP_QUERY_REP, 4);
+            }
+            Command::Ack { rn16 } => {
+                w.push_bits(OP_ACK, 4).push_bits(rn16 as u64, 16);
+            }
+            Command::ReadSensor { kind } => {
+                w.push_bits(OP_READ, 4).push_bits(kind.code(), 3);
+            }
+            Command::SetBlf { offset_100hz } => {
+                w.push_bits(OP_SET_BLF, 4).push_bits(offset_100hz as u64, 8);
+            }
+            Command::Select { prefix, prefix_bits } => {
+                assert!(prefix_bits <= 32, "prefix_bits must be <= 32");
+                w.push_bits(OP_SELECT, 4)
+                    .push_bits(prefix_bits as u64, 6)
+                    .push_bits(prefix as u64, 32);
+            }
+        }
+        let c = crc5(w.as_slice());
+        w.push_bits(c as u64, 5);
+        w.finish()
+    }
+
+    /// Parses a command frame, verifying CRC-5.
+    pub fn decode(bits: &[bool]) -> Result<Command, FrameError> {
+        if bits.len() < 9 {
+            return Err(FrameError::Truncated);
+        }
+        let (body, crc_bits) = bits.split_at(bits.len() - 5);
+        let mut r = BitReader::new(crc_bits);
+        let rx_crc = r.read_bits(5).unwrap() as u8;
+        if crc5(body) != rx_crc {
+            return Err(FrameError::BadCrc);
+        }
+        let mut r = BitReader::new(body);
+        let op = r.read_bits(4).map_err(|_| FrameError::Truncated)?;
+        let cmd = match op {
+            OP_QUERY => Command::Query {
+                q: r.read_bits(4).map_err(|_| FrameError::Truncated)? as u8,
+                session: r.read_bits(2).map_err(|_| FrameError::Truncated)? as u8,
+            },
+            OP_QUERY_REP => Command::QueryRep,
+            OP_ACK => Command::Ack {
+                rn16: r.read_bits(16).map_err(|_| FrameError::Truncated)? as u16,
+            },
+            OP_READ => Command::ReadSensor {
+                kind: SensorKind::from_code(r.read_bits(3).map_err(|_| FrameError::Truncated)?)
+                    .ok_or(FrameError::Malformed)?,
+            },
+            OP_SET_BLF => Command::SetBlf {
+                offset_100hz: r.read_bits(8).map_err(|_| FrameError::Truncated)? as u8,
+            },
+            OP_SELECT => {
+                let prefix_bits = r.read_bits(6).map_err(|_| FrameError::Truncated)? as u8;
+                if prefix_bits > 32 {
+                    return Err(FrameError::Malformed);
+                }
+                Command::Select {
+                    prefix: r.read_bits(32).map_err(|_| FrameError::Truncated)? as u32,
+                    prefix_bits,
+                }
+            }
+            _ => return Err(FrameError::Malformed),
+        };
+        if r.remaining() != 0 {
+            return Err(FrameError::Malformed);
+        }
+        Ok(cmd)
+    }
+}
+
+impl Reply {
+    /// Serializes to bits with trailing CRC-16.
+    pub fn encode(&self) -> Vec<bool> {
+        let mut w = BitWriter::new();
+        match *self {
+            Reply::Rn16 { rn16 } => {
+                w.push_bits(REPLY_RN16, 2).push_bits(rn16 as u64, 16);
+            }
+            Reply::NodeId { id } => {
+                w.push_bits(REPLY_NODE_ID, 2).push_bits(id as u64, 32);
+            }
+            Reply::SensorData { kind, raw } => {
+                w.push_bits(REPLY_SENSOR, 2)
+                    .push_bits(kind.code(), 3)
+                    .push_bits(raw as u64, 16);
+            }
+        }
+        let c = crc16(w.as_slice());
+        w.push_bits(c as u64, 16);
+        w.finish()
+    }
+
+    /// Parses a reply frame, verifying CRC-16.
+    pub fn decode(bits: &[bool]) -> Result<Reply, FrameError> {
+        if bits.len() < 18 {
+            return Err(FrameError::Truncated);
+        }
+        if !crc16_check(bits) {
+            return Err(FrameError::BadCrc);
+        }
+        let body = &bits[..bits.len() - 16];
+        let mut r = BitReader::new(body);
+        let tag = r.read_bits(2).map_err(|_| FrameError::Truncated)?;
+        let reply = match tag {
+            REPLY_RN16 => Reply::Rn16 {
+                rn16: r.read_bits(16).map_err(|_| FrameError::Truncated)? as u16,
+            },
+            REPLY_NODE_ID => Reply::NodeId {
+                id: r.read_bits(32).map_err(|_| FrameError::Truncated)? as u32,
+            },
+            REPLY_SENSOR => Reply::SensorData {
+                kind: SensorKind::from_code(r.read_bits(3).map_err(|_| FrameError::Truncated)?)
+                    .ok_or(FrameError::Malformed)?,
+                raw: r.read_bits(16).map_err(|_| FrameError::Truncated)? as u16,
+            },
+            _ => return Err(FrameError::Malformed),
+        };
+        if r.remaining() != 0 {
+            return Err(FrameError::Malformed);
+        }
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn command_roundtrips() {
+        let cmds = [
+            Command::Query { q: 3, session: 1 },
+            Command::QueryRep,
+            Command::Ack { rn16: 0xBEEF },
+            Command::ReadSensor { kind: SensorKind::Strain },
+            Command::SetBlf { offset_100hz: 30 },
+            Command::Select { prefix: 0xABCD_0000, prefix_bits: 16 },
+            Command::Select { prefix: 0, prefix_bits: 0 },
+        ];
+        for c in cmds {
+            let bits = c.encode();
+            assert_eq!(Command::decode(&bits), Ok(c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let replies = [
+            Reply::Rn16 { rn16: 0x1234 },
+            Reply::NodeId { id: 0xDEADBEEF },
+            Reply::SensorData { kind: SensorKind::Humidity, raw: 789 },
+        ];
+        for r in replies {
+            let bits = r.encode();
+            assert_eq!(Reply::decode(&bits), Ok(r), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn corrupted_command_fails_crc() {
+        let mut bits = Command::Ack { rn16: 0xABCD }.encode();
+        bits[6] = !bits[6];
+        assert_eq!(Command::decode(&bits), Err(FrameError::BadCrc));
+    }
+
+    #[test]
+    fn corrupted_reply_fails_crc() {
+        let mut bits = Reply::NodeId { id: 7 }.encode();
+        bits[3] = !bits[3];
+        assert_eq!(Reply::decode(&bits), Err(FrameError::BadCrc));
+    }
+
+    #[test]
+    fn short_frames_are_truncated() {
+        assert_eq!(Command::decode(&[true; 4]), Err(FrameError::Truncated));
+        assert_eq!(Reply::decode(&[true; 10]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be")]
+    fn rejects_oversized_q() {
+        let _ = Command::Query { q: 16, session: 0 }.encode();
+    }
+
+    proptest! {
+        #[test]
+        fn query_roundtrip(q in 0u8..=15, session in 0u8..=3) {
+            let c = Command::Query { q, session };
+            prop_assert_eq!(Command::decode(&c.encode()), Ok(c));
+        }
+
+        #[test]
+        fn sensor_reply_roundtrip(raw in any::<u16>()) {
+            let r = Reply::SensorData { kind: SensorKind::Temperature, raw };
+            prop_assert_eq!(Reply::decode(&r.encode()), Ok(r));
+        }
+
+        #[test]
+        fn random_bits_never_panic(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let _ = Command::decode(&bits);
+            let _ = Reply::decode(&bits);
+        }
+    }
+}

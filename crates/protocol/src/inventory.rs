@@ -1,0 +1,556 @@
+//! Gen2-like slotted inventory (§3.4: "we adopt the time division
+//! multiple access (TDMA) mechanism as used in RFID Gen 2 protocol to
+//! support multiple EcoCapsules. Each EcoCapsule randomly selects a time
+//! slot to transmit its data.").
+//!
+//! The node-side state machine mirrors Gen2's Ready → Arbitrate → Reply
+//! → Acknowledged flow; the reader side drives rounds and classifies
+//! slots as empty / singleton / collision. SHM tolerates long delays
+//! (buildings degrade over days), so rounds simply retry collisions with
+//! a larger Q.
+
+use crate::frame::{Command, Reply, SensorKind};
+use rand::Rng;
+
+/// Length of the uplink FM0 preamble in bits (mirrors
+/// `phy::fm0::PREAMBLE_BITS` — kept here so the timing model doesn't
+/// invert the layering; the integration tests assert they agree).
+pub const PREAMBLE_LEN: usize = 6;
+
+/// Node-side protocol state (Gen2 §6.3 style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Powered but outside a round.
+    Ready,
+    /// Holding a slot counter, waiting for its slot.
+    Arbitrate {
+        /// Slots still to wait.
+        slot: u16,
+    },
+    /// Sent its RN16, awaiting ACK.
+    Reply {
+        /// The handle it sent.
+        rn16: u16,
+    },
+    /// ACKed: open session, serves reads until the next Query.
+    Acknowledged,
+}
+
+/// The node-side protocol engine. Pure state machine: feed commands in,
+/// get optional replies out. Sensor values come from a callback so the
+/// hardware model stays in the `node` crate.
+#[derive(Debug, Clone)]
+pub struct NodeProtocol {
+    /// Factory ID reported after ACK.
+    pub node_id: u32,
+    /// Current state.
+    pub state: NodeState,
+    /// Configured BLF offset (100 Hz units) from `SetBlf`.
+    pub blf_offset_100hz: u8,
+    /// Gen2 SL flag: whether this node participates in inventory rounds
+    /// (set by `Select`; defaults to true).
+    pub selected: bool,
+}
+
+impl NodeProtocol {
+    /// A fresh engine in `Ready`.
+    pub fn new(node_id: u32) -> Self {
+        NodeProtocol {
+            node_id,
+            state: NodeState::Ready,
+            blf_offset_100hz: 30, // 3 kHz default guard (Appendix C)
+            selected: true,
+        }
+    }
+
+    /// Processes one downlink command; returns the uplink reply this node
+    /// transmits in response, if any.
+    pub fn on_command<R: Rng>(&mut self, cmd: &Command, rng: &mut R) -> Option<Reply> {
+        match *cmd {
+            Command::Query { q, .. } => {
+                if !self.selected {
+                    self.state = NodeState::Ready;
+                    return None;
+                }
+                let slots = 1u32 << q;
+                let slot = rng.gen_range(0..slots) as u16;
+                if slot == 0 {
+                    let rn16: u16 = rng.gen();
+                    self.state = NodeState::Reply { rn16 };
+                    Some(Reply::Rn16 { rn16 })
+                } else {
+                    self.state = NodeState::Arbitrate { slot };
+                    None
+                }
+            }
+            Command::QueryRep => match self.state {
+                NodeState::Arbitrate { slot } if slot == 1 => {
+                    let rn16: u16 = rng.gen();
+                    self.state = NodeState::Reply { rn16 };
+                    Some(Reply::Rn16 { rn16 })
+                }
+                NodeState::Arbitrate { slot } if slot > 1 => {
+                    self.state = NodeState::Arbitrate { slot: slot - 1 };
+                    None
+                }
+                _ => None,
+            },
+            Command::Ack { rn16 } => match self.state {
+                NodeState::Reply { rn16: mine } if mine == rn16 => {
+                    self.state = NodeState::Acknowledged;
+                    Some(Reply::NodeId { id: self.node_id })
+                }
+                NodeState::Reply { .. } => {
+                    // ACK for someone else: back off.
+                    self.state = NodeState::Ready;
+                    None
+                }
+                _ => None,
+            },
+            Command::ReadSensor { kind } => match self.state {
+                NodeState::Acknowledged => Some(Reply::SensorData {
+                    kind,
+                    raw: 0, // the caller substitutes a real reading
+                }),
+                _ => None,
+            },
+            Command::SetBlf { offset_100hz } => {
+                if self.state == NodeState::Acknowledged {
+                    self.blf_offset_100hz = offset_100hz;
+                }
+                None
+            }
+            Command::Select { prefix, prefix_bits } => {
+                self.selected = if prefix_bits == 0 {
+                    true
+                } else {
+                    let shift = 32 - prefix_bits as u32;
+                    (self.node_id >> shift) == (prefix >> shift)
+                };
+                None
+            }
+        }
+    }
+
+    /// Configured BLF offset in Hz.
+    pub fn blf_offset_hz(&self) -> f64 {
+        self.blf_offset_100hz as f64 * 100.0
+    }
+}
+
+/// What the reader heard in one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// Nobody replied.
+    Empty,
+    /// Exactly one node replied and was identified.
+    Singleton {
+        /// The node's ID.
+        node_id: u32,
+    },
+    /// Multiple nodes collided.
+    Collision,
+}
+
+/// Statistics of a completed inventory round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Node IDs successfully inventoried this round.
+    pub identified: Vec<u32>,
+    /// Number of empty slots.
+    pub empty_slots: usize,
+    /// Number of collision slots.
+    pub collisions: usize,
+}
+
+/// Runs one complete slotted round over `nodes` with slot-count exponent
+/// `q`. This is the reader-side driver operating on ideal (error-free)
+/// frames — the waveform-level version lives in the `reader` crate.
+pub fn run_round<R: Rng>(nodes: &mut [NodeProtocol], q: u8, rng: &mut R) -> RoundReport {
+    let mut report = RoundReport::default();
+    let slots = 1u32 << q;
+    let mut pending: Vec<(usize, u16)> = Vec::new(); // (node index, rn16)
+
+    let collect = |replies: Vec<(usize, Reply)>,
+                       nodes: &mut [NodeProtocol],
+                       report: &mut RoundReport,
+                       rng: &mut R| {
+        match replies.len() {
+            0 => report.empty_slots += 1,
+            1 => {
+                let (idx, reply) = (replies[0].0, replies[0].1);
+                if let Reply::Rn16 { rn16 } = reply {
+                    // ACK the singleton; everyone hears it.
+                    let ack = Command::Ack { rn16 };
+                    for (i, n) in nodes.iter_mut().enumerate() {
+                        if let Some(Reply::NodeId { id }) = n.on_command(&ack, rng) {
+                            debug_assert_eq!(i, idx);
+                            report.identified.push(id);
+                        }
+                    }
+                }
+            }
+            _ => {
+                report.collisions += 1;
+                // Colliding nodes return to Ready when they miss their ACK.
+                let ack = Command::Ack { rn16: 0 };
+                for (i, n) in nodes.iter_mut().enumerate() {
+                    if replies.iter().any(|(ri, _)| *ri == i) {
+                        let _ = n.on_command(&ack, rng);
+                    }
+                }
+            }
+        }
+    };
+
+    // Slot 0: the Query itself.
+    let query = Command::Query { q, session: 0 };
+    let mut replies = Vec::new();
+    for (i, n) in nodes.iter_mut().enumerate() {
+        if let Some(r) = n.on_command(&query, rng) {
+            replies.push((i, r));
+        }
+    }
+    pending.clear();
+    collect(replies, nodes, &mut report, rng);
+
+    // Remaining slots: QueryRep.
+    for _ in 1..slots {
+        let mut replies = Vec::new();
+        for (i, n) in nodes.iter_mut().enumerate() {
+            if let Some(r) = n.on_command(&Command::QueryRep, rng) {
+                replies.push((i, r));
+            }
+        }
+        collect(replies, nodes, &mut report, rng);
+    }
+    report
+}
+
+/// Inventories all `nodes`, growing Q on collision-heavy rounds, until
+/// every node has been identified or `max_rounds` is exhausted. Returns
+/// the identified set in discovery order.
+pub fn inventory_all<R: Rng>(
+    nodes: &mut [NodeProtocol],
+    initial_q: u8,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Vec<u32> {
+    let mut found = Vec::new();
+    let mut q = initial_q;
+    for _ in 0..max_rounds {
+        let report = run_round(nodes, q, rng);
+        for id in report.identified {
+            if !found.contains(&id) {
+                found.push(id);
+            }
+        }
+        if found.len() == nodes.len() {
+            break;
+        }
+        if report.collisions > report.empty_slots && q < 15 {
+            q += 1;
+        } else if report.empty_slots > 4 * (report.collisions + 1) && q > 0 {
+            q -= 1;
+        }
+    }
+    found
+}
+
+/// The Gen2 Q-selection algorithm (EPC Gen2 Annex D): a floating-point
+/// slot-count exponent `Qfp` nudged up by `c` on every collision, down by
+/// `c` on every empty slot, and left alone on singletons. Rounds then run
+/// with `Q = round(Qfp)`. Converges the slot count to roughly the
+/// population size without knowing it.
+#[derive(Debug, Clone, Copy)]
+pub struct QAlgorithm {
+    /// Floating-point exponent (clamped to [0, 15]).
+    pub qfp: f64,
+    /// Adjustment step `c` (Gen2 recommends 0.1 <= c <= 0.5).
+    pub c: f64,
+}
+
+impl QAlgorithm {
+    /// Starts at `q0` with step `c`. Panics unless `c` is in `(0, 1]` and
+    /// `q0 <= 15`.
+    pub fn new(q0: u8, c: f64) -> Self {
+        assert!(q0 <= 15, "Q must be <= 15");
+        assert!(c > 0.0 && c <= 1.0, "c must be in (0, 1]");
+        QAlgorithm { qfp: q0 as f64, c }
+    }
+
+    /// The integer Q a round should use now.
+    pub fn q(&self) -> u8 {
+        self.qfp.round().clamp(0.0, 15.0) as u8
+    }
+
+    /// Feeds one round's slot statistics.
+    pub fn update(&mut self, report: &RoundReport) {
+        let delta = self.c * (report.collisions as f64 - report.empty_slots as f64);
+        self.qfp = (self.qfp + delta).clamp(0.0, 15.0);
+    }
+}
+
+/// Inventories all `nodes` with the Gen2 Q-algorithm instead of the
+/// simple heuristic of [`inventory_all`]. Returns `(found, rounds_used)`.
+pub fn inventory_with_q_algorithm<R: Rng>(
+    nodes: &mut [NodeProtocol],
+    q0: u8,
+    c: f64,
+    max_rounds: usize,
+    rng: &mut R,
+) -> (Vec<u32>, usize) {
+    let mut alg = QAlgorithm::new(q0, c);
+    let mut found = Vec::new();
+    let mut rounds = 0;
+    for _ in 0..max_rounds {
+        rounds += 1;
+        let report = run_round(nodes, alg.q(), rng);
+        for id in &report.identified {
+            if !found.contains(id) {
+                found.push(*id);
+            }
+        }
+        if found.len() == nodes.len() {
+            break;
+        }
+        alg.update(&report);
+    }
+    (found, rounds)
+}
+
+/// A sensor-read transaction against an acknowledged node: returns the
+/// reply with `raw` filled in by `sample`.
+pub fn read_sensor<R: Rng, F: FnOnce() -> u16>(
+    node: &mut NodeProtocol,
+    kind: SensorKind,
+    sample: F,
+    rng: &mut R,
+) -> Option<Reply> {
+    match node.on_command(&Command::ReadSensor { kind }, rng) {
+        Some(Reply::SensorData { kind, .. }) => Some(Reply::SensorData {
+            kind,
+            raw: sample(),
+        }),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_node_is_found_in_one_round() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut nodes = vec![NodeProtocol::new(42)];
+        let found = inventory_all(&mut nodes, 0, 4, &mut rng);
+        assert_eq!(found, vec![42]);
+    }
+
+    #[test]
+    fn many_nodes_are_all_found() {
+        // §3.4: "a limited number of EcoCapsules are implanted into a wall".
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut nodes: Vec<NodeProtocol> = (0..12).map(|i| NodeProtocol::new(1000 + i)).collect();
+        let found = inventory_all(&mut nodes, 3, 50, &mut rng);
+        let mut sorted = found.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1000..1012).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn collisions_happen_with_q_too_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut nodes: Vec<NodeProtocol> = (0..8).map(|i| NodeProtocol::new(i)).collect();
+        let report = run_round(&mut nodes, 0, &mut rng); // 1 slot, 8 nodes
+        assert_eq!(report.collisions, 1);
+        assert!(report.identified.is_empty());
+    }
+
+    #[test]
+    fn acknowledged_node_serves_reads() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut node = NodeProtocol::new(7);
+        // Force through the states.
+        let reply = loop {
+            if let Some(r) = node.on_command(&Command::Query { q: 0, session: 0 }, &mut rng) {
+                break r;
+            }
+        };
+        let Reply::Rn16 { rn16 } = reply else {
+            panic!("expected RN16")
+        };
+        let id = node.on_command(&Command::Ack { rn16 }, &mut rng);
+        assert_eq!(id, Some(Reply::NodeId { id: 7 }));
+        let data = read_sensor(&mut node, SensorKind::Strain, || 321, &mut rng);
+        assert_eq!(
+            data,
+            Some(Reply::SensorData { kind: SensorKind::Strain, raw: 321 })
+        );
+    }
+
+    #[test]
+    fn unacknowledged_node_ignores_reads() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut node = NodeProtocol::new(7);
+        assert_eq!(
+            node.on_command(&Command::ReadSensor { kind: SensorKind::Humidity }, &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn wrong_rn16_sends_node_back_to_ready() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut node = NodeProtocol::new(7);
+        let rn16 = loop {
+            if let Some(Reply::Rn16 { rn16 }) =
+                node.on_command(&Command::Query { q: 0, session: 0 }, &mut rng)
+            {
+                break rn16;
+            }
+        };
+        let wrong = rn16.wrapping_add(1);
+        assert_eq!(node.on_command(&Command::Ack { rn16: wrong }, &mut rng), None);
+        assert_eq!(node.state, NodeState::Ready);
+    }
+
+    #[test]
+    fn set_blf_requires_acknowledged_state() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut node = NodeProtocol::new(9);
+        let before = node.blf_offset_100hz;
+        node.on_command(&Command::SetBlf { offset_100hz: 77 }, &mut rng);
+        assert_eq!(node.blf_offset_100hz, before, "ignored while Ready");
+        // Drive to Acknowledged.
+        let rn16 = loop {
+            if let Some(Reply::Rn16 { rn16 }) =
+                node.on_command(&Command::Query { q: 0, session: 0 }, &mut rng)
+            {
+                break rn16;
+            }
+        };
+        node.on_command(&Command::Ack { rn16 }, &mut rng);
+        node.on_command(&Command::SetBlf { offset_100hz: 77 }, &mut rng);
+        assert_eq!(node.blf_offset_100hz, 77);
+        assert!((node.blf_offset_hz() - 7700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_guard_band_is_3khz() {
+        let node = NodeProtocol::new(1);
+        assert!((node.blf_offset_hz() - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q_algorithm_converges_on_large_populations() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut nodes: Vec<NodeProtocol> = (0..50).map(NodeProtocol::new).collect();
+        let (found, rounds) = inventory_with_q_algorithm(&mut nodes, 0, 0.3, 400, &mut rng);
+        assert_eq!(found.len(), 50, "found {} in {rounds} rounds", found.len());
+    }
+
+    #[test]
+    fn q_algorithm_grows_q_under_collisions() {
+        let mut alg = QAlgorithm::new(0, 0.3);
+        let collisions = RoundReport {
+            identified: vec![],
+            empty_slots: 0,
+            collisions: 5,
+        };
+        alg.update(&collisions);
+        assert!(alg.qfp > 0.0);
+        assert!(alg.q() >= 1 || alg.qfp >= 0.5);
+    }
+
+    #[test]
+    fn q_algorithm_shrinks_q_on_empty_rounds() {
+        let mut alg = QAlgorithm::new(8, 0.3);
+        let empties = RoundReport {
+            identified: vec![],
+            empty_slots: 200,
+            collisions: 0,
+        };
+        alg.update(&empties);
+        assert!(alg.q() < 8);
+        // And never below zero.
+        for _ in 0..50 {
+            alg.update(&empties);
+        }
+        assert_eq!(alg.q(), 0);
+    }
+
+    #[test]
+    fn q_algorithm_beats_fixed_small_q_on_big_populations() {
+        // 40 nodes against Q fixed at 1: collisions forever. The Q
+        // algorithm escapes.
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut nodes: Vec<NodeProtocol> = (0..40).map(NodeProtocol::new).collect();
+        let (found, _) = inventory_with_q_algorithm(&mut nodes, 1, 0.4, 300, &mut rng);
+        assert_eq!(found.len(), 40);
+    }
+
+    #[test]
+    fn select_targets_a_subpopulation() {
+        // Two wall sections: IDs 0xA000_xxxx and 0xB000_xxxx. Select the
+        // A-section and inventory; only A nodes answer.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut nodes: Vec<NodeProtocol> = (0..4)
+            .map(|i| NodeProtocol::new(0xA000_0000 + i))
+            .chain((0..4).map(|i| NodeProtocol::new(0xB000_0000 + i)))
+            .collect();
+        let select = Command::Select {
+            prefix: 0xA000_0000,
+            prefix_bits: 16,
+        };
+        for n in nodes.iter_mut() {
+            n.on_command(&select, &mut rng);
+        }
+        let found = inventory_all(&mut nodes, 3, 40, &mut rng);
+        assert_eq!(found.len(), 4, "found {found:x?}");
+        assert!(found.iter().all(|id| id >> 16 == 0xA000));
+    }
+
+    #[test]
+    fn select_all_resets_participation() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut node = NodeProtocol::new(0xB000_0001);
+        node.on_command(
+            &Command::Select { prefix: 0xA000_0000, prefix_bits: 16 },
+            &mut rng,
+        );
+        assert!(!node.selected);
+        assert_eq!(
+            node.on_command(&Command::Query { q: 0, session: 0 }, &mut rng),
+            None,
+            "deselected node stays silent"
+        );
+        node.on_command(&Command::Select { prefix: 0, prefix_bits: 0 }, &mut rng);
+        assert!(node.selected);
+    }
+
+    #[test]
+    fn full_prefix_selects_exactly_one_node() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut a = NodeProtocol::new(0xDEADBEEF);
+        let mut b = NodeProtocol::new(0xDEADBEEE);
+        let select = Command::Select { prefix: 0xDEADBEEF, prefix_bits: 32 };
+        a.on_command(&select, &mut rng);
+        b.on_command(&select, &mut rng);
+        assert!(a.selected);
+        assert!(!b.selected);
+    }
+
+    #[test]
+    fn inventory_is_reproducible_with_same_seed() {
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut nodes: Vec<NodeProtocol> = (0..6).map(|i| NodeProtocol::new(i)).collect();
+            inventory_all(&mut nodes, 2, 20, &mut rng)
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,27 @@
+//! # ecocapsule-protocol
+//!
+//! The link-layer air protocol between the reader and EcoCapsule nodes,
+//! "following the EPC UHF Gen2 protocol" (§5.1) with the paper's
+//! adaptations: PIE-coded downlink commands, FM0-coded uplink replies at
+//! a configurable backscatter link frequency, and slotted-ALOHA TDMA for
+//! multiple nodes (§3.4).
+//!
+//! Layering (smoltcp-style — explicit state machines, no hidden I/O):
+//!
+//! - [`bits`] — bit-vector serialization primitives;
+//! - [`crc`] — CRC-5 (commands) and CRC-16/CCITT (data frames);
+//! - [`frame`] — typed command/reply frames and their bit encodings;
+//! - [`inventory`] — the node-side Gen2-like state machine, the
+//!   reader-side slotted-round bookkeeping, Select/SL-flag targeting and
+//!   the Gen2 Q-algorithm;
+//! - [`timing`] — air-interface latency accounting (command, reply,
+//!   slot and whole-inventory durations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod crc;
+pub mod frame;
+pub mod inventory;
+pub mod timing;

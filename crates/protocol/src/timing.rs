@@ -1,0 +1,133 @@
+//! Air-interface timing: how long commands, replies and whole inventory
+//! rounds take.
+//!
+//! §3.4 closes with "SHM can tolerate a relatively longer delay because
+//! the degradation of a building takes days rather than seconds" — this
+//! module quantifies that delay so the claim is checkable: a full
+//! inventory of a wall's worth of capsules completes in well under a
+//! second even at the paper's modest bitrates.
+
+use crate::frame::{Command, Reply};
+
+/// Link timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkTiming {
+    /// Downlink PIE tari (s).
+    pub tari_s: f64,
+    /// Uplink FM0 bitrate (bps).
+    pub uplink_bps: f64,
+    /// Turnaround / settling gap between downlink and uplink (s):
+    /// propagation + node decode latency + ring settle.
+    pub turnaround_s: f64,
+}
+
+impl LinkTiming {
+    /// The paper's defaults: 1 kbps-mean PIE downlink, 1 kbps uplink,
+    /// 1 ms turnarounds.
+    pub fn paper_default() -> Self {
+        LinkTiming {
+            tari_s: 1.0 / 3000.0,
+            uplink_bps: 1000.0,
+            turnaround_s: 1e-3,
+        }
+    }
+
+    /// Duration of a PIE-coded downlink command (s): bit-exact over the
+    /// frame's actual 0/1 mix (bit 0 = 2 tari, bit 1 = 4 tari).
+    pub fn command_duration_s(&self, cmd: &Command) -> f64 {
+        let bits = cmd.encode();
+        bits.iter()
+            .map(|&b| if b { 4.0 } else { 2.0 } * self.tari_s)
+            .sum()
+    }
+
+    /// Duration of an FM0 uplink reply (s), including the 6-bit preamble.
+    pub fn reply_duration_s(&self, reply: &Reply) -> f64 {
+        let bits = reply.encode().len() + crate::inventory::PREAMBLE_LEN;
+        bits as f64 / self.uplink_bps
+    }
+
+    /// Duration of one slot: QueryRep + turnaround + (worst-case) RN16
+    /// reply + turnaround.
+    pub fn slot_duration_s(&self) -> f64 {
+        self.command_duration_s(&Command::QueryRep)
+            + self.reply_duration_s(&Reply::Rn16 { rn16: 0xFFFF })
+            + 2.0 * self.turnaround_s
+    }
+
+    /// Duration of a singleton resolution: slot + ACK + NodeId reply.
+    pub fn singleton_duration_s(&self) -> f64 {
+        self.slot_duration_s()
+            + self.command_duration_s(&Command::Ack { rn16: 0xFFFF })
+            + self.reply_duration_s(&Reply::NodeId { id: u32::MAX })
+            + 2.0 * self.turnaround_s
+    }
+
+    /// Estimated time (s) to inventory `n` nodes with slotted ALOHA at
+    /// the optimum Q: ALOHA resolves a fraction `1/e` of slots as
+    /// singletons at best, so ≈ `e·n` slots are spent plus a singleton
+    /// resolution per node.
+    pub fn inventory_estimate_s(&self, n: usize) -> f64 {
+        let e = std::f64::consts::E;
+        e * n as f64 * self.slot_duration_s()
+            + n as f64 * (self.singleton_duration_s() - self.slot_duration_s())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_durations_reflect_bit_mix() {
+        let t = LinkTiming::paper_default();
+        // QueryRep is the shortest frame (9 bits).
+        let short = t.command_duration_s(&Command::QueryRep);
+        let long = t.command_duration_s(&Command::Select {
+            prefix: u32::MAX,
+            prefix_bits: 32,
+        });
+        assert!(long > 2.0 * short, "long {long} vs short {short}");
+        // Bounds: 9 bits of all-zeros (2 tari) .. all-ones (4 tari).
+        assert!(short >= 9.0 * 2.0 * t.tari_s - 1e-12);
+        assert!(short <= 9.0 * 4.0 * t.tari_s + 1e-12);
+    }
+
+    #[test]
+    fn reply_duration_counts_preamble() {
+        let t = LinkTiming::paper_default();
+        let d = t.reply_duration_s(&Reply::Rn16 { rn16: 0 });
+        // 2 + 16 + 16 CRC + 6 preamble = 40 bits at 1 kbps = 40 ms.
+        assert!((d - 0.040).abs() < 1e-12, "RN16 reply {d}");
+    }
+
+    #[test]
+    fn wall_inventory_takes_seconds_not_days() {
+        // §3.4: "a limited number of EcoCapsules are implanted into a
+        // wall" — a dozen nodes inventory in a couple of seconds, which
+        // SHM's days-scale dynamics tolerate with 5 orders of margin.
+        let t = LinkTiming::paper_default();
+        let est = t.inventory_estimate_s(12);
+        assert!((0.5..10.0).contains(&est), "12-node inventory {est} s");
+        let margin = 86_400.0 / est; // one day over one inventory
+        assert!(margin > 1e4, "margin {margin}");
+    }
+
+    #[test]
+    fn faster_uplink_shrinks_the_round() {
+        let slow = LinkTiming::paper_default();
+        let fast = LinkTiming {
+            uplink_bps: 13_000.0,
+            ..slow
+        };
+        assert!(fast.inventory_estimate_s(10) < slow.inventory_estimate_s(10));
+    }
+
+    #[test]
+    fn estimate_scales_linearly_in_population() {
+        let t = LinkTiming::paper_default();
+        let one = t.inventory_estimate_s(1);
+        let ten = t.inventory_estimate_s(10);
+        assert!((ten / one - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,23 @@
+//! # ecocapsule-reader
+//!
+//! The reader: the only mains-powered element of the system (§5.1).
+//!
+//! - [`tx`] — transmit chain: signal generator → matching network →
+//!   power amplifier (250 V ceiling) → 40 mm TX PZT on a wave prism;
+//! - [`rx`] — receive chain: 1 MS/s capture → carrier-frequency
+//!   estimation → digital downconversion → preamble synchronization →
+//!   maximum-likelihood FM0 decoding → frame parse, plus the Monte-Carlo
+//!   BER machinery behind Fig 15 and the SNR-vs-bitrate model behind
+//!   Figs 16/17;
+//! - [`tuning`] — the §3.5 carrier fine-tuning routine that dodges the
+//!   frequency-selective notches a defect-laden member introduces;
+//! - [`app`] — the reader application: waveform-level inventory rounds
+//!   and sensor-read transactions against simulated capsules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod rx;
+pub mod tuning;
+pub mod tx;

@@ -1,0 +1,220 @@
+//! Damage detection from in-concrete sensor histories.
+//!
+//! The point of implanting EcoCapsules (§1): catch the slow killers —
+//! "long-term reinforced concrete structural support degradation …
+//! due to water penetration and corrosion of the reinforcing steel" —
+//! years before collapse. Three standard SHM analyses over the readings
+//! an EcoCapsule delivers:
+//!
+//! - [`strain_drift`] — a permanent creep/settlement trend in the
+//!   internal strain (least-squares slope with a significance gate);
+//! - [`corrosion_risk`] — sustained internal relative humidity above the
+//!   corrosion threshold (~80% IRH is the accepted onset for chloride-
+//!   free carbonated concrete);
+//! - [`stiffness_change`] — a drop in the member's dominant vibration
+//!   frequency: `f ∝ √(k/m)`, so −5% in frequency ≈ −10% in stiffness.
+
+/// A `(time_s, value)` history sample.
+pub type Sample = (f64, f64);
+
+/// Least-squares linear trend of a history: `(slope_per_s, intercept)`.
+/// Returns `None` for fewer than 2 samples or a degenerate time axis.
+pub fn linear_trend(history: &[Sample]) -> Option<(f64, f64)> {
+    if history.len() < 2 {
+        return None;
+    }
+    let n = history.len() as f64;
+    let mean_t = history.iter().map(|s| s.0).sum::<f64>() / n;
+    let mean_v = history.iter().map(|s| s.1).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(t, v) in history {
+        sxx += (t - mean_t) * (t - mean_t);
+        sxy += (t - mean_t) * (v - mean_v);
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    Some((slope, mean_v - slope * mean_t))
+}
+
+/// Verdict of a strain-drift analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftVerdict {
+    /// Not enough data or degenerate time axis.
+    Inconclusive,
+    /// Trend within the benign envelope.
+    Stable,
+    /// Sustained drift beyond `threshold_ue_per_year` — flag for
+    /// inspection.
+    Drifting {
+        /// Fitted drift in µε per year.
+        ue_per_year: f64,
+    },
+}
+
+/// Seconds per (365-day) year.
+pub const YEAR_S: f64 = 365.0 * 86_400.0;
+
+/// Detects permanent strain drift. `threshold_ue_per_year` is the flag
+/// level (civil practice: tens of µε/year of unexplained drift warrants
+/// attention; we default callers to 50).
+pub fn strain_drift(history: &[Sample], threshold_ue_per_year: f64) -> DriftVerdict {
+    assert!(threshold_ue_per_year > 0.0, "threshold must be positive");
+    let Some((slope, _)) = linear_trend(history) else {
+        return DriftVerdict::Inconclusive;
+    };
+    let ue_per_year = slope * YEAR_S * 1e6;
+    if ue_per_year.abs() >= threshold_ue_per_year {
+        DriftVerdict::Drifting { ue_per_year }
+    } else {
+        DriftVerdict::Stable
+    }
+}
+
+/// Internal relative humidity above which rebar corrosion proceeds.
+pub const CORROSION_IRH_THRESHOLD: f64 = 80.0;
+
+/// Corrosion risk from an IRH history: the fraction of time spent above
+/// the corrosion threshold, graded into a three-level index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CorrosionRisk {
+    /// < 20% of the record above threshold.
+    Low,
+    /// 20–60%.
+    Elevated,
+    /// > 60% — the §1 Champlain-Towers scenario: persistent water
+    /// penetration.
+    High,
+}
+
+/// Grades corrosion risk from an internal-relative-humidity history (%).
+pub fn corrosion_risk(irh_history: &[Sample]) -> Option<CorrosionRisk> {
+    if irh_history.is_empty() {
+        return None;
+    }
+    let above = irh_history
+        .iter()
+        .filter(|&&(_, v)| v >= CORROSION_IRH_THRESHOLD)
+        .count() as f64
+        / irh_history.len() as f64;
+    Some(if above > 0.6 {
+        CorrosionRisk::High
+    } else if above >= 0.2 {
+        CorrosionRisk::Elevated
+    } else {
+        CorrosionRisk::Low
+    })
+}
+
+/// Stiffness change inferred from a shift in the member's dominant
+/// vibration frequency: `k₁/k₀ = (f₁/f₀)²`. Returns the fractional
+/// stiffness change (negative = loss).
+pub fn stiffness_change(f0_hz: f64, f1_hz: f64) -> f64 {
+    assert!(f0_hz > 0.0 && f1_hz > 0.0, "frequencies must be positive");
+    (f1_hz / f0_hz).powi(2) - 1.0
+}
+
+/// Dominant vibration frequency of an acceleration record `(fs_hz)` via
+/// the spectrum peak — the modal tracker feeding [`stiffness_change`].
+pub fn dominant_frequency_hz(acceleration: &[f64], fs_hz: f64) -> Option<f64> {
+    if acceleration.len() < 16 {
+        return None;
+    }
+    let (freqs, power) = dsp::fft::power_spectrum(acceleration, fs_hz).ok()?;
+    dsp::fft::dominant_bin(&freqs, &power).map(|(_, f, _)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history(days: usize, f: impl Fn(f64) -> f64) -> Vec<Sample> {
+        (0..days)
+            .map(|d| {
+                let t = d as f64 * 86_400.0;
+                (t, f(t))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stable_strain_is_stable() {
+        // ±20 µε thermal wiggle around zero for a year.
+        let h = history(365, |t| 20e-6 * (t / 86_400.0 * 0.7).sin());
+        assert_eq!(strain_drift(&h, 50.0), DriftVerdict::Stable);
+    }
+
+    #[test]
+    fn creep_is_flagged() {
+        // 120 µε/year of settlement.
+        let h = history(365, |t| 120e-6 * t / YEAR_S);
+        let DriftVerdict::Drifting { ue_per_year } = strain_drift(&h, 50.0) else {
+            panic!("drift not flagged");
+        };
+        assert!((ue_per_year - 120.0).abs() < 5.0, "fitted {ue_per_year}");
+    }
+
+    #[test]
+    fn compressive_drift_also_flags() {
+        let h = history(365, |t| -90e-6 * t / YEAR_S);
+        assert!(matches!(strain_drift(&h, 50.0), DriftVerdict::Drifting { ue_per_year } if ue_per_year < 0.0));
+    }
+
+    #[test]
+    fn short_history_is_inconclusive() {
+        assert_eq!(strain_drift(&[(0.0, 1.0)], 50.0), DriftVerdict::Inconclusive);
+        assert_eq!(strain_drift(&[], 50.0), DriftVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn dry_concrete_is_low_risk() {
+        let h = history(100, |_| 65.0);
+        assert_eq!(corrosion_risk(&h), Some(CorrosionRisk::Low));
+    }
+
+    #[test]
+    fn water_penetration_is_high_risk() {
+        // The §1 scenario: persistent saturation.
+        let h = history(100, |t| if t > 20.0 * 86_400.0 { 92.0 } else { 70.0 });
+        assert_eq!(corrosion_risk(&h), Some(CorrosionRisk::High));
+    }
+
+    #[test]
+    fn seasonal_wetting_is_elevated() {
+        // Above threshold ~40% of the time.
+        let h = history(100, |t| {
+            if (t / 86_400.0) % 10.0 < 4.0 {
+                85.0
+            } else {
+                70.0
+            }
+        });
+        assert_eq!(corrosion_risk(&h), Some(CorrosionRisk::Elevated));
+    }
+
+    #[test]
+    fn stiffness_tracks_frequency_squared() {
+        assert!((stiffness_change(2.0, 2.0)).abs() < 1e-12);
+        // −5% frequency ⇒ ≈ −9.75% stiffness.
+        let dk = stiffness_change(2.0, 1.9);
+        assert!((dk + 0.0975).abs() < 1e-4, "dk = {dk}");
+    }
+
+    #[test]
+    fn modal_tracker_finds_deck_mode() {
+        // A 2.2 Hz footbridge mode sampled at 50 Hz for 60 s.
+        let fs = 50.0;
+        let acc: Vec<f64> = (0..3000)
+            .map(|i| (2.0 * std::f64::consts::PI * 2.2 * i as f64 / fs).sin())
+            .collect();
+        let f = dominant_frequency_hz(&acc, fs).unwrap();
+        assert!((f - 2.2).abs() < 0.05, "tracked {f} Hz");
+    }
+
+    #[test]
+    fn modal_tracker_needs_data() {
+        assert_eq!(dominant_frequency_hz(&[0.0; 4], 50.0), None);
+    }
+}

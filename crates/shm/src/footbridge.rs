@@ -1,0 +1,274 @@
+//! The pilot-study footbridge (§6, Fig 25, reference [59]).
+//!
+//! "The bridge has a total length of 84.24 m, consisting of a
+//! 64.26 m-long main span that straddles the highway underneath and a
+//! 19.98 m-long side span. … The maximum vertical acceleration and
+//! lateral acceleration of the bridge deck are not exceeded 0.7 m/s²
+//! and 0.15 m/s², respectively. The maximum strength of steelwork is
+//! 355 MPa. The limitation of deflection at mid-span is 0.1083 m. The
+//! maximum average pedestrian area occupancy must be less than
+//! 1 m²/ped" [i.e. below 1 m²/ped the bridge is overloaded].
+
+/// Structural limits of the footbridge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructuralLimits {
+    /// Maximum vertical deck acceleration (m/s²).
+    pub max_vertical_accel_m_s2: f64,
+    /// Maximum lateral deck acceleration (m/s²).
+    pub max_lateral_accel_m_s2: f64,
+    /// Steelwork strength (MPa).
+    pub max_steel_stress_mpa: f64,
+    /// Mid-span deflection limit (m).
+    pub max_deflection_m: f64,
+    /// Minimum tolerable pedestrian area occupancy (m²/ped); below this
+    /// the bridge is overloaded.
+    pub min_pao_m2_per_ped: f64,
+}
+
+/// One of the five monitored deck sections (Fig 21c: A through E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// Section A.
+    A,
+    /// Section B.
+    B,
+    /// Section C.
+    C,
+    /// Section D.
+    D,
+    /// Section E.
+    E,
+}
+
+impl Section {
+    /// All sections in deck order.
+    pub const ALL: [Section; 5] = [Section::A, Section::B, Section::C, Section::D, Section::E];
+
+    /// Walkable deck area of this section (m²): the 84.24 m deck at a
+    /// nominal 3 m width, split into five equal sections.
+    pub fn area_m2(self) -> f64 {
+        84.24 * 3.0 / 5.0
+    }
+}
+
+impl std::fmt::Display for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            Section::A => 'A',
+            Section::B => 'B',
+            Section::C => 'C',
+            Section::D => 'D',
+            Section::E => 'E',
+        };
+        write!(f, "Section {c}")
+    }
+}
+
+/// Categories of the 88 conventional sensors (Fig 25: "the monitoring
+/// items are grouped into three categories").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorCategory {
+    /// Environmental parameters: air temperature, pressure, humidity,
+    /// rain, solar radiation.
+    Environmental,
+    /// Loads: wind and structural temperature.
+    Loads,
+    /// Bridge responses: stress/strain, displacement, acceleration.
+    Responses,
+}
+
+/// A conventional (wired) sensor installed on the bridge.
+#[derive(Debug, Clone, Copy)]
+pub struct ConventionalSensor {
+    /// Identifier (1-based).
+    pub id: u32,
+    /// Category.
+    pub category: SensorCategory,
+    /// Which section it instruments.
+    pub section: Section,
+}
+
+/// The footbridge.
+#[derive(Debug, Clone)]
+pub struct Footbridge {
+    /// Main-span length (m).
+    pub main_span_m: f64,
+    /// Side-span length (m).
+    pub side_span_m: f64,
+    /// Structural limits.
+    pub limits: StructuralLimits,
+    /// Conventional sensor layout.
+    pub sensors: Vec<ConventionalSensor>,
+}
+
+impl Footbridge {
+    /// The paper's bridge: 64.26 + 19.98 m spans, published limits, and
+    /// an 88-sensor conventional layout distributed over the sections
+    /// and categories.
+    pub fn paper_bridge() -> Self {
+        let mut sensors = Vec::with_capacity(88);
+        // 16 environmental, 24 load, 48 response sensors, round-robin
+        // across sections (the paper's Fig 25 distributes them along the
+        // deck and arches).
+        let mut id = 1u32;
+        for (count, category) in [
+            (16, SensorCategory::Environmental),
+            (24, SensorCategory::Loads),
+            (48, SensorCategory::Responses),
+        ] {
+            for i in 0..count {
+                sensors.push(ConventionalSensor {
+                    id,
+                    category,
+                    section: Section::ALL[i % 5],
+                });
+                id += 1;
+            }
+        }
+        Footbridge {
+            main_span_m: 64.26,
+            side_span_m: 19.98,
+            limits: StructuralLimits {
+                max_vertical_accel_m_s2: 0.7,
+                max_lateral_accel_m_s2: 0.15,
+                max_steel_stress_mpa: 355.0,
+                max_deflection_m: 0.1083,
+                min_pao_m2_per_ped: 1.0,
+            },
+            sensors,
+        }
+    }
+
+    /// Total length (m) — the paper's 84.24 m.
+    pub fn total_length_m(&self) -> f64 {
+        self.main_span_m + self.side_span_m
+    }
+
+    /// Number of installed conventional sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Checks a set of instantaneous measurements against the structural
+    /// limits; returns the list of violated criteria.
+    pub fn check_limits(&self, m: &Measurements) -> Vec<LimitViolation> {
+        let mut v = Vec::new();
+        if m.vertical_accel_m_s2.abs() > self.limits.max_vertical_accel_m_s2 {
+            v.push(LimitViolation::VerticalAcceleration);
+        }
+        if m.lateral_accel_m_s2.abs() > self.limits.max_lateral_accel_m_s2 {
+            v.push(LimitViolation::LateralAcceleration);
+        }
+        if m.steel_stress_mpa.abs() > self.limits.max_steel_stress_mpa {
+            v.push(LimitViolation::SteelStress);
+        }
+        if m.deflection_m.abs() > self.limits.max_deflection_m {
+            v.push(LimitViolation::Deflection);
+        }
+        if m.pao_m2_per_ped < self.limits.min_pao_m2_per_ped {
+            v.push(LimitViolation::Overcrowding);
+        }
+        v
+    }
+}
+
+/// A snapshot of bridge-response measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurements {
+    /// Vertical deck acceleration (m/s²).
+    pub vertical_accel_m_s2: f64,
+    /// Lateral deck acceleration (m/s²).
+    pub lateral_accel_m_s2: f64,
+    /// Steel stress (MPa).
+    pub steel_stress_mpa: f64,
+    /// Mid-span deflection (m).
+    pub deflection_m: f64,
+    /// Pedestrian area occupancy (m²/ped).
+    pub pao_m2_per_ped: f64,
+}
+
+/// A violated structural criterion ("Once these structural thresholds
+/// are exceeded, the whole bridge must be damaged or even collapsed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitViolation {
+    /// Vertical acceleration limit exceeded.
+    VerticalAcceleration,
+    /// Lateral acceleration limit exceeded.
+    LateralAcceleration,
+    /// Steel stress limit exceeded.
+    SteelStress,
+    /// Deflection limit exceeded.
+    Deflection,
+    /// PAO below the overload floor.
+    Overcrowding,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let b = Footbridge::paper_bridge();
+        assert!((b.total_length_m() - 84.24).abs() < 1e-9);
+        assert!((b.main_span_m - 64.26).abs() < 1e-9);
+        assert!((b.side_span_m - 19.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn has_88_conventional_sensors() {
+        let b = Footbridge::paper_bridge();
+        assert_eq!(b.sensor_count(), 88);
+        let responses = b
+            .sensors
+            .iter()
+            .filter(|s| s.category == SensorCategory::Responses)
+            .count();
+        assert_eq!(responses, 48);
+    }
+
+    #[test]
+    fn every_section_is_instrumented() {
+        let b = Footbridge::paper_bridge();
+        for s in Section::ALL {
+            assert!(
+                b.sensors.iter().any(|x| x.section == s),
+                "{s} uninstrumented"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_measurements_pass() {
+        let b = Footbridge::paper_bridge();
+        let m = Measurements {
+            vertical_accel_m_s2: 0.03,
+            lateral_accel_m_s2: 0.01,
+            steel_stress_mpa: 60.0,
+            deflection_m: 0.01,
+            pao_m2_per_ped: 3.5,
+        };
+        assert!(b.check_limits(&m).is_empty());
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        let b = Footbridge::paper_bridge();
+        let m = Measurements {
+            vertical_accel_m_s2: 0.9,
+            lateral_accel_m_s2: 0.2,
+            steel_stress_mpa: 400.0,
+            deflection_m: 0.2,
+            pao_m2_per_ped: 0.8,
+        };
+        let v = b.check_limits(&m);
+        assert_eq!(v.len(), 5);
+        assert!(v.contains(&LimitViolation::Overcrowding));
+    }
+
+    #[test]
+    fn section_area_sums_to_deck() {
+        let total: f64 = Section::ALL.iter().map(|s| s.area_m2()).sum();
+        assert!((total - 84.24 * 3.0).abs() < 1e-9);
+    }
+}

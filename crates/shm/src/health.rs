@@ -1,0 +1,226 @@
+//! Pedestrian-area-occupancy health grading (Table 2, Fig 21c).
+//!
+//! "Six health levels of service (A to F) are designated for walking
+//! facilities" based on the average area each pedestrian occupies
+//! (m²/ped), with region-specific thresholds from reference [40]. Health
+//! is updated once per minute per section; the bridge "always remained
+//! at B or above levels in the past year … mainly attributed to the
+//! public policy of social distancing against the COVID-19 pandemic".
+
+use crate::footbridge::Section;
+
+/// Health level of service, A (best) to F (worst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealthLevel {
+    /// Free flow.
+    A,
+    /// Minor restriction.
+    B,
+    /// Restricted but stable.
+    C,
+    /// Crowded.
+    D,
+    /// Near capacity — structural risk accumulating.
+    E,
+    /// Overloaded — "the bridge is overloaded and will collapse".
+    F,
+}
+
+impl std::fmt::Display for HealthLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            HealthLevel::A => 'A',
+            HealthLevel::B => 'B',
+            HealthLevel::C => 'C',
+            HealthLevel::D => 'D',
+            HealthLevel::E => 'E',
+            HealthLevel::F => 'F',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Regional grading standards (Table 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// United States thresholds.
+    UnitedStates,
+    /// Hong Kong thresholds (the bridge's jurisdiction).
+    HongKong,
+    /// Bangkok thresholds.
+    Bangkok,
+    /// Manila thresholds.
+    Manila,
+}
+
+impl Region {
+    /// The five level boundaries `[A/B, B/C, C/D, D/E, E/F]` in m²/ped
+    /// (PAO above the first bound grades A; below the last grades F).
+    pub fn thresholds_m2_per_ped(self) -> [f64; 5] {
+        match self {
+            // Table 2. (The US column's B row reads "3.85-2.3" with an
+            // A bound of ">3.85"; we use the consistent boundary set.)
+            Region::UnitedStates => [3.85, 2.30, 1.39, 0.93, 0.46],
+            Region::HongKong => [3.25, 2.16, 1.40, 0.80, 0.52],
+            Region::Bangkok => [2.38, 1.60, 0.98, 0.65, 0.37],
+            Region::Manila => [3.25, 2.05, 1.65, 1.25, 0.56],
+        }
+    }
+
+    /// Grades a PAO value (m²/ped) in this region.
+    pub fn grade(self, pao_m2_per_ped: f64) -> HealthLevel {
+        assert!(pao_m2_per_ped >= 0.0, "PAO must be non-negative");
+        let t = self.thresholds_m2_per_ped();
+        if pao_m2_per_ped > t[0] {
+            HealthLevel::A
+        } else if pao_m2_per_ped > t[1] {
+            HealthLevel::B
+        } else if pao_m2_per_ped > t[2] {
+            HealthLevel::C
+        } else if pao_m2_per_ped > t[3] {
+            HealthLevel::D
+        } else if pao_m2_per_ped > t[4] {
+            HealthLevel::E
+        } else {
+            HealthLevel::F
+        }
+    }
+}
+
+/// PAO from a pedestrian count on a section.
+pub fn pao_m2_per_ped(section: Section, pedestrians: usize) -> f64 {
+    if pedestrians == 0 {
+        f64::INFINITY
+    } else {
+        section.area_m2() / pedestrians as f64
+    }
+}
+
+/// The per-section real-time record Fig 21(c) displays.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionStatus {
+    /// The section.
+    pub section: Section,
+    /// Pedestrians currently on it.
+    pub pedestrians: usize,
+    /// Mean walking speed (m/s).
+    pub speed_m_s: f64,
+    /// Graded health.
+    pub health: HealthLevel,
+}
+
+/// Grades every section from pedestrian counts and speeds (the joint
+/// sensor/CCTV estimate of §6), in the bridge's Hong Kong jurisdiction.
+pub fn grade_sections(counts: &[(Section, usize, f64)]) -> Vec<SectionStatus> {
+    counts
+        .iter()
+        .map(|&(section, pedestrians, speed_m_s)| SectionStatus {
+            section,
+            pedestrians,
+            speed_m_s,
+            health: Region::HongKong.grade(pao_m2_per_ped(section, pedestrians)),
+        })
+        .collect()
+}
+
+/// Simple paper-style interpretation thresholds: H > 2 healthy, H ≤ 2
+/// "too crowded and might receive structural damage", H ≤ 1 "overloaded
+/// and will collapse".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrowdingRisk {
+    /// H > 2 m²/ped.
+    Good,
+    /// 1 < H ≤ 2 m²/ped.
+    StructuralDamageRisk,
+    /// H ≤ 1 m²/ped.
+    CollapseRisk,
+}
+
+/// Classifies a PAO value by the §6 rule of thumb.
+pub fn crowding_risk(pao_m2_per_ped: f64) -> CrowdingRisk {
+    assert!(pao_m2_per_ped >= 0.0, "PAO must be non-negative");
+    if pao_m2_per_ped > 2.0 {
+        CrowdingRisk::Good
+    } else if pao_m2_per_ped > 1.0 {
+        CrowdingRisk::StructuralDamageRisk
+    } else {
+        CrowdingRisk::CollapseRisk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table2_hong_kong_boundaries() {
+        let r = Region::HongKong;
+        assert_eq!(r.grade(4.0), HealthLevel::A);
+        assert_eq!(r.grade(3.0), HealthLevel::B);
+        assert_eq!(r.grade(2.0), HealthLevel::C);
+        assert_eq!(r.grade(1.0), HealthLevel::D);
+        assert_eq!(r.grade(0.6), HealthLevel::E);
+        assert_eq!(r.grade(0.4), HealthLevel::F);
+    }
+
+    #[test]
+    fn table2_us_column() {
+        let r = Region::UnitedStates;
+        assert_eq!(r.grade(3.9), HealthLevel::A);
+        assert_eq!(r.grade(3.0), HealthLevel::B);
+        assert_eq!(r.grade(2.0), HealthLevel::C);
+        assert_eq!(r.grade(1.0), HealthLevel::D);
+        assert_eq!(r.grade(0.5), HealthLevel::E);
+        assert_eq!(r.grade(0.3), HealthLevel::F);
+    }
+
+    #[test]
+    fn fig21c_example_counts_grade_a() {
+        // Fig 21(c): sections with 0–3 pedestrians all grade A.
+        let statuses = grade_sections(&[
+            (Section::A, 1, 1.0),
+            (Section::B, 3, 1.5),
+            (Section::C, 1, 2.0),
+            (Section::D, 3, 1.1),
+            (Section::E, 0, 0.0),
+        ]);
+        assert!(statuses.iter().all(|s| s.health == HealthLevel::A));
+    }
+
+    #[test]
+    fn crowded_section_degrades() {
+        // ~50.5 m² per section: 40 peds → 1.26 m²/ped → D in HK.
+        let st = grade_sections(&[(Section::C, 40, 0.6)]);
+        assert_eq!(st[0].health, HealthLevel::D);
+        assert_eq!(crowding_risk(1.7), CrowdingRisk::StructuralDamageRisk);
+    }
+
+    #[test]
+    fn overload_is_collapse_risk() {
+        assert_eq!(crowding_risk(0.9), CrowdingRisk::CollapseRisk);
+        assert_eq!(crowding_risk(2.5), CrowdingRisk::Good);
+    }
+
+    #[test]
+    fn empty_section_has_infinite_pao() {
+        assert!(pao_m2_per_ped(Section::A, 0).is_infinite());
+        assert_eq!(Region::HongKong.grade(f64::INFINITY), HealthLevel::A);
+    }
+
+    proptest! {
+        #[test]
+        fn grading_is_monotone(pao in 0.0f64..10.0, d in 0.01f64..5.0) {
+            for r in [Region::UnitedStates, Region::HongKong, Region::Bangkok, Region::Manila] {
+                prop_assert!(r.grade(pao + d) <= r.grade(pao), "{r:?}");
+            }
+        }
+
+        #[test]
+        fn more_pedestrians_never_improve_health(n in 1usize..200, extra in 1usize..50) {
+            let h1 = Region::HongKong.grade(pao_m2_per_ped(Section::B, n));
+            let h2 = Region::HongKong.grade(pao_m2_per_ped(Section::B, n + extra));
+            prop_assert!(h2 >= h1);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ecocapsule-shm
+//!
+//! The structural-health-monitoring application layer and the paper's §6
+//! pilot study: long-term monitoring of a real-life butterfly-arch
+//! footbridge.
+//!
+//! - [`footbridge`] — the bridge model: spans, structural limits, the
+//!   five monitored sections and the 88-sensor conventional layout;
+//! - [`health`] — pedestrian-area-occupancy (PAO) health grading
+//!   (Table 2), per-section real-time health (Fig 21c) and structural
+//!   threshold checks;
+//! - [`pilot`] — deterministic synthetic July-2021 sensor streams with
+//!   the 7/15–7/23 tropical-storm anomaly (Fig 21a/b, Appendix D
+//!   Figs 26–36), the 17-month long-term study the pilot ran since
+//!   October 2019, and the cost comparison the paper closes on;
+//! - [`damage`] — long-horizon damage analyses over the capsule
+//!   histories: strain drift, corrosion-risk IRH exposure, and modal
+//!   stiffness tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod damage;
+pub mod footbridge;
+pub mod health;
+pub mod occupancy;
+pub mod pilot;
+pub mod report;

@@ -1,0 +1,174 @@
+//! Pedestrian occupancy estimation (§6).
+//!
+//! "The CCTV is not sufficient to count the number of pedestrians due to
+//! the interference from blockage, insufficient lights, bad weather
+//! conditions etc. Thus, we jointly use the measurements (including
+//! acceleration, stress, displacement, etc) from all sensors and the
+//! CCTV to compute H." This module implements that fusion: a
+//! vibration-energy pedestrian counter, a CCTV counter with
+//! condition-dependent reliability, and an inverse-variance weighted
+//! combiner that yields the PAO the health grading consumes.
+
+use crate::footbridge::Section;
+use crate::health::{pao_m2_per_ped, HealthLevel, Region};
+
+/// Deck-vibration pedestrian counter.
+///
+/// Each walker injects roughly constant vibration power, so the count
+/// scales with RMS²: `n ≈ (rms/rms₁)²` with `rms₁` the single-walker
+/// calibration. Per-estimate variance grows with the count (walkers
+/// interfere), modelled as `σ² = 1 + 0.04·n²`.
+#[derive(Debug, Clone, Copy)]
+pub struct VibrationCounter {
+    /// RMS deck acceleration of one walker (m/s²).
+    pub single_walker_rms: f64,
+}
+
+impl Default for VibrationCounter {
+    fn default() -> Self {
+        VibrationCounter {
+            single_walker_rms: 0.004,
+        }
+    }
+}
+
+/// One pedestrian-count estimate with its variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountEstimate {
+    /// Estimated pedestrians.
+    pub count: f64,
+    /// Estimate variance (pedestrians²).
+    pub variance: f64,
+}
+
+impl VibrationCounter {
+    /// Estimates the count from a measured RMS acceleration.
+    pub fn estimate(&self, rms_m_s2: f64) -> CountEstimate {
+        assert!(rms_m_s2 >= 0.0, "RMS must be non-negative");
+        let n = (rms_m_s2 / self.single_walker_rms).powi(2);
+        CountEstimate {
+            count: n,
+            variance: 1.0 + 0.04 * n * n,
+        }
+    }
+}
+
+/// CCTV viewing conditions (§6's failure causes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CctvCondition {
+    /// Daylight, clear.
+    Good,
+    /// Dusk / rain / partial blockage.
+    Degraded,
+    /// Night, storm or lens blockage: barely usable.
+    Poor,
+}
+
+/// A CCTV count with condition-dependent variance.
+pub fn cctv_estimate(raw_count: usize, condition: CctvCondition) -> CountEstimate {
+    let n = raw_count as f64;
+    let variance = match condition {
+        CctvCondition::Good => 0.25,
+        CctvCondition::Degraded => 4.0 + 0.1 * n,
+        CctvCondition::Poor => 25.0 + 0.5 * n,
+    };
+    CountEstimate { count: n, variance }
+}
+
+/// Inverse-variance fusion of independent estimates. Returns `None` for
+/// an empty input.
+pub fn fuse(estimates: &[CountEstimate]) -> Option<CountEstimate> {
+    if estimates.is_empty() {
+        return None;
+    }
+    let mut wsum = 0.0;
+    let mut acc = 0.0;
+    for e in estimates {
+        assert!(e.variance > 0.0, "variance must be positive");
+        let w = 1.0 / e.variance;
+        wsum += w;
+        acc += w * e.count;
+    }
+    Some(CountEstimate {
+        count: acc / wsum,
+        variance: 1.0 / wsum,
+    })
+}
+
+/// End-to-end: fuse sensor + CCTV counts on a section and grade it (the
+/// Fig 21(c) computation).
+pub fn graded_occupancy(
+    section: Section,
+    estimates: &[CountEstimate],
+    region: Region,
+) -> Option<(f64, HealthLevel)> {
+    let fused = fuse(estimates)?;
+    let pao = pao_m2_per_ped(section, fused.count.round().max(0.0) as usize);
+    Some((pao, region.grade(pao)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vibration_counter_is_quadratic() {
+        let c = VibrationCounter::default();
+        let one = c.estimate(0.004);
+        let two_walkers_rms = 0.004 * 2f64.sqrt(); // powers add
+        let two = c.estimate(two_walkers_rms);
+        assert!((one.count - 1.0).abs() < 1e-9);
+        assert!((two.count - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn good_cctv_dominates_the_fusion() {
+        let vib = VibrationCounter::default().estimate(0.02); // ~25 walkers, high var
+        let cam = cctv_estimate(22, CctvCondition::Good);
+        let fused = fuse(&[vib, cam]).unwrap();
+        assert!((fused.count - 22.0).abs() < 1.0, "fused {}", fused.count);
+        assert!(fused.variance < cam.variance);
+    }
+
+    #[test]
+    fn storm_flips_the_weighting_to_sensors() {
+        // §6's point: in bad weather the implanted sensors carry the
+        // estimate ("they do not receive the negative influence from the
+        // weather conditions").
+        let vib = VibrationCounter::default().estimate(0.008); // 4 walkers
+        let cam = cctv_estimate(15, CctvCondition::Poor); // wildly wrong
+        let fused = fuse(&[vib, cam]).unwrap();
+        assert!(
+            (fused.count - vib.count).abs() < (fused.count - cam.count).abs(),
+            "fusion must lean on the vibration estimate: {}",
+            fused.count
+        );
+    }
+
+    #[test]
+    fn fusion_never_increases_variance() {
+        let a = CountEstimate { count: 10.0, variance: 4.0 };
+        let b = CountEstimate { count: 12.0, variance: 9.0 };
+        let f = fuse(&[a, b]).unwrap();
+        assert!(f.variance < a.variance.min(b.variance));
+        assert!((10.0..12.0).contains(&f.count));
+    }
+
+    #[test]
+    fn graded_occupancy_matches_manual_grading() {
+        let est = [cctv_estimate(3, CctvCondition::Good)];
+        let (pao, level) = graded_occupancy(Section::B, &est, Region::HongKong).unwrap();
+        assert!(pao > 10.0);
+        assert_eq!(level, HealthLevel::A);
+        // A dense crowd grades poorly.
+        let crowd = [cctv_estimate(80, CctvCondition::Good)];
+        let (_, level) = graded_occupancy(Section::B, &crowd, Region::HongKong).unwrap();
+        assert!(level >= HealthLevel::D);
+    }
+
+    #[test]
+    fn empty_fusion_is_none() {
+        assert_eq!(fuse(&[]), None);
+        assert!(graded_occupancy(Section::A, &[], Region::HongKong).is_none());
+    }
+}

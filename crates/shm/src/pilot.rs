@@ -1,0 +1,498 @@
+//! The long-term pilot study (§6, Fig 21, Appendix D Figs 26–36).
+//!
+//! Substitution note (DESIGN.md §2): the paper plots real measurements
+//! from 88 conventional sensors plus five preliminary EcoCapsules over
+//! July 2021. We cannot replay their data, so this module generates
+//! statistically faithful synthetic streams: diurnal cycles, sensor
+//! noise, and the documented 7/15–7/23 tropical-cyclone window (elevated
+//! deck accelerations and stress swings, pressure dip, humidity surge).
+//! The anomaly-detection and mutual-verification analyses then run on
+//! those streams exactly as the paper's analyses ran on real data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One time-stamped sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Day of July, fractional (1.0 ..= 32.0).
+    pub day: f64,
+    /// Channel value in the channel's unit.
+    pub value: f64,
+}
+
+/// The generated channels (Fig 21 + Appendix D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Relative humidity (%), Fig 26.
+    Humidity,
+    /// Air temperature (°C), Fig 27.
+    Temperature,
+    /// Barometric pressure (kPa), Fig 28.
+    BarometricPressure,
+    /// Deck acceleration (m/s²) from conventional sensor `1..=6`,
+    /// Figs 29–34.
+    Acceleration(u8),
+    /// Steel stress (MPa) from conventional sensor `1..=2`, Figs 35–36.
+    Stress(u8),
+}
+
+/// First and last day of the storm window ("from 15th to 23rd July").
+pub const STORM_WINDOW_DAYS: (f64, f64) = (15.0, 23.0);
+
+/// Samples per day (one every 10 minutes).
+pub const SAMPLES_PER_DAY: usize = 144;
+
+/// The deterministic July-2021 stream generator.
+#[derive(Debug, Clone)]
+pub struct PilotStudy {
+    /// RNG seed — same seed, same month of data.
+    pub seed: u64,
+}
+
+impl PilotStudy {
+    /// A study with the default seed.
+    pub fn new(seed: u64) -> Self {
+        PilotStudy { seed }
+    }
+
+    /// True when `day` falls inside the storm window.
+    pub fn in_storm(day: f64) -> bool {
+        (STORM_WINDOW_DAYS.0..=STORM_WINDOW_DAYS.1).contains(&day)
+    }
+
+    /// Generates the full July series for one channel.
+    pub fn generate(&self, channel: Channel) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ channel_seed(channel));
+        let n = 31 * SAMPLES_PER_DAY;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let day = 1.0 + i as f64 / SAMPLES_PER_DAY as f64;
+            let hour = (day.fract()) * 24.0;
+            let storm = Self::in_storm(day);
+            let value = match channel {
+                Channel::Humidity => {
+                    // 50–100%: diurnal swing, saturated during the storm.
+                    let base = 72.0 - 12.0 * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+                    let boost = if storm { 18.0 } else { 0.0 };
+                    (base + boost + gauss(&mut rng) * 2.5).clamp(50.0, 100.0)
+                }
+                Channel::Temperature => {
+                    // 24–36 °C subtropical July; storm days cooler & flat.
+                    let swing = if storm { 1.2 } else { 4.0 };
+                    let base = if storm { 27.0 } else { 30.0 };
+                    base + swing * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos() * -1.0
+                        + gauss(&mut rng) * 0.4
+                }
+                Channel::BarometricPressure => {
+                    // 97.5–100 kPa with the cyclone's pressure dip.
+                    let dip = if storm {
+                        // deepest mid-window
+                        let mid = (STORM_WINDOW_DAYS.0 + STORM_WINDOW_DAYS.1) / 2.0;
+                        1.6 * (1.0 - ((day - mid) / 4.5).powi(2)).max(0.0)
+                    } else {
+                        0.0
+                    };
+                    99.4 - dip + 0.25 * ((hour / 12.0) * std::f64::consts::TAU).sin()
+                        + gauss(&mut rng) * 0.08
+                }
+                Channel::Acceleration(id) => {
+                    // Pedestrian-induced deck vibration: tiny at night,
+                    // peaks at rush hours; storm buffeting multiplies it.
+                    let rush = rush_factor(hour);
+                    let storm_gain = if storm { 2.8 } else { 1.0 };
+                    let scale = per_sensor_scale(id);
+                    gauss(&mut rng) * 0.008 * rush * storm_gain * scale
+                }
+                Channel::Stress(id) => {
+                    // Quasi-static thermal stress + live-load variation.
+                    // Sign/offset depends on sensor posture (§6: "The sign
+                    // of the data depends on the posture of the sensor").
+                    let (offset, sign) = if id == 1 { (4.5, 1.0) } else { (-10.0, -1.0) };
+                    let thermal = 1.8 * ((hour - 15.0) / 24.0 * std::f64::consts::TAU).cos();
+                    let storm_swing = if storm { 2.2 } else { 0.0 };
+                    offset
+                        + sign * (thermal + storm_swing * gauss(&mut rng).abs())
+                        + gauss(&mut rng) * 0.3
+                }
+            };
+            out.push(Sample { day, value });
+        }
+        out
+    }
+
+    /// Daily RMS (for zero-mean channels) or daily standard deviation
+    /// (for offset channels) — the statistic the anomaly detector runs
+    /// on. Returns 31 `(day, statistic)` pairs.
+    pub fn daily_activity(&self, channel: Channel) -> Vec<(f64, f64)> {
+        let series = self.generate(channel);
+        let mut out = Vec::with_capacity(31);
+        for d in 0..31 {
+            let chunk = &series[d * SAMPLES_PER_DAY..(d + 1) * SAMPLES_PER_DAY];
+            let mean = chunk.iter().map(|s| s.value).sum::<f64>() / chunk.len() as f64;
+            let var = chunk
+                .iter()
+                .map(|s| (s.value - mean) * (s.value - mean))
+                .sum::<f64>()
+                / chunk.len() as f64;
+            out.push((1.0 + d as f64, var.sqrt()));
+        }
+        out
+    }
+
+    /// Detects anomalous days: activity above `k` × the month's median
+    /// activity. The storm window should light up (Fig 21's "exceptions
+    /// during the window from 15th to 23rd July").
+    pub fn detect_anomalies(&self, channel: Channel, k: f64) -> Vec<f64> {
+        assert!(k > 0.0, "threshold factor must be positive");
+        let daily = self.daily_activity(channel);
+        let mut acts: Vec<f64> = daily.iter().map(|&(_, a)| a).collect();
+        acts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = acts[acts.len() / 2];
+        daily
+            .into_iter()
+            .filter(|&(_, a)| a > k * median)
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Pearson correlation between two channels' daily activity — the
+    /// paper's mutual verification ("the similar patterns shown in the
+    /// two data types mutually verify that the two sensors are running
+    /// functionally").
+    pub fn mutual_verification(&self, a: Channel, b: Channel) -> f64 {
+        let da: Vec<f64> = self.daily_activity(a).into_iter().map(|(_, v)| v).collect();
+        let db: Vec<f64> = self.daily_activity(b).into_iter().map(|(_, v)| v).collect();
+        pearson(&da, &db)
+    }
+}
+
+fn channel_seed(c: Channel) -> u64 {
+    match c {
+        Channel::Humidity => 0x48,
+        Channel::Temperature => 0x54,
+        Channel::BarometricPressure => 0x50,
+        Channel::Acceleration(id) => 0xA0 + id as u64,
+        Channel::Stress(id) => 0x53_00 + id as u64,
+    }
+}
+
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn rush_factor(hour: f64) -> f64 {
+    // Two pedestrian rush peaks (8:30, 17:30), quiet nights.
+    let peak = |h0: f64| (-((hour - h0) / 2.0).powi(2)).exp();
+    0.3 + 1.5 * (peak(8.5) + peak(17.5))
+}
+
+fn per_sensor_scale(id: u8) -> f64 {
+    // Appendix D: sensors 1–3 and 6 read ±0.08, #4 ±0.03, #5 similar.
+    match id {
+        4 => 0.4,
+        5 => 0.7,
+        _ => 1.0,
+    }
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must align");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+/// A month of the long-term study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonthSummary {
+    /// Months since October 2019 (0 = Oct 2019).
+    pub month_index: usize,
+    /// Mean air temperature (°C).
+    pub mean_temperature_c: f64,
+    /// Mean internal relative humidity (%).
+    pub mean_irh_percent: f64,
+    /// RMS deck acceleration (m/s²).
+    pub accel_rms_m_s2: f64,
+    /// Number of storm days in the month.
+    pub storm_days: usize,
+    /// Peak pedestrian-health level observed, as PAO (m²/ped) minimum.
+    pub min_pao_m2_per_ped: f64,
+}
+
+/// The §6 long-term study: "We have been taking a pilot study on
+/// long-term structural health monitoring of a real-life footbridge
+/// since October 2019" — 17 months to the abstract's claim. Monthly
+/// summaries with Hong Kong's seasonal cycle, typhoon season
+/// (May–October) storms, and the COVID-19 social-distancing floor on
+/// crowding ("the bridge health always remained at B or above levels …
+/// mainly attributed to the public policy of social distancing").
+#[derive(Debug, Clone)]
+pub struct LongTermStudy {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of months from October 2019.
+    pub months: usize,
+}
+
+impl LongTermStudy {
+    /// The paper's 17-month window (Oct 2019 – Feb 2021).
+    pub fn paper_window(seed: u64) -> Self {
+        LongTermStudy { seed, months: 17 }
+    }
+
+    /// Calendar month (1–12) of a study month index (index 0 = October).
+    pub fn calendar_month(index: usize) -> usize {
+        (9 + index) % 12 + 1
+    }
+
+    /// Generates the monthly summaries.
+    pub fn monthly_summaries(&self) -> Vec<MonthSummary> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1715);
+        (0..self.months)
+            .map(|i| {
+                let cal = LongTermStudy::calendar_month(i);
+                // Subtropical seasonal cycle: July hottest (~30 °C mean),
+                // January coolest (~16 °C).
+                let phase = (cal as f64 - 7.0) / 12.0 * std::f64::consts::TAU;
+                let mean_t = 23.0 + 7.0 * phase.cos() + gauss(&mut rng) * 0.6;
+                let mean_irh = 72.0 + 8.0 * phase.cos() + gauss(&mut rng) * 2.0;
+                // Typhoon season May–October.
+                let storm_days = if (5..=10).contains(&cal) {
+                    (1.5 + 2.0 * gauss(&mut rng).abs()) as usize
+                } else {
+                    0
+                };
+                let base_accel = 0.006 + 0.001 * gauss(&mut rng).abs();
+                let accel = base_accel * (1.0 + 0.9 * storm_days as f64 / 9.0);
+                // COVID floor: from study month 5 (Feb 2020) crowds thin out.
+                let min_pao = if i >= 5 {
+                    3.2 + 0.8 * gauss(&mut rng).abs()
+                } else {
+                    2.3 + 0.5 * gauss(&mut rng).abs()
+                };
+                MonthSummary {
+                    month_index: i,
+                    mean_temperature_c: mean_t,
+                    mean_irh_percent: mean_irh.clamp(50.0, 100.0),
+                    accel_rms_m_s2: accel,
+                    storm_days,
+                    min_pao_m2_per_ped: min_pao,
+                }
+            })
+            .collect()
+    }
+
+    /// Worst monthly health level over the study, in the Hong Kong
+    /// grading — the paper's "always remained at B or above".
+    pub fn worst_health(&self) -> crate::health::HealthLevel {
+        self.monthly_summaries()
+            .iter()
+            .map(|m| crate::health::Region::HongKong.grade(m.min_pao_m2_per_ped))
+            .max()
+            .unwrap_or(crate::health::HealthLevel::A)
+    }
+}
+
+/// Total cost of the conventional instrumentation (§6: "over 10 M USD").
+pub const CONVENTIONAL_COST_USD: f64 = 10_000_000.0;
+
+/// Total cost of the EcoCapsule deployment (§6: "less than 1 K USD
+/// totally" — five $10 nodes, PZTs and a commodity reader chain).
+pub const ECOCAPSULE_COST_USD: f64 = 950.0;
+
+/// EcoCapsules deployed in the preliminary test (§6).
+pub const ECOCAPSULE_COUNT: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> PilotStudy {
+        PilotStudy::new(2021_07)
+    }
+
+    #[test]
+    fn series_cover_all_of_july() {
+        let s = study().generate(Channel::Humidity);
+        assert_eq!(s.len(), 31 * SAMPLES_PER_DAY);
+        assert!((s[0].day - 1.0).abs() < 1e-9);
+        assert!(s.last().unwrap().day < 32.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = study().generate(Channel::Acceleration(1));
+        let b = study().generate(Channel::Acceleration(1));
+        assert_eq!(a, b);
+        // Different sensors differ.
+        let c = study().generate(Channel::Acceleration(2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn humidity_and_pressure_stay_in_figure_ranges() {
+        // Fig 26: 50–100%; Fig 28: 97.5–100 kPa.
+        for s in study().generate(Channel::Humidity) {
+            assert!((50.0..=100.0).contains(&s.value), "RH {} on day {}", s.value, s.day);
+        }
+        for s in study().generate(Channel::BarometricPressure) {
+            assert!((97.0..=100.5).contains(&s.value), "P {} on day {}", s.value, s.day);
+        }
+    }
+
+    #[test]
+    fn acceleration_amplitudes_match_appendix() {
+        // Figs 29–34: within ±0.08 m/s² overall; sensor 4 within ±0.03.
+        let s1 = study().generate(Channel::Acceleration(1));
+        let s4 = study().generate(Channel::Acceleration(4));
+        let max1 = s1.iter().map(|s| s.value.abs()).fold(0.0, f64::max);
+        let max4 = s4.iter().map(|s| s.value.abs()).fold(0.0, f64::max);
+        assert!(max1 < 0.12, "sensor 1 peak {max1}");
+        assert!(max4 < 0.05, "sensor 4 peak {max4}");
+        assert!(max4 < max1);
+    }
+
+    #[test]
+    fn storm_window_elevates_acceleration() {
+        // Fig 21(a): exceptions during 7/15–7/23.
+        let daily = study().daily_activity(Channel::Acceleration(1));
+        let storm_mean: f64 = daily
+            .iter()
+            .filter(|(d, _)| PilotStudy::in_storm(*d))
+            .map(|(_, a)| a)
+            .sum::<f64>()
+            / 9.0;
+        let calm_mean: f64 = daily
+            .iter()
+            .filter(|(d, _)| !PilotStudy::in_storm(*d))
+            .map(|(_, a)| a)
+            .sum::<f64>()
+            / 22.0;
+        assert!(storm_mean > 2.0 * calm_mean, "storm {storm_mean} vs calm {calm_mean}");
+    }
+
+    #[test]
+    fn anomaly_detector_finds_the_storm() {
+        let days = study().detect_anomalies(Channel::Acceleration(2), 1.8);
+        assert!(!days.is_empty(), "storm undetected");
+        assert!(
+            days.iter().all(|&d| PilotStudy::in_storm(d)),
+            "false positives outside the window: {days:?}"
+        );
+        assert!(days.len() >= 6, "most storm days flagged: {days:?}");
+    }
+
+    #[test]
+    fn pressure_dips_during_storm() {
+        let series = study().generate(Channel::BarometricPressure);
+        let storm_min = series
+            .iter()
+            .filter(|s| PilotStudy::in_storm(s.day))
+            .map(|s| s.value)
+            .fold(f64::MAX, f64::min);
+        let calm_min = series
+            .iter()
+            .filter(|s| !PilotStudy::in_storm(s.day))
+            .map(|s| s.value)
+            .fold(f64::MAX, f64::min);
+        assert!(storm_min < calm_min - 0.5, "cyclone dip {storm_min} vs {calm_min}");
+    }
+
+    #[test]
+    fn acceleration_and_stress_mutually_verify() {
+        // §6: the two data types show similar (storm-driven) patterns.
+        let r = study().mutual_verification(Channel::Acceleration(1), Channel::Stress(1));
+        assert!(r > 0.5, "correlation {r}");
+    }
+
+    #[test]
+    fn stress_sensors_have_opposite_postures() {
+        // Fig 35 reads positive (0–9 MPa), Fig 36 negative (−15..−5 MPa).
+        let s1 = study().generate(Channel::Stress(1));
+        let s2 = study().generate(Channel::Stress(2));
+        let m1 = s1.iter().map(|s| s.value).sum::<f64>() / s1.len() as f64;
+        let m2 = s2.iter().map(|s| s.value).sum::<f64>() / s2.len() as f64;
+        assert!(m1 > 0.0 && (0.0..9.0).contains(&m1), "stress #1 mean {m1}");
+        assert!(m2 < 0.0 && (-15.0..-5.0).contains(&m2), "stress #2 mean {m2}");
+    }
+
+    #[test]
+    fn long_term_study_spans_17_months() {
+        let s = LongTermStudy::paper_window(19);
+        let months = s.monthly_summaries();
+        assert_eq!(months.len(), 17);
+        assert_eq!(LongTermStudy::calendar_month(0), 10, "starts October 2019");
+        assert_eq!(LongTermStudy::calendar_month(16), 2, "ends February 2021");
+    }
+
+    #[test]
+    fn seasons_show_in_temperature() {
+        let s = LongTermStudy::paper_window(19);
+        let months = s.monthly_summaries();
+        // Month index 9 = July 2020 (hot); index 3 = January 2020 (cool).
+        let july = months[9].mean_temperature_c;
+        let january = months[3].mean_temperature_c;
+        assert!(july > january + 8.0, "July {july} vs January {january}");
+    }
+
+    #[test]
+    fn typhoon_season_brings_storms_and_vibration() {
+        let s = LongTermStudy::paper_window(19);
+        let months = s.monthly_summaries();
+        let season: usize = months
+            .iter()
+            .filter(|m| (5..=10).contains(&LongTermStudy::calendar_month(m.month_index)))
+            .map(|m| m.storm_days)
+            .sum();
+        let off_season: usize = months
+            .iter()
+            .filter(|m| !(5..=10).contains(&LongTermStudy::calendar_month(m.month_index)))
+            .map(|m| m.storm_days)
+            .sum();
+        assert!(season > 0 && off_season == 0);
+        // Stormier months vibrate more on average.
+        let stormy_rms: f64 = months.iter().filter(|m| m.storm_days > 2).map(|m| m.accel_rms_m_s2).sum::<f64>()
+            / months.iter().filter(|m| m.storm_days > 2).count().max(1) as f64;
+        let calm_rms: f64 = months.iter().filter(|m| m.storm_days == 0).map(|m| m.accel_rms_m_s2).sum::<f64>()
+            / months.iter().filter(|m| m.storm_days == 0).count().max(1) as f64;
+        assert!(stormy_rms > calm_rms, "stormy {stormy_rms} vs calm {calm_rms}");
+    }
+
+    #[test]
+    fn health_stayed_at_b_or_above() {
+        // §6: "the bridge health always remained at B or above levels".
+        let s = LongTermStudy::paper_window(19);
+        assert!(s.worst_health() <= crate::health::HealthLevel::B, "worst {:?}", s.worst_health());
+    }
+
+    #[test]
+    fn covid_thinned_the_crowds() {
+        let s = LongTermStudy::paper_window(19);
+        let months = s.monthly_summaries();
+        let pre: f64 = months[..5].iter().map(|m| m.min_pao_m2_per_ped).sum::<f64>() / 5.0;
+        let post: f64 = months[5..].iter().map(|m| m.min_pao_m2_per_ped).sum::<f64>() / 12.0;
+        assert!(post > pre, "post-COVID PAO {post} vs pre {pre}");
+    }
+
+    #[test]
+    fn cost_ratio_is_four_orders_of_magnitude() {
+        // §6: 10 M USD of conventional sensors vs < 1 K USD of EcoCapsules.
+        assert!(CONVENTIONAL_COST_USD / ECOCAPSULE_COST_USD > 1e4);
+        assert!(ECOCAPSULE_COST_USD < 1000.0);
+    }
+}

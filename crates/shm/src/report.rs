@@ -1,0 +1,239 @@
+//! Operator-facing structural health reports.
+//!
+//! The paper's Fig 21(c) dashboard renders per-section health once a
+//! minute; an engineer also wants the long-horizon view: which analyses
+//! flag, with what severity, and the recommended action. This module
+//! composes the damage analyses and the PAO grading into one typed
+//! report (and a plain-text rendering for the examples/CLI).
+
+use crate::damage::{CorrosionRisk, DriftVerdict};
+use crate::footbridge::{LimitViolation, Section};
+use crate::health::{HealthLevel, SectionStatus};
+
+/// Overall severity of a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Everything nominal.
+    Normal,
+    /// Watch items exist; schedule routine inspection.
+    Advisory,
+    /// Degradation trends confirmed; inspect soon.
+    Warning,
+    /// Structural limits violated or collapse-grade crowding; act now.
+    Critical,
+}
+
+/// One finding inside a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Finding {
+    /// A live structural limit violation.
+    LimitViolated(LimitViolation),
+    /// A section graded below the acceptable level.
+    SectionDegraded {
+        /// Which section.
+        section: Section,
+        /// Its grade.
+        level: HealthLevel,
+    },
+    /// Permanent strain drift confirmed.
+    StrainDrift {
+        /// Fitted drift (µε/year).
+        ue_per_year: f64,
+    },
+    /// Corrosion-conducive humidity exposure.
+    Corrosion(CorrosionRisk),
+    /// Stiffness loss from modal tracking.
+    StiffnessLoss {
+        /// Fractional stiffness change (negative = loss).
+        fraction: f64,
+    },
+}
+
+/// A composed health report.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Findings, in detection order.
+    pub findings: Vec<Finding>,
+}
+
+impl HealthReport {
+    /// Starts an empty report.
+    pub fn new() -> Self {
+        HealthReport::default()
+    }
+
+    /// Adds live limit violations.
+    pub fn with_violations(mut self, v: &[LimitViolation]) -> Self {
+        self.findings.extend(v.iter().map(|&x| Finding::LimitViolated(x)));
+        self
+    }
+
+    /// Adds section grades, flagging C or worse.
+    pub fn with_sections(mut self, statuses: &[SectionStatus]) -> Self {
+        for s in statuses {
+            if s.health >= HealthLevel::C {
+                self.findings.push(Finding::SectionDegraded {
+                    section: s.section,
+                    level: s.health,
+                });
+            }
+        }
+        self
+    }
+
+    /// Adds a strain-drift verdict.
+    pub fn with_strain(mut self, verdict: DriftVerdict) -> Self {
+        if let DriftVerdict::Drifting { ue_per_year } = verdict {
+            self.findings.push(Finding::StrainDrift { ue_per_year });
+        }
+        self
+    }
+
+    /// Adds a corrosion-risk grade (Low is not a finding).
+    pub fn with_corrosion(mut self, risk: CorrosionRisk) -> Self {
+        if risk > CorrosionRisk::Low {
+            self.findings.push(Finding::Corrosion(risk));
+        }
+        self
+    }
+
+    /// Adds a stiffness change if it exceeds a 3% loss.
+    pub fn with_stiffness(mut self, fraction: f64) -> Self {
+        if fraction < -0.03 {
+            self.findings.push(Finding::StiffnessLoss { fraction });
+        }
+        self
+    }
+
+    /// Overall severity: the worst implied by any finding.
+    pub fn severity(&self) -> Severity {
+        let mut s = Severity::Normal;
+        for f in &self.findings {
+            let fs = match f {
+                Finding::LimitViolated(_) => Severity::Critical,
+                Finding::SectionDegraded { level, .. } => {
+                    if *level >= HealthLevel::E {
+                        Severity::Critical
+                    } else {
+                        Severity::Advisory
+                    }
+                }
+                Finding::StrainDrift { ue_per_year } => {
+                    if ue_per_year.abs() > 200.0 {
+                        Severity::Critical
+                    } else {
+                        Severity::Warning
+                    }
+                }
+                Finding::Corrosion(CorrosionRisk::High) => Severity::Warning,
+                Finding::Corrosion(_) => Severity::Advisory,
+                Finding::StiffnessLoss { fraction } => {
+                    if *fraction < -0.10 {
+                        Severity::Critical
+                    } else {
+                        Severity::Warning
+                    }
+                }
+            };
+            s = s.max(fs);
+        }
+        s
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!("severity: {:?}\n", self.severity());
+        if self.findings.is_empty() {
+            out.push_str("no findings — structure nominal\n");
+        }
+        for f in &self.findings {
+            let line = match f {
+                Finding::LimitViolated(v) => format!("LIMIT VIOLATED: {v:?}"),
+                Finding::SectionDegraded { section, level } => {
+                    format!("{section} degraded to {level}")
+                }
+                Finding::StrainDrift { ue_per_year } => {
+                    format!("strain drifting {ue_per_year:+.0} µε/year")
+                }
+                Finding::Corrosion(r) => format!("corrosion exposure: {r:?}"),
+                Finding::StiffnessLoss { fraction } => {
+                    format!("stiffness change {:+.1}%", fraction * 100.0)
+                }
+            };
+            out.push_str("  - ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::grade_sections;
+
+    #[test]
+    fn empty_report_is_normal() {
+        let r = HealthReport::new();
+        assert_eq!(r.severity(), Severity::Normal);
+        assert!(r.render().contains("nominal"));
+    }
+
+    #[test]
+    fn limit_violation_is_critical() {
+        let r = HealthReport::new().with_violations(&[LimitViolation::Overcrowding]);
+        assert_eq!(r.severity(), Severity::Critical);
+    }
+
+    #[test]
+    fn drift_is_warning_until_extreme() {
+        let mild = HealthReport::new().with_strain(DriftVerdict::Drifting { ue_per_year: 80.0 });
+        assert_eq!(mild.severity(), Severity::Warning);
+        let wild = HealthReport::new().with_strain(DriftVerdict::Drifting { ue_per_year: 400.0 });
+        assert_eq!(wild.severity(), Severity::Critical);
+        let stable = HealthReport::new().with_strain(DriftVerdict::Stable);
+        assert_eq!(stable.severity(), Severity::Normal);
+    }
+
+    #[test]
+    fn healthy_sections_produce_no_findings() {
+        let statuses = grade_sections(&[(Section::A, 2, 1.2), (Section::B, 1, 1.0)]);
+        let r = HealthReport::new().with_sections(&statuses);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn crowded_section_is_flagged() {
+        let statuses = grade_sections(&[(Section::C, 60, 0.4)]);
+        let r = HealthReport::new().with_sections(&statuses);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.severity() >= Severity::Advisory);
+    }
+
+    #[test]
+    fn composite_report_takes_worst_severity() {
+        let r = HealthReport::new()
+            .with_corrosion(CorrosionRisk::Elevated)
+            .with_strain(DriftVerdict::Drifting { ue_per_year: 90.0 })
+            .with_stiffness(-0.12);
+        assert_eq!(r.severity(), Severity::Critical, "{}", r.render());
+        assert_eq!(r.findings.len(), 3);
+    }
+
+    #[test]
+    fn small_stiffness_wobble_is_ignored() {
+        let r = HealthReport::new().with_stiffness(-0.01).with_stiffness(0.02);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn render_mentions_each_finding() {
+        let r = HealthReport::new()
+            .with_corrosion(CorrosionRisk::High)
+            .with_strain(DriftVerdict::Drifting { ue_per_year: 120.0 });
+        let text = r.render();
+        assert!(text.contains("corrosion"));
+        assert!(text.contains("µε/year"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: cast a self-sensing wall, power it up, and read a sensor.
+//!
+//! ```sh
+//! cargo run -p ecocapsule --example quickstart
+//! ```
+
+use ecocapsule::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A 20 cm normal-concrete wall (the paper's S3) with three
+    // EcoCapsules implanted 0.5 m, 1.2 m and 2.0 m from where the
+    // operator will attach the reader.
+    let mut wall = SelfSensingWall::common_wall(&[0.5, 1.2, 2.0]);
+    println!(
+        "Self-sensing wall: {} ({} capsules implanted)",
+        wall.structure.name,
+        wall.capsules.len()
+    );
+
+    // Predict coverage before attaching anything: the link budget tells
+    // us how deep each drive voltage reaches.
+    let lb = wall.link_budget();
+    for v in [50.0, 100.0, 200.0, 250.0] {
+        match lb.max_range_m(v, 0.5) {
+            Some(r) => println!("  at {v:>3} V the CBW powers capsules up to {r:.2} m"),
+            None => println!("  at {v:>3} V nothing powers up"),
+        }
+    }
+
+    // Survey at 200 V: charge → inventory → read temperature/humidity/strain.
+    let report = wall.survey(200.0, &mut rng);
+    println!("\nSurvey at 200 V:");
+    println!("  powered up:   {:?}", report.powered_ids);
+    println!("  inventoried:  {:?}", report.inventoried_ids);
+    for (id, kind, value) in &report.readings {
+        println!("  node {id}: {kind:?} = {value:.2}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Wall survey: sweep the drive voltage across the paper's four
+//! structures (S1 slab, S2 column, S3/S4 walls) and print the power-up
+//! coverage each achieves — the operational view of Fig 12.
+//!
+//! ```sh
+//! cargo run -p ecocapsule --example wall_survey
+//! ```
+
+use channel::linkbudget::{LinkBudget, PabPool};
+use concrete::structure::Structure;
+
+fn main() {
+    let structures = Structure::paper_set();
+    let voltages = [25.0, 50.0, 100.0, 150.0, 200.0, 250.0];
+
+    println!("Maximum power-up range (m) vs TX voltage — Fig 12 view\n");
+    print!("{:>8}", "V");
+    for s in &structures {
+        print!("{:>10}", s.name);
+    }
+    print!("{:>10}{:>10}", "PAB-P1", "PAB-P2");
+    println!();
+
+    for v in voltages {
+        print!("{v:>8.0}");
+        for s in &structures {
+            let lb = LinkBudget::for_structure(s);
+            match lb.max_range_m(v, 0.5) {
+                Some(r) => print!("{r:>10.2}"),
+                None => print!("{:>10}", "-"),
+            }
+        }
+        for pool in [PabPool::Pool1, PabPool::Pool2] {
+            match pool.link_budget().max_range_m(v, 0.5) {
+                Some(r) => print!("{r:>10.2}"),
+                None => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+
+    println!("\nNotes:");
+    println!(" - S1/S2 ranges saturate at the member's physical length.");
+    println!(" - The 20 cm wall (S3) outranges the 50 cm wall (S4) and the");
+    println!("   70 cm column (S2): narrow members act as waveguides.");
+    println!(" - PAB Pool 2 is an elongated corridor: nothing below ~84 V,");
+    println!("   then the range explodes (6+ m at 125 V).");
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration: the complete operator workflow across every
+//! crate — cast, charge, inventory, read, monitor.
+
+use ecocapsule::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_survey_on_common_wall() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut wall = SelfSensingWall::common_wall(&[0.4, 0.9, 1.6]);
+    let report = wall.survey(200.0, &mut rng);
+    assert_eq!(report.powered_ids.len(), 3, "all three capsules power up at 200 V");
+    assert_eq!(report.inventoried_ids.len(), 3, "all three inventoried");
+    assert_eq!(report.readings.len(), 9, "3 sensors × 3 capsules");
+    // Readings round-trip the default environment.
+    for (_, kind, value) in &report.readings {
+        match kind {
+            SensorKind::Temperature => assert!((value - 25.0).abs() < 0.1),
+            SensorKind::Humidity => assert!((value - 70.0).abs() < 0.1),
+            SensorKind::Strain => assert!(value.abs() < 1e-6),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn coverage_grows_with_voltage_like_fig12() {
+    let mut count_at = |v: f64| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut wall = SelfSensingWall::common_wall(&[0.5, 1.5, 3.0, 4.5]);
+        wall.survey(v, &mut rng).powered_ids.len()
+    };
+    let lo = count_at(50.0);
+    let mid = count_at(150.0);
+    let hi = count_at(250.0);
+    assert!(lo < mid || mid < hi, "coverage must grow: {lo} {mid} {hi}");
+    assert_eq!(lo, 1, "only the nearest capsule at 50 V");
+    assert!(hi >= 3, "250 V reaches deep (paper: up to 6 m)");
+}
+
+#[test]
+fn casting_then_survey_respects_geometry() {
+    use concrete::casting::{CastingPlan, Position};
+    use concrete::ConcreteGrade;
+    // Plan a 1.5 m slab pour with two capsules, validate, then survey the
+    // equivalent slab.
+    let mut plan = CastingPlan::new(1.5, 0.5, 0.15, ConcreteGrade::Nc.mix());
+    plan.place(Position { x_m: 0.5, y_m: 0.25, z_m: 0.075 });
+    plan.place(Position { x_m: 1.0, y_m: 0.25, z_m: 0.075 });
+    assert!(plan.validate().is_ok());
+    assert!(plan
+        .ct_examination(node::shell::Shell::paper_resin().dp_max_pa())
+        .iter()
+        .all(|f| *f == concrete::casting::CtFinding::Intact));
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut wall = SelfSensingWall::new(Structure::s1_slab(), &[0.5, 1.0]);
+    let report = wall.survey(100.0, &mut rng);
+    assert_eq!(report.inventoried_ids.len(), 2);
+}
+
+#[test]
+fn shm_pipeline_from_capsule_to_health_grade() {
+    // A capsule senses strain → reader converts to stress → the SHM layer
+    // grades bridge health. Exercises node + reader + shm together.
+    use node::capsule::{EcoCapsule, Environment};
+    use reader::app::ReaderSession;
+    use shm::footbridge::{Footbridge, Measurements};
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let session = ReaderSession::paper_default();
+    let mut capsule = EcoCapsule::new(7);
+    capsule.harvest(2.0, 0.1);
+    let env = Environment {
+        strain: 150e-6,
+        concrete_e_pa: 27.8e9,
+        ..Environment::default()
+    };
+    // Acknowledge.
+    let rn16 = loop {
+        if let Ok(Some(protocol::frame::Reply::Rn16 { rn16 })) = session.transact(
+            &mut capsule,
+            &protocol::frame::Command::Query { q: 0, session: 0 },
+            &env,
+            &mut rng,
+        ) {
+            break rn16;
+        }
+    };
+    session
+        .transact(&mut capsule, &protocol::frame::Command::Ack { rn16 }, &env, &mut rng)
+        .unwrap();
+    let stress_mpa = session
+        .read_sensor(&mut capsule, SensorKind::Stress, &env, &mut rng)
+        .unwrap()
+        .expect("stress read");
+    // 150 µε × 27.8 GPa = 4.17 MPa.
+    assert!((stress_mpa - 4.17).abs() < 0.05, "stress {stress_mpa} MPa");
+
+    let bridge = Footbridge::paper_bridge();
+    let m = Measurements {
+        vertical_accel_m_s2: 0.02,
+        lateral_accel_m_s2: 0.01,
+        steel_stress_mpa: stress_mpa,
+        deflection_m: 0.01,
+        pao_m2_per_ped: 3.0,
+    };
+    assert!(bridge.check_limits(&m).is_empty(), "healthy bridge");
+}
+
+#[test]
+fn pilot_study_feeds_health_dashboard() {
+    use shm::health::{crowding_risk, CrowdingRisk};
+    use shm::pilot::{Channel, PilotStudy};
+    let study = PilotStudy::new(2021_07);
+    // The storm is detected on acceleration and corroborated on stress.
+    let acc_days = study.detect_anomalies(Channel::Acceleration(1), 1.8);
+    let stress_days = study.detect_anomalies(Channel::Stress(1), 1.4);
+    assert!(!acc_days.is_empty() && !stress_days.is_empty());
+    let overlap = acc_days.iter().filter(|d| stress_days.contains(d)).count();
+    assert!(overlap >= 4, "storm seen by both modalities: {overlap} days");
+    // Paper: health stayed at B or above all year (social distancing).
+    assert_eq!(crowding_risk(3.0), CrowdingRisk::Good);
+}
+
+#[test]
+fn surveys_are_reproducible() {
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
+        let r = wall.survey(150.0, &mut rng);
+        (r.powered_ids, r.inventoried_ids, r.readings.len())
+    };
+    assert_eq!(run(11), run(11));
+}

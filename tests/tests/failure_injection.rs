@@ -1,0 +1,161 @@
+//! Failure injection: what happens when the physics or the protocol is
+//! pushed past its envelope. Every failure must be graceful — errors or
+//! silence, never panics or corrupt data.
+
+use ecocapsule::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn undervoltage_survey_reports_nothing() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut wall = SelfSensingWall::common_wall(&[1.0, 2.0]);
+    let report = wall.survey(10.0, &mut rng);
+    assert!(report.powered_ids.is_empty());
+    assert!(report.inventoried_ids.is_empty());
+    assert!(report.readings.is_empty());
+}
+
+#[test]
+fn mid_session_power_loss_silences_the_node() {
+    use node::capsule::{CapsuleState, EcoCapsule};
+    let mut c = EcoCapsule::new(1);
+    c.harvest(2.0, 0.1);
+    assert!(c.is_operational());
+    // The operator walks away with the reader: CBW gone.
+    c.harvest(0.0, 0.01);
+    assert_eq!(c.state, CapsuleState::Dead);
+    let cbw = phy::modulation::synthesize_cbw(230e3, 1e-3, 1e6);
+    assert_eq!(c.demodulate_downlink(&cbw, 1e6), None);
+}
+
+#[test]
+fn heavy_noise_fails_decode_without_panicking() {
+    use channel::uplink::{synthesize_uplink, UplinkConfig};
+    use protocol::frame::Reply;
+    use reader::rx::{Capture, Receiver};
+    let cfg = UplinkConfig {
+        delay_s: 0.0,
+        ..UplinkConfig::paper_default()
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut bits = phy::fm0::PREAMBLE_BITS.to_vec();
+    bits.extend(Reply::NodeId { id: 3 }.encode());
+    // Noise 20× the backscatter amplitude.
+    let (samples, _) = synthesize_uplink(&cfg, &bits, 2e3, 1e-3, 2.0, &mut rng);
+    let rx = Receiver::new(2e3);
+    let out = rx.decode_reply(&Capture { samples, fs_hz: cfg.fs_hz });
+    assert!(out.is_err(), "garbage must not decode: {out:?}");
+}
+
+#[test]
+fn corrupted_frames_never_surface_wrong_data() {
+    use protocol::frame::{Command, FrameError, Reply};
+    // Exhaustive single-bit corruption of a command and a reply.
+    let cmd_bits = Command::Ack { rn16: 0x1357 }.encode();
+    for i in 0..cmd_bits.len() {
+        let mut bad = cmd_bits.clone();
+        bad[i] = !bad[i];
+        match Command::decode(&bad) {
+            Err(FrameError::BadCrc) | Err(FrameError::Malformed) => {}
+            other => panic!("flip {i} produced {other:?}"),
+        }
+    }
+    let reply_bits = Reply::SensorData {
+        kind: SensorKind::Strain,
+        raw: 0xBEEF,
+    }
+    .encode();
+    for i in 0..reply_bits.len() {
+        let mut bad = reply_bits.clone();
+        bad[i] = !bad[i];
+        assert!(Reply::decode(&bad).is_err(), "flip {i} slipped through");
+    }
+}
+
+#[test]
+fn collision_storm_eventually_resolves() {
+    use protocol::inventory::{inventory_all, NodeProtocol};
+    // 30 nodes and a hopeless initial Q of 0: the adapter must grow Q and
+    // still find everyone.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut nodes: Vec<NodeProtocol> = (0..30).map(NodeProtocol::new).collect();
+    let found = inventory_all(&mut nodes, 0, 300, &mut rng);
+    assert_eq!(found.len(), 30, "found {}", found.len());
+}
+
+#[test]
+fn overloaded_shell_cracks_in_ct_not_silently() {
+    use concrete::casting::{CastingPlan, CtFinding, Position};
+    use concrete::ConcreteGrade;
+    let mut plan = CastingPlan::new(1.0, 250.0, 1.0, ConcreteGrade::Nc.mix());
+    plan.place(Position { x_m: 0.5, y_m: 2.0, z_m: 0.5 }); // 248 m of head
+    let findings = plan.ct_examination(node::shell::Shell::paper_resin().dp_max_pa());
+    assert_eq!(findings, vec![CtFinding::Cracked]);
+}
+
+#[test]
+fn bridge_overload_trips_every_relevant_limit() {
+    use shm::footbridge::{Footbridge, LimitViolation, Measurements};
+    let bridge = Footbridge::paper_bridge();
+    // A dangerously crowded, storm-shaken deck.
+    let m = Measurements {
+        vertical_accel_m_s2: 0.75,
+        lateral_accel_m_s2: 0.05,
+        steel_stress_mpa: 200.0,
+        deflection_m: 0.05,
+        pao_m2_per_ped: 0.9,
+    };
+    let v = bridge.check_limits(&m);
+    assert!(v.contains(&LimitViolation::VerticalAcceleration));
+    assert!(v.contains(&LimitViolation::Overcrowding));
+    assert!(!v.contains(&LimitViolation::SteelStress));
+}
+
+#[test]
+fn prism_past_second_critical_angle_kills_the_downlink() {
+    use elastic::prism::{InjectionRegime, Prism};
+    let p = Prism::new(
+        elastic::Material::PLA,
+        elastic::Material::CONCRETE_REF,
+        80f64.to_radians(),
+    );
+    assert_eq!(p.inject().regime, InjectionRegime::None);
+}
+
+#[test]
+fn node_survives_malformed_downlink_gracefully() {
+    use node::capsule::EcoCapsule;
+    let mut c = EcoCapsule::new(9);
+    c.harvest(2.0, 0.1);
+    // Random noise posing as a downlink waveform.
+    let mut rng = StdRng::seed_from_u64(4);
+    let noise: Vec<f64> = (0..50_000)
+        .map(|_| channel::noise::gaussian(&mut rng))
+        .collect();
+    assert_eq!(c.demodulate_downlink(&noise, 1e6), None);
+}
+
+#[test]
+fn clock_drift_within_datasheet_still_decodes() {
+    use node::capsule::EcoCapsule;
+    use phy::modulation::{synthesize_drive, DownlinkScheme};
+    use protocol::frame::Command;
+    // ±3% DCO error (the MSP430's uncalibrated worst case) must not break
+    // the downlink; ±8% eventually does.
+    let cmd = Command::Ack { rn16: 0x7777 };
+    for err in [-0.03, 0.03] {
+        let mut c = EcoCapsule::with_clock_error(1, err);
+        c.harvest(2.0, 0.1);
+        let segs = c.pie.encode(&cmd.encode());
+        let wave = synthesize_drive(&segs, DownlinkScheme::Ook, 230e3, 1e6);
+        assert_eq!(c.demodulate_downlink(&wave, 1e6), Some(cmd), "error {err}");
+    }
+}
+
+#[test]
+fn preamble_consts_agree_across_layers() {
+    // protocol::timing models the uplink preamble length without
+    // depending on phy; the two constants must stay in lockstep.
+    assert_eq!(protocol::inventory::PREAMBLE_LEN, phy::fm0::PREAMBLE_BITS.len());
+}

@@ -1,0 +1,206 @@
+//! Per-figure shape invariants: every table/figure's headline claim,
+//! checked across crate boundaries (the same code paths the `experiments`
+//! binary prints).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn fig04_s_only_window_is_34_to_73_degrees() {
+    let (ca1, ca2) = elastic::snell::s_only_window(
+        elastic::Material::PLA.cp_m_s,
+        &elastic::Material::CONCRETE_REF,
+    )
+    .unwrap();
+    assert!((ca1.to_degrees() - 34.0).abs() < 1.5);
+    assert!((ca2.to_degrees() - 73.0).abs() < 2.5);
+}
+
+#[test]
+fn fig05_resonance_band_and_material_ordering() {
+    use concrete::response::Block;
+    use concrete::ConcreteGrade;
+    let nc = Block::new(ConcreteGrade::Nc.mix(), 0.15);
+    let uhpfrc = Block::new(ConcreteGrade::Uhpfrc.mix(), 0.15);
+    assert!((200e3..250e3).contains(&nc.peak_frequency_hz()));
+    let a_nc = nc.rx_amplitude_mv(nc.peak_frequency_hz(), 100.0);
+    let a_uf = uhpfrc.rx_amplitude_mv(uhpfrc.peak_frequency_hz(), 100.0);
+    assert!(a_uf > 2.5 * a_nc, "UHPFRC {a_uf} vs NC {a_nc}");
+}
+
+#[test]
+fn fig07_ring_tail_is_suppressed_by_fsk() {
+    use phy::modulation::{synthesize_drive, DownlinkScheme};
+    use phy::pie::Pie;
+    use phy::pzt::{measure_tail_s, Pzt};
+    let fs = 2.0e6;
+    let pzt = Pzt::reader_disc(fs);
+    let pie = Pie::new(0.5e-3);
+    let segs = pie.encode(&[false]);
+    let ook = pzt.respond(&synthesize_drive(&segs, DownlinkScheme::Ook, 230e3, fs));
+    let tail = measure_tail_s(&ook, 0.5e-3, 0.05, fs).unwrap();
+    assert!((0.1e-3..0.6e-3).contains(&tail), "OOK tail {} ms", tail * 1e3);
+}
+
+#[test]
+fn fig12_headline_six_meter_range() {
+    use channel::linkbudget::LinkBudget;
+    use concrete::structure::Structure;
+    // Abstract: "power-up ranges of up to 6 m".
+    let r = LinkBudget::for_structure(&Structure::s3_common_wall())
+        .max_range_m(250.0, 0.5)
+        .unwrap();
+    assert!(r >= 5.5, "max range {r} m");
+}
+
+#[test]
+fn fig13_fig14_node_power_anchors() {
+    use node::harvester::Harvester;
+    use node::power::PowerModel;
+    assert!((PowerModel.consumption_w(0.0) * 1e6 - 80.1).abs() < 0.1);
+    let h = Harvester::default();
+    assert!((h.cold_start_s(0.5).unwrap() * 1e3 - 55.0).abs() < 3.0);
+    assert!((h.cold_start_s(2.0).unwrap() * 1e3 - 4.4).abs() < 0.3);
+}
+
+#[test]
+fn fig15_waterfall_and_pab_gap() {
+    let mut rng = StdRng::seed_from_u64(15);
+    let eco = reader::rx::simulate_fm0_ber(8.0, 100_000, &mut rng);
+    let pab = baselines::pab::pab_ber(8.0, 100_000, &mut rng);
+    assert!(eco < 5e-4, "EcoCapsule at 8 dB: {eco}");
+    assert!(pab > 5.0 * eco.max(1e-6), "PAB worse at 8 dB: {pab} vs {eco}");
+}
+
+#[test]
+fn fig16_who_wins_where() {
+    // EcoCapsule beats PAB everywhere PAB exists; U²B wins past ~9 kbps.
+    for r in [1e3, 2e3, 3e3] {
+        let (eco, pab, _) = ecocapsule::scenario::fig16_point(r);
+        assert!(eco > pab, "at {r}: eco {eco} vs pab {pab}");
+    }
+    let x = baselines::u2b::crossover_bps(16e3).unwrap();
+    assert!((8e3..11.5e3).contains(&x), "crossover {x}");
+}
+
+#[test]
+fn fig17_all_grades_exceed_13kbps_headline() {
+    use concrete::ConcreteGrade;
+    // Abstract: "single link throughputs of up to 13 kbps".
+    for g in ConcreteGrade::ALL {
+        let t = ecocapsule::scenario::throughput_for_grade(g);
+        assert!(t >= 12.5e3, "{g}: {t}");
+    }
+    let nc = ecocapsule::scenario::throughput_for_grade(ConcreteGrade::Nc);
+    let uhpc = ecocapsule::scenario::throughput_for_grade(ConcreteGrade::Uhpc);
+    assert!(uhpc > nc, "denser concrete carries more");
+}
+
+#[test]
+fn fig18_margins_beat_middle() {
+    use channel::multipath::Wall2d;
+    let mix = concrete::ConcreteGrade::Nc.mix();
+    let wall = Wall2d::new(2.0, 2.0, mix.material().cs_m_s, mix.attenuation_s(), 230e3);
+    let src = (0.1, 1.0);
+    let top = wall.rss_amplitude(src, (0.55, 1.95), 3);
+    let middle = wall.rss_amplitude(src, (1.1, 1.0), 3);
+    assert!(top > middle);
+}
+
+#[test]
+fn fig19_prism_peak_inside_window() {
+    let ch = channel::downlink::DownlinkChannel::paper_default();
+    let sweep = ch.snr_vs_incident_angle(&[0.0, 15.0, 30.0, 50.0, 60.0], 1e3);
+    let snr = |deg: f64| sweep.iter().find(|(a, _)| *a == deg).unwrap().1;
+    // Paper: "SNR drops by 73% and 30% at 15° and 30°" (dual-mode), while
+    // 0° (pure P, no prism) reads "relatively higher".
+    assert!(snr(50.0) > snr(30.0) + 5.0);
+    assert!(snr(60.0) > snr(15.0) + 5.0);
+    assert!(snr(0.0) > snr(15.0) + 5.0, "0° single-mode beats dual-mode");
+    assert!(snr(0.0) < snr(50.0), "0° still below the S-window peak");
+}
+
+#[test]
+fn fig20_fsk_gain() {
+    use phy::modulation::DownlinkScheme;
+    let ch = channel::downlink::DownlinkChannel::paper_default();
+    let off = concrete::ConcreteGrade::Nc.mix().off_resonant_frequency_hz();
+    let fsk = ch.symbol_snr_db(2e3, DownlinkScheme::FskInOokOut { off_hz: off });
+    let ook = ch.symbol_snr_db(2e3, DownlinkScheme::Ook);
+    assert!(fsk - ook >= 3.0, "FSK {fsk} dB vs OOK {ook} dB");
+}
+
+#[test]
+fn fig21_storm_in_both_modalities() {
+    use shm::pilot::{Channel, PilotStudy};
+    let study = PilotStudy::new(2021_07);
+    for days in [
+        study.detect_anomalies(Channel::Acceleration(1), 1.8),
+        study.detect_anomalies(Channel::Stress(2), 1.4),
+    ] {
+        assert!(!days.is_empty());
+        assert!(days.iter().all(|&d| PilotStudy::in_storm(d)), "{days:?}");
+    }
+}
+
+#[test]
+fn fig22_switch_pattern_visible_in_envelope() {
+    let w = ecocapsule::scenario::fig22_waveform(4e-3, 1000.0, 12e-3);
+    let after: Vec<f64> = w.iter().filter(|(t, _)| *t > 5e-3).map(|(_, v)| *v).collect();
+    let hi = after.iter().cloned().fold(f64::MIN, f64::max);
+    let lo = after.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(hi - lo > 30.0, "switching contrast {hi}-{lo}");
+}
+
+#[test]
+fn fig24_sidebands_with_guard_band() {
+    use channel::uplink::{blf_hz, synthesize_uplink, UplinkConfig, GUARD_BAND_HZ};
+    use dsp::fft::power_spectrum;
+    let cfg = UplinkConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(24);
+    let (y, _) = synthesize_uplink(&cfg, &vec![false; 200], 4e3, 0.0, 0.0, &mut rng);
+    let (freqs, power) = power_spectrum(&y, cfg.fs_hz).unwrap();
+    let bin = freqs[1] - freqs[0];
+    let p_at = |f: f64| {
+        let i = (f / bin).round() as usize;
+        power[i - 1..=i + 1].iter().cloned().fold(0.0, f64::max)
+    };
+    let sb = p_at(230e3 + blf_hz(4e3));
+    let guard = p_at(230e3 + GUARD_BAND_HZ / 2.0);
+    assert!(sb > 5.0 * guard, "sideband {sb} vs guard region {guard}");
+}
+
+#[test]
+fn eqn04_shell_height_anchors() {
+    use node::shell::Shell;
+    let h_resin = Shell::paper_resin().max_building_height_m(2300.0);
+    let h_steel = Shell::paper_steel().max_building_height_m(2360.0);
+    assert!((h_resin - 195.0).abs() < 15.0, "resin {h_resin}");
+    assert!((4600.0..5400.0).contains(&h_steel), "steel {h_steel}");
+}
+
+#[test]
+fn eqn05_hra_design() {
+    use phy::hra::HelmholtzResonator;
+    let tuned = HelmholtzResonator::paper_geometry().design_for(230e3, 1941.0);
+    assert!((tuned.resonant_frequency_hz(1941.0) - 230e3).abs() < 10.0);
+}
+
+#[test]
+fn tab01_registry_matches_paper() {
+    use concrete::ConcreteGrade;
+    let uhpfrc = ConcreteGrade::Uhpfrc.mix();
+    assert_eq!(uhpfrc.fco_mpa, 215.0);
+    assert_eq!(uhpfrc.steel_fiber_kg_m3, 471.0);
+    assert_eq!(ConcreteGrade::Uhpc.mix().cement_kg_m3, 830.0);
+}
+
+#[test]
+fn tab02_grading_regions_differ() {
+    use shm::health::{HealthLevel, Region};
+    // 2.3 m²/ped: C in the US, B in Hong Kong... check a value where the
+    // regional standards disagree.
+    assert_eq!(Region::UnitedStates.grade(3.5), HealthLevel::B);
+    assert_eq!(Region::HongKong.grade(3.5), HealthLevel::A);
+    assert_eq!(Region::Bangkok.grade(3.5), HealthLevel::A);
+}

@@ -1,0 +1,150 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs across layer boundaries.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Energy conservation of the Zoeppritz solve for any physically
+    /// plausible pair of solids, below every critical angle.
+    #[test]
+    fn zoeppritz_conserves_energy(
+        e1 in 1e9f64..20e9, nu1 in 0.05f64..0.45, rho1 in 900f64..2000.0,
+        e2 in 20e9f64..80e9, nu2 in 0.05f64..0.45, rho2 in 2000f64..3000.0,
+        frac in 0.0f64..0.9,
+    ) {
+        use elastic::interface::SolidInterface;
+        use elastic::Material;
+        let upper = Material::from_engineering("u", e1, nu1, rho1);
+        let lower = Material::from_engineering("l", e2, nu2, rho2);
+        let iface = SolidInterface::new(upper, lower);
+        // Stay below the first critical angle (or 89° if none).
+        let ca = elastic::snell::critical_angle(upper.cp_m_s, &lower, elastic::material::WaveMode::P)
+            .unwrap_or(1.55);
+        let theta = frac * (ca - 1e-3);
+        let s = iface.incident_p(theta);
+        prop_assert!((s.energy_total() - 1.0).abs() < 1e-4,
+            "energy {} at {}°", s.energy_total(), theta.to_degrees());
+    }
+
+    /// Any bit stream round-trips the whole line-code stack:
+    /// frame → FM0 → waveform-shaped baseband → ML decode → frame.
+    #[test]
+    fn fm0_roundtrip_survives_scaling_and_offset(
+        bits in proptest::collection::vec(any::<bool>(), 1..100),
+        scale in 0.1f64..10.0,
+    ) {
+        use phy::fm0::Fm0;
+        let fm0 = Fm0::new(10);
+        let wave: Vec<f64> = fm0.encode(&bits).iter().map(|&x| x * scale).collect();
+        prop_assert_eq!(fm0.decode_ml(&wave), bits);
+    }
+
+    /// PIE decoding tolerates up to ±25% uniform timing error on every
+    /// segment (ring smear, MCU timer quantization).
+    #[test]
+    fn pie_roundtrip_with_timing_jitter(
+        bits in proptest::collection::vec(any::<bool>(), 1..64),
+        stretch in 0.75f64..1.25,
+    ) {
+        use phy::pie::Pie;
+        let pie = Pie::new(100e-6);
+        let mut segs = pie.encode(&bits);
+        for s in segs.iter_mut() {
+            s.duration_s *= stretch;
+        }
+        prop_assert_eq!(pie.decode(&segs).unwrap(), bits);
+    }
+
+    /// The link budget is monotone: more voltage never shrinks coverage,
+    /// more distance never raises the received voltage.
+    #[test]
+    fn link_budget_monotonicity(v1 in 20.0f64..240.0, dv in 1.0f64..10.0, d in 0.2f64..5.0) {
+        use channel::linkbudget::LinkBudget;
+        use concrete::structure::Structure;
+        let lb = LinkBudget::for_structure(&Structure::s3_common_wall());
+        prop_assert!(lb.received_voltage(v1 + dv, d) >= lb.received_voltage(v1, d));
+        prop_assert!(lb.received_voltage(v1, d) >= lb.received_voltage(v1, d + 0.1));
+    }
+
+    /// Sensor words always decode to in-range physical values, whatever
+    /// the raw 16 bits are (a corrupted-but-CRC-lucky frame still can't
+    /// produce impossible readings).
+    #[test]
+    fn sensor_decoding_is_total_and_bounded(raw in any::<u16>()) {
+        use node::sensors::{Accelerometer, Aht10, StrainGauge};
+        let rh = Aht10::decode_humidity(raw);
+        prop_assert!((0.0..=100.0).contains(&rh));
+        let t = Aht10::decode_temperature(raw);
+        prop_assert!((-50.0..=150.0).contains(&t));
+        let eps = StrainGauge::default().decode(raw);
+        prop_assert!(eps.abs() <= 3000e-6 + 1e-9);
+        let a = Accelerometer::default().decode(raw);
+        prop_assert!(a.abs() <= 0.5 + 1e-9);
+    }
+
+    /// Frame encode/decode is total: any command survives its own wire
+    /// format, and decoding arbitrary bits never panics.
+    #[test]
+    fn protocol_frames_are_total(
+        rn16 in any::<u16>(),
+        q in 0u8..=15,
+        session in 0u8..=3,
+        junk in proptest::collection::vec(any::<bool>(), 0..128),
+    ) {
+        use protocol::frame::{Command, Reply};
+        for cmd in [
+            Command::Query { q, session },
+            Command::Ack { rn16 },
+            Command::QueryRep,
+        ] {
+            prop_assert_eq!(Command::decode(&cmd.encode()), Ok(cmd));
+        }
+        let _ = Command::decode(&junk);
+        let _ = Reply::decode(&junk);
+    }
+
+    /// Shell safety is monotone in depth: if a capsule survives depth d,
+    /// it survives every shallower depth.
+    #[test]
+    fn shell_safety_monotone(d in 1.0f64..400.0, shallower in 0.0f64..1.0) {
+        use node::shell::Shell;
+        let s = Shell::paper_resin();
+        if s.survives_depth(d, 2300.0) {
+            prop_assert!(s.survives_depth(d * shallower, 2300.0));
+        }
+    }
+
+    /// Health grading agrees with the coarse §6 rule — per region:
+    /// anything the rule calls collapse-risk (PAO ≤ 1 m²/ped) grades D or
+    /// worse wherever the regional C/D boundary sits at or above 1 m²/ped.
+    /// Bangkok's laxer standard (C/D at 0.98) legitimately grades a
+    /// 0.99 m²/ped crowd as C — exactly the regional disagreement
+    /// Table 2 documents — so there the rule only guarantees C or worse.
+    #[test]
+    fn grading_consistent_with_crowding_rule(pao in 0.01f64..6.0) {
+        use shm::health::{crowding_risk, CrowdingRisk, HealthLevel, Region};
+        if crowding_risk(pao) == CrowdingRisk::CollapseRisk {
+            for r in [Region::UnitedStates, Region::HongKong, Region::Manila] {
+                prop_assert!(r.grade(pao) >= HealthLevel::D, "{r:?} at {pao}");
+            }
+            prop_assert!(Region::Bangkok.grade(pao) >= HealthLevel::C, "Bangkok at {pao}");
+        }
+    }
+}
+
+/// Monte-Carlo (not proptest — needs big samples): the FM0 BER curve is
+/// monotone in SNR.
+#[test]
+fn ber_monotone_in_snr() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut last = 1.0;
+    for snr in [0.0, 3.0, 6.0, 9.0] {
+        let ber = reader::rx::simulate_fm0_ber(snr, 30_000, &mut rng);
+        assert!(ber <= last + 0.01, "BER rose at {snr} dB: {ber} > {last}");
+        last = ber;
+    }
+}
