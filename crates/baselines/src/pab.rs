@@ -80,7 +80,7 @@ mod tests {
         let p1 = pool_link_budget(PabPool::Pool1);
         let p2 = pool_link_budget(PabPool::Pool2);
         // At 60 V, pool 1 works, pool 2 does not.
-        assert!(p1.max_range_m(60.0, 0.5).is_some());
-        assert!(p2.max_range_m(60.0, 0.5).is_none());
+        assert!(p1.max_range_m(60.0, 0.5).unwrap().is_some());
+        assert!(p2.max_range_m(60.0, 0.5).unwrap().is_none());
     }
 }

@@ -59,7 +59,9 @@ mod tests {
         use channel::linkbudget::LinkBudget;
         use concrete::structure::Structure;
         let acoustic = LinkBudget::for_structure(&Structure::s3_common_wall())
+            .unwrap()
             .max_range_m(200.0, 0.5)
+            .unwrap()
             .unwrap();
         let rf = rf_max_depth_m(true);
         assert!(acoustic / rf > 10.0, "acoustic {acoustic} m vs RF {rf} m");

@@ -8,7 +8,7 @@ use std::hint::black_box;
 fn bench_fig12_range_sweep(c: &mut Criterion) {
     let budgets: Vec<LinkBudget> = Structure::paper_set()
         .iter()
-        .map(LinkBudget::for_structure)
+        .map(|s| LinkBudget::for_structure(s).unwrap())
         .chain([PabPool::Pool1.link_budget(), PabPool::Pool2.link_budget()])
         .collect();
     c.bench_function("fig12_range_sweep_6_structures_13_voltages", |b| {
@@ -16,7 +16,7 @@ fn bench_fig12_range_sweep(c: &mut Criterion) {
             let mut acc = 0.0;
             for lb in &budgets {
                 for v in (10..=250).step_by(20) {
-                    if let Some(r) = lb.max_range_m(black_box(v as f64), 0.5) {
+                    if let Ok(Some(r)) = lb.max_range_m(black_box(v as f64), 0.5) {
                         acc += r;
                     }
                 }
@@ -33,5 +33,9 @@ fn bench_link_budget_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fig12_range_sweep, bench_link_budget_construction);
+criterion_group!(
+    benches,
+    bench_fig12_range_sweep,
+    bench_link_budget_construction
+);
 criterion_main!(benches);

@@ -22,7 +22,9 @@ fn bench_fig19_prism_sweep(c: &mut Criterion) {
 
 fn bench_fig20_fsk_vs_ook(c: &mut Criterion) {
     let ch = DownlinkChannel::paper_default();
-    let off = concrete::ConcreteGrade::Nc.mix().off_resonant_frequency_hz();
+    let off = concrete::ConcreteGrade::Nc
+        .mix()
+        .off_resonant_frequency_hz();
     let mut group = c.benchmark_group("fig20");
     group.sample_size(10);
     group.bench_function("symbol_snr_fsk_and_ook_at_2kbps", |b| {

@@ -41,5 +41,10 @@ fn bench_piston_directivity(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fig04_mode_sweep, bench_fig03a_beam, bench_piston_directivity);
+criterion_group!(
+    benches,
+    bench_fig04_mode_sweep,
+    bench_fig03a_beam,
+    bench_piston_directivity
+);
 criterion_main!(benches);

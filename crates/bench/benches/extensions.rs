@@ -14,7 +14,11 @@ fn bench_spectrogram(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions");
     group.sample_size(20);
     group.bench_function("spectrogram_20k_samples", |b| {
-        b.iter(|| black_box(dsp::spectrogram::Spectrogram::compute(black_box(&sig), 512, 256, fs)))
+        b.iter(|| {
+            black_box(
+                dsp::spectrogram::Spectrogram::compute(black_box(&sig), 512, 256, fs).unwrap(),
+            )
+        })
     });
     group.finish();
 }
@@ -26,7 +30,14 @@ fn bench_fine_tuning(c: &mut Criterion) {
     let cs = concrete::ConcreteGrade::Nc.material().cs_m_s;
     let ch = DefectChannel::reinforced(1.5, cs, 3.0, 42);
     c.bench_function("fine_tune_40khz_span", |b| {
-        b.iter(|| black_box(reader::tuning::fine_tune(black_box(&block), &ch, 40e3, 0.5e3)))
+        b.iter(|| {
+            black_box(reader::tuning::fine_tune(
+                black_box(&block),
+                &ch,
+                40e3,
+                0.5e3,
+            ))
+        })
     });
 }
 

@@ -49,5 +49,10 @@ fn bench_line_codes(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fig07_ring_effect, bench_eqn05_hra, bench_line_codes);
+criterion_group!(
+    benches,
+    bench_fig07_ring_effect,
+    bench_eqn05_hra,
+    bench_line_codes
+);
 criterion_main!(benches);

@@ -20,10 +20,8 @@ fn bench_fig21_month_generation(c: &mut Criterion) {
 
 fn bench_health_grading(c: &mut Criterion) {
     use shm::footbridge::Section;
-    let counts: Vec<(Section, usize, f64)> = Section::ALL
-        .iter()
-        .map(|&s| (s, 7usize, 1.2f64))
-        .collect();
+    let counts: Vec<(Section, usize, f64)> =
+        Section::ALL.iter().map(|&s| (s, 7usize, 1.2f64)).collect();
     c.bench_function("grade_5_sections", |b| {
         b.iter(|| black_box(grade_sections(black_box(&counts))))
     });

@@ -10,7 +10,13 @@ fn bench_fig15_ber_point(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fm0_ber_10kbits_at_8db", |b| {
         let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| black_box(reader::rx::simulate_fm0_ber(black_box(8.0), 10_000, &mut rng)))
+        b.iter(|| {
+            black_box(reader::rx::simulate_fm0_ber(
+                black_box(8.0),
+                10_000,
+                &mut rng,
+            ))
+        })
     });
     group.finish();
 }
@@ -48,7 +54,13 @@ fn bench_fig22_waveform(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig22");
     group.sample_size(10);
     group.bench_function("backscatter_waveform_18ms", |b| {
-        b.iter(|| black_box(ecocapsule::scenario::fig22_waveform(4e-3, 1000.0, black_box(18e-3))))
+        b.iter(|| {
+            black_box(ecocapsule::scenario::fig22_waveform(
+                4e-3,
+                1000.0,
+                black_box(18e-3),
+            ))
+        })
     });
     group.finish();
 }

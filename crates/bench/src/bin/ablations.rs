@@ -59,10 +59,25 @@ fn prism_material() {
     use elastic::prism::Prism;
     use elastic::Material;
     let stocks = [
-        Material { name: "soft polymer", density_kg_m3: 1000.0, cp_m_s: 1500.0, cs_m_s: 700.0 },
+        Material {
+            name: "soft polymer",
+            density_kg_m3: 1000.0,
+            cp_m_s: 1500.0,
+            cs_m_s: 700.0,
+        },
         Material::PLA,
-        Material { name: "acrylic", density_kg_m3: 1190.0, cp_m_s: 2730.0, cs_m_s: 1430.0 },
-        Material { name: "nylon", density_kg_m3: 1140.0, cp_m_s: 2600.0, cs_m_s: 1100.0 },
+        Material {
+            name: "acrylic",
+            density_kg_m3: 1190.0,
+            cp_m_s: 2730.0,
+            cs_m_s: 1430.0,
+        },
+        Material {
+            name: "nylon",
+            density_kg_m3: 1140.0,
+            cp_m_s: 2600.0,
+            cs_m_s: 1100.0,
+        },
     ];
     let mut rows = Vec::new();
     for stock in stocks {
@@ -116,7 +131,10 @@ fn hra() {
     );
     let g = arr.gain_at(230e3, cs);
     println!("at the carrier the array multiplies the received amplitude by {g:.1}×");
-    println!("({:.1} dB of extra link budget — roughly the margin that lets a", 20.0 * g.log10());
+    println!(
+        "({:.1} dB of extra link budget — roughly the margin that lets a",
+        20.0 * g.log10()
+    );
     println!("node at 6 m still clear the 0.5 V activation threshold).");
 }
 
@@ -135,7 +153,11 @@ fn stages() {
             fmt(stages as f64, 0),
             fmt(h.multiplier_output_v(0.5), 2),
             fmt(need, 3),
-            if h.can_activate(0.5) { "yes".into() } else { "no".into() },
+            if h.can_activate(0.5) {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     print_table(
@@ -211,15 +233,46 @@ fn antiring() {
     let cal = BrakingConfig::calibrated(&pzt);
     let mut rows = Vec::new();
     let cases: [(&str, BrakingConfig); 6] = [
-        ("no braking", BrakingConfig { duration_s: 0.0, amplitude: 0.0, timing_error_s: 0.0 }),
+        (
+            "no braking",
+            BrakingConfig {
+                duration_s: 0.0,
+                amplitude: 0.0,
+                timing_error_s: 0.0,
+            },
+        ),
         ("calibrated", cal),
-        ("30% weak", BrakingConfig { amplitude: cal.amplitude * 0.7, ..cal }),
-        ("2x strong", BrakingConfig { amplitude: cal.amplitude * 2.0, ..cal }),
-        ("50 us late", BrakingConfig { timing_error_s: 50e-6, ..cal }),
-        ("150 us late", BrakingConfig { timing_error_s: 150e-6, ..cal }),
+        (
+            "30% weak",
+            BrakingConfig {
+                amplitude: cal.amplitude * 0.7,
+                ..cal
+            },
+        ),
+        (
+            "2x strong",
+            BrakingConfig {
+                amplitude: cal.amplitude * 2.0,
+                ..cal
+            },
+        ),
+        (
+            "50 us late",
+            BrakingConfig {
+                timing_error_s: 50e-6,
+                ..cal
+            },
+        ),
+        (
+            "150 us late",
+            BrakingConfig {
+                timing_error_s: 150e-6,
+                ..cal
+            },
+        ),
     ];
     for (name, cfg) in cases {
-        let tail = braked_tail_s(&pzt, &cfg, 0.5e-3);
+        let tail = braked_tail_s(&pzt, &cfg, 0.5e-3).expect("valid braking query");
         rows.push(vec![
             name.to_string(),
             tail.map_or("-".into(), |t| fmt(t * 1e6, 0)),
@@ -257,7 +310,13 @@ fn defects() {
     }
     print_table(
         "Defect ablation — loss at the nominal carrier and the retuning recovery (§3.5)",
-        &["void_%", "geometry", "loss_dB", "retune_kHz", "recovered_dB"],
+        &[
+            "void_%",
+            "geometry",
+            "loss_dB",
+            "retune_kHz",
+            "recovered_dB",
+        ],
         &rows,
     );
 }
@@ -275,12 +334,23 @@ fn node_scale() {
             fmt(v.active_w * 1e6, 0),
             fmt(v.harvest_scale(), 3),
             fmt(v.min_continuous_voltage(&h), 2),
-            if v.is_aggregate_compatible() { "yes".into() } else { "no".into() },
+            if v.is_aggregate_compatible() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     print_table(
         "Node-scale ablation — the §8 future-work variant",
-        &["variant", "dia_mm", "active_uW", "harvest_x", "Vmin_cont", "aggregate-ok"],
+        &[
+            "variant",
+            "dia_mm",
+            "active_uW",
+            "harvest_x",
+            "Vmin_cont",
+            "aggregate-ok",
+        ],
         &rows,
     );
     println!("the mm node captures 25× less power but draws 18× less: its");
@@ -320,7 +390,13 @@ fn surface() {
     let mut rows = Vec::new();
     let cases = [
         ("paper layout (20 cm)", base),
-        ("50 cm separation", SurfacePath { distance_m: 0.5, ..base }),
+        (
+            "50 cm separation",
+            SurfacePath {
+                distance_m: 0.5,
+                ..base
+            },
+        ),
         ("1 corner en route", SurfacePath { corners: 1, ..base }),
         ("2 corners en route", SurfacePath { corners: 2, ..base }),
     ];

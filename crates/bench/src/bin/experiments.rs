@@ -85,10 +85,10 @@ fn fig03b() {
     // Prism: everything inside the power-up radius is charged via
     // S-reflections; approximate the covered face as a half-disc of the
     // Fig 12 range around the TX.
-    let lb = LinkBudget::for_structure(&s3);
+    let lb = LinkBudget::for_structure(&s3).expect("paper structure is valid");
     let mut rows = Vec::new();
     for v in [50.0, 100.0, 200.0, 250.0] {
-        let r = lb.max_range_m(v, 0.5).unwrap_or(0.0);
+        let r = lb.max_range_m(v, 0.5).ok().flatten().unwrap_or(0.0);
         let covered_m3 = (std::f64::consts::PI * r * r / 2.0).min(20.0 * 20.0) * 0.20;
         rows.push(vec![
             fmt(v, 0),
@@ -121,11 +121,19 @@ fn fig04() {
         rows.push(vec![
             fmt(deg as f64, 0),
             fmt(
-                if s.energy_trans_p > 0.0 { s.trans_p.abs() } else { 0.0 },
+                if s.energy_trans_p > 0.0 {
+                    s.trans_p.abs()
+                } else {
+                    0.0
+                },
                 4,
             ),
             fmt(
-                if s.energy_trans_s > 0.0 { s.trans_s.abs() } else { 0.0 },
+                if s.energy_trans_s > 0.0 {
+                    s.trans_s.abs()
+                } else {
+                    0.0
+                },
                 4,
             ),
         ]);
@@ -139,6 +147,7 @@ fn fig04() {
         elastic::Material::PLA.cp_m_s,
         &elastic::Material::CONCRETE_REF,
     )
+    .unwrap()
     .unwrap();
     println!(
         "critical angles: {:.1}° and {:.1}° (paper: ~34° and ~73°)",
@@ -235,11 +244,17 @@ fn fig12() {
     for v in (10..=250).step_by(20) {
         let mut row = vec![fmt(v as f64, 0)];
         for s in &structures {
-            let r = LinkBudget::for_structure(s).max_range_m(v as f64, 0.5);
+            let r = LinkBudget::for_structure(s)
+                .expect("paper structure is valid")
+                .max_range_m(v as f64, 0.5)
+                .expect("valid link query");
             row.push(r.map_or("-".into(), |r| fmt(r * 100.0, 0)));
         }
         for pool in [PabPool::Pool1, PabPool::Pool2] {
-            let r = pool.link_budget().max_range_m(v as f64, 0.5);
+            let r = pool
+                .link_budget()
+                .max_range_m(v as f64, 0.5)
+                .expect("valid link query");
             row.push(r.map_or("-".into(), |r| fmt(r * 100.0, 0)));
         }
         rows.push(row);
@@ -273,12 +288,7 @@ fn fig14() {
     let h = Harvester::default();
     let rows: Vec<(f64, f64)> = [0.4, 0.5, 0.6, 0.8, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0]
         .iter()
-        .map(|&v| {
-            (
-                v,
-                h.cold_start_s(v).map_or(f64::NAN, |t| t * 1e3),
-            )
-        })
+        .map(|&v| (v, h.cold_start_s(v).map_or(f64::NAN, |t| t * 1e3)))
         .collect();
     print_series(
         "Fig 14 — cold start (ms) vs input voltage; paper: 55 ms @ 0.5 V, 4.4 ms @ 2 V",
@@ -327,11 +337,17 @@ fn fig15wave() {
         let trials = 40;
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(1000 + t);
-            let reply = Reply::NodeId { id: 0xEC0 + t as u32 };
+            let reply = Reply::NodeId {
+                id: 0xEC0 + t as u32,
+            };
             let mut bits = phy::fm0::PREAMBLE_BITS.to_vec();
             bits.extend(reply.encode());
             let (samples, _) = synthesize_uplink(&cfg, &bits, 2e3, 1e-3, sigma, &mut rng);
-            if rx.decode_reply(&Capture { samples, fs_hz: cfg.fs_hz }) == Ok(reply) {
+            if rx.decode_reply(&Capture {
+                samples,
+                fs_hz: cfg.fs_hz,
+            }) == Ok(reply)
+            {
                 ok += 1;
             }
         }
@@ -363,7 +379,10 @@ fn fig16() {
         &rows,
     );
     if let Some(x) = baselines::u2b::crossover_bps(16e3) {
-        println!("U²B overtakes EcoCapsule at {:.1} kbps (paper: ~9 kbps)", x / 1e3);
+        println!(
+            "U²B overtakes EcoCapsule at {:.1} kbps (paper: ~9 kbps)",
+            x / 1e3
+        );
     }
 }
 
@@ -414,9 +433,8 @@ fn fig18() {
     // paper's 7 dB; the margin bands then fall where the physics puts them.
     let mid_median = percentile(&middle, 50.0).unwrap();
     let floor = mid_median / 10f64.powf(7.0 / 20.0);
-    let snrs = |amps: &[f64]| -> Vec<f64> {
-        amps.iter().map(|&a| 20.0 * (a / floor).log10()).collect()
-    };
+    let snrs =
+        |amps: &[f64]| -> Vec<f64> { amps.iter().map(|&a| 20.0 * (a / floor).log10()).collect() };
     let mut rows = Vec::new();
     for (name, amps) in [("top", &top), ("middle", &middle), ("bottom", &bottom)] {
         let s = snrs(amps);
@@ -452,7 +470,9 @@ fn fig19() {
 fn fig20() {
     use phy::modulation::DownlinkScheme;
     let ch = channel::downlink::DownlinkChannel::paper_default();
-    let off = concrete::ConcreteGrade::Nc.mix().off_resonant_frequency_hz();
+    let off = concrete::ConcreteGrade::Nc
+        .mix()
+        .off_resonant_frequency_hz();
     let mut rows = Vec::new();
     for r in [1e3, 2e3, 4e3, 6e3, 8e3, 10e3] {
         let fsk = ch.symbol_snr_db(r, DownlinkScheme::FskInOokOut { off_hz: off });
@@ -480,7 +500,12 @@ fn fig21() {
         &rows,
     );
     let stress: Vec<(f64, f64)> = study.daily_activity(Channel::Stress(1));
-    print_series("Fig 21(b) — daily stress variation (MPa)", "day", "std", &stress);
+    print_series(
+        "Fig 21(b) — daily stress variation (MPa)",
+        "day",
+        "std",
+        &stress,
+    );
     let anomalies = study.detect_anomalies(Channel::Acceleration(1), 1.8);
     println!("anomalous days: {anomalies:?} (paper: storm window 7/15–7/23)");
     println!(

@@ -1,5 +1,7 @@
 //! Shared helpers for the experiment harness and the Criterion benches.
 
+#![forbid(unsafe_code)]
+
 /// Prints a two-column numeric series with a caption.
 pub fn print_series(caption: &str, x_label: &str, y_label: &str, rows: &[(f64, f64)]) {
     println!("\n== {caption} ==");

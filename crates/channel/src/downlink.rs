@@ -106,7 +106,12 @@ impl DownlinkChannel {
     /// injected into the wall without triggering the S-waves"), which is
     /// single-mode and therefore decodes cleanly — just weaker after the
     /// P mode's higher absorption.
-    pub fn transmit_direct_contact(&self, pie: &Pie, bits: &[bool], scheme: DownlinkScheme) -> Vec<f64> {
+    pub fn transmit_direct_contact(
+        &self,
+        pie: &Pie,
+        bits: &[bool],
+        scheme: DownlinkScheme,
+    ) -> Vec<f64> {
         let segments = pie.encode(bits);
         let carrier = self.block.mix.resonant_frequency_hz();
         let drive = synthesize_drive(&segments, scheme, carrier, self.fs_hz);
@@ -129,7 +134,11 @@ impl DownlinkChannel {
         carrier: f64,
     ) -> Vec<f64> {
         let g_on = self.block.transducer_pair_response(carrier)
-            * self.block.mix.attenuation().amplitude_factor(carrier, self.block.thickness_m);
+            * self
+                .block
+                .mix
+                .attenuation()
+                .amplitude_factor(carrier, self.block.thickness_m);
         // Normalize so the resonant tone passes at unit gain — absolute
         // level is the link budget's job.
         let mut out = Vec::with_capacity(signal.len());
@@ -244,6 +253,7 @@ impl DownlinkChannel {
                 let scheme = DownlinkScheme::FskInOokOut {
                     off_hz: self.block.mix.off_resonant_frequency_hz(),
                 };
+                // lint:allow(no-float-eq) 0.0 is the exact glued-on (no-prism) sentinel
                 let snr = if deg == 0.0 {
                     // 0° = PZT glued straight on: pure P, no prism (§5.4).
                     let pie = Pie::for_bitrate(bitrate_bps);
@@ -252,11 +262,7 @@ impl DownlinkChannel {
                     self.snr_of_waveform(&rx, &pie, bits.len())
                 } else {
                     let mut ch = self.clone();
-                    ch.prism = Prism::new(
-                        self.prism.material,
-                        self.prism.target,
-                        deg.to_radians(),
-                    );
+                    ch.prism = Prism::new(self.prism.material, self.prism.target, deg.to_radians());
                     ch.symbol_snr_db(bitrate_bps, scheme)
                 };
                 (deg, snr)
@@ -271,7 +277,9 @@ mod tests {
 
     fn fsk() -> DownlinkScheme {
         DownlinkScheme::FskInOokOut {
-            off_hz: concrete::ConcreteGrade::Nc.mix().off_resonant_frequency_hz(),
+            off_hz: concrete::ConcreteGrade::Nc
+                .mix()
+                .off_resonant_frequency_hz(),
         }
     }
 
@@ -315,9 +323,22 @@ mod tests {
         let ch = DownlinkChannel::paper_default();
         let sweep = ch.snr_vs_incident_angle(&[15.0, 30.0, 50.0, 60.0, 70.0], 1e3);
         let get = |deg: f64| sweep.iter().find(|(a, _)| *a == deg).unwrap().1;
-        assert!(get(50.0) > get(15.0) + 5.0, "50° {} vs 15° {}", get(50.0), get(15.0));
-        assert!(get(60.0) > get(30.0) + 5.0, "60° {} vs 30° {}", get(60.0), get(30.0));
-        assert!(get(15.0) <= get(30.0) + 1.0, "deeper below CA1 is no better");
+        assert!(
+            get(50.0) > get(15.0) + 5.0,
+            "50° {} vs 15° {}",
+            get(50.0),
+            get(15.0)
+        );
+        assert!(
+            get(60.0) > get(30.0) + 5.0,
+            "60° {} vs 30° {}",
+            get(60.0),
+            get(30.0)
+        );
+        assert!(
+            get(15.0) <= get(30.0) + 1.0,
+            "deeper below CA1 is no better"
+        );
     }
 
     #[test]

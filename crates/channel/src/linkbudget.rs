@@ -17,6 +17,7 @@
 //! range explodes once the activation threshold is reached.
 
 use concrete::structure::Structure;
+use dsp::{EcoError, EcoResult};
 use elastic::attenuation::PowerLawAttenuation;
 
 /// Reference distance for the spreading law (m): roughly the TX PZT's
@@ -51,7 +52,11 @@ impl LinkBudget {
     /// defaults to 60°, which sits inside the window for its reference
     /// concrete; our Table-1-derived NC has a slightly faster S-wave, so
     /// the operator-tuned optimum is used instead of a fixed angle).
-    pub fn for_structure(s: &Structure) -> Self {
+    ///
+    /// Errors when the structure's geometry reports a non-positive
+    /// confining dimension (a degenerate member cannot guide a wave).
+    #[must_use]
+    pub fn for_structure(s: &Structure) -> EcoResult<Self> {
         let probe = elastic::prism::Prism::new(
             elastic::Material::PLA,
             s.mix.material(),
@@ -70,70 +75,104 @@ impl LinkBudget {
             .unwrap_or(1.0)
             .sqrt();
         let confine = s.geometry.confining_dimension_m();
-        LinkBudget {
+        Ok(LinkBudget {
             coupling: CONCRETE_COUPLING * (t_s / t_ref),
-            spreading_exp: spreading_exponent(confine),
+            spreading_exp: spreading_exponent(confine)?,
             ref_m: REF_DISTANCE_M,
             attenuation: s.mix.attenuation_s(),
             carrier_hz: s.mix.resonant_frequency_hz(),
             max_path_m: s.geometry.max_path_m(),
-        }
+        })
     }
 
     /// Received open-circuit voltage at distance `d_m` for TX drive
-    /// `v_tx` volts.
-    pub fn received_voltage(&self, v_tx: f64, d_m: f64) -> f64 {
-        assert!(v_tx >= 0.0 && d_m >= 0.0, "invalid link query");
+    /// `v_tx_v` volts.
+    ///
+    /// Errors on a negative drive or a non-positive distance
+    /// (a zero-distance link has no propagation path to evaluate).
+    #[must_use]
+    pub fn received_voltage(&self, v_tx_v: f64, d_m: f64) -> EcoResult<f64> {
+        if v_tx_v < 0.0 {
+            return Err(EcoError::OutOfRange {
+                what: "tx drive v_tx_v",
+                value: v_tx_v,
+                min: 0.0,
+                max: f64::INFINITY,
+            });
+        }
+        if d_m <= 0.0 {
+            return Err(EcoError::NonPositive {
+                what: "link distance d_m",
+                value: d_m,
+            });
+        }
         if d_m > self.max_path_m {
-            return 0.0;
+            return Ok(0.0);
         }
         let spread = if d_m <= self.ref_m {
             1.0
         } else {
             (self.ref_m / d_m).powf(self.spreading_exp)
         };
-        v_tx * self.coupling * spread * self.attenuation.amplitude_factor(self.carrier_hz, d_m)
+        Ok(v_tx_v
+            * self.coupling
+            * spread
+            * self.attenuation.amplitude_factor(self.carrier_hz, d_m))
     }
 
     /// Maximum distance (m) at which the received voltage still meets
-    /// `v_activate`, or `None` if even contact distance fails. Capped at
-    /// the structure's physical extent (the paper's S1/S2 curves
-    /// "terminate at their lengths").
-    pub fn max_range_m(&self, v_tx: f64, v_activate: f64) -> Option<f64> {
-        assert!(v_activate > 0.0, "activation voltage must be positive");
-        if self.received_voltage(v_tx, self.ref_m) < v_activate {
-            return None;
+    /// `v_activate_v`, or `Ok(None)` if even contact distance fails.
+    /// Capped at the structure's physical extent (the paper's S1/S2
+    /// curves "terminate at their lengths").
+    ///
+    /// Errors on a non-positive activation threshold or negative drive.
+    #[must_use]
+    pub fn max_range_m(&self, v_tx_v: f64, v_activate_v: f64) -> EcoResult<Option<f64>> {
+        if v_activate_v <= 0.0 {
+            return Err(EcoError::NonPositive {
+                what: "activation voltage v_activate_v",
+                value: v_activate_v,
+            });
+        }
+        if self.received_voltage(v_tx_v, self.ref_m)? < v_activate_v {
+            return Ok(None);
         }
         // Received voltage is monotone decreasing in d: bisect.
         let mut lo = self.ref_m;
         let mut hi = self.max_path_m.min(100.0);
-        if self.received_voltage(v_tx, hi) >= v_activate {
-            return Some(hi);
+        if self.received_voltage(v_tx_v, hi)? >= v_activate_v {
+            return Ok(Some(hi));
         }
         for _ in 0..200 {
             let mid = 0.5 * (lo + hi);
-            if self.received_voltage(v_tx, mid) >= v_activate {
+            if self.received_voltage(v_tx_v, mid)? >= v_activate_v {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        Some(lo)
+        Ok(Some(lo))
     }
 }
 
 /// Spreading exponent from the confining transverse dimension:
 /// 15–20 cm walls guide (≈0.5), ≥70 cm members are effectively bulk
-/// (≈1.0), linear in between.
-pub fn spreading_exponent(confining_m: f64) -> f64 {
-    assert!(confining_m > 0.0, "confining dimension must be positive");
-    if confining_m <= 0.20 {
+/// (≈1.0), linear in between. Errors on a non-positive dimension.
+#[must_use]
+pub fn spreading_exponent(confining_m: f64) -> EcoResult<f64> {
+    if confining_m <= 0.0 {
+        return Err(EcoError::NonPositive {
+            what: "confining dimension confining_m",
+            value: confining_m,
+        });
+    }
+    Ok(if confining_m <= 0.20 {
         0.5
     } else if confining_m >= 0.70 {
         1.0
     } else {
         0.5 + 0.5 * (confining_m - 0.20) / 0.50
-    }
+    })
 }
 
 /// The PAB underwater pools from Fig 12, reused by the baselines crate.
@@ -150,7 +189,12 @@ impl PabPool {
     /// Link budget for the pool at PAB's 15 kHz carrier.
     pub fn link_budget(self) -> LinkBudget {
         // Seawater absorption at 15 kHz is ~1 dB/km: negligible here.
-        let atten = PowerLawAttenuation::new(1e-4, 15e3, 1.0);
+        // Literal construction: the constants are known-valid.
+        let atten = PowerLawAttenuation {
+            alpha0_np_m: 1e-4,
+            f0_hz: 15e3,
+            exponent: 1.0,
+        };
         match self {
             PabPool::Pool1 => LinkBudget {
                 coupling: 0.0146,
@@ -180,12 +224,18 @@ mod tests {
     /// MCU activation threshold from Fig 14 (V).
     const V_ACT: f64 = 0.5;
 
+    fn range(lb: &LinkBudget, v_tx_v: f64) -> f64 {
+        lb.max_range_m(v_tx_v, V_ACT)
+            .expect("valid query")
+            .expect("in range")
+    }
+
     #[test]
     fn fig12_s3_anchors() {
-        let lb = LinkBudget::for_structure(&Structure::s3_common_wall());
-        let r50 = lb.max_range_m(50.0, V_ACT).unwrap();
-        let r200 = lb.max_range_m(200.0, V_ACT).unwrap();
-        let r250 = lb.max_range_m(250.0, V_ACT).unwrap();
+        let lb = LinkBudget::for_structure(&Structure::s3_common_wall()).unwrap();
+        let r50 = range(&lb, 50.0);
+        let r200 = range(&lb, 200.0);
+        let r250 = range(&lb, 250.0);
         // Paper: 134 cm at 50 V, 500 cm at 200 V, "up to 6 m" at 250 V.
         assert!((1.0..1.8).contains(&r50), "S3@50V = {r50}");
         assert!((4.0..6.5).contains(&r200), "S3@200V = {r200}");
@@ -195,11 +245,7 @@ mod tests {
     #[test]
     fn fig12_structure_ordering_at_200v() {
         // S3 (20 cm wall) > S4 (50 cm wall) > S2 (70 cm column).
-        let r = |s: &Structure| {
-            LinkBudget::for_structure(s)
-                .max_range_m(200.0, V_ACT)
-                .unwrap()
-        };
+        let r = |s: &Structure| range(&LinkBudget::for_structure(s).unwrap(), 200.0);
         let (s2, s3, s4) = (
             r(&Structure::s2_column()),
             r(&Structure::s3_common_wall()),
@@ -211,16 +257,19 @@ mod tests {
 
     #[test]
     fn fig12_s1_terminates_at_slab_length() {
-        let lb = LinkBudget::for_structure(&Structure::s1_slab());
-        let r200 = lb.max_range_m(200.0, V_ACT).unwrap();
-        assert!((r200 - 1.5).abs() < 1e-9, "S1 capped at its 150 cm length, got {r200}");
+        let lb = LinkBudget::for_structure(&Structure::s1_slab()).unwrap();
+        let r200 = range(&lb, 200.0);
+        assert!(
+            (r200 - 1.5).abs() < 1e-9,
+            "S1 capped at its 150 cm length, got {r200}"
+        );
     }
 
     #[test]
     fn fig12_pab_pool1_anchors() {
         let lb = PabPool::Pool1.link_budget();
-        let r50 = lb.max_range_m(50.0, V_ACT).unwrap();
-        let r200 = lb.max_range_m(200.0, V_ACT).unwrap();
+        let r50 = range(&lb, 50.0);
+        let r200 = range(&lb, 200.0);
         assert!((0.1..0.35).contains(&r50), "Pool1@50V = {r50}");
         assert!((1.5..2.6).contains(&r200), "Pool1@200V = {r200}");
     }
@@ -229,32 +278,35 @@ mod tests {
     fn fig12_pab_pool2_superlinear_corridor() {
         let lb = PabPool::Pool2.link_budget();
         // Needs ≥ ~84 V for any range at all…
-        assert!(lb.max_range_m(50.0, V_ACT).is_none(), "50 V insufficient in Pool 2");
-        let r84 = lb.max_range_m(84.0, V_ACT).unwrap();
+        assert!(
+            lb.max_range_m(50.0, V_ACT).unwrap().is_none(),
+            "50 V insufficient in Pool 2"
+        );
+        let r84 = range(&lb, 84.0);
         assert!((0.1..0.5).contains(&r84), "Pool2@84V = {r84}");
         // …but 125 V reaches ~6.5 m.
-        let r125 = lb.max_range_m(125.0, V_ACT).unwrap();
+        let r125 = range(&lb, 125.0);
         assert!((5.0..8.0).contains(&r125), "Pool2@125V = {r125}");
     }
 
     #[test]
     fn concrete_beats_pool1_at_every_voltage() {
         // Fig 12 finding (3): elastic waves go further in dense media.
-        let s3 = LinkBudget::for_structure(&Structure::s3_common_wall());
+        let s3 = LinkBudget::for_structure(&Structure::s3_common_wall()).unwrap();
         let p1 = PabPool::Pool1.link_budget();
         for v in [50.0, 100.0, 150.0, 200.0] {
-            let rc = s3.max_range_m(v, V_ACT).unwrap();
-            let rw = p1.max_range_m(v, V_ACT).unwrap();
+            let rc = range(&s3, v);
+            let rw = range(&p1, v);
             assert!(rc > rw, "at {v} V: concrete {rc} vs water {rw}");
         }
     }
 
     #[test]
     fn received_voltage_monotone_decreasing() {
-        let lb = LinkBudget::for_structure(&Structure::s3_common_wall());
+        let lb = LinkBudget::for_structure(&Structure::s3_common_wall()).unwrap();
         let mut last = f64::INFINITY;
         for i in 1..100 {
-            let v = lb.received_voltage(200.0, i as f64 * 0.1);
+            let v = lb.received_voltage(200.0, i as f64 * 0.1).unwrap();
             assert!(v <= last);
             last = v;
         }
@@ -262,10 +314,10 @@ mod tests {
 
     #[test]
     fn range_monotone_in_voltage() {
-        let lb = LinkBudget::for_structure(&Structure::s4_protective_wall());
+        let lb = LinkBudget::for_structure(&Structure::s4_protective_wall()).unwrap();
         let mut last = 0.0;
         for v in [20.0, 50.0, 100.0, 150.0, 200.0, 250.0] {
-            if let Some(r) = lb.max_range_m(v, V_ACT) {
+            if let Some(r) = lb.max_range_m(v, V_ACT).unwrap() {
                 assert!(r >= last, "range shrank at {v} V");
                 last = r;
             }
@@ -275,16 +327,62 @@ mod tests {
 
     #[test]
     fn spreading_exponent_bounds() {
-        assert_eq!(spreading_exponent(0.15), 0.5);
-        assert_eq!(spreading_exponent(0.70), 1.0);
-        assert_eq!(spreading_exponent(2.0), 1.0);
-        let mid = spreading_exponent(0.45);
+        assert_eq!(spreading_exponent(0.15).unwrap(), 0.5);
+        assert_eq!(spreading_exponent(0.70).unwrap(), 1.0);
+        assert_eq!(spreading_exponent(2.0).unwrap(), 1.0);
+        let mid = spreading_exponent(0.45).unwrap();
         assert!(mid > 0.5 && mid < 1.0);
     }
 
     #[test]
     fn beyond_structure_extent_no_signal() {
-        let lb = LinkBudget::for_structure(&Structure::s1_slab());
-        assert_eq!(lb.received_voltage(250.0, 2.0), 0.0);
+        let lb = LinkBudget::for_structure(&Structure::s1_slab()).unwrap();
+        assert_eq!(lb.received_voltage(250.0, 2.0).unwrap(), 0.0);
+    }
+
+    // --- Former panic paths, now typed errors (the EcoError exemplar). ---
+
+    #[test]
+    fn zero_distance_link_is_an_error() {
+        let lb = LinkBudget::for_structure(&Structure::s3_common_wall()).unwrap();
+        assert_eq!(
+            lb.received_voltage(200.0, 0.0).unwrap_err(),
+            EcoError::NonPositive {
+                what: "link distance d_m",
+                value: 0.0,
+            }
+        );
+        assert!(lb.received_voltage(200.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn negative_drive_is_an_error() {
+        let lb = PabPool::Pool1.link_budget();
+        assert!(matches!(
+            lb.received_voltage(-50.0, 1.0),
+            Err(EcoError::OutOfRange { value, .. }) if value == -50.0
+        ));
+        // The same guard protects the range solver.
+        assert!(lb.max_range_m(-50.0, V_ACT).is_err());
+    }
+
+    #[test]
+    fn non_positive_activation_threshold_is_an_error() {
+        let lb = PabPool::Pool1.link_budget();
+        assert!(lb.max_range_m(100.0, 0.0).is_err());
+        assert!(lb.max_range_m(100.0, -0.5).is_err());
+    }
+
+    #[test]
+    fn negative_attenuation_is_an_error() {
+        // A negative absorption coefficient would amplify with distance.
+        let err = PowerLawAttenuation::new(-0.3, 230e3, 1.0).unwrap_err();
+        assert!(matches!(err, EcoError::OutOfRange { value, .. } if value == -0.3));
+    }
+
+    #[test]
+    fn degenerate_confinement_is_an_error() {
+        assert!(spreading_exponent(0.0).is_err());
+        assert!(spreading_exponent(-0.2).is_err());
     }
 }

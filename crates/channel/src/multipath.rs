@@ -86,7 +86,9 @@ impl Wall2d {
                 // Image of the source after mx reflections in x, my in y.
                 let ix = image_coord(src.0, self.length_m, mx);
                 let iy = image_coord(src.1, self.height_m, my);
-                let d = ((rx.0 - ix).powi(2) + (rx.1 - iy).powi(2)).sqrt().max(ref_m);
+                let d = ((rx.0 - ix).powi(2) + (rx.1 - iy).powi(2))
+                    .sqrt()
+                    .max(ref_m);
                 let bounces = mx.unsigned_abs() + my.unsigned_abs();
                 // Displacement reflection at a traction-free surface is
                 // +1 (the stress flips sign, the displacement doubles) —
@@ -101,7 +103,7 @@ impl Wall2d {
                 });
             }
         }
-        out.sort_by(|a, b| a.delay_s.partial_cmp(&b.delay_s).unwrap());
+        out.sort_by(|a, b| a.delay_s.total_cmp(&b.delay_s));
         out
     }
 
@@ -131,11 +133,18 @@ impl Wall2d {
     /// Convolves a sampled waveform with the arrival comb (tapped delay
     /// line at `fs_hz`) — the time-domain channel used by end-to-end
     /// waveform simulations.
-    pub fn apply(&self, signal: &[f64], src: (f64, f64), rx: (f64, f64), order: i32, fs_hz: f64) -> Vec<f64> {
+    pub fn apply(
+        &self,
+        signal: &[f64],
+        src: (f64, f64),
+        rx: (f64, f64),
+        order: i32,
+        fs_hz: f64,
+    ) -> Vec<f64> {
         assert!(fs_hz > 0.0, "sample rate must be positive");
         let arrivals = self.arrivals(src, rx, order);
-        let max_delay = arrivals.last().map_or(0.0, |a| a.delay_s);
-        let n_out = signal.len() + (max_delay * fs_hz).ceil() as usize;
+        let max_delay_s = arrivals.last().map_or(0.0, |a| a.delay_s);
+        let n_out = signal.len() + (max_delay_s * fs_hz).ceil() as usize;
         let mut out = vec![0.0; n_out];
         for a in &arrivals {
             let shift = (a.delay_s * fs_hz).round() as usize;
@@ -227,7 +236,7 @@ impl Box3d {
                 }
             }
         }
-        out.sort_by(|a, b| a.delay_s.partial_cmp(&b.delay_s).unwrap());
+        out.sort_by(|a, b| a.delay_s.total_cmp(&b.delay_s));
         out
     }
 
@@ -272,7 +281,10 @@ impl DualModeChannel {
     /// "60% data overlap" intra-symbol interference of §3.2.
     pub fn apply(&self, signal: &[f64], fs_hz: f64) -> Vec<f64> {
         assert!(fs_hz > 0.0, "sample rate must be positive");
-        assert!((0.0..=1.0).contains(&self.p_fraction), "p_fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.p_fraction),
+            "p_fraction must be in [0,1]"
+        );
         let t_p = self.distance_m / self.cp_m_s;
         let t_s = self.distance_m / self.cs_m_s;
         let shift_p = (t_p * fs_hz).round() as usize;

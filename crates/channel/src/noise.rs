@@ -8,6 +8,7 @@ use rand::Rng;
 /// Adds white Gaussian noise of standard deviation `sigma` to `signal`.
 pub fn add_awgn<R: Rng>(signal: &mut [f64], sigma: f64, rng: &mut R) {
     assert!(sigma >= 0.0, "noise sigma must be non-negative");
+    // lint:allow(no-float-eq) sigma = 0.0 is the exact noiseless-channel request
     if sigma == 0.0 {
         return;
     }
@@ -68,7 +69,10 @@ mod tests {
         assert!((noise_power.sqrt() - sigma).abs() / sigma < 0.02);
         let p_sig = signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64;
         let measured_snr = 10.0 * (p_sig / noise_power).log10();
-        assert!((measured_snr - 10.0).abs() < 0.2, "measured {measured_snr} dB");
+        assert!(
+            (measured_snr - 10.0).abs() < 0.2,
+            "measured {measured_snr} dB"
+        );
     }
 
     #[test]
@@ -82,8 +86,16 @@ mod tests {
     #[test]
     fn seeded_noise_is_reproducible() {
         let signal = vec![0.0; 100];
-        let (a, _) = at_snr_db(&signal.clone().iter().map(|_| 1.0).collect::<Vec<_>>(), 5.0, &mut StdRng::seed_from_u64(9));
-        let (b, _) = at_snr_db(&signal.iter().map(|_| 1.0).collect::<Vec<_>>(), 5.0, &mut StdRng::seed_from_u64(9));
+        let (a, _) = at_snr_db(
+            &signal.clone().iter().map(|_| 1.0).collect::<Vec<_>>(),
+            5.0,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let (b, _) = at_snr_db(
+            &signal.iter().map(|_| 1.0).collect::<Vec<_>>(),
+            5.0,
+            &mut StdRng::seed_from_u64(9),
+        );
         assert_eq!(a, b);
     }
 }

@@ -76,8 +76,15 @@ impl SurfacePath {
 /// the direct S-reflection leak plus the surface-wave leak, normalized
 /// so the paper's default layout gives the §3.4 ratio (10× the
 /// backscatter amplitude).
-pub fn self_interference_amplitude(path: &SurfacePath, f_hz: f64, backscatter_amplitude: f64) -> f64 {
-    assert!(backscatter_amplitude >= 0.0, "amplitude must be non-negative");
+pub fn self_interference_amplitude(
+    path: &SurfacePath,
+    f_hz: f64,
+    backscatter_amplitude: f64,
+) -> f64 {
+    assert!(
+        backscatter_amplitude >= 0.0,
+        "amplitude must be non-negative"
+    );
     let reference = SurfacePath::paper_reader_layout().leak_amplitude(230e3);
     let body_leak = 6.0 * backscatter_amplitude; // S-reflections at the RX
     let surface_leak = 4.0 * backscatter_amplitude * path.leak_amplitude(f_hz) / reference;

@@ -64,7 +64,10 @@ pub fn synthesize_uplink<R: Rng>(
     noise_sigma: f64,
     rng: &mut R,
 ) -> (Vec<f64>, Fm0) {
-    assert!(bitrate_bps > 0.0 && lead_s >= 0.0, "invalid uplink parameters");
+    assert!(
+        bitrate_bps > 0.0 && lead_s >= 0.0,
+        "invalid uplink parameters"
+    );
     let fm0 = Fm0::for_bitrate(bitrate_bps, cfg.fs_hz);
     let baseband = fm0.encode(bits); // ±1
     let n_lead = (lead_s * cfg.fs_hz).round() as usize;
@@ -145,8 +148,14 @@ mod tests {
         let sb_lo = p_at(230e3 - blf_hz(bitrate));
         let sb_hi = p_at(230e3 + blf_hz(bitrate));
         let floor = p_at(180e3);
-        assert!(sb_lo > 30.0 * floor, "lower sideband {sb_lo} vs floor {floor}");
-        assert!(sb_hi > 30.0 * floor, "upper sideband {sb_hi} vs floor {floor}");
+        assert!(
+            sb_lo > 30.0 * floor,
+            "lower sideband {sb_lo} vs floor {floor}"
+        );
+        assert!(
+            sb_hi > 30.0 * floor,
+            "upper sideband {sb_hi} vs floor {floor}"
+        );
         assert!(p_carrier > sb_lo, "carrier dominates");
     }
 
@@ -189,7 +198,10 @@ mod tests {
         let lo = seg.iter().fold(f64::MAX, |m, &x| m.min(x.abs()));
         let _ = lo;
         // hi should approach leak + backscatter.
-        assert!(hi > cfg.leak_amplitude + 0.5 * cfg.backscatter_amplitude, "hi {hi}");
+        assert!(
+            hi > cfg.leak_amplitude + 0.5 * cfg.backscatter_amplitude,
+            "hi {hi}"
+        );
     }
 
     #[test]

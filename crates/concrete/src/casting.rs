@@ -128,6 +128,7 @@ impl CastingPlan {
     }
 
     /// Validates cover and spacing constraints.
+    #[must_use]
     pub fn validate(&self) -> Result<(), CastingError> {
         let r = CAPSULE_DIAMETER_M / 2.0;
         let lim = r + MIN_COVER_M;
@@ -191,8 +192,16 @@ mod tests {
     fn block_plan() -> CastingPlan {
         // The paper's 15 × 15 × 15 cm block with two capsules (Fig 10).
         let mut p = CastingPlan::new(0.15, 0.15, 0.15, ConcreteGrade::Uhpc.mix());
-        p.place(Position { x_m: 0.05, y_m: 0.075, z_m: 0.075 });
-        p.place(Position { x_m: 0.10, y_m: 0.075, z_m: 0.075 });
+        p.place(Position {
+            x_m: 0.05,
+            y_m: 0.075,
+            z_m: 0.075,
+        });
+        p.place(Position {
+            x_m: 0.10,
+            y_m: 0.075,
+            z_m: 0.075,
+        });
         p
     }
 
@@ -204,7 +213,11 @@ mod tests {
     #[test]
     fn cover_violation_detected() {
         let mut p = block_plan();
-        p.place(Position { x_m: 0.01, y_m: 0.075, z_m: 0.075 });
+        p.place(Position {
+            x_m: 0.01,
+            y_m: 0.075,
+            z_m: 0.075,
+        });
         assert_eq!(
             p.validate(),
             Err(CastingError::InsufficientCover { capsule: 2 })
@@ -214,8 +227,16 @@ mod tests {
     #[test]
     fn overlap_detected() {
         let mut p = CastingPlan::new(0.5, 0.15, 0.15, ConcreteGrade::Nc.mix());
-        p.place(Position { x_m: 0.10, y_m: 0.075, z_m: 0.075 });
-        p.place(Position { x_m: 0.13, y_m: 0.075, z_m: 0.075 });
+        p.place(Position {
+            x_m: 0.10,
+            y_m: 0.075,
+            z_m: 0.075,
+        });
+        p.place(Position {
+            x_m: 0.13,
+            y_m: 0.075,
+            z_m: 0.075,
+        });
         assert_eq!(
             p.validate(),
             Err(CastingError::CapsulesOverlap { pair: (0, 1) })
@@ -244,8 +265,16 @@ mod tests {
         // A hypothetical 300 m continuous pour exceeds the resin rating
         // near the bottom (ρgh ≈ 6.8 MPa > 4.3 MPa).
         let mut p = CastingPlan::new(1.0, 300.0, 1.0, ConcreteGrade::Nc.mix());
-        p.place(Position { x_m: 0.5, y_m: 1.0, z_m: 0.5 });
-        p.place(Position { x_m: 0.5, y_m: 299.0, z_m: 0.5 });
+        p.place(Position {
+            x_m: 0.5,
+            y_m: 1.0,
+            z_m: 0.5,
+        });
+        p.place(Position {
+            x_m: 0.5,
+            y_m: 299.0,
+            z_m: 0.5,
+        });
         let findings = p.ct_examination(4.3e6);
         assert_eq!(findings[0], CtFinding::Cracked, "bottom capsule cracks");
         assert_eq!(findings[1], CtFinding::Intact, "top capsule survives");

@@ -46,7 +46,10 @@ impl ScattererClass {
     /// Entrapped-air voids from imperfect compaction (1 mm entrained
     /// bubbles; the contrast factor folds in their resonant damping).
     pub fn voids(fraction_percent: f64) -> Self {
-        assert!((0.0..=10.0).contains(&fraction_percent), "void fraction must be 0–10%");
+        assert!(
+            (0.0..=10.0).contains(&fraction_percent),
+            "void fraction must be 0–10%"
+        );
         // n = fraction / (4/3 π a³) with 1 mm voids.
         let a = 1e-3f64;
         let v = 4.0 / 3.0 * std::f64::consts::PI * a.powi(3);
@@ -121,10 +124,7 @@ impl DefectChannel {
     /// *excess* structure on top of it.
     pub fn reinforced(distance_m: f64, c_m_s: f64, void_percent: f64, seed: u64) -> Self {
         DefectChannel {
-            classes: vec![
-                ScattererClass::rebar(),
-                ScattererClass::voids(void_percent),
-            ],
+            classes: vec![ScattererClass::rebar(), ScattererClass::voids(void_percent)],
             distance_m,
             c_m_s,
             seed,
@@ -156,7 +156,10 @@ impl DefectChannel {
         let s = 0.6 * scattered.min(1.0);
         let mut re = 1.0;
         let mut im = 0.0;
-        let mut x = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
         for i in 0..4 {
             // Excess path of echo i: 5–40 cm, fixed by the seed.
             x ^= x << 13;

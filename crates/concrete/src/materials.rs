@@ -25,7 +25,11 @@ pub enum ConcreteGrade {
 
 impl ConcreteGrade {
     /// All grades, in Table 1 order.
-    pub const ALL: [ConcreteGrade; 3] = [ConcreteGrade::Nc, ConcreteGrade::Uhpc, ConcreteGrade::Uhpfrc];
+    pub const ALL: [ConcreteGrade; 3] = [
+        ConcreteGrade::Nc,
+        ConcreteGrade::Uhpc,
+        ConcreteGrade::Uhpfrc,
+    ];
 
     /// The Table 1 mix for this grade.
     pub fn mix(self) -> ConcreteMix {
@@ -148,7 +152,12 @@ impl ConcreteMix {
 
     /// Elastic medium derived from `E_c`, ν and the mix density.
     pub fn material(&self) -> Material {
-        Material::from_engineering(self.name, self.ec_gpa * 1e9, self.poisson, self.density_kg_m3())
+        Material::from_engineering(
+            self.name,
+            self.ec_gpa * 1e9,
+            self.poisson,
+            self.density_kg_m3(),
+        )
     }
 
     /// Frequency-power-law attenuation for this concrete.
@@ -163,7 +172,12 @@ impl ConcreteMix {
         // dense UHPC matrices attenuate less.
         let coarse_fraction = self.granite_kg_m3 / self.density_kg_m3();
         let alpha0 = 1.2 + 16.0 * coarse_fraction; // Np/m at 230 kHz
-        PowerLawAttenuation::new(alpha0, 230e3, 1.8)
+                                                   // alpha0 >= 1.2 by construction, so literal construction is safe.
+        PowerLawAttenuation {
+            alpha0_np_m: alpha0,
+            f0_hz: 230e3,
+            exponent: 1.8,
+        }
     }
 
     /// S-wave attenuation law.
@@ -177,7 +191,11 @@ impl ConcreteMix {
     pub fn attenuation_s(&self) -> PowerLawAttenuation {
         let coarse_fraction = self.granite_kg_m3 / self.density_kg_m3();
         let alpha0 = 0.10 + 0.14 * coarse_fraction; // Np/m at 230 kHz
-        PowerLawAttenuation::new(alpha0, 230e3, 1.0)
+        PowerLawAttenuation {
+            alpha0_np_m: alpha0,
+            f0_hz: 230e3,
+            exponent: 1.0,
+        }
     }
 
     /// Resonant carrier frequency of the transducer/concrete system (§3.3:

@@ -54,15 +54,27 @@ impl Block {
     /// quantity Fig 5(b) plots.
     pub fn rx_amplitude_mv(&self, f_hz: f64, v_tx: f64) -> f64 {
         assert!(f_hz > 0.0 && v_tx >= 0.0, "invalid stimulus");
-        let atten = self.mix.attenuation().amplitude_factor(f_hz, self.thickness_m);
+        let atten = self
+            .mix
+            .attenuation()
+            .amplitude_factor(f_hz, self.thickness_m);
         v_tx * K_MV_PER_V * self.mix.strength_gain() * self.transducer_pair_response(f_hz) * atten
     }
 
     /// Sweeps the frequency response like the paper's experiment:
     /// `f_start..=f_stop` inclusive in `step` increments at `v_tx` volts.
     /// Returns `(frequencies_hz, amplitudes_mv)`.
-    pub fn sweep(&self, f_start_hz: f64, f_stop_hz: f64, step_hz: f64, v_tx: f64) -> (Vec<f64>, Vec<f64>) {
-        assert!(f_start_hz > 0.0 && f_stop_hz > f_start_hz && step_hz > 0.0, "invalid sweep");
+    pub fn sweep(
+        &self,
+        f_start_hz: f64,
+        f_stop_hz: f64,
+        step_hz: f64,
+        v_tx: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        assert!(
+            f_start_hz > 0.0 && f_stop_hz > f_start_hz && step_hz > 0.0,
+            "invalid sweep"
+        );
         let mut freqs = Vec::new();
         let mut amps = Vec::new();
         let mut f = f_start_hz;
@@ -116,7 +128,12 @@ mod tests {
         // Fig 5(b) finding 1: resonance between 200 and 250 kHz for all.
         for b in paper_blocks() {
             let f = b.peak_frequency_hz();
-            assert!((200e3..=250e3).contains(&f), "{}-{}cm peak at {f}", b.mix.name, b.thickness_m * 100.0);
+            assert!(
+                (200e3..=250e3).contains(&f),
+                "{}-{}cm peak at {f}",
+                b.mix.name,
+                b.thickness_m * 100.0
+            );
         }
     }
 
@@ -136,10 +153,22 @@ mod tests {
         // Fig 5(b) y-axis: NC-15cm ≈ 1–2 V, UHPC/UHPFRC ≈ 5–7 V at 100 V.
         let [nc7, nc15, uhpc, uhpfrc] = paper_blocks();
         let at_peak = |b: &Block| b.rx_amplitude_mv(b.peak_frequency_hz(), 100.0);
-        assert!((800.0..2500.0).contains(&at_peak(&nc15)), "NC-15: {}", at_peak(&nc15));
+        assert!(
+            (800.0..2500.0).contains(&at_peak(&nc15)),
+            "NC-15: {}",
+            at_peak(&nc15)
+        );
         assert!(at_peak(&nc7) > at_peak(&nc15), "thinner NC responds more");
-        assert!((4000.0..7500.0).contains(&at_peak(&uhpc)), "UHPC: {}", at_peak(&uhpc));
-        assert!((4000.0..7500.0).contains(&at_peak(&uhpfrc)), "UHPFRC: {}", at_peak(&uhpfrc));
+        assert!(
+            (4000.0..7500.0).contains(&at_peak(&uhpc)),
+            "UHPC: {}",
+            at_peak(&uhpc)
+        );
+        assert!(
+            (4000.0..7500.0).contains(&at_peak(&uhpfrc)),
+            "UHPFRC: {}",
+            at_peak(&uhpfrc)
+        );
     }
 
     #[test]

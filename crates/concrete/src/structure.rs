@@ -173,9 +173,15 @@ mod tests {
     #[test]
     fn narrow_members_are_waveguides() {
         assert_eq!(Structure::s1_slab().spreading(), Spreading::Cylindrical);
-        assert_eq!(Structure::s3_common_wall().spreading(), Spreading::Cylindrical);
+        assert_eq!(
+            Structure::s3_common_wall().spreading(),
+            Spreading::Cylindrical
+        );
         assert_eq!(Structure::s2_column().spreading(), Spreading::Spherical);
-        assert_eq!(Structure::s4_protective_wall().spreading(), Spreading::Spherical);
+        assert_eq!(
+            Structure::s4_protective_wall().spreading(),
+            Spreading::Spherical
+        );
     }
 
     #[test]

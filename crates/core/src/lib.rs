@@ -16,7 +16,7 @@
 //! let mut rng = StdRng::seed_from_u64(7);
 //! // A 20 cm NC wall with three capsules at 0.5/1.0/1.5 m from the reader.
 //! let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
-//! let report = wall.survey(200.0, &mut rng);
+//! let report = wall.survey(200.0, &mut rng).expect("valid survey");
 //! assert_eq!(report.powered_ids.len(), 3);
 //! ```
 //!
@@ -37,6 +37,11 @@ pub use phy;
 pub use protocol;
 pub use reader;
 pub use shm;
+
+// The shared workspace error type. It is defined in `dsp` (the root of
+// the crate graph, so every layer can return it) and re-exported here
+// as the canonical public name.
+pub use dsp::{EcoError, EcoResult};
 
 pub mod scenario;
 

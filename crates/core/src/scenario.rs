@@ -4,6 +4,7 @@
 use channel::linkbudget::LinkBudget;
 use concrete::structure::Structure;
 use concrete::ConcreteGrade;
+use dsp::EcoResult;
 use node::capsule::{EcoCapsule, Environment};
 use node::harvester::MIN_ACTIVATION_V;
 use protocol::frame::SensorKind;
@@ -65,7 +66,8 @@ impl SelfSensingWall {
     }
 
     /// The wall's charging link budget.
-    pub fn link_budget(&self) -> LinkBudget {
+    #[must_use]
+    pub fn link_budget(&self) -> EcoResult<LinkBudget> {
         LinkBudget::for_structure(&self.structure)
     }
 
@@ -76,13 +78,17 @@ impl SelfSensingWall {
     ///    protocol,
     /// 3. each inventoried capsule is asked for temperature, humidity
     ///    and strain.
-    pub fn survey<R: Rng>(&mut self, tx_voltage: f64, rng: &mut R) -> SurveyReport {
+    ///
+    /// Errors when the link-budget query is invalid (negative drive
+    /// voltage or a degenerate structure geometry).
+    #[must_use]
+    pub fn survey<R: Rng>(&mut self, tx_voltage_v: f64, rng: &mut R) -> EcoResult<SurveyReport> {
         let mut report = SurveyReport::default();
-        let lb = self.link_budget();
+        let lb = self.link_budget()?;
 
         // Phase 1: wireless charging.
         for (d, capsule) in self.capsules.iter_mut() {
-            let v_rx = lb.received_voltage(tx_voltage, *d);
+            let v_rx = lb.received_voltage(tx_voltage_v, *d)?;
             if v_rx >= MIN_ACTIVATION_V {
                 capsule.harvest(v_rx, 1.0); // a second of CBW ≫ any cold start
                 if capsule.is_operational() {
@@ -110,7 +116,11 @@ impl SelfSensingWall {
             if !report.inventoried_ids.contains(&capsule.id) {
                 continue;
             }
-            for kind in [SensorKind::Temperature, SensorKind::Humidity, SensorKind::Strain] {
+            for kind in [
+                SensorKind::Temperature,
+                SensorKind::Humidity,
+                SensorKind::Strain,
+            ] {
                 if let Ok(Some(value)) =
                     self.session
                         .read_sensor(capsule, kind, &self.environment, rng)
@@ -125,7 +135,7 @@ impl SelfSensingWall {
                 *c = done;
             }
         }
-        report
+        Ok(report)
     }
 }
 
@@ -148,14 +158,15 @@ impl MonitoringCampaign {
 
     /// Runs one survey at time `t_s` and folds the readings into the
     /// histories.
+    #[must_use]
     pub fn survey_at<R: Rng>(
         &mut self,
         wall: &mut SelfSensingWall,
         t_s: f64,
-        tx_voltage: f64,
+        tx_voltage_v: f64,
         rng: &mut R,
-    ) -> SurveyReport {
-        let report = wall.survey(tx_voltage, rng);
+    ) -> EcoResult<SurveyReport> {
+        let report = wall.survey(tx_voltage_v, rng)?;
         for (id, kind, value) in &report.readings {
             match kind {
                 SensorKind::Strain => {
@@ -167,7 +178,7 @@ impl MonitoringCampaign {
                 _ => {}
             }
         }
-        report
+        Ok(report)
     }
 
     /// Composes the health report for one capsule from its histories.
@@ -212,7 +223,10 @@ pub fn fig16_point(bitrate_bps: f64) -> (f64, f64, f64) {
 /// impedance switch toggling at `switch_hz` (0.5 ms edges in the paper).
 /// Returns `(time_s, envelope_mv)` pairs at the capture rate.
 pub fn fig22_waveform(t_start_s: f64, switch_hz: f64, duration_s: f64) -> Vec<(f64, f64)> {
-    assert!(t_start_s >= 0.0 && switch_hz > 0.0 && duration_s > t_start_s, "invalid waveform spec");
+    assert!(
+        t_start_s >= 0.0 && switch_hz > 0.0 && duration_s > t_start_s,
+        "invalid waveform spec"
+    );
     let fs = 1.0e6;
     let carrier = 230e3;
     let n = (duration_s * fs) as usize;
@@ -259,7 +273,7 @@ mod tests {
     fn survey_powers_inventories_and_reads() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
-        let report = wall.survey(200.0, &mut rng);
+        let report = wall.survey(200.0, &mut rng).unwrap();
         assert_eq!(report.powered_ids, vec![1000, 1001]);
         let mut inv = report.inventoried_ids.clone();
         inv.sort_unstable();
@@ -280,7 +294,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         // 0.5 m powers up at 50 V; 4 m does not (Fig 12: ~1.3 m at 50 V).
         let mut wall = SelfSensingWall::common_wall(&[0.5, 4.0]);
-        let report = wall.survey(50.0, &mut rng);
+        let report = wall.survey(50.0, &mut rng).unwrap();
         assert_eq!(report.powered_ids, vec![1000]);
         assert_eq!(report.inventoried_ids, vec![1000]);
     }
@@ -289,9 +303,16 @@ mod tests {
     fn raising_voltage_extends_coverage() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut wall_lo = SelfSensingWall::common_wall(&[3.0]);
-        assert!(wall_lo.survey(50.0, &mut rng).powered_ids.is_empty());
+        assert!(wall_lo
+            .survey(50.0, &mut rng)
+            .unwrap()
+            .powered_ids
+            .is_empty());
         let mut wall_hi = SelfSensingWall::common_wall(&[3.0]);
-        assert_eq!(wall_hi.survey(250.0, &mut rng).powered_ids, vec![1000]);
+        assert_eq!(
+            wall_hi.survey(250.0, &mut rng).unwrap().powered_ids,
+            vec![1000]
+        );
     }
 
     #[test]
@@ -325,7 +346,10 @@ mod tests {
             .collect();
         let hi = after.iter().cloned().fold(f64::MIN, f64::max);
         let lo = after.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(hi - lo > 30.0, "switching must modulate the envelope: {hi}-{lo}");
+        assert!(
+            hi - lo > 30.0,
+            "switching must modulate the envelope: {hi}-{lo}"
+        );
     }
 
     #[test]
@@ -341,7 +365,7 @@ mod tests {
             let t = month as f64 * 30.0 * 86_400.0;
             wall.environment.strain = 120e-6 * t / shm::damage::YEAR_S;
             wall.environment.humidity_percent = if month > 8 { 90.0 } else { 68.0 };
-            campaign.survey_at(&mut wall, t, 150.0, &mut rng);
+            campaign.survey_at(&mut wall, t, 150.0, &mut rng).unwrap();
         }
         let report = campaign.report_for(1000);
         assert!(

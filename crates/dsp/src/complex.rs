@@ -167,6 +167,7 @@ impl Mul<f64> for Complex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     fn close(a: f64, b: f64) -> bool {
@@ -219,6 +220,7 @@ mod tests {
         assert!(z.im.abs() < 1e-12);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn sqrt_squares_back(re in -1e3f64..1e3, im in -1e3f64..1e3) {

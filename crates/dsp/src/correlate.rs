@@ -29,9 +29,9 @@ pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
     if template.is_empty() || template.len() > signal.len() {
         return Vec::new();
     }
-    let n = signal.len() - template.len() + 1;
-    (0..n)
-        .map(|lag| dot(&signal[lag..lag + template.len()], template))
+    signal
+        .windows(template.len())
+        .map(|win| dot(win, template))
         .collect()
 }
 
@@ -52,20 +52,27 @@ pub fn best_match(signal: &[f64], template: &[f64]) -> Option<(usize, f64)> {
         return Some((0, 0.0));
     }
     // Prefix sums of signal energy for O(1) window energy.
+    let mut acc = 0.0f64;
     let mut prefix = Vec::with_capacity(signal.len() + 1);
     prefix.push(0.0f64);
     for &x in signal {
-        prefix.push(prefix.last().unwrap() + x * x);
+        acc += x * x;
+        prefix.push(acc);
     }
-    let n = signal.len() - m + 1;
+    // prefix[lag + m] - prefix[lag] pairs come from zipping the prefix
+    // array against itself shifted by m, in lockstep with the windows.
     let mut best = (0usize, 0.0f64);
     let mut best_abs = f64::NEG_INFINITY;
-    for lag in 0..n {
-        let es = prefix[lag + m] - prefix[lag];
+    for (lag, (win, (e_lo, e_hi))) in signal
+        .windows(m)
+        .zip(prefix.iter().zip(prefix.iter().skip(m)))
+        .enumerate()
+    {
+        let es = e_hi - e_lo;
         if es <= 0.0 {
             continue;
         }
-        let score = dot(&signal[lag..lag + m], template) / (es * et).sqrt();
+        let score = dot(win, template) / (es * et).sqrt();
         if score.abs() > best_abs {
             best_abs = score.abs();
             best = (lag, score);

@@ -54,8 +54,7 @@ pub fn downconvert(signal: &[f64], carrier_hz: f64, bw_hz: f64, fs_hz: f64) -> V
     }
     let re_f = f.filter_aligned(&re_path);
     let im_f = f.filter_aligned(&im_path);
-    re_f
-        .into_iter()
+    re_f.into_iter()
         .zip(im_f)
         .map(|(re, im)| Complex::new(2.0 * re, 2.0 * im))
         .collect()

@@ -1,0 +1,130 @@
+//! The workspace-wide typed error, [`EcoError`].
+//!
+//! Every layer of the stack (dsp → elastic → phy → channel → node →
+//! protocol → reader → shm) returns this enum instead of panicking, so
+//! a mis-calibrated query (zero-distance link, negative attenuation,
+//! empty capture buffer) surfaces as a value the caller can route,
+//! log, or grade — exactly like a sensor fault in the real SHM
+//! pipeline. It lives in `dsp` because that crate is the root of the
+//! dependency graph; the `ecocapsule` facade re-exports it as
+//! `ecocapsule::EcoError`.
+//!
+//! Variants carry `&'static str` context plus the offending values, so
+//! constructing an error never allocates.
+
+/// Shorthand for `Result<T, EcoError>`.
+pub type EcoResult<T> = Result<T, EcoError>;
+
+/// Typed error shared by every EcoCapsule crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum EcoError {
+    /// An input slice or capture window was empty.
+    EmptyInput {
+        /// What was empty.
+        what: &'static str,
+    },
+    /// A quantity that must be strictly positive was zero or negative.
+    NonPositive {
+        /// The quantity's name (with unit suffix).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A quantity fell outside its physically meaningful interval.
+    OutOfRange {
+        /// The quantity's name (with unit suffix).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// A buffer length was required to be a power of two.
+    NotPowerOfTwo {
+        /// What was mis-sized.
+        what: &'static str,
+        /// The actual length.
+        len: usize,
+    },
+    /// Two lengths that must agree did not.
+    LengthMismatch {
+        /// What disagreed.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A numeric routine failed to produce a finite/meaningful value.
+    Numerical {
+        /// What failed.
+        what: &'static str,
+    },
+    /// A protocol-level decode or framing failure.
+    Protocol {
+        /// What failed.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for EcoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcoError::EmptyInput { what } => write!(f, "{what} must be non-empty"),
+            EcoError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            EcoError::OutOfRange {
+                what,
+                value,
+                min,
+                max,
+            } => write!(f, "{what} = {value} outside [{min}, {max}]"),
+            EcoError::NotPowerOfTwo { what, len } => {
+                write!(f, "{what} length {len} is not a power of two")
+            }
+            EcoError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what}: expected length {expected}, got {actual}"),
+            EcoError::Numerical { what } => write!(f, "numerical failure: {what}"),
+            EcoError::Protocol { what } => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EcoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EcoError::NonPositive {
+            what: "distance_m",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("distance_m"));
+        assert!(e.to_string().contains("-1"));
+        let e = EcoError::OutOfRange {
+            what: "theta_rad",
+            value: 2.0,
+            min: 0.0,
+            max: 1.5707,
+        };
+        assert!(e.to_string().contains("theta_rad"));
+    }
+
+    #[test]
+    fn errors_are_values() {
+        // Copy + PartialEq so call sites can match and compare cheaply.
+        let a = EcoError::EmptyInput { what: "fft input" };
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

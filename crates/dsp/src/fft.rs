@@ -5,36 +5,30 @@
 //! (the reader's capture windows are not always powers of two). Also
 //! provides real-signal helpers used by the spectrum experiments
 //! (Fig 24 self-interference spectrum, Fig 5(b) frequency response).
+//!
+//! All routines are panic-free: misuse surfaces as [`EcoError`], and the
+//! butterflies are written over `split_at_mut`/iterator pairs so the hot
+//! loops carry no bounds checks to trip.
 
 use crate::complex::Complex;
-
-/// Errors produced by the FFT routines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FftError {
-    /// The input length was zero.
-    Empty,
-}
-
-impl std::fmt::Display for FftError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FftError::Empty => write!(f, "FFT input must be non-empty"),
-        }
-    }
-}
-
-impl std::error::Error for FftError {}
+use crate::error::{EcoError, EcoResult};
 
 /// In-place radix-2 FFT on a power-of-two-length buffer.
 ///
 /// `inverse` selects the inverse transform (including the `1/N` scale).
-/// Panics if the length is not a power of two — use [`fft`] for general
-/// lengths.
-pub fn fft_pow2_in_place(buf: &mut [Complex], inverse: bool) {
+/// Returns [`EcoError::NotPowerOfTwo`] for other lengths — use [`fft`]
+/// for general lengths.
+#[must_use]
+pub fn fft_pow2_in_place(buf: &mut [Complex], inverse: bool) -> EcoResult<()> {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "fft_pow2_in_place requires power-of-two length");
+    if !n.is_power_of_two() {
+        return Err(EcoError::NotPowerOfTwo {
+            what: "fft_pow2_in_place buffer",
+            len: n,
+        });
+    }
     if n <= 1 {
-        return;
+        return Ok(());
     }
     // Bit-reversal permutation.
     let shift = usize::BITS - n.trailing_zeros();
@@ -44,20 +38,22 @@ pub fn fft_pow2_in_place(buf: &mut [Complex], inverse: bool) {
             buf.swap(i, j);
         }
     }
-    // Butterflies.
+    // Butterflies: each chunk splits into a low and high half advanced in
+    // lockstep, so the inner loop is index-free.
     let sign = if inverse { 1.0 } else { -1.0 };
     let mut len = 2;
     while len <= n {
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
         let wlen = Complex::cis(ang);
+        let half = len / 2;
         for chunk in buf.chunks_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(half);
             let mut w = Complex::ONE;
-            let half = len / 2;
-            for k in 0..half {
-                let u = chunk[k];
-                let v = chunk[k + half] * w;
-                chunk[k] = u + v;
-                chunk[k + half] = u - v;
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
                 w *= wlen;
             }
         }
@@ -69,27 +65,30 @@ pub fn fft_pow2_in_place(buf: &mut [Complex], inverse: bool) {
             *z = z.scale(scale);
         }
     }
+    Ok(())
 }
 
 /// Forward FFT of arbitrary length (radix-2 when possible, Bluestein
 /// otherwise). Returns the spectrum, same length as the input.
-pub fn fft(input: &[Complex]) -> Result<Vec<Complex>, FftError> {
+#[must_use]
+pub fn fft(input: &[Complex]) -> EcoResult<Vec<Complex>> {
     transform(input, false)
 }
 
 /// Inverse FFT of arbitrary length (scaled by `1/N`).
-pub fn ifft(input: &[Complex]) -> Result<Vec<Complex>, FftError> {
+#[must_use]
+pub fn ifft(input: &[Complex]) -> EcoResult<Vec<Complex>> {
     transform(input, true)
 }
 
-fn transform(input: &[Complex], inverse: bool) -> Result<Vec<Complex>, FftError> {
+fn transform(input: &[Complex], inverse: bool) -> EcoResult<Vec<Complex>> {
     if input.is_empty() {
-        return Err(FftError::Empty);
+        return Err(EcoError::EmptyInput { what: "fft input" });
     }
     let n = input.len();
     let mut buf = input.to_vec();
     if n.is_power_of_two() {
-        fft_pow2_in_place(&mut buf, inverse);
+        fft_pow2_in_place(&mut buf, inverse)?;
         return Ok(buf);
     }
     // Bluestein: express the length-n DFT as a convolution, evaluated with
@@ -105,26 +104,30 @@ fn transform(input: &[Complex], inverse: bool) -> Result<Vec<Complex>, FftError>
         })
         .collect();
     let mut a = vec![Complex::ZERO; m];
-    for k in 0..n {
-        a[k] = buf[k] * chirp[k];
+    for ((slot, x), c) in a.iter_mut().zip(buf.iter()).zip(chirp.iter()) {
+        *slot = *x * *c;
     }
     let mut b = vec![Complex::ZERO; m];
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        let c = chirp[k].conj();
-        b[k] = c;
-        b[m - k] = c;
+    if let (Some(slot), Some(c0)) = (b.first_mut(), chirp.first()) {
+        *slot = c0.conj();
     }
-    fft_pow2_in_place(&mut a, false);
-    fft_pow2_in_place(&mut b, false);
-    for k in 0..m {
-        a[k] = a[k] * b[k];
+    for (k, c) in chirp.iter().enumerate().skip(1) {
+        let cc = c.conj();
+        if let Some(slot) = b.get_mut(k) {
+            *slot = cc;
+        }
+        if let Some(slot) = b.get_mut(m - k) {
+            *slot = cc;
+        }
     }
-    fft_pow2_in_place(&mut a, true);
-    let mut out = Vec::with_capacity(n);
-    for k in 0..n {
-        out.push(a[k] * chirp[k]);
+    fft_pow2_in_place(&mut a, false)?;
+    fft_pow2_in_place(&mut b, false)?;
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x *= *y;
     }
+    fft_pow2_in_place(&mut a, true)?;
+    // zip with the chirp truncates back to the original length n.
+    let mut out: Vec<Complex> = a.iter().zip(chirp.iter()).map(|(x, c)| *x * *c).collect();
     if inverse {
         let scale = 1.0 / n as f64;
         for z in out.iter_mut() {
@@ -135,7 +138,8 @@ fn transform(input: &[Complex], inverse: bool) -> Result<Vec<Complex>, FftError>
 }
 
 /// FFT of a real signal; returns the full complex spectrum.
-pub fn fft_real(input: &[f64]) -> Result<Vec<Complex>, FftError> {
+#[must_use]
+pub fn fft_real(input: &[f64]) -> EcoResult<Vec<Complex>> {
     let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_re(x)).collect();
     fft(&buf)
 }
@@ -144,16 +148,17 @@ pub fn fft_real(input: &[f64]) -> Result<Vec<Complex>, FftError> {
 ///
 /// Returns `(frequencies_hz, power)` with `N/2 + 1` bins; the power is
 /// `|X[k]|²/N²` with the one-sided doubling applied to interior bins.
-pub fn power_spectrum(input: &[f64], fs_hz: f64) -> Result<(Vec<f64>, Vec<f64>), FftError> {
+#[must_use]
+pub fn power_spectrum(input: &[f64], fs_hz: f64) -> EcoResult<(Vec<f64>, Vec<f64>)> {
     let n = input.len();
     let spec = fft_real(input)?;
     let half = n / 2;
     let norm = 1.0 / (n as f64 * n as f64);
     let mut freqs = Vec::with_capacity(half + 1);
     let mut power = Vec::with_capacity(half + 1);
-    for k in 0..=half {
+    for (k, z) in spec.iter().take(half + 1).enumerate() {
         freqs.push(k as f64 * fs_hz / n as f64);
-        let mut p = spec[k].norm_sqr() * norm;
+        let mut p = z.norm_sqr() * norm;
         if k != 0 && !(n % 2 == 0 && k == half) {
             p *= 2.0;
         }
@@ -170,7 +175,7 @@ pub fn dominant_bin(freqs: &[f64], power: &[f64]) -> Option<(usize, f64, f64)> {
         .enumerate()
         .skip(1)
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, &p)| (i, freqs[i], p))
+        .and_then(|(i, &p)| freqs.get(i).map(|&f_hz| (i, f_hz, p)))
 }
 
 #[cfg(test)]
@@ -183,7 +188,19 @@ mod tests {
 
     #[test]
     fn empty_input_is_an_error() {
-        assert_eq!(fft(&[]).unwrap_err(), FftError::Empty);
+        assert_eq!(
+            fft(&[]).unwrap_err(),
+            EcoError::EmptyInput { what: "fft input" }
+        );
+    }
+
+    #[test]
+    fn non_pow2_in_place_is_an_error() {
+        let mut buf = vec![Complex::ZERO; 3];
+        assert!(matches!(
+            fft_pow2_in_place(&mut buf, false),
+            Err(EcoError::NotPowerOfTwo { len: 3, .. })
+        ));
     }
 
     #[test]
@@ -245,8 +262,7 @@ mod tests {
         for k in 0..n {
             let mut acc = Complex::ZERO;
             for (i, xi) in x.iter().enumerate() {
-                acc += *xi
-                    * Complex::cis(-2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64);
+                acc += *xi * Complex::cis(-2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64);
             }
             assert!(close(fast[k].re, acc.re, 1e-8), "bin {k}");
             assert!(close(fast[k].im, acc.im, 1e-8), "bin {k}");

@@ -27,13 +27,21 @@ impl Fir {
     /// `n_taps` is forced odd so the filter has integer group delay
     /// `(n_taps-1)/2`. Taps are normalized to unit DC gain.
     pub fn lowpass(fc_hz: f64, fs_hz: f64, n_taps: usize, window: Window) -> Self {
-        assert!(fs_hz > 0.0 && fc_hz > 0.0 && fc_hz < fs_hz / 2.0, "cutoff must be in (0, fs/2)");
-        let n = if n_taps % 2 == 0 { n_taps + 1 } else { n_taps.max(1) };
+        assert!(
+            fs_hz > 0.0 && fc_hz > 0.0 && fc_hz < fs_hz / 2.0,
+            "cutoff must be in (0, fs/2)"
+        );
+        let n = if n_taps % 2 == 0 {
+            n_taps + 1
+        } else {
+            n_taps.max(1)
+        };
         let fc = fc_hz / fs_hz; // normalized cycles/sample
         let mid = (n - 1) as f64 / 2.0;
         let mut taps: Vec<f64> = (0..n)
             .map(|i| {
                 let t = i as f64 - mid;
+                // lint:allow(no-float-eq) t = i - mid is exact; sinc singularity is the center tap only
                 let sinc = if t == 0.0 {
                     2.0 * fc
                 } else {
@@ -53,7 +61,10 @@ impl Fir {
     /// subtraction of two lowpass prototypes. Normalized to unit gain at
     /// the band center.
     pub fn bandpass(f_lo_hz: f64, f_hi_hz: f64, fs_hz: f64, n_taps: usize, window: Window) -> Self {
-        assert!(f_lo_hz > 0.0 && f_hi_hz > f_lo_hz && f_hi_hz < fs_hz / 2.0, "band must satisfy 0 < lo < hi < fs/2");
+        assert!(
+            f_lo_hz > 0.0 && f_hi_hz > f_lo_hz && f_hi_hz < fs_hz / 2.0,
+            "band must satisfy 0 < lo < hi < fs/2"
+        );
         let hi = Fir::lowpass(f_hi_hz, fs_hz, n_taps, window);
         let lo = Fir::lowpass(f_lo_hz, fs_hz, hi.taps.len(), window);
         let mut taps: Vec<f64> = hi
@@ -157,7 +168,10 @@ impl Biquad {
 
     /// RBJ lowpass at `fc_hz` with quality factor `q`.
     pub fn lowpass(fc_hz: f64, fs_hz: f64, q: f64) -> Self {
-        assert!(fc_hz > 0.0 && fc_hz < fs_hz / 2.0 && q > 0.0, "invalid lowpass parameters");
+        assert!(
+            fc_hz > 0.0 && fc_hz < fs_hz / 2.0 && q > 0.0,
+            "invalid lowpass parameters"
+        );
         let w0 = 2.0 * std::f64::consts::PI * fc_hz / fs_hz;
         let alpha = w0.sin() / (2.0 * q);
         let c = w0.cos();
@@ -173,7 +187,10 @@ impl Biquad {
 
     /// RBJ highpass at `fc_hz` with quality factor `q`.
     pub fn highpass(fc_hz: f64, fs_hz: f64, q: f64) -> Self {
-        assert!(fc_hz > 0.0 && fc_hz < fs_hz / 2.0 && q > 0.0, "invalid highpass parameters");
+        assert!(
+            fc_hz > 0.0 && fc_hz < fs_hz / 2.0 && q > 0.0,
+            "invalid highpass parameters"
+        );
         let w0 = 2.0 * std::f64::consts::PI * fc_hz / fs_hz;
         let alpha = w0.sin() / (2.0 * q);
         let c = w0.cos();
@@ -189,7 +206,10 @@ impl Biquad {
 
     /// RBJ bandpass (constant 0 dB peak gain) centered at `fc_hz`.
     pub fn bandpass(fc_hz: f64, fs_hz: f64, q: f64) -> Self {
-        assert!(fc_hz > 0.0 && fc_hz < fs_hz / 2.0 && q > 0.0, "invalid bandpass parameters");
+        assert!(
+            fc_hz > 0.0 && fc_hz < fs_hz / 2.0 && q > 0.0,
+            "invalid bandpass parameters"
+        );
         let w0 = 2.0 * std::f64::consts::PI * fc_hz / fs_hz;
         let alpha = w0.sin() / (2.0 * q);
         let c = w0.cos();
@@ -313,7 +333,10 @@ mod tests {
         assert_eq!(y.len(), x.len());
         // 50% crossing should happen within a few dozen samples of 2000.
         let cross = y.iter().position(|&v| v > 0.5).unwrap();
-        assert!((cross as i64 - 2000).unsigned_abs() < 40, "crossing at {cross}");
+        assert!(
+            (cross as i64 - 2000).unsigned_abs() < 40,
+            "crossing at {cross}"
+        );
     }
 
     #[test]

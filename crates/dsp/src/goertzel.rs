@@ -56,10 +56,7 @@ impl Goertzel {
 
     /// Complex DFT value at the tuned bin for the samples so far.
     pub fn dft_value(&self) -> Complex {
-        Complex::new(
-            self.s1 * self.cos_w - self.s2,
-            self.s1 * self.sin_w,
-        )
+        Complex::new(self.s1 * self.cos_w - self.s2, self.s1 * self.sin_w)
     }
 
     /// Power `|X|²` at the tuned bin.

@@ -28,6 +28,7 @@ pub mod complex;
 pub mod correlate;
 pub mod ddc;
 pub mod envelope;
+pub mod error;
 pub mod fft;
 pub mod filter;
 pub mod goertzel;
@@ -37,3 +38,4 @@ pub mod stats;
 pub mod window;
 
 pub use complex::Complex;
+pub use error::{EcoError, EcoResult};

@@ -68,6 +68,9 @@ mod tests {
 
     #[test]
     fn downsample_lengths() {
-        assert_eq!(downsample(&[1.0, 2.0, 3.0, 4.0, 5.0], 2), vec![1.0, 3.0, 5.0]);
+        assert_eq!(
+            downsample(&[1.0, 2.0, 3.0, 4.0, 5.0], 2),
+            vec![1.0, 3.0, 5.0]
+        );
     }
 }

@@ -5,6 +5,7 @@
 //! debugging a deteriorated channel wants a spectrogram, not a single
 //! spectrum. Used by the waveform-inspection experiments.
 
+use crate::error::{EcoError, EcoResult};
 use crate::fft;
 use crate::window::Window;
 
@@ -24,29 +25,44 @@ impl Spectrogram {
     /// the next power of two), `hop` samples between frames, and a Hann
     /// window.
     ///
-    /// Panics on zero `hop` or `frame_len`, or a non-positive rate.
-    pub fn compute(signal: &[f64], frame_len: usize, hop: usize, fs_hz: f64) -> Self {
-        assert!(frame_len > 0 && hop > 0, "frame and hop must be non-zero");
-        assert!(fs_hz > 0.0, "sample rate must be positive");
+    /// Errors on zero `hop` or `frame_len`, or a non-positive rate.
+    #[must_use]
+    pub fn compute(signal: &[f64], frame_len: usize, hop: usize, fs_hz: f64) -> EcoResult<Self> {
+        if frame_len == 0 {
+            return Err(EcoError::NonPositive {
+                what: "spectrogram frame_len",
+                value: 0.0,
+            });
+        }
+        if hop == 0 {
+            return Err(EcoError::NonPositive {
+                what: "spectrogram hop",
+                value: 0.0,
+            });
+        }
+        if fs_hz <= 0.0 {
+            return Err(EcoError::NonPositive {
+                what: "fs_hz",
+                value: fs_hz,
+            });
+        }
         let n = frame_len.next_power_of_two();
         let freqs_hz: Vec<f64> = (0..=n / 2).map(|k| k as f64 * fs_hz / n as f64).collect();
         let mut times_s = Vec::new();
         let mut power = Vec::new();
-        let mut start = 0usize;
-        while start + frame_len <= signal.len() {
-            let mut frame: Vec<f64> = signal[start..start + frame_len].to_vec();
+        for (i, win) in signal.windows(frame_len).step_by(hop).enumerate() {
+            let mut frame: Vec<f64> = win.to_vec();
             Window::Hann.apply(&mut frame);
             frame.resize(n, 0.0);
-            let (_, p) = fft::power_spectrum(&frame, fs_hz).expect("non-empty frame");
-            times_s.push(start as f64 / fs_hz);
+            let (_, p) = fft::power_spectrum(&frame, fs_hz)?;
+            times_s.push((i * hop) as f64 / fs_hz);
             power.push(p);
-            start += hop;
         }
-        Spectrogram {
+        Ok(Spectrogram {
             times_s,
             freqs_hz,
             power,
-        }
+        })
     }
 
     /// Number of frames.
@@ -96,7 +112,7 @@ mod tests {
                 (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin()
             })
             .collect();
-        let sg = Spectrogram::compute(&sig, 256, 128, fs);
+        let sg = Spectrogram::compute(&sig, 256, 128, fs).unwrap();
         let track = sg.frequency_track();
         assert!(track.len() > 20);
         // Early frames near 230 kHz, late frames near 180 kHz.
@@ -108,7 +124,7 @@ mod tests {
     #[test]
     fn frame_count_follows_hop() {
         let sig = vec![0.0; 1000];
-        let sg = Spectrogram::compute(&sig, 128, 64, 1e6);
+        let sg = Spectrogram::compute(&sig, 128, 64, 1e6).unwrap();
         assert_eq!(sg.frames(), (1000 - 128) / 64 + 1);
         assert_eq!(sg.times_s.len(), sg.frames());
     }
@@ -119,7 +135,7 @@ mod tests {
         let sig: Vec<f64> = (0..2048)
             .map(|i| (2.0 * std::f64::consts::PI * 230e3 * i as f64 / fs).sin())
             .collect();
-        let sg = Spectrogram::compute(&sig, 512, 512, fs);
+        let sg = Spectrogram::compute(&sig, 512, 512, fs).unwrap();
         let inband = sg.band_power(0, 220e3, 240e3).unwrap();
         let outband = sg.band_power(0, 100e3, 150e3).unwrap();
         assert!(inband > 100.0 * outband, "in {inband} out {outband}");
@@ -127,7 +143,7 @@ mod tests {
 
     #[test]
     fn short_signal_has_no_frames() {
-        let sg = Spectrogram::compute(&[0.0; 10], 128, 64, 1e6);
+        let sg = Spectrogram::compute(&[0.0; 10], 128, 64, 1e6).unwrap();
         assert_eq!(sg.frames(), 0);
         assert!(sg.frequency_track().is_empty());
     }

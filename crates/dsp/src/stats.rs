@@ -142,6 +142,7 @@ pub fn erfc(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     #[test]
@@ -209,6 +210,7 @@ mod tests {
         assert!((q_function(3.0) - 1.349_898e-3).abs() < 1e-6);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn variance_is_nonnegative(xs in proptest::collection::vec(-1e3f64..1e3, 0..100)) {

@@ -26,9 +26,7 @@ impl Window {
             Window::Rect => 1.0,
             Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
         }
     }
 
@@ -78,7 +76,12 @@ mod tests {
 
     #[test]
     fn length_one_window_is_unity() {
-        for win in [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman] {
+        for win in [
+            Window::Rect,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
             assert_eq!(win.build(1), vec![1.0]);
         }
     }

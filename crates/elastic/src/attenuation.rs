@@ -13,6 +13,8 @@
 //!   is longer in a narrow structure" — is exactly the spherical→
 //!   waveguide transition.
 
+use dsp::{EcoError, EcoResult};
+
 /// Frequency-power-law attenuation `α(f) = α₀·(f/f₀)^n` (Np/m).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerLawAttenuation {
@@ -26,20 +28,36 @@ pub struct PowerLawAttenuation {
 }
 
 impl PowerLawAttenuation {
-    /// Creates a power law. Panics on non-positive `alpha0` or `f0`.
-    pub fn new(alpha0_np_m: f64, f0_hz: f64, exponent: f64) -> Self {
-        assert!(alpha0_np_m >= 0.0, "attenuation must be non-negative");
-        assert!(f0_hz > 0.0, "reference frequency must be positive");
-        PowerLawAttenuation {
+    /// Creates a power law. Errors on negative `alpha0` or non-positive
+    /// `f0` (a negative attenuation would be amplification — always a
+    /// calibration bug, never physics).
+    #[must_use]
+    pub fn new(alpha0_np_m: f64, f0_hz: f64, exponent: f64) -> EcoResult<Self> {
+        if alpha0_np_m < 0.0 {
+            return Err(EcoError::OutOfRange {
+                what: "alpha0_np_m",
+                value: alpha0_np_m,
+                min: 0.0,
+                max: f64::INFINITY,
+            });
+        }
+        if f0_hz <= 0.0 {
+            return Err(EcoError::NonPositive {
+                what: "f0_hz",
+                value: f0_hz,
+            });
+        }
+        Ok(PowerLawAttenuation {
             alpha0_np_m,
             f0_hz,
             exponent,
-        }
+        })
     }
 
     /// Attenuation coefficient at `f_hz` in Np/m.
     pub fn alpha_np_m(&self, f_hz: f64) -> f64 {
         assert!(f_hz >= 0.0, "frequency must be non-negative");
+        // lint:allow(no-float-eq) exact DC guard: 0.0^n is ill-defined for n<0 paths, and only literal zero needs the shortcut
         if f_hz == 0.0 {
             return 0.0;
         }
@@ -79,7 +97,10 @@ impl Spreading {
     /// Amplitude factor at `distance_m` relative to the amplitude at
     /// `ref_m` (both must be positive; distances below `ref_m` clamp to 1).
     pub fn amplitude_factor(&self, distance_m: f64, ref_m: f64) -> f64 {
-        assert!(distance_m >= 0.0 && ref_m > 0.0, "invalid spreading distances");
+        assert!(
+            distance_m >= 0.0 && ref_m > 0.0,
+            "invalid spreading distances"
+        );
         if distance_m <= ref_m {
             return 1.0;
         }
@@ -105,24 +126,25 @@ pub fn path_amplitude_factor(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     #[test]
     fn alpha_grows_with_frequency() {
-        let law = PowerLawAttenuation::new(1.0, 100e3, 2.0);
+        let law = PowerLawAttenuation::new(1.0, 100e3, 2.0).unwrap();
         assert!(law.alpha_np_m(200e3) > law.alpha_np_m(100e3));
         assert!((law.alpha_np_m(200e3) - 4.0).abs() < 1e-12);
     }
 
     #[test]
     fn np_db_conversion() {
-        let law = PowerLawAttenuation::new(1.0, 100e3, 1.0);
+        let law = PowerLawAttenuation::new(1.0, 100e3, 1.0).unwrap();
         assert!((law.alpha_db_m(100e3) - 8.685889638).abs() < 1e-6);
     }
 
     #[test]
     fn zero_frequency_zero_alpha() {
-        let law = PowerLawAttenuation::new(1.0, 100e3, 1.5);
+        let law = PowerLawAttenuation::new(1.0, 100e3, 1.5).unwrap();
         assert_eq!(law.alpha_np_m(0.0), 0.0);
         assert_eq!(law.amplitude_factor(0.0, 100.0), 1.0);
     }
@@ -146,18 +168,19 @@ mod tests {
 
     #[test]
     fn combined_path_loss_composes() {
-        let law = PowerLawAttenuation::new(0.5, 230e3, 1.5);
+        let law = PowerLawAttenuation::new(0.5, 230e3, 1.5).unwrap();
         let f = path_amplitude_factor(&law, Spreading::Cylindrical, 230e3, 2.0, 0.1);
         let expected = (-0.5f64 * 2.0).exp() * (0.1f64 / 2.0).sqrt();
         assert!((f - expected).abs() < 1e-12);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn amplitude_factor_in_unit_interval(
             f in 1e3f64..1e6, d in 0.0f64..20.0, a0 in 0.0f64..5.0, n in 0.5f64..4.0
         ) {
-            let law = PowerLawAttenuation::new(a0, 230e3, n);
+            let law = PowerLawAttenuation::new(a0, 230e3, n).unwrap();
             let amp = law.amplitude_factor(f, d);
             prop_assert!((0.0..=1.0).contains(&amp));
         }
@@ -166,7 +189,7 @@ mod tests {
         fn farther_is_weaker(
             d1 in 0.2f64..10.0, extra in 0.1f64..10.0
         ) {
-            let law = PowerLawAttenuation::new(0.3, 230e3, 1.5);
+            let law = PowerLawAttenuation::new(0.3, 230e3, 1.5).unwrap();
             let a1 = path_amplitude_factor(&law, Spreading::Spherical, 230e3, d1, 0.1);
             let a2 = path_amplitude_factor(&law, Spreading::Spherical, 230e3, d1 + extra, 0.1);
             prop_assert!(a2 < a1);

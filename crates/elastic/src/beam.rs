@@ -13,7 +13,10 @@
 ///
 /// Panics on non-positive inputs.
 pub fn half_beam_angle(c_m_s: f64, f_hz: f64, d_m: f64) -> Option<f64> {
-    assert!(c_m_s > 0.0 && f_hz > 0.0 && d_m > 0.0, "piston parameters must be positive");
+    assert!(
+        c_m_s > 0.0 && f_hz > 0.0 && d_m > 0.0,
+        "piston parameters must be positive"
+    );
     let x = 0.514 * c_m_s / (f_hz * d_m);
     if x > 1.0 {
         None
@@ -28,7 +31,10 @@ pub fn half_beam_angle(c_m_s: f64, f_hz: f64, d_m: f64) -> Option<f64> {
 /// α ≈ 11° through a 15 cm wall): `V = (π/3)·h³·tan²α`.
 pub fn cone_volume_m3(alpha: f64, thickness_m: f64) -> f64 {
     assert!(thickness_m > 0.0, "invalid cone geometry");
-    assert!((0.0..std::f64::consts::FRAC_PI_2).contains(&alpha), "half angle must be in [0, 90°)");
+    assert!(
+        (0.0..std::f64::consts::FRAC_PI_2).contains(&alpha),
+        "half angle must be in [0, 90°)"
+    );
     let t = alpha.tan();
     std::f64::consts::PI / 3.0 * thickness_m.powi(3) * t * t
 }
@@ -36,7 +42,10 @@ pub fn cone_volume_m3(alpha: f64, thickness_m: f64) -> f64 {
 /// Far-field directivity of a baffled circular piston:
 /// `D(θ) = |2·J₁(k·a·sinθ) / (k·a·sinθ)|`, 1 on axis.
 pub fn piston_directivity(theta: f64, f_hz: f64, c_m_s: f64, d_m: f64) -> f64 {
-    assert!(c_m_s > 0.0 && f_hz > 0.0 && d_m > 0.0, "piston parameters must be positive");
+    assert!(
+        c_m_s > 0.0 && f_hz > 0.0 && d_m > 0.0,
+        "piston parameters must be positive"
+    );
     let k = 2.0 * std::f64::consts::PI * f_hz / c_m_s;
     let x = k * (d_m / 2.0) * theta.sin().abs();
     if x < 1e-9 {
@@ -54,10 +63,10 @@ pub fn bessel_j1(x: f64) -> f64 {
         let p1 = x
             * (72362614232.0
                 + y * (-7895059235.0
-                    + y * (242396853.1 + y * (-2972611.439 + y * (15704.48260 + y * -30.16036606)))));
+                    + y * (242396853.1
+                        + y * (-2972611.439 + y * (15704.48260 + y * -30.16036606)))));
         let p2 = 144725228442.0
-            + y * (2300535178.0
-                + y * (18583304.74 + y * (99447.43394 + y * (376.9991397 + y))));
+            + y * (2300535178.0 + y * (18583304.74 + y * (99447.43394 + y * (376.9991397 + y))));
         p1 / p2
     } else {
         let z = 8.0 / ax;
@@ -121,7 +130,10 @@ mod tests {
         assert!((bessel_j1(2.0) - 0.5767248078).abs() < 1e-7);
         assert!((bessel_j1(5.0) - (-0.3275791376)).abs() < 1e-7);
         assert!((bessel_j1(10.0) - 0.0434727462).abs() < 1e-7);
-        assert!((bessel_j1(-1.0) + 0.4400505857).abs() < 1e-7, "odd function");
+        assert!(
+            (bessel_j1(-1.0) + 0.4400505857).abs() < 1e-7,
+            "odd function"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ use dsp::Complex;
 ///
 /// Panics when both impedances are zero.
 pub fn normal_incidence_reflection(z1: f64, z2: f64) -> f64 {
-    assert!(z1 >= 0.0 && z2 >= 0.0 && z1 + z2 > 0.0, "impedances must be non-negative, not both zero");
+    assert!(
+        z1 >= 0.0 && z2 >= 0.0 && z1 + z2 > 0.0,
+        "impedances must be non-negative, not both zero"
+    );
     (z2 - z1) / (z2 + z1)
 }
 
@@ -116,7 +119,10 @@ impl SolidInterface {
     ///
     /// Panics if either medium is a fluid.
     pub fn new(upper: Material, lower: Material) -> Self {
-        assert!(upper.is_solid() && lower.is_solid(), "SolidInterface requires two solids");
+        assert!(
+            upper.is_solid() && lower.is_solid(),
+            "SolidInterface requires two solids"
+        );
         SolidInterface { upper, lower }
     }
 
@@ -129,8 +135,16 @@ impl SolidInterface {
             (0.0..std::f64::consts::FRAC_PI_2).contains(&theta_i),
             "incident angle must be in [0, 90°)"
         );
-        let (a1, b1, r1) = (self.upper.cp_m_s, self.upper.cs_m_s, self.upper.density_kg_m3);
-        let (a2, b2, r2) = (self.lower.cp_m_s, self.lower.cs_m_s, self.lower.density_kg_m3);
+        let (a1, b1, r1) = (
+            self.upper.cp_m_s,
+            self.upper.cs_m_s,
+            self.upper.density_kg_m3,
+        );
+        let (a2, b2, r2) = (
+            self.lower.cp_m_s,
+            self.lower.cs_m_s,
+            self.lower.density_kg_m3,
+        );
         let p = theta_i.sin() / a1; // ray parameter, s/m
 
         // Vertical slowness cos θ / c for each mode, complex past critical.
@@ -160,7 +174,8 @@ impl SolidInterface {
         let h = a - d * ci2 * cj1;
         let det = e * f + g * h * p2;
 
-        let refl_p = ((b * ci1 - c * ci2) * f - (a + d * ci1 * cj2) * h * Complex::from_re(p2)) / det;
+        let refl_p =
+            ((b * ci1 - c * ci2) * f - (a + d * ci1 * cj2) * h * Complex::from_re(p2)) / det;
         let refl_s = -(ci1 * (a * b + c * d * ci2 * cj2)).scale(2.0 * p * a1 / b1) / det;
         let trans_p = (ci1 * f).scale(2.0 * r1 * a1 / a2) / det;
         let trans_s = (ci1 * h).scale(2.0 * r1 * p * a1 / b2) / det;
@@ -199,8 +214,16 @@ impl SolidInterface {
             (0.0..std::f64::consts::FRAC_PI_2).contains(&theta_j),
             "incident angle must be in [0, 90°)"
         );
-        let (a1, b1, r1) = (self.upper.cp_m_s, self.upper.cs_m_s, self.upper.density_kg_m3);
-        let (a2, b2, r2) = (self.lower.cp_m_s, self.lower.cs_m_s, self.lower.density_kg_m3);
+        let (a1, b1, r1) = (
+            self.upper.cp_m_s,
+            self.upper.cs_m_s,
+            self.upper.density_kg_m3,
+        );
+        let (a2, b2, r2) = (
+            self.lower.cp_m_s,
+            self.lower.cs_m_s,
+            self.lower.density_kg_m3,
+        );
         let p = theta_j.sin() / b1; // ray parameter from the SV leg
 
         let vs = |c: f64| -> Complex {
@@ -227,7 +250,8 @@ impl SolidInterface {
 
         // Aki & Richards (5.36)-(5.39), incident SV.
         let refl_p = -(cj1 * (a * b + c * d * ci2 * cj2)).scale(2.0 * p * b1 / a1) / det;
-        let refl_s = -((b * cj1 - c * cj2) * e - (a + d * ci2 * cj1) * g * Complex::from_re(p2)) / det;
+        let refl_s =
+            -((b * cj1 - c * cj2) * e - (a + d * ci2 * cj1) * g * Complex::from_re(p2)) / det;
         let trans_p = -(cj1 * g).scale(2.0 * r1 * p * b1 / a2) / det;
         let trans_s = (cj1 * e).scale(2.0 * r1 * b1 / b2) / det;
 
@@ -312,10 +336,7 @@ mod tests {
         for deg in [0.0, 5.0, 10.0, 20.0, 30.0, 33.0] {
             let s = iface.incident_p((deg as f64).to_radians());
             let tot = s.energy_total();
-            assert!(
-                (tot - 1.0).abs() < 1e-6,
-                "energy at {deg}° sums to {tot}"
-            );
+            assert!((tot - 1.0).abs() < 1e-6, "energy at {deg}° sums to {tot}");
         }
     }
 
@@ -324,7 +345,11 @@ mod tests {
         let iface = pla_concrete();
         let s = iface.incident_p(40f64.to_radians());
         assert_eq!(s.energy_trans_p, 0.0);
-        assert!(s.energy_trans_s > 0.05, "S still carries energy: {}", s.energy_trans_s);
+        assert!(
+            s.energy_trans_s > 0.05,
+            "S still carries energy: {}",
+            s.energy_trans_s
+        );
     }
 
     #[test]
@@ -342,7 +367,11 @@ mod tests {
         let iface = pla_concrete();
         for deg in [40.0, 50.0, 60.0, 70.0] {
             let s = iface.incident_p((deg as f64).to_radians());
-            assert!(s.energy_trans_s > 0.02, "S energy at {deg}° = {}", s.energy_trans_s);
+            assert!(
+                s.energy_trans_s > 0.02,
+                "S energy at {deg}° = {}",
+                s.energy_trans_s
+            );
             assert_eq!(s.energy_trans_p, 0.0, "P must be gone at {deg}°");
         }
     }
@@ -353,7 +382,11 @@ mod tests {
         assert!(s.refl_s.abs() < 1e-12, "no reflected SV at 0°");
         assert!(s.trans_s.abs() < 1e-12, "no transmitted SV at 0°");
         // 2Z1/(Z1+Z2) ≈ 0.46 for PLA→concrete.
-        assert!(s.trans_p.abs() > 0.3, "P transmits at 0°: {}", s.trans_p.abs());
+        assert!(
+            s.trans_p.abs() > 0.3,
+            "P transmits at 0°: {}",
+            s.trans_p.abs()
+        );
     }
 
     #[test]
@@ -438,7 +471,11 @@ mod tests {
     #[test]
     fn incident_sv_mode_converts_at_oblique_angles() {
         let s = pla_concrete().incident_sv(10f64.to_radians());
-        assert!(s.energy_trans_p > 0.0, "SV→P conversion: {}", s.energy_trans_p);
+        assert!(
+            s.energy_trans_p > 0.0,
+            "SV→P conversion: {}",
+            s.energy_trans_p
+        );
         assert!(s.energy_refl_p > 0.0);
     }
 }

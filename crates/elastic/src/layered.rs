@@ -52,12 +52,7 @@ impl ThinLayer {
     /// The paper's glue bond: a 0.5 mm adhesive line between two concrete
     /// faces.
     pub fn paper_glue_bond() -> Self {
-        ThinLayer::new(
-            Material::CONCRETE_REF,
-            GLUE,
-            Material::CONCRETE_REF,
-            0.5e-3,
-        )
+        ThinLayer::new(Material::CONCRETE_REF, GLUE, Material::CONCRETE_REF, 0.5e-3)
     }
 
     /// Intensity (energy) transmission coefficient at `f_hz`.
@@ -117,8 +112,14 @@ mod tests {
 
     #[test]
     fn thicker_bond_line_loses_more() {
-        let thin = ThinLayer { thickness_m: 0.3e-3, ..ThinLayer::paper_glue_bond() };
-        let thick = ThinLayer { thickness_m: 1.5e-3, ..ThinLayer::paper_glue_bond() };
+        let thin = ThinLayer {
+            thickness_m: 0.3e-3,
+            ..ThinLayer::paper_glue_bond()
+        };
+        let thick = ThinLayer {
+            thickness_m: 1.5e-3,
+            ..ThinLayer::paper_glue_bond()
+        };
         assert!(thick.excess_energy_loss(230e3) > thin.excess_energy_loss(230e3));
     }
 
@@ -158,8 +159,14 @@ mod tests {
         let f = 230e3;
         let glue = ThinLayer::paper_glue_bond();
         let half_wave = 2.0 * glue.quarter_wave_thickness_m(f);
-        let bond = ThinLayer { thickness_m: half_wave, ..glue };
-        let contact = ThinLayer { thickness_m: 0.0, ..glue };
+        let bond = ThinLayer {
+            thickness_m: half_wave,
+            ..glue
+        };
+        let contact = ThinLayer {
+            thickness_m: 0.0,
+            ..glue
+        };
         assert!(
             (bond.energy_transmission(f) - contact.energy_transmission(f)).abs() < 1e-9,
             "half-wave layer must be invisible"

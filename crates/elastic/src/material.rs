@@ -88,7 +88,10 @@ impl Material {
     pub fn from_engineering(name: &'static str, e_pa: f64, nu: f64, density_kg_m3: f64) -> Self {
         assert!(e_pa > 0.0, "Young's modulus must be positive");
         assert!(density_kg_m3 > 0.0, "density must be positive");
-        assert!(nu > -1.0 && nu < 0.5, "Poisson's ratio must be in (-1, 0.5)");
+        assert!(
+            nu > -1.0 && nu < 0.5,
+            "Poisson's ratio must be in (-1, 0.5)"
+        );
         let lambda = e_pa * nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
         let mu = e_pa / (2.0 * (1.0 + nu));
         Material::from_lame(name, lambda, mu, density_kg_m3)
@@ -99,7 +102,10 @@ impl Material {
     /// Panics if `μ < 0`, `λ + 2μ <= 0` or `density <= 0`.
     pub fn from_lame(name: &'static str, lambda_pa: f64, mu_pa: f64, density_kg_m3: f64) -> Self {
         assert!(mu_pa >= 0.0, "shear modulus must be non-negative");
-        assert!(lambda_pa + 2.0 * mu_pa > 0.0, "P-wave modulus must be positive");
+        assert!(
+            lambda_pa + 2.0 * mu_pa > 0.0,
+            "P-wave modulus must be positive"
+        );
         assert!(density_kg_m3 > 0.0, "density must be positive");
         Material {
             name,
@@ -113,7 +119,10 @@ impl Material {
     ///
     /// Panics on non-positive arguments.
     pub fn fluid(name: &'static str, sound_speed_m_s: f64, density_kg_m3: f64) -> Self {
-        assert!(sound_speed_m_s > 0.0 && density_kg_m3 > 0.0, "fluid parameters must be positive");
+        assert!(
+            sound_speed_m_s > 0.0 && density_kg_m3 > 0.0,
+            "fluid parameters must be positive"
+        );
         Material {
             name,
             density_kg_m3,
@@ -198,6 +207,7 @@ impl std::fmt::Display for WaveMode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     #[test]
@@ -264,6 +274,7 @@ mod tests {
         let _ = Material::from_engineering("bad", 1e9, 0.5, 1000.0);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn cp_always_exceeds_cs(e in 1e9f64..100e9, nu in 0.01f64..0.45, rho in 500f64..8000.0) {

@@ -11,7 +11,7 @@
 
 use crate::interface::SolidInterface;
 use crate::material::Material;
-use crate::snell;
+use crate::snell::{self, Refraction};
 
 /// A wedge prism coupling a piston source into a solid at a fixed
 /// incident angle.
@@ -65,7 +65,10 @@ impl Prism {
     /// Builds a prism. Both media must be solids; the incident angle must
     /// be in `[0°, 90°)`.
     pub fn new(material: Material, target: Material, incident_angle: f64) -> Self {
-        assert!(material.is_solid() && target.is_solid(), "prism and target must be solids");
+        assert!(
+            material.is_solid() && target.is_solid(),
+            "prism and target must be solids"
+        );
         assert!(
             (0.0..std::f64::consts::FRAC_PI_2).contains(&incident_angle),
             "incident angle must be in [0°, 90°)"
@@ -84,7 +87,11 @@ impl Prism {
 
     /// The S-only incidence window `[CA1, CA2]` in radians.
     pub fn s_only_window(&self) -> Option<(f64, f64)> {
+        // Material velocities are positive constants, so the only Err
+        // path (non-positive velocity) cannot occur; fold it into None.
         snell::s_only_window(self.material.cp_m_s, &self.target)
+            .ok()
+            .flatten()
     }
 
     /// Analyzes the injection at the configured incident angle.
@@ -115,7 +122,8 @@ impl Prism {
                 &self.target,
                 crate::material::WaveMode::S,
             )
-            .angle(),
+            .ok()
+            .and_then(Refraction::angle),
             purity: if total > 0.0 { energy_s / total } else { 0.0 },
         }
     }
@@ -155,11 +163,26 @@ mod tests {
     #[test]
     fn regimes_partition_the_angle_axis() {
         let p = Prism::paper_default();
-        assert_eq!(p.inject_at(15f64.to_radians()).regime, InjectionRegime::DualMode);
-        assert_eq!(p.inject_at(30f64.to_radians()).regime, InjectionRegime::DualMode);
-        assert_eq!(p.inject_at(50f64.to_radians()).regime, InjectionRegime::SOnly);
-        assert_eq!(p.inject_at(70f64.to_radians()).regime, InjectionRegime::SOnly);
-        assert_eq!(p.inject_at(80f64.to_radians()).regime, InjectionRegime::None);
+        assert_eq!(
+            p.inject_at(15f64.to_radians()).regime,
+            InjectionRegime::DualMode
+        );
+        assert_eq!(
+            p.inject_at(30f64.to_radians()).regime,
+            InjectionRegime::DualMode
+        );
+        assert_eq!(
+            p.inject_at(50f64.to_radians()).regime,
+            InjectionRegime::SOnly
+        );
+        assert_eq!(
+            p.inject_at(70f64.to_radians()).regime,
+            InjectionRegime::SOnly
+        );
+        assert_eq!(
+            p.inject_at(80f64.to_radians()).regime,
+            InjectionRegime::None
+        );
     }
 
     #[test]
@@ -174,7 +197,11 @@ mod tests {
     fn purity_below_window_is_partial() {
         let p = Prism::paper_default();
         let inj = p.inject_at(20f64.to_radians());
-        assert!(inj.purity > 0.0 && inj.purity < 1.0, "purity {}", inj.purity);
+        assert!(
+            inj.purity > 0.0 && inj.purity < 1.0,
+            "purity {}",
+            inj.purity
+        );
     }
 
     #[test]

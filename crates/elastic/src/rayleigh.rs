@@ -64,8 +64,8 @@ pub fn surface_wave_depth_factor(m: &Material, f_hz: f64, depth_m: f64) -> f64 {
     let Some(cr) = rayleigh_speed_m_s(m) else {
         return 0.0;
     };
-    let wavelength = cr / f_hz;
-    (-depth_m / wavelength).exp()
+    let wavelength_m = cr / f_hz;
+    (-depth_m / wavelength_m).exp()
 }
 
 #[cfg(test)]

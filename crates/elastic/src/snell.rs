@@ -7,6 +7,7 @@
 //! leaving a pure S-wave in the concrete — the prism's entire trick.
 
 use crate::material::{Material, WaveMode};
+use dsp::{EcoError, EcoResult};
 
 /// Outcome of refracting into a given mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,57 +37,93 @@ impl Refraction {
 }
 
 /// Refraction angle of `mode` in `into`, for a wave arriving from a medium
-/// with phase velocity `c_incident_m_s` at `theta_i` radians from normal.
+/// with phase velocity `c_incident_m_s` at `theta_i_rad` radians from
+/// normal.
 ///
-/// Panics if `c_incident_m_s <= 0` or `theta_i ∉ [0, π/2]`.
-pub fn refract(c_incident_m_s: f64, theta_i: f64, into: &Material, mode: WaveMode) -> Refraction {
-    assert!(c_incident_m_s > 0.0, "incident velocity must be positive");
-    assert!(
-        (0.0..=std::f64::consts::FRAC_PI_2).contains(&theta_i),
-        "incident angle must be in [0, 90°]"
-    );
+/// Errors if `c_incident_m_s <= 0` or `theta_i_rad ∉ [0, π/2]`.
+#[must_use]
+pub fn refract(
+    c_incident_m_s: f64,
+    theta_i_rad: f64,
+    into: &Material,
+    mode: WaveMode,
+) -> EcoResult<Refraction> {
+    if c_incident_m_s <= 0.0 {
+        return Err(EcoError::NonPositive {
+            what: "incident velocity c_incident_m_s",
+            value: c_incident_m_s,
+        });
+    }
+    if !(0.0..=std::f64::consts::FRAC_PI_2).contains(&theta_i_rad) {
+        return Err(EcoError::OutOfRange {
+            what: "incident angle theta_i_rad",
+            value: theta_i_rad,
+            min: 0.0,
+            max: std::f64::consts::FRAC_PI_2,
+        });
+    }
     let Some(c_t) = into.velocity(mode) else {
-        return Refraction::Unsupported;
+        return Ok(Refraction::Unsupported);
     };
-    let s = theta_i.sin() * c_t / c_incident_m_s;
-    if s > 1.0 {
+    let s = theta_i_rad.sin() * c_t / c_incident_m_s;
+    Ok(if s > 1.0 {
         Refraction::Evanescent
     } else {
         Refraction::Propagating(s.asin())
-    }
+    })
 }
 
 /// Critical incident angle (radians) above which `mode` in `into` becomes
-/// evanescent. `None` when the transmitted mode is slower than the
-/// incident wave (no critical angle) or unsupported.
-pub fn critical_angle(c_incident_m_s: f64, into: &Material, mode: WaveMode) -> Option<f64> {
-    assert!(c_incident_m_s > 0.0, "incident velocity must be positive");
-    let c_t = into.velocity(mode)?;
-    if c_t <= c_incident_m_s {
+/// evanescent. `Ok(None)` when the transmitted mode is slower than the
+/// incident wave (no critical angle) or unsupported; errors on a
+/// non-positive incident velocity.
+#[must_use]
+pub fn critical_angle(
+    c_incident_m_s: f64,
+    into: &Material,
+    mode: WaveMode,
+) -> EcoResult<Option<f64>> {
+    if c_incident_m_s <= 0.0 {
+        return Err(EcoError::NonPositive {
+            what: "incident velocity c_incident_m_s",
+            value: c_incident_m_s,
+        });
+    }
+    let Some(c_t) = into.velocity(mode) else {
+        return Ok(None);
+    };
+    Ok(if c_t <= c_incident_m_s {
         None
     } else {
         Some((c_incident_m_s / c_t).asin())
-    }
+    })
 }
 
 /// The S-only incidence window `[first critical angle, second critical
 /// angle]` for a P-wave entering `into` from a medium with longitudinal
 /// velocity `c_incident_m_s` (paper §3.2: ≈ [34°, 73°] for PLA→concrete).
 ///
-/// `None` when no such window exists (e.g. incident medium faster than the
-/// target's P velocity, or the target is a fluid).
-pub fn s_only_window(c_incident_m_s: f64, into: &Material) -> Option<(f64, f64)> {
-    let ca1 = critical_angle(c_incident_m_s, into, WaveMode::P)?;
-    let ca2 = critical_angle(c_incident_m_s, into, WaveMode::S)?;
+/// `Ok(None)` when no such window exists (e.g. incident medium faster
+/// than the target's P velocity, or the target is a fluid); errors on a
+/// non-positive incident velocity.
+#[must_use]
+pub fn s_only_window(c_incident_m_s: f64, into: &Material) -> EcoResult<Option<(f64, f64)>> {
+    let Some(ca1) = critical_angle(c_incident_m_s, into, WaveMode::P)? else {
+        return Ok(None);
+    };
+    let Some(ca2) = critical_angle(c_incident_m_s, into, WaveMode::S)? else {
+        return Ok(None);
+    };
     if ca2 <= ca1 {
-        return None;
+        return Ok(None);
     }
-    Some((ca1, ca2))
+    Ok(Some((ca1, ca2)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     const PLA: Material = Material::PLA;
@@ -94,72 +131,117 @@ mod tests {
 
     #[test]
     fn paper_critical_window() {
-        let (ca1, ca2) = s_only_window(PLA.cp_m_s, &CON).unwrap();
-        assert!((ca1.to_degrees() - 34.0).abs() < 1.0, "CA1 {}", ca1.to_degrees());
-        assert!((ca2.to_degrees() - 73.0).abs() < 2.0, "CA2 {}", ca2.to_degrees());
+        let (ca1, ca2) = s_only_window(PLA.cp_m_s, &CON).unwrap().unwrap();
+        assert!(
+            (ca1.to_degrees() - 34.0).abs() < 1.0,
+            "CA1 {}",
+            ca1.to_degrees()
+        );
+        assert!(
+            (ca2.to_degrees() - 73.0).abs() < 2.0,
+            "CA2 {}",
+            ca2.to_degrees()
+        );
     }
 
     #[test]
     fn refracted_p_angle_exceeds_s_angle() {
         // Eqn 3: C_p > C_s ⇒ θ_p > θ_s.
         let theta_i = 20f64.to_radians();
-        let p = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::P).angle().unwrap();
-        let s = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::S).angle().unwrap();
+        let p = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::P)
+            .unwrap()
+            .angle()
+            .unwrap();
+        let s = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::S)
+            .unwrap()
+            .angle()
+            .unwrap();
         assert!(p > s, "θp={} θs={}", p.to_degrees(), s.to_degrees());
     }
 
     #[test]
     fn normal_incidence_does_not_refract() {
-        let p = refract(PLA.cp_m_s, 0.0, &CON, WaveMode::P).angle().unwrap();
+        let p = refract(PLA.cp_m_s, 0.0, &CON, WaveMode::P)
+            .unwrap()
+            .angle()
+            .unwrap();
         assert_eq!(p, 0.0);
     }
 
     #[test]
     fn beyond_first_critical_angle_p_is_evanescent_s_propagates() {
         let theta = 45f64.to_radians();
-        assert_eq!(refract(PLA.cp_m_s, theta, &CON, WaveMode::P), Refraction::Evanescent);
-        assert!(refract(PLA.cp_m_s, theta, &CON, WaveMode::S).is_propagating());
+        assert_eq!(
+            refract(PLA.cp_m_s, theta, &CON, WaveMode::P).unwrap(),
+            Refraction::Evanescent
+        );
+        assert!(refract(PLA.cp_m_s, theta, &CON, WaveMode::S)
+            .unwrap()
+            .is_propagating());
     }
 
     #[test]
     fn beyond_second_critical_angle_nothing_propagates() {
         let theta = 80f64.to_radians();
-        assert_eq!(refract(PLA.cp_m_s, theta, &CON, WaveMode::P), Refraction::Evanescent);
-        assert_eq!(refract(PLA.cp_m_s, theta, &CON, WaveMode::S), Refraction::Evanescent);
+        assert_eq!(
+            refract(PLA.cp_m_s, theta, &CON, WaveMode::P).unwrap(),
+            Refraction::Evanescent
+        );
+        assert_eq!(
+            refract(PLA.cp_m_s, theta, &CON, WaveMode::S).unwrap(),
+            Refraction::Evanescent
+        );
     }
 
     #[test]
     fn s_into_fluid_is_unsupported() {
         assert_eq!(
-            refract(CON.cp_m_s, 0.3, &Material::WATER, WaveMode::S),
+            refract(CON.cp_m_s, 0.3, &Material::WATER, WaveMode::S).unwrap(),
             Refraction::Unsupported
         );
-        assert_eq!(critical_angle(1000.0, &Material::WATER, WaveMode::S), None);
+        assert_eq!(
+            critical_angle(1000.0, &Material::WATER, WaveMode::S).unwrap(),
+            None
+        );
     }
 
     #[test]
     fn no_critical_angle_into_slower_medium() {
         // Concrete → PLA: transmitted modes are slower, always propagating.
-        assert_eq!(critical_angle(CON.cp_m_s, &PLA, WaveMode::P), None);
-        assert!(s_only_window(CON.cp_m_s, &PLA).is_none());
+        assert_eq!(critical_angle(CON.cp_m_s, &PLA, WaveMode::P).unwrap(), None);
+        assert!(s_only_window(CON.cp_m_s, &PLA).unwrap().is_none());
     }
 
+    #[test]
+    fn degenerate_queries_are_typed_errors() {
+        // Former asserts: non-positive velocity and out-of-range incidence.
+        assert!(refract(0.0, 0.3, &CON, WaveMode::P).is_err());
+        assert!(refract(PLA.cp_m_s, -0.1, &CON, WaveMode::P).is_err());
+        assert!(matches!(
+            refract(PLA.cp_m_s, 2.0, &CON, WaveMode::P),
+            Err(EcoError::OutOfRange { value, .. }) if value == 2.0
+        ));
+        assert!(critical_angle(-1.0, &CON, WaveMode::S).is_err());
+        assert!(s_only_window(0.0, &CON).is_err());
+    }
+
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn snell_invariant_holds(theta_deg in 0.0f64..33.0) {
             // Below CA1 both modes propagate; sinθ/c must be conserved.
             let theta_i = theta_deg.to_radians();
             let inv = theta_i.sin() / PLA.cp_m_s;
-            let p = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::P).angle().unwrap();
-            let s = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::S).angle().unwrap();
+            let p = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::P).unwrap().angle().unwrap();
+            let s = refract(PLA.cp_m_s, theta_i, &CON, WaveMode::S).unwrap().angle().unwrap();
             prop_assert!((p.sin() / CON.cp_m_s - inv).abs() < 1e-12);
             prop_assert!((s.sin() / CON.cs_m_s - inv).abs() < 1e-12);
         }
 
         #[test]
         fn refraction_angle_monotone_in_incidence(a in 1.0f64..30.0, d in 0.5f64..3.0) {
-            let t1 = refract(PLA.cp_m_s, a.to_radians(), &CON, WaveMode::S).angle().unwrap();
-            let t2 = refract(PLA.cp_m_s, (a + d).to_radians(), &CON, WaveMode::S).angle().unwrap();
+            let t1 = refract(PLA.cp_m_s, a.to_radians(), &CON, WaveMode::S).unwrap().angle().unwrap();
+            let t2 = refract(PLA.cp_m_s, (a + d).to_radians(), &CON, WaveMode::S).unwrap().angle().unwrap();
             prop_assert!(t2 > t1);
         }
     }

@@ -36,7 +36,10 @@ pub const STORE_SWING_J: f64 = 0.5 * 10e-6 * (3.3 * 3.3 - 1.9 * 1.9);
 /// Plans operation for a node harvesting `harvested_w` watts that wants
 /// to transmit at `bitrate_bps` during bursts.
 pub fn plan(harvested_w: f64, bitrate_bps: f64) -> OperatingPlan {
-    assert!(harvested_w >= 0.0 && bitrate_bps > 0.0, "invalid plan query");
+    assert!(
+        harvested_w >= 0.0 && bitrate_bps > 0.0,
+        "invalid plan query"
+    );
     let active_w = PowerModel.consumption_w(bitrate_bps);
     if harvested_w >= active_w {
         return OperatingPlan::Continuous;
@@ -178,7 +181,10 @@ mod tests {
         let OperatingPlan::DutyCycled { charge_s, burst_s } = p else {
             panic!("expected duty cycle, got {p:?}");
         };
-        assert!(charge_s > burst_s, "charging dominates: {charge_s} vs {burst_s}");
+        assert!(
+            charge_s > burst_s,
+            "charging dominates: {charge_s} vs {burst_s}"
+        );
         // Still useful: at least a few readings an hour.
         let rate = readings_per_hour(p, 18e-6);
         assert!(rate > 10.0, "readings/hour {rate}");

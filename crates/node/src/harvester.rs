@@ -206,7 +206,10 @@ mod tests {
         let trace = h.simulate_store(&envelope, 1e-5);
         let after_charge = (100e-3 / 1e-5) as usize;
         for &(t, v) in &trace[after_charge..] {
-            assert!(v > LDO_OUTPUT_V + LDO_DROPOUT_V, "brown-out at t={t}: {v} V");
+            assert!(
+                v > LDO_OUTPUT_V + LDO_DROPOUT_V,
+                "brown-out at t={t}: {v} V"
+            );
         }
     }
 }

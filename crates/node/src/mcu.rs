@@ -65,6 +65,7 @@ impl TimerDecoder {
     /// The full firmware receive path: true edge intervals (from the
     /// level shifter) → timer capture (quantization + clock skew) →
     /// PIE classification → bits.
+    #[must_use]
     pub fn decode_edges(&self, edges: &[(f64, bool)]) -> Result<Vec<bool>, PieError> {
         let captures: Vec<(u32, bool)> = edges
             .iter()

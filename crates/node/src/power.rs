@@ -40,6 +40,7 @@ impl PowerModel {
     /// tiny slope from the switch toggling energy (CV² per transition).
     pub fn consumption_w(&self, bitrate_bps: f64) -> f64 {
         assert!(bitrate_bps >= 0.0, "bitrate must be non-negative");
+        // lint:allow(no-float-eq) exact 0 bps is Fig 13's standby sentinel, not a computed rate
         if bitrate_bps == 0.0 {
             return STANDBY_W;
         }
@@ -87,8 +88,16 @@ mod tests {
     fn fig13_active_plateau_is_flat_around_360_uw() {
         let p1 = PowerModel.consumption_w(1e3);
         let p8 = PowerModel.consumption_w(8e3);
-        assert!((p1 - 360e-6).abs() / 360e-6 < 0.02, "1 kbps: {} µW", p1 * 1e6);
-        assert!((p8 - 360e-6).abs() / 360e-6 < 0.02, "8 kbps: {} µW", p8 * 1e6);
+        assert!(
+            (p1 - 360e-6).abs() / 360e-6 < 0.02,
+            "1 kbps: {} µW",
+            p1 * 1e6
+        );
+        assert!(
+            (p8 - 360e-6).abs() / 360e-6 < 0.02,
+            "8 kbps: {} µW",
+            p8 * 1e6
+        );
         // "fluctuates ... slightly regardless of the bitrate".
         assert!((p8 - p1) / p1 < 0.01);
     }
@@ -110,6 +119,9 @@ mod tests {
         let m = PowerModel;
         assert_eq!(m.max_bitrate_bps(50e-6), None, "below standby");
         assert_eq!(m.max_bitrate_bps(100e-6), Some(0.0), "standby only");
-        assert!(m.max_bitrate_bps(400e-6).unwrap() > 8e3, "active with margin");
+        assert!(
+            m.max_bitrate_bps(400e-6).unwrap() > 8e3,
+            "active with margin"
+        );
     }
 }

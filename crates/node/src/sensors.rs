@@ -110,6 +110,7 @@ impl Accelerometer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     #[test]
@@ -161,6 +162,7 @@ mod tests {
         assert!((back - x).abs() < 1e-4);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn strain_roundtrip_random(eps_ue in -3000.0f64..3000.0) {

@@ -90,8 +90,14 @@ impl Shell {
 
     /// Creates a shell. Panics on non-positive geometry or `t ≥ r`.
     pub fn new(material: ShellMaterial, radius_m: f64, thickness_m: f64) -> Self {
-        assert!(radius_m > 0.0 && thickness_m > 0.0, "geometry must be positive");
-        assert!(thickness_m < radius_m, "wall must be thinner than the radius");
+        assert!(
+            radius_m > 0.0 && thickness_m > 0.0,
+            "geometry must be positive"
+        );
+        assert!(
+            thickness_m < radius_m,
+            "wall must be thinner than the radius"
+        );
         Shell {
             material,
             radius_m,
@@ -167,7 +173,11 @@ mod tests {
     fn paper_resin_dp_max_is_4_3_mpa() {
         // §4.1: "ΔP_max ≈ 4.3 MPa" for the printed resin shell.
         let dp = Shell::paper_resin().dp_max_pa();
-        assert!((dp - 4.3e6).abs() / 4.3e6 < 0.10, "resin ΔP_max = {} MPa", dp / 1e6);
+        assert!(
+            (dp - 4.3e6).abs() / 4.3e6 < 0.10,
+            "resin ΔP_max = {} MPa",
+            dp / 1e6
+        );
     }
 
     #[test]
@@ -181,7 +191,11 @@ mod tests {
     fn paper_steel_dp_max_is_115_mpa() {
         // §4.1: "ΔP_max ≈ 115.2 MPa for the shell made from alloy steel".
         let dp = Shell::paper_steel().dp_max_pa();
-        assert!((dp - 115.2e6).abs() / 115.2e6 < 0.05, "steel ΔP_max = {} MPa", dp / 1e6);
+        assert!(
+            (dp - 115.2e6).abs() / 115.2e6 < 0.05,
+            "steel ΔP_max = {} MPa",
+            dp / 1e6
+        );
     }
 
     #[test]
@@ -204,7 +218,11 @@ mod tests {
     fn eqn4_depth_pressure() {
         // ΔP = ρgh − P_air; at 195 m and ρ = 2300 → ≈ 4.3 MPa.
         let dp = Shell::dp_at_depth_pa(195.0, 2300.0);
-        assert!((dp - 4.3e6).abs() / 4.3e6 < 0.03, "ΔP(195 m) = {} MPa", dp / 1e6);
+        assert!(
+            (dp - 4.3e6).abs() / 4.3e6 < 0.03,
+            "ΔP(195 m) = {} MPa",
+            dp / 1e6
+        );
         // Near the surface the net inward pressure clamps at 0.
         assert_eq!(Shell::dp_at_depth_pa(1.0, 2300.0), 0.0);
     }

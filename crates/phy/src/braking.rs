@@ -14,6 +14,7 @@
 //! error, while FSK needs no per-deployment calibration at all.
 
 use crate::pzt::{measure_tail_s, Pzt};
+use dsp::{EcoError, EcoResult};
 
 /// A braking configuration: an anti-phase burst appended to the drive.
 #[derive(Debug, Clone, Copy)]
@@ -42,13 +43,29 @@ impl BrakingConfig {
 /// Synthesizes an OOK burst (on `on_s`, then off) with a braking burst
 /// and returns the transducer's response. `f0_hz` is both the drive tone
 /// and the transducer resonance. The record is `total_s` long.
+///
+/// Errors on a non-positive `on_s` or a record shorter than the burst.
+#[must_use]
 pub fn braked_burst_response(
     pzt: &Pzt,
     cfg: &BrakingConfig,
     on_s: f64,
     total_s: f64,
-) -> Vec<f64> {
-    assert!(on_s > 0.0 && total_s > on_s, "invalid burst timing");
+) -> EcoResult<Vec<f64>> {
+    if on_s <= 0.0 {
+        return Err(EcoError::NonPositive {
+            what: "burst duration on_s",
+            value: on_s,
+        });
+    }
+    if total_s <= on_s {
+        return Err(EcoError::OutOfRange {
+            what: "record length total_s",
+            value: total_s,
+            min: on_s,
+            max: f64::INFINITY,
+        });
+    }
     let fs = pzt.fs_hz;
     let n = (total_s * fs) as usize;
     let n_on = (on_s * fs) as usize;
@@ -67,18 +84,20 @@ pub fn braked_burst_response(
             }
         })
         .collect();
-    pzt.respond(&drive)
+    Ok(pzt.respond(&drive))
 }
 
 /// Residual tail (s) after the high edge for a braking configuration —
 /// the metric the ablation sweeps over timing/amplitude error.
-pub fn braked_tail_s(pzt: &Pzt, cfg: &BrakingConfig, on_s: f64) -> Option<f64> {
+/// `Ok(None)` when the response never settles inside the record.
+#[must_use]
+pub fn braked_tail_s(pzt: &Pzt, cfg: &BrakingConfig, on_s: f64) -> EcoResult<Option<f64>> {
     let total = on_s + 10.0 * pzt.ring_down_time_s(0.05);
-    let y = braked_burst_response(pzt, cfg, on_s, total);
+    let y = braked_burst_response(pzt, cfg, on_s, total)?;
     // Measure from the end of the braking burst (its own drive counts as
     // intentional, not tail).
     let brake_end_s = (on_s + cfg.timing_error_s).max(0.0) + cfg.duration_s;
-    measure_tail_s(&y, brake_end_s.max(on_s), 0.05, pzt.fs_hz)
+    Ok(measure_tail_s(&y, brake_end_s.max(on_s), 0.05, pzt.fs_hz))
 }
 
 #[cfg(test)]
@@ -93,7 +112,7 @@ mod tests {
     fn calibrated_braking_beats_no_braking() {
         let p = pzt();
         let cfg = BrakingConfig::calibrated(&p);
-        let braked = braked_tail_s(&p, &cfg, 0.5e-3).unwrap();
+        let braked = braked_tail_s(&p, &cfg, 0.5e-3).unwrap().unwrap();
         let unbraked = braked_tail_s(
             &p,
             &BrakingConfig {
@@ -103,6 +122,7 @@ mod tests {
             },
             0.5e-3,
         )
+        .unwrap()
         .unwrap();
         assert!(
             braked < 0.5 * unbraked,
@@ -115,7 +135,9 @@ mod tests {
         // §3.3: "braking too early or too late" fails. A brake delayed by
         // the full ring-down time arrives after the tail it should cancel.
         let p = pzt();
-        let good = braked_tail_s(&p, &BrakingConfig::calibrated(&p), 0.5e-3).unwrap();
+        let good = braked_tail_s(&p, &BrakingConfig::calibrated(&p), 0.5e-3)
+            .unwrap()
+            .unwrap();
         let late = braked_tail_s(
             &p,
             &BrakingConfig {
@@ -124,6 +146,7 @@ mod tests {
             },
             0.5e-3,
         )
+        .unwrap()
         .unwrap();
         assert!(late > 1.5 * good, "late {late} vs calibrated {good}");
     }
@@ -133,7 +156,9 @@ mod tests {
         // "braking too high … raises the beginning of the low-voltage
         // edge": a 3× overdriven brake injects a new oscillation.
         let p = pzt();
-        let good = braked_tail_s(&p, &BrakingConfig::calibrated(&p), 0.5e-3).unwrap();
+        let good = braked_tail_s(&p, &BrakingConfig::calibrated(&p), 0.5e-3)
+            .unwrap()
+            .unwrap();
         let over = braked_tail_s(
             &p,
             &BrakingConfig {
@@ -142,6 +167,7 @@ mod tests {
             },
             0.5e-3,
         )
+        .unwrap()
         .unwrap();
         assert!(over > good, "overdriven {over} vs calibrated {good}");
     }
@@ -152,9 +178,27 @@ mod tests {
         // a meaningful tail increase. (FSK has no such parameter at all.)
         let p = pzt();
         let cal = BrakingConfig::calibrated(&p);
-        let good = braked_tail_s(&p, &cal, 0.5e-3).unwrap();
-        let lo = braked_tail_s(&p, &BrakingConfig { amplitude: cal.amplitude * 0.6, ..cal }, 0.5e-3).unwrap();
-        let hi = braked_tail_s(&p, &BrakingConfig { amplitude: cal.amplitude * 1.4, ..cal }, 0.5e-3).unwrap();
+        let good = braked_tail_s(&p, &cal, 0.5e-3).unwrap().unwrap();
+        let lo = braked_tail_s(
+            &p,
+            &BrakingConfig {
+                amplitude: cal.amplitude * 0.6,
+                ..cal
+            },
+            0.5e-3,
+        )
+        .unwrap()
+        .unwrap();
+        let hi = braked_tail_s(
+            &p,
+            &BrakingConfig {
+                amplitude: cal.amplitude * 1.4,
+                ..cal
+            },
+            0.5e-3,
+        )
+        .unwrap()
+        .unwrap();
         assert!(
             lo > good || hi > good,
             "a mis-set brake must be worse: good {good}, lo {lo}, hi {hi}"

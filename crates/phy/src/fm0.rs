@@ -30,7 +30,11 @@ impl Fm0 {
     pub fn for_bitrate(bitrate_bps: f64, fs_hz: f64) -> Self {
         assert!(bitrate_bps > 0.0 && fs_hz > 0.0, "rates must be positive");
         let sps = (fs_hz / bitrate_bps).round() as usize;
-        Fm0::new(if sps % 2 == 0 { sps.max(2) } else { (sps + 1).max(2) })
+        Fm0::new(if sps % 2 == 0 {
+            sps.max(2)
+        } else {
+            (sps + 1).max(2)
+        })
     }
 
     /// Encodes bits into a ±1 baseband. The level starts at `+1` before
@@ -123,6 +127,7 @@ pub const PREAMBLE_BITS: [bool; 6] = [true, false, true, false, true, true];
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -144,7 +149,11 @@ mod tests {
         for k in 1..bits.len() {
             let before = bb[k * 8 - 1];
             let after = bb[k * 8];
-            assert_ne!(before.signum(), after.signum(), "no transition at boundary {k}");
+            assert_ne!(
+                before.signum(),
+                after.signum(),
+                "no transition at boundary {k}"
+            );
         }
     }
 
@@ -172,7 +181,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let bits: Vec<bool> = (0..2000).map(|_| rng.gen_bool(0.5)).collect();
         let clean = fm0.encode(&bits);
-        let noisy: Vec<f64> = clean.iter().map(|&x| x + rng.gen_range(-2.2..2.2)).collect();
+        let noisy: Vec<f64> = clean
+            .iter()
+            .map(|&x| x + rng.gen_range(-2.2..2.2))
+            .collect();
         let ml_err = fm0
             .decode_ml(&noisy)
             .iter()
@@ -210,6 +222,7 @@ mod tests {
         let _ = Fm0::new(9);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn roundtrip_random(bits in proptest::collection::vec(any::<bool>(), 0..300)) {

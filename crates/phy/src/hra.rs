@@ -58,7 +58,10 @@ impl HelmholtzResonator {
     /// Solves Eqn 5 for the cavity volume that puts the resonance at
     /// `target_hz`, keeping this resonator's neck geometry.
     pub fn design_for(&self, target_hz: f64, cs_m_s: f64) -> HelmholtzResonator {
-        assert!(target_hz > 0.0 && cs_m_s > 0.0, "design parameters must be positive");
+        assert!(
+            target_hz > 0.0 && cs_m_s > 0.0,
+            "design parameters must be positive"
+        );
         let w = 2.0 * std::f64::consts::PI * target_hz / cs_m_s;
         let vc = 3.0 * self.neck_area_m2 / (4.0 * self.neck_length_m * w * w);
         HelmholtzResonator {

@@ -114,6 +114,7 @@ impl Miller {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -182,6 +183,7 @@ mod tests {
         let _ = Miller::new(3, 1);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn roundtrip_random(bits in proptest::collection::vec(any::<bool>(), 0..200)) {

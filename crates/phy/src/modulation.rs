@@ -35,9 +35,15 @@ pub fn synthesize_drive(
     carrier_hz: f64,
     fs_hz: f64,
 ) -> Vec<f64> {
-    assert!(carrier_hz > 0.0 && fs_hz > 0.0, "frequencies must be positive");
+    assert!(
+        carrier_hz > 0.0 && fs_hz > 0.0,
+        "frequencies must be positive"
+    );
     if let DownlinkScheme::FskInOokOut { off_hz } = scheme {
-        assert!(off_hz > 0.0 && off_hz < fs_hz / 2.0, "off tone must be in (0, fs/2)");
+        assert!(
+            off_hz > 0.0 && off_hz < fs_hz / 2.0,
+            "off tone must be in (0, fs/2)"
+        );
     }
     let mut out = Vec::new();
     let mut phase = 0.0f64;
@@ -64,7 +70,10 @@ pub fn synthesize_drive(
 /// the reader emits for wireless charging and as the uplink's
 /// backscatter carrier (§3.2).
 pub fn synthesize_cbw(carrier_hz: f64, duration_s: f64, fs_hz: f64) -> Vec<f64> {
-    assert!(carrier_hz > 0.0 && fs_hz > 0.0 && duration_s >= 0.0, "invalid CBW parameters");
+    assert!(
+        carrier_hz > 0.0 && fs_hz > 0.0 && duration_s >= 0.0,
+        "invalid CBW parameters"
+    );
     let n = (duration_s * fs_hz).round() as usize;
     let dphi = 2.0 * std::f64::consts::PI * carrier_hz / fs_hz;
     (0..n).map(|i| (dphi * i as f64).sin()).collect()

@@ -40,7 +40,10 @@ impl std::fmt::Display for PieError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PieError::AmbiguousInterval { tari_units } => {
-                write!(f, "high interval of {tari_units:.2} tari matches no PIE symbol")
+                write!(
+                    f,
+                    "high interval of {tari_units:.2} tari matches no PIE symbol"
+                )
             }
             PieError::Truncated => write!(f, "PIE stream truncated mid-symbol"),
         }
@@ -92,6 +95,7 @@ impl Pie {
     /// Decodes segments back into bits. Tolerates ±35% interval error —
     /// the margin the MCU's timer-interrupt measurement needs under ring
     /// residue.
+    #[must_use]
     pub fn decode(&self, segments: &[Segment]) -> Result<Vec<bool>, PieError> {
         let mut bits = Vec::new();
         let mut iter = segments.iter().peekable();
@@ -182,6 +186,7 @@ pub fn segments_from_bools(samples: &[bool], fs_hz: f64) -> Vec<Segment> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     #[test]
@@ -232,8 +237,14 @@ mod tests {
     fn decode_rejects_garbage_interval() {
         let pie = Pie::new(100e-6);
         let segs = [
-            Segment { duration_s: 200e-6, high: true }, // 2 tari: neither 1 nor 3
-            Segment { duration_s: 100e-6, high: false },
+            Segment {
+                duration_s: 200e-6,
+                high: true,
+            }, // 2 tari: neither 1 nor 3
+            Segment {
+                duration_s: 100e-6,
+                high: false,
+            },
         ];
         assert!(matches!(
             pie.decode(&segs),
@@ -244,7 +255,10 @@ mod tests {
     #[test]
     fn decode_detects_truncation() {
         let pie = Pie::new(100e-6);
-        let segs = [Segment { duration_s: 100e-6, high: true }];
+        let segs = [Segment {
+            duration_s: 100e-6,
+            high: true,
+        }];
         assert_eq!(pie.decode(&segs), Err(PieError::Truncated));
     }
 
@@ -260,6 +274,7 @@ mod tests {
         assert_eq!(pie.decode(&recovered).unwrap(), bits);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn roundtrip_random(bits in proptest::collection::vec(any::<bool>(), 0..200)) {

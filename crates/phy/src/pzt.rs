@@ -34,7 +34,10 @@ impl Pzt {
     /// Creates a transducer. Panics on non-positive parameters or if the
     /// resonance is above Nyquist.
     pub fn new(f0_hz: f64, q: f64, fs_hz: f64) -> Self {
-        assert!(f0_hz > 0.0 && q > 0.0 && fs_hz > 0.0, "PZT parameters must be positive");
+        assert!(
+            f0_hz > 0.0 && q > 0.0 && fs_hz > 0.0,
+            "PZT parameters must be positive"
+        );
         assert!(f0_hz < fs_hz / 2.0, "resonance must be below Nyquist");
         Pzt { f0_hz, q, fs_hz }
     }
@@ -44,7 +47,10 @@ impl Pzt {
     ///
     /// Panics unless `fraction ∈ (0, 1)`.
     pub fn ring_down_time_s(&self, fraction: f64) -> f64 {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1)"
+        );
         let w0 = 2.0 * std::f64::consts::PI * self.f0_hz;
         2.0 * self.q * (1.0 / fraction).ln() / w0
     }
@@ -77,7 +83,10 @@ impl Pzt {
 /// just before `t_off_s`). Returns `None` if it never decays below the
 /// threshold within the record.
 pub fn measure_tail_s(signal: &[f64], t_off_s: f64, threshold: f64, fs_hz: f64) -> Option<f64> {
-    assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0,1)");
+    assert!(
+        threshold > 0.0 && threshold < 1.0,
+        "threshold must be in (0,1)"
+    );
     assert!(fs_hz > 0.0, "sample rate must be positive");
     let off = (t_off_s * fs_hz) as usize;
     if off >= signal.len() {
@@ -86,7 +95,9 @@ pub fn measure_tail_s(signal: &[f64], t_off_s: f64, threshold: f64, fs_hz: f64) 
     // Envelope reference: peak over the cycle before turn-off.
     let cycle = (fs_hz / 10e3) as usize; // generous window (≥ one carrier cycle)
     let start = off.saturating_sub(cycle);
-    let ref_amp = signal[start..off].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    let ref_amp = signal[start..off]
+        .iter()
+        .fold(0.0f64, |m, &x| m.max(x.abs()));
     if ref_amp <= 0.0 {
         return Some(0.0);
     }
@@ -129,7 +140,9 @@ mod tests {
     fn resonant_drive_reaches_unit_gain() {
         let pzt = Pzt::reader_disc(FS);
         let y = pzt.respond(&burst_drive(230e3, 2e-3, 2e-3));
-        let peak = y[(1.5e-3 * FS) as usize..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let peak = y[(1.5e-3 * FS) as usize..]
+            .iter()
+            .fold(0.0f64, |m, &x| m.max(x.abs()));
         assert!((peak - 1.0).abs() < 0.05, "steady-state peak {peak}");
     }
 
@@ -137,10 +150,15 @@ mod tests {
     fn off_resonant_drive_is_suppressed() {
         let pzt = Pzt::reader_disc(FS);
         let y = pzt.respond(&burst_drive(180e3, 2e-3, 2e-3));
-        let peak = y[(1.5e-3 * FS) as usize..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let peak = y[(1.5e-3 * FS) as usize..]
+            .iter()
+            .fold(0.0f64, |m, &x| m.max(x.abs()));
         let expected = pzt.magnitude_at(180e3);
         assert!(peak < 0.2, "off-resonance response {peak}");
-        assert!((peak - expected).abs() < 0.05, "matches closed form {expected}");
+        assert!(
+            (peak - expected).abs() < 0.05,
+            "matches closed form {expected}"
+        );
     }
 
     #[test]
@@ -150,7 +168,11 @@ mod tests {
         let pzt = Pzt::reader_disc(FS);
         let y = pzt.respond(&burst_drive(230e3, 0.5e-3, 1.5e-3));
         let tail = measure_tail_s(&y, 0.5e-3, 0.05, FS).expect("decays in record");
-        assert!((0.15e-3..0.5e-3).contains(&tail), "tail = {} ms", tail * 1e3);
+        assert!(
+            (0.15e-3..0.5e-3).contains(&tail),
+            "tail = {} ms",
+            tail * 1e3
+        );
     }
 
     #[test]

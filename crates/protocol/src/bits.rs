@@ -21,7 +21,10 @@ impl BitWriter {
     pub fn push_bits(&mut self, value: u64, width: u8) -> &mut Self {
         assert!(width <= 64, "width must be <= 64");
         if width < 64 {
-            assert!(value < (1u64 << width), "value {value} exceeds {width} bits");
+            assert!(
+                value < (1u64 << width),
+                "value {value} exceeds {width} bits"
+            );
         }
         for i in (0..width).rev() {
             self.bits.push((value >> i) & 1 == 1);
@@ -82,6 +85,7 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `width` bits MSB-first.
+    #[must_use]
     pub fn read_bits(&mut self, width: u8) -> Result<u64, OutOfBits> {
         assert!(width <= 64, "width must be <= 64");
         if self.pos + width as usize > self.bits.len() {
@@ -96,6 +100,7 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads one bit.
+    #[must_use]
     pub fn read_bit(&mut self) -> Result<bool, OutOfBits> {
         if self.pos >= self.bits.len() {
             return Err(OutOfBits);
@@ -134,6 +139,7 @@ pub fn to_bytes(bits: &[bool]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     #[test]
@@ -171,6 +177,7 @@ mod tests {
         assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn arbitrary_roundtrip(v in 0u64..u64::MAX, w in 1u8..=64) {

@@ -53,6 +53,7 @@ pub fn crc16_check(bits_with_crc: &[bool]) -> bool {
 mod tests {
     use super::*;
     use crate::bits::BitWriter;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     fn bits_of(value: u64, width: u8) -> Vec<bool> {
@@ -108,6 +109,7 @@ mod tests {
         assert!(!crc16_check(&[true; 8]));
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn crc16_roundtrip_random(payload in proptest::collection::vec(any::<bool>(), 1..256)) {

@@ -158,7 +158,9 @@ impl Command {
             Command::Query { q, session } => {
                 assert!(q <= 15, "q must be <= 15");
                 assert!(session <= 3, "session must be <= 3");
-                w.push_bits(OP_QUERY, 4).push_bits(q as u64, 4).push_bits(session as u64, 2);
+                w.push_bits(OP_QUERY, 4)
+                    .push_bits(q as u64, 4)
+                    .push_bits(session as u64, 2);
             }
             Command::QueryRep => {
                 w.push_bits(OP_QUERY_REP, 4);
@@ -172,7 +174,10 @@ impl Command {
             Command::SetBlf { offset_100hz } => {
                 w.push_bits(OP_SET_BLF, 4).push_bits(offset_100hz as u64, 8);
             }
-            Command::Select { prefix, prefix_bits } => {
+            Command::Select {
+                prefix,
+                prefix_bits,
+            } => {
                 assert!(prefix_bits <= 32, "prefix_bits must be <= 32");
                 w.push_bits(OP_SELECT, 4)
                     .push_bits(prefix_bits as u64, 6)
@@ -185,13 +190,14 @@ impl Command {
     }
 
     /// Parses a command frame, verifying CRC-5.
+    #[must_use]
     pub fn decode(bits: &[bool]) -> Result<Command, FrameError> {
         if bits.len() < 9 {
             return Err(FrameError::Truncated);
         }
         let (body, crc_bits) = bits.split_at(bits.len() - 5);
         let mut r = BitReader::new(crc_bits);
-        let rx_crc = r.read_bits(5).unwrap() as u8;
+        let rx_crc = r.read_bits(5).map_err(|_| FrameError::Truncated)? as u8;
         if crc5(body) != rx_crc {
             return Err(FrameError::BadCrc);
         }
@@ -255,6 +261,7 @@ impl Reply {
     }
 
     /// Parses a reply frame, verifying CRC-16.
+    #[must_use]
     pub fn decode(bits: &[bool]) -> Result<Reply, FrameError> {
         if bits.len() < 18 {
             return Err(FrameError::Truncated);
@@ -289,6 +296,7 @@ impl Reply {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     #[test]
@@ -297,10 +305,18 @@ mod tests {
             Command::Query { q: 3, session: 1 },
             Command::QueryRep,
             Command::Ack { rn16: 0xBEEF },
-            Command::ReadSensor { kind: SensorKind::Strain },
+            Command::ReadSensor {
+                kind: SensorKind::Strain,
+            },
             Command::SetBlf { offset_100hz: 30 },
-            Command::Select { prefix: 0xABCD_0000, prefix_bits: 16 },
-            Command::Select { prefix: 0, prefix_bits: 0 },
+            Command::Select {
+                prefix: 0xABCD_0000,
+                prefix_bits: 16,
+            },
+            Command::Select {
+                prefix: 0,
+                prefix_bits: 0,
+            },
         ];
         for c in cmds {
             let bits = c.encode();
@@ -313,7 +329,10 @@ mod tests {
         let replies = [
             Reply::Rn16 { rn16: 0x1234 },
             Reply::NodeId { id: 0xDEADBEEF },
-            Reply::SensorData { kind: SensorKind::Humidity, raw: 789 },
+            Reply::SensorData {
+                kind: SensorKind::Humidity,
+                raw: 789,
+            },
         ];
         for r in replies {
             let bits = r.encode();
@@ -347,6 +366,7 @@ mod tests {
         let _ = Command::Query { q: 16, session: 0 }.encode();
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn query_roundtrip(q in 0u8..=15, session in 0u8..=3) {

@@ -120,7 +120,10 @@ impl NodeProtocol {
                 }
                 None
             }
-            Command::Select { prefix, prefix_bits } => {
+            Command::Select {
+                prefix,
+                prefix_bits,
+            } => {
                 self.selected = if prefix_bits == 0 {
                     true
                 } else {
@@ -172,9 +175,9 @@ pub fn run_round<R: Rng>(nodes: &mut [NodeProtocol], q: u8, rng: &mut R) -> Roun
     let mut pending: Vec<(usize, u16)> = Vec::new(); // (node index, rn16)
 
     let collect = |replies: Vec<(usize, Reply)>,
-                       nodes: &mut [NodeProtocol],
-                       report: &mut RoundReport,
-                       rng: &mut R| {
+                   nodes: &mut [NodeProtocol],
+                   report: &mut RoundReport,
+                   rng: &mut R| {
         match replies.len() {
             0 => report.empty_slots += 1,
             1 => {
@@ -388,7 +391,10 @@ mod tests {
         let data = read_sensor(&mut node, SensorKind::Strain, || 321, &mut rng);
         assert_eq!(
             data,
-            Some(Reply::SensorData { kind: SensorKind::Strain, raw: 321 })
+            Some(Reply::SensorData {
+                kind: SensorKind::Strain,
+                raw: 321
+            })
         );
     }
 
@@ -397,7 +403,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut node = NodeProtocol::new(7);
         assert_eq!(
-            node.on_command(&Command::ReadSensor { kind: SensorKind::Humidity }, &mut rng),
+            node.on_command(
+                &Command::ReadSensor {
+                    kind: SensorKind::Humidity
+                },
+                &mut rng
+            ),
             None
         );
     }
@@ -414,7 +425,10 @@ mod tests {
             }
         };
         let wrong = rn16.wrapping_add(1);
-        assert_eq!(node.on_command(&Command::Ack { rn16: wrong }, &mut rng), None);
+        assert_eq!(
+            node.on_command(&Command::Ack { rn16: wrong }, &mut rng),
+            None
+        );
         assert_eq!(node.state, NodeState::Ready);
     }
 
@@ -519,7 +533,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let mut node = NodeProtocol::new(0xB000_0001);
         node.on_command(
-            &Command::Select { prefix: 0xA000_0000, prefix_bits: 16 },
+            &Command::Select {
+                prefix: 0xA000_0000,
+                prefix_bits: 16,
+            },
             &mut rng,
         );
         assert!(!node.selected);
@@ -528,7 +545,13 @@ mod tests {
             None,
             "deselected node stays silent"
         );
-        node.on_command(&Command::Select { prefix: 0, prefix_bits: 0 }, &mut rng);
+        node.on_command(
+            &Command::Select {
+                prefix: 0,
+                prefix_bits: 0,
+            },
+            &mut rng,
+        );
         assert!(node.selected);
     }
 
@@ -537,7 +560,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let mut a = NodeProtocol::new(0xDEADBEEF);
         let mut b = NodeProtocol::new(0xDEADBEEE);
-        let select = Command::Select { prefix: 0xDEADBEEF, prefix_bits: 32 };
+        let select = Command::Select {
+            prefix: 0xDEADBEEF,
+            prefix_bits: 32,
+        };
         a.on_command(&select, &mut rng);
         b.on_command(&select, &mut rng);
         assert!(a.selected);

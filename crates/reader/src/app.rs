@@ -24,7 +24,7 @@ pub struct ReaderSession {
     /// Uplink channel parameters.
     pub uplink: UplinkConfig,
     /// TX drive voltage (V).
-    pub tx_voltage: f64,
+    pub tx_voltage_v: f64,
     /// Uplink bitrate (bps).
     pub uplink_bitrate: f64,
     /// RX noise sigma (V) added to captures.
@@ -42,7 +42,7 @@ impl ReaderSession {
                 delay_s: 0.0,
                 ..UplinkConfig::paper_default()
             },
-            tx_voltage: 100.0,
+            tx_voltage_v: 100.0,
             uplink_bitrate: 1000.0,
             noise_sigma: 0.002,
         }
@@ -55,6 +55,7 @@ impl ReaderSession {
     ///    self-interference and noise and decoded by the RX chain.
     ///
     /// Returns `Ok(None)` when the node (correctly) stays silent.
+    #[must_use]
     pub fn transact<R: Rng>(
         &self,
         capsule: &mut EcoCapsule,
@@ -168,6 +169,7 @@ impl ReaderSession {
 
     /// Reads one sensor from an acknowledged capsule, returning the
     /// decoded physical value.
+    #[must_use]
     pub fn read_sensor<R: Rng>(
         &self,
         capsule: &mut EcoCapsule,
@@ -219,7 +221,12 @@ mod tests {
         // Query until the capsule picks slot 0.
         let rn16 = loop {
             match session
-                .transact(&mut capsule, &Command::Query { q: 0, session: 0 }, &env, &mut rng)
+                .transact(
+                    &mut capsule,
+                    &Command::Query { q: 0, session: 0 },
+                    &env,
+                    &mut rng,
+                )
                 .unwrap()
             {
                 Some(Reply::Rn16 { rn16 }) => break rn16,
@@ -244,7 +251,12 @@ mod tests {
         // Acknowledge first.
         let rn16 = loop {
             if let Some(Reply::Rn16 { rn16 }) = session
-                .transact(&mut capsule, &Command::Query { q: 0, session: 0 }, &env, &mut rng)
+                .transact(
+                    &mut capsule,
+                    &Command::Query { q: 0, session: 0 },
+                    &env,
+                    &mut rng,
+                )
                 .unwrap()
             {
                 break rn16;
@@ -267,7 +279,12 @@ mod tests {
         let env = Environment::default();
         let mut capsule = EcoCapsule::new(9); // never harvested
         let out = session
-            .transact(&mut capsule, &Command::Query { q: 0, session: 0 }, &env, &mut rng)
+            .transact(
+                &mut capsule,
+                &Command::Query { q: 0, session: 0 },
+                &env,
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(out, None);
     }

@@ -68,6 +68,7 @@ impl Receiver {
     /// Extracts the zero-mean backscatter baseband from a capture:
     /// carrier estimation → downconversion to magnitude → DC (leak)
     /// removal.
+    #[must_use]
     pub fn extract_baseband(&self, capture: &Capture) -> Result<Vec<f64>, RxError> {
         let carrier =
             ddc::estimate_carrier_hz(&capture.samples, capture.fs_hz).ok_or(RxError::NoCarrier)?;
@@ -88,6 +89,7 @@ impl Receiver {
     /// Decodes a framed uplink reply from a capture: preamble sync (both
     /// polarities — the backscatter phase is unknown) then ML FM0 and
     /// frame parsing.
+    #[must_use]
     pub fn decode_reply(&self, capture: &Capture) -> Result<Reply, RxError> {
         let baseband = self.extract_baseband(capture)?;
         let fm0 = Fm0::for_bitrate(self.bitrate_bps, capture.fs_hz);
@@ -123,24 +125,32 @@ impl Receiver {
     /// Measured SNR (dB) of the backscatter baseband in a capture: the
     /// ratio of modulation power to residual noise, estimated by
     /// comparing the baseband against its ideal re-modulated fit.
+    #[must_use]
     pub fn measure_baseband_snr_db(&self, capture: &Capture) -> Result<f64, RxError> {
         let baseband = self.extract_baseband(capture)?;
         let fm0 = Fm0::for_bitrate(self.bitrate_bps, capture.fs_hz);
         // Sync to the preamble so the unmodulated lead/tail don't count
         // as "noise" against the re-modulated fit.
         let pre_wave = fm0.encode(&PREAMBLE_BITS);
-        let (lag, score) = correlate::best_match(&baseband, &pre_wave).ok_or(RxError::NoPreamble)?;
+        let (lag, score) =
+            correlate::best_match(&baseband, &pre_wave).ok_or(RxError::NoPreamble)?;
         if score.abs() < 0.3 {
             return Err(RxError::NoPreamble);
         }
-        let baseband: Vec<f64> = baseband[lag..].iter().map(|&x| x * score.signum()).collect();
+        let baseband: Vec<f64> = baseband[lag..]
+            .iter()
+            .map(|&x| x * score.signum())
+            .collect();
         let bits = fm0.decode_ml(&baseband);
         if bits.is_empty() {
             return Err(RxError::NoPreamble);
         }
         let ideal = fm0.encode(&bits);
         // Trim the trailing unmodulated tail (≈3 bits) from the fit.
-        let n = ideal.len().min(baseband.len()).saturating_sub(3 * fm0.samples_per_bit());
+        let n = ideal
+            .len()
+            .min(baseband.len())
+            .saturating_sub(3 * fm0.samples_per_bit());
         if n == 0 {
             return Err(RxError::NoPreamble);
         }
@@ -203,11 +213,7 @@ pub fn simulate_fm0_ber<R: Rng>(snr_db: f64, n_bits: usize, rng: &mut R) -> f64 
             *x += channel::noise::gaussian(rng) * sigma;
         }
         let decoded = fm0.decode_ml(&wave);
-        errors += decoded
-            .iter()
-            .zip(&bits)
-            .filter(|(a, b)| a != b)
-            .count();
+        errors += decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
         sent += n;
     }
     errors as f64 / sent as f64
@@ -225,7 +231,10 @@ pub fn ecocapsule_snr_vs_bitrate_db(bitrate_bps: f64) -> f64 {
 /// thermal slope, and a `−10·log10(1/(1−u))` band-exhaustion penalty
 /// where `u = bitrate / band_limit`. Returns `−∞` past the band limit.
 pub fn snr_vs_bitrate_db(bitrate_bps: f64, base_db_at_1k: f64, band_limit_bps: f64) -> f64 {
-    assert!(bitrate_bps > 0.0 && band_limit_bps > 0.0, "rates must be positive");
+    assert!(
+        bitrate_bps > 0.0 && band_limit_bps > 0.0,
+        "rates must be positive"
+    );
     let u = bitrate_bps / band_limit_bps;
     if u >= 1.0 {
         return f64::NEG_INFINITY;
@@ -326,7 +335,10 @@ mod tests {
         assert!(ber_2 > 0.005, "BER(2 dB) = {ber_2}");
         // Monotone decreasing.
         let ber_5 = simulate_fm0_ber(5.0, 40_000, &mut rng);
-        assert!(ber_2 > ber_5 && ber_5 > ber_8, "{ber_2} > {ber_5} > {ber_8}");
+        assert!(
+            ber_2 > ber_5 && ber_5 > ber_8,
+            "{ber_2} > {ber_5} > {ber_8}"
+        );
     }
 
     #[test]
@@ -336,7 +348,10 @@ mod tests {
         assert!((15.0..19.0).contains(&at_1k), "1 kbps: {at_1k}");
         let at_13k = ecocapsule_snr_vs_bitrate_db(13e3);
         assert!(at_13k < 3.5, "13 kbps: {at_13k}");
-        assert!(at_13k > -3.0, "13 kbps should still be near-decodable: {at_13k}");
+        assert!(
+            at_13k > -3.0,
+            "13 kbps should still be near-decodable: {at_13k}"
+        );
         assert_eq!(ecocapsule_snr_vs_bitrate_db(18.5e3), f64::NEG_INFINITY);
     }
 

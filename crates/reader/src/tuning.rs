@@ -33,8 +33,16 @@ pub struct TuningResult {
 /// Scans `span_hz` around the block's nominal resonant carrier in
 /// `step_hz` steps, scoring each candidate through `defects`, and picks
 /// the best. `span_hz` is the full width (e.g. 40 kHz probes ±20 kHz).
-pub fn fine_tune(block: &Block, defects: &DefectChannel, span_hz: f64, step_hz: f64) -> TuningResult {
-    assert!(span_hz > 0.0 && step_hz > 0.0 && step_hz <= span_hz, "invalid scan grid");
+pub fn fine_tune(
+    block: &Block,
+    defects: &DefectChannel,
+    span_hz: f64,
+    step_hz: f64,
+) -> TuningResult {
+    assert!(
+        span_hz > 0.0 && step_hz > 0.0 && step_hz <= span_hz,
+        "invalid scan grid"
+    );
     let nominal = block.mix.resonant_frequency_hz();
     let score = |f: f64| block.transducer_pair_response(f) * defects.amplitude_factor(f);
     let mut probes = Vec::new();
@@ -44,7 +52,10 @@ pub fn fine_tune(block: &Block, defects: &DefectChannel, span_hz: f64, step_hz: 
     };
     let mut f = nominal - span_hz / 2.0;
     while f <= nominal + span_hz / 2.0 + 1e-9 {
-        let p = ProbePoint { f_hz: f, gain: score(f) };
+        let p = ProbePoint {
+            f_hz: f,
+            gain: score(f),
+        };
         if p.gain > best.gain {
             best = p;
         }
@@ -78,7 +89,11 @@ mod tests {
         let pristine = DefectChannel::pristine(1.0, cs());
         let r = fine_tune(&b, &pristine, 40e3, 1e3);
         // Best is within a step of the nominal resonance; improvement ≈ 0.
-        assert!((r.best_hz - b.mix.resonant_frequency_hz()).abs() <= 1.5e3, "moved to {}", r.best_hz);
+        assert!(
+            (r.best_hz - b.mix.resonant_frequency_hz()).abs() <= 1.5e3,
+            "moved to {}",
+            r.best_hz
+        );
         assert!(r.improvement_db < 0.2, "improvement {}", r.improvement_db);
     }
 

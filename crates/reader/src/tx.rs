@@ -90,7 +90,9 @@ impl Transmitter {
         let segments = self.pie.encode(&cmd.encode());
         let drive = synthesize_drive(
             &segments,
-            DownlinkScheme::FskInOokOut { off_hz: self.off_hz },
+            DownlinkScheme::FskInOokOut {
+                off_hz: self.off_hz,
+            },
             self.carrier_hz,
             self.fs_hz,
         );

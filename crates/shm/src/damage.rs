@@ -159,12 +159,17 @@ mod tests {
     #[test]
     fn compressive_drift_also_flags() {
         let h = history(365, |t| -90e-6 * t / YEAR_S);
-        assert!(matches!(strain_drift(&h, 50.0), DriftVerdict::Drifting { ue_per_year } if ue_per_year < 0.0));
+        assert!(
+            matches!(strain_drift(&h, 50.0), DriftVerdict::Drifting { ue_per_year } if ue_per_year < 0.0)
+        );
     }
 
     #[test]
     fn short_history_is_inconclusive() {
-        assert_eq!(strain_drift(&[(0.0, 1.0)], 50.0), DriftVerdict::Inconclusive);
+        assert_eq!(
+            strain_drift(&[(0.0, 1.0)], 50.0),
+            DriftVerdict::Inconclusive
+        );
         assert_eq!(strain_drift(&[], 50.0), DriftVerdict::Inconclusive);
     }
 

@@ -151,6 +151,7 @@ pub fn crowding_risk(pao_m2_per_ped: f64) -> CrowdingRisk {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "fuzz")]
     use proptest::prelude::*;
 
     #[test]
@@ -208,6 +209,7 @@ mod tests {
         assert_eq!(Region::HongKong.grade(f64::INFINITY), HealthLevel::A);
     }
 
+    #[cfg(feature = "fuzz")]
     proptest! {
         #[test]
         fn grading_is_monotone(pao in 0.0f64..10.0, d in 0.01f64..5.0) {

@@ -147,8 +147,14 @@ mod tests {
 
     #[test]
     fn fusion_never_increases_variance() {
-        let a = CountEstimate { count: 10.0, variance: 4.0 };
-        let b = CountEstimate { count: 12.0, variance: 9.0 };
+        let a = CountEstimate {
+            count: 10.0,
+            variance: 4.0,
+        };
+        let b = CountEstimate {
+            count: 12.0,
+            variance: 9.0,
+        };
         let f = fuse(&[a, b]).unwrap();
         assert!(f.variance < a.variance.min(b.variance));
         assert!((10.0..12.0).contains(&f.count));

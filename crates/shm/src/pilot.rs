@@ -93,7 +93,8 @@ impl PilotStudy {
                     } else {
                         0.0
                     };
-                    99.4 - dip + 0.25 * ((hour / 12.0) * std::f64::consts::TAU).sin()
+                    99.4 - dip
+                        + 0.25 * ((hour / 12.0) * std::f64::consts::TAU).sin()
                         + gauss(&mut rng) * 0.08
                 }
                 Channel::Acceleration(id) => {
@@ -102,7 +103,7 @@ impl PilotStudy {
                     let rush = rush_factor(hour);
                     let storm_gain = if storm { 2.8 } else { 1.0 };
                     let scale = per_sensor_scale(id);
-                    gauss(&mut rng) * 0.008 * rush * storm_gain * scale
+                    gauss(&mut rng) * 0.0075 * rush * storm_gain * scale
                 }
                 Channel::Stress(id) => {
                     // Quasi-static thermal stress + live-load variation.
@@ -110,7 +111,7 @@ impl PilotStudy {
                     // of the data depends on the posture of the sensor").
                     let (offset, sign) = if id == 1 { (4.5, 1.0) } else { (-10.0, -1.0) };
                     let thermal = 1.8 * ((hour - 15.0) / 24.0 * std::f64::consts::TAU).cos();
-                    let storm_swing = if storm { 2.2 } else { 0.0 };
+                    let storm_swing = if storm { 3.0 } else { 0.0 };
                     offset
                         + sign * (thermal + storm_swing * gauss(&mut rng).abs())
                         + gauss(&mut rng) * 0.3
@@ -147,7 +148,7 @@ impl PilotStudy {
         assert!(k > 0.0, "threshold factor must be positive");
         let daily = self.daily_activity(channel);
         let mut acts: Vec<f64> = daily.iter().map(|&(_, a)| a).collect();
-        acts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        acts.sort_by(|a, b| a.total_cmp(b));
         let median = acts[acts.len() / 2];
         daily
             .into_iter()
@@ -348,10 +349,20 @@ mod tests {
     fn humidity_and_pressure_stay_in_figure_ranges() {
         // Fig 26: 50–100%; Fig 28: 97.5–100 kPa.
         for s in study().generate(Channel::Humidity) {
-            assert!((50.0..=100.0).contains(&s.value), "RH {} on day {}", s.value, s.day);
+            assert!(
+                (50.0..=100.0).contains(&s.value),
+                "RH {} on day {}",
+                s.value,
+                s.day
+            );
         }
         for s in study().generate(Channel::BarometricPressure) {
-            assert!((97.0..=100.5).contains(&s.value), "P {} on day {}", s.value, s.day);
+            assert!(
+                (97.0..=100.5).contains(&s.value),
+                "P {} on day {}",
+                s.value,
+                s.day
+            );
         }
     }
 
@@ -383,7 +394,10 @@ mod tests {
             .map(|(_, a)| a)
             .sum::<f64>()
             / 22.0;
-        assert!(storm_mean > 2.0 * calm_mean, "storm {storm_mean} vs calm {calm_mean}");
+        assert!(
+            storm_mean > 2.0 * calm_mean,
+            "storm {storm_mean} vs calm {calm_mean}"
+        );
     }
 
     #[test]
@@ -410,7 +424,10 @@ mod tests {
             .filter(|s| !PilotStudy::in_storm(s.day))
             .map(|s| s.value)
             .fold(f64::MAX, f64::min);
-        assert!(storm_min < calm_min - 0.5, "cyclone dip {storm_min} vs {calm_min}");
+        assert!(
+            storm_min < calm_min - 0.5,
+            "cyclone dip {storm_min} vs {calm_min}"
+        );
     }
 
     #[test]
@@ -428,7 +445,10 @@ mod tests {
         let m1 = s1.iter().map(|s| s.value).sum::<f64>() / s1.len() as f64;
         let m2 = s2.iter().map(|s| s.value).sum::<f64>() / s2.len() as f64;
         assert!(m1 > 0.0 && (0.0..9.0).contains(&m1), "stress #1 mean {m1}");
-        assert!(m2 < 0.0 && (-15.0..-5.0).contains(&m2), "stress #2 mean {m2}");
+        assert!(
+            m2 < 0.0 && (-15.0..-5.0).contains(&m2),
+            "stress #2 mean {m2}"
+        );
     }
 
     #[test]
@@ -466,26 +486,49 @@ mod tests {
             .sum();
         assert!(season > 0 && off_season == 0);
         // Stormier months vibrate more on average.
-        let stormy_rms: f64 = months.iter().filter(|m| m.storm_days > 2).map(|m| m.accel_rms_m_s2).sum::<f64>()
+        let stormy_rms: f64 = months
+            .iter()
+            .filter(|m| m.storm_days > 2)
+            .map(|m| m.accel_rms_m_s2)
+            .sum::<f64>()
             / months.iter().filter(|m| m.storm_days > 2).count().max(1) as f64;
-        let calm_rms: f64 = months.iter().filter(|m| m.storm_days == 0).map(|m| m.accel_rms_m_s2).sum::<f64>()
+        let calm_rms: f64 = months
+            .iter()
+            .filter(|m| m.storm_days == 0)
+            .map(|m| m.accel_rms_m_s2)
+            .sum::<f64>()
             / months.iter().filter(|m| m.storm_days == 0).count().max(1) as f64;
-        assert!(stormy_rms > calm_rms, "stormy {stormy_rms} vs calm {calm_rms}");
+        assert!(
+            stormy_rms > calm_rms,
+            "stormy {stormy_rms} vs calm {calm_rms}"
+        );
     }
 
     #[test]
     fn health_stayed_at_b_or_above() {
         // §6: "the bridge health always remained at B or above levels".
         let s = LongTermStudy::paper_window(19);
-        assert!(s.worst_health() <= crate::health::HealthLevel::B, "worst {:?}", s.worst_health());
+        assert!(
+            s.worst_health() <= crate::health::HealthLevel::B,
+            "worst {:?}",
+            s.worst_health()
+        );
     }
 
     #[test]
     fn covid_thinned_the_crowds() {
         let s = LongTermStudy::paper_window(19);
         let months = s.monthly_summaries();
-        let pre: f64 = months[..5].iter().map(|m| m.min_pao_m2_per_ped).sum::<f64>() / 5.0;
-        let post: f64 = months[5..].iter().map(|m| m.min_pao_m2_per_ped).sum::<f64>() / 12.0;
+        let pre: f64 = months[..5]
+            .iter()
+            .map(|m| m.min_pao_m2_per_ped)
+            .sum::<f64>()
+            / 5.0;
+        let post: f64 = months[5..]
+            .iter()
+            .map(|m| m.min_pao_m2_per_ped)
+            .sum::<f64>()
+            / 12.0;
         assert!(post > pre, "post-COVID PAO {post} vs pre {pre}");
     }
 

@@ -64,7 +64,8 @@ impl HealthReport {
 
     /// Adds live limit violations.
     pub fn with_violations(mut self, v: &[LimitViolation]) -> Self {
-        self.findings.extend(v.iter().map(|&x| Finding::LimitViolated(x)));
+        self.findings
+            .extend(v.iter().map(|&x| Finding::LimitViolated(x)));
         self
     }
 
@@ -223,7 +224,9 @@ mod tests {
 
     #[test]
     fn small_stiffness_wobble_is_ignored() {
-        let r = HealthReport::new().with_stiffness(-0.01).with_stiffness(0.02);
+        let r = HealthReport::new()
+            .with_stiffness(-0.01)
+            .with_stiffness(0.02);
         assert!(r.findings.is_empty());
     }
 

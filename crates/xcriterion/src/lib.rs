@@ -1,0 +1,208 @@
+//! Vendored benchmarking shim so the workspace builds hermetically.
+//!
+//! Implements the subset of the `criterion` 0.5 API the bench targets
+//! use (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter`, `black_box`) over a plain
+//! wall-clock timing loop: a short warm-up, then `sample_size` timed
+//! samples whose median ns/iter is printed. No statistics files, no
+//! HTML reports — just numbers on stdout, which is all an offline CI
+//! lane needs to spot a 10× regression.
+//!
+//! Bench targets are additionally gated behind the bench crate's
+//! non-default `bench-ext` feature; run them with
+//! `cargo bench -p bench --features bench-ext`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimiser from deleting the
+/// benchmarked computation; same contract as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `f`, calling it enough times per sample to outlast timer
+    /// granularity, and record `sample_count` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the per-sample iteration count until one
+        // sample takes at least ~1 ms.
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return f64::NAN;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(f64::total_cmp);
+        ns[ns.len() / 2]
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// CLI-argument hook; accepted and ignored in this shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 10, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks with a shared sample size.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        iters_per_sample: 0,
+        samples: Vec::new(),
+        sample_count: sample_size.max(1),
+    };
+    f(&mut b);
+    let ns = b.median_ns_per_iter();
+    if ns.is_nan() {
+        println!("bench {id:<50} (no timing recorded)");
+    } else if ns >= 1e6 {
+        println!("bench {id:<50} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("bench {id:<50} {:>12.3} µs/iter", ns / 1e3);
+    } else {
+        println!("bench {id:<50} {ns:>12.1} ns/iter");
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit a `main` running each group, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_something() {
+        let mut c = Criterion::default().configure_from_args();
+        c.bench_function("smoke", |b| b.iter(|| black_box(3u64) * 7));
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn median_is_sane() {
+        let mut b = Bencher {
+            iters_per_sample: 10,
+            samples: vec![
+                Duration::from_nanos(100),
+                Duration::from_nanos(200),
+                Duration::from_nanos(300),
+            ],
+            sample_count: 3,
+        };
+        b.samples.sort();
+        assert!((b.median_ns_per_iter() - 20.0).abs() < 1e-9);
+    }
+}

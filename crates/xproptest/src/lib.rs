@@ -1,0 +1,249 @@
+//! Vendored property-testing shim so the workspace builds hermetically.
+//!
+//! Implements the subset of the `proptest` 1.x API the workspace uses:
+//! the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! range strategies, `any::<T>()`, `proptest::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions. Sampling is plain
+//! deterministic Monte Carlo over [`xrand`] — there is no shrinking, so
+//! a failing case reports its case index instead of a minimal input.
+//!
+//! Property tests are feature-gated behind each crate's non-default
+//! `fuzz` feature; run them with e.g. `cargo test -p ecocapsule-dsp
+//! --features fuzz`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+#[doc(hidden)]
+pub mod __rng {
+    pub use xrand::rngs::StdRng;
+    pub use xrand::{Rng, RngCore, SeedableRng};
+}
+
+/// Runner configuration: only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample<R: __rng::RngCore>(&self, rng: &mut R) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample<R: __rng::RngCore>(&self, rng: &mut R) -> $t {
+                use __rng::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample<R: __rng::RngCore>(&self, rng: &mut R) -> $t {
+                use __rng::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for `any::<T>()`: the type's full uniform domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform strategy over all values of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample<R: __rng::RngCore>(&self, rng: &mut R) -> $t {
+                use __rng::Rng as _;
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_any!(bool, u8, u16, u32, u64, f64);
+
+/// A strategy that always yields a clone of the same value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample<R: __rng::RngCore>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{__rng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec<S::Value>` with length in `len` (half-open, like proptest).
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample<R: __rng::RngCore>(&self, rng: &mut R) -> Vec<S::Value> {
+            use __rng::Rng as _;
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub fn __seed_for(test_name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms, so a
+    // reported failing case index is always reproducible.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Assert a property holds; identical to `assert!` in this shim.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert two values are equal; identical to `assert_eq!` in this shim.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert two values differ; identical to `assert_ne!` in this shim.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` against `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = <$crate::__rng::StdRng as $crate::__rng::SeedableRng>::seed_from_u64(
+                $crate::__seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                let __run = || -> () { $body };
+                __run();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1usize..40) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..40).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_strategy(v in collection::vec(any::<bool>(), 3..9)) {
+            prop_assert!((3..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn just_is_constant(k in Just(7u32)) {
+            prop_assert_eq!(k, 7);
+        }
+    }
+
+    #[test]
+    fn default_config_runs_enough_cases() {
+        assert!(ProptestConfig::default().cases >= 32);
+    }
+
+    #[test]
+    fn seeds_differ_across_test_names() {
+        assert_ne!(crate::__seed_for("a::b"), crate::__seed_for("a::c"));
+    }
+}

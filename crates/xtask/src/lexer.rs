@@ -1,0 +1,471 @@
+//! Hand-rolled Rust lexer.
+//!
+//! `xtask` must work with zero registry access, so it cannot use `syn`
+//! or `proc-macro2`. This lexer covers the full token surface the lint
+//! rules need: identifiers, lifetimes, integer/float literals, string /
+//! raw-string / byte-string / char literals, nested block comments,
+//! doc comments, and multi-character operators. It is deliberately
+//! *not* a parser — the rules pattern-match on the token stream.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/oct/bin).
+    IntLit,
+    /// Float literal (has `.`, an exponent, or an `f32`/`f64` suffix).
+    FloatLit,
+    /// String, raw-string, or byte-string literal.
+    StrLit,
+    /// Character or byte literal.
+    CharLit,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Operator or punctuation, possibly multi-character (`==`, `->`).
+    Op,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text exactly as written.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is this exact identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is this exact operator.
+    pub fn is_op(&self, s: &str) -> bool {
+        self.kind == TokKind::Op && self.text == s
+    }
+}
+
+/// A line comment captured during lexing (used for `lint:allow`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the leading `//`.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All semantic tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All `//` comments (doc comments excluded) in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: &'a [char],
+    i: usize,
+    line: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex a source file into tokens and comments. Never fails: unknown
+/// bytes become single-character `Op` tokens, which simply won't match
+/// any rule pattern.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut cur = Cursor {
+        chars: &chars,
+        i: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let doc = matches!(cur.peek(0), Some('/') | Some('!'));
+            let text = cur.eat_while(|ch| ch != '\n');
+            if !doc {
+                out.comments.push(Comment { text, line });
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // Raw strings and byte strings: r"..", r#".."#, b"..", br#".."#, b'.'.
+        if (c == 'r' || c == 'b') && lex_maybe_string_prefix(&mut cur, &mut out, line) {
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            lex_quoted(&mut cur, '"');
+            out.tokens.push(Tok {
+                kind: TokKind::StrLit,
+                text: String::new(),
+                line,
+            });
+            continue;
+        }
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            let next_is_ident = cur.peek(1).map(is_ident_start).unwrap_or(false);
+            let closes_as_char = cur.peek(2) == Some('\'');
+            if next_is_ident && !closes_as_char {
+                cur.bump();
+                let name = cur.eat_while(is_ident_continue);
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line,
+                });
+            } else {
+                lex_quoted(&mut cur, '\'');
+                out.tokens.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: String::new(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (text, kind) = lex_number(&mut cur);
+            out.tokens.push(Tok { kind, text, line });
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let text = cur.eat_while(is_ident_continue);
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Operators: greedy longest match.
+        let text = lex_op(&mut cur);
+        out.tokens.push(Tok {
+            kind: TokKind::Op,
+            text,
+            line,
+        });
+    }
+    out
+}
+
+/// Handle `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'…'`. Returns true if
+/// a literal was consumed; false if the `r`/`b` starts a plain ident.
+fn lex_maybe_string_prefix(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32) -> bool {
+    let mut ahead = 1;
+    if cur.peek(0) == Some('b') && cur.peek(1) == Some('r') {
+        ahead = 2;
+    }
+    if cur.peek(0) == Some('b') && cur.peek(1) == Some('\'') {
+        cur.bump();
+        lex_quoted(cur, '\'');
+        out.tokens.push(Tok {
+            kind: TokKind::CharLit,
+            text: String::new(),
+            line,
+        });
+        return true;
+    }
+    let raw = cur.peek(0) == Some('r') || ahead == 2;
+    let mut hashes = 0usize;
+    while cur.peek(ahead + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(ahead + hashes) != Some('"') {
+        return false;
+    }
+    if !raw && hashes > 0 {
+        return false;
+    }
+    for _ in 0..(ahead + hashes + 1) {
+        cur.bump();
+    }
+    if raw {
+        // Scan to `"` followed by `hashes` hashes; no escapes in raw strings.
+        loop {
+            match cur.bump() {
+                Some('"') => {
+                    let mut n = 0;
+                    while n < hashes && cur.peek(0) == Some('#') {
+                        cur.bump();
+                        n += 1;
+                    }
+                    if n == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    } else {
+        // b"..." with escapes; the opening quote is already consumed.
+        scan_to_close(cur, '"');
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::StrLit,
+        text: String::new(),
+        line,
+    });
+    true
+}
+
+/// Consume a quoted literal whose opening delimiter is at the cursor.
+fn lex_quoted(cur: &mut Cursor<'_>, close: char) {
+    cur.bump();
+    scan_to_close(cur, close);
+}
+
+/// Consume until an unescaped `close` (opening delimiter already eaten).
+fn scan_to_close(cur: &mut Cursor<'_>, close: char) {
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some(c) if c == close => break,
+            Some(_) => {}
+            None => break,
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> (String, TokKind) {
+    let mut text = String::new();
+    let mut is_float = false;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x') | Some('o') | Some('b')) {
+        text.push_str(&cur.eat_while(|c| c.is_alphanumeric() || c == '_'));
+        return (text, TokKind::IntLit);
+    }
+    text.push_str(&cur.eat_while(|c| c.is_ascii_digit() || c == '_'));
+    // Fractional part — but not `..` (range) and not `.method()`.
+    if cur.peek(0) == Some('.') {
+        let after = cur.peek(1);
+        let is_range = after == Some('.');
+        let is_method = after.map(is_ident_start).unwrap_or(false);
+        if !is_range && !is_method {
+            is_float = true;
+            text.push('.');
+            cur.bump();
+            text.push_str(&cur.eat_while(|c| c.is_ascii_digit() || c == '_'));
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e') | Some('E')) {
+        let (sign, digit) = (cur.peek(1), cur.peek(2));
+        let signed = matches!(sign, Some('+') | Some('-'));
+        let exp_ok = if signed {
+            digit.map(|c| c.is_ascii_digit()).unwrap_or(false)
+        } else {
+            sign.map(|c| c.is_ascii_digit()).unwrap_or(false)
+        };
+        if exp_ok {
+            is_float = true;
+            text.push('e');
+            cur.bump();
+            if signed {
+                if let Some(s) = cur.bump() {
+                    text.push(s);
+                }
+            }
+            text.push_str(&cur.eat_while(|c| c.is_ascii_digit() || c == '_'));
+        }
+    }
+    // Type suffix (f64, u32, usize, …).
+    let suffix = cur.eat_while(is_ident_continue);
+    if suffix.starts_with('f') {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    let kind = if is_float {
+        TokKind::FloatLit
+    } else {
+        TokKind::IntLit
+    };
+    (text, kind)
+}
+
+const MULTI_OPS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "->", "=>", "::", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn lex_op(cur: &mut Cursor<'_>) -> String {
+    for op in MULTI_OPS {
+        let len = op.chars().count();
+        let matches_here = op
+            .chars()
+            .enumerate()
+            .all(|(k, expect)| cur.peek(k) == Some(expect));
+        if matches_here {
+            for _ in 0..len {
+                cur.bump();
+            }
+            return (*op).to_string();
+        }
+    }
+    match cur.bump() {
+        Some(c) => c.to_string(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_ops() {
+        let toks = kinds("let x_hz = 2.0e6 + n;");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x_hz".into()));
+        assert_eq!(toks[3], (TokKind::FloatLit, "2.0e6".into()));
+        assert_eq!(toks[4], (TokKind::Op, "+".into()));
+    }
+
+    #[test]
+    fn float_vs_range_vs_method() {
+        let toks = kinds("0..5 1.5 40f64.to_radians() 7.max(1)");
+        assert_eq!(toks[0].0, TokKind::IntLit);
+        assert_eq!(toks[1].1, "..");
+        assert_eq!(toks[2].0, TokKind::IntLit);
+        assert_eq!(toks[3], (TokKind::FloatLit, "1.5".into()));
+        assert_eq!(toks[4], (TokKind::FloatLit, "40f64".into()));
+        assert_eq!(toks[7].1, "(");
+        assert_eq!(toks[9].0, TokKind::IntLit);
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_tokens() {
+        let toks = kinds(r#"let s = "panic! unwrap()"; let c = 'x';"#);
+        assert!(toks.iter().all(|(_, t)| t != "panic" && t != "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"let s = r#"embedded "quote" end"#; done"##);
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some("done"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::CharLit));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let lexed = lex("/* outer /* inner */ still */\nident\n// note here\nnext");
+        assert_eq!(lexed.tokens[0].text, "ident");
+        assert_eq!(lexed.tokens[0].line, 2);
+        assert_eq!(lexed.tokens[1].line, 4);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 3);
+        assert!(lexed.comments[0].text.contains("note"));
+    }
+
+    #[test]
+    fn doc_comments_are_not_directive_comments() {
+        let lexed = lex("/// doc\n//! inner doc\n// plain\nx");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("plain"));
+    }
+
+    #[test]
+    fn multichar_ops_lex_greedily() {
+        let toks = kinds("a == b != c ..= d -> e");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Op)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "..=", "->"]);
+    }
+}

@@ -1,0 +1,365 @@
+//! `xtask` — workspace-wide static analysis for the EcoCapsule repo.
+//!
+//! Run as `cargo xtask lint` (aliased in `.cargo/config.toml`). The
+//! engine walks every `crates/*/src/**.rs` file, lexes it with the
+//! dependency-free lexer in [`lexer`], and applies the rules in
+//! [`rules`]:
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | `no-panic-in-lib`  | no `unwrap()`/`expect(`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` in library code; no slice indexing in hot-path files |
+//! | `unit-suffix`      | physical quantities carry unit suffixes; `+`/`-`/comparisons never mix units |
+//! | `no-float-eq`      | no `==`/`!=` on float expressions |
+//! | `deny-unsafe`      | every lib crate root has `#![forbid(unsafe_code)]` |
+//! | `must-use-results` | pub Result-returning fns are `#[must_use]`; no discarded Results |
+//!
+//! Binary targets (`src/bin/**`, `src/main.rs`) and `#[cfg(test)]`
+//! regions are exempt from the panic, float-eq, and must-use rules.
+//! Any finding can be suppressed with `// lint:allow(<rule>) <reason>`
+//! on the same line or the line above — the reason text is mandatory
+//! and a missing reason is itself reported.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{Lexed, Tok};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path of the offending file, relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule identifier (see [`rules::ALL_RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source: all rules apply.
+    Lib,
+    /// Binary target source: exempt from panic/float-eq/must-use rules.
+    Bin,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Path suffixes (with `/` separators) of hot-path files where slice
+    /// indexing is flagged by `no-panic-in-lib`.
+    pub hot_paths: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            hot_paths: vec![
+                "dsp/src/fft.rs".to_string(),
+                "dsp/src/correlate.rs".to_string(),
+            ],
+        }
+    }
+}
+
+/// A parsed `// lint:allow(rule) reason` directive.
+#[derive(Debug, Clone)]
+struct Directive {
+    line: u32,
+    rule: String,
+    reason: String,
+}
+
+fn parse_directives(lexed: &Lexed, findings: &mut Vec<Finding>) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &c.text[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                file: String::new(),
+                line: c.line,
+                rule: rules::RULE_LINT_ALLOW,
+                msg: "malformed lint:allow directive: missing `)`".to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..].trim().to_string();
+        if !rules::ALL_RULES.contains(&rule.as_str()) {
+            findings.push(Finding {
+                file: String::new(),
+                line: c.line,
+                rule: rules::RULE_LINT_ALLOW,
+                msg: format!(
+                    "lint:allow names unknown rule `{rule}` (known: {})",
+                    rules::ALL_RULES.join(", ")
+                ),
+            });
+            continue;
+        }
+        if reason.is_empty() {
+            findings.push(Finding {
+                file: String::new(),
+                line: c.line,
+                rule: rules::RULE_LINT_ALLOW,
+                msg: format!("lint:allow({rule}) has no reason; a written reason is mandatory"),
+            });
+            continue;
+        }
+        out.push(Directive {
+            line: c.line,
+            rule,
+            reason,
+        });
+    }
+    out
+}
+
+/// Line ranges covered by `#[cfg(test)] mod … { … }` blocks.
+fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while let Some(t) = tokens.get(i) {
+        let cfg_test_attr = t.is_op("#")
+            && tokens.get(i + 1).map(|x| x.is_op("[")).unwrap_or(false)
+            && tokens
+                .get(i + 2)
+                .map(|x| x.is_ident("cfg"))
+                .unwrap_or(false)
+            && tokens
+                .iter()
+                .skip(i + 3)
+                .take(8)
+                .any(|x| x.is_ident("test"));
+        if !cfg_test_attr {
+            i += 1;
+            continue;
+        }
+        // Find `mod <name> {` after the attribute (allowing further attrs).
+        let mut j = i + 3;
+        let mut found_mod = None;
+        while let Some(tk) = tokens.get(j) {
+            if tk.is_ident("mod") {
+                found_mod = Some(j);
+                break;
+            }
+            if tk.is_op(";") || tk.is_ident("fn") || tk.is_ident("use") || tk.is_ident("struct") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(mod_idx) = found_mod else {
+            i += 1;
+            continue;
+        };
+        // Find the opening brace and its match.
+        let mut k = mod_idx;
+        while let Some(tk) = tokens.get(k) {
+            if tk.is_op("{") {
+                break;
+            }
+            if tk.is_op(";") {
+                break;
+            }
+            k += 1;
+        }
+        if !tokens.get(k).map(|tk| tk.is_op("{")).unwrap_or(false) {
+            i = k;
+            continue;
+        }
+        let start_line = t.line;
+        let mut depth = 0i32;
+        let mut end_line = start_line;
+        while let Some(tk) = tokens.get(k) {
+            if tk.is_op("{") {
+                depth += 1;
+            } else if tk.is_op("}") {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = tk.line;
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        regions.push((start_line, end_line));
+        i = k;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+struct SourceFile {
+    rel_path: String,
+    class: FileClass,
+    is_lib_root: bool,
+    is_hot: bool,
+    lexed: Lexed,
+    tests: Vec<(u32, u32)>,
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut paths = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let class = if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
+            FileClass::Bin
+        } else {
+            FileClass::Lib
+        };
+        let is_lib_root = rel.ends_with("/src/lib.rs");
+        let is_hot = cfg.hot_paths.iter().any(|h| rel.ends_with(h.as_str()));
+        let text = std::fs::read_to_string(&path)?;
+        let lexed = lexer::lex(&text);
+        let tests = test_regions(&lexed.tokens);
+        files.push(SourceFile {
+            rel_path: rel,
+            class,
+            is_lib_root,
+            is_hot,
+            lexed,
+            tests,
+        });
+    }
+    Ok(files)
+}
+
+/// Lint the workspace rooted at `root`. Returns all findings after
+/// suppression; an empty vector means the tree is clean.
+#[must_use]
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Finding>> {
+    let files = load_files(root, cfg)?;
+
+    // Pass 1: workspace-wide set of Result-returning fn names (from lib
+    // files only; bins may define local helpers at their own risk).
+    let mut result_fn_names: BTreeSet<String> = BTreeSet::new();
+    for f in files.iter().filter(|f| f.class == FileClass::Lib) {
+        for (name, line, _, _) in rules::result_fns(&f.lexed.tokens) {
+            if !in_regions(&f.tests, line) {
+                result_fn_names.insert(name);
+            }
+        }
+    }
+
+    // Pass 2: per-file rules.
+    let mut all = Vec::new();
+    for f in &files {
+        let mut raw: Vec<Finding> = Vec::new();
+        let directives = {
+            let mut dir_findings = Vec::new();
+            let ds = parse_directives(&f.lexed, &mut dir_findings);
+            raw.append(&mut dir_findings);
+            ds
+        };
+        if f.class == FileClass::Lib {
+            rules::no_panic_in_lib(&f.lexed.tokens, f.is_hot, &mut raw);
+            rules::no_float_eq(&f.lexed.tokens, &mut raw);
+            rules::must_use_definitions(&f.lexed.tokens, &mut raw);
+            rules::must_use_call_sites(&f.lexed.tokens, &|n| result_fn_names.contains(n), &mut raw);
+        }
+        rules::unit_suffix_discipline(&f.lexed.tokens, &mut raw);
+        if f.is_lib_root && f.class == FileClass::Lib {
+            rules::deny_unsafe(&f.lexed.tokens, &mut raw);
+        }
+        for mut finding in raw {
+            finding.file = f.rel_path.clone();
+            // Test regions are exempt from everything except directive
+            // hygiene (a bad lint:allow is bad anywhere).
+            if finding.rule != rules::RULE_LINT_ALLOW && in_regions(&f.tests, finding.line) {
+                continue;
+            }
+            // Suppression: a matching directive on the same line or the
+            // line directly above.
+            let suppressed = finding.rule != rules::RULE_LINT_ALLOW
+                && directives.iter().any(|d| {
+                    d.rule == finding.rule
+                        && (d.line == finding.line || d.line + 1 == finding.line)
+                        && !d.reason.is_empty()
+                });
+            if !suppressed {
+                all.push(finding);
+            }
+        }
+    }
+    all.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_detection() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\n";
+        let lexed = lexer::lex(src);
+        let regions = test_regions(&lexed.tokens);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 1));
+    }
+
+    #[test]
+    fn directive_parsing_demands_reason() {
+        let lexed = lexer::lex(
+            "// lint:allow(no-float-eq) sentinel compare is exact\n\
+             // lint:allow(no-float-eq)\n\
+             // lint:allow(not-a-rule) whatever\n",
+        );
+        let mut findings = Vec::new();
+        let ds = parse_directives(&lexed, &mut findings);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(findings.len(), 2);
+    }
+}

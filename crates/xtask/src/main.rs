@@ -1,0 +1,107 @@
+//! CLI for the workspace invariant checker.
+//!
+//! Usage (via the `.cargo/config.toml` alias):
+//!
+//! ```text
+//! cargo xtask lint             # lint the workspace, exit 1 on findings
+//! cargo xtask lint --root DIR  # lint another tree (used by fixtures)
+//! cargo xtask rules            # list the rules and their meaning
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cargo xtask <lint [--root DIR] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("error: could not locate workspace root (no Cargo.toml with crates/)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    match xtask::lint_workspace(&root, &xtask::LintConfig::default()) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean ✓");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("\nxtask lint: {} finding(s)", findings.len());
+            println!(
+                "suppress intentional cases with `// lint:allow(<rule>) <reason>` \
+                 (reason mandatory); see CONTRIBUTING.md"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walk upward from the current directory to the first dir containing
+/// both `Cargo.toml` and `crates/`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn print_rules() {
+    println!("xtask lint rules:");
+    println!("  no-panic-in-lib   no unwrap()/expect(/panic!/todo!/unimplemented!/unreachable!");
+    println!("                    in library code; no slice indexing in hot-path files");
+    println!("  unit-suffix       physical quantities carry unit suffixes (_hz, _db, _m_s, …);");
+    println!("                    +/-/comparisons must not mix different unit suffixes");
+    println!("  no-float-eq       no ==/!= on float expressions; compare with a tolerance");
+    println!("  deny-unsafe       every lib crate root carries #![forbid(unsafe_code)]");
+    println!("  must-use-results  pub Result fns are #[must_use]; Results are never discarded");
+    println!();
+    println!(
+        "suppress: // lint:allow(<rule>) <reason>   (same line or line above; reason required)"
+    );
+}

@@ -1,0 +1,743 @@
+//! The five lint rules.
+//!
+//! Every rule pattern-matches on the token stream from [`crate::lexer`];
+//! none of them parse Rust properly, which keeps `xtask` dependency-free
+//! and fast. Where a lexical heuristic can misfire, the rule is scoped
+//! narrowly and the `// lint:allow(<rule>) <reason>` escape hatch (with a
+//! mandatory reason) covers the remainder.
+
+use crate::lexer::{Tok, TokKind};
+use crate::Finding;
+
+/// Rule names, in reporting order.
+pub const RULE_NO_PANIC: &str = "no-panic-in-lib";
+/// Unit-suffix discipline rule name.
+pub const RULE_UNIT_SUFFIX: &str = "unit-suffix";
+/// Float equality rule name.
+pub const RULE_NO_FLOAT_EQ: &str = "no-float-eq";
+/// `#![forbid(unsafe_code)]` rule name.
+pub const RULE_DENY_UNSAFE: &str = "deny-unsafe";
+/// `#[must_use]` / discarded-Result rule name.
+pub const RULE_MUST_USE: &str = "must-use-results";
+/// Pseudo-rule for malformed `lint:allow` directives (not suppressible).
+pub const RULE_LINT_ALLOW: &str = "lint-allow";
+
+/// All suppressible rule names.
+pub const ALL_RULES: &[&str] = &[
+    RULE_NO_PANIC,
+    RULE_UNIT_SUFFIX,
+    RULE_NO_FLOAT_EQ,
+    RULE_DENY_UNSAFE,
+    RULE_MUST_USE,
+];
+
+/// Unit suffixes recognised by the unit-suffix rule. Longest match wins
+/// when classifying an identifier; `_mps` is canonicalised to `_m_s`.
+pub const UNIT_SUFFIXES: &[&str] = &[
+    "_m_s2", "_m_s", "_mps", "_hz", "_khz", "_mhz", "_ghz", "_db", "_dbm", "_dbi", "_mm", "_cm",
+    "_km", "_um", "_nm", "_m", "_ns", "_us", "_ms", "_s", "_min", "_pa", "_kpa", "_mpa", "_gpa",
+    "_celsius", "_c", "_pct", "_frac", "_ratio", "_mv", "_kv", "_v", "_ma", "_ua", "_a", "_mw",
+    "_uw", "_kw", "_w", "_mj", "_uj", "_j", "_rad", "_deg", "_kg", "_g", "_bps", "_sps", "_ppm",
+    "_ohm", "_pf", "_nf", "_uf", "_bits", "_bytes", "_samples", "_cycles",
+];
+
+/// Identifier words that denote a physical quantity and therefore demand
+/// a unit suffix on the identifier. Matched against whole `_`-separated
+/// words, so `distortion` does not trip the `dist` stem.
+pub const QUANTITY_STEMS: &[&str] = &[
+    "freq",
+    "frequency",
+    "dist",
+    "distance",
+    "wavelength",
+    "velocity",
+    "speed",
+    "duration",
+    "delay",
+    "latency",
+    "period",
+    "temperature",
+    "pressure",
+    "voltage",
+    "thickness",
+];
+
+/// The unit suffix of an identifier, canonicalised (`_mps` → `_m_s`),
+/// or `None` if it carries none.
+pub fn unit_suffix(ident: &str) -> Option<&'static str> {
+    for suf in UNIT_SUFFIXES {
+        if ident.ends_with(suf) {
+            if *suf == "_mps" {
+                return Some("_m_s");
+            }
+            return Some(suf);
+        }
+    }
+    None
+}
+
+/// True when the identifier names a physical quantity (by stem) without
+/// any recognised unit suffix.
+pub fn needs_unit_suffix(ident: &str) -> bool {
+    if unit_suffix(ident).is_some() {
+        return false;
+    }
+    ident
+        .split('_')
+        .any(|word| QUANTITY_STEMS.iter().any(|s| word == *s))
+}
+
+fn push(findings: &mut Vec<Finding>, rule: &'static str, line: u32, msg: String) {
+    findings.push(Finding {
+        file: String::new(),
+        line,
+        rule,
+        msg,
+    });
+}
+
+/// Rule 1: no `unwrap()`, `expect(…)`, `panic!`, `todo!`, `unimplemented!`,
+/// `unreachable!` in library code; no slice indexing in designated
+/// hot-path files (where a panicking bounds check is both a correctness
+/// and a performance hazard — use iterators, `split_at`, or `get`).
+pub fn no_panic_in_lib(tokens: &[Tok], is_hot_path: bool, findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            // Hot-path indexing: `[` directly after an ident, `)`, or `]`.
+            if is_hot_path && t.is_op("[") {
+                let indexes_a_value = tokens.get(i.wrapping_sub(1)).map(|p| {
+                    p.kind == TokKind::Ident && !is_keyword(&p.text) || p.is_op(")") || p.is_op("]")
+                });
+                if i > 0 && indexes_a_value == Some(true) {
+                    push(
+                        findings,
+                        RULE_NO_PANIC,
+                        t.line,
+                        "slice indexing in a hot path can panic and bounds-check; use \
+                         iterators, split_at, chunks, or get"
+                            .to_string(),
+                    );
+                }
+            }
+            continue;
+        }
+        let next = tokens.get(i + 1);
+        let calls = next.map(|n| n.is_op("(")).unwrap_or(false);
+        let bangs = next.map(|n| n.is_op("!")).unwrap_or(false);
+        match t.text.as_str() {
+            "unwrap" if calls => push(
+                findings,
+                RULE_NO_PANIC,
+                t.line,
+                "unwrap() in library code; return a typed EcoError instead".to_string(),
+            ),
+            "expect" if calls => push(
+                findings,
+                RULE_NO_PANIC,
+                t.line,
+                "expect() in library code; return a typed EcoError instead".to_string(),
+            ),
+            "panic" | "todo" | "unimplemented" | "unreachable" if bangs => push(
+                findings,
+                RULE_NO_PANIC,
+                t.line,
+                format!(
+                    "{}! in library code; return a typed EcoError instead",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "type"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+/// Rule 2a: declared names (let-bindings, fn params, struct fields) that
+/// denote physical quantities must carry a unit suffix.
+/// Rule 2b: additive/comparison arithmetic between identifiers carrying
+/// *different* unit suffixes is flagged (`x_hz + y_khz`).
+pub fn unit_suffix_discipline(tokens: &[Tok], findings: &mut Vec<Finding>) {
+    // 2a: declaration sites.
+    let mut i = 0usize;
+    while let Some(t) = tokens.get(i) {
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).map(|n| n.is_ident("mut")).unwrap_or(false) {
+                j += 1;
+            }
+            if let Some(name) = tokens.get(j).filter(|n| n.kind == TokKind::Ident) {
+                check_declared_name(name, "binding", findings);
+            }
+        } else if t.is_ident("fn") {
+            if let Some(close) = check_fn_params(tokens, i, findings) {
+                i = close;
+                continue;
+            }
+        } else if t.is_ident("struct") {
+            if let Some(close) = check_struct_fields(tokens, i, findings) {
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // 2b: mismatched-unit arithmetic.
+    for (k, op) in tokens.iter().enumerate() {
+        let mixing = matches!(
+            op.text.as_str(),
+            "+" | "-" | "+=" | "-=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+        );
+        if op.kind != TokKind::Op || !mixing || k == 0 {
+            continue;
+        }
+        let (prev, next) = (tokens.get(k - 1), tokens.get(k + 1));
+        let lhs = prev
+            .filter(|p| p.kind == TokKind::Ident)
+            .and_then(|p| unit_suffix(&p.text));
+        let rhs = next
+            .filter(|n| n.kind == TokKind::Ident)
+            .and_then(|n| unit_suffix(&n.text));
+        if let (Some(a), Some(b)) = (lhs, rhs) {
+            if a != b {
+                push(
+                    findings,
+                    RULE_UNIT_SUFFIX,
+                    op.line,
+                    format!(
+                        "arithmetic mixes units: `{}` ({a}) {} `{}` ({b})",
+                        prev.map(|p| p.text.as_str()).unwrap_or("?"),
+                        op.text,
+                        next.map(|n| n.text.as_str()).unwrap_or("?"),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_declared_name(name: &Tok, what: &str, findings: &mut Vec<Finding>) {
+    if needs_unit_suffix(&name.text) {
+        push(
+            findings,
+            RULE_UNIT_SUFFIX,
+            name.line,
+            format!(
+                "{what} `{}` holds a physical quantity but has no unit suffix \
+                 (expected one of e.g. _hz, _khz, _db, _m_s, _pa, _celsius, _pct)",
+                name.text
+            ),
+        );
+    }
+}
+
+/// Check `fn name(params…)`: params are idents directly followed by `:`
+/// at parenthesis depth 1. Returns the index just past the closing `)`.
+fn check_fn_params(tokens: &[Tok], fn_idx: usize, findings: &mut Vec<Finding>) -> Option<usize> {
+    let mut j = fn_idx + 1;
+    // Skip the fn name and any generic parameter list.
+    while let Some(t) = tokens.get(j) {
+        if t.is_op("(") {
+            break;
+        }
+        if t.is_op("{") || t.is_op(";") {
+            return None;
+        }
+        j += 1;
+    }
+    let open = j;
+    let mut depth = 0i32;
+    let mut k = open;
+    while let Some(t) = tokens.get(k) {
+        if t.is_op("(") {
+            depth += 1;
+        } else if t.is_op(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && !is_keyword(&t.text)
+            && tokens.get(k + 1).map(|n| n.is_op(":")).unwrap_or(false)
+        {
+            check_declared_name(t, "parameter", findings);
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Check `struct Name { field: Ty, … }` bodies. Returns the index just
+/// past the closing `}`.
+fn check_struct_fields(
+    tokens: &[Tok],
+    struct_idx: usize,
+    findings: &mut Vec<Finding>,
+) -> Option<usize> {
+    let mut j = struct_idx + 1;
+    while let Some(t) = tokens.get(j) {
+        if t.is_op("{") {
+            break;
+        }
+        // Tuple structs / unit structs have no named fields.
+        if t.is_op("(") || t.is_op(";") {
+            return None;
+        }
+        j += 1;
+    }
+    let open = j;
+    let mut depth = 0i32;
+    let mut k = open;
+    while let Some(t) = tokens.get(k) {
+        if t.is_op("{") {
+            depth += 1;
+        } else if t.is_op("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && !is_keyword(&t.text)
+            && tokens.get(k + 1).map(|n| n.is_op(":")).unwrap_or(false)
+            && !tokens
+                .get(k.wrapping_sub(1))
+                .map(|p| p.is_op(":") || p.is_op("::") || p.is_op("<"))
+                .unwrap_or(false)
+        {
+            check_declared_name(t, "field", findings);
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Rule 3: `==`/`!=` with a float-literal operand, or between two
+/// unit-suffixed identifiers (physical quantities are floats here), is
+/// almost always a bug — compare against a tolerance instead.
+pub fn no_float_eq(tokens: &[Tok], findings: &mut Vec<Finding>) {
+    for (k, op) in tokens.iter().enumerate() {
+        if op.kind != TokKind::Op || (op.text != "==" && op.text != "!=") || k == 0 {
+            continue;
+        }
+        let (prev, next) = (tokens.get(k - 1), tokens.get(k + 1));
+        let lit = |t: Option<&Tok>| t.map(|x| x.kind == TokKind::FloatLit).unwrap_or(false);
+        let suffixed = |t: Option<&Tok>| {
+            t.map(|x| x.kind == TokKind::Ident && unit_suffix(&x.text).is_some())
+                .unwrap_or(false)
+        };
+        if lit(prev) || lit(next) || (suffixed(prev) && suffixed(next)) {
+            push(
+                findings,
+                RULE_NO_FLOAT_EQ,
+                op.line,
+                format!(
+                    "floating-point `{}` comparison; use (a - b).abs() < tol",
+                    op.text
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 4: a library crate root must carry `#![forbid(unsafe_code)]`.
+pub fn deny_unsafe(tokens: &[Tok], findings: &mut Vec<Finding>) {
+    let has = tokens.windows(8).any(|w| {
+        w[0].is_op("#")
+            && w[1].is_op("!")
+            && w[2].is_op("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_op("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_op(")")
+            && w[7].is_op("]")
+    });
+    if !has {
+        push(
+            findings,
+            RULE_DENY_UNSAFE,
+            1,
+            "library crate root is missing #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+}
+
+/// Scan one file for `fn name(…) -> Result<…>` definitions, returning
+/// `(name, line, is_pub, has_must_use)` for each.
+pub fn result_fns(tokens: &[Tok]) -> Vec<(String, u32, bool, bool)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Find the parameter list and its matching close.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while let Some(tk) = tokens.get(j) {
+            match tk.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "(" if angle <= 0 => break,
+                "{" | ";" => return out,
+                _ => {}
+            }
+            j += 1;
+        }
+        let mut depth = 0i32;
+        while let Some(tk) = tokens.get(j) {
+            if tk.is_op("(") {
+                depth += 1;
+            } else if tk.is_op(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        // Does the return type mention Result?
+        let mut returns_result = false;
+        if tokens.get(j + 1).map(|n| n.is_op("->")).unwrap_or(false) {
+            let mut k = j + 2;
+            while let Some(tk) = tokens.get(k) {
+                if tk.is_op("{") || tk.is_op(";") || tk.is_ident("where") {
+                    break;
+                }
+                if tk.is_ident("Result") || tk.is_ident("EcoResult") {
+                    returns_result = true;
+                }
+                k += 1;
+            }
+        }
+        if !returns_result {
+            continue;
+        }
+        // Walk backwards over modifiers and attributes.
+        let mut is_pub = false;
+        let mut has_must_use = false;
+        let mut b = i;
+        while b > 0 {
+            b -= 1;
+            let Some(tk) = tokens.get(b) else { break };
+            match tk.text.as_str() {
+                "pub" => is_pub = true,
+                "crate" | "super" | "in" | "const" | "async" | "extern" => {}
+                "(" | ")" | "::" => {}
+                "]" => {
+                    // Scan back to the matching `[` collecting attr idents.
+                    let mut d = 1i32;
+                    let mut a = b;
+                    while a > 0 && d > 0 {
+                        a -= 1;
+                        if let Some(at) = tokens.get(a) {
+                            if at.is_op("]") {
+                                d += 1;
+                            } else if at.is_op("[") {
+                                d -= 1;
+                            } else if at.is_ident("must_use") {
+                                has_must_use = true;
+                            }
+                        }
+                    }
+                    b = a;
+                }
+                _ => {
+                    if tk.kind == TokKind::StrLit {
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        out.push((name.text.clone(), name.line, is_pub, has_must_use));
+    }
+    out
+}
+
+/// Rule 5 (definitions): public library fns returning `Result` must be
+/// `#[must_use]`.
+pub fn must_use_definitions(tokens: &[Tok], findings: &mut Vec<Finding>) {
+    for (name, line, is_pub, has_must_use) in result_fns(tokens) {
+        if is_pub && !has_must_use {
+            push(
+                findings,
+                RULE_MUST_USE,
+                line,
+                format!("pub fn `{name}` returns Result but is not #[must_use]"),
+            );
+        }
+    }
+}
+
+/// Rule 5 (call sites): a statement that calls a known Result-returning
+/// fn and throws the value away (`foo(…);` or `let _ = foo(…);`).
+pub fn must_use_call_sites(
+    tokens: &[Tok],
+    known_result_fns: &dyn Fn(&str) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !known_result_fns(&t.text) {
+            continue;
+        }
+        if !tokens.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false) {
+            continue;
+        }
+        // Skip definitions: `fn name(`.
+        if i > 0 && tokens.get(i - 1).map(|p| p.is_ident("fn")).unwrap_or(false) {
+            continue;
+        }
+        // Find the matching close paren.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut close = None;
+        while let Some(tk) = tokens.get(j) {
+            if tk.is_op("(") {
+                depth += 1;
+            } else if tk.is_op(")") {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(j);
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(close) = close else { continue };
+        if !tokens.get(close + 1).map(|n| n.is_op(";")).unwrap_or(false) {
+            continue;
+        }
+        // Walk back over the receiver chain to the statement boundary.
+        let mut b = i;
+        while b > 0 {
+            let Some(prev) = tokens.get(b - 1) else { break };
+            let chainy = prev.is_op(".")
+                || prev.is_op("::")
+                || prev.is_op("?")
+                || prev.is_op(")")
+                || prev.is_op("]")
+                || (prev.kind == TokKind::Ident && !is_keyword(&prev.text));
+            if chainy {
+                b -= 1;
+            } else {
+                break;
+            }
+        }
+        let boundary = if b == 0 { None } else { tokens.get(b - 1) };
+        let at_statement_start = boundary
+            .map(|tk| tk.is_op(";") || tk.is_op("{") || tk.is_op("}"))
+            .unwrap_or(true);
+        let let_underscore = b >= 2
+            && tokens.get(b - 1).map(|tk| tk.is_op("=")).unwrap_or(false)
+            && tokens
+                .get(b - 2)
+                .map(|tk| tk.is_ident("_"))
+                .unwrap_or(false);
+        if at_statement_start || let_underscore {
+            push(
+                findings,
+                RULE_MUST_USE,
+                t.line,
+                format!(
+                    "Result of `{}` is discarded; handle it, propagate with `?`, \
+                     or map the error explicitly",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run<F: Fn(&[Tok], &mut Vec<Finding>)>(src: &str, f: F) -> Vec<Finding> {
+        let lexed = lex(src);
+        let mut findings = Vec::new();
+        f(&lexed.tokens, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unwrap_and_panic_fire() {
+        let f = run("fn f() { x.unwrap(); panic!(\"no\"); }", |t, out| {
+            no_panic_in_lib(t, false, out)
+        });
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_or_does_not_fire() {
+        let f = run(
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); }",
+            |t, out| no_panic_in_lib(t, false, out),
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn indexing_fires_only_on_hot_paths() {
+        let src = "fn f(a: &[f64], i: usize) -> f64 { a[i] }";
+        let cold = run(src, |t, out| no_panic_in_lib(t, false, out));
+        let hot = run(src, |t, out| no_panic_in_lib(t, true, out));
+        assert!(cold.is_empty());
+        assert_eq!(hot.len(), 1);
+    }
+
+    #[test]
+    fn array_types_and_macros_are_not_indexing() {
+        let src = "fn f() { let x: [f64; 3] = [0.0; 3]; let v = vec![1]; }";
+        let hot = run(src, |t, out| no_panic_in_lib(t, true, out));
+        assert!(hot.is_empty(), "{hot:?}");
+    }
+
+    #[test]
+    fn quantity_without_suffix_fires() {
+        let f = run("fn f() { let carrier_freq = 2.0e6; }", |t, out| {
+            unit_suffix_discipline(t, out)
+        });
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("carrier_freq"));
+    }
+
+    #[test]
+    fn suffixed_quantity_is_clean() {
+        let f = run(
+            "struct S { carrier_freq_hz: f64 } fn f(distance_m: f64) { let speed_m_s = 1.0; }",
+            |t, out| unit_suffix_discipline(t, out),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn distortion_does_not_trip_dist_stem() {
+        let f = run("fn f() { let distortion = 0.1; }", |t, out| {
+            unit_suffix_discipline(t, out)
+        });
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn mixed_unit_arithmetic_fires() {
+        let f = run("fn f() { let z = a_hz + b_khz; }", |t, out| {
+            unit_suffix_discipline(t, out)
+        });
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("_hz"));
+    }
+
+    #[test]
+    fn same_unit_arithmetic_is_clean() {
+        let f = run(
+            "fn f() { let z = a_hz - b_hz; let q = t_mps + u_m_s; }",
+            |t, out| unit_suffix_discipline(t, out),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn float_eq_fires_on_literals_and_suffixed_idents() {
+        let f = run("fn f() { if x == 0.5 {} if a_hz != b_hz {} }", |t, out| {
+            no_float_eq(t, out)
+        });
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn int_eq_is_clean() {
+        let f = run("fn f() { if n == 3 {} if name == other {} }", |t, out| {
+            no_float_eq(t, out)
+        });
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_fires() {
+        let bad = run("pub fn f() {}", |t, out| deny_unsafe(t, out));
+        let good = run("#![forbid(unsafe_code)] pub fn f() {}", |t, out| {
+            deny_unsafe(t, out)
+        });
+        assert_eq!(bad.len(), 1);
+        assert!(good.is_empty());
+    }
+
+    #[test]
+    fn result_fn_without_must_use_fires() {
+        let f = run(
+            "pub fn fallible(x: u32) -> Result<u32, E> { Ok(x) }",
+            |t, out| must_use_definitions(t, out),
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn annotated_and_private_result_fns_are_clean() {
+        let f = run(
+            "#[must_use] pub fn a() -> Result<(), E> { Ok(()) } \
+             fn b() -> Result<(), E> { Ok(()) }",
+            |t, out| must_use_definitions(t, out),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn discarded_result_call_fires() {
+        let lexed = lex("fn f() { fallible(); let _ = fallible(); let ok = fallible(); }");
+        let mut out = Vec::new();
+        must_use_call_sites(&lexed.tokens, &|n| n == "fallible", &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn consumed_result_call_is_clean() {
+        let lexed = lex(
+            "fn f() -> Result<(), E> { fallible()?; let r = fallible(); \
+             return fallible(); }",
+        );
+        let mut out = Vec::new();
+        must_use_call_sites(&lexed.tokens, &|n| n == "fallible", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

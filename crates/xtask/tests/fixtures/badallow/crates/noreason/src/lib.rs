@@ -1,0 +1,9 @@
+//! Fixture: a suppression without a written reason. The directive must
+//! be reported itself AND must not suppress the finding it targets.
+
+#![forbid(unsafe_code)]
+
+pub fn is_noiseless(sigma: f64) -> bool {
+    // lint:allow(no-float-eq)
+    sigma == 0.0
+}

@@ -1,0 +1,28 @@
+//! Fixture: a compliant library — unit suffixes, `#[must_use]`, and one
+//! float comparison justified with a reasoned suppression.
+
+#![forbid(unsafe_code)]
+
+/// A fallible operation, correctly annotated.
+#[must_use]
+pub fn fallible(x: u32) -> Result<u32, ()> {
+    Ok(x)
+}
+
+/// Propagates instead of discarding.
+#[must_use]
+pub fn consumes() -> Result<u32, ()> {
+    let v = fallible(3)?;
+    Ok(v)
+}
+
+/// Exact-zero check carrying the mandatory reason.
+pub fn is_noiseless(sigma: f64) -> bool {
+    // lint:allow(no-float-eq) sigma = 0.0 is an exact sentinel, not computed
+    sigma == 0.0
+}
+
+/// Suffixed physical quantities are fine.
+pub fn doppler(carrier_freq_hz: f64, speed_m_s: f64, c_m_s: f64) -> f64 {
+    carrier_freq_hz * speed_m_s / c_m_s
+}

@@ -1,0 +1,14 @@
+//! Fixture: slice indexing that only counts as a finding when this file
+//! is listed in `LintConfig::hot_paths`.
+
+#![forbid(unsafe_code)]
+
+pub fn sum(a: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < a.len() {
+        acc += a[i];
+        i += 1;
+    }
+    acc
+}

@@ -1,0 +1,95 @@
+//! Integration tests: the linter against the fixture corpora under
+//! `tests/fixtures/` — every rule fires on the dirty tree, justified
+//! suppressions keep the clean tree clean, and a reason-less suppression
+//! is itself reported without suppressing anything.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use xtask::{lint_workspace, rules, LintConfig};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn hot_cfg() -> LintConfig {
+    LintConfig {
+        hot_paths: vec!["hotlib/src/lib.rs".to_string()],
+    }
+}
+
+#[test]
+fn every_rule_fires_on_the_dirty_corpus() {
+    let findings = lint_workspace(&fixture("dirty"), &hot_cfg()).expect("fixture tree reads");
+    let fired: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    for rule in rules::ALL_RULES {
+        assert!(
+            fired.contains(rule),
+            "rule {rule} did not fire: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn findings_carry_file_and_line() {
+    let findings = lint_workspace(&fixture("dirty"), &hot_cfg()).unwrap();
+    let unwrap_hit = findings
+        .iter()
+        .find(|f| f.rule == rules::RULE_NO_PANIC && f.msg.contains("unwrap"))
+        .expect("unwrap() finding");
+    assert!(
+        unwrap_hit.file.ends_with("badlib/src/lib.rs"),
+        "{unwrap_hit:?}"
+    );
+    assert!(unwrap_hit.line > 1);
+    let indexing = findings
+        .iter()
+        .find(|f| f.msg.contains("indexing"))
+        .expect("hot-path indexing finding");
+    assert!(indexing.file.ends_with("hotlib/src/lib.rs"), "{indexing:?}");
+}
+
+#[test]
+fn hot_path_indexing_requires_configuration() {
+    let cold = LintConfig { hot_paths: vec![] };
+    let findings = lint_workspace(&fixture("dirty"), &cold).unwrap();
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.file.ends_with("hotlib/src/lib.rs")),
+        "hotlib should be finding-free without hot-path config: {findings:#?}"
+    );
+}
+
+#[test]
+fn discarded_result_is_reported_at_the_call_site() {
+    let findings = lint_workspace(&fixture("dirty"), &hot_cfg()).unwrap();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == rules::RULE_MUST_USE && f.msg.contains("discarded")),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn justified_suppressions_keep_the_clean_corpus_clean() {
+    let findings = lint_workspace(&fixture("clean"), &LintConfig::default()).unwrap();
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn reasonless_suppression_is_itself_a_finding_and_does_not_suppress() {
+    let findings = lint_workspace(&fixture("badallow"), &LintConfig::default()).unwrap();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == rules::RULE_LINT_ALLOW && f.msg.contains("reason")),
+        "missing-reason directive must be reported: {findings:#?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == rules::RULE_NO_FLOAT_EQ),
+        "the targeted finding must survive a reason-less directive: {findings:#?}"
+    );
+}

@@ -21,7 +21,10 @@ fn main() {
     println!("Shell selection (ΔP_max → tallest building, ρ = 2300 kg/m³):");
     for (name, shell) in [
         ("resin 2.0 mm", Shell::paper_resin()),
-        ("resin 3.0 mm", Shell::new(ShellMaterial::SLA_RESIN, 0.0225, 0.003)),
+        (
+            "resin 3.0 mm",
+            Shell::new(ShellMaterial::SLA_RESIN, 0.0225, 0.003),
+        ),
         ("steel 2.0 mm", Shell::paper_steel()),
     ] {
         println!(
@@ -46,9 +49,15 @@ fn main() {
     // 3. Reader placement: coverage radius per structure at 200 V.
     println!("\nCoverage at 200 V drive:");
     for s in Structure::paper_set() {
-        let r = LinkBudget::for_structure(&s).max_range_m(200.0, 0.5);
+        let r = LinkBudget::for_structure(&s)
+            .expect("paper structures are valid")
+            .max_range_m(200.0, 0.5)
+            .expect("valid link query");
         match r {
-            Some(r) => println!("  {}: capsules reachable within {r:.2} m of the reader", s.name),
+            Some(r) => println!(
+                "  {}: capsules reachable within {r:.2} m of the reader",
+                s.name
+            ),
             None => println!("  {}: unreachable at 200 V", s.name),
         }
     }

@@ -25,7 +25,11 @@ fn main() {
     // Daily deck-vibration activity with the 7/15–7/23 storm highlighted.
     println!("\nJuly 2021 — daily RMS deck acceleration (sensor #1):");
     for (day, rms) in study.daily_activity(Channel::Acceleration(1)) {
-        let marker = if PilotStudy::in_storm(day) { " <- storm window" } else { "" };
+        let marker = if PilotStudy::in_storm(day) {
+            " <- storm window"
+        } else {
+            ""
+        };
         let bar = "#".repeat((rms * 4000.0) as usize);
         println!("  7/{:02} {:>8.4}  {bar}{marker}", day as u32, rms);
     }

@@ -34,7 +34,10 @@ fn main() {
     // Full inventory with Q adaptation.
     let mut nodes: Vec<NodeProtocol> = (0..n_nodes).map(|i| NodeProtocol::new(0xEC0 + i)).collect();
     let found = inventory_all(&mut nodes, 2, 50, &mut rng);
-    println!("\nAdaptive inventory found {} / {n_nodes} nodes:", found.len());
+    println!(
+        "\nAdaptive inventory found {} / {n_nodes} nodes:",
+        found.len()
+    );
     for id in &found {
         println!("  node 0x{id:X}");
     }

@@ -23,16 +23,16 @@ fn main() {
 
     // Predict coverage before attaching anything: the link budget tells
     // us how deep each drive voltage reaches.
-    let lb = wall.link_budget();
+    let lb = wall.link_budget().expect("wall geometry is valid");
     for v in [50.0, 100.0, 200.0, 250.0] {
-        match lb.max_range_m(v, 0.5) {
+        match lb.max_range_m(v, 0.5).expect("valid link query") {
             Some(r) => println!("  at {v:>3} V the CBW powers capsules up to {r:.2} m"),
             None => println!("  at {v:>3} V nothing powers up"),
         }
     }
 
     // Survey at 200 V: charge → inventory → read temperature/humidity/strain.
-    let report = wall.survey(200.0, &mut rng);
+    let report = wall.survey(200.0, &mut rng).expect("valid survey");
     println!("\nSurvey at 200 V:");
     println!("  powered up:   {:?}", report.powered_ids);
     println!("  inventoried:  {:?}", report.inventoried_ids);

@@ -24,14 +24,18 @@ fn main() {
     for v in voltages {
         print!("{v:>8.0}");
         for s in &structures {
-            let lb = LinkBudget::for_structure(s);
-            match lb.max_range_m(v, 0.5) {
+            let lb = LinkBudget::for_structure(s).expect("paper structures are valid");
+            match lb.max_range_m(v, 0.5).expect("valid link query") {
                 Some(r) => print!("{r:>10.2}"),
                 None => print!("{:>10}", "-"),
             }
         }
         for pool in [PabPool::Pool1, PabPool::Pool2] {
-            match pool.link_budget().max_range_m(v, 0.5) {
+            match pool
+                .link_budget()
+                .max_range_m(v, 0.5)
+                .expect("valid link query")
+            {
                 Some(r) => print!("{r:>10.2}"),
                 None => print!("{:>10}", "-"),
             }

@@ -9,8 +9,12 @@ use rand::SeedableRng;
 fn full_survey_on_common_wall() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut wall = SelfSensingWall::common_wall(&[0.4, 0.9, 1.6]);
-    let report = wall.survey(200.0, &mut rng);
-    assert_eq!(report.powered_ids.len(), 3, "all three capsules power up at 200 V");
+    let report = wall.survey(200.0, &mut rng).unwrap();
+    assert_eq!(
+        report.powered_ids.len(),
+        3,
+        "all three capsules power up at 200 V"
+    );
     assert_eq!(report.inventoried_ids.len(), 3, "all three inventoried");
     assert_eq!(report.readings.len(), 9, "3 sensors × 3 capsules");
     // Readings round-trip the default environment.
@@ -26,10 +30,10 @@ fn full_survey_on_common_wall() {
 
 #[test]
 fn coverage_grows_with_voltage_like_fig12() {
-    let mut count_at = |v: f64| {
+    let count_at = |v: f64| {
         let mut rng = StdRng::seed_from_u64(2);
         let mut wall = SelfSensingWall::common_wall(&[0.5, 1.5, 3.0, 4.5]);
-        wall.survey(v, &mut rng).powered_ids.len()
+        wall.survey(v, &mut rng).unwrap().powered_ids.len()
     };
     let lo = count_at(50.0);
     let mid = count_at(150.0);
@@ -46,8 +50,16 @@ fn casting_then_survey_respects_geometry() {
     // Plan a 1.5 m slab pour with two capsules, validate, then survey the
     // equivalent slab.
     let mut plan = CastingPlan::new(1.5, 0.5, 0.15, ConcreteGrade::Nc.mix());
-    plan.place(Position { x_m: 0.5, y_m: 0.25, z_m: 0.075 });
-    plan.place(Position { x_m: 1.0, y_m: 0.25, z_m: 0.075 });
+    plan.place(Position {
+        x_m: 0.5,
+        y_m: 0.25,
+        z_m: 0.075,
+    });
+    plan.place(Position {
+        x_m: 1.0,
+        y_m: 0.25,
+        z_m: 0.075,
+    });
     assert!(plan.validate().is_ok());
     assert!(plan
         .ct_examination(node::shell::Shell::paper_resin().dp_max_pa())
@@ -56,7 +68,7 @@ fn casting_then_survey_respects_geometry() {
 
     let mut rng = StdRng::seed_from_u64(3);
     let mut wall = SelfSensingWall::new(Structure::s1_slab(), &[0.5, 1.0]);
-    let report = wall.survey(100.0, &mut rng);
+    let report = wall.survey(100.0, &mut rng).unwrap();
     assert_eq!(report.inventoried_ids.len(), 2);
 }
 
@@ -89,7 +101,12 @@ fn shm_pipeline_from_capsule_to_health_grade() {
         }
     };
     session
-        .transact(&mut capsule, &protocol::frame::Command::Ack { rn16 }, &env, &mut rng)
+        .transact(
+            &mut capsule,
+            &protocol::frame::Command::Ack { rn16 },
+            &env,
+            &mut rng,
+        )
         .unwrap();
     let stress_mpa = session
         .read_sensor(&mut capsule, SensorKind::Stress, &env, &mut rng)
@@ -119,7 +136,10 @@ fn pilot_study_feeds_health_dashboard() {
     let stress_days = study.detect_anomalies(Channel::Stress(1), 1.4);
     assert!(!acc_days.is_empty() && !stress_days.is_empty());
     let overlap = acc_days.iter().filter(|d| stress_days.contains(d)).count();
-    assert!(overlap >= 4, "storm seen by both modalities: {overlap} days");
+    assert!(
+        overlap >= 4,
+        "storm seen by both modalities: {overlap} days"
+    );
     // Paper: health stayed at B or above all year (social distancing).
     assert_eq!(crowding_risk(3.0), CrowdingRisk::Good);
 }
@@ -129,7 +149,7 @@ fn surveys_are_reproducible() {
     let run = |seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
-        let r = wall.survey(150.0, &mut rng);
+        let r = wall.survey(150.0, &mut rng).unwrap();
         (r.powered_ids, r.inventoried_ids, r.readings.len())
     };
     assert_eq!(run(11), run(11));

@@ -27,7 +27,10 @@ fn operator_targets_one_wall_section_with_select() {
     assert_eq!(found.len(), 5);
     assert!(found.iter().all(|id| id >> 16 == 1));
     // Re-select all: the west wall answers again.
-    let all = Command::Select { prefix: 0, prefix_bits: 0 };
+    let all = Command::Select {
+        prefix: 0,
+        prefix_bits: 0,
+    };
     for n in nodes.iter_mut() {
         n.on_command(&all, &mut rng);
     }
@@ -66,7 +69,10 @@ fn defect_retuning_feeds_back_into_the_link() {
         }
     }
     let (seed, gain) = best.unwrap();
-    assert!(gain > 2.0, "retuning must matter somewhere: seed {seed} gains {gain} dB");
+    assert!(
+        gain > 2.0,
+        "retuning must matter somewhere: seed {seed} gains {gain} dB"
+    );
     // The retuned carrier really is better through the channel.
     let ch = DefectChannel::reinforced(1.5, cs, 3.0, seed);
     let r = reader::tuning::fine_tune(&block, &ch, 40e3, 0.5e3);
@@ -106,12 +112,18 @@ fn health_report_pipeline_from_histories() {
             (t, 150e-6 * t / YEAR_S)
         })
         .collect();
-    let irh: Vec<(f64, f64)> = (0..200).map(|w| (w as f64 * 7.0 * 86_400.0, 90.0)).collect();
+    let irh: Vec<(f64, f64)> = (0..200)
+        .map(|w| (w as f64 * 7.0 * 86_400.0, 90.0))
+        .collect();
     let report = HealthReport::new()
         .with_strain(strain_drift(&strain, 50.0))
         .with_corrosion(corrosion_risk(&irh).unwrap())
         .with_stiffness(-0.06);
-    assert!(report.severity() >= Severity::Warning, "{}", report.render());
+    assert!(
+        report.severity() >= Severity::Warning,
+        "{}",
+        report.render()
+    );
     assert_eq!(report.findings.len(), 3);
     let text = report.render();
     assert!(text.contains("strain drifting"));
@@ -134,8 +146,13 @@ fn spectrogram_verifies_the_fsk_transmitter() {
     let fs = 1.0e6;
     let pie = Pie::new(2e-3);
     let segs = pie.encode(&[false, false]);
-    let drive = synthesize_drive(&segs, DownlinkScheme::FskInOokOut { off_hz: 180e3 }, 230e3, fs);
-    let sg = Spectrogram::compute(&drive, 512, 256, fs);
+    let drive = synthesize_drive(
+        &segs,
+        DownlinkScheme::FskInOokOut { off_hz: 180e3 },
+        230e3,
+        fs,
+    );
+    let sg = Spectrogram::compute(&drive, 512, 256, fs).unwrap();
     let track = sg.frequency_track();
     let highs = track.iter().filter(|f| (**f - 230e3).abs() < 10e3).count();
     let lows = track.iter().filter(|f| (**f - 180e3).abs() < 10e3).count();

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 fn undervoltage_survey_reports_nothing() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut wall = SelfSensingWall::common_wall(&[1.0, 2.0]);
-    let report = wall.survey(10.0, &mut rng);
+    let report = wall.survey(10.0, &mut rng).unwrap();
     assert!(report.powered_ids.is_empty());
     assert!(report.inventoried_ids.is_empty());
     assert!(report.readings.is_empty());
@@ -44,7 +44,10 @@ fn heavy_noise_fails_decode_without_panicking() {
     // Noise 20× the backscatter amplitude.
     let (samples, _) = synthesize_uplink(&cfg, &bits, 2e3, 1e-3, 2.0, &mut rng);
     let rx = Receiver::new(2e3);
-    let out = rx.decode_reply(&Capture { samples, fs_hz: cfg.fs_hz });
+    let out = rx.decode_reply(&Capture {
+        samples,
+        fs_hz: cfg.fs_hz,
+    });
     assert!(out.is_err(), "garbage must not decode: {out:?}");
 }
 
@@ -89,7 +92,11 @@ fn overloaded_shell_cracks_in_ct_not_silently() {
     use concrete::casting::{CastingPlan, CtFinding, Position};
     use concrete::ConcreteGrade;
     let mut plan = CastingPlan::new(1.0, 250.0, 1.0, ConcreteGrade::Nc.mix());
-    plan.place(Position { x_m: 0.5, y_m: 2.0, z_m: 0.5 }); // 248 m of head
+    plan.place(Position {
+        x_m: 0.5,
+        y_m: 2.0,
+        z_m: 0.5,
+    }); // 248 m of head
     let findings = plan.ct_examination(node::shell::Shell::paper_resin().dp_max_pa());
     assert_eq!(findings, vec![CtFinding::Cracked]);
 }
@@ -157,5 +164,8 @@ fn clock_drift_within_datasheet_still_decodes() {
 fn preamble_consts_agree_across_layers() {
     // protocol::timing models the uplink preamble length without
     // depending on phy; the two constants must stay in lockstep.
-    assert_eq!(protocol::inventory::PREAMBLE_LEN, phy::fm0::PREAMBLE_BITS.len());
+    assert_eq!(
+        protocol::inventory::PREAMBLE_LEN,
+        phy::fm0::PREAMBLE_BITS.len()
+    );
 }

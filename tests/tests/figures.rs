@@ -11,6 +11,7 @@ fn fig04_s_only_window_is_34_to_73_degrees() {
         elastic::Material::PLA.cp_m_s,
         &elastic::Material::CONCRETE_REF,
     )
+    .unwrap()
     .unwrap();
     assert!((ca1.to_degrees() - 34.0).abs() < 1.5);
     assert!((ca2.to_degrees() - 73.0).abs() < 2.5);
@@ -39,7 +40,11 @@ fn fig07_ring_tail_is_suppressed_by_fsk() {
     let segs = pie.encode(&[false]);
     let ook = pzt.respond(&synthesize_drive(&segs, DownlinkScheme::Ook, 230e3, fs));
     let tail = measure_tail_s(&ook, 0.5e-3, 0.05, fs).unwrap();
-    assert!((0.1e-3..0.6e-3).contains(&tail), "OOK tail {} ms", tail * 1e3);
+    assert!(
+        (0.1e-3..0.6e-3).contains(&tail),
+        "OOK tail {} ms",
+        tail * 1e3
+    );
 }
 
 #[test]
@@ -48,7 +53,9 @@ fn fig12_headline_six_meter_range() {
     use concrete::structure::Structure;
     // Abstract: "power-up ranges of up to 6 m".
     let r = LinkBudget::for_structure(&Structure::s3_common_wall())
+        .unwrap()
         .max_range_m(250.0, 0.5)
+        .unwrap()
         .unwrap();
     assert!(r >= 5.5, "max range {r} m");
 }
@@ -69,7 +76,10 @@ fn fig15_waterfall_and_pab_gap() {
     let eco = reader::rx::simulate_fm0_ber(8.0, 100_000, &mut rng);
     let pab = baselines::pab::pab_ber(8.0, 100_000, &mut rng);
     assert!(eco < 5e-4, "EcoCapsule at 8 dB: {eco}");
-    assert!(pab > 5.0 * eco.max(1e-6), "PAB worse at 8 dB: {pab} vs {eco}");
+    assert!(
+        pab > 5.0 * eco.max(1e-6),
+        "PAB worse at 8 dB: {pab} vs {eco}"
+    );
 }
 
 #[test]
@@ -124,7 +134,9 @@ fn fig19_prism_peak_inside_window() {
 fn fig20_fsk_gain() {
     use phy::modulation::DownlinkScheme;
     let ch = channel::downlink::DownlinkChannel::paper_default();
-    let off = concrete::ConcreteGrade::Nc.mix().off_resonant_frequency_hz();
+    let off = concrete::ConcreteGrade::Nc
+        .mix()
+        .off_resonant_frequency_hz();
     let fsk = ch.symbol_snr_db(2e3, DownlinkScheme::FskInOokOut { off_hz: off });
     let ook = ch.symbol_snr_db(2e3, DownlinkScheme::Ook);
     assert!(fsk - ook >= 3.0, "FSK {fsk} dB vs OOK {ook} dB");
@@ -146,7 +158,11 @@ fn fig21_storm_in_both_modalities() {
 #[test]
 fn fig22_switch_pattern_visible_in_envelope() {
     let w = ecocapsule::scenario::fig22_waveform(4e-3, 1000.0, 12e-3);
-    let after: Vec<f64> = w.iter().filter(|(t, _)| *t > 5e-3).map(|(_, v)| *v).collect();
+    let after: Vec<f64> = w
+        .iter()
+        .filter(|(t, _)| *t > 5e-3)
+        .map(|(_, v)| *v)
+        .collect();
     let hi = after.iter().cloned().fold(f64::MIN, f64::max);
     let lo = after.iter().cloned().fold(f64::MAX, f64::min);
     assert!(hi - lo > 30.0, "switching contrast {hi}-{lo}");
