@@ -10,7 +10,7 @@
 //! attenuates 900 MHz by tens of dB per ten centimetres (the rebar mesh
 //! adds a Faraday-cage shielding floor on top). The model here is a
 //! standard homogeneous-dielectric absorption law calibrated to the
-//! embedded-RFID literature the paper cites ([37], [53]).
+//! embedded-RFID literature the paper cites (refs. 37 and 53).
 
 /// UHF RFID carrier (Hz).
 pub const UHF_CARRIER_HZ: f64 = 915e6;

@@ -169,7 +169,9 @@ fn stages() {
     println!("input; beyond 4 the extra diode drops eat the gain — the paper's choice.");
 }
 
-/// FM0 vs Miller under the same noise.
+/// FM0 vs Miller under the same noise. Each codec is an independent
+/// Monte-Carlo cell, so the grid fans out over the worker pool with
+/// per-cell derived seeds — output is identical at any worker count.
 fn coding() {
     use phy::fm0::Fm0;
     use phy::miller::Miller;
@@ -177,45 +179,41 @@ fn coding() {
     let n_bits = 20_000;
     let bits: Vec<bool> = (0..n_bits).map(|_| rng.gen_bool(0.5)).collect();
     let sigma = 1.1;
+    let base_seed: u64 = rng.gen();
 
-    let mut rows = Vec::new();
-    // FM0 at 4 samples/bit.
-    let fm0 = Fm0::new(4);
-    let mut wave = fm0.encode(&bits);
-    for x in wave.iter_mut() {
-        *x += channel::noise::gaussian(&mut rng) * sigma;
-    }
-    let err = fm0
-        .decode_ml(&wave)
-        .iter()
-        .zip(&bits)
-        .filter(|(a, b)| a != b)
-        .count();
-    rows.push(vec![
-        "FM0".into(),
-        fmt(4.0, 0),
-        fmt(1.0, 0),
-        format!("{:.2e}", err as f64 / n_bits as f64),
-    ]);
-    for m in [2usize, 4, 8] {
-        let codec = Miller::new(m, 1);
-        let mut wave = codec.encode(&bits);
-        for x in wave.iter_mut() {
-            *x += channel::noise::gaussian(&mut rng) * sigma;
-        }
-        let err = codec
-            .decode_ml(&wave)
-            .iter()
-            .zip(&bits)
-            .filter(|(a, b)| a != b)
-            .count();
-        rows.push(vec![
-            format!("Miller-{m}"),
-            fmt(codec.samples_per_bit() as f64, 0),
-            fmt(m as f64, 0),
+    // Cell 0 is FM0 at 4 samples/bit; cells 1.. are Miller M=2/4/8.
+    let millers = [0usize, 2, 4, 8];
+    let pool = exec::Pool::max_parallel();
+    let rows: Vec<Vec<String>> = pool.par_map(&millers, |i, &m| {
+        let mut cell_rng = StdRng::seed_from_u64(exec::seed::derive(base_seed, i as u64));
+        let (label, samples_per_bit, blf_multiple, decoded) = if m == 0 {
+            let fm0 = Fm0::new(4);
+            let mut wave = fm0.encode(&bits);
+            for x in wave.iter_mut() {
+                *x += channel::noise::gaussian(&mut cell_rng) * sigma;
+            }
+            ("FM0".to_string(), 4.0, 1.0, fm0.decode_ml(&wave))
+        } else {
+            let codec = Miller::new(m, 1);
+            let mut wave = codec.encode(&bits);
+            for x in wave.iter_mut() {
+                *x += channel::noise::gaussian(&mut cell_rng) * sigma;
+            }
+            (
+                format!("Miller-{m}"),
+                codec.samples_per_bit() as f64,
+                m as f64,
+                codec.decode_ml(&wave),
+            )
+        };
+        let err = decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        vec![
+            label,
+            fmt(samples_per_bit, 0),
+            fmt(blf_multiple, 0),
             format!("{:.2e}", err as f64 / n_bits as f64),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Coding ablation — BER at equal per-sample noise (σ=1.1)",
         &["code", "samples/bit", "BLF_multiple", "BER"],

@@ -298,20 +298,20 @@ fn fig14() {
     );
 }
 
-/// Fig 15: BER vs SNR for EcoCapsule and PAB (Monte-Carlo).
+/// Fig 15: BER vs SNR for EcoCapsule and PAB (Monte-Carlo). The SNR
+/// points are independent, so they fan out over the worker pool with
+/// per-point seeds derived from one base — the table is identical at
+/// any worker count (including `--workers 1` via `exec::Pool::serial`).
 fn fig15() {
-    let mut rng = StdRng::seed_from_u64(15);
-    let mut rows = Vec::new();
-    for snr in [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 18.0] {
+    let pool = exec::Pool::max_parallel();
+    let snrs = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 18.0];
+    let rows: Vec<Vec<String>> = pool.par_map(&snrs, |i, &snr| {
         let bits = if snr >= 8.0 { 2_000_000 } else { 200_000 };
+        let mut rng = StdRng::seed_from_u64(exec::seed::derive(15, i as u64));
         let eco = reader::rx::simulate_fm0_ber(snr, bits, &mut rng);
         let pab = baselines::pab::pab_ber(snr, bits, &mut rng);
-        rows.push(vec![
-            fmt(snr, 0),
-            format!("{eco:.2e}"),
-            format!("{pab:.2e}"),
-        ]);
-    }
+        vec![fmt(snr, 0), format!("{eco:.2e}"), format!("{pab:.2e}")]
+    });
     print_table(
         "Fig 15 — BER vs SNR (paper: EcoCapsule hits 1e-5 at 8 dB, PAB at 11 dB)",
         &["SNR_dB", "EcoCapsule", "PAB"],

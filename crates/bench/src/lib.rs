@@ -1,6 +1,22 @@
-//! Shared helpers for the experiment harness and the Criterion benches.
+//! Benchmark harness regenerating the tables and figures of the paper.
+//!
+//! Three binaries live on top of this library:
+//!
+//! - `experiments` — the headline figures (link budget, BER curves,
+//!   localization, pilot study);
+//! - `ablations` — design-space sweeps over coding, geometry, and
+//!   materials;
+//! - `sweeps` — the serial-vs-parallel timed parameter grids behind
+//!   `BENCH_sweeps.json` (see [`sweeps`]).
+//!
+//! The library half is deliberately thin: the table printers the binaries
+//! share, plus the [`sweeps`] grid definitions — kept in the library so
+//! the integration tests can assert bit-identical parallel execution
+//! without crossing a process boundary.
 
 #![forbid(unsafe_code)]
+
+pub mod sweeps;
 
 /// Prints a two-column numeric series with a caption.
 pub fn print_series(caption: &str, x_label: &str, y_label: &str, rows: &[(f64, f64)]) {

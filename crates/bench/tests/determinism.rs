@@ -1,0 +1,68 @@
+//! Determinism gate for the sweep engine: every workload grid must
+//! produce bit-identical output under 1, 2, and N worker threads, and
+//! the JSON report must reflect that.
+
+use bench::sweeps::{ber_grid, fieldmap, run_all, to_json, uplink_decode, Scale};
+use exec::Pool;
+
+#[test]
+fn ber_grid_is_bit_identical_across_worker_counts() {
+    let scale = Scale::smoke();
+    let reference = ber_grid(&scale, &Pool::serial()).unwrap();
+    assert!(reference.bit_identical());
+    for workers in [2, Pool::max_parallel().workers().max(3)] {
+        let run = ber_grid(&scale, &Pool::new(workers)).unwrap();
+        assert_eq!(
+            run.checksum_parallel, reference.checksum_serial,
+            "ber-grid diverged at {workers} workers"
+        );
+        assert!(run.bit_identical(), "workers={workers}");
+    }
+}
+
+#[test]
+fn fieldmap_is_bit_identical_across_worker_counts() {
+    let scale = Scale::smoke();
+    let reference = fieldmap(&scale, &Pool::serial()).unwrap();
+    for workers in [2, Pool::max_parallel().workers().max(3)] {
+        let run = fieldmap(&scale, &Pool::new(workers)).unwrap();
+        assert_eq!(
+            run.checksum_parallel, reference.checksum_serial,
+            "fieldmap diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn uplink_decode_is_bit_identical_across_worker_counts() {
+    let scale = Scale::smoke();
+    let reference = uplink_decode(&scale, &Pool::serial()).unwrap();
+    assert!(
+        reference.tasks >= 3,
+        "smoke profile must still exercise several captures"
+    );
+    let run = uplink_decode(&scale, &Pool::new(2)).unwrap();
+    assert_eq!(run.checksum_parallel, reference.checksum_serial);
+}
+
+#[test]
+fn run_all_reports_every_workload_identical() {
+    let scale = Scale::smoke();
+    let results = run_all(&scale, &Pool::max_parallel()).unwrap();
+    assert!(results.len() >= 3, "JSON must carry at least 3 workloads");
+    for r in &results {
+        assert!(r.bit_identical(), "{} diverged", r.name);
+        assert!(r.tasks > 0);
+        assert!(
+            !r.stage_cpu_ms.is_empty(),
+            "{} has no stage breakdown",
+            r.name
+        );
+    }
+    let json = to_json(&results, &Pool::max_parallel(), &scale);
+    assert!(json.contains("\"schema\": \"ecocapsule-bench-sweeps/1\""));
+    assert!(json.contains("\"bit_identical\": true"));
+    assert!(!json.contains("\"bit_identical\": false"));
+    assert!(json.contains("\"survey-grid\""));
+    assert!(json.contains("\"ber-grid\""));
+}

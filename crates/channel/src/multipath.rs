@@ -269,7 +269,7 @@ pub struct DualModeChannel {
     pub cp_m_s: f64,
     /// S-wave speed (m/s).
     pub cs_m_s: f64,
-    /// Amplitude fraction in the P copy, in [0,1].
+    /// Amplitude fraction in the P copy, in `[0, 1]`.
     pub p_fraction: f64,
     /// Path length (m).
     pub distance_m: f64,

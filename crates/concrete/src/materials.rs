@@ -183,7 +183,7 @@ impl ConcreteMix {
     /// S-wave attenuation law.
     ///
     /// §3.1: "the attenuation coefficient of S-wave is much smaller than
-    /// that of P-waves [39], which means S-wave can travel further" — the
+    /// that of P-waves (ref. 39), which means S-wave can travel further" — the
     /// whole reason the prism selects the S mode. The S law is what the
     /// metre-scale range results (Fig 12) ride on; the P law
     /// ([`Self::attenuation`]) is what the block-scale frequency response

@@ -22,16 +22,19 @@
 //!
 //! Layer map (bottom-up): [`dsp`] → [`elastic`] → [`concrete`], [`phy`]
 //! → [`channel`], [`node`], [`protocol`] → [`reader`], [`baselines`] →
-//! [`shm`] → here.
+//! [`shm`] → here. The side-car [`exec`] crate supplies the deterministic
+//! worker pool that [`scenario::SelfSensingWall::survey_with`] and the
+//! bench sweep grids fan out on.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use baselines;
 pub use channel;
 pub use concrete;
 pub use dsp;
 pub use elastic;
+pub use exec;
 pub use node;
 pub use phy;
 pub use protocol;
@@ -50,6 +53,7 @@ pub mod prelude {
     pub use crate::scenario::{MonitoringCampaign, SelfSensingWall, SurveyReport};
     pub use channel::linkbudget::LinkBudget;
     pub use concrete::{ConcreteGrade, Structure};
+    pub use exec::Pool;
     pub use node::capsule::{EcoCapsule, Environment};
     pub use protocol::frame::SensorKind;
     pub use reader::app::ReaderSession;

@@ -5,10 +5,12 @@ use channel::linkbudget::LinkBudget;
 use concrete::structure::Structure;
 use concrete::ConcreteGrade;
 use dsp::EcoResult;
+use exec::Pool;
 use node::capsule::{EcoCapsule, Environment};
 use node::harvester::MIN_ACTIVATION_V;
 use protocol::frame::SensorKind;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use reader::app::ReaderSession;
 use reader::rx::{max_throughput_bps, snr_vs_bitrate_db};
 
@@ -39,6 +41,31 @@ pub struct SurveyReport {
 
 impl SelfSensingWall {
     /// The paper's S3 common wall with capsules at the given standoffs.
+    ///
+    /// The quickstart flow — predict coverage from the link budget, then
+    /// survey (charge → inventory → read each capsule's sensors):
+    ///
+    /// ```
+    /// use ecocapsule::prelude::*;
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(42);
+    /// let mut wall = SelfSensingWall::common_wall(&[0.5, 1.2, 2.0]);
+    ///
+    /// // Coverage prediction: 200 V reaches past the farthest capsule.
+    /// let lb = wall.link_budget().expect("wall geometry is valid");
+    /// let reach_m = lb
+    ///     .max_range_m(200.0, 0.5)
+    ///     .expect("valid link query")
+    ///     .expect("200 V powers something");
+    /// assert!(reach_m > 2.0);
+    ///
+    /// // Survey at 200 V: all three capsules power up and answer.
+    /// let report = wall.survey(200.0, &mut rng).expect("valid survey");
+    /// assert_eq!(report.powered_ids, vec![1000, 1001, 1002]);
+    /// assert!(!report.readings.is_empty());
+    /// ```
     pub fn common_wall(distances_m: &[f64]) -> Self {
         SelfSensingWall::new(Structure::s3_common_wall(), distances_m)
     }
@@ -81,10 +108,39 @@ impl SelfSensingWall {
     ///
     /// Errors when the link-budget query is invalid (negative drive
     /// voltage or a degenerate structure geometry).
+    ///
+    /// Runs serially; [`SelfSensingWall::survey_with`] accepts an
+    /// [`exec::Pool`] and produces *bit-identical* results at any worker
+    /// count.
     #[must_use]
     pub fn survey<R: Rng>(&mut self, tx_voltage_v: f64, rng: &mut R) -> EcoResult<SurveyReport> {
+        self.survey_with(tx_voltage_v, rng, &Pool::serial())
+    }
+
+    /// [`SelfSensingWall::survey`] on an explicit worker pool.
+    ///
+    /// Determinism: exactly **one** value is drawn from `rng` and every
+    /// phase derives its own child generator from it with
+    /// [`exec::seed::derive`] — the inventory gets stream 0, capsule `id`
+    /// gets stream `1 + id`. Per-capsule sensor reads (phase 3) then
+    /// fan out over the pool with results merged in capsule order, so the
+    /// report and the post-survey wall state are bit-identical for every
+    /// worker count, including [`Pool::serial`].
+    ///
+    /// Phases 1–2 stay serial by nature: charging is a cheap closed-form
+    /// sweep, and inventory arbitrates a *shared* medium (slotted ALOHA
+    /// with collisions), which cannot be split across workers without
+    /// changing the protocol being simulated.
+    #[must_use]
+    pub fn survey_with<R: Rng>(
+        &mut self,
+        tx_voltage_v: f64,
+        rng: &mut R,
+        pool: &Pool,
+    ) -> EcoResult<SurveyReport> {
         let mut report = SurveyReport::default();
         let lb = self.link_budget()?;
+        let base_seed: u64 = rng.gen();
 
         // Phase 1: wireless charging.
         for (d, capsule) in self.capsules.iter_mut() {
@@ -99,7 +155,7 @@ impl SelfSensingWall {
             }
         }
 
-        // Phase 2: inventory (waveform level).
+        // Phase 2: inventory (waveform level, serial — shared medium).
         let mut powered: Vec<EcoCapsule> = self
             .capsules
             .iter()
@@ -107,30 +163,44 @@ impl SelfSensingWall {
             .map(|(_, c)| c.clone())
             .collect();
         let q = (powered.len().max(1) as f64).log2().ceil() as u8 + 1;
+        let mut inventory_rng = StdRng::seed_from_u64(exec::seed::derive(base_seed, 0));
         report.inventoried_ids =
             self.session
-                .inventory(&mut powered, &self.environment, q, 40, rng);
+                .inventory(&mut powered, &self.environment, q, 40, &mut inventory_rng);
 
-        // Phase 3: sensor reads against each acknowledged capsule.
-        for capsule in powered.iter_mut() {
-            if !report.inventoried_ids.contains(&capsule.id) {
-                continue;
-            }
-            for kind in [
-                SensorKind::Temperature,
-                SensorKind::Humidity,
-                SensorKind::Strain,
-            ] {
-                if let Ok(Some(value)) =
-                    self.session
-                        .read_sensor(capsule, kind, &self.environment, rng)
-                {
-                    report.readings.push((capsule.id, kind, value));
+        // Phase 3: sensor reads, one task per acknowledged capsule. The
+        // session is shared read-only; each task owns a clone of its
+        // capsule and an RNG derived from the capsule id, so scheduling
+        // cannot reorder random draws.
+        let session = &self.session;
+        let environment = &self.environment;
+        let inventoried = &report.inventoried_ids;
+        let surveyed: Vec<(EcoCapsule, Vec<(u32, SensorKind, f64)>)> =
+            pool.par_map(&powered, |_, capsule| {
+                let mut capsule = capsule.clone();
+                let mut readings = Vec::new();
+                if inventoried.contains(&capsule.id) {
+                    let mut read_rng = StdRng::seed_from_u64(exec::seed::derive(
+                        base_seed,
+                        1 + u64::from(capsule.id),
+                    ));
+                    for kind in [
+                        SensorKind::Temperature,
+                        SensorKind::Humidity,
+                        SensorKind::Strain,
+                    ] {
+                        if let Ok(Some(value)) =
+                            session.read_sensor(&mut capsule, kind, environment, &mut read_rng)
+                        {
+                            readings.push((capsule.id, kind, value));
+                        }
+                    }
                 }
-            }
-        }
-        // Write back protocol/lifecycle state.
-        for done in powered {
+                (capsule, readings)
+            });
+        // Merge in capsule order and write back protocol/lifecycle state.
+        for (done, readings) in surveyed {
+            report.readings.extend(readings);
             if let Some((_, c)) = self.capsules.iter_mut().find(|(_, c)| c.id == done.id) {
                 *c = done;
             }
@@ -287,6 +357,55 @@ mod tests {
             .unwrap()
             .2;
         assert!((temp - 25.0).abs() < 0.1, "temperature read {temp}");
+    }
+
+    #[test]
+    fn survey_is_bit_identical_across_worker_counts() {
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
+            wall.survey_with(200.0, &mut rng, &Pool::serial()).unwrap()
+        };
+        assert!(
+            !reference.readings.is_empty(),
+            "reference survey must actually read sensors"
+        );
+        for workers in [2, 3, exec::Pool::max_parallel().workers()] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
+            let report = wall
+                .survey_with(200.0, &mut rng, &Pool::new(workers))
+                .unwrap();
+            assert_eq!(report.powered_ids, reference.powered_ids);
+            assert_eq!(report.inventoried_ids, reference.inventoried_ids);
+            assert_eq!(report.readings.len(), reference.readings.len());
+            for ((id_a, kind_a, val_a), (id_b, kind_b, val_b)) in
+                report.readings.iter().zip(reference.readings.iter())
+            {
+                assert_eq!(id_a, id_b, "workers={workers}");
+                assert_eq!(kind_a, kind_b, "workers={workers}");
+                assert_eq!(
+                    val_a.to_bits(),
+                    val_b.to_bits(),
+                    "readings must be bit-identical (workers={workers})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survey_and_survey_with_serial_agree() {
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut wall_a = SelfSensingWall::common_wall(&[0.5, 1.0]);
+        let plain = wall_a.survey(150.0, &mut rng_a).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut wall_b = SelfSensingWall::common_wall(&[0.5, 1.0]);
+        let pooled = wall_b
+            .survey_with(150.0, &mut rng_b, &Pool::serial())
+            .unwrap();
+        assert_eq!(plain.powered_ids, pooled.powered_ids);
+        assert_eq!(plain.inventoried_ids, pooled.inventoried_ids);
+        assert_eq!(plain.readings.len(), pooled.readings.len());
     }
 
     #[test]

@@ -3,6 +3,21 @@
 //! The maximum-likelihood FM0 decoder correlates each symbol window with
 //! the candidate FM0 basis waveforms; these helpers implement the inner
 //! products and the preamble search.
+//!
+//! Two evaluation strategies coexist: the direct `O(n·m)` sliding dot
+//! product (exact, used by the decoder so symbol decisions stay
+//! bit-stable) and an FFT overlap method on cached [`crate::plan`] plans
+//! (`O(n log n)`, used automatically by [`cross_correlate`] for long
+//! template/signal pairs where the direct scan would dominate a sweep).
+
+use crate::complex::Complex;
+use crate::plan;
+
+/// Above this `signal_len · template_len` product, [`cross_correlate`]
+/// switches from the direct sliding dot product to the FFT method. The
+/// crossover is conservative: small decoder templates (tens of samples)
+/// always take the exact direct path.
+const FFT_CORR_THRESHOLD_OPS: usize = 1 << 22;
 
 /// Inner product of two equal-length slices.
 ///
@@ -25,14 +40,56 @@ pub fn normalized_correlation(a: &[f64], b: &[f64]) -> f64 {
 
 /// Full cross-correlation of `signal` against `template` for all lags in
 /// `0..=signal.len()-template.len()`. Returns the raw correlation values.
+///
+/// Dispatches to [`cross_correlate_fft`] when the direct scan would cost
+/// more than `FFT_CORR_THRESHOLD_OPS` multiply-adds; both strategies
+/// agree to within normal floating-point roundoff.
 pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
     if template.is_empty() || template.len() > signal.len() {
         return Vec::new();
+    }
+    if signal.len().saturating_mul(template.len()) > FFT_CORR_THRESHOLD_OPS {
+        if let Ok(out) = cross_correlate_fft(signal, template) {
+            return out;
+        }
     }
     signal
         .windows(template.len())
         .map(|win| dot(win, template))
         .collect()
+}
+
+/// FFT-based cross-correlation on cached power-of-two plans.
+///
+/// Computes `IFFT(FFT(signal) · conj(FFT(template)))` zero-padded to the
+/// next power of two ≥ `signal.len() + template.len() - 1` and truncates
+/// to the valid lags, so the result matches [`cross_correlate`]'s direct
+/// scan up to roundoff in `O((n+m) log (n+m))` instead of `O(n·m)`.
+/// Returns an empty vector when the template is empty or longer than the
+/// signal.
+#[must_use]
+pub fn cross_correlate_fft(signal: &[f64], template: &[f64]) -> crate::EcoResult<Vec<f64>> {
+    if template.is_empty() || template.len() > signal.len() {
+        return Ok(Vec::new());
+    }
+    let lags = signal.len() - template.len() + 1;
+    let m = (signal.len() + template.len() - 1).next_power_of_two();
+    let fft_plan = plan::plan_for(m)?;
+    let mut sig_f = vec![Complex::ZERO; m];
+    for (slot, &x) in sig_f.iter_mut().zip(signal) {
+        *slot = Complex::from_re(x);
+    }
+    let mut tpl_f = vec![Complex::ZERO; m];
+    for (slot, &x) in tpl_f.iter_mut().zip(template) {
+        *slot = Complex::from_re(x);
+    }
+    fft_plan.process(&mut sig_f, false)?;
+    fft_plan.process(&mut tpl_f, false)?;
+    for (s, t) in sig_f.iter_mut().zip(tpl_f.iter()) {
+        *s *= t.conj();
+    }
+    fft_plan.process(&mut sig_f, true)?;
+    Ok(sig_f.iter().take(lags).map(|z| z.re).collect())
 }
 
 /// Lag of the best normalized match of `template` within `signal`
@@ -122,5 +179,29 @@ mod tests {
         let t = vec![1.0; 3];
         assert_eq!(cross_correlate(&s, &t).len(), 8);
         assert!(cross_correlate(&t, &s).is_empty());
+    }
+
+    #[test]
+    fn fft_correlation_matches_direct_scan() {
+        let signal: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin()).collect();
+        let template: Vec<f64> = (0..40).map(|i| (i as f64 * 0.71).cos()).collect();
+        let direct: Vec<f64> = signal
+            .windows(template.len())
+            .map(|win| dot(win, &template))
+            .collect();
+        let fast = cross_correlate_fft(&signal, &template).unwrap();
+        assert_eq!(fast.len(), direct.len());
+        for (a, b) in direct.iter().zip(fast.iter()) {
+            assert!((a - b).abs() < 1e-9, "direct {a} vs fft {b}");
+        }
+    }
+
+    #[test]
+    fn fft_correlation_degenerate_inputs() {
+        assert!(cross_correlate_fft(&[1.0, 2.0], &[]).unwrap().is_empty());
+        assert!(cross_correlate_fft(&[1.0], &[1.0, 2.0]).unwrap().is_empty());
+        let exact = cross_correlate_fft(&[3.0], &[2.0]).unwrap();
+        assert_eq!(exact.len(), 1);
+        assert!((exact[0] - 6.0).abs() < 1e-12);
     }
 }

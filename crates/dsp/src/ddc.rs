@@ -8,18 +8,26 @@
 use crate::complex::Complex;
 use crate::fft;
 use crate::filter::{Fir, OnePole};
+use crate::plan;
 use crate::window::Window;
 
 /// Estimates the dominant carrier frequency of a real capture.
 ///
 /// Uses an FFT peak search (excluding DC) refined by parabolic
 /// interpolation on the log-power of the three bins around the peak.
+/// This runs once per decoded capture, so the Hann taper comes from the
+/// shared window cache — captures of one session share a fixed length
+/// and the coefficients are computed exactly once.
 pub fn estimate_carrier_hz(signal: &[f64], fs_hz: f64) -> Option<f64> {
     if signal.len() < 8 {
         return None;
     }
-    let mut windowed = signal.to_vec();
-    Window::Hann.apply(&mut windowed);
+    let taper = plan::window_for(Window::Hann, signal.len());
+    let windowed: Vec<f64> = signal
+        .iter()
+        .zip(taper.iter())
+        .map(|(&x, &w)| x * w)
+        .collect();
     let (freqs, power) = fft::power_spectrum(&windowed, fs_hz).ok()?;
     let (idx, f_peak, _) = fft::dominant_bin(&freqs, &power)?;
     if idx == 0 || idx + 1 >= power.len() {

@@ -8,64 +8,27 @@
 //!
 //! All routines are panic-free: misuse surfaces as [`EcoError`], and the
 //! butterflies are written over `split_at_mut`/iterator pairs so the hot
-//! loops carry no bounds checks to trip.
+//! loops carry no bounds checks to trip. Twiddle tables come from the
+//! shared [`crate::plan`] cache, so repeated transforms of one length —
+//! the dominant pattern in capture decoding and STFT frames — never
+//! re-evaluate trigonometry.
 
 use crate::complex::Complex;
 use crate::error::{EcoError, EcoResult};
+use crate::plan;
 
 /// In-place radix-2 FFT on a power-of-two-length buffer.
 ///
 /// `inverse` selects the inverse transform (including the `1/N` scale).
 /// Returns [`EcoError::NotPowerOfTwo`] for other lengths — use [`fft`]
 /// for general lengths.
+///
+/// Runs on the cached [`plan::FftPlan`] for `buf.len()`; callers that
+/// transform many buffers of one known size can hold the plan themselves
+/// via [`plan::plan_for`] and skip the cache probe entirely.
 #[must_use]
 pub fn fft_pow2_in_place(buf: &mut [Complex], inverse: bool) -> EcoResult<()> {
-    let n = buf.len();
-    if !n.is_power_of_two() {
-        return Err(EcoError::NotPowerOfTwo {
-            what: "fft_pow2_in_place buffer",
-            len: n,
-        });
-    }
-    if n <= 1 {
-        return Ok(());
-    }
-    // Bit-reversal permutation.
-    let shift = usize::BITS - n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits().wrapping_shr(shift);
-        if j > i {
-            buf.swap(i, j);
-        }
-    }
-    // Butterflies: each chunk splits into a low and high half advanced in
-    // lockstep, so the inner loop is index-free.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::cis(ang);
-        let half = len / 2;
-        for chunk in buf.chunks_mut(len) {
-            let (lo, hi) = chunk.split_at_mut(half);
-            let mut w = Complex::ONE;
-            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                let u = *a;
-                let v = *b * w;
-                *a = u + v;
-                *b = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
-    if inverse {
-        let scale = 1.0 / n as f64;
-        for z in buf.iter_mut() {
-            *z = z.scale(scale);
-        }
-    }
-    Ok(())
+    plan::plan_for(buf.len())?.process(buf, inverse)
 }
 
 /// Forward FFT of arbitrary length (radix-2 when possible, Bluestein
@@ -169,12 +132,17 @@ pub fn power_spectrum(input: &[f64], fs_hz: f64) -> EcoResult<(Vec<f64>, Vec<f64
 
 /// Index and frequency of the strongest bin in a one-sided power spectrum,
 /// excluding the DC bin. Returns `(index, frequency_hz, power)`.
+///
+/// Bins are ordered by [`f64::total_cmp`], so a stray NaN bin cannot
+/// collapse the whole comparison to "equal" the way `partial_cmp` with an
+/// `Ordering::Equal` fallback silently did (NaN sorts above every finite
+/// power and therefore surfaces loudly instead of being masked).
 pub fn dominant_bin(freqs: &[f64], power: &[f64]) -> Option<(usize, f64, f64)> {
     power
         .iter()
         .enumerate()
         .skip(1)
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .and_then(|(i, &p)| freqs.get(i).map(|&f_hz| (i, f_hz, p)))
 }
 

@@ -14,15 +14,21 @@
 //! - [`filter`] FIR windowed-sinc design and RBJ biquad IIR sections,
 //! - [`envelope`] diode-detector-style envelope extraction,
 //! - [`ddc`] digital downconversion (complex mix + decimating lowpass),
-//! - [`correlate`] matched filtering and cross-correlation,
+//! - [`correlate`] matched filtering and cross-correlation (direct and
+//!   FFT overlap methods),
 //! - [`spectrogram`] short-time Fourier analysis (FSK diagnostics),
 //! - [`window`] tapers, [`resample`] decimation,
-//! - [`stats`] waveform statistics, SNR and BER estimation.
+//! - [`stats`] waveform statistics, SNR and BER estimation,
+//! - [`plan`] thread-safe FFT twiddle/window coefficient caches shared
+//!   by the hot paths above.
 //!
-//! Everything is deterministic and allocation-explicit; no global state.
+//! Everything is deterministic. The only global state is the [`plan`]
+//! cache, which holds *immutable* precomputed tables: caching changes
+//! when trigonometry is evaluated, never the value of any result, so
+//! outputs stay bit-identical across runs and across threads.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod complex;
 pub mod correlate;
@@ -32,6 +38,7 @@ pub mod error;
 pub mod fft;
 pub mod filter;
 pub mod goertzel;
+pub mod plan;
 pub mod resample;
 pub mod spectrogram;
 pub mod stats;

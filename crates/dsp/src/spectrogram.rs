@@ -5,8 +5,10 @@
 //! debugging a deteriorated channel wants a spectrogram, not a single
 //! spectrum. Used by the waveform-inspection experiments.
 
+use crate::complex::Complex;
 use crate::error::{EcoError, EcoResult};
 use crate::fft;
+use crate::plan;
 use crate::window::Window;
 
 /// A computed spectrogram.
@@ -48,13 +50,40 @@ impl Spectrogram {
         }
         let n = frame_len.next_power_of_two();
         let freqs_hz: Vec<f64> = (0..=n / 2).map(|k| k as f64 * fs_hz / n as f64).collect();
+        // Hoisted out of the frame loop: the taper coefficients (shared via
+        // the window cache), the FFT plan (shared via the plan cache) and
+        // one complex scratch buffer reused for every frame. The seed
+        // implementation allocated a fresh frame Vec and re-evaluated the
+        // Hann cosine per sample per frame.
+        let taper = plan::window_for(Window::Hann, frame_len);
+        let fft_plan = plan::plan_for(n)?;
+        let mut scratch = vec![Complex::ZERO; n];
+        let norm = 1.0 / (n as f64 * n as f64);
+        let half = n / 2;
         let mut times_s = Vec::new();
         let mut power = Vec::new();
         for (i, win) in signal.windows(frame_len).step_by(hop).enumerate() {
-            let mut frame: Vec<f64> = win.to_vec();
-            Window::Hann.apply(&mut frame);
-            frame.resize(n, 0.0);
-            let (_, p) = fft::power_spectrum(&frame, fs_hz)?;
+            for ((slot, &x), &w) in scratch.iter_mut().zip(win).zip(taper.iter()) {
+                *slot = Complex::from_re(x * w);
+            }
+            for slot in scratch.iter_mut().skip(frame_len) {
+                *slot = Complex::ZERO;
+            }
+            fft_plan.process(&mut scratch, false)?;
+            // One-sided power, same convention as `fft::power_spectrum`:
+            // |X[k]|²/N² with interior bins doubled.
+            let p: Vec<f64> = scratch
+                .iter()
+                .take(half + 1)
+                .enumerate()
+                .map(|(k, z)| {
+                    let mut pk = z.norm_sqr() * norm;
+                    if k != 0 && !(n % 2 == 0 && k == half) {
+                        pk *= 2.0;
+                    }
+                    pk
+                })
+                .collect();
             times_s.push((i * hop) as f64 / fs_hz);
             power.push(p);
         }

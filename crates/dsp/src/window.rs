@@ -1,7 +1,10 @@
 //! Window (taper) functions for spectral analysis and FIR design.
 
 /// Supported window shapes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` let a `(Window, length)` pair key the shared coefficient
+/// cache in [`crate::plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Window {
     /// Rectangular (no taper).
     Rect,

@@ -6,7 +6,7 @@
 //!   law `α(f) = α₀ · (f/f₀)^n` in Np/m. Concrete attenuates strongly
 //!   above its aggregate-scattering knee — the reason Fig 5(b) collapses
 //!   past ~250 kHz — and S-waves attenuate *less* than P-waves (paper
-//!   reference [39]), which is why the S-wave is the preferred carrier.
+//!   reference 39), which is why the S-wave is the preferred carrier.
 //! - **Geometric spreading**: spherical (1/r) in a bulk solid,
 //!   cylindrical (1/√r) in a plate/wall acting as a waveguide, and none
 //!   for a guided plane wave. The paper's Fig 12 finding (2) — "the range

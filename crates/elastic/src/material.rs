@@ -23,7 +23,7 @@ pub struct Material {
 
 impl Material {
     /// Air at standard conditions. Z = 4.15e2 kg/m²s per the paper's
-    /// reference [61].
+    /// reference 61.
     pub const AIR: Material = Material {
         name: "air",
         density_kg_m3: 1.2,
@@ -55,7 +55,7 @@ impl Material {
     };
 
     /// Reference normal concrete with the paper's §3.1 velocities
-    /// (C_p ≈ 3338 m/s, C_s ≈ 1941 m/s, from reference [41]).
+    /// (C_p ≈ 3338 m/s, C_s ≈ 1941 m/s, from reference 41).
     pub const CONCRETE_REF: Material = Material {
         name: "concrete(ref)",
         density_kg_m3: 2300.0,

@@ -49,7 +49,7 @@ pub struct Injection {
     pub energy_s: f64,
     /// Refraction angle of the S wave (radians), when propagating.
     pub s_angle: Option<f64>,
-    /// Mode purity in [0,1]: transmitted S energy over total transmitted
+    /// Mode purity in `[0, 1]`: transmitted S energy over total transmitted
     /// energy. 1.0 = pure S; 0 when nothing is transmitted.
     pub purity: f64,
 }

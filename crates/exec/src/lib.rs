@@ -1,0 +1,47 @@
+//! Zero-dependency deterministic parallel execution engine.
+//!
+//! The EcoCapsule workspace is built hermetically (no registry access), so
+//! this crate hand-rolls the small slice of a task-parallel runtime the
+//! simulation actually needs instead of pulling in `rayon`:
+//!
+//! * [`Pool`] — a scoped worker pool over [`std::thread::scope`] with a
+//!   `Mutex<VecDeque>` + `Condvar` work queue. Closures spawned inside a
+//!   [`Pool::scope`] may borrow from the enclosing stack frame, exactly like
+//!   `std::thread::scope`.
+//! * [`Pool::par_map`] — ordered fan-out over a slice: results come back in
+//!   input order regardless of which worker ran which item, so parallel
+//!   output is *bit-identical* to serial output.
+//! * [`seed`] — splitmix64-style derivation of independent per-task RNG
+//!   seeds from one base draw, so a parameter grid consumes exactly one
+//!   value from the caller's RNG stream no matter how many workers run.
+//!
+//! # Determinism contract
+//!
+//! Parallel execution changes *when* a task runs, never *what it computes*:
+//!
+//! 1. every task receives its inputs (including its RNG seed, via
+//!    [`seed::derive`]) from its position in the grid, not from scheduling
+//!    order;
+//! 2. results are merged back in task-index order;
+//! 3. tasks never share mutable simulation state.
+//!
+//! Under these rules `Pool::serial()` and `Pool::new(n)` produce the same
+//! bytes, which the workspace asserts in its determinism tests.
+//!
+//! # Example
+//!
+//! ```
+//! use exec::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4], |_idx, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod pool;
+pub mod seed;
+
+pub use pool::{Pool, TaskScope};

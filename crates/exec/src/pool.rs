@@ -1,0 +1,371 @@
+//! Scoped worker pool over [`std::thread::scope`].
+//!
+//! The pool owns nothing between calls: every [`Pool::scope`] spins up its
+//! workers inside a `std::thread::scope`, drains the queue, and joins them
+//! before returning. That keeps the lifetime story identical to
+//! `std::thread::scope` — spawned closures may borrow from the caller's
+//! stack — at the cost of thread startup per scope, which is negligible
+//! against the multi-millisecond waveform tasks it runs.
+//!
+//! Internals: one `Mutex<VecDeque>` of boxed tasks plus two `Condvar`s
+//! (`work` wakes idle workers, `idle` wakes the submitter waiting for the
+//! queue to drain). A drop guard keeps the pending-task counter correct
+//! even if a task panics, so a panicking task cannot deadlock the scope.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// A unit of work queued onto a [`TaskScope`].
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Upper bound on tasks per worker that [`Pool::par_map`] aims for when it
+/// chunks its input; finer chunks load-balance better, coarser chunks
+/// amortize queue traffic. 4 is a conventional middle ground.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Locks a mutex, treating poisoning as benign.
+///
+/// A poisoned pool mutex only means some task panicked while holding it;
+/// the protected state (a task queue and two counters) is always left
+/// consistent because mutations are single statements. Propagating the
+/// panic is the scope's job (via `std::thread::scope` join), not ours.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // lint:allow(no-lock-in-hotpath) pool-internal queue lock, held for O(1) push/pop only, never across a task body or any compute
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Shared between the submitting thread and the workers of one scope.
+struct Shared<'env> {
+    state: Mutex<State<'env>>,
+    /// Signaled when the queue gains a task or shutdown begins.
+    work: Condvar,
+    /// Signaled when `pending` may have reached zero.
+    idle: Condvar,
+}
+
+/// The mutable pool state behind the queue mutex.
+struct State<'env> {
+    queue: VecDeque<Task<'env>>,
+    /// Tasks spawned and not yet finished (queued + running).
+    pending: usize,
+    /// Set once the scope body returned and the queue drained.
+    shutdown: bool,
+}
+
+/// A deterministic worker pool.
+///
+/// The pool is a *policy* object — it only records how many workers a
+/// scope should use. [`Pool::serial`] (one worker) runs every task inline
+/// on the calling thread, which makes "parallel off" a true zero-overhead
+/// baseline for benchmarking and a bit-identical reference for the
+/// determinism tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: NonZeroUsize,
+}
+
+impl Pool {
+    /// A pool with `workers` threads; `0` is clamped to `1`.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Pool {
+            workers: NonZeroUsize::new(workers.max(1)).unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// The serial pool: every task runs inline on the calling thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        Pool::new(1)
+    }
+
+    /// A pool sized to the machine: one worker per available hardware
+    /// thread (falling back to 1 when parallelism cannot be queried).
+    #[must_use]
+    pub fn max_parallel() -> Self {
+        let n = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        Pool::new(n)
+    }
+
+    /// Number of workers a scope of this pool will use.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.get()
+    }
+
+    /// Runs `body` with a [`TaskScope`] on which tasks can be spawned;
+    /// returns once every spawned task has finished.
+    ///
+    /// Spawned closures may borrow anything that outlives the scope, just
+    /// like [`std::thread::scope`]. With a serial pool each task runs
+    /// immediately on the calling thread at its `spawn` site, so task
+    /// side effects happen in spawn order — parallel pools guarantee only
+    /// completion-before-return, not ordering, which is why deterministic
+    /// callers communicate results through per-task slots (see
+    /// [`Pool::par_map`]) rather than shared accumulators.
+    ///
+    /// ```
+    /// use exec::Pool;
+    /// use std::sync::Mutex;
+    ///
+    /// let pool = Pool::new(4);
+    /// let total = Mutex::new(0u64);
+    /// pool.scope(|scope| {
+    ///     for i in 1..=8u64 {
+    ///         let total = &total;
+    ///         scope.spawn(move || {
+    ///             *total.lock().unwrap() += i;
+    ///         });
+    ///     }
+    /// });
+    /// assert_eq!(total.into_inner().unwrap(), 36);
+    /// ```
+    pub fn scope<'env, F, R>(&self, body: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope TaskScope<'scope, 'env>) -> R,
+    {
+        if self.workers.get() == 1 {
+            return body(&TaskScope {
+                mode: ScopeMode::Inline,
+            });
+        }
+        let shared = Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        };
+        std::thread::scope(|threads| {
+            for _ in 0..self.workers.get() {
+                threads.spawn(|| worker_loop(&shared));
+            }
+            let scope = TaskScope {
+                mode: ScopeMode::Pooled(&shared),
+            };
+            let result = body(&scope);
+            // Wait for the queue to drain, then release the workers.
+            let mut st = lock(&shared.state);
+            while st.pending > 0 {
+                st = shared.idle.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            st.shutdown = true;
+            drop(st);
+            shared.work.notify_all();
+            result
+        })
+    }
+
+    /// Maps `map` over `items` on the pool, returning results **in input
+    /// order** regardless of scheduling.
+    ///
+    /// `map` receives `(index, &item)` so tasks can derive per-index state
+    /// (e.g. an RNG seed via [`crate::seed::derive`]). Items are grouped
+    /// into contiguous chunks (about `CHUNKS_PER_WORKER` per worker) to
+    /// amortize queue traffic; each chunk writes into its own slot and the
+    /// slots are concatenated in order afterwards, so the output is
+    /// bit-identical to `items.iter().enumerate().map(..).collect()`.
+    pub fn par_map<T, U, F>(&self, items: &[T], map: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        if self.workers.get() == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, x)| map(i, x)).collect();
+        }
+        let per_chunk = items
+            .len()
+            .div_ceil(self.workers.get() * CHUNKS_PER_WORKER)
+            .max(1);
+        let chunks: Vec<(usize, &[T])> = items
+            .chunks(per_chunk)
+            .enumerate()
+            .map(|(c, chunk)| (c * per_chunk, chunk))
+            .collect();
+        let slots: Vec<Mutex<Vec<U>>> = chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let map = &map;
+        self.scope(|scope| {
+            for (&(first, chunk), slot) in chunks.iter().zip(&slots) {
+                scope.spawn(move || {
+                    let out: Vec<U> = chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(k, x)| map(first + k, x))
+                        .collect();
+                    *lock(slot) = out;
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .flat_map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect()
+    }
+}
+
+/// How a [`TaskScope`] dispatches spawned tasks.
+enum ScopeMode<'scope, 'env> {
+    /// Serial pool: run the task right here, right now.
+    Inline,
+    /// Parallel pool: push onto the shared queue and wake a worker.
+    Pooled(&'scope Shared<'env>),
+}
+
+/// Handle passed to the closure of [`Pool::scope`]; spawns tasks onto the
+/// pool. Mirrors [`std::thread::Scope`].
+pub struct TaskScope<'scope, 'env: 'scope> {
+    mode: ScopeMode<'scope, 'env>,
+}
+
+impl<'scope, 'env> TaskScope<'scope, 'env> {
+    /// Queues `task` for execution; with a serial pool it runs inline
+    /// before `spawn` returns.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        match self.mode {
+            ScopeMode::Inline => task(),
+            ScopeMode::Pooled(shared) => {
+                let mut st = lock(&shared.state);
+                st.queue.push_back(Box::new(task));
+                st.pending += 1;
+                drop(st);
+                shared.work.notify_one();
+            }
+        }
+    }
+}
+
+/// Worker body: pop-and-run until shutdown.
+fn worker_loop(shared: &Shared<'_>) {
+    loop {
+        let task = {
+            let mut st = lock(&shared.state);
+            loop {
+                if let Some(task) = st.queue.pop_front() {
+                    break Some(task);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(task) = task else { return };
+        // The guard decrements `pending` even if the task panics, so the
+        // submitter never waits forever (the panic itself is re-raised by
+        // std::thread::scope when the worker is joined).
+        let _finish = FinishGuard(shared);
+        task();
+    }
+}
+
+/// Decrements the pending-task counter on drop (i.e. also on panic).
+struct FinishGuard<'a, 'env>(&'a Shared<'env>);
+
+impl Drop for FinishGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.0.state);
+        st.pending = st.pending.saturating_sub(1);
+        if st.pending == 0 {
+            self.0.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(Pool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn serial_scope_runs_inline_in_order() {
+        let pool = Pool::serial();
+        let mut order = Vec::new();
+        let log = Mutex::new(&mut order);
+        pool.scope(|scope| {
+            for i in 0..4 {
+                let log = &log;
+                scope.spawn(move || log.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_scope_completes_all_tasks() {
+        let pool = Pool::new(4);
+        let done = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..64 {
+                let done = &done;
+                scope.spawn(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 8] {
+            let got = Pool::new(workers).par_map(&items, |_, &x| x * 3 + 1);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_correct_indices() {
+        let items = vec![(); 57];
+        let got = Pool::new(3).par_map(&items, |i, ()| i);
+        let expect: Vec<usize> = (0..57).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_map_borrows_environment() {
+        let offsets: Vec<f64> = vec![0.5; 16];
+        let scale = 2.0_f64;
+        let got = Pool::new(2).par_map(&offsets, |i, &o| (i as f64) * scale + o);
+        assert!((got[3] - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_take_the_fast_path() {
+        let none: Vec<u32> = Vec::new();
+        assert!(Pool::new(4).par_map(&none, |_, &x| x).is_empty());
+        assert_eq!(Pool::new(4).par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // A task spawning onto a *different* pool must not interact with
+        // the outer queue.
+        let outer = Pool::new(2);
+        let total = AtomicUsize::new(0);
+        outer.scope(|scope| {
+            for _ in 0..4 {
+                let total = &total;
+                scope.spawn(move || {
+                    let inner = Pool::serial();
+                    let partial = inner.par_map(&[1usize, 2, 3], |_, &x| x);
+                    total.fetch_add(partial.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 24);
+    }
+}

@@ -3,7 +3,7 @@
 //! A PZT responds to both electrical and mechanical stimuli (§2). Its
 //! mechanical port behaves like a damped harmonic oscillator: driven at
 //! resonance it rings up to full amplitude; when the drive stops it keeps
-//! oscillating — the **ring effect** (§3.3, reference [49]) — with an
+//! oscillating — the **ring effect** (§3.3, reference 49) — with an
 //! exponential decay `e^{−ω₀ t / 2Q}`. At the paper's 230 kHz and the
 //! observed ≈0.3 ms tail, Q ≈ 70, typical of a hard ceramic disc.
 

@@ -15,6 +15,13 @@ use protocol::frame::{Command, Reply, SensorKind};
 use rand::Rng;
 
 /// A reader session against one or more in-concrete capsules.
+///
+/// A session is a *configuration* value, not a connection: its methods
+/// take `&self` and thread all randomness through caller-supplied RNGs.
+/// That makes one session safely shareable across the `exec::Pool`
+/// workers of a parallel survey (`SelfSensingWall::survey_with`), where
+/// every worker transacts against its own capsule clone with a seed
+/// derived from the capsule id.
 #[derive(Debug, Clone)]
 pub struct ReaderSession {
     /// Transmit chain.

@@ -1,4 +1,4 @@
-//! The pilot-study footbridge (§6, Fig 25, reference [59]).
+//! The pilot-study footbridge (§6, Fig 25, reference 59).
 //!
 //! "The bridge has a total length of 84.24 m, consisting of a
 //! 64.26 m-long main span that straddles the highway underneath and a

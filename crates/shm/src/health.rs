@@ -2,7 +2,7 @@
 //!
 //! "Six health levels of service (A to F) are designated for walking
 //! facilities" based on the average area each pedestrian occupies
-//! (m²/ped), with region-specific thresholds from reference [40]. Health
+//! (m²/ped), with region-specific thresholds from reference 40. Health
 //! is updated once per minute per section; the bridge "always remained
 //! at B or above levels in the past year … mainly attributed to the
 //! public policy of social distancing against the COVID-19 pandemic".

@@ -151,7 +151,7 @@ pub trait Rng: RngCore {
         range.sample_from(self)
     }
 
-    /// `true` with probability `p` (clamped to [0, 1]).
+    /// `true` with probability `p` (clamped to `[0, 1]`).
     fn gen_bool(&mut self, p: f64) -> bool {
         unit_f64(self.next_u64()) < p
     }

@@ -12,6 +12,7 @@
 //! | `no-float-eq`      | no `==`/`!=` on float expressions |
 //! | `deny-unsafe`      | every lib crate root has `#![forbid(unsafe_code)]` |
 //! | `must-use-results` | pub Result-returning fns are `#[must_use]`; no discarded Results |
+//! | `no-lock-in-hotpath` | no `.lock()` in designated compute hot-path files without a reasoned `lint:allow` |
 //!
 //! Binary targets (`src/bin/**`, `src/main.rs`) and `#[cfg(test)]`
 //! regions are exempt from the panic, float-eq, and must-use rules.
@@ -67,6 +68,10 @@ pub struct LintConfig {
     /// Path suffixes (with `/` separators) of hot-path files where slice
     /// indexing is flagged by `no-panic-in-lib`.
     pub hot_paths: Vec<String>,
+    /// Path suffixes of compute hot-path files where `.lock()` is flagged
+    /// by `no-lock-in-hotpath`: code the sweep worker pool runs
+    /// concurrently, where an unjustified mutex serialises the fleet.
+    pub lock_hot_paths: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -75,6 +80,14 @@ impl Default for LintConfig {
             hot_paths: vec![
                 "dsp/src/fft.rs".to_string(),
                 "dsp/src/correlate.rs".to_string(),
+            ],
+            lock_hot_paths: vec![
+                "dsp/src/fft.rs".to_string(),
+                "dsp/src/plan.rs".to_string(),
+                "dsp/src/spectrogram.rs".to_string(),
+                "dsp/src/correlate.rs".to_string(),
+                "dsp/src/ddc.rs".to_string(),
+                "exec/src/pool.rs".to_string(),
             ],
         }
     }
@@ -219,6 +232,7 @@ struct SourceFile {
     class: FileClass,
     is_lib_root: bool,
     is_hot: bool,
+    is_lock_hot: bool,
     lexed: Lexed,
     tests: Vec<(u32, u32)>,
 }
@@ -260,6 +274,7 @@ fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>>
         };
         let is_lib_root = rel.ends_with("/src/lib.rs");
         let is_hot = cfg.hot_paths.iter().any(|h| rel.ends_with(h.as_str()));
+        let is_lock_hot = cfg.lock_hot_paths.iter().any(|h| rel.ends_with(h.as_str()));
         let text = std::fs::read_to_string(&path)?;
         let lexed = lexer::lex(&text);
         let tests = test_regions(&lexed.tokens);
@@ -268,6 +283,7 @@ fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>>
             class,
             is_lib_root,
             is_hot,
+            is_lock_hot,
             lexed,
             tests,
         });
@@ -307,6 +323,7 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Find
             rules::no_float_eq(&f.lexed.tokens, &mut raw);
             rules::must_use_definitions(&f.lexed.tokens, &mut raw);
             rules::must_use_call_sites(&f.lexed.tokens, &|n| result_fn_names.contains(n), &mut raw);
+            rules::no_lock_in_hotpath(&f.lexed.tokens, f.is_lock_hot, &mut raw);
         }
         rules::unit_suffix_discipline(&f.lexed.tokens, &mut raw);
         if f.is_lib_root && f.class == FileClass::Lib {

@@ -100,6 +100,8 @@ fn print_rules() {
     println!("  no-float-eq       no ==/!= on float expressions; compare with a tolerance");
     println!("  deny-unsafe       every lib crate root carries #![forbid(unsafe_code)]");
     println!("  must-use-results  pub Result fns are #[must_use]; Results are never discarded");
+    println!("  no-lock-in-hotpath  no mutex .lock() in designated compute hot-path files;");
+    println!("                    O(1) critical sections need a reasoned lint:allow");
     println!();
     println!(
         "suppress: // lint:allow(<rule>) <reason>   (same line or line above; reason required)"

@@ -19,6 +19,8 @@ pub const RULE_NO_FLOAT_EQ: &str = "no-float-eq";
 pub const RULE_DENY_UNSAFE: &str = "deny-unsafe";
 /// `#[must_use]` / discarded-Result rule name.
 pub const RULE_MUST_USE: &str = "must-use-results";
+/// Lock acquisition in designated compute hot paths rule name.
+pub const RULE_NO_LOCK: &str = "no-lock-in-hotpath";
 /// Pseudo-rule for malformed `lint:allow` directives (not suppressible).
 pub const RULE_LINT_ALLOW: &str = "lint-allow";
 
@@ -29,6 +31,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_NO_FLOAT_EQ,
     RULE_DENY_UNSAFE,
     RULE_MUST_USE,
+    RULE_NO_LOCK,
 ];
 
 /// Unit suffixes recognised by the unit-suffix rule. Longest match wins
@@ -147,6 +150,36 @@ pub fn no_panic_in_lib(tokens: &[Tok], is_hot_path: bool, findings: &mut Vec<Fin
                 ),
             ),
             _ => {}
+        }
+    }
+}
+
+/// Rule 6: no `.lock()` acquisition in designated compute hot-path
+/// files. Sweep workers hammer these routines concurrently, and a mutex
+/// acquired around (or worse, across) the math serialises the whole
+/// pool. Locks that only guard an O(1) probe — a plan-cache lookup, a
+/// queue push — are fine, but must say so with a reasoned
+/// `lint:allow(no-lock-in-hotpath)` directive so the contention budget
+/// stays auditable.
+pub fn no_lock_in_hotpath(tokens: &[Tok], is_lock_hot: bool, findings: &mut Vec<Finding>) {
+    if !is_lock_hot {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        let is_method_call = t.kind == TokKind::Ident
+            && t.text == "lock"
+            && i > 0
+            && tokens.get(i - 1).map(|p| p.is_op(".")).unwrap_or(false)
+            && tokens.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false);
+        if is_method_call {
+            push(
+                findings,
+                RULE_NO_LOCK,
+                t.line,
+                "mutex .lock() in a compute hot path can serialise the worker pool; \
+                 keep critical sections O(1) and justify with lint:allow"
+                    .to_string(),
+            );
         }
     }
 }
@@ -630,6 +663,24 @@ mod tests {
     fn array_types_and_macros_are_not_indexing() {
         let src = "fn f() { let x: [f64; 3] = [0.0; 3]; let v = vec![1]; }";
         let hot = run(src, |t, out| no_panic_in_lib(t, true, out));
+        assert!(hot.is_empty(), "{hot:?}");
+    }
+
+    #[test]
+    fn lock_fires_only_in_lock_hot_files() {
+        let src = "fn f(m: &Mutex<u32>) { let g = m.lock(); drop(g); }";
+        let cold = run(src, |t, out| no_lock_in_hotpath(t, false, out));
+        let hot = run(src, |t, out| no_lock_in_hotpath(t, true, out));
+        assert!(cold.is_empty());
+        assert_eq!(hot.len(), 1);
+        assert!(hot[0].msg.contains("serialise"));
+    }
+
+    #[test]
+    fn lock_free_helpers_do_not_trip_the_lock_rule() {
+        // A free fn named `lock`, or idents merely containing it, are fine.
+        let src = "fn f() { let g = lock(&m); let unlocked = 1; deadlock(); }";
+        let hot = run(src, |t, out| no_lock_in_hotpath(t, true, out));
         assert!(hot.is_empty(), "{hot:?}");
     }
 

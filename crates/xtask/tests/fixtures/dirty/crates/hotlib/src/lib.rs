@@ -1,5 +1,6 @@
-//! Fixture: slice indexing that only counts as a finding when this file
-//! is listed in `LintConfig::hot_paths`.
+//! Fixture: slice indexing and mutex acquisition that only count as
+//! findings when this file is listed in `LintConfig::hot_paths` /
+//! `LintConfig::lock_hot_paths`.
 
 #![forbid(unsafe_code)]
 
@@ -11,4 +12,13 @@ pub fn sum(a: &[f64]) -> f64 {
         i += 1;
     }
     acc
+}
+
+pub fn locked_total(cell: &std::sync::Mutex<f64>, a: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in a {
+        total += cell.lock().map(|g| *g).unwrap_or(0.0) + x;
+    }
+    // lint:allow(no-lock-in-hotpath) O(1) final read outside the loop
+    *cell.lock().map(|g| g).as_deref().unwrap_or(&total)
 }

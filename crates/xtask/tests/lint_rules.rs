@@ -16,6 +16,7 @@ fn fixture(name: &str) -> PathBuf {
 fn hot_cfg() -> LintConfig {
     LintConfig {
         hot_paths: vec!["hotlib/src/lib.rs".to_string()],
+        lock_hot_paths: vec!["hotlib/src/lib.rs".to_string()],
     }
 }
 
@@ -52,7 +53,10 @@ fn findings_carry_file_and_line() {
 
 #[test]
 fn hot_path_indexing_requires_configuration() {
-    let cold = LintConfig { hot_paths: vec![] };
+    let cold = LintConfig {
+        hot_paths: vec![],
+        lock_hot_paths: vec![],
+    };
     let findings = lint_workspace(&fixture("dirty"), &cold).unwrap();
     assert!(
         !findings
@@ -60,6 +64,21 @@ fn hot_path_indexing_requires_configuration() {
             .any(|f| f.file.ends_with("hotlib/src/lib.rs")),
         "hotlib should be finding-free without hot-path config: {findings:#?}"
     );
+}
+
+#[test]
+fn hot_path_lock_fires_once_and_respects_suppression() {
+    let findings = lint_workspace(&fixture("dirty"), &hot_cfg()).unwrap();
+    let locks: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == rules::RULE_NO_LOCK)
+        .collect();
+    assert_eq!(
+        locks.len(),
+        1,
+        "exactly the in-loop lock should fire; the justified one is suppressed: {locks:#?}"
+    );
+    assert!(locks[0].file.ends_with("hotlib/src/lib.rs"));
 }
 
 #[test]
