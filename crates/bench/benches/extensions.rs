@@ -1,4 +1,4 @@
-//! Benches for the extension modules (DESIGN.md §6): spectrogram,
+//! Benches for the extension modules (DESIGN.md §7): spectrogram,
 //! carrier tuning, curing scans, selective inventory, damage analyses.
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -1,4 +1,4 @@
-//! Ablation studies for the design choices DESIGN.md §6 calls out.
+//! Ablation studies for the design choices DESIGN.md §7 calls out.
 //!
 //! ```sh
 //! cargo run -p bench --bin ablations --release -- all

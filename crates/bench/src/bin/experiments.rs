@@ -5,7 +5,7 @@
 //! cargo run -p bench --bin experiments --release -- fig12
 //! ```
 //!
-//! Experiment IDs match DESIGN.md §4. Absolute numbers come from our
+//! Experiment IDs match DESIGN.md §5. Absolute numbers come from our
 //! simulation substrate, not the authors' testbed; EXPERIMENTS.md records
 //! paper-vs-measured for each.
 

@@ -1,0 +1,118 @@
+//! The fault-matrix runner: fault intensity × retry policy over full
+//! wall surveys, with serial-vs-parallel digest identity and the
+//! retry-recovery invariant. Writes `BENCH_faults.json`.
+//!
+//! ```sh
+//! cargo run -p bench --bin faults --release            # full matrix
+//! cargo run -p bench --bin faults --release -- --smoke # CI gate
+//! cargo run -p bench --bin faults -- --workers 4 --out /tmp/f.json
+//! ```
+//!
+//! Exit codes: `0` success, `1` a survey failed, digests diverged, or
+//! the retry policy recovered nothing over the baseline, `2` bad usage.
+
+use bench::faults::{run_matrix, to_json, verify, FaultScale};
+use exec::Pool;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = FaultScale::full();
+    let mut workers: Option<usize> = None;
+    let mut out_path = String::from("BENCH_faults.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => scale = FaultScale::smoke(),
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => workers = Some(w),
+                None => return usage("--workers requires a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out requires a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let pool = workers.map_or_else(Pool::max_parallel, Pool::new);
+    println!(
+        "faults: {} profile, {} worker(s), {} surveys/cell over {} slots",
+        if scale.smoke { "smoke" } else { "full" },
+        pool.workers(),
+        scale.surveys_per_cell,
+        scale.horizon_slots,
+    );
+
+    let matrix = match run_matrix(&scale, &pool) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("faults failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:>10} {:>9} {:>9} {:>5} {:>10} {:>7} {:>7} {:>9} {:>10}",
+        "intensity",
+        "policy",
+        "capsules",
+        "read",
+        "unpowered",
+        "colled",
+        "nodeco",
+        "readings",
+        "identical"
+    );
+    for c in &matrix.cells {
+        println!(
+            "{:>10} {:>9} {:>9} {:>5} {:>10} {:>7} {:>7} {:>9} {:>10}",
+            c.intensity,
+            c.policy,
+            c.capsules,
+            c.capsules_read,
+            c.capsules_unpowered,
+            c.capsules_collision_exhausted,
+            c.capsules_decode_failed,
+            c.readings,
+            c.bit_identical(),
+        );
+    }
+    println!("\nrecovery (retry vs no-retry):");
+    for r in &matrix.recovery {
+        println!(
+            "{:>10}: {} vs {} capsules ({:+}), {} vs {} readings ({:+})",
+            r.intensity,
+            r.capsules_read_retry,
+            r.capsules_read_no_retry,
+            r.capsules_delta(),
+            r.readings_retry,
+            r.readings_no_retry,
+            r.readings_delta(),
+        );
+    }
+    println!(
+        "recovered over faulted intensities: {:+} capsules, {:+} readings",
+        matrix.recovered_capsules_delta(),
+        matrix.recovered_readings_delta()
+    );
+
+    if let Err(e) = verify(&matrix) {
+        eprintln!("faults failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let json = to_json(&matrix, &pool, &scale);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: faults [--smoke] [--workers N] [--out PATH]");
+    ExitCode::from(2)
+}

@@ -7,15 +7,18 @@
 //! - `ablations` — design-space sweeps over coding, geometry, and
 //!   materials;
 //! - `sweeps` — the serial-vs-parallel timed parameter grids behind
-//!   `BENCH_sweeps.json` (see [`sweeps`]).
+//!   `BENCH_sweeps.json` (see [`sweeps`]);
+//! - `faults` — the fault-intensity × retry-policy matrix behind
+//!   `BENCH_faults.json` (see [`faults`]).
 //!
 //! The library half is deliberately thin: the table printers the binaries
-//! share, plus the [`sweeps`] grid definitions — kept in the library so
-//! the integration tests can assert bit-identical parallel execution
-//! without crossing a process boundary.
+//! share, plus the [`sweeps`] grid and [`faults`] matrix definitions —
+//! kept in the library so the integration tests can assert bit-identical
+//! parallel execution without crossing a process boundary.
 
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod sweeps;
 
 /// Prints a two-column numeric series with a caption.

@@ -59,6 +59,22 @@ impl DownlinkChannel {
         }
     }
 
+    /// The downlink-side fault hook: this channel with a
+    /// [`faults::Perturbation`] applied. A temperature wave-velocity
+    /// shift detunes the concrete's resonant stack — modelled as the
+    /// equivalent path-length change (`distance / velocity` stays the
+    /// measured transit time) so the frequency response and mode mix
+    /// both move with it.
+    #[must_use]
+    pub fn under_fault(&self, p: &faults::Perturbation) -> DownlinkChannel {
+        let stretch = 1.0 / (1.0 + p.velocity_shift_frac).max(0.1);
+        DownlinkChannel {
+            distance_m: self.distance_m * stretch,
+            block: Block::new(self.block.mix, self.block.thickness_m * stretch),
+            ..self.clone()
+        }
+    }
+
     /// Runs PIE `bits` through the whole chain and returns the waveform
     /// that reaches the node's PZT face.
     pub fn transmit(&self, pie: &Pie, bits: &[bool], scheme: DownlinkScheme) -> Vec<f64> {

@@ -1,7 +1,7 @@
 //! Noise generation and SNR conditioning.
 //!
 //! Every stochastic experiment takes an explicit seeded RNG so figures
-//! are exactly reproducible (DESIGN.md §5).
+//! are exactly reproducible (DESIGN.md §6).
 
 use rand::Rng;
 

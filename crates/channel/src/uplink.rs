@@ -50,6 +50,28 @@ impl UplinkConfig {
             delay_s: 1.0 / 1941.0,
         }
     }
+
+    /// The channel-side fault hook: this configuration with a
+    /// [`faults::Perturbation`] applied. A rebar multipath burst
+    /// multiplies the self-interference leak; a wave-velocity shift of
+    /// `+v%` shortens the propagation delay by the same fraction
+    /// (`delay = distance / velocity`). SNR dips act on the *noise*, not
+    /// the geometry — see [`faulted_noise_sigma`].
+    #[must_use]
+    pub fn under_fault(&self, p: &faults::Perturbation) -> UplinkConfig {
+        UplinkConfig {
+            leak_amplitude: self.leak_amplitude * p.multipath_leak_mult,
+            delay_s: self.delay_s / (1.0 + p.velocity_shift_frac).max(0.1),
+            ..*self
+        }
+    }
+}
+
+/// The noise sigma a capture sees under a perturbation: the nominal
+/// sigma scaled by the SNR dip (amplitude domain).
+#[must_use]
+pub fn faulted_noise_sigma(noise_sigma: f64, p: &faults::Perturbation) -> f64 {
+    noise_sigma * p.noise_mult()
 }
 
 /// Synthesizes the received uplink waveform for FM0-coded `bits` at

@@ -35,6 +35,7 @@ pub use concrete;
 pub use dsp;
 pub use elastic;
 pub use exec;
+pub use faults;
 pub use node;
 pub use phy;
 pub use protocol;
@@ -50,13 +51,15 @@ pub mod scenario;
 
 /// Convenience re-exports of the types most applications touch.
 pub mod prelude {
-    pub use crate::scenario::{MonitoringCampaign, SelfSensingWall, SurveyReport};
+    pub use crate::scenario::{CapsuleOutcome, MonitoringCampaign, SelfSensingWall, SurveyReport};
     pub use channel::linkbudget::LinkBudget;
     pub use concrete::{ConcreteGrade, Structure};
     pub use exec::Pool;
+    pub use faults::{FaultIntensity, FaultPlan, Timeline};
     pub use node::capsule::{EcoCapsule, Environment};
     pub use protocol::frame::SensorKind;
     pub use reader::app::ReaderSession;
+    pub use reader::robust::RetryPolicy;
     pub use shm::footbridge::Footbridge;
     pub use shm::health::{HealthLevel, Region};
     pub use shm::pilot::{Channel, PilotStudy};

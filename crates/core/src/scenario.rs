@@ -6,12 +6,14 @@ use concrete::structure::Structure;
 use concrete::ConcreteGrade;
 use dsp::EcoResult;
 use exec::Pool;
+use faults::{FaultPlan, Timeline};
 use node::capsule::{EcoCapsule, Environment};
 use node::harvester::MIN_ACTIVATION_V;
 use protocol::frame::SensorKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reader::app::ReaderSession;
+use reader::robust::RetryPolicy;
 use reader::rx::{max_throughput_bps, snr_vs_bitrate_db};
 
 /// A wall (or slab/column) with EcoCapsules implanted at known standoffs
@@ -28,6 +30,42 @@ pub struct SelfSensingWall {
     pub environment: Environment,
 }
 
+/// Why a capsule did — or did not — contribute readings to a survey.
+/// The degraded variants are *outcomes*, not errors: a survey over a
+/// faulted channel completes and reports them instead of failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapsuleOutcome {
+    /// Powered, inventoried, and at least one sensor read decoded.
+    Read {
+        /// How many sensor readings were delivered.
+        readings: usize,
+    },
+    /// Never cleared the activation threshold — too far for the drive
+    /// voltage, or browned out during the charging phase.
+    Unpowered,
+    /// Powered but never singled out within the inventory round budget
+    /// (persistent collisions and/or ACK losses).
+    CollisionExhausted,
+    /// Inventoried, but every sensor-read transaction failed to decode
+    /// within the retry budget.
+    DecodeFailed {
+        /// Total read attempts spent before giving up.
+        attempts: u32,
+    },
+}
+
+impl CapsuleOutcome {
+    /// Stable digest words for this outcome: a tag and a payload.
+    fn digest_words(self) -> [u64; 2] {
+        match self {
+            CapsuleOutcome::Read { readings } => [0, readings as u64],
+            CapsuleOutcome::Unpowered => [1, 0],
+            CapsuleOutcome::CollisionExhausted => [2, 0],
+            CapsuleOutcome::DecodeFailed { attempts } => [3, u64::from(attempts)],
+        }
+    }
+}
+
 /// Outcome of one survey pass (charge → inventory → read).
 #[derive(Debug, Clone, Default)]
 pub struct SurveyReport {
@@ -37,6 +75,45 @@ pub struct SurveyReport {
     pub inventoried_ids: Vec<u32>,
     /// `(id, kind, physical value)` sensor readings collected.
     pub readings: Vec<(u32, SensorKind, f64)>,
+    /// Per-capsule outcome, in capsule order — every implanted capsule
+    /// appears exactly once.
+    pub outcomes: Vec<(u32, CapsuleOutcome)>,
+}
+
+impl SurveyReport {
+    /// FNV-1a digest over every field, bit-exact on the readings. Two
+    /// surveys with the same digest saw the same capsules power up, the
+    /// same inventory order, bit-identical sensor values and the same
+    /// outcome for every capsule — the witness the fault-matrix bench
+    /// and the determinism tests compare across worker counts.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let words = self
+            .powered_ids
+            .iter()
+            .map(|&id| u64::from(id))
+            .chain([u64::MAX]) // section separators
+            .chain(self.inventoried_ids.iter().map(|&id| u64::from(id)))
+            .chain([u64::MAX])
+            .chain(self.readings.iter().flat_map(|&(id, kind, value)| {
+                [u64::from(id), kind as u64, value.to_bits()]
+            }))
+            .chain([u64::MAX])
+            .chain(self.outcomes.iter().flat_map(|&(id, outcome)| {
+                let [tag, payload] = outcome.digest_words();
+                [u64::from(id), tag, payload]
+            }));
+        faults::fnv1a64(words)
+    }
+
+    /// The outcome recorded for capsule `id`, if it was surveyed.
+    #[must_use]
+    pub fn outcome_of(&self, id: u32) -> Option<CapsuleOutcome> {
+        self.outcomes
+            .iter()
+            .find(|(oid, _)| *oid == id)
+            .map(|(_, o)| *o)
+    }
 }
 
 impl SelfSensingWall {
@@ -168,10 +245,14 @@ impl SelfSensingWall {
             self.session
                 .inventory(&mut powered, &self.environment, q, 40, &mut inventory_rng);
 
-        // Phase 3: sensor reads, one task per acknowledged capsule. The
+        // Phase 3: sensor reads, one task per inventoried capsule. The
         // session is shared read-only; each task owns a clone of its
         // capsule and an RNG derived from the capsule id, so scheduling
-        // cannot reorder random draws.
+        // cannot reorder random draws. A capsule identified in an early
+        // inventory round may have been re-arbitrated out of
+        // `Acknowledged` by a later round's Query, so each task first
+        // re-opens the read session (a no-op — zero RNG draws — when it
+        // is still open).
         let session = &self.session;
         let environment = &self.environment;
         let inventoried = &report.inventoried_ids;
@@ -184,6 +265,7 @@ impl SelfSensingWall {
                         base_seed,
                         1 + u64::from(capsule.id),
                     ));
+                    session.ensure_session(&mut capsule, environment, 3, &mut read_rng);
                     for kind in [
                         SensorKind::Temperature,
                         SensorKind::Humidity,
@@ -203,6 +285,189 @@ impl SelfSensingWall {
             report.readings.extend(readings);
             if let Some((_, c)) = self.capsules.iter_mut().find(|(_, c)| c.id == done.id) {
                 *c = done;
+            }
+        }
+        self.classify_outcomes(&mut report, 3);
+        Ok(report)
+    }
+
+    /// Fills `report.outcomes` from the phase results, one entry per
+    /// implanted capsule in capsule order. `attempts_per_failed_read` is
+    /// what a fully-failed read spent (3 kinds × the per-command budget).
+    fn classify_outcomes(&self, report: &mut SurveyReport, attempts_per_failed_read: u32) {
+        report.outcomes = self
+            .capsules
+            .iter()
+            .map(|(_, c)| {
+                let id = c.id;
+                let outcome = if !report.powered_ids.contains(&id) {
+                    CapsuleOutcome::Unpowered
+                } else if !report.inventoried_ids.contains(&id) {
+                    CapsuleOutcome::CollisionExhausted
+                } else {
+                    let readings = report
+                        .readings
+                        .iter()
+                        .filter(|(rid, _, _)| *rid == id)
+                        .count();
+                    if readings > 0 {
+                        CapsuleOutcome::Read { readings }
+                    } else {
+                        CapsuleOutcome::DecodeFailed {
+                            attempts: attempts_per_failed_read,
+                        }
+                    }
+                };
+                (id, outcome)
+            })
+            .collect();
+    }
+
+    /// [`SelfSensingWall::survey_with`] on a channel under a
+    /// [`FaultPlan`]: every phase consumes slots of the plan's timeline
+    /// and runs under whatever perturbation each slot carries, and
+    /// must-answer transactions retry per `policy`.
+    ///
+    /// Phase structure (see DESIGN.md §4 for the slot accounting):
+    /// 1. **Charging** — one slot per capsule, in capsule order. A
+    ///    brownout slot starves the capsule during its charge window
+    ///    (`harvest_under`), which — unlike a transaction-time brownout —
+    ///    is unrecoverable this survey: the capsule reports
+    ///    [`CapsuleOutcome::Unpowered`].
+    /// 2. **Inventory** — the fault-aware robust driver
+    ///    ([`reader::robust`]) with retried ACKs and loss-burst Q
+    ///    re-arbitration, consuming the timeline serially (shared
+    ///    medium).
+    /// 3. **Reads** — fan out per capsule over `pool`. Each task first
+    ///    re-opens its capsule's read session if a later inventory round
+    ///    displaced it from `Acknowledged`
+    ///    ([`ReaderSession::ensure_session_with_retry`]), then issues
+    ///    three retried reads. Each capsule gets a *disjoint,
+    ///    precomputed* timeline slice sized to the worst-case slot spend
+    ///    of the re-acquisition plus the reads, so worker scheduling cannot
+    ///    change which perturbations any capsule sees: the report digest
+    ///    is bit-identical for every worker count.
+    ///
+    /// Determinism mirrors `survey_with`: one value drawn from `rng`,
+    /// child streams derived per phase/capsule.
+    #[must_use]
+    pub fn survey_under<R: Rng>(
+        &mut self,
+        tx_voltage_v: f64,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        rng: &mut R,
+        pool: &Pool,
+    ) -> EcoResult<SurveyReport> {
+        let mut report = SurveyReport::default();
+        let lb = self.link_budget()?;
+        let base_seed: u64 = rng.gen();
+        let mut timeline = Timeline::new(plan);
+
+        // Phase 1: wireless charging, one slot per capsule.
+        for (d, capsule) in self.capsules.iter_mut() {
+            let p = timeline.advance();
+            let v_rx = lb.received_voltage(tx_voltage_v, *d)?;
+            capsule.harvest_under(v_rx, 1.0, &p);
+            if capsule.is_operational() {
+                report.powered_ids.push(capsule.id);
+            }
+        }
+
+        // Phase 2: fault-aware inventory (serial — shared medium).
+        let mut powered: Vec<EcoCapsule> = self
+            .capsules
+            .iter()
+            .filter(|(_, c)| c.is_operational())
+            .map(|(_, c)| c.clone())
+            .collect();
+        let q = (powered.len().max(1) as f64).log2().ceil() as u8 + 1;
+        let mut inventory_rng = StdRng::seed_from_u64(exec::seed::derive(base_seed, 0));
+        report.inventoried_ids = self
+            .session
+            .inventory_robust(
+                &mut powered,
+                &self.environment,
+                q,
+                0.3,
+                40,
+                policy,
+                &mut timeline,
+                &mut inventory_rng,
+            )
+            .found;
+
+        // Phase 3: retried sensor reads on disjoint timeline slices.
+        // Each slice covers one session re-acquisition (≤ 2 slots per
+        // attempt — see `ensure_session_with_retry`) plus three retried
+        // reads, each with its cumulative backoff.
+        let budget = policy.max_attempts.max(1);
+        let worst_case_backoff: u64 = (1..budget).map(|a| policy.backoff_slots(a)).sum();
+        let slots_per_capsule = (2 * u64::from(budget) + worst_case_backoff)
+            + 3 * (u64::from(budget) + worst_case_backoff);
+        let read_base_slot = timeline.slot();
+        let session = &self.session;
+        let environment = &self.environment;
+        let inventoried = &report.inventoried_ids;
+        let surveyed: Vec<(EcoCapsule, Vec<(u32, SensorKind, f64)>, u32)> =
+            pool.par_map(&powered, |task, capsule| {
+                let mut capsule = capsule.clone();
+                let mut readings = Vec::new();
+                let mut attempts = 0u32;
+                if inventoried.contains(&capsule.id) {
+                    let mut read_rng = StdRng::seed_from_u64(exec::seed::derive(
+                        base_seed,
+                        1 + u64::from(capsule.id),
+                    ));
+                    let mut slice = Timeline::starting_at(
+                        plan,
+                        read_base_slot + task as u64 * slots_per_capsule,
+                    );
+                    attempts += session.ensure_session_with_retry(
+                        &mut capsule,
+                        environment,
+                        policy,
+                        &mut slice,
+                        &mut read_rng,
+                    );
+                    for kind in [
+                        SensorKind::Temperature,
+                        SensorKind::Humidity,
+                        SensorKind::Strain,
+                    ] {
+                        let (value, spent) = session.read_sensor_with_retry(
+                            &mut capsule,
+                            kind,
+                            environment,
+                            policy,
+                            &mut slice,
+                            &mut read_rng,
+                        );
+                        attempts += spent;
+                        if let Some(value) = value {
+                            readings.push((capsule.id, kind, value));
+                        }
+                    }
+                }
+                (capsule, readings, attempts)
+            });
+        let mut attempts_by_id: Vec<(u32, u32)> = Vec::new();
+        for (done, readings, attempts) in surveyed {
+            report.readings.extend(readings);
+            attempts_by_id.push((done.id, attempts));
+            if let Some((_, c)) = self.capsules.iter_mut().find(|(_, c)| c.id == done.id) {
+                *c = done;
+            }
+        }
+
+        self.classify_outcomes(&mut report, 3 * budget);
+        // Replace the uniform failed-read attempt estimate with what each
+        // capsule actually spent.
+        for (id, outcome) in report.outcomes.iter_mut() {
+            if let CapsuleOutcome::DecodeFailed { attempts } = outcome {
+                if let Some((_, spent)) = attempts_by_id.iter().find(|(aid, _)| aid == id) {
+                    *attempts = *spent;
+                }
             }
         }
         Ok(report)
@@ -406,6 +671,95 @@ mod tests {
         assert_eq!(plain.powered_ids, pooled.powered_ids);
         assert_eq!(plain.inventoried_ids, pooled.inventoried_ids);
         assert_eq!(plain.readings.len(), pooled.readings.len());
+    }
+
+    #[test]
+    fn survey_with_classifies_every_capsule() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 0.5 m reads; 4.0 m stays dark at 50 V.
+        let mut wall = SelfSensingWall::common_wall(&[0.5, 4.0]);
+        let report = wall.survey(50.0, &mut rng).unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(
+            report.outcome_of(1000),
+            Some(CapsuleOutcome::Read { readings: 3 })
+        );
+        assert_eq!(report.outcome_of(1001), Some(CapsuleOutcome::Unpowered));
+    }
+
+    #[test]
+    fn survey_under_quiet_plan_matches_plain_survey_outcomes() {
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut wall_a = SelfSensingWall::common_wall(&[0.5, 1.0]);
+        let plain = wall_a.survey(200.0, &mut rng_a).unwrap();
+
+        let mut rng_b = StdRng::seed_from_u64(13);
+        let mut wall_b = SelfSensingWall::common_wall(&[0.5, 1.0]);
+        let quiet = FaultPlan::quiet();
+        let faulted = wall_b
+            .survey_under(
+                200.0,
+                &quiet,
+                &RetryPolicy::none(),
+                &mut rng_b,
+                &Pool::serial(),
+            )
+            .unwrap();
+        assert_eq!(faulted.powered_ids, plain.powered_ids);
+        assert_eq!(faulted.readings.len(), plain.readings.len());
+        assert!(faulted
+            .outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, CapsuleOutcome::Read { .. })));
+    }
+
+    #[test]
+    fn survey_under_is_bit_identical_across_worker_counts() {
+        let plan = FaultPlan::generate(99, &faults::FaultIntensity::moderate(4000));
+        let run = |pool: &Pool| {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
+            wall.survey_under(200.0, &plan, &RetryPolicy::paper_default(), &mut rng, pool)
+                .unwrap()
+                .digest()
+        };
+        let reference = run(&Pool::serial());
+        for workers in [2, exec::Pool::max_parallel().workers()] {
+            assert_eq!(run(&Pool::new(workers)), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn charging_brownout_reports_unpowered() {
+        use faults::{FaultKind, FaultWindow};
+        // Slot 0 is capsule 1000's charge slot; brown it out.
+        let plan = FaultPlan::from_windows(
+            0,
+            10_000,
+            vec![FaultWindow {
+                kind: FaultKind::Brownout,
+                start_slot: 0,
+                len_slots: 1,
+                magnitude: 0.0,
+            }],
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
+        let report = wall
+            .survey_under(
+                200.0,
+                &plan,
+                &RetryPolicy::paper_default(),
+                &mut rng,
+                &Pool::serial(),
+            )
+            .unwrap();
+        assert_eq!(report.outcome_of(1000), Some(CapsuleOutcome::Unpowered));
+        assert_eq!(
+            report.outcome_of(1001),
+            Some(CapsuleOutcome::Read { readings: 3 }),
+            "the fault is a window, not a verdict on the whole wall"
+        );
     }
 
     #[test]

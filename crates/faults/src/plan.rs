@@ -1,0 +1,636 @@
+//! The fault-schedule engine: seeded windows of perturbation over a
+//! discrete slot timeline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The failure modes the chaos substrate can inject (PAPER.md §3/§6 and
+/// the intermittent-power / burst-loss findings of the related SHM
+/// literature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// An SNR dip: the uplink noise floor rises by `magnitude` dB
+    /// (weather loading, machinery, acoustic interference).
+    SnrDip,
+    /// A capsule brownout/dropout window: the CBW wanders off the node
+    /// and transactions inside the window see a silent capsule.
+    Brownout,
+    /// Sampling-clock drift: the node DCO runs `magnitude` fractionally
+    /// fast or slow, degrading PIE edge classification.
+    ClockDrift,
+    /// Temperature-induced wave-velocity shift: propagation delay (and
+    /// with it the leak/backscatter phase relation) moves by
+    /// `magnitude` fractionally.
+    VelocityShift,
+    /// A rebar multipath burst: coherent reflections multiply the
+    /// self-interference leak by `1 + magnitude`.
+    MultipathBurst,
+}
+
+impl FaultKind {
+    /// Every kind, in stream order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::SnrDip,
+        FaultKind::Brownout,
+        FaultKind::ClockDrift,
+        FaultKind::VelocityShift,
+        FaultKind::MultipathBurst,
+    ];
+
+    /// The seed-derivation stream index of this kind. Streams are what
+    /// make kinds independent: window draws for one kind never consume
+    /// randomness from another's sequence.
+    #[must_use]
+    pub fn stream(self) -> u64 {
+        match self {
+            FaultKind::SnrDip => 0,
+            FaultKind::Brownout => 1,
+            FaultKind::ClockDrift => 2,
+            FaultKind::VelocityShift => 3,
+            FaultKind::MultipathBurst => 4,
+        }
+    }
+}
+
+/// One timed perturbation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// Which failure mode is active.
+    pub kind: FaultKind,
+    /// First slot the window covers.
+    pub start_slot: u64,
+    /// Number of slots covered (≥ 1).
+    pub len_slots: u64,
+    /// Kind-dependent magnitude (dB for [`FaultKind::SnrDip`], signed
+    /// fraction for the drift kinds, leak multiplier − 1 for
+    /// [`FaultKind::MultipathBurst`], unused for brownouts).
+    pub magnitude: f64,
+}
+
+impl FaultWindow {
+    /// Whether `slot` falls inside this window.
+    #[must_use]
+    pub fn contains(&self, slot: u64) -> bool {
+        slot >= self.start_slot && slot < self.start_slot + self.len_slots
+    }
+}
+
+/// Generation rate for one fault kind: how many windows over the
+/// horizon, how long each may last, and the magnitude range.
+#[derive(Debug, Clone, Copy)]
+pub struct KindRate {
+    /// Windows drawn over the plan horizon.
+    pub windows: usize,
+    /// Maximum window length in slots (lengths draw from `1..=max`).
+    pub max_len_slots: u64,
+    /// Inclusive magnitude bounds; for the signed kinds the sign is a
+    /// separate coin flip over `[lo, hi]` of absolute magnitude.
+    pub magnitude_lo: f64,
+    /// Upper magnitude bound.
+    pub magnitude_hi: f64,
+}
+
+impl KindRate {
+    /// No windows of this kind.
+    #[must_use]
+    pub fn off() -> Self {
+        KindRate {
+            windows: 0,
+            max_len_slots: 1,
+            magnitude_lo: 0.0,
+            magnitude_hi: 0.0,
+        }
+    }
+}
+
+/// The per-kind rates a plan is generated from — the "weather" a survey
+/// must survive. The presets form the standard fault matrix swept by
+/// `bench::faults`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultIntensity {
+    /// Timeline horizon in slots; windows start anywhere inside it.
+    pub horizon_slots: u64,
+    /// SNR-dip rate (magnitudes in dB of extra noise).
+    pub snr_dip: KindRate,
+    /// Brownout rate (magnitudes ignored).
+    pub brownout: KindRate,
+    /// Clock-drift rate (magnitudes as DCO error fractions).
+    pub clock_drift: KindRate,
+    /// Wave-velocity-shift rate (magnitudes as velocity fractions).
+    pub velocity_shift: KindRate, // lint:allow(unit-suffix) a KindRate descriptor, not a physical quantity
+    /// Multipath-burst rate (magnitudes as leak-multiplier excess).
+    pub multipath_burst: KindRate,
+}
+
+impl FaultIntensity {
+    /// No faults at all: the control row of the matrix.
+    #[must_use]
+    pub fn calm(horizon_slots: u64) -> Self {
+        FaultIntensity {
+            horizon_slots,
+            snr_dip: KindRate::off(),
+            brownout: KindRate::off(),
+            clock_drift: KindRate::off(),
+            velocity_shift: KindRate::off(),
+            multipath_burst: KindRate::off(),
+        }
+    }
+
+    /// Sparse, survivable weather: short dips and rare brownouts.
+    #[must_use]
+    pub fn mild(horizon_slots: u64) -> Self {
+        FaultIntensity {
+            horizon_slots,
+            snr_dip: KindRate {
+                windows: 2,
+                max_len_slots: 2,
+                magnitude_lo: 45.0,
+                magnitude_hi: 60.0,
+            },
+            brownout: KindRate {
+                windows: 1,
+                max_len_slots: 2,
+                magnitude_lo: 0.0,
+                magnitude_hi: 0.0,
+            },
+            clock_drift: KindRate {
+                windows: 1,
+                max_len_slots: 2,
+                magnitude_lo: 0.05,
+                magnitude_hi: 0.09,
+            },
+            velocity_shift: KindRate {
+                windows: 1,
+                max_len_slots: 3,
+                magnitude_lo: 0.01,
+                magnitude_hi: 0.03,
+            },
+            multipath_burst: KindRate::off(),
+        }
+    }
+
+    /// The paper's bad day: frequent dips, brownouts and bursts.
+    #[must_use]
+    pub fn moderate(horizon_slots: u64) -> Self {
+        FaultIntensity {
+            snr_dip: KindRate {
+                windows: 4,
+                max_len_slots: 3,
+                magnitude_lo: 50.0,
+                magnitude_hi: 65.0,
+            },
+            brownout: KindRate {
+                windows: 2,
+                max_len_slots: 3,
+                magnitude_lo: 0.0,
+                magnitude_hi: 0.0,
+            },
+            clock_drift: KindRate {
+                windows: 2,
+                max_len_slots: 3,
+                magnitude_lo: 0.06,
+                magnitude_hi: 0.10,
+            },
+            multipath_burst: KindRate {
+                windows: 2,
+                max_len_slots: 2,
+                magnitude_lo: 4.0,
+                magnitude_hi: 9.0,
+            },
+            ..FaultIntensity::mild(horizon_slots)
+        }
+    }
+
+    /// Rebar canyon in a storm: long overlapping windows of everything.
+    #[must_use]
+    pub fn severe(horizon_slots: u64) -> Self {
+        FaultIntensity {
+            snr_dip: KindRate {
+                windows: 7,
+                max_len_slots: 5,
+                magnitude_lo: 55.0,
+                magnitude_hi: 70.0,
+            },
+            brownout: KindRate {
+                windows: 4,
+                max_len_slots: 4,
+                magnitude_lo: 0.0,
+                magnitude_hi: 0.0,
+            },
+            clock_drift: KindRate {
+                windows: 3,
+                max_len_slots: 4,
+                magnitude_lo: 0.07,
+                magnitude_hi: 0.12,
+            },
+            velocity_shift: KindRate {
+                windows: 2,
+                max_len_slots: 4,
+                magnitude_lo: 0.02,
+                magnitude_hi: 0.05,
+            },
+            multipath_burst: KindRate {
+                windows: 3,
+                max_len_slots: 3,
+                magnitude_lo: 6.0,
+                magnitude_hi: 12.0,
+            },
+            horizon_slots,
+        }
+    }
+
+    /// The rate for one kind.
+    #[must_use]
+    pub fn rate(&self, kind: FaultKind) -> KindRate {
+        match kind {
+            FaultKind::SnrDip => self.snr_dip,
+            FaultKind::Brownout => self.brownout,
+            FaultKind::ClockDrift => self.clock_drift,
+            FaultKind::VelocityShift => self.velocity_shift,
+            FaultKind::MultipathBurst => self.multipath_burst,
+        }
+    }
+}
+
+/// The aggregate perturbation in force at one slot: every layer hook
+/// consumes this value, never the schedule itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perturbation {
+    /// Extra uplink noise (dB over the session's nominal sigma).
+    pub snr_dip_db: f64,
+    /// Whether the capsule is inside a brownout window.
+    pub outage: bool,
+    /// Aggregate DCO error fraction (signed).
+    pub clock_drift_frac: f64,
+    /// Aggregate wave-velocity shift fraction (signed).
+    pub velocity_shift_frac: f64,
+    /// Self-interference leak multiplier (1.0 = nominal).
+    pub multipath_leak_mult: f64,
+}
+
+impl Default for Perturbation {
+    fn default() -> Self {
+        Perturbation {
+            snr_dip_db: 0.0,
+            outage: false,
+            clock_drift_frac: 0.0,
+            velocity_shift_frac: 0.0,
+            multipath_leak_mult: 1.0,
+        }
+    }
+}
+
+impl Perturbation {
+    /// The identity perturbation (no fault in force).
+    #[must_use]
+    pub fn none() -> Self {
+        Perturbation::default()
+    }
+
+    /// Whether this perturbation changes anything at all.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        !self.outage
+            && self.snr_dip_db.abs() < 1e-12
+            && self.clock_drift_frac.abs() < 1e-12
+            && self.velocity_shift_frac.abs() < 1e-12
+            && (self.multipath_leak_mult - 1.0).abs() < 1e-12
+    }
+
+    /// The factor nominal noise sigma grows by under this dip
+    /// (amplitude domain: `10^(dB/20)`).
+    #[must_use]
+    pub fn noise_mult(&self) -> f64 {
+        10f64.powf(self.snr_dip_db / 20.0)
+    }
+}
+
+/// A generated fault schedule: every window of every kind, sorted by
+/// start slot. Pure data — query it at any slot, clone it across
+/// workers, digest it for fixtures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from.
+    pub seed: u64,
+    /// Horizon the windows were drawn over.
+    pub horizon_slots: u64,
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// Generates the schedule for `(seed, intensity)`. Deterministic:
+    /// the same pair always yields the identical window list, and each
+    /// kind consumes only its own derived RNG stream.
+    #[must_use]
+    pub fn generate(seed: u64, intensity: &FaultIntensity) -> FaultPlan {
+        let horizon_slots = intensity.horizon_slots.max(1);
+        let mut windows: Vec<FaultWindow> = Vec::new();
+        for kind in FaultKind::ALL {
+            let rate = intensity.rate(kind);
+            let mut rng = StdRng::seed_from_u64(exec::seed::derive(seed, kind.stream()));
+            for _ in 0..rate.windows {
+                let start_slot = rng.gen_range(0..horizon_slots);
+                let len_slots = rng.gen_range(1..=rate.max_len_slots.max(1));
+                let mag = if rate.magnitude_hi > rate.magnitude_lo {
+                    rng.gen_range(rate.magnitude_lo..=rate.magnitude_hi)
+                } else {
+                    rate.magnitude_lo
+                };
+                let magnitude = match kind {
+                    // Drift kinds are signed; the rest are magnitudes.
+                    FaultKind::ClockDrift | FaultKind::VelocityShift => {
+                        if rng.gen::<bool>() {
+                            mag
+                        } else {
+                            -mag
+                        }
+                    }
+                    _ => mag,
+                };
+                windows.push(FaultWindow {
+                    kind,
+                    start_slot,
+                    len_slots,
+                    magnitude,
+                });
+            }
+        }
+        windows.sort_by(|a, b| {
+            (a.start_slot, a.kind.stream(), a.len_slots).cmp(&(
+                b.start_slot,
+                b.kind.stream(),
+                b.len_slots,
+            ))
+        });
+        FaultPlan {
+            seed,
+            horizon_slots,
+            windows,
+        }
+    }
+
+    /// An empty plan: every slot is quiet. The no-fault baseline.
+    #[must_use]
+    pub fn quiet() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            horizon_slots: 1,
+            windows: Vec::new(),
+        }
+    }
+
+    /// A handcrafted plan from explicit windows — for tests, examples,
+    /// and replaying a specific incident. Windows are normalized into
+    /// the same order [`FaultPlan::generate`] produces, so digests of a
+    /// handcrafted plan and a generated plan with the same windows agree.
+    #[must_use]
+    pub fn from_windows(seed: u64, horizon_slots: u64, mut windows: Vec<FaultWindow>) -> FaultPlan {
+        windows.sort_by(|a, b| {
+            (a.start_slot, a.kind.stream(), a.len_slots).cmp(&(
+                b.start_slot,
+                b.kind.stream(),
+                b.len_slots,
+            ))
+        });
+        FaultPlan {
+            seed,
+            horizon_slots: horizon_slots.max(1),
+            windows,
+        }
+    }
+
+    /// All windows, sorted by start slot.
+    #[must_use]
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The windows of one kind, in start order.
+    pub fn windows_of(&self, kind: FaultKind) -> impl Iterator<Item = &FaultWindow> {
+        self.windows.iter().filter(move |w| w.kind == kind)
+    }
+
+    /// The aggregate perturbation in force at `slot`. Overlapping
+    /// windows compose: dips and drifts add, leak multipliers multiply,
+    /// any brownout wins.
+    #[must_use]
+    pub fn perturbation_at(&self, slot: u64) -> Perturbation {
+        let mut p = Perturbation::default();
+        for w in &self.windows {
+            if !w.contains(slot) {
+                continue;
+            }
+            match w.kind {
+                FaultKind::SnrDip => p.snr_dip_db += w.magnitude,
+                FaultKind::Brownout => p.outage = true,
+                FaultKind::ClockDrift => p.clock_drift_frac += w.magnitude,
+                FaultKind::VelocityShift => p.velocity_shift_frac += w.magnitude,
+                FaultKind::MultipathBurst => p.multipath_leak_mult *= 1.0 + w.magnitude,
+            }
+        }
+        p
+    }
+
+    /// FNV-1a digest of the full schedule — the determinism witness the
+    /// property tests and fixtures pin.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let words = self.windows.iter().flat_map(|w| {
+            [
+                w.kind.stream(),
+                w.start_slot,
+                w.len_slots,
+                w.magnitude.to_bits(),
+            ]
+        });
+        crate::digest::fnv1a64([self.seed, self.horizon_slots].into_iter().chain(words))
+    }
+}
+
+/// A cursor over a plan: the reader advances it one slot per
+/// transaction and *skips* slots while backing off, so retries sample a
+/// later — possibly calmer — part of the schedule.
+#[derive(Debug, Clone)]
+pub struct Timeline<'a> {
+    plan: &'a FaultPlan,
+    slot: u64,
+}
+
+impl<'a> Timeline<'a> {
+    /// A cursor at slot 0.
+    #[must_use]
+    pub fn new(plan: &'a FaultPlan) -> Self {
+        Timeline { plan, slot: 0 }
+    }
+
+    /// A cursor starting at `slot` — how parallel per-capsule phases
+    /// get disjoint, scheduling-independent slices of the timeline.
+    #[must_use]
+    pub fn starting_at(plan: &'a FaultPlan, slot: u64) -> Self {
+        Timeline { plan, slot }
+    }
+
+    /// The current slot index.
+    #[must_use]
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// The perturbation in force now, without advancing.
+    #[must_use]
+    pub fn current(&self) -> Perturbation {
+        self.plan.perturbation_at(self.slot)
+    }
+
+    /// Consumes one slot (one transaction): returns the perturbation
+    /// that governed it.
+    pub fn advance(&mut self) -> Perturbation {
+        let p = self.plan.perturbation_at(self.slot);
+        self.slot = self.slot.saturating_add(1);
+        p
+    }
+
+    /// Skips `n` slots (retry backoff: waiting is spending time).
+    pub fn skip(&mut self, n: u64) {
+        self.slot = self.slot.saturating_add(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[cfg(feature = "fuzz")]
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let i = FaultIntensity::severe(200);
+        let a = FaultPlan::generate(42, &i);
+        let b = FaultPlan::generate(42, &i);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let i = FaultIntensity::severe(200);
+        assert_ne!(
+            FaultPlan::generate(1, &i).digest(),
+            FaultPlan::generate(2, &i).digest()
+        );
+    }
+
+    #[test]
+    fn kind_streams_are_independent() {
+        // Turning one kind off must not change another kind's windows.
+        let full = FaultIntensity::severe(300);
+        let mut no_dips = full;
+        no_dips.snr_dip = KindRate::off();
+        let a = FaultPlan::generate(7, &full);
+        let b = FaultPlan::generate(7, &no_dips);
+        let bo_a: Vec<_> = a.windows_of(FaultKind::Brownout).cloned().collect();
+        let bo_b: Vec<_> = b.windows_of(FaultKind::Brownout).cloned().collect();
+        assert_eq!(bo_a, bo_b, "brownouts must not depend on the dip stream");
+        let cd_a: Vec<_> = a.windows_of(FaultKind::ClockDrift).cloned().collect();
+        let cd_b: Vec<_> = b.windows_of(FaultKind::ClockDrift).cloned().collect();
+        assert_eq!(cd_a, cd_b);
+    }
+
+    #[test]
+    fn calm_plan_is_quiet_everywhere() {
+        let plan = FaultPlan::generate(9, &FaultIntensity::calm(100));
+        for slot in 0..100 {
+            assert!(plan.perturbation_at(slot).is_quiet(), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn windows_compose_at_overlap() {
+        let mut plan = FaultPlan::quiet();
+        plan.windows = vec![
+            FaultWindow {
+                kind: FaultKind::SnrDip,
+                start_slot: 0,
+                len_slots: 4,
+                magnitude: 10.0,
+            },
+            FaultWindow {
+                kind: FaultKind::SnrDip,
+                start_slot: 2,
+                len_slots: 4,
+                magnitude: 5.0,
+            },
+            FaultWindow {
+                kind: FaultKind::MultipathBurst,
+                start_slot: 2,
+                len_slots: 1,
+                magnitude: 9.0,
+            },
+        ];
+        let p = plan.perturbation_at(2);
+        assert!((p.snr_dip_db - 15.0).abs() < 1e-12);
+        assert!((p.multipath_leak_mult - 10.0).abs() < 1e-12);
+        assert!((plan.perturbation_at(5).snr_dip_db - 5.0).abs() < 1e-12);
+        assert!(plan.perturbation_at(6).is_quiet());
+    }
+
+    #[test]
+    fn noise_mult_matches_db() {
+        let p = Perturbation {
+            snr_dip_db: 20.0,
+            ..Perturbation::none()
+        };
+        assert!((p.noise_mult() - 10.0).abs() < 1e-9);
+        assert!((Perturbation::none().noise_mult() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_advance_and_skip() {
+        let plan = FaultPlan::generate(3, &FaultIntensity::moderate(50));
+        let mut t = Timeline::new(&plan);
+        let p0 = t.advance();
+        assert_eq!(p0, plan.perturbation_at(0));
+        assert_eq!(t.slot(), 1);
+        t.skip(10);
+        assert_eq!(t.slot(), 11);
+        assert_eq!(t.current(), plan.perturbation_at(11));
+    }
+
+    #[test]
+    fn severe_plan_actually_has_windows() {
+        let plan = FaultPlan::generate(5, &FaultIntensity::severe(100));
+        for kind in FaultKind::ALL {
+            assert!(
+                plan.windows_of(kind).count() > 0,
+                "{kind:?} missing from severe"
+            );
+        }
+    }
+
+    #[cfg(feature = "fuzz")]
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn plan_is_a_pure_function_of_seed(seed in any::<u64>(), horizon in 10u64..500) {
+            let i = FaultIntensity::moderate(horizon);
+            prop_assert_eq!(
+                FaultPlan::generate(seed, &i),
+                FaultPlan::generate(seed, &i)
+            );
+        }
+
+        #[test]
+        fn windows_stay_inside_generation_bounds(seed in any::<u64>(), horizon in 10u64..300) {
+            let i = FaultIntensity::severe(horizon);
+            let plan = FaultPlan::generate(seed, &i);
+            for w in plan.windows() {
+                prop_assert!(w.start_slot < horizon);
+                prop_assert!(w.len_slots >= 1);
+                let rate = i.rate(w.kind);
+                prop_assert!(w.len_slots <= rate.max_len_slots.max(1));
+                prop_assert!(w.magnitude.abs() <= rate.magnitude_hi + 1e-12);
+            }
+        }
+    }
+}

@@ -83,6 +83,9 @@ pub struct EcoCapsule {
     /// Timer front end (tick quantization + DCO clock error) the firmware
     /// measures edges with.
     pub timer: TimerDecoder,
+    /// Factory-trimmed DCO error, the baseline an injected thermal drift
+    /// adds onto (see [`EcoCapsule::apply_fault`]).
+    pub trim_clock_error: f64,
 }
 
 impl EcoCapsule {
@@ -100,6 +103,7 @@ impl EcoCapsule {
             state: CapsuleState::Dead,
             pie: Pie::for_bitrate(1000.0),
             timer: TimerDecoder::paper_default(),
+            trim_clock_error: 0.0,
         }
     }
 
@@ -109,7 +113,30 @@ impl EcoCapsule {
     pub fn with_clock_error(id: u32, clock_error: f64) -> Self {
         let mut c = EcoCapsule::new(id);
         c.timer = TimerDecoder::new(1e-6, clock_error, c.pie);
+        c.trim_clock_error = clock_error;
         c
+    }
+
+    /// The node-side fault hook: puts the capsule hardware into the
+    /// state `p` dictates for the current slot. Thermal DCO drift adds
+    /// onto the factory trim (clamped inside the timer's ±10% validity
+    /// domain so injection can never panic the firmware model); the
+    /// brownout axis is handled by [`EcoCapsule::harvest_under`], which
+    /// owns lifecycle transitions.
+    pub fn apply_fault(&mut self, p: &faults::Perturbation) {
+        self.timer.clock_error = (self.trim_clock_error + p.clock_drift_frac).clamp(-0.095, 0.095);
+    }
+
+    /// [`EcoCapsule::harvest`] under a perturbation: inside a brownout
+    /// window the CBW has wandered off the node, so the harvested input
+    /// collapses to zero for the interval regardless of the link budget.
+    pub fn harvest_under(&mut self, v_peak: f64, dt_s: f64, p: &faults::Perturbation) {
+        if p.outage {
+            self.harvest(0.0, dt_s);
+        } else {
+            self.harvest(v_peak, dt_s);
+        }
+        self.apply_fault(p);
     }
 
     /// Applies harvested input for `dt_s` seconds at PZT peak voltage

@@ -5,7 +5,7 @@
 //! M=2/4/8, which trades bitrate for spectral separation from the
 //! carrier: each bit spans `M` subcarrier cycles, data-1 carrying a
 //! phase inversion mid-bit. We implement it as the design-choice
-//! ablation DESIGN.md §6 calls for: at the same *symbol* rate Miller
+//! ablation DESIGN.md §7 calls for: at the same *symbol* rate Miller
 //! needs M× the bandwidth but survives closer to the self-interference
 //! skirt.
 

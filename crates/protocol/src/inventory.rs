@@ -292,6 +292,17 @@ impl QAlgorithm {
         let delta = self.c * (report.collisions as f64 - report.empty_slots as f64);
         self.qfp = (self.qfp + delta).clamp(0.0, 15.0);
     }
+
+    /// Re-arbitration after a loss burst: `lost_acks` singleton slots in
+    /// a row produced an RN16 but no decodable ACK exchange (channel
+    /// fault, not protocol collision). Plain [`QAlgorithm::update`] would
+    /// read those slots as empties and *shrink* Q — exactly wrong when
+    /// the population is still unread. Instead each lost ACK nudges `Qfp`
+    /// up by `c`, spreading the survivors over more slots so the retry
+    /// pass after the fault window clears faces fewer collisions.
+    pub fn rearbitrate(&mut self, lost_acks: usize) {
+        self.qfp = (self.qfp + self.c * lost_acks as f64).clamp(0.0, 15.0);
+    }
 }
 
 /// Inventories all `nodes` with the Gen2 Q-algorithm instead of the
@@ -495,6 +506,19 @@ mod tests {
             alg.update(&empties);
         }
         assert_eq!(alg.q(), 0);
+    }
+
+    #[test]
+    fn rearbitrate_grows_q_and_saturates_at_15() {
+        let mut alg = QAlgorithm::new(2, 0.5);
+        alg.rearbitrate(3);
+        assert!((alg.qfp - 3.5).abs() < 1e-12);
+        alg.rearbitrate(1000);
+        assert_eq!(alg.q(), 15, "clamped at the Gen2 ceiling");
+        // Zero losses is a no-op.
+        let before = alg.qfp;
+        alg.rearbitrate(0);
+        assert!((alg.qfp - before).abs() < 1e-12);
     }
 
     #[test]

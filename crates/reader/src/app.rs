@@ -9,7 +9,7 @@
 
 use crate::rx::{Capture, Receiver, RxError};
 use crate::tx::Transmitter;
-use channel::uplink::{synthesize_uplink, UplinkConfig};
+use channel::uplink::{faulted_noise_sigma, synthesize_uplink, UplinkConfig};
 use node::capsule::{EcoCapsule, Environment};
 use protocol::frame::{Command, Reply, SensorKind};
 use rand::Rng;
@@ -70,6 +70,34 @@ impl ReaderSession {
         env: &Environment,
         rng: &mut R,
     ) -> Result<Option<Reply>, RxError> {
+        self.transact_perturbed(capsule, cmd, env, &faults::Perturbation::none(), rng)
+    }
+
+    /// [`ReaderSession::transact`] under an injected fault state. A
+    /// brownout (`p.outage`) suppresses the exchange entirely — the node
+    /// has no charge to listen with, but its protocol state survives on
+    /// the storage capacitor, so a later retry can still reach it. The
+    /// other perturbation axes reshape the channel: clock drift skews the
+    /// node's PIE timer, a velocity shift rescales the propagation delay,
+    /// a multipath burst multiplies the CBW leak, and an SNR dip scales
+    /// the capture noise.
+    ///
+    /// With [`faults::Perturbation::none`] this is bit-identical to the
+    /// unfaulted path (all hooks are exact multiplications by 1.0 /
+    /// additions of 0.0), which is what lets `transact` delegate here.
+    #[must_use]
+    pub fn transact_perturbed<R: Rng>(
+        &self,
+        capsule: &mut EcoCapsule,
+        cmd: &Command,
+        env: &Environment,
+        p: &faults::Perturbation,
+        rng: &mut R,
+    ) -> Result<Option<Reply>, RxError> {
+        if p.outage {
+            return Ok(None);
+        }
+        capsule.apply_fault(p);
         // Downlink. The node-side demodulation operates on the ideal
         // post-concrete waveform: FSK low edges arrive suppressed.
         let segments = self.tx.pie.encode(&cmd.encode());
@@ -100,14 +128,14 @@ impl ReaderSession {
             return Ok(None);
         };
 
-        // Uplink.
+        // Uplink, through the faulted channel.
         let bits = capsule.backscatter_bits(&reply);
         let (samples, _) = synthesize_uplink(
-            &self.uplink,
+            &self.uplink.under_fault(p),
             &bits,
             self.uplink_bitrate,
             1e-3,
-            self.noise_sigma,
+            faulted_noise_sigma(self.noise_sigma, p),
             rng,
         );
         let capture = Capture {
@@ -172,6 +200,40 @@ impl ReaderSession {
             }
         }
         found
+    }
+
+    /// Re-opens the read session on a capsule that inventory identified
+    /// but left outside `Acknowledged`. A node ACKed in an early round
+    /// is re-arbitrated by every later round's Query — if it then drew a
+    /// late slot or collided, it ends the inventory in `Arbitrate` or
+    /// `Ready`, and [`ReaderSession::read_sensor`] would meet silence.
+    /// This issues targeted `Query { q: 0 }` / `Ack` exchanges (q = 0
+    /// means one slot, so the lone addressee always replies) until the
+    /// node serves reads again, up to `max_attempts` exchanges.
+    ///
+    /// A no-op (zero RNG draws) when the session is already open, so
+    /// calling it unconditionally before reads cannot change the result
+    /// of a survey that never displaced anyone. Returns whether the
+    /// session is open.
+    pub fn ensure_session<R: Rng>(
+        &self,
+        capsule: &mut EcoCapsule,
+        env: &Environment,
+        max_attempts: u32,
+        rng: &mut R,
+    ) -> bool {
+        use protocol::inventory::NodeState;
+        for _ in 0..max_attempts {
+            if capsule.protocol.state == NodeState::Acknowledged {
+                return true;
+            }
+            if let Ok(Some(Reply::Rn16 { rn16 })) =
+                self.transact(capsule, &Command::Query { q: 0, session: 0 }, env, rng)
+            {
+                let _ = self.transact(capsule, &Command::Ack { rn16 }, env, rng);
+            }
+        }
+        capsule.protocol.state == NodeState::Acknowledged
     }
 
     /// Reads one sensor from an acknowledged capsule, returning the
@@ -277,6 +339,26 @@ mod tests {
             .unwrap()
             .expect("acknowledged node answers reads");
         assert!((t - 28.5).abs() < 0.05, "read {t} °C");
+    }
+
+    #[test]
+    fn ensure_session_recovers_reads_after_a_displacing_query() {
+        use protocol::inventory::NodeState;
+        let session = ReaderSession::paper_default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let env = Environment::default();
+        let mut capsule = powered(0xCD);
+        assert!(session.ensure_session(&mut capsule, &env, 3, &mut rng));
+        assert_eq!(capsule.protocol.state, NodeState::Acknowledged);
+        // A fresh Query — the start of another inventory round —
+        // re-arbitrates the node out of its open session.
+        let _ = capsule.execute(&Command::Query { q: 3, session: 0 }, &env, &mut rng);
+        assert_ne!(capsule.protocol.state, NodeState::Acknowledged);
+        assert!(session.ensure_session(&mut capsule, &env, 3, &mut rng));
+        let value = session
+            .read_sensor(&mut capsule, SensorKind::Temperature, &env, &mut rng)
+            .unwrap();
+        assert!(value.is_some(), "the reopened session serves reads");
     }
 
     #[test]

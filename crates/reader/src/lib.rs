@@ -12,12 +12,16 @@
 //! - [`tuning`] — the §3.5 carrier fine-tuning routine that dodges the
 //!   frequency-selective notches a defect-laden member introduces;
 //! - [`app`] — the reader application: waveform-level inventory rounds
-//!   and sensor-read transactions against simulated capsules.
+//!   and sensor-read transactions against simulated capsules;
+//! - [`robust`] — the fault-hardened session layer: bounded-exponential
+//!   retry over a [`faults::Timeline`], plus loss-burst-aware inventory
+//!   with adaptive Q re-arbitration (DESIGN.md §4).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod robust;
 pub mod rx;
 pub mod tuning;
 pub mod tx;

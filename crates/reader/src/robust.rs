@@ -1,0 +1,604 @@
+//! The fault-hardened reader session layer (DESIGN.md §4).
+//!
+//! [`crate::app::ReaderSession::transact`] models one exchange on a
+//! benign channel. This module wraps it for a channel under a
+//! [`faults::FaultPlan`]:
+//!
+//! - every attempted transaction consumes one slot of a
+//!   [`faults::Timeline`] and runs under whatever perturbation that
+//!   slot carries;
+//! - must-answer commands (`Ack`, `ReadSensor`) get a bounded
+//!   exponential-backoff retry loop ([`RetryPolicy`]): backing off
+//!   *skips* timeline slots, so a retry can land past the end of a
+//!   brownout or SNR-dip window — waiting is spending time, and time is
+//!   what clears transient faults;
+//! - the inventory driver tracks ACK loss bursts (singleton slots whose
+//!   waveform exchange failed even after retries) and re-arbitrates via
+//!   [`QAlgorithm::rearbitrate`], growing Q instead of mistaking losses
+//!   for an emptying population.
+//!
+//! Which failures recover and which do not is deliberate, and the
+//! integration tests pin it: a brownout or node-side decode failure
+//! leaves the node's protocol state intact, so a retry succeeds once
+//! the window passes; an uplink decode failure *after* the node
+//! acknowledged leaves the id unknowable until the next Query round
+//! (our command set has no Gen2 ReqRN), so round-level retry — not
+//! command-level — is what recovers it.
+
+use crate::app::{decode_physical, ReaderSession};
+use faults::Timeline;
+use node::capsule::{EcoCapsule, Environment};
+use protocol::frame::{Command, Reply, SensorKind};
+use protocol::inventory::QAlgorithm;
+use rand::Rng;
+
+/// Per-command timeout-and-retry budget: how many attempts a must-answer
+/// command gets, and how long (in timeline slots) the reader waits
+/// between them. The wait doubles each retry — `base`, `2·base`,
+/// `4·base`, … — capped at `cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per command (≥ 1; 1 means no retry).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt, in slots.
+    pub backoff_base_slots: u64,
+    /// Ceiling on any single backoff, in slots.
+    pub backoff_cap_slots: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, no waiting. The baseline row of the
+    /// `bench::faults` matrix.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_slots: 0,
+            backoff_cap_slots: 0,
+        }
+    }
+
+    /// The default recovery posture: 4 attempts with 1/2/4-slot waits.
+    /// Sized against the fault presets — a `severe` brownout lasts at
+    /// most 4 slots, and 1+2+4 = 7 slots of cumulative backoff outlasts
+    /// it from any starting offset.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base_slots: 1,
+            backoff_cap_slots: 8,
+        }
+    }
+
+    /// The backoff after failed attempt number `attempt` (1-based):
+    /// `min(base · 2^(attempt−1), cap)`.
+    #[must_use]
+    pub fn backoff_slots(&self, attempt: u32) -> u64 {
+        let doubled = self
+            .backoff_base_slots
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(62));
+        doubled.min(self.backoff_cap_slots)
+    }
+}
+
+/// The outcome of a retried must-answer transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery {
+    /// A reply decoded on attempt `attempts` (1-based).
+    Delivered {
+        /// The decoded reply.
+        reply: Reply,
+        /// Which attempt succeeded.
+        attempts: u32,
+    },
+    /// Every attempt failed — silence (outage or node-side decode
+    /// failure) or an RX decode error.
+    Exhausted {
+        /// Attempts spent (= the policy's budget).
+        attempts: u32,
+        /// How many of them failed in the RX chain (waveform present
+        /// but undecodable) rather than by silence.
+        decode_errors: u32,
+    },
+}
+
+impl Delivery {
+    /// The reply, if one was delivered.
+    #[must_use]
+    pub fn reply(&self) -> Option<&Reply> {
+        match self {
+            Delivery::Delivered { reply, .. } => Some(reply),
+            Delivery::Exhausted { .. } => None,
+        }
+    }
+
+    /// Attempts consumed (whether or not one succeeded).
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        match self {
+            Delivery::Delivered { attempts, .. } | Delivery::Exhausted { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+}
+
+/// What the robust inventory driver did and saw — the recovery
+/// telemetry `bench::faults` aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RobustInventoryReport {
+    /// IDs identified, in discovery order.
+    pub found: Vec<u32>,
+    /// Query rounds driven.
+    pub rounds: usize,
+    /// Singleton slots whose ACK exchange failed even after retries.
+    pub lost_acks: u32,
+    /// Rounds after which the Q algorithm was re-arbitrated for losses.
+    pub rearbitrations: u32,
+    /// The Q the algorithm had converged to when inventory stopped.
+    pub final_q: u8,
+}
+
+impl ReaderSession {
+    /// A must-answer transaction with bounded-exponential retry over a
+    /// fault timeline. Each attempt consumes one slot; each failure
+    /// (silence or decode error) skips [`RetryPolicy::backoff_slots`]
+    /// more before the next try.
+    ///
+    /// Only use this for commands where silence means failure (`Ack` to
+    /// a node in Reply state, `ReadSensor` to an acknowledged node).
+    /// Retrying a command whose silence is *correct* — a `Query` when
+    /// the node drew a nonzero slot — would burn the budget on
+    /// well-behaved nodes.
+    pub fn transact_with_retry<R: Rng>(
+        &self,
+        capsule: &mut EcoCapsule,
+        cmd: &Command,
+        env: &Environment,
+        policy: &RetryPolicy,
+        timeline: &mut Timeline<'_>,
+        rng: &mut R,
+    ) -> Delivery {
+        let budget = policy.max_attempts.max(1);
+        let mut decode_errors = 0u32;
+        for attempt in 1..=budget {
+            let p = timeline.advance();
+            match self.transact_perturbed(capsule, cmd, env, &p, rng) {
+                Ok(Some(reply)) => {
+                    return Delivery::Delivered {
+                        reply,
+                        attempts: attempt,
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => decode_errors += 1,
+            }
+            if attempt < budget {
+                timeline.skip(policy.backoff_slots(attempt));
+            }
+        }
+        Delivery::Exhausted {
+            attempts: budget,
+            decode_errors,
+        }
+    }
+
+    /// [`ReaderSession::ensure_session`] over a fault timeline: restores
+    /// the open read session on a capsule the final inventory round left
+    /// outside `Acknowledged` (later Query rounds re-arbitrate every
+    /// node, including ones identified earlier). Each acquisition
+    /// attempt spends one slot on a targeted `Query { q: 0 }` and — if
+    /// the RN16 came back — one on the `Ack`, backing off between failed
+    /// attempts exactly like [`ReaderSession::transact_with_retry`], so
+    /// a re-acquisition started inside a fault window can outlive it.
+    ///
+    /// Consumes no slots and no RNG draws when the session is already
+    /// open. Returns the attempts spent (0 when already open). Worst
+    /// case slot spend is `2 · max_attempts` plus the cumulative
+    /// backoff — the bound `survey_under` sizes its per-capsule
+    /// timeline slices with.
+    pub fn ensure_session_with_retry<R: Rng>(
+        &self,
+        capsule: &mut EcoCapsule,
+        env: &Environment,
+        policy: &RetryPolicy,
+        timeline: &mut Timeline<'_>,
+        rng: &mut R,
+    ) -> u32 {
+        use protocol::inventory::NodeState;
+        if capsule.protocol.state == NodeState::Acknowledged {
+            return 0;
+        }
+        let budget = policy.max_attempts.max(1);
+        for attempt in 1..=budget {
+            let p = timeline.advance();
+            if let Ok(Some(Reply::Rn16 { rn16 })) =
+                self.transact_perturbed(capsule, &Command::Query { q: 0, session: 0 }, env, &p, rng)
+            {
+                let p = timeline.advance();
+                if let Ok(Some(Reply::NodeId { .. })) =
+                    self.transact_perturbed(capsule, &Command::Ack { rn16 }, env, &p, rng)
+                {
+                    return attempt;
+                }
+            }
+            if attempt < budget {
+                timeline.skip(policy.backoff_slots(attempt));
+            }
+        }
+        budget
+    }
+
+    /// Reads one sensor from an acknowledged capsule with retry.
+    /// Returns the decoded physical value (if any attempt delivered)
+    /// and the attempts consumed.
+    pub fn read_sensor_with_retry<R: Rng>(
+        &self,
+        capsule: &mut EcoCapsule,
+        kind: SensorKind,
+        env: &Environment,
+        policy: &RetryPolicy,
+        timeline: &mut Timeline<'_>,
+        rng: &mut R,
+    ) -> (Option<f64>, u32) {
+        let delivery = self.transact_with_retry(
+            capsule,
+            &Command::ReadSensor { kind },
+            env,
+            policy,
+            timeline,
+            rng,
+        );
+        let attempts = delivery.attempts();
+        let value = match delivery.reply() {
+            Some(Reply::SensorData { kind, raw }) => {
+                Some(decode_physical(*kind, *raw, capsule, env))
+            }
+            _ => None,
+        };
+        (value, attempts)
+    }
+
+    /// Fault-aware waveform-level inventory: Gen2 Q-algorithm slot
+    /// arbitration, per-slot fault perturbations, retried ACKs, and
+    /// loss-burst re-arbitration.
+    ///
+    /// Every slot consumes one timeline slot. A slot inside a brownout
+    /// window reaches no node (the reader hears an empty slot); a
+    /// singleton slot's ACK exchange runs through
+    /// [`ReaderSession::transact_with_retry`]. ACKs that stay
+    /// undeliverable are counted as `lost_acks` and excluded from the
+    /// Q update (they are channel losses, not arbitration evidence);
+    /// after any lossy round the algorithm re-arbitrates upward.
+    ///
+    /// `capsules` should hold only operational nodes — the driver stops
+    /// early once `found` covers them all.
+    pub fn inventory_robust<R: Rng>(
+        &self,
+        capsules: &mut [EcoCapsule],
+        env: &Environment,
+        q0: u8,
+        c: f64,
+        max_rounds: usize,
+        policy: &RetryPolicy,
+        timeline: &mut Timeline<'_>,
+        rng: &mut R,
+    ) -> RobustInventoryReport {
+        use protocol::inventory::RoundReport;
+
+        let mut alg = QAlgorithm::new(q0, c);
+        let mut report = RobustInventoryReport::default();
+        for _ in 0..max_rounds {
+            report.rounds += 1;
+            let q = alg.q();
+            let mut round = RoundReport::default();
+            let mut round_lost_acks = 0u32;
+            for slot in 0..(1u32 << q) {
+                let cmd = if slot == 0 {
+                    Command::Query { q, session: 0 }
+                } else {
+                    Command::QueryRep
+                };
+                let p = timeline.advance();
+                if p.outage {
+                    // Nobody hears the command; the reader hears nothing.
+                    round.empty_slots += 1;
+                    continue;
+                }
+                let mut responders: Vec<(usize, u16)> = Vec::new();
+                for (i, capsule) in capsules.iter_mut().enumerate() {
+                    if !capsule.is_operational() {
+                        continue;
+                    }
+                    capsule.apply_fault(&p);
+                    if let Some(Reply::Rn16 { rn16 }) = capsule.execute(&cmd, env, rng) {
+                        responders.push((i, rn16));
+                    }
+                }
+                match responders.len() {
+                    0 => round.empty_slots += 1,
+                    1 => {
+                        let (idx, rn16) = responders[0];
+                        let delivery = self.transact_with_retry(
+                            &mut capsules[idx],
+                            &Command::Ack { rn16 },
+                            env,
+                            policy,
+                            timeline,
+                            rng,
+                        );
+                        match delivery.reply() {
+                            Some(Reply::NodeId { id }) => {
+                                if !report.found.contains(id) {
+                                    report.found.push(*id);
+                                }
+                                round.identified.push(*id);
+                            }
+                            _ => round_lost_acks += 1,
+                        }
+                    }
+                    _ => {
+                        round.collisions += 1;
+                        // Colliding nodes miss their ACK and back off.
+                        for (i, _) in &responders {
+                            let _ = capsules[*i].execute(&Command::Ack { rn16: 0 }, env, rng);
+                        }
+                    }
+                }
+            }
+            if report.found.len() == capsules.len() {
+                break;
+            }
+            alg.update(&round);
+            if round_lost_acks > 0 {
+                alg.rearbitrate(round_lost_acks as usize);
+                report.rearbitrations += 1;
+            }
+            report.lost_acks += round_lost_acks;
+        }
+        report.final_q = alg.q();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::{FaultKind, FaultPlan, FaultWindow};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn powered(id: u32) -> EcoCapsule {
+        let mut c = EcoCapsule::new(id);
+        c.harvest(2.0, 0.1);
+        c
+    }
+
+    fn acknowledge<R: Rng>(
+        session: &ReaderSession,
+        capsule: &mut EcoCapsule,
+        env: &Environment,
+        rng: &mut R,
+    ) {
+        let rn16 = loop {
+            if let Some(Reply::Rn16 { rn16 }) = session
+                .transact(capsule, &Command::Query { q: 0, session: 0 }, env, rng)
+                .unwrap()
+            {
+                break rn16;
+            }
+        };
+        session
+            .transact(capsule, &Command::Ack { rn16 }, env, rng)
+            .unwrap();
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::paper_default();
+        assert_eq!(p.backoff_slots(1), 1);
+        assert_eq!(p.backoff_slots(2), 2);
+        assert_eq!(p.backoff_slots(3), 4);
+        assert_eq!(p.backoff_slots(4), 8);
+        assert_eq!(p.backoff_slots(5), 8, "capped");
+        assert_eq!(RetryPolicy::none().backoff_slots(1), 0);
+    }
+
+    #[test]
+    fn backoff_is_overflow_safe() {
+        let p = RetryPolicy {
+            max_attempts: 100,
+            backoff_base_slots: u64::MAX / 2,
+            backoff_cap_slots: u64::MAX,
+        };
+        // 2^99 · base would overflow; saturating math must cap instead.
+        assert_eq!(p.backoff_slots(100), u64::MAX);
+    }
+
+    #[test]
+    fn retry_recovers_read_through_brownout_window() {
+        // Brownout covers slots 0..2; paper_default backoff skips past
+        // it, so the read succeeds on a later attempt.
+        let plan = FaultPlan::from_windows(
+            1,
+            100,
+            vec![FaultWindow {
+                kind: FaultKind::Brownout,
+                start_slot: 0,
+                len_slots: 2,
+                magnitude: 0.0,
+            }],
+        );
+        let session = ReaderSession::paper_default();
+        let env = Environment::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut capsule = powered(3);
+        acknowledge(&session, &mut capsule, &env, &mut rng);
+
+        let mut timeline = Timeline::new(&plan);
+        let (value, attempts) = session.read_sensor_with_retry(
+            &mut capsule,
+            SensorKind::Temperature,
+            &env,
+            &RetryPolicy::paper_default(),
+            &mut timeline,
+            &mut rng,
+        );
+        assert!(value.is_some(), "retry should outlive the brownout");
+        assert!(attempts > 1, "first attempt fell inside the window");
+
+        // The no-retry baseline fails on the same schedule.
+        let mut capsule2 = powered(4);
+        let mut rng2 = StdRng::seed_from_u64(8);
+        acknowledge(&session, &mut capsule2, &env, &mut rng2);
+        let mut timeline2 = Timeline::new(&plan);
+        let (value2, _) = session.read_sensor_with_retry(
+            &mut capsule2,
+            SensorKind::Temperature,
+            &env,
+            &RetryPolicy::none(),
+            &mut timeline2,
+            &mut rng2,
+        );
+        assert_eq!(value2, None, "single attempt dies in the window");
+    }
+
+    #[test]
+    fn exhausted_budget_reports_attempts_without_panicking() {
+        // A brownout longer than the whole retry budget.
+        let plan = FaultPlan::from_windows(
+            2,
+            1000,
+            vec![FaultWindow {
+                kind: FaultKind::Brownout,
+                start_slot: 0,
+                len_slots: 1000,
+                magnitude: 0.0,
+            }],
+        );
+        let session = ReaderSession::paper_default();
+        let env = Environment::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut capsule = powered(7);
+        acknowledge(&session, &mut capsule, &env, &mut rng);
+        let mut timeline = Timeline::new(&plan);
+        let delivery = session.transact_with_retry(
+            &mut capsule,
+            &Command::ReadSensor {
+                kind: SensorKind::Strain,
+            },
+            &env,
+            &RetryPolicy::paper_default(),
+            &mut timeline,
+            &mut rng,
+        );
+        assert_eq!(
+            delivery,
+            Delivery::Exhausted {
+                attempts: 4,
+                decode_errors: 0
+            }
+        );
+    }
+
+    #[test]
+    fn ensure_session_reopens_a_displaced_capsule() {
+        use protocol::inventory::NodeState;
+        let session = ReaderSession::paper_default();
+        let env = Environment::default();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut capsule = powered(500);
+        acknowledge(&session, &mut capsule, &env, &mut rng);
+        // A later inventory round's Query re-arbitrates the node out of
+        // its open session — the state every capsule identified before
+        // the final round is left in.
+        let _ = capsule.execute(&Command::Query { q: 4, session: 0 }, &env, &mut rng);
+        assert_ne!(capsule.protocol.state, NodeState::Acknowledged);
+
+        let plan = FaultPlan::quiet();
+        let mut timeline = Timeline::new(&plan);
+        let policy = RetryPolicy::paper_default();
+        let spent =
+            session.ensure_session_with_retry(&mut capsule, &env, &policy, &mut timeline, &mut rng);
+        assert!(spent >= 1, "a displaced capsule costs at least one attempt");
+        assert_eq!(capsule.protocol.state, NodeState::Acknowledged);
+
+        let (value, _) = session.read_sensor_with_retry(
+            &mut capsule,
+            SensorKind::Temperature,
+            &env,
+            &policy,
+            &mut timeline,
+            &mut rng,
+        );
+        assert!(value.is_some(), "the reopened session serves reads");
+
+        // Once the session is open, re-acquisition is free: no attempts,
+        // no timeline slots.
+        let before = timeline.slot();
+        let spent =
+            session.ensure_session_with_retry(&mut capsule, &env, &policy, &mut timeline, &mut rng);
+        assert_eq!(spent, 0);
+        assert_eq!(timeline.slot(), before);
+    }
+
+    #[test]
+    fn robust_inventory_finds_all_on_a_quiet_plan() {
+        let plan = FaultPlan::quiet();
+        let session = ReaderSession::paper_default();
+        let env = Environment::default();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut capsules: Vec<EcoCapsule> = (0..3).map(|i| powered(200 + i)).collect();
+        let mut timeline = Timeline::new(&plan);
+        let report = session.inventory_robust(
+            &mut capsules,
+            &env,
+            2,
+            0.3,
+            30,
+            &RetryPolicy::paper_default(),
+            &mut timeline,
+            &mut rng,
+        );
+        let mut sorted = report.found.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![200, 201, 202]);
+        assert_eq!(report.lost_acks, 0);
+        assert_eq!(report.rearbitrations, 0);
+    }
+
+    #[test]
+    fn robust_inventory_survives_a_brownout_burst() {
+        // Slots 2..10 are dead air. The driver must classify them as
+        // losses/empties, keep going, and still find everyone.
+        let plan = FaultPlan::from_windows(
+            3,
+            10_000,
+            vec![FaultWindow {
+                kind: FaultKind::Brownout,
+                start_slot: 2,
+                len_slots: 8,
+                magnitude: 0.0,
+            }],
+        );
+        let session = ReaderSession::paper_default();
+        let env = Environment::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut capsules: Vec<EcoCapsule> = (0..4).map(|i| powered(300 + i)).collect();
+        let mut timeline = Timeline::new(&plan);
+        let report = session.inventory_robust(
+            &mut capsules,
+            &env,
+            2,
+            0.3,
+            40,
+            &RetryPolicy::paper_default(),
+            &mut timeline,
+            &mut rng,
+        );
+        let mut sorted = report.found.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![300, 301, 302, 303]);
+    }
+}

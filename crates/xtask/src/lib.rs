@@ -80,6 +80,9 @@ impl Default for LintConfig {
             hot_paths: vec![
                 "dsp/src/fft.rs".to_string(),
                 "dsp/src/correlate.rs".to_string(),
+                // Queried once per slot per capsule inside every faulted
+                // survey: a stray index panic here takes down the matrix.
+                "faults/src/plan.rs".to_string(),
             ],
             lock_hot_paths: vec![
                 "dsp/src/fft.rs".to_string(),
@@ -88,6 +91,10 @@ impl Default for LintConfig {
                 "dsp/src/correlate.rs".to_string(),
                 "dsp/src/ddc.rs".to_string(),
                 "exec/src/pool.rs".to_string(),
+                // FaultPlan is shared read-only across sweep workers;
+                // per-slot locking would serialise the whole pool.
+                "faults/src/plan.rs".to_string(),
+                "faults/src/digest.rs".to_string(),
             ],
         }
     }

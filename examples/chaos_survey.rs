@@ -1,0 +1,80 @@
+//! Chaos survey: the same wall surveyed through an escalating series of
+//! seeded fault schedules, with and without the retry policy, showing
+//! the per-capsule outcome taxonomy and what recovery buys.
+//!
+//! ```sh
+//! cargo run -p ecocapsule --example chaos_survey --release
+//! ```
+//!
+//! Fault model (DESIGN.md §4): a `FaultPlan` is a pure function of
+//! `(seed, intensity)` — rerunning this example always prints the same
+//! outcomes, and the same plan replayed at any worker count yields a
+//! bit-identical report digest.
+
+use ecocapsule::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 2022;
+const DRIVE_V: f64 = 200.0;
+const DEPTHS: [f64; 3] = [0.5, 1.0, 1.5];
+
+fn outcome_tag(outcome: &CapsuleOutcome) -> String {
+    match outcome {
+        CapsuleOutcome::Read { readings } => format!("read ({readings}/3 sensors)"),
+        CapsuleOutcome::Unpowered => "unpowered".into(),
+        CapsuleOutcome::CollisionExhausted => "collision-exhausted".into(),
+        CapsuleOutcome::DecodeFailed { attempts } => {
+            format!("decode-failed after {attempts} attempts")
+        }
+    }
+}
+
+fn survey(plan: &FaultPlan, policy: &RetryPolicy) -> SurveyReport {
+    let mut wall = SelfSensingWall::common_wall(&DEPTHS);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    wall.survey_under(DRIVE_V, plan, policy, &mut rng, &Pool::serial())
+        .expect("valid survey")
+}
+
+fn main() {
+    let intensities: [(&str, FaultIntensity); 4] = [
+        ("calm", FaultIntensity::calm(60)),
+        ("mild", FaultIntensity::mild(60)),
+        ("moderate", FaultIntensity::moderate(60)),
+        ("severe", FaultIntensity::severe(60)),
+    ];
+
+    for (name, intensity) in intensities {
+        let plan = FaultPlan::generate(SEED, &intensity);
+        println!(
+            "\n== {name}: {} fault windows (plan digest {:#018x}) ==",
+            plan.windows().len(),
+            plan.digest()
+        );
+        let baseline = survey(&plan, &RetryPolicy::none());
+        let robust = survey(&plan, &RetryPolicy::paper_default());
+        for (id, outcome) in &robust.outcomes {
+            let before = baseline
+                .outcomes
+                .iter()
+                .find(|(b, _)| b == id)
+                .map(|(_, o)| outcome_tag(o))
+                .unwrap_or_else(|| "?".into());
+            println!(
+                "  node {id}: no-retry {before:<32} retry {}",
+                outcome_tag(outcome)
+            );
+        }
+        println!(
+            "  readings: {} without retries, {} with (digest {:#018x})",
+            baseline.readings.len(),
+            robust.readings.len(),
+            robust.digest()
+        );
+        assert!(
+            robust.readings.len() >= baseline.readings.len(),
+            "retries must never lose readings"
+        );
+    }
+}

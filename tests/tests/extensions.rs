@@ -1,4 +1,4 @@
-//! Integration tests for the extension features (DESIGN.md §6):
+//! Integration tests for the extension features (DESIGN.md §7):
 //! selective inventory, curing-aware deployment, defect diagnosis with
 //! retuning, surface-leak bookkeeping, and the composed health report.
 

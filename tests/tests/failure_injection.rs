@@ -161,6 +161,104 @@ fn clock_drift_within_datasheet_still_decodes() {
 }
 
 #[test]
+fn every_fault_kind_survives_a_full_survey() {
+    use faults::{FaultKind, FaultWindow};
+    use reader::robust::RetryPolicy;
+
+    // One wall, one fault kind at a time, each as a wide high-magnitude
+    // window parked over the survey's entire slot budget. The survey
+    // must return Ok with every capsule classified — degraded outcomes
+    // are expected, panics and missing classifications are not.
+    for kind in FaultKind::ALL {
+        let magnitude = match kind {
+            FaultKind::SnrDip => 60.0,
+            FaultKind::Brownout => 0.0,
+            FaultKind::ClockDrift => 0.09,
+            FaultKind::VelocityShift => 0.04,
+            FaultKind::MultipathBurst => 9.0,
+        };
+        let plan = FaultPlan::from_windows(
+            11,
+            4_000,
+            vec![FaultWindow {
+                kind,
+                start_slot: 0,
+                len_slots: 4_000,
+                magnitude,
+            }],
+        );
+        let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
+        let mut rng = StdRng::seed_from_u64(12);
+        let report = wall
+            .survey_under(
+                200.0,
+                &plan,
+                &RetryPolicy::paper_default(),
+                &mut rng,
+                &Pool::serial(),
+            )
+            .unwrap_or_else(|e| panic!("{kind:?} survey errored: {e}"));
+        assert_eq!(
+            report.outcomes.len(),
+            3,
+            "{kind:?} must classify every capsule, got {:?}",
+            report.outcomes
+        );
+        for (id, outcome) in &report.outcomes {
+            match outcome {
+                CapsuleOutcome::Read { readings } => {
+                    assert!(*readings >= 1 && *readings <= 3, "{kind:?} node {id}")
+                }
+                CapsuleOutcome::DecodeFailed { attempts } => {
+                    assert!(*attempts >= 1, "{kind:?} node {id} failed with no attempts")
+                }
+                CapsuleOutcome::Unpowered | CapsuleOutcome::CollisionExhausted => {}
+            }
+        }
+        // Readings that did get through are still physically plausible.
+        for (id, sensor, value) in &report.readings {
+            assert!(value.is_finite(), "{kind:?} node {id} {sensor:?} = {value}");
+        }
+    }
+}
+
+#[test]
+fn wall_to_wall_brownout_unpowers_everyone_without_panicking() {
+    use faults::{FaultKind, FaultWindow};
+    use reader::robust::RetryPolicy;
+
+    let plan = FaultPlan::from_windows(
+        13,
+        50_000,
+        vec![FaultWindow {
+            kind: FaultKind::Brownout,
+            start_slot: 0,
+            len_slots: 50_000,
+            magnitude: 0.0,
+        }],
+    );
+    let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
+    let mut rng = StdRng::seed_from_u64(14);
+    let report = wall
+        .survey_under(
+            200.0,
+            &plan,
+            &RetryPolicy::paper_default(),
+            &mut rng,
+            &Pool::serial(),
+        )
+        .unwrap();
+    // A brownout through the charge phase kills harvesting itself: every
+    // capsule is Unpowered, nothing is inventoried, nothing read.
+    assert!(report.inventoried_ids.is_empty());
+    assert!(report.readings.is_empty());
+    assert_eq!(report.outcomes.len(), 2);
+    for (id, outcome) in &report.outcomes {
+        assert_eq!(*outcome, CapsuleOutcome::Unpowered, "node {id}");
+    }
+}
+
+#[test]
 fn preamble_consts_agree_across_layers() {
     // protocol::timing models the uplink preamble length without
     // depending on phy; the two constants must stay in lockstep.

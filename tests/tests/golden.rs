@@ -1,0 +1,226 @@
+//! Golden-vector fixtures: pinned FNV-1a digests of wire encodings and
+//! one full survey report, checked into `tests/fixtures/`.
+//!
+//! These catch *silent* representation drift — a frame layout tweak, a
+//! CRC preset typo, an RNG-stream reshuffle — that behavioural tests
+//! tolerate because encode and decode drift together. Each test
+//! recomputes its vectors and compares against the committed fixture.
+//!
+//! To regenerate after an *intentional* wire/report change:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test -p integration-tests --test golden
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn load_fixture(name: &str) -> Option<BTreeMap<String, u64>> {
+    let text = std::fs::read_to_string(fixture_path(name)).ok()?;
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .expect("fixture line must be `name = 0x…`");
+        let value = value.trim().trim_start_matches("0x");
+        map.insert(
+            key.trim().to_string(),
+            u64::from_str_radix(value, 16).expect("fixture value must be hex"),
+        );
+    }
+    Some(map)
+}
+
+/// Compares `computed` against the committed fixture, or rewrites the
+/// fixture when `GOLDEN_REGEN` is set.
+fn check_fixture(name: &str, header: &str, computed: &BTreeMap<String, u64>) {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let mut out = String::new();
+        for line in header.lines() {
+            writeln!(out, "# {line}").unwrap();
+        }
+        for (key, value) in computed {
+            writeln!(out, "{key} = {value:#018x}").unwrap();
+        }
+        std::fs::create_dir_all(fixture_path(name).parent().unwrap()).unwrap();
+        std::fs::write(fixture_path(name), out).unwrap();
+        return;
+    }
+    let golden = load_fixture(name)
+        .unwrap_or_else(|| panic!("missing fixture {name}; run with GOLDEN_REGEN=1 to create it"));
+    assert_eq!(
+        &golden, computed,
+        "golden vectors diverged in {name}; if the change is intentional, \
+         regenerate with GOLDEN_REGEN=1 and review the diff"
+    );
+}
+
+/// Every command and reply variant's exact wire bits, digested.
+#[test]
+fn frame_encodings_match_golden_vectors() {
+    use faults::digest::fnv1a64_bits;
+    use protocol::frame::{Command, Reply, SensorKind};
+
+    let commands: [(&str, Command); 8] = [
+        ("cmd_query_q4_s0", Command::Query { q: 4, session: 0 }),
+        ("cmd_query_q15_s3", Command::Query { q: 15, session: 3 }),
+        ("cmd_query_rep", Command::QueryRep),
+        ("cmd_ack_0xbeef", Command::Ack { rn16: 0xBEEF }),
+        (
+            "cmd_read_strain",
+            Command::ReadSensor {
+                kind: SensorKind::Strain,
+            },
+        ),
+        ("cmd_set_blf_42", Command::SetBlf { offset_100hz: 42 }),
+        (
+            "cmd_select_prefix",
+            Command::Select {
+                prefix: 0xDEAD_0000,
+                prefix_bits: 16,
+            },
+        ),
+        (
+            "cmd_select_all",
+            Command::Select {
+                prefix: 0,
+                prefix_bits: 0,
+            },
+        ),
+    ];
+    let replies: [(&str, Reply); 3] = [
+        ("reply_rn16_0x1234", Reply::Rn16 { rn16: 0x1234 }),
+        ("reply_node_id_1000", Reply::NodeId { id: 1000 }),
+        (
+            "reply_sensor_temp_0x0a0b",
+            Reply::SensorData {
+                kind: SensorKind::Temperature,
+                raw: 0x0A0B,
+            },
+        ),
+    ];
+
+    let mut computed = BTreeMap::new();
+    for (name, cmd) in commands {
+        let bits = cmd.encode();
+        assert_eq!(Command::decode(&bits), Ok(cmd), "{name} must roundtrip");
+        computed.insert(name.to_string(), fnv1a64_bits(&bits));
+    }
+    for (name, reply) in replies {
+        let bits = reply.encode();
+        assert_eq!(Reply::decode(&bits), Ok(reply), "{name} must roundtrip");
+        computed.insert(name.to_string(), fnv1a64_bits(&bits));
+    }
+    check_fixture(
+        "frames.golden",
+        "FNV-1a digests of Command/Reply wire encodings (tests/tests/golden.rs).\n\
+         A diff here means the Gen2 frame layout changed on the wire.",
+        &computed,
+    );
+}
+
+/// CRC-5 and CRC-16 outputs for fixed bit patterns, including the
+/// classic CCITT check string.
+#[test]
+fn crc_vectors_match_golden() {
+    use protocol::crc::{crc16, crc16_check, crc5};
+
+    fn bits_of(value: u64, width: usize) -> Vec<bool> {
+        (0..width).rev().map(|i| (value >> i) & 1 == 1).collect()
+    }
+    let ascii_123456789: Vec<bool> = b"123456789"
+        .iter()
+        .flat_map(|b| bits_of(*b as u64, 8))
+        .collect();
+
+    let mut computed = BTreeMap::new();
+    computed.insert("crc5_zero16".into(), u64::from(crc5(&bits_of(0, 16))));
+    computed.insert(
+        "crc5_pattern".into(),
+        u64::from(crc5(&bits_of(0b1101_0110_1010_0011, 16))),
+    );
+    computed.insert("crc16_zero32".into(), u64::from(crc16(&bits_of(0, 32))));
+    computed.insert(
+        "crc16_cafebabe".into(),
+        u64::from(crc16(&bits_of(0xCAFE_BABE, 32))),
+    );
+    computed.insert(
+        "crc16_ascii_123456789".into(),
+        u64::from(crc16(&ascii_123456789)),
+    );
+
+    // The CCITT reference value holds regardless of fixtures.
+    assert_eq!(crc16(&ascii_123456789), !0x29B1);
+    // And framing any payload with its CRC-16 passes the residue check.
+    let payload = bits_of(0xCAFE_BABE, 32);
+    let mut framed = payload.clone();
+    framed.extend(bits_of(u64::from(crc16(&payload)), 16));
+    assert!(crc16_check(&framed));
+
+    check_fixture(
+        "crc.golden",
+        "Gen2 CRC-5 / CRC-16 vectors (tests/tests/golden.rs).\n\
+         A diff here means a CRC polynomial or preset changed.",
+        &computed,
+    );
+}
+
+/// One full `common_wall` survey, quiet and faulted, pinned by report
+/// digest: the cross-session determinism witness for the whole stack
+/// (charging, inventory, sensor reads, outcome taxonomy).
+#[test]
+fn common_wall_survey_report_matches_golden() {
+    use ecocapsule::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const STANDOFFS: [f64; 3] = [0.5, 1.0, 1.5];
+    const DRIVE_V: f64 = 200.0;
+    const SEED: u64 = 0x600D_F00D;
+
+    let mut computed = BTreeMap::new();
+
+    let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let report = wall.survey(DRIVE_V, &mut rng).expect("survey must succeed");
+    assert_eq!(report.powered_ids.len(), STANDOFFS.len());
+    computed.insert("survey_quiet_digest".into(), report.digest());
+
+    let plan = FaultPlan::generate(SEED, &FaultIntensity::moderate(60));
+    let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let faulted = wall
+        .survey_under(
+            DRIVE_V,
+            &plan,
+            &RetryPolicy::paper_default(),
+            &mut rng,
+            &Pool::serial(),
+        )
+        .expect("faulted survey must succeed");
+    computed.insert("survey_moderate_retry_digest".into(), faulted.digest());
+    computed.insert("fault_plan_moderate_digest".into(), plan.digest());
+
+    check_fixture(
+        "survey_common_wall.golden",
+        "Survey-report digests for the S3 common wall (tests/tests/golden.rs).\n\
+         quiet: survey(200 V, seed 0x600DF00D), standoffs [0.5, 1.0, 1.5] m.\n\
+         faulted: survey_under with FaultIntensity::moderate(60) and the\n\
+         paper-default retry policy, same seed. A diff here means survey\n\
+         results are no longer reproducible across sessions.",
+        &computed,
+    );
+}

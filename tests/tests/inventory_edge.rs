@@ -1,0 +1,184 @@
+//! Gen2 inventory edge cases: the Q-algorithm's boundary exponents,
+//! degenerate populations, pathological collision rounds, and retry
+//! budgets running dry. None of these may panic; every one must leave
+//! the arbitration state sane.
+
+use protocol::inventory::{
+    inventory_with_q_algorithm, run_round, NodeProtocol, QAlgorithm, RoundReport,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `q0 = 0` means one slot per round: every node replies immediately and
+/// every multi-node round opens with a collision. The adapter must grow
+/// Q out of the hole and still find everyone.
+#[test]
+fn q0_zero_with_a_crowd_converges() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let mut nodes: Vec<NodeProtocol> = (0..12).map(NodeProtocol::new).collect();
+    let (found, rounds) = inventory_with_q_algorithm(&mut nodes, 0, 0.5, 200, &mut rng);
+    assert_eq!(found.len(), 12, "found {found:?}");
+    assert!(rounds <= 200);
+}
+
+/// `q0 = 15` is the other extreme: 32768 slots for a handful of nodes.
+/// The round is almost all empties — legal, slow, and collision-free —
+/// and the adapter must shrink Q rather than saturate.
+#[test]
+fn q0_fifteen_finds_everyone_in_one_sparse_round() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut nodes: Vec<NodeProtocol> = (0..4).map(NodeProtocol::new).collect();
+    let (found, rounds) = inventory_with_q_algorithm(&mut nodes, 15, 0.5, 5, &mut rng);
+    assert_eq!(found.len(), 4, "found {found:?}");
+    assert_eq!(rounds, 1, "2^15 slots must swallow 4 nodes in one round");
+
+    // The same statistics fed to a fresh QAlgorithm drag Qfp down hard.
+    let mut alg = QAlgorithm::new(15, 0.5);
+    alg.update(&RoundReport {
+        identified: found,
+        empty_slots: (1 << 15) - 4,
+        collisions: 0,
+    });
+    assert_eq!(alg.q(), 0, "a sea of empties must collapse Q");
+}
+
+/// A single node is the degenerate population: any q0 identifies it, and
+/// the round report carries exactly one singleton.
+#[test]
+fn single_node_is_found_at_any_q0() {
+    for q0 in [0u8, 4, 15] {
+        let mut rng = StdRng::seed_from_u64(22 + u64::from(q0));
+        let mut nodes = vec![NodeProtocol::new(77)];
+        let (found, _) = inventory_with_q_algorithm(&mut nodes, q0, 0.3, 10, &mut rng);
+        assert_eq!(found, vec![77], "q0 = {q0}");
+    }
+}
+
+/// A one-slot round over many nodes is a guaranteed all-collision round:
+/// nobody is identified, the report says so, and the Q-algorithm moves
+/// up rather than panicking or wedging.
+#[test]
+fn all_collision_round_reports_and_recovers() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut nodes: Vec<NodeProtocol> = (0..8).map(NodeProtocol::new).collect();
+    let report = run_round(&mut nodes, 0, &mut rng);
+    assert!(report.identified.is_empty());
+    assert_eq!(report.collisions, 1);
+    assert_eq!(report.empty_slots, 0);
+
+    let mut alg = QAlgorithm::new(0, 0.5);
+    let q_before = alg.q();
+    alg.update(&report);
+    assert!(alg.q() >= q_before, "collisions must never shrink Q");
+
+    // Rounds at the grown Q eventually resolve the same population.
+    let (found, _) = inventory_with_q_algorithm(&mut nodes, alg.q(), 0.5, 200, &mut rng);
+    assert_eq!(found.len(), 8);
+}
+
+/// Re-arbitration is monotone and saturating at the Gen2 ceiling, and a
+/// zero-loss burst is a no-op — the robust reader calls this after every
+/// lossy round, so the clamp is load-bearing.
+#[test]
+fn rearbitration_saturates_at_the_gen2_ceiling() {
+    let mut alg = QAlgorithm::new(14, 1.0);
+    alg.rearbitrate(0);
+    assert_eq!(alg.q(), 14, "no losses, no change");
+    alg.rearbitrate(50);
+    assert_eq!(alg.q(), 15, "clamped at the 4-bit field's maximum");
+}
+
+/// Inventory identifying a capsule does not leave it in `Acknowledged`:
+/// every later round's Query re-arbitrates the whole population, so a
+/// node found early can end the inventory mid-`Arbitrate` (or backed off
+/// to `Ready` by a collision). The read phase must re-acquire such
+/// capsules instead of reporting them `DecodeFailed` — with this seed,
+/// two of the three capsules are displaced by the final round on a calm
+/// (zero-fault-window) plan, and all nine readings must still arrive
+/// without a single retry.
+#[test]
+fn reads_reacquire_capsules_displaced_by_the_final_inventory_round() {
+    use ecocapsule::prelude::*;
+
+    let plan = FaultPlan::generate(2022, &FaultIntensity::calm(60));
+    assert!(plan.windows().is_empty(), "calm means no fault windows");
+    let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
+    let mut rng = StdRng::seed_from_u64(2022);
+    let report = wall
+        .survey_under(
+            200.0,
+            &plan,
+            &RetryPolicy::none(),
+            &mut rng,
+            &Pool::serial(),
+        )
+        .unwrap();
+    assert_eq!(report.inventoried_ids.len(), 3);
+    assert_eq!(report.readings.len(), 9, "outcomes: {:?}", report.outcomes);
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|(_, o)| matches!(o, CapsuleOutcome::Read { readings: 3 })));
+}
+
+/// A retry budget burned through a permanent outage exhausts gracefully:
+/// the robust inventory returns empty-handed with its counters intact,
+/// and the node-side protocol state is still usable afterwards.
+#[test]
+fn retry_budget_exhaustion_is_graceful() {
+    use ecocapsule::prelude::*;
+    use faults::{FaultKind, FaultWindow};
+    use node::capsule::EcoCapsule;
+    use reader::robust::RetryPolicy;
+
+    // One brownout covering the entire horizon: nothing can get through.
+    let plan = FaultPlan::from_windows(
+        3,
+        10_000,
+        vec![FaultWindow {
+            kind: FaultKind::Brownout,
+            start_slot: 0,
+            len_slots: 10_000,
+            magnitude: 0.0,
+        }],
+    );
+    let session = ReaderSession::paper_default();
+    let env = Environment::default();
+    let mut rng = StdRng::seed_from_u64(24);
+    let mut capsules: Vec<EcoCapsule> = (0..3)
+        .map(|i| {
+            let mut c = EcoCapsule::new(500 + i);
+            c.harvest(2.0, 0.1);
+            c
+        })
+        .collect();
+    let mut timeline = Timeline::new(&plan);
+    let report = session.inventory_robust(
+        &mut capsules,
+        &env,
+        2,
+        0.3,
+        10,
+        &RetryPolicy::paper_default(),
+        &mut timeline,
+        &mut rng,
+    );
+    assert!(report.found.is_empty(), "a dead channel yields nothing");
+    assert_eq!(report.rounds, 10, "every round was spent trying");
+    assert!(report.final_q <= 15);
+
+    // Past the outage, the same capsules are still inventoriable.
+    let calm = FaultPlan::quiet();
+    let mut timeline = Timeline::new(&calm);
+    let report = session.inventory_robust(
+        &mut capsules,
+        &env,
+        2,
+        0.3,
+        30,
+        &RetryPolicy::paper_default(),
+        &mut timeline,
+        &mut rng,
+    );
+    assert_eq!(report.found.len(), 3, "found {:?}", report.found);
+}

@@ -49,6 +49,21 @@ proptest! {
         prop_assert_eq!(fm0.decode_ml(&wave), bits);
     }
 
+    /// Miller M=2/4/8 round-trips arbitrary bit streams through encode →
+    /// amplitude scaling → ML decode, for every legal subcarrier factor.
+    #[test]
+    fn miller_roundtrip_survives_scaling(
+        bits in proptest::collection::vec(any::<bool>(), 1..64),
+        m_index in 0usize..3,
+        half_cycle in 1usize..5,
+        scale in 0.1f64..10.0,
+    ) {
+        use phy::miller::Miller;
+        let miller = Miller::new([2, 4, 8][m_index], half_cycle);
+        let wave: Vec<f64> = miller.encode(&bits).iter().map(|&x| x * scale).collect();
+        prop_assert_eq!(miller.decode_ml(&wave), bits);
+    }
+
     /// PIE decoding tolerates up to ±25% uniform timing error on every
     /// segment (ring smear, MCU timer quantization).
     #[test]
@@ -121,6 +136,69 @@ proptest! {
         let s = Shell::paper_resin();
         if s.survives_depth(d, 2300.0) {
             prop_assert!(s.survives_depth(d * shallower, 2300.0));
+        }
+    }
+
+    /// A fault plan is a pure function of `(seed, intensity)`: generating
+    /// twice yields the identical window list and digest, for any seed.
+    #[test]
+    fn fault_plan_is_a_pure_function_of_seed(seed in any::<u64>(), horizon in 8u64..400) {
+        use faults::{FaultIntensity, FaultPlan};
+        let intensity = FaultIntensity::severe(horizon);
+        let a = FaultPlan::generate(seed, &intensity);
+        let b = FaultPlan::generate(seed, &intensity);
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Fault-kind RNG streams are independent: silencing any one kind
+    /// leaves every other kind's windows bit-identical, because each kind
+    /// draws from its own derived seed stream.
+    #[test]
+    fn fault_kind_streams_are_independent(
+        seed in any::<u64>(),
+        horizon in 8u64..400,
+        silenced in 0usize..5,
+    ) {
+        use faults::{FaultIntensity, FaultKind, FaultPlan, KindRate};
+        let full = FaultIntensity::severe(horizon);
+        let mut sparse = full;
+        let silenced = FaultKind::ALL[silenced];
+        match silenced {
+            FaultKind::SnrDip => sparse.snr_dip = KindRate::off(),
+            FaultKind::Brownout => sparse.brownout = KindRate::off(),
+            FaultKind::ClockDrift => sparse.clock_drift = KindRate::off(),
+            FaultKind::VelocityShift => sparse.velocity_shift = KindRate::off(),
+            FaultKind::MultipathBurst => sparse.multipath_burst = KindRate::off(),
+        }
+        let a = FaultPlan::generate(seed, &full);
+        let b = FaultPlan::generate(seed, &sparse);
+        prop_assert_eq!(b.windows_of(silenced).count(), 0);
+        for kind in FaultKind::ALL {
+            if kind == silenced {
+                continue;
+            }
+            let wa: Vec<_> = a.windows_of(kind).collect();
+            let wb: Vec<_> = b.windows_of(kind).collect();
+            prop_assert_eq!(wa, wb, "{:?} windows shifted when {:?} went quiet", kind, silenced);
+        }
+    }
+
+    /// Walking a timeline slot-by-slot observes exactly the point-query
+    /// perturbations, however advances and skips interleave.
+    #[test]
+    fn timeline_walk_matches_point_queries(
+        seed in any::<u64>(),
+        skips in proptest::collection::vec(0u64..7, 1..20),
+    ) {
+        use faults::{FaultIntensity, FaultPlan, Timeline};
+        let plan = FaultPlan::generate(seed, &FaultIntensity::moderate(120));
+        let mut t = Timeline::new(&plan);
+        for &skip in &skips {
+            let at = t.slot();
+            prop_assert_eq!(t.advance(), plan.perturbation_at(at));
+            t.skip(skip);
+            prop_assert_eq!(t.slot(), at + 1 + skip);
         }
     }
 

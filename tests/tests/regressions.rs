@@ -1,0 +1,34 @@
+//! Named deterministic regression tests folded out of
+//! `properties.proptest-regressions`.
+//!
+//! The vendored xproptest shim does not read proptest's regression
+//! files (it has no persistence layer), so every shrunk failure case
+//! recorded there is pinned here as an ordinary `#[test]` that runs in
+//! the default suite — no `fuzz` feature required. The original file is
+//! kept alongside for provenance; add a named test here whenever a new
+//! case lands there.
+
+/// Regression for `grading_consistent_with_crowding_rule`, case
+/// `cc 2bdcf679…` ("shrinks to pao = 0.9964398898105217").
+///
+/// A per-area occupancy of ~0.9964 m²/ped sits just below the collapse
+/// threshold (PAO ≤ 1), inside the band where Bangkok's laxer C/D
+/// boundary (0.98) legitimately grades the crowd C while the stricter
+/// regions must grade D or worse. The original property once asserted
+/// D-or-worse for *all* regions and failed exactly here.
+#[test]
+fn grading_regression_pao_just_below_collapse_threshold() {
+    use shm::health::{crowding_risk, CrowdingRisk, HealthLevel, Region};
+    let pao = 0.996_439_889_810_521_7;
+    assert_eq!(crowding_risk(pao), CrowdingRisk::CollapseRisk);
+    for region in [Region::UnitedStates, Region::HongKong, Region::Manila] {
+        assert!(
+            region.grade(pao) >= HealthLevel::D,
+            "{region:?} must grade D or worse at pao = {pao}"
+        );
+    }
+    // Bangkok's C/D boundary sits at 0.98 m²/ped: this crowd is C there,
+    // which is the regional disagreement Table 2 documents — the rule
+    // only guarantees C or worse.
+    assert_eq!(Region::Bangkok.grade(pao), HealthLevel::C);
+}
