@@ -11,7 +11,7 @@
 //! Exit codes: `0` success, `1` a survey failed, digests diverged, or
 //! the retry policy recovered nothing over the baseline, `2` bad usage.
 
-use bench::faults::{run_matrix, to_json, verify, FaultScale};
+use bench::faults::{run_matrix, to_json, trace_jsonl, verify, FaultScale};
 use exec::Pool;
 use std::process::ExitCode;
 
@@ -19,6 +19,7 @@ fn main() -> ExitCode {
     let mut scale = FaultScale::full();
     let mut workers: Option<usize> = None;
     let mut out_path = String::from("BENCH_faults.json");
+    let mut trace_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -31,6 +32,10 @@ fn main() -> ExitCode {
             "--out" => match it.next() {
                 Some(p) => out_path = p.clone(),
                 None => return usage("--out requires a path"),
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => return usage("--trace requires a path"),
             },
             other => return usage(&format!("unknown argument `{other}`")),
         }
@@ -102,6 +107,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if let Some(path) = trace_path {
+        let jsonl = match trace_jsonl(&scale) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("faults trace failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, &jsonl) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} lines)", jsonl.lines().count());
+    }
+
     let json = to_json(&matrix, &pool, &scale);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
@@ -113,6 +133,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
-    eprintln!("usage: faults [--smoke] [--workers N] [--out PATH]");
+    eprintln!("usage: faults [--smoke] [--workers N] [--out PATH] [--trace PATH]");
     ExitCode::from(2)
 }

@@ -1,0 +1,114 @@
+//! The observability runner: records quiet and faulted wall surveys,
+//! checks the worker-count trace-identity invariant, and summarizes
+//! per-span slot statistics and counter totals. Writes `BENCH_obs.json`
+//! and, with `--trace`, the faulted survey's raw JSONL event stream.
+//!
+//! ```sh
+//! cargo run -p bench --bin obs --release             # full profile
+//! cargo run -p bench --bin obs --release -- --smoke  # CI gate
+//! cargo run -p bench --bin obs -- --trace /tmp/survey.jsonl
+//! ```
+//!
+//! Exit codes: `0` success, `1` a survey failed or traces diverged
+//! across worker counts, `2` bad usage.
+
+use bench::obs::{run_obs, to_json, trace_jsonl, verify, ObsScale};
+use exec::Pool;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = ObsScale::full();
+    let mut workers: Option<usize> = None;
+    let mut out_path = String::from("BENCH_obs.json");
+    let mut trace_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => scale = ObsScale::smoke(),
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => workers = Some(w),
+                None => return usage("--workers requires a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out requires a path"),
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => return usage("--trace requires a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let pool = workers.map_or_else(Pool::max_parallel, Pool::new);
+    println!(
+        "obs: {} profile, {} worker(s), {} capsules",
+        if scale.smoke { "smoke" } else { "full" },
+        pool.workers(),
+        scale.standoffs.len(),
+    );
+
+    let report = match run_obs(&scale, &pool) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("obs failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for s in &report.scenarios {
+        println!(
+            "\n== {} ({} events, bit-identical: {}) ==",
+            s.name, s.events, s.bit_identical
+        );
+        println!(
+            "{:>20} {:>7} {:>7} {:>7} {:>7}",
+            "histogram", "count", "p50", "p99", "max"
+        );
+        for h in &s.histograms {
+            println!(
+                "{:>20} {:>7} {:>7} {:>7} {:>7}",
+                h.name, h.count, h.p50, h.p99, h.max
+            );
+        }
+        println!("counters:");
+        for (name, total) in &s.counters {
+            println!("{name:>26} = {total}");
+        }
+    }
+
+    if let Err(e) = verify(&report) {
+        eprintln!("obs failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = trace_path {
+        let jsonl = match trace_jsonl(&scale) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("obs trace failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, &jsonl) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} lines)", jsonl.lines().count());
+    }
+
+    let json = to_json(&report, &pool, &scale);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: obs [--smoke] [--workers N] [--out PATH] [--trace PATH]");
+    ExitCode::from(2)
+}

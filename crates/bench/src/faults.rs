@@ -2,7 +2,8 @@
 //! serial-vs-parallel digest identity and a recovery proof.
 //!
 //! Each cell of the matrix runs a batch of full wall surveys
-//! ([`SelfSensingWall::survey_under`]) on a [`FaultPlan`] generated at
+//! ([`SelfSensingWall::run_survey`] with a fault plan installed via
+//! [`SurveyOptions::fault_plan`]) on a [`FaultPlan`] generated at
 //! one of the standard intensity presets, under either the no-retry
 //! baseline or the backoff-retry policy. Seeds are paired: the same
 //! `(intensity, survey)` pair sees the *identical* fault schedule and
@@ -239,7 +240,12 @@ fn run_cell(
         );
         let mut rng = StdRng::seed_from_u64(exec::seed::derive(pair_seed, 1));
         let mut wall = SelfSensingWall::common_wall(scale.standoffs);
-        let report = wall.survey_under(DRIVE_V, &plan, policy, &mut rng, pool)?;
+        let report = SurveyOptions::new()
+            .tx_voltage(DRIVE_V)
+            .fault_plan(&plan)
+            .retry_policy(*policy)
+            .pool(*pool)
+            .run(&mut wall, &mut rng)?;
         for (_, outcome) in &report.outcomes {
             match outcome {
                 CapsuleOutcome::Read { .. } => counts.read += 1,
@@ -292,6 +298,27 @@ pub fn run_matrix(scale: &FaultScale, pool: &Pool) -> EcoResult<FaultMatrix> {
         });
     }
     Ok(FaultMatrix { cells, recovery })
+}
+
+/// One representative faulted survey (the matrix's first moderate
+/// retry cell, serial) recorded as JSON lines, for `--trace`.
+#[must_use]
+pub fn trace_jsonl(scale: &FaultScale) -> EcoResult<String> {
+    let pair_seed = exec::seed::derive(MATRIX_SEED, 0);
+    let plan = FaultPlan::generate(
+        exec::seed::derive(pair_seed, 0),
+        &FaultIntensity::moderate(scale.horizon_slots),
+    );
+    let mut rng = StdRng::seed_from_u64(exec::seed::derive(pair_seed, 1));
+    let mut wall = SelfSensingWall::common_wall(scale.standoffs);
+    let mut rec = MemoryRecorder::new();
+    SurveyOptions::new()
+        .tx_voltage(DRIVE_V)
+        .fault_plan(&plan)
+        .retry_policy(RetryPolicy::paper_default())
+        .recorder(&mut rec)
+        .run(&mut wall, &mut rng)?;
+    Ok(rec.to_jsonl())
 }
 
 /// Checks the two matrix invariants: per-cell serial/parallel digest

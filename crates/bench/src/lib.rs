@@ -9,16 +9,19 @@
 //! - `sweeps` — the serial-vs-parallel timed parameter grids behind
 //!   `BENCH_sweeps.json` (see [`sweeps`]);
 //! - `faults` — the fault-intensity × retry-policy matrix behind
-//!   `BENCH_faults.json` (see [`faults`]).
+//!   `BENCH_faults.json` (see [`faults`]);
+//! - `obs` — recorded-survey trace summaries and the worker-count
+//!   trace-identity invariant behind `BENCH_obs.json` (see [`obs`]).
 //!
 //! The library half is deliberately thin: the table printers the binaries
-//! share, plus the [`sweeps`] grid and [`faults`] matrix definitions —
-//! kept in the library so the integration tests can assert bit-identical
-//! parallel execution without crossing a process boundary.
+//! share, plus the [`sweeps`] grid, [`faults`] matrix and [`obs`] trace
+//! definitions — kept in the library so the integration tests can assert
+//! bit-identical parallel execution without crossing a process boundary.
 
 #![forbid(unsafe_code)]
 
 pub mod faults;
+pub mod obs;
 pub mod sweeps;
 
 /// Prints a two-column numeric series with a caption.

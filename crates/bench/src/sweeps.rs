@@ -206,7 +206,9 @@ pub fn survey_grid(scale: &Scale, pool: &Pool) -> EcoResult<WorkloadResult> {
         let t = Instant::now();
         let mut wall = SelfSensingWall::common_wall(standoffs);
         let mut rng = StdRng::seed_from_u64(exec::seed::derive(GRID_SEED, i as u64));
-        let report = wall.survey_with(voltage, &mut rng, &Pool::serial())?;
+        let report = ecocapsule::scenario::SurveyOptions::new()
+            .tx_voltage(voltage)
+            .run(&mut wall, &mut rng)?;
         let mut words: Vec<u64> = Vec::new();
         words.extend(report.powered_ids.iter().map(|&id| u64::from(id)));
         words.extend(report.inventoried_ids.iter().map(|&id| u64::from(id)));

@@ -9,22 +9,27 @@
 //! [`scenario`] builders:
 //!
 //! ```
-//! use ecocapsule::scenario::SelfSensingWall;
+//! use ecocapsule::scenario::{SelfSensingWall, SurveyOptions};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! // A 20 cm NC wall with three capsules at 0.5/1.0/1.5 m from the reader.
 //! let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
-//! let report = wall.survey(200.0, &mut rng).expect("valid survey");
+//! let report = SurveyOptions::new()
+//!     .tx_voltage(200.0)
+//!     .run(&mut wall, &mut rng)
+//!     .expect("valid survey");
 //! assert_eq!(report.powered_ids.len(), 3);
 //! ```
 //!
 //! Layer map (bottom-up): [`dsp`] → [`elastic`] → [`concrete`], [`phy`]
 //! → [`channel`], [`node`], [`protocol`] → [`reader`], [`baselines`] →
 //! [`shm`] → here. The side-car [`exec`] crate supplies the deterministic
-//! worker pool that [`scenario::SelfSensingWall::survey_with`] and the
-//! bench sweep grids fan out on.
+//! worker pool that [`scenario::SurveyOptions::pool`] and the bench
+//! sweep grids fan out on, and the zero-dependency [`obs`] crate
+//! supplies the event-stream observability layer every survey can
+//! record into ([`scenario::SurveyOptions::recorder`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -37,6 +42,7 @@ pub use elastic;
 pub use exec;
 pub use faults;
 pub use node;
+pub use obs;
 pub use phy;
 pub use protocol;
 pub use reader;
@@ -51,15 +57,18 @@ pub mod scenario;
 
 /// Convenience re-exports of the types most applications touch.
 pub mod prelude {
-    pub use crate::scenario::{CapsuleOutcome, MonitoringCampaign, SelfSensingWall, SurveyReport};
+    pub use crate::scenario::{
+        CapsuleOutcome, MonitoringCampaign, SelfSensingWall, SurveyOptions, SurveyReport,
+    };
     pub use channel::linkbudget::LinkBudget;
     pub use concrete::{ConcreteGrade, Structure};
     pub use exec::Pool;
     pub use faults::{FaultIntensity, FaultPlan, Timeline};
     pub use node::capsule::{EcoCapsule, Environment};
+    pub use obs::{Event, ExportRecorder, MemoryRecorder, NullRecorder, Recorder, SlotClock};
     pub use protocol::frame::SensorKind;
     pub use reader::app::ReaderSession;
-    pub use reader::robust::RetryPolicy;
+    pub use reader::robust::{RetryPolicy, RobustConfig};
     pub use shm::footbridge::Footbridge;
     pub use shm::health::{HealthLevel, Region};
     pub use shm::pilot::{Channel, PilotStudy};

@@ -9,12 +9,130 @@ use exec::Pool;
 use faults::{FaultPlan, Timeline};
 use node::capsule::{EcoCapsule, Environment};
 use node::harvester::MIN_ACTIVATION_V;
+use obs::{Event, MemoryRecorder, NullRecorder, Recorder, SlotClock};
 use protocol::frame::SensorKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reader::app::ReaderSession;
-use reader::robust::RetryPolicy;
+use reader::robust::{RetryPolicy, RobustConfig};
 use reader::rx::{max_throughput_bps, snr_vs_bitrate_db};
+
+/// Worst-case virtual slots one capsule's quiet-path read phase can
+/// consume: session re-acquisition (≤ 3 attempts × 2 exchanges) plus
+/// three sensor reads. Sizes the disjoint per-task [`SlotClock`]
+/// windows, so quiet-trace timestamps are worker-count independent.
+const QUIET_READ_SLOTS_PER_CAPSULE: u64 = 9;
+
+/// Everything that configures one survey pass, in one builder.
+///
+/// Replaces the old `survey` / `survey_with` / `survey_under` trio: one
+/// configuration object drives the single
+/// [`SelfSensingWall::run_survey`] engine.
+///
+/// ```
+/// use ecocapsule::prelude::*;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let report = SurveyOptions::new()
+///     .tx_voltage(200.0)
+///     .run(&mut wall, &mut rng)
+///     .expect("valid survey");
+/// assert_eq!(report.powered_ids, vec![1000, 1001]);
+/// ```
+///
+/// Defaults: 200 V drive, serial pool, no fault plan (quiet channel),
+/// [`RetryPolicy::paper_default`], no recorder.
+pub struct SurveyOptions<'a> {
+    /// TX drive voltage (V) for the charging phase.
+    pub tx_voltage_v: f64,
+    /// Worker pool for the per-capsule read phase.
+    pub pool: Pool,
+    /// Fault plan: `None` surveys a quiet channel; `Some` routes the
+    /// survey through the fault timeline and robust session layer.
+    pub fault_plan: Option<&'a FaultPlan>,
+    /// Retry budget for must-answer commands. Only consulted when a
+    /// fault plan is installed (the quiet path has nothing to retry).
+    pub retry_policy: RetryPolicy,
+    /// Observability sink; `None` records nothing at zero cost.
+    pub recorder: Option<&'a mut dyn Recorder>,
+}
+
+impl std::fmt::Debug for SurveyOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SurveyOptions")
+            .field("tx_voltage_v", &self.tx_voltage_v)
+            .field("pool", &self.pool)
+            .field("fault_plan", &self.fault_plan.is_some())
+            .field("retry_policy", &self.retry_policy)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl Default for SurveyOptions<'_> {
+    fn default() -> Self {
+        SurveyOptions {
+            tx_voltage_v: 200.0,
+            pool: Pool::serial(),
+            fault_plan: None,
+            retry_policy: RetryPolicy::paper_default(),
+            recorder: None,
+        }
+    }
+}
+
+impl<'a> SurveyOptions<'a> {
+    /// Paper defaults (see the type docs).
+    #[must_use]
+    pub fn new() -> Self {
+        SurveyOptions::default()
+    }
+
+    /// Sets the TX drive voltage (V).
+    #[must_use]
+    pub fn tx_voltage(mut self, tx_voltage_v: f64) -> Self {
+        self.tx_voltage_v = tx_voltage_v;
+        self
+    }
+
+    /// Sets the worker pool for the read phase.
+    #[must_use]
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Routes the survey through `plan`'s fault timeline.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: &'a FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the retry budget for must-answer commands.
+    #[must_use]
+    pub fn retry_policy(mut self, retry_policy: RetryPolicy) -> Self {
+        self.retry_policy = retry_policy;
+        self
+    }
+
+    /// Installs an observability sink for the survey's event stream.
+    #[must_use]
+    pub fn recorder(mut self, rec: &'a mut dyn Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Runs the configured survey — sugar for
+    /// [`SelfSensingWall::run_survey`].
+    #[must_use]
+    pub fn run<R: Rng>(self, wall: &mut SelfSensingWall, rng: &mut R) -> EcoResult<SurveyReport> {
+        wall.run_survey(self, rng)
+    }
+}
 
 /// A wall (or slab/column) with EcoCapsules implanted at known standoffs
 /// from the reader's mounting point, plus the reader itself.
@@ -139,7 +257,10 @@ impl SelfSensingWall {
     /// assert!(reach_m > 2.0);
     ///
     /// // Survey at 200 V: all three capsules power up and answer.
-    /// let report = wall.survey(200.0, &mut rng).expect("valid survey");
+    /// let report = SurveyOptions::new()
+    ///     .tx_voltage(200.0)
+    ///     .run(&mut wall, &mut rng)
+    ///     .expect("valid survey");
     /// assert_eq!(report.powered_ids, vec![1000, 1001, 1002]);
     /// assert!(!report.readings.is_empty());
     /// ```
@@ -175,39 +296,79 @@ impl SelfSensingWall {
         LinkBudget::for_structure(&self.structure)
     }
 
-    /// One full survey at `tx_voltage` volts:
+    /// One full survey pass driven by a [`SurveyOptions`] configuration:
     /// 1. the CBW charges every capsule whose received voltage clears the
     ///    activation threshold (waiting out each cold start),
     /// 2. the powered capsules are inventoried over the waveform-level
     ///    protocol,
     /// 3. each inventoried capsule is asked for temperature, humidity
-    ///    and strain.
+    ///    and strain, fanned out over the configured pool.
     ///
-    /// Errors when the link-budget query is invalid (negative drive
-    /// voltage or a degenerate structure geometry).
-    ///
-    /// Runs serially; [`SelfSensingWall::survey_with`] accepts an
-    /// [`exec::Pool`] and produces *bit-identical* results at any worker
-    /// count.
-    #[must_use]
-    pub fn survey<R: Rng>(&mut self, tx_voltage_v: f64, rng: &mut R) -> EcoResult<SurveyReport> {
-        self.survey_with(tx_voltage_v, rng, &Pool::serial())
-    }
-
-    /// [`SelfSensingWall::survey`] on an explicit worker pool.
+    /// With a fault plan installed, every phase consumes slots of the
+    /// plan's timeline under the robust session layer
+    /// ([`reader::robust`]); without one, the quiet waveform-level path
+    /// runs. Either way the engine is the single successor of the old
+    /// `survey` / `survey_with` / `survey_under` trio, and reproduces
+    /// their digests bit-for-bit for equivalent configurations.
     ///
     /// Determinism: exactly **one** value is drawn from `rng` and every
     /// phase derives its own child generator from it with
     /// [`exec::seed::derive`] — the inventory gets stream 0, capsule `id`
-    /// gets stream `1 + id`. Per-capsule sensor reads (phase 3) then
-    /// fan out over the pool with results merged in capsule order, so the
-    /// report and the post-survey wall state are bit-identical for every
-    /// worker count, including [`Pool::serial`].
+    /// gets stream `1 + id`. Per-capsule sensor reads (phase 3) fan out
+    /// over the pool with results merged in capsule order, so the
+    /// report, the post-survey wall state, *and the recorded event
+    /// stream* are bit-identical for every worker count, including
+    /// [`Pool::serial`] — parallel tasks record into per-task buffers
+    /// that are replayed into the session recorder in capsule order.
     ///
     /// Phases 1–2 stay serial by nature: charging is a cheap closed-form
     /// sweep, and inventory arbitrates a *shared* medium (slotted ALOHA
     /// with collisions), which cannot be split across workers without
     /// changing the protocol being simulated.
+    ///
+    /// Errors when the link-budget query is invalid (negative drive
+    /// voltage or a degenerate structure geometry).
+    #[must_use]
+    pub fn run_survey<R: Rng>(
+        &mut self,
+        options: SurveyOptions<'_>,
+        rng: &mut R,
+    ) -> EcoResult<SurveyReport> {
+        let SurveyOptions {
+            tx_voltage_v,
+            pool,
+            fault_plan,
+            retry_policy,
+            recorder,
+        } = options;
+        let mut null = NullRecorder;
+        let rec: &mut dyn Recorder = match recorder {
+            Some(rec) => rec,
+            None => &mut null,
+        };
+        match fault_plan {
+            None => self.run_survey_quiet(tx_voltage_v, &pool, rec, rng),
+            Some(plan) => {
+                self.run_survey_faulted(tx_voltage_v, plan, &retry_policy, &pool, rec, rng)
+            }
+        }
+    }
+
+    /// One full survey at `tx_voltage` volts on a quiet channel.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SurveyOptions::new().tx_voltage(..)` with `run_survey` (or `.run(..)`)"
+    )]
+    #[must_use]
+    pub fn survey<R: Rng>(&mut self, tx_voltage_v: f64, rng: &mut R) -> EcoResult<SurveyReport> {
+        self.run_survey(SurveyOptions::new().tx_voltage(tx_voltage_v), rng)
+    }
+
+    /// Quiet survey on an explicit worker pool.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SurveyOptions::new().tx_voltage(..).pool(..)` with `run_survey`"
+    )]
     #[must_use]
     pub fn survey_with<R: Rng>(
         &mut self,
@@ -215,22 +376,45 @@ impl SelfSensingWall {
         rng: &mut R,
         pool: &Pool,
     ) -> EcoResult<SurveyReport> {
+        self.run_survey(
+            SurveyOptions::new().tx_voltage(tx_voltage_v).pool(*pool),
+            rng,
+        )
+    }
+
+    /// The quiet-channel engine behind [`SelfSensingWall::run_survey`].
+    /// Slot-clock contract: one virtual slot per protocol transaction;
+    /// phase 3 tasks get disjoint [`QUIET_READ_SLOTS_PER_CAPSULE`]-slot
+    /// windows in capsule order.
+    fn run_survey_quiet<R: Rng>(
+        &mut self,
+        tx_voltage_v: f64,
+        pool: &Pool,
+        rec: &mut dyn Recorder,
+        rng: &mut R,
+    ) -> EcoResult<SurveyReport> {
         let mut report = SurveyReport::default();
         let lb = self.link_budget()?;
         let base_seed: u64 = rng.gen();
+        let mut clock = SlotClock::new(0);
+        rec.span_open("survey", 0, clock.now());
 
-        // Phase 1: wireless charging.
+        // Phase 1: wireless charging, one virtual slot per capsule.
+        rec.span_open("phase.charge", 0, clock.now());
         for (d, capsule) in self.capsules.iter_mut() {
+            let slot = clock.tick();
             let v_rx = lb.received_voltage(tx_voltage_v, *d)?;
-            if v_rx >= MIN_ACTIVATION_V {
-                capsule.harvest(v_rx, 1.0); // a second of CBW ≫ any cold start
-                if capsule.is_operational() {
-                    report.powered_ids.push(capsule.id);
-                }
-            } else {
-                capsule.harvest(v_rx, 1.0); // dies / stays dead
+            capsule.harvest_observed(v_rx, 1.0, slot, rec); // a second of CBW ≫ any cold start
+            if v_rx >= MIN_ACTIVATION_V && capsule.is_operational() {
+                report.powered_ids.push(capsule.id);
             }
         }
+        rec.count(
+            "survey.powered",
+            report.powered_ids.len() as u64,
+            clock.now(),
+        );
+        rec.span_close("phase.charge", 0, clock.now());
 
         // Phase 2: inventory (waveform level, serial — shared medium).
         let mut powered: Vec<EcoCapsule> = self
@@ -241,53 +425,94 @@ impl SelfSensingWall {
             .collect();
         let q = (powered.len().max(1) as f64).log2().ceil() as u8 + 1;
         let mut inventory_rng = StdRng::seed_from_u64(exec::seed::derive(base_seed, 0));
-        report.inventoried_ids =
-            self.session
-                .inventory(&mut powered, &self.environment, q, 40, &mut inventory_rng);
+        rec.span_open("phase.inventory", 0, clock.now());
+        report.inventoried_ids = self.session.inventory_observed(
+            &mut powered,
+            &self.environment,
+            q,
+            40,
+            &mut clock,
+            rec,
+            &mut inventory_rng,
+        );
+        rec.count(
+            "survey.inventoried",
+            report.inventoried_ids.len() as u64,
+            clock.now(),
+        );
+        rec.span_close("phase.inventory", 0, clock.now());
 
         // Phase 3: sensor reads, one task per inventoried capsule. The
         // session is shared read-only; each task owns a clone of its
-        // capsule and an RNG derived from the capsule id, so scheduling
-        // cannot reorder random draws. A capsule identified in an early
-        // inventory round may have been re-arbitrated out of
-        // `Acknowledged` by a later round's Query, so each task first
-        // re-opens the read session (a no-op — zero RNG draws — when it
-        // is still open).
+        // capsule, an RNG derived from the capsule id, and a slot-clock
+        // window derived from its task index, so scheduling can reorder
+        // neither random draws nor event timestamps. A capsule
+        // identified in an early inventory round may have been
+        // re-arbitrated out of `Acknowledged` by a later round's Query,
+        // so each task first re-opens the read session (a no-op — zero
+        // RNG draws, zero events — when it is still open). Each task
+        // records into its own buffer; the buffers are replayed into the
+        // session recorder in capsule order below.
+        let read_base_slot = clock.now();
         let session = &self.session;
         let environment = &self.environment;
         let inventoried = &report.inventoried_ids;
-        let surveyed: Vec<(EcoCapsule, Vec<(u32, SensorKind, f64)>)> =
-            pool.par_map(&powered, |_, capsule| {
+        let surveyed: Vec<(EcoCapsule, Vec<(u32, SensorKind, f64)>, Vec<Event>)> =
+            pool.par_map(&powered, |task, capsule| {
                 let mut capsule = capsule.clone();
                 let mut readings = Vec::new();
+                let mut task_rec = MemoryRecorder::new();
+                let mut task_clock =
+                    SlotClock::new(read_base_slot + task as u64 * QUIET_READ_SLOTS_PER_CAPSULE);
                 if inventoried.contains(&capsule.id) {
+                    task_rec.span_open("phase.read", capsule.id, task_clock.now());
                     let mut read_rng = StdRng::seed_from_u64(exec::seed::derive(
                         base_seed,
                         1 + u64::from(capsule.id),
                     ));
-                    session.ensure_session(&mut capsule, environment, 3, &mut read_rng);
+                    session.ensure_session_observed(
+                        &mut capsule,
+                        environment,
+                        3,
+                        &mut task_clock,
+                        &mut task_rec,
+                        &mut read_rng,
+                    );
                     for kind in [
                         SensorKind::Temperature,
                         SensorKind::Humidity,
                         SensorKind::Strain,
                     ] {
-                        if let Ok(Some(value)) =
-                            session.read_sensor(&mut capsule, kind, environment, &mut read_rng)
-                        {
+                        if let Ok(Some(value)) = session.read_sensor_observed(
+                            &mut capsule,
+                            kind,
+                            environment,
+                            &mut task_clock,
+                            &mut task_rec,
+                            &mut read_rng,
+                        ) {
                             readings.push((capsule.id, kind, value));
                         }
                     }
+                    task_rec.span_close("phase.read", capsule.id, task_clock.now());
                 }
-                (capsule, readings)
+                (capsule, readings, task_rec.into_events())
             });
-        // Merge in capsule order and write back protocol/lifecycle state.
-        for (done, readings) in surveyed {
+        // Merge in capsule order: readings, recorded events, and the
+        // written-back protocol/lifecycle state.
+        for (done, readings, events) in surveyed {
+            for ev in &events {
+                rec.record(ev);
+            }
             report.readings.extend(readings);
             if let Some((_, c)) = self.capsules.iter_mut().find(|(_, c)| c.id == done.id) {
                 *c = done;
             }
         }
+        clock.skip(powered.len() as u64 * QUIET_READ_SLOTS_PER_CAPSULE);
         self.classify_outcomes(&mut report, 3);
+        rec.count("survey.readings", report.readings.len() as u64, clock.now());
+        rec.span_close("survey", 0, clock.now());
         Ok(report)
     }
 
@@ -350,6 +575,10 @@ impl SelfSensingWall {
     ///
     /// Determinism mirrors `survey_with`: one value drawn from `rng`,
     /// child streams derived per phase/capsule.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SurveyOptions::new().fault_plan(..).retry_policy(..).pool(..)` with `run_survey`"
+    )]
     #[must_use]
     pub fn survey_under<R: Rng>(
         &mut self,
@@ -359,20 +588,52 @@ impl SelfSensingWall {
         rng: &mut R,
         pool: &Pool,
     ) -> EcoResult<SurveyReport> {
+        self.run_survey(
+            SurveyOptions::new()
+                .tx_voltage(tx_voltage_v)
+                .fault_plan(plan)
+                .retry_policy(*policy)
+                .pool(*pool),
+            rng,
+        )
+    }
+
+    /// The faulted-channel engine behind [`SelfSensingWall::run_survey`].
+    /// Slot-clock contract: event timestamps are the [`Timeline`] slot
+    /// index about to be consumed; phase 3 tasks get disjoint,
+    /// worst-case-sized timeline slices in capsule order.
+    fn run_survey_faulted<R: Rng>(
+        &mut self,
+        tx_voltage_v: f64,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        pool: &Pool,
+        rec: &mut dyn Recorder,
+        rng: &mut R,
+    ) -> EcoResult<SurveyReport> {
         let mut report = SurveyReport::default();
         let lb = self.link_budget()?;
         let base_seed: u64 = rng.gen();
         let mut timeline = Timeline::new(plan);
+        rec.span_open("survey", 0, timeline.slot());
 
         // Phase 1: wireless charging, one slot per capsule.
+        rec.span_open("phase.charge", 0, timeline.slot());
         for (d, capsule) in self.capsules.iter_mut() {
+            let slot = timeline.slot();
             let p = timeline.advance();
             let v_rx = lb.received_voltage(tx_voltage_v, *d)?;
-            capsule.harvest_under(v_rx, 1.0, &p);
+            capsule.harvest_under_observed(v_rx, 1.0, &p, slot, rec);
             if capsule.is_operational() {
                 report.powered_ids.push(capsule.id);
             }
         }
+        rec.count(
+            "survey.powered",
+            report.powered_ids.len() as u64,
+            timeline.slot(),
+        );
+        rec.span_close("phase.charge", 0, timeline.slot());
 
         // Phase 2: fault-aware inventory (serial — shared medium).
         let mut powered: Vec<EcoCapsule> = self
@@ -382,25 +643,39 @@ impl SelfSensingWall {
             .map(|(_, c)| c.clone())
             .collect();
         let q = (powered.len().max(1) as f64).log2().ceil() as u8 + 1;
+        let cfg = RobustConfig {
+            q0: q,
+            c: 0.3,
+            max_rounds: 40,
+            policy: *policy,
+        };
         let mut inventory_rng = StdRng::seed_from_u64(exec::seed::derive(base_seed, 0));
+        rec.span_open("phase.inventory", 0, timeline.slot());
         report.inventoried_ids = self
             .session
             .inventory_robust(
                 &mut powered,
                 &self.environment,
-                q,
-                0.3,
-                40,
-                policy,
+                &cfg,
                 &mut timeline,
+                rec,
                 &mut inventory_rng,
             )
             .found;
+        rec.count(
+            "survey.inventoried",
+            report.inventoried_ids.len() as u64,
+            timeline.slot(),
+        );
+        rec.span_close("phase.inventory", 0, timeline.slot());
 
         // Phase 3: retried sensor reads on disjoint timeline slices.
         // Each slice covers one session re-acquisition (≤ 2 slots per
         // attempt — see `ensure_session_with_retry`) plus three retried
-        // reads, each with its cumulative backoff.
+        // reads, each with its cumulative backoff. Each task records
+        // into its own buffer; buffers are replayed into the session
+        // recorder in capsule order, so the event stream is bit-identical
+        // for every worker count.
         let budget = policy.max_attempts.max(1);
         let worst_case_backoff: u64 = (1..budget).map(|a| policy.backoff_slots(a)).sum();
         let slots_per_capsule = (2 * u64::from(budget) + worst_case_backoff)
@@ -409,11 +684,12 @@ impl SelfSensingWall {
         let session = &self.session;
         let environment = &self.environment;
         let inventoried = &report.inventoried_ids;
-        let surveyed: Vec<(EcoCapsule, Vec<(u32, SensorKind, f64)>, u32)> =
-            pool.par_map(&powered, |task, capsule| {
+        let surveyed: Vec<(EcoCapsule, Vec<(u32, SensorKind, f64)>, u32, Vec<Event>)> = pool
+            .par_map(&powered, |task, capsule| {
                 let mut capsule = capsule.clone();
                 let mut readings = Vec::new();
                 let mut attempts = 0u32;
+                let mut task_rec = MemoryRecorder::new();
                 if inventoried.contains(&capsule.id) {
                     let mut read_rng = StdRng::seed_from_u64(exec::seed::derive(
                         base_seed,
@@ -423,11 +699,13 @@ impl SelfSensingWall {
                         plan,
                         read_base_slot + task as u64 * slots_per_capsule,
                     );
+                    task_rec.span_open("phase.read", capsule.id, slice.slot());
                     attempts += session.ensure_session_with_retry(
                         &mut capsule,
                         environment,
-                        policy,
+                        &cfg,
                         &mut slice,
+                        &mut task_rec,
                         &mut read_rng,
                     );
                     for kind in [
@@ -441,6 +719,7 @@ impl SelfSensingWall {
                             environment,
                             policy,
                             &mut slice,
+                            &mut task_rec,
                             &mut read_rng,
                         );
                         attempts += spent;
@@ -448,11 +727,15 @@ impl SelfSensingWall {
                             readings.push((capsule.id, kind, value));
                         }
                     }
+                    task_rec.span_close("phase.read", capsule.id, slice.slot());
                 }
-                (capsule, readings, attempts)
+                (capsule, readings, attempts, task_rec.into_events())
             });
         let mut attempts_by_id: Vec<(u32, u32)> = Vec::new();
-        for (done, readings, attempts) in surveyed {
+        for (done, readings, attempts, events) in surveyed {
+            for ev in &events {
+                rec.record(ev);
+            }
             report.readings.extend(readings);
             attempts_by_id.push((done.id, attempts));
             if let Some((_, c)) = self.capsules.iter_mut().find(|(_, c)| c.id == done.id) {
@@ -470,6 +753,9 @@ impl SelfSensingWall {
                 }
             }
         }
+        let end_slot = read_base_slot + powered.len() as u64 * slots_per_capsule;
+        rec.count("survey.readings", report.readings.len() as u64, end_slot);
+        rec.span_close("survey", 0, end_slot);
         Ok(report)
     }
 }
@@ -501,7 +787,7 @@ impl MonitoringCampaign {
         tx_voltage_v: f64,
         rng: &mut R,
     ) -> EcoResult<SurveyReport> {
-        let report = wall.survey(tx_voltage_v, rng)?;
+        let report = wall.run_survey(SurveyOptions::new().tx_voltage(tx_voltage_v), rng)?;
         for (id, kind, value) in &report.readings {
             match kind {
                 SensorKind::Strain => {
@@ -608,7 +894,10 @@ mod tests {
     fn survey_powers_inventories_and_reads() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
-        let report = wall.survey(200.0, &mut rng).unwrap();
+        let report = SurveyOptions::new()
+            .tx_voltage(200.0)
+            .run(&mut wall, &mut rng)
+            .unwrap();
         assert_eq!(report.powered_ids, vec![1000, 1001]);
         let mut inv = report.inventoried_ids.clone();
         inv.sort_unstable();
@@ -629,7 +918,10 @@ mod tests {
         let reference = {
             let mut rng = StdRng::seed_from_u64(77);
             let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
-            wall.survey_with(200.0, &mut rng, &Pool::serial()).unwrap()
+            SurveyOptions::new()
+                .tx_voltage(200.0)
+                .run(&mut wall, &mut rng)
+                .unwrap()
         };
         assert!(
             !reference.readings.is_empty(),
@@ -638,8 +930,10 @@ mod tests {
         for workers in [2, 3, exec::Pool::max_parallel().workers()] {
             let mut rng = StdRng::seed_from_u64(77);
             let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
-            let report = wall
-                .survey_with(200.0, &mut rng, &Pool::new(workers))
+            let report = SurveyOptions::new()
+                .tx_voltage(200.0)
+                .pool(Pool::new(workers))
+                .run(&mut wall, &mut rng)
                 .unwrap();
             assert_eq!(report.powered_ids, reference.powered_ids);
             assert_eq!(report.inventoried_ids, reference.inventoried_ids);
@@ -659,18 +953,103 @@ mod tests {
     }
 
     #[test]
-    fn survey_and_survey_with_serial_agree() {
-        let mut rng_a = StdRng::seed_from_u64(5);
-        let mut wall_a = SelfSensingWall::common_wall(&[0.5, 1.0]);
-        let plain = wall_a.survey(150.0, &mut rng_a).unwrap();
-        let mut rng_b = StdRng::seed_from_u64(5);
-        let mut wall_b = SelfSensingWall::common_wall(&[0.5, 1.0]);
-        let pooled = wall_b
-            .survey_with(150.0, &mut rng_b, &Pool::serial())
-            .unwrap();
-        assert_eq!(plain.powered_ids, pooled.powered_ids);
-        assert_eq!(plain.inventoried_ids, pooled.inventoried_ids);
-        assert_eq!(plain.readings.len(), pooled.readings.len());
+    #[allow(deprecated)]
+    fn deprecated_shims_match_run_survey_digests() {
+        let depths = [0.5, 1.0];
+        let run =
+            |f: &mut dyn FnMut(&mut SelfSensingWall, &mut StdRng) -> EcoResult<SurveyReport>| {
+                let mut rng = StdRng::seed_from_u64(5);
+                let mut wall = SelfSensingWall::common_wall(&depths);
+                f(&mut wall, &mut rng).unwrap().digest()
+            };
+
+        // survey(v) ≡ SurveyOptions::new().tx_voltage(v)
+        assert_eq!(
+            run(&mut |w, r| w.survey(150.0, r)),
+            run(&mut |w, r| SurveyOptions::new().tx_voltage(150.0).run(w, r)),
+        );
+        // survey_with(v, pool) ≡ ...pool(pool)
+        let pool = Pool::new(2);
+        assert_eq!(
+            run(&mut |w, r| w.survey_with(150.0, r, &pool)),
+            run(&mut |w, r| SurveyOptions::new().tx_voltage(150.0).pool(pool).run(w, r)),
+        );
+        // survey_under(v, plan, policy, pool) ≡ ...fault_plan(..).retry_policy(..).pool(..)
+        let plan = FaultPlan::generate(7, &faults::FaultIntensity::moderate(4000));
+        let policy = RetryPolicy::paper_default();
+        assert_eq!(
+            run(&mut |w, r| w.survey_under(150.0, &plan, &policy, r, &pool)),
+            run(&mut |w, r| SurveyOptions::new()
+                .tx_voltage(150.0)
+                .fault_plan(&plan)
+                .retry_policy(policy)
+                .pool(pool)
+                .run(w, r)),
+        );
+        // The default drive is 200 V, so default options ≡ survey(200.0).
+        assert_eq!(
+            run(&mut |w, r| w.survey(200.0, r)),
+            run(&mut |w, r| SurveyOptions::default().run(w, r)),
+        );
+    }
+
+    #[test]
+    fn recording_does_not_change_the_survey() {
+        let silent = {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
+            SurveyOptions::new()
+                .tx_voltage(150.0)
+                .run(&mut wall, &mut rng)
+                .unwrap()
+                .digest()
+        };
+        let mut rec = MemoryRecorder::new();
+        let recorded = {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
+            SurveyOptions::new()
+                .tx_voltage(150.0)
+                .recorder(&mut rec)
+                .run(&mut wall, &mut rng)
+                .unwrap()
+                .digest()
+        };
+        assert_eq!(silent, recorded, "recording must draw zero randomness");
+        assert!(!rec.is_empty(), "the survey must emit events");
+        assert_eq!(rec.unmatched_closes(), 0);
+        assert_eq!(rec.counter_total("survey.powered"), 2);
+        assert_eq!(rec.counter_total("survey.inventoried"), 2);
+        assert_eq!(rec.counter_total("survey.readings"), 6);
+        // Slot-clock timestamps are monotone nondecreasing across the
+        // merged stream.
+        let slots: Vec<u64> = rec.events().iter().map(|e| e.slot()).collect();
+        assert!(slots.windows(2).all(|w| w[0] <= w[1]), "{slots:?}");
+    }
+
+    #[test]
+    fn quiet_trace_is_invariant_under_worker_count() {
+        let trace = |workers: usize| {
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
+            let mut rec = MemoryRecorder::new();
+            let pool = if workers <= 1 {
+                Pool::serial()
+            } else {
+                Pool::new(workers)
+            };
+            SurveyOptions::new()
+                .tx_voltage(200.0)
+                .pool(pool)
+                .recorder(&mut rec)
+                .run(&mut wall, &mut rng)
+                .unwrap();
+            rec.to_jsonl()
+        };
+        let reference = trace(1);
+        for workers in [2, exec::Pool::max_parallel().workers()] {
+            assert_eq!(trace(workers), reference, "workers={workers}");
+        }
     }
 
     #[test]
@@ -678,7 +1057,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // 0.5 m reads; 4.0 m stays dark at 50 V.
         let mut wall = SelfSensingWall::common_wall(&[0.5, 4.0]);
-        let report = wall.survey(50.0, &mut rng).unwrap();
+        let report = SurveyOptions::new()
+            .tx_voltage(50.0)
+            .run(&mut wall, &mut rng)
+            .unwrap();
         assert_eq!(report.outcomes.len(), 2);
         assert_eq!(
             report.outcome_of(1000),
@@ -691,19 +1073,19 @@ mod tests {
     fn survey_under_quiet_plan_matches_plain_survey_outcomes() {
         let mut rng_a = StdRng::seed_from_u64(13);
         let mut wall_a = SelfSensingWall::common_wall(&[0.5, 1.0]);
-        let plain = wall_a.survey(200.0, &mut rng_a).unwrap();
+        let plain = SurveyOptions::new()
+            .tx_voltage(200.0)
+            .run(&mut wall_a, &mut rng_a)
+            .unwrap();
 
         let mut rng_b = StdRng::seed_from_u64(13);
         let mut wall_b = SelfSensingWall::common_wall(&[0.5, 1.0]);
         let quiet = FaultPlan::quiet();
-        let faulted = wall_b
-            .survey_under(
-                200.0,
-                &quiet,
-                &RetryPolicy::none(),
-                &mut rng_b,
-                &Pool::serial(),
-            )
+        let faulted = SurveyOptions::new()
+            .tx_voltage(200.0)
+            .fault_plan(&quiet)
+            .retry_policy(RetryPolicy::none())
+            .run(&mut wall_b, &mut rng_b)
             .unwrap();
         assert_eq!(faulted.powered_ids, plain.powered_ids);
         assert_eq!(faulted.readings.len(), plain.readings.len());
@@ -719,7 +1101,12 @@ mod tests {
         let run = |pool: &Pool| {
             let mut rng = StdRng::seed_from_u64(21);
             let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
-            wall.survey_under(200.0, &plan, &RetryPolicy::paper_default(), &mut rng, pool)
+            SurveyOptions::new()
+                .tx_voltage(200.0)
+                .fault_plan(&plan)
+                .retry_policy(RetryPolicy::paper_default())
+                .pool(*pool)
+                .run(&mut wall, &mut rng)
                 .unwrap()
                 .digest()
         };
@@ -745,14 +1132,11 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(4);
         let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
-        let report = wall
-            .survey_under(
-                200.0,
-                &plan,
-                &RetryPolicy::paper_default(),
-                &mut rng,
-                &Pool::serial(),
-            )
+        let report = SurveyOptions::new()
+            .tx_voltage(200.0)
+            .fault_plan(&plan)
+            .retry_policy(RetryPolicy::paper_default())
+            .run(&mut wall, &mut rng)
             .unwrap();
         assert_eq!(report.outcome_of(1000), Some(CapsuleOutcome::Unpowered));
         assert_eq!(
@@ -767,7 +1151,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         // 0.5 m powers up at 50 V; 4 m does not (Fig 12: ~1.3 m at 50 V).
         let mut wall = SelfSensingWall::common_wall(&[0.5, 4.0]);
-        let report = wall.survey(50.0, &mut rng).unwrap();
+        let report = SurveyOptions::new()
+            .tx_voltage(50.0)
+            .run(&mut wall, &mut rng)
+            .unwrap();
         assert_eq!(report.powered_ids, vec![1000]);
         assert_eq!(report.inventoried_ids, vec![1000]);
     }
@@ -776,14 +1163,19 @@ mod tests {
     fn raising_voltage_extends_coverage() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut wall_lo = SelfSensingWall::common_wall(&[3.0]);
-        assert!(wall_lo
-            .survey(50.0, &mut rng)
+        assert!(SurveyOptions::new()
+            .tx_voltage(50.0)
+            .run(&mut wall_lo, &mut rng)
             .unwrap()
             .powered_ids
             .is_empty());
         let mut wall_hi = SelfSensingWall::common_wall(&[3.0]);
         assert_eq!(
-            wall_hi.survey(250.0, &mut rng).unwrap().powered_ids,
+            SurveyOptions::new()
+                .tx_voltage(250.0)
+                .run(&mut wall_hi, &mut rng)
+                .unwrap()
+                .powered_ids,
             vec![1000]
         );
     }

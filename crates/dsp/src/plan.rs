@@ -286,16 +286,17 @@ mod tests {
 
     #[test]
     fn first_lookup_misses_then_hits() {
-        // Use a size no other test (or hot path) would touch so the
-        // global counters move by exactly one.
-        let n = 1 << 19;
+        // The counters are process-global and other tests in this binary
+        // run concurrently, so assert lower bounds (our own miss and hit
+        // must be in the deltas), not exact increments.
+        let n = 1 << 19; // a size only this test uses
         let before = plan_cache_stats();
         let a = plan_for(n).unwrap();
         let mid = plan_cache_stats();
         let b = plan_for(n).unwrap();
         let after = plan_cache_stats();
-        assert_eq!(mid.misses, before.misses + 1, "first lookup is a miss");
-        assert_eq!(after.hits, mid.hits + 1, "second lookup is a hit");
+        assert!(mid.misses >= before.misses + 1, "first lookup is a miss");
+        assert!(after.hits >= mid.hits + 1, "second lookup is a hit");
         assert!(Arc::ptr_eq(&a, &b), "both lookups share one table");
     }
 
@@ -307,8 +308,8 @@ mod tests {
         let mid = window_cache_stats();
         let b = window_for(Window::Blackman, n);
         let after = window_cache_stats();
-        assert_eq!(mid.misses, before.misses + 1);
-        assert_eq!(after.hits, mid.hits + 1);
+        assert!(mid.misses >= before.misses + 1, "first lookup is a miss");
+        assert!(after.hits >= mid.hits + 1, "second lookup is a hit");
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(*a, Window::Blackman.build(n), "cache matches fresh build");
     }

@@ -139,6 +139,52 @@ impl EcoCapsule {
         self.apply_fault(p);
     }
 
+    /// [`EcoCapsule::harvest_under`] with energy telemetry: brownout
+    /// windows and lifecycle transitions are reported to `rec` with the
+    /// caller's slot-clock timestamp. State evolution is bit-identical
+    /// to the unobserved path — recording draws no randomness.
+    pub fn harvest_under_observed(
+        &mut self,
+        v_peak: f64,
+        dt_s: f64,
+        p: &faults::Perturbation,
+        slot: u64,
+        rec: &mut dyn obs::Recorder,
+    ) {
+        if p.outage {
+            rec.count("energy.brownouts", 1, slot);
+            self.harvest_observed(0.0, dt_s, slot, rec);
+        } else {
+            self.harvest_observed(v_peak, dt_s, slot, rec);
+        }
+        self.apply_fault(p);
+    }
+
+    /// [`EcoCapsule::harvest`] with energy telemetry: the harvest
+    /// duration (cold-start time demanded by this drive level) is
+    /// observed, and wake-up / starvation transitions are counted.
+    pub fn harvest_observed(
+        &mut self,
+        v_peak: f64,
+        dt_s: f64,
+        slot: u64,
+        rec: &mut dyn obs::Recorder,
+    ) {
+        let was_operational = self.is_operational();
+        match self.harvester.cold_start_s(v_peak) {
+            // Harvest duration telemetry (Fig 14): microseconds of
+            // charging this drive level demands before the MCU boots.
+            Some(needed_s) => rec.observe("energy.cold_start_us", (needed_s * 1e6) as u64, slot),
+            None => rec.count("energy.under_threshold", 1, slot),
+        }
+        self.harvest(v_peak, dt_s);
+        if !was_operational && self.is_operational() {
+            rec.count("energy.wakeups", 1, slot);
+        } else if was_operational && !self.is_operational() {
+            rec.count("energy.starved", 1, slot);
+        }
+    }
+
     /// Applies harvested input for `dt_s` seconds at PZT peak voltage
     /// `v_peak`, advancing the lifecycle (Fig 14 cold start).
     pub fn harvest(&mut self, v_peak: f64, dt_s: f64) {

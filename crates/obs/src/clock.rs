@@ -1,0 +1,64 @@
+//! Virtual slot clock for quiet (non-faulted) surveys.
+
+/// A monotone virtual slot counter.
+///
+/// Faulted surveys timestamp events with the fault [`Timeline`]'s
+/// arbitration slot; quiet surveys have no timeline, so the engine
+/// drives one of these instead, ticking once per protocol transaction.
+/// Parallel read tasks get disjoint windows (`base + task × width`), so
+/// the merged stream is monotone and independent of worker count.
+///
+/// [`Timeline`]: https://docs.rs/ecocapsule-faults
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotClock {
+    slot: u64,
+}
+
+impl SlotClock {
+    /// A clock starting at `start_slot`.
+    pub fn new(start_slot: u64) -> Self {
+        SlotClock { slot: start_slot }
+    }
+
+    /// Current slot (the slot the *next* transaction will occupy).
+    pub fn now(&self) -> u64 {
+        self.slot
+    }
+
+    /// Consumes one slot: returns the current slot, then advances.
+    pub fn tick(&mut self) -> u64 {
+        let s = self.slot;
+        self.slot = self.slot.saturating_add(1);
+        s
+    }
+
+    /// Skips `n` slots without consuming them for a transaction.
+    pub fn skip(&mut self, n: u64) {
+        self.slot = self.slot.saturating_add(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotone_and_post_incrementing() {
+        let mut c = SlotClock::new(5);
+        assert_eq!(c.now(), 5);
+        assert_eq!(c.tick(), 5);
+        assert_eq!(c.tick(), 6);
+        c.skip(3);
+        assert_eq!(c.now(), 10);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut c = SlotClock::new(u64::MAX - 1);
+        assert_eq!(c.tick(), u64::MAX - 1);
+        assert_eq!(c.tick(), u64::MAX);
+        assert_eq!(c.now(), u64::MAX);
+        c.skip(10);
+        assert_eq!(c.now(), u64::MAX);
+    }
+}

@@ -1,0 +1,183 @@
+//! Structured observability events with slot-clock timestamps.
+
+/// One observability event.
+///
+/// Every variant carries a `slot` timestamp from the survey's slot
+/// clock (see the crate docs for the determinism contract). Span and
+/// counter names are `&'static str` by design: the vocabulary is fixed
+/// at compile time, which keeps recording allocation-free on the hot
+/// path and makes traces trivially comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A span (phase, round, or transaction) begins.
+    SpanOpen {
+        /// Span name, e.g. `"phase.inventory"` or `"txn.read"`.
+        span: &'static str,
+        /// Discriminator within the span name (capsule id, round index).
+        id: u32,
+        /// Slot-clock timestamp at open.
+        slot: u64,
+    },
+    /// A span ends. Matched to the most recent open with the same
+    /// `(span, id)`; the slot delta is the span's latency in slots.
+    SpanClose {
+        /// Span name, matching the corresponding [`Event::SpanOpen`].
+        span: &'static str,
+        /// Discriminator, matching the corresponding open.
+        id: u32,
+        /// Slot-clock timestamp at close (≥ the open slot).
+        slot: u64,
+    },
+    /// A monotone counter increments by `delta`.
+    Counter {
+        /// Counter name, e.g. `"inventory.collision_slots"`.
+        name: &'static str,
+        /// Increment (≥ 1 by convention; 0 is legal and recorded).
+        delta: u64,
+        /// Slot-clock timestamp of the increment.
+        slot: u64,
+    },
+    /// A histogram sample: one value observed under `name`.
+    Observe {
+        /// Histogram name, e.g. `"inventory.q"`.
+        name: &'static str,
+        /// Observed value (log2-bucketed by [`crate::Histogram`]).
+        value: u64,
+        /// Slot-clock timestamp of the observation.
+        slot: u64,
+    },
+}
+
+impl Event {
+    /// The event's slot-clock timestamp.
+    pub fn slot(&self) -> u64 {
+        match self {
+            Event::SpanOpen { slot, .. }
+            | Event::SpanClose { slot, .. }
+            | Event::Counter { slot, .. }
+            | Event::Observe { slot, .. } => *slot,
+        }
+    }
+
+    /// Serialises the event as one JSON object (no trailing newline).
+    ///
+    /// The schema is documented in DESIGN.md §5; keys appear in a fixed
+    /// order so traces are byte-comparable.
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::SpanOpen { span, id, slot } => {
+                format!(
+                    "{{\"ev\":\"span_open\",\"span\":\"{}\",\"id\":{id},\"slot\":{slot}}}",
+                    escape_json(span)
+                )
+            }
+            Event::SpanClose { span, id, slot } => {
+                format!(
+                    "{{\"ev\":\"span_close\",\"span\":\"{}\",\"id\":{id},\"slot\":{slot}}}",
+                    escape_json(span)
+                )
+            }
+            Event::Counter { name, delta, slot } => {
+                format!(
+                    "{{\"ev\":\"counter\",\"name\":\"{}\",\"delta\":{delta},\"slot\":{slot}}}",
+                    escape_json(name)
+                )
+            }
+            Event::Observe { name, value, slot } => {
+                format!(
+                    "{{\"ev\":\"observe\",\"name\":\"{}\",\"value\":{value},\"slot\":{slot}}}",
+                    escape_json(name)
+                )
+            }
+        }
+    }
+}
+
+/// Escapes a name for embedding in a JSON string literal. The event
+/// vocabulary is plain ASCII in practice; this covers quotes,
+/// backslashes, and control characters so arbitrary names stay legal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_keys_are_stable() {
+        let ev = Event::SpanOpen {
+            span: "survey",
+            id: 3,
+            slot: 17,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"span_open\",\"span\":\"survey\",\"id\":3,\"slot\":17}"
+        );
+        let ev = Event::Counter {
+            name: "retry.backoff_slots",
+            delta: 4,
+            slot: 9,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"counter\",\"name\":\"retry.backoff_slots\",\"delta\":4,\"slot\":9}"
+        );
+    }
+
+    #[test]
+    fn slot_accessor_covers_every_variant() {
+        let evs = [
+            Event::SpanOpen {
+                span: "a",
+                id: 0,
+                slot: 1,
+            },
+            Event::SpanClose {
+                span: "a",
+                id: 0,
+                slot: 2,
+            },
+            Event::Counter {
+                name: "c",
+                delta: 1,
+                slot: 3,
+            },
+            Event::Observe {
+                name: "o",
+                value: 7,
+                slot: 4,
+            },
+        ];
+        let slots: Vec<u64> = evs.iter().map(Event::slot).collect();
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn escaping_keeps_hostile_names_legal() {
+        let ev = Event::Observe {
+            name: "quo\"te\\back\n",
+            value: 0,
+            slot: 0,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"observe\",\"name\":\"quo\\\"te\\\\back\\n\",\"value\":0,\"slot\":0}"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Fixed log2-bucketed histogram for slot latencies and observations.
+
+/// Number of buckets: one for zero plus one per significant-bit count.
+const BUCKETS: usize = 65;
+
+/// A histogram with fixed log2 bucketing.
+///
+/// Bucket 0 holds the value 0; bucket `k` (1 ≤ k ≤ 64) holds values
+/// with exactly `k` significant bits, i.e. the range `[2^(k−1), 2^k)`.
+/// Quantiles are reported as the *upper bound* of the bucket where the
+/// cumulative count crosses the requested rank, so they are exact for
+/// powers of two and conservative (rounded up) otherwise — and, being
+/// pure integer arithmetic, bit-identical across platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `pct`-th percentile (1 ≤ pct ≤ 100) as a bucket upper bound,
+    /// or 0 for an empty histogram. `pct` is clamped into range.
+    pub fn percentile(&self, pct: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let pct = pct.clamp(1, 100);
+        // Ceil(count × pct / 100) in u128 so huge counts cannot overflow.
+        let target = (u128::from(self.count) * u128::from(pct) + 99) / 100;
+        let mut cum: u128 = 0;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            cum += u128::from(*n);
+            if cum >= target {
+                return Histogram::bucket_upper(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// Tail latency (p99).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+
+    /// Inclusive upper bound of bucket `idx`.
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else if idx >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_small_values_land_in_exact_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.max(), 4);
+        // p50 = 3rd of 5 sorted [0,1,2,3,4] → value 2, bucket [2,3] → 3.
+        assert_eq!(h.p50(), 3);
+        // p99 lands in the last occupied bucket: [4,7] → 7.
+        assert_eq!(h.p99(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_pct() {
+        let mut h = Histogram::new();
+        for v in [1u64, 10, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for pct in 1..=100 {
+            let p = h.percentile(pct);
+            assert!(p >= last, "p{pct} = {p} < previous {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn huge_values_saturate_without_panicking() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+    }
+}

@@ -1,0 +1,35 @@
+//! Zero-dependency observability layer for the EcoCapsule stack.
+//!
+//! The paper's 17-month pilot (§8) hinges on the reader being able to
+//! tell *why* a capsule went silent — energy starvation, arbitration
+//! collision, or decode failure. This crate provides the plumbing: a
+//! [`Recorder`] trait consuming structured [`Event`]s (span open/close,
+//! counters, histogram observations), with three implementations:
+//!
+//! * [`NullRecorder`] — discards everything; the zero-cost default.
+//! * [`MemoryRecorder`] — ordered in-memory stream plus counter totals
+//!   and per-span latency histograms; serialises to JSON lines.
+//! * [`ExportRecorder`] — streams JSON lines into any `io::Write` sink.
+//!
+//! # Determinism contract
+//!
+//! Events carry **slot-clock** timestamps, never wall-clock time. On a
+//! faulted survey the slot is the fault timeline's arbitration slot; on
+//! a quiet survey it is a virtual [`SlotClock`] that advances one slot
+//! per protocol transaction. Two runs with the same seed and the same
+//! configuration produce byte-identical event streams regardless of
+//! worker count: parallel phases record into per-task buffers that are
+//! replayed into the session recorder in capsule order.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod histogram;
+pub mod recorder;
+
+pub use clock::SlotClock;
+pub use event::Event;
+pub use histogram::Histogram;
+pub use recorder::{ExportRecorder, MemoryRecorder, NullRecorder, Recorder};

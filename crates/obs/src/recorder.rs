@@ -1,0 +1,287 @@
+//! Recorder implementations: null, in-memory, and JSONL export.
+
+use std::collections::BTreeMap;
+use std::io;
+
+use crate::event::Event;
+use crate::histogram::Histogram;
+
+/// Sink for observability [`Event`]s.
+///
+/// The trait is object-safe: the survey engine holds a
+/// `&mut dyn Recorder`, so instrumentation costs one virtual call per
+/// event and nothing when the [`NullRecorder`] is installed.
+pub trait Recorder {
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+
+    /// Convenience: records a [`Event::SpanOpen`].
+    fn span_open(&mut self, span: &'static str, id: u32, slot: u64) {
+        self.record(&Event::SpanOpen { span, id, slot });
+    }
+
+    /// Convenience: records a [`Event::SpanClose`].
+    fn span_close(&mut self, span: &'static str, id: u32, slot: u64) {
+        self.record(&Event::SpanClose { span, id, slot });
+    }
+
+    /// Convenience: records a [`Event::Counter`] increment.
+    fn count(&mut self, name: &'static str, delta: u64, slot: u64) {
+        self.record(&Event::Counter { name, delta, slot });
+    }
+
+    /// Convenience: records a [`Event::Observe`] sample.
+    fn observe(&mut self, name: &'static str, value: u64, slot: u64) {
+        self.record(&Event::Observe { name, value, slot });
+    }
+}
+
+/// Discards every event. The zero-cost default recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Ordered in-memory event stream with derived aggregates.
+///
+/// Alongside the raw stream it maintains counter totals, a latency
+/// histogram per span name (fed by matching [`Event::SpanClose`] events
+/// to their most recent open with the same `(span, id)`), and a value
+/// histogram per [`Event::Observe`] name.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    events: Vec<Event>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    open_spans: Vec<(&'static str, u32, u64)>,
+    unmatched_closes: u64,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// The raw event stream, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the recorder, yielding the raw stream. Used by the
+    /// survey engine to replay per-task buffers in capsule order.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total accumulated for counter `name` (0 when never incremented).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counter totals, ordered by name.
+    pub fn counter_totals(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Histogram for span latencies or observed values under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, ordered by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// `SpanClose` events that never matched an open (0 on well-formed
+    /// traces; non-zero flags an instrumentation bug upstream).
+    pub fn unmatched_closes(&self) -> u64 {
+        self.unmatched_closes
+    }
+
+    /// Serialises the stream as JSON lines (one event per line, with a
+    /// trailing newline when non-empty). Byte-identical streams ⇒
+    /// byte-identical output.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Replays the stream into another recorder, preserving order.
+    pub fn replay_into(&self, sink: &mut dyn Recorder) {
+        for ev in &self.events {
+            sink.record(ev);
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&mut self, event: &Event) {
+        match *event {
+            Event::SpanOpen { span, id, slot } => {
+                self.open_spans.push((span, id, slot));
+            }
+            Event::SpanClose { span, id, slot } => {
+                // Match the most recent open with the same (span, id).
+                let found = self
+                    .open_spans
+                    .iter()
+                    .rposition(|(s, i, _)| *s == span && *i == id);
+                match found {
+                    Some(pos) => {
+                        let (_, _, open_slot) = self.open_spans.remove(pos);
+                        self.histograms
+                            .entry(span)
+                            .or_default()
+                            .record(slot.saturating_sub(open_slot));
+                    }
+                    None => {
+                        self.unmatched_closes = self.unmatched_closes.saturating_add(1);
+                    }
+                }
+            }
+            Event::Counter { name, delta, .. } => {
+                let total = self.counters.entry(name).or_insert(0);
+                *total = total.saturating_add(delta);
+            }
+            Event::Observe { name, value, .. } => {
+                self.histograms.entry(name).or_default().record(value);
+            }
+        }
+        self.events.push(event.clone());
+    }
+}
+
+/// Streams events as JSON lines into an `io::Write` sink.
+///
+/// Write errors are sticky: after the first failure the recorder stops
+/// writing (recording must never panic mid-survey) and the error is
+/// surfaced by [`ExportRecorder::finish`].
+#[derive(Debug)]
+pub struct ExportRecorder<W: io::Write> {
+    sink: W,
+    error: Option<io::Error>,
+    written: u64,
+}
+
+impl<W: io::Write> ExportRecorder<W> {
+    /// Wraps `sink` for JSONL export.
+    pub fn new(sink: W) -> Self {
+        ExportRecorder {
+            sink,
+            error: None,
+            written: 0,
+        }
+    }
+
+    /// Number of events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the sink, or the first write error.
+    #[must_use]
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl<W: io::Write> Recorder for ExportRecorder<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json();
+        line.push('\n');
+        match self.sink.write_all(line.as_bytes()) {
+            Ok(()) => self.written = self.written.saturating_add(1),
+            Err(err) => self.error = Some(err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream(rec: &mut dyn Recorder) {
+        rec.span_open("phase.read", 7, 10);
+        rec.count("retry.attempts", 1, 11);
+        rec.observe("inventory.q", 4, 12);
+        rec.span_close("phase.read", 7, 14);
+    }
+
+    #[test]
+    fn memory_recorder_keeps_order_and_aggregates() {
+        let mut rec = MemoryRecorder::new();
+        sample_stream(&mut rec);
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.counter_total("retry.attempts"), 1);
+        assert_eq!(rec.counter_total("missing"), 0);
+        let span = rec.histogram("phase.read").expect("span histogram");
+        assert_eq!(span.count(), 1);
+        assert_eq!(span.max(), 4, "close 14 − open 10");
+        let q = rec.histogram("inventory.q").expect("observe histogram");
+        assert_eq!(q.max(), 4);
+        assert_eq!(rec.unmatched_closes(), 0);
+    }
+
+    #[test]
+    fn nested_spans_match_by_span_and_id() {
+        let mut rec = MemoryRecorder::new();
+        rec.span_open("inventory.round", 0, 0);
+        rec.span_open("txn.ack", 5, 1);
+        rec.span_close("txn.ack", 5, 3);
+        rec.span_close("inventory.round", 0, 6);
+        let round = rec.histogram("inventory.round").expect("round histogram");
+        assert_eq!(round.max(), 6);
+        let ack = rec.histogram("txn.ack").expect("ack histogram");
+        assert_eq!(ack.max(), 2);
+    }
+
+    #[test]
+    fn unmatched_close_is_counted_not_fatal() {
+        let mut rec = MemoryRecorder::new();
+        rec.span_close("phantom", 1, 5);
+        assert_eq!(rec.unmatched_closes(), 1);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_export_recorder() {
+        let mut mem = MemoryRecorder::new();
+        sample_stream(&mut mem);
+        let mut exp = ExportRecorder::new(Vec::new());
+        mem.replay_into(&mut exp);
+        assert_eq!(exp.written(), 4);
+        let bytes = exp.finish().expect("vec sink cannot fail");
+        assert_eq!(String::from_utf8(bytes).unwrap(), mem.to_jsonl());
+    }
+
+    #[test]
+    fn null_recorder_accepts_everything() {
+        let mut rec = NullRecorder;
+        sample_stream(&mut rec);
+    }
+}

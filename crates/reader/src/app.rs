@@ -11,6 +11,7 @@ use crate::rx::{Capture, Receiver, RxError};
 use crate::tx::Transmitter;
 use channel::uplink::{faulted_noise_sigma, synthesize_uplink, UplinkConfig};
 use node::capsule::{EcoCapsule, Environment};
+use obs::{Recorder, SlotClock};
 use protocol::frame::{Command, Reply, SensorKind};
 use rand::Rng;
 
@@ -156,8 +157,37 @@ impl ReaderSession {
         max_rounds: usize,
         rng: &mut R,
     ) -> Vec<u32> {
+        let mut clock = SlotClock::new(0);
+        self.inventory_observed(
+            capsules,
+            env,
+            q,
+            max_rounds,
+            &mut clock,
+            &mut obs::NullRecorder,
+            rng,
+        )
+    }
+
+    /// [`ReaderSession::inventory`] with observability: each arbitration
+    /// slot ticks the caller's virtual [`SlotClock`], and round spans,
+    /// idle/collision slot counts, and identified/lost-ACK counters are
+    /// reported to `rec`. RNG use is bit-identical to the unobserved
+    /// path — recording draws nothing.
+    pub fn inventory_observed<R: Rng>(
+        &self,
+        capsules: &mut [EcoCapsule],
+        env: &Environment,
+        q: u8,
+        max_rounds: usize,
+        clock: &mut SlotClock,
+        rec: &mut dyn Recorder,
+        rng: &mut R,
+    ) -> Vec<u32> {
         let mut found: Vec<u32> = Vec::new();
-        for _ in 0..max_rounds {
+        for round_idx in 0..max_rounds {
+            rec.span_open("inventory.round", round_idx as u32, clock.now());
+            rec.observe("inventory.q", u64::from(q), clock.now());
             let slots = 1u32 << q;
             for slot in 0..slots {
                 let cmd = if slot == 0 {
@@ -165,6 +195,7 @@ impl ReaderSession {
                 } else {
                     Command::QueryRep
                 };
+                let slot_stamp = clock.tick();
                 // Each capsule hears the command; collect who would reply.
                 let mut responders: Vec<(usize, u16)> = Vec::new();
                 for (i, c) in capsules.iter_mut().enumerate() {
@@ -179,22 +210,32 @@ impl ReaderSession {
                     // Empty or collision slot: unresolvable replies are
                     // dropped; colliding nodes back off on the next ACK.
                     if responders.len() > 1 {
+                        rec.count("inventory.collision_slots", 1, slot_stamp);
                         for (i, _) in &responders {
                             let _ = capsules[*i].execute(&Command::Ack { rn16: 0 }, env, rng);
                         }
+                    } else {
+                        rec.count("inventory.idle_slots", 1, slot_stamp);
                     }
                     continue;
                 }
                 let (idx, rn16) = responders[0];
-                // Waveform-level ACK → NodeId reply.
+                // Waveform-level ACK → NodeId reply; one more slot.
+                let ack_slot = clock.tick();
+                rec.span_open("txn.ack", capsules[idx].id, ack_slot);
                 if let Ok(Some(Reply::NodeId { id })) =
                     self.transact(&mut capsules[idx], &Command::Ack { rn16 }, env, rng)
                 {
                     if !found.contains(&id) {
                         found.push(id);
                     }
+                    rec.count("inventory.identified", 1, ack_slot);
+                } else {
+                    rec.count("inventory.lost_acks", 1, ack_slot);
                 }
+                rec.span_close("txn.ack", capsules[idx].id, clock.now());
             }
+            rec.span_close("inventory.round", round_idx as u32, clock.now());
             if found.len() == capsules.len() {
                 break;
             }
@@ -222,18 +263,52 @@ impl ReaderSession {
         max_attempts: u32,
         rng: &mut R,
     ) -> bool {
+        let mut clock = SlotClock::new(0);
+        self.ensure_session_observed(
+            capsule,
+            env,
+            max_attempts,
+            &mut clock,
+            &mut obs::NullRecorder,
+            rng,
+        )
+    }
+
+    /// [`ReaderSession::ensure_session`] with observability: each
+    /// Query/Ack exchange ticks the caller's [`SlotClock`] under a
+    /// `txn.acquire` span. Records nothing (and draws no RNG) when the
+    /// session is already open.
+    pub fn ensure_session_observed<R: Rng>(
+        &self,
+        capsule: &mut EcoCapsule,
+        env: &Environment,
+        max_attempts: u32,
+        clock: &mut SlotClock,
+        rec: &mut dyn Recorder,
+        rng: &mut R,
+    ) -> bool {
         use protocol::inventory::NodeState;
+        if capsule.protocol.state == NodeState::Acknowledged {
+            return true;
+        }
+        rec.span_open("txn.acquire", capsule.id, clock.now());
         for _ in 0..max_attempts {
-            if capsule.protocol.state == NodeState::Acknowledged {
-                return true;
-            }
+            clock.tick();
             if let Ok(Some(Reply::Rn16 { rn16 })) =
                 self.transact(capsule, &Command::Query { q: 0, session: 0 }, env, rng)
             {
+                clock.tick();
                 let _ = self.transact(capsule, &Command::Ack { rn16 }, env, rng);
             }
+            if capsule.protocol.state == NodeState::Acknowledged {
+                rec.count("session.reacquired", 1, clock.now());
+                rec.span_close("txn.acquire", capsule.id, clock.now());
+                return true;
+            }
         }
-        capsule.protocol.state == NodeState::Acknowledged
+        rec.count("retry.exhausted", 1, clock.now());
+        rec.span_close("txn.acquire", capsule.id, clock.now());
+        false
     }
 
     /// Reads one sensor from an acknowledged capsule, returning the
@@ -251,6 +326,31 @@ impl ReaderSession {
             Reply::SensorData { kind, raw } => Some(decode_physical(kind, raw, capsule, env)),
             _ => None,
         }))
+    }
+
+    /// [`ReaderSession::read_sensor`] with observability: the read
+    /// consumes one virtual slot under a `txn.read` span, and delivery /
+    /// silence / decode failure are counted.
+    #[must_use]
+    pub fn read_sensor_observed<R: Rng>(
+        &self,
+        capsule: &mut EcoCapsule,
+        kind: SensorKind,
+        env: &Environment,
+        clock: &mut SlotClock,
+        rec: &mut dyn Recorder,
+        rng: &mut R,
+    ) -> Result<Option<f64>, RxError> {
+        let slot = clock.tick();
+        rec.span_open("txn.read", capsule.id, slot);
+        let out = self.read_sensor(capsule, kind, env, rng);
+        match &out {
+            Ok(Some(_)) => rec.count("read.delivered", 1, slot),
+            Ok(None) => rec.count("read.silent", 1, slot),
+            Err(_) => rec.count("read.decode_errors", 1, slot),
+        }
+        rec.span_close("txn.read", capsule.id, clock.now());
+        out
     }
 }
 

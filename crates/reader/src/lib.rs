@@ -15,7 +15,8 @@
 //!   and sensor-read transactions against simulated capsules;
 //! - [`robust`] — the fault-hardened session layer: bounded-exponential
 //!   retry over a [`faults::Timeline`], plus loss-burst-aware inventory
-//!   with adaptive Q re-arbitration (DESIGN.md §4).
+//!   with adaptive Q re-arbitration (DESIGN.md §4);
+//! - [`prelude`] — the session-layer API surface in one import.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,3 +26,11 @@ pub mod robust;
 pub mod rx;
 pub mod tuning;
 pub mod tx;
+
+/// One-stop import for driving reader sessions: the session type, the
+/// robust-layer configuration, and its result types.
+pub mod prelude {
+    pub use crate::app::{decode_physical, ReaderSession};
+    pub use crate::robust::{Delivery, RetryPolicy, RobustConfig, RobustInventoryReport};
+    pub use crate::rx::RxError;
+}

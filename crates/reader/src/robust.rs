@@ -28,9 +28,20 @@
 use crate::app::{decode_physical, ReaderSession};
 use faults::Timeline;
 use node::capsule::{EcoCapsule, Environment};
+use obs::Recorder;
 use protocol::frame::{Command, Reply, SensorKind};
 use protocol::inventory::QAlgorithm;
 use rand::Rng;
+
+/// The observability span name for a retried command.
+fn txn_span(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Query { .. } | Command::QueryRep => "txn.query",
+        Command::Ack { .. } => "txn.ack",
+        Command::ReadSensor { .. } => "txn.read",
+        _ => "txn.other",
+    }
+}
 
 /// Per-command timeout-and-retry budget: how many attempts a must-answer
 /// command gets, and how long (in timeline slots) the reader waits
@@ -79,6 +90,58 @@ impl RetryPolicy {
             .backoff_base_slots
             .saturating_mul(1u64 << attempt.saturating_sub(1).min(62));
         doubled.min(self.backoff_cap_slots)
+    }
+}
+
+/// The full configuration of a robust (fault-aware) reader session:
+/// Q-algorithm arbitration parameters plus the per-command
+/// [`RetryPolicy`]. Replaces the positional `q0 / c / max_rounds /
+/// policy` argument lists that [`ReaderSession::inventory_robust`] and
+/// [`ReaderSession::ensure_session_with_retry`] used to take.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustConfig {
+    /// Initial Q exponent (2^q0 slots in the first round).
+    pub q0: u8,
+    /// Q-algorithm adjustment step (Gen2 suggests 0.1–0.5).
+    pub c: f64,
+    /// Round budget before inventory gives up.
+    pub max_rounds: usize,
+    /// Retry budget for must-answer commands (ACKs, sensor reads).
+    pub policy: RetryPolicy,
+}
+
+impl RobustConfig {
+    /// Paper-default posture for a population sized for `q0`: step
+    /// 0.3, 40 rounds, [`RetryPolicy::paper_default`].
+    #[must_use]
+    pub fn new(q0: u8) -> Self {
+        RobustConfig {
+            q0,
+            c: 0.3,
+            max_rounds: 40,
+            policy: RetryPolicy::paper_default(),
+        }
+    }
+
+    /// Replaces the Q-algorithm adjustment step.
+    #[must_use]
+    pub fn c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Replaces the round budget.
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -158,26 +221,39 @@ impl ReaderSession {
         env: &Environment,
         policy: &RetryPolicy,
         timeline: &mut Timeline<'_>,
+        rec: &mut dyn Recorder,
         rng: &mut R,
     ) -> Delivery {
         let budget = policy.max_attempts.max(1);
         let mut decode_errors = 0u32;
+        let span = txn_span(cmd);
+        rec.span_open(span, capsule.id, timeline.slot());
         for attempt in 1..=budget {
+            let attempt_slot = timeline.slot();
             let p = timeline.advance();
             match self.transact_perturbed(capsule, cmd, env, &p, rng) {
                 Ok(Some(reply)) => {
+                    rec.span_close(span, capsule.id, timeline.slot());
                     return Delivery::Delivered {
                         reply,
                         attempts: attempt,
-                    }
+                    };
                 }
                 Ok(None) => {}
-                Err(_) => decode_errors += 1,
+                Err(_) => {
+                    decode_errors += 1;
+                    rec.count("retry.decode_errors", 1, attempt_slot);
+                }
             }
             if attempt < budget {
-                timeline.skip(policy.backoff_slots(attempt));
+                let backoff = policy.backoff_slots(attempt);
+                rec.count("retry.retries", 1, attempt_slot);
+                rec.count("retry.backoff_slots", backoff, attempt_slot);
+                timeline.skip(backoff);
             }
         }
+        rec.count("retry.exhausted", 1, timeline.slot());
+        rec.span_close(span, capsule.id, timeline.slot());
         Delivery::Exhausted {
             attempts: budget,
             decode_errors,
@@ -193,25 +269,30 @@ impl ReaderSession {
     /// attempts exactly like [`ReaderSession::transact_with_retry`], so
     /// a re-acquisition started inside a fault window can outlive it.
     ///
-    /// Consumes no slots and no RNG draws when the session is already
-    /// open. Returns the attempts spent (0 when already open). Worst
-    /// case slot spend is `2 · max_attempts` plus the cumulative
-    /// backoff — the bound `survey_under` sizes its per-capsule
-    /// timeline slices with.
+    /// Consumes no slots, no RNG draws, and records no events when the
+    /// session is already open. Returns the attempts spent (0 when
+    /// already open). Worst case slot spend is `2 · max_attempts` plus
+    /// the cumulative backoff — the bound the survey engine sizes its
+    /// per-capsule timeline slices with. Only `cfg.policy` is consulted;
+    /// the arbitration fields configure [`ReaderSession::inventory_robust`].
     pub fn ensure_session_with_retry<R: Rng>(
         &self,
         capsule: &mut EcoCapsule,
         env: &Environment,
-        policy: &RetryPolicy,
+        cfg: &RobustConfig,
         timeline: &mut Timeline<'_>,
+        rec: &mut dyn Recorder,
         rng: &mut R,
     ) -> u32 {
         use protocol::inventory::NodeState;
         if capsule.protocol.state == NodeState::Acknowledged {
             return 0;
         }
+        let policy = &cfg.policy;
         let budget = policy.max_attempts.max(1);
+        rec.span_open("txn.acquire", capsule.id, timeline.slot());
         for attempt in 1..=budget {
+            let attempt_slot = timeline.slot();
             let p = timeline.advance();
             if let Ok(Some(Reply::Rn16 { rn16 })) =
                 self.transact_perturbed(capsule, &Command::Query { q: 0, session: 0 }, env, &p, rng)
@@ -220,13 +301,20 @@ impl ReaderSession {
                 if let Ok(Some(Reply::NodeId { .. })) =
                     self.transact_perturbed(capsule, &Command::Ack { rn16 }, env, &p, rng)
                 {
+                    rec.count("session.reacquired", 1, timeline.slot());
+                    rec.span_close("txn.acquire", capsule.id, timeline.slot());
                     return attempt;
                 }
             }
             if attempt < budget {
-                timeline.skip(policy.backoff_slots(attempt));
+                let backoff = policy.backoff_slots(attempt);
+                rec.count("retry.retries", 1, attempt_slot);
+                rec.count("retry.backoff_slots", backoff, attempt_slot);
+                timeline.skip(backoff);
             }
         }
+        rec.count("retry.exhausted", 1, timeline.slot());
+        rec.span_close("txn.acquire", capsule.id, timeline.slot());
         budget
     }
 
@@ -240,6 +328,7 @@ impl ReaderSession {
         env: &Environment,
         policy: &RetryPolicy,
         timeline: &mut Timeline<'_>,
+        rec: &mut dyn Recorder,
         rng: &mut R,
     ) -> (Option<f64>, u32) {
         let delivery = self.transact_with_retry(
@@ -248,6 +337,7 @@ impl ReaderSession {
             env,
             policy,
             timeline,
+            rec,
             rng,
         );
         let attempts = delivery.attempts();
@@ -278,20 +368,20 @@ impl ReaderSession {
         &self,
         capsules: &mut [EcoCapsule],
         env: &Environment,
-        q0: u8,
-        c: f64,
-        max_rounds: usize,
-        policy: &RetryPolicy,
+        cfg: &RobustConfig,
         timeline: &mut Timeline<'_>,
+        rec: &mut dyn Recorder,
         rng: &mut R,
     ) -> RobustInventoryReport {
         use protocol::inventory::RoundReport;
 
-        let mut alg = QAlgorithm::new(q0, c);
+        let mut alg = QAlgorithm::new(cfg.q0, cfg.c);
         let mut report = RobustInventoryReport::default();
-        for _ in 0..max_rounds {
+        for round_idx in 0..cfg.max_rounds {
             report.rounds += 1;
             let q = alg.q();
+            rec.span_open("inventory.round", round_idx as u32, timeline.slot());
+            rec.observe("inventory.q", u64::from(q), timeline.slot());
             let mut round = RoundReport::default();
             let mut round_lost_acks = 0u32;
             for slot in 0..(1u32 << q) {
@@ -300,10 +390,12 @@ impl ReaderSession {
                 } else {
                     Command::QueryRep
                 };
+                let slot_stamp = timeline.slot();
                 let p = timeline.advance();
                 if p.outage {
                     // Nobody hears the command; the reader hears nothing.
                     round.empty_slots += 1;
+                    rec.count("inventory.outage_slots", 1, slot_stamp);
                     continue;
                 }
                 let mut responders: Vec<(usize, u16)> = Vec::new();
@@ -317,29 +409,42 @@ impl ReaderSession {
                     }
                 }
                 match responders.len() {
-                    0 => round.empty_slots += 1,
+                    0 => {
+                        round.empty_slots += 1;
+                        rec.count("inventory.idle_slots", 1, slot_stamp);
+                    }
                     1 => {
                         let (idx, rn16) = responders[0];
                         let delivery = self.transact_with_retry(
                             &mut capsules[idx],
                             &Command::Ack { rn16 },
                             env,
-                            policy,
+                            &cfg.policy,
                             timeline,
+                            rec,
                             rng,
                         );
                         match delivery.reply() {
                             Some(Reply::NodeId { id }) => {
+                                // A capsule can re-answer a later round
+                                // before the driver notices it is done;
+                                // the counter mirrors the deduplicated
+                                // report, not raw ACK traffic.
                                 if !report.found.contains(id) {
                                     report.found.push(*id);
+                                    rec.count("inventory.identified", 1, timeline.slot());
                                 }
                                 round.identified.push(*id);
                             }
-                            _ => round_lost_acks += 1,
+                            _ => {
+                                round_lost_acks += 1;
+                                rec.count("inventory.lost_acks", 1, timeline.slot());
+                            }
                         }
                     }
                     _ => {
                         round.collisions += 1;
+                        rec.count("inventory.collision_slots", 1, slot_stamp);
                         // Colliding nodes miss their ACK and back off.
                         for (i, _) in &responders {
                             let _ = capsules[*i].execute(&Command::Ack { rn16: 0 }, env, rng);
@@ -347,15 +452,22 @@ impl ReaderSession {
                     }
                 }
             }
-            if report.found.len() == capsules.len() {
+            let done = report.found.len() == capsules.len();
+            if !done {
+                // The Q-algorithm adjustment: channel losses are kept out
+                // of the update and answered by re-arbitration instead.
+                alg.update(&round);
+                if round_lost_acks > 0 {
+                    alg.rearbitrate(round_lost_acks as usize);
+                    report.rearbitrations += 1;
+                    rec.count("inventory.rearbitrations", 1, timeline.slot());
+                }
+                report.lost_acks += round_lost_acks;
+            }
+            rec.span_close("inventory.round", round_idx as u32, timeline.slot());
+            if done {
                 break;
             }
-            alg.update(&round);
-            if round_lost_acks > 0 {
-                alg.rearbitrate(round_lost_acks as usize);
-                report.rearbitrations += 1;
-            }
-            report.lost_acks += round_lost_acks;
         }
         report.final_q = alg.q();
         report
@@ -366,6 +478,7 @@ impl ReaderSession {
 mod tests {
     use super::*;
     use faults::{FaultKind, FaultPlan, FaultWindow};
+    use obs::{MemoryRecorder, NullRecorder};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -437,16 +550,24 @@ mod tests {
         acknowledge(&session, &mut capsule, &env, &mut rng);
 
         let mut timeline = Timeline::new(&plan);
+        let mut rec = MemoryRecorder::new();
         let (value, attempts) = session.read_sensor_with_retry(
             &mut capsule,
             SensorKind::Temperature,
             &env,
             &RetryPolicy::paper_default(),
             &mut timeline,
+            &mut rec,
             &mut rng,
         );
         assert!(value.is_some(), "retry should outlive the brownout");
         assert!(attempts > 1, "first attempt fell inside the window");
+        // The recovery is visible in the trace: at least one retry, with
+        // backoff slots spent, under a closed txn.read span.
+        assert!(rec.counter_total("retry.retries") >= 1);
+        assert!(rec.counter_total("retry.backoff_slots") >= 1);
+        assert_eq!(rec.unmatched_closes(), 0);
+        assert!(rec.histogram("txn.read").is_some());
 
         // The no-retry baseline fails on the same schedule.
         let mut capsule2 = powered(4);
@@ -459,6 +580,7 @@ mod tests {
             &env,
             &RetryPolicy::none(),
             &mut timeline2,
+            &mut NullRecorder,
             &mut rng2,
         );
         assert_eq!(value2, None, "single attempt dies in the window");
@@ -491,6 +613,7 @@ mod tests {
             &env,
             &RetryPolicy::paper_default(),
             &mut timeline,
+            &mut NullRecorder,
             &mut rng,
         );
         assert_eq!(
@@ -518,29 +641,46 @@ mod tests {
 
         let plan = FaultPlan::quiet();
         let mut timeline = Timeline::new(&plan);
-        let policy = RetryPolicy::paper_default();
-        let spent =
-            session.ensure_session_with_retry(&mut capsule, &env, &policy, &mut timeline, &mut rng);
+        let cfg = RobustConfig::new(0);
+        let mut rec = MemoryRecorder::new();
+        let spent = session.ensure_session_with_retry(
+            &mut capsule,
+            &env,
+            &cfg,
+            &mut timeline,
+            &mut rec,
+            &mut rng,
+        );
         assert!(spent >= 1, "a displaced capsule costs at least one attempt");
         assert_eq!(capsule.protocol.state, NodeState::Acknowledged);
+        assert_eq!(rec.counter_total("session.reacquired"), 1);
 
         let (value, _) = session.read_sensor_with_retry(
             &mut capsule,
             SensorKind::Temperature,
             &env,
-            &policy,
+            &cfg.policy,
             &mut timeline,
+            &mut NullRecorder,
             &mut rng,
         );
         assert!(value.is_some(), "the reopened session serves reads");
 
         // Once the session is open, re-acquisition is free: no attempts,
-        // no timeline slots.
+        // no timeline slots, no recorded events.
         let before = timeline.slot();
-        let spent =
-            session.ensure_session_with_retry(&mut capsule, &env, &policy, &mut timeline, &mut rng);
+        let events_before = rec.len();
+        let spent = session.ensure_session_with_retry(
+            &mut capsule,
+            &env,
+            &cfg,
+            &mut timeline,
+            &mut rec,
+            &mut rng,
+        );
         assert_eq!(spent, 0);
         assert_eq!(timeline.slot(), before);
+        assert_eq!(rec.len(), events_before);
     }
 
     #[test]
@@ -551,14 +691,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let mut capsules: Vec<EcoCapsule> = (0..3).map(|i| powered(200 + i)).collect();
         let mut timeline = Timeline::new(&plan);
+        let mut rec = MemoryRecorder::new();
         let report = session.inventory_robust(
             &mut capsules,
             &env,
-            2,
-            0.3,
-            30,
-            &RetryPolicy::paper_default(),
+            &RobustConfig::new(2).max_rounds(30),
             &mut timeline,
+            &mut rec,
             &mut rng,
         );
         let mut sorted = report.found.clone();
@@ -566,6 +705,13 @@ mod tests {
         assert_eq!(sorted, vec![200, 201, 202]);
         assert_eq!(report.lost_acks, 0);
         assert_eq!(report.rearbitrations, 0);
+        // The trace tells the same story as the report.
+        assert_eq!(rec.counter_total("inventory.identified"), 3);
+        assert_eq!(rec.counter_total("inventory.lost_acks"), 0);
+        assert_eq!(rec.counter_total("inventory.outage_slots"), 0);
+        let rounds = rec.histogram("inventory.round").expect("round spans");
+        assert_eq!(rounds.count() as usize, report.rounds);
+        assert_eq!(rec.unmatched_closes(), 0);
     }
 
     #[test]
@@ -587,18 +733,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut capsules: Vec<EcoCapsule> = (0..4).map(|i| powered(300 + i)).collect();
         let mut timeline = Timeline::new(&plan);
+        let mut rec = MemoryRecorder::new();
         let report = session.inventory_robust(
             &mut capsules,
             &env,
-            2,
-            0.3,
-            40,
-            &RetryPolicy::paper_default(),
+            &RobustConfig::new(2),
             &mut timeline,
+            &mut rec,
             &mut rng,
         );
         let mut sorted = report.found.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![300, 301, 302, 303]);
+        // Dead-air slots surface as outage counts with monotone stamps.
+        assert!(rec.counter_total("inventory.outage_slots") >= 1);
+        let mut last = 0;
+        for ev in rec.events() {
+            assert!(ev.slot() >= last, "slot clock must be monotone");
+            last = ev.slot();
+        }
     }
 }

@@ -13,9 +13,12 @@
 //! | `deny-unsafe`      | every lib crate root has `#![forbid(unsafe_code)]` |
 //! | `must-use-results` | pub Result-returning fns are `#[must_use]`; no discarded Results |
 //! | `no-lock-in-hotpath` | no `.lock()` in designated compute hot-path files without a reasoned `lint:allow` |
+//! | `no-deprecated-internal-calls` | no calls to deprecated in-repo shims (`.survey(`, `.survey_with(`, `.survey_under(`) — use `SurveyOptions` |
 //!
 //! Binary targets (`src/bin/**`, `src/main.rs`) and `#[cfg(test)]`
 //! regions are exempt from the panic, float-eq, and must-use rules.
+//! The deprecated-shim rule applies to binaries too (first-party code
+//! must not depend on shims slated for removal).
 //! Any finding can be suppressed with `// lint:allow(<rule>) <reason>`
 //! on the same line or the line above — the reason text is mandatory
 //! and a missing reason is itself reported.
@@ -72,6 +75,10 @@ pub struct LintConfig {
     /// by `no-lock-in-hotpath`: code the sweep worker pool runs
     /// concurrently, where an unjustified mutex serialises the fleet.
     pub lock_hot_paths: Vec<String>,
+    /// Method names of deprecated in-repo shims flagged by
+    /// `no-deprecated-internal-calls` when invoked as `.name(` anywhere
+    /// in first-party code (binaries included; test regions exempt).
+    pub deprecated_calls: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -95,6 +102,13 @@ impl Default for LintConfig {
                 // per-slot locking would serialise the whole pool.
                 "faults/src/plan.rs".to_string(),
                 "faults/src/digest.rs".to_string(),
+            ],
+            // The pre-SurveyOptions survey entry points, kept only as
+            // #[deprecated] shims for out-of-tree callers.
+            deprecated_calls: vec![
+                "survey".to_string(),
+                "survey_with".to_string(),
+                "survey_under".to_string(),
             ],
         }
     }
@@ -333,6 +347,7 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Find
             rules::no_lock_in_hotpath(&f.lexed.tokens, f.is_lock_hot, &mut raw);
         }
         rules::unit_suffix_discipline(&f.lexed.tokens, &mut raw);
+        rules::no_deprecated_internal_calls(&f.lexed.tokens, &cfg.deprecated_calls, &mut raw);
         if f.is_lib_root && f.class == FileClass::Lib {
             rules::deny_unsafe(&f.lexed.tokens, &mut raw);
         }

@@ -102,6 +102,8 @@ fn print_rules() {
     println!("  must-use-results  pub Result fns are #[must_use]; Results are never discarded");
     println!("  no-lock-in-hotpath  no mutex .lock() in designated compute hot-path files;");
     println!("                    O(1) critical sections need a reasoned lint:allow");
+    println!("  no-deprecated-internal-calls  no .survey()/.survey_with()/.survey_under()");
+    println!("                    shim calls in first-party code; use SurveyOptions");
     println!();
     println!(
         "suppress: // lint:allow(<rule>) <reason>   (same line or line above; reason required)"

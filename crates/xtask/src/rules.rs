@@ -1,4 +1,4 @@
-//! The five lint rules.
+//! The lint rules.
 //!
 //! Every rule pattern-matches on the token stream from [`crate::lexer`];
 //! none of them parse Rust properly, which keeps `xtask` dependency-free
@@ -21,6 +21,8 @@ pub const RULE_DENY_UNSAFE: &str = "deny-unsafe";
 pub const RULE_MUST_USE: &str = "must-use-results";
 /// Lock acquisition in designated compute hot paths rule name.
 pub const RULE_NO_LOCK: &str = "no-lock-in-hotpath";
+/// Deprecated-shim call rule name.
+pub const RULE_NO_DEPRECATED: &str = "no-deprecated-internal-calls";
 /// Pseudo-rule for malformed `lint:allow` directives (not suppressible).
 pub const RULE_LINT_ALLOW: &str = "lint-allow";
 
@@ -32,6 +34,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_DENY_UNSAFE,
     RULE_MUST_USE,
     RULE_NO_LOCK,
+    RULE_NO_DEPRECATED,
 ];
 
 /// Unit suffixes recognised by the unit-suffix rule. Longest match wins
@@ -179,6 +182,38 @@ pub fn no_lock_in_hotpath(tokens: &[Tok], is_lock_hot: bool, findings: &mut Vec<
                 "mutex .lock() in a compute hot path can serialise the worker pool; \
                  keep critical sections O(1) and justify with lint:allow"
                     .to_string(),
+            );
+        }
+    }
+}
+
+/// Rule 7: no calls to deprecated in-repo shims (`.survey(`,
+/// `.survey_with(`, `.survey_under(`) anywhere in first-party code,
+/// binaries included. The shims exist only so out-of-tree callers get a
+/// deprecation warning instead of a breakage; in-repo code must go
+/// through `SurveyOptions`/`run_survey`. Test regions are exempt (the
+/// shim-equivalence test deliberately calls all three).
+pub fn no_deprecated_internal_calls(
+    tokens: &[Tok],
+    deprecated: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        let is_method_call = t.kind == TokKind::Ident
+            && deprecated.iter().any(|d| d == &t.text)
+            && i > 0
+            && tokens.get(i - 1).map(|p| p.is_op(".")).unwrap_or(false)
+            && tokens.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false);
+        if is_method_call {
+            push(
+                findings,
+                RULE_NO_DEPRECATED,
+                t.line,
+                format!(
+                    ".{}() is a deprecated shim; build a SurveyOptions and call \
+                     run() / run_survey() instead",
+                    t.text
+                ),
             );
         }
     }
@@ -682,6 +717,29 @@ mod tests {
         let src = "fn f() { let g = lock(&m); let unlocked = 1; deadlock(); }";
         let hot = run(src, |t, out| no_lock_in_hotpath(t, true, out));
         assert!(hot.is_empty(), "{hot:?}");
+    }
+
+    #[test]
+    fn deprecated_shim_call_fires() {
+        let deprecated = vec!["survey".to_string(), "survey_under".to_string()];
+        let lexed = lex("fn f() { let r = wall.survey(200.0); }");
+        let mut out = Vec::new();
+        no_deprecated_internal_calls(&lexed.tokens, &deprecated, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("SurveyOptions"));
+    }
+
+    #[test]
+    fn definitions_and_lookalikes_do_not_trip_the_deprecated_rule() {
+        let deprecated = vec!["survey".to_string()];
+        // A definition, a free fn, a different method, and a field access.
+        let lexed = lex(
+            "fn survey(v: f64) {} fn g() { survey(1.0); c.survey_at(2); \
+             let s = self.survey; }",
+        );
+        let mut out = Vec::new();
+        no_deprecated_internal_calls(&lexed.tokens, &deprecated, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -17,6 +17,11 @@ fn hot_cfg() -> LintConfig {
     LintConfig {
         hot_paths: vec!["hotlib/src/lib.rs".to_string()],
         lock_hot_paths: vec!["hotlib/src/lib.rs".to_string()],
+        deprecated_calls: vec![
+            "survey".to_string(),
+            "survey_with".to_string(),
+            "survey_under".to_string(),
+        ],
     }
 }
 
@@ -56,6 +61,7 @@ fn hot_path_indexing_requires_configuration() {
     let cold = LintConfig {
         hot_paths: vec![],
         lock_hot_paths: vec![],
+        deprecated_calls: vec![],
     };
     let findings = lint_workspace(&fixture("dirty"), &cold).unwrap();
     assert!(

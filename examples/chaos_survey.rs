@@ -12,8 +12,8 @@
 //! bit-identical report digest.
 
 use ecocapsule::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+mod common;
 
 const SEED: u64 = 2022;
 const DRIVE_V: f64 = 200.0;
@@ -31,10 +31,14 @@ fn outcome_tag(outcome: &CapsuleOutcome) -> String {
 }
 
 fn survey(plan: &FaultPlan, policy: &RetryPolicy) -> SurveyReport {
-    let mut wall = SelfSensingWall::common_wall(&DEPTHS);
-    let mut rng = StdRng::seed_from_u64(SEED);
-    wall.survey_under(DRIVE_V, plan, policy, &mut rng, &Pool::serial())
-        .expect("valid survey")
+    common::surveyed(
+        &DEPTHS,
+        SEED,
+        SurveyOptions::new()
+            .tx_voltage(DRIVE_V)
+            .fault_plan(plan)
+            .retry_policy(*policy),
+    )
 }
 
 fn main() {

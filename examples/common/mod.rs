@@ -1,0 +1,15 @@
+//! Shared scaffolding for the survey examples: one place that builds
+//! the demo wall and drives a configured survey pass over it, so each
+//! example shows only what it is about.
+
+use ecocapsule::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the paper's S3 common wall with capsules at `depths` (m),
+/// seeds an RNG, and runs one survey configured by `options`.
+pub fn surveyed(depths: &[f64], seed: u64, options: SurveyOptions<'_>) -> SurveyReport {
+    let mut wall = SelfSensingWall::common_wall(depths);
+    let mut rng = StdRng::seed_from_u64(seed);
+    options.run(&mut wall, &mut rng).expect("valid survey")
+}

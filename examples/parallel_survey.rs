@@ -10,17 +10,17 @@
 //! capsule id, so the worker count never changes a single bit of output.
 
 use ecocapsule::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
+mod common;
+
 fn run(pool: &Pool, depths: &[f64]) -> (SurveyReport, f64) {
-    let mut wall = SelfSensingWall::common_wall(depths);
-    let mut rng = StdRng::seed_from_u64(42);
     let t0 = Instant::now();
-    let report = wall
-        .survey_with(200.0, &mut rng, pool)
-        .expect("valid survey");
+    let report = common::surveyed(
+        depths,
+        42,
+        SurveyOptions::new().tx_voltage(200.0).pool(*pool),
+    );
     (report, t0.elapsed().as_secs_f64() * 1e3)
 }
 

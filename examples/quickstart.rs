@@ -32,7 +32,10 @@ fn main() {
     }
 
     // Survey at 200 V: charge → inventory → read temperature/humidity/strain.
-    let report = wall.survey(200.0, &mut rng).expect("valid survey");
+    let report = SurveyOptions::new()
+        .tx_voltage(200.0)
+        .run(&mut wall, &mut rng)
+        .expect("valid survey");
     println!("\nSurvey at 200 V:");
     println!("  powered up:   {:?}", report.powered_ids);
     println!("  inventoried:  {:?}", report.inventoried_ids);

@@ -9,7 +9,10 @@ use rand::SeedableRng;
 fn full_survey_on_common_wall() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut wall = SelfSensingWall::common_wall(&[0.4, 0.9, 1.6]);
-    let report = wall.survey(200.0, &mut rng).unwrap();
+    let report = SurveyOptions::new()
+        .tx_voltage(200.0)
+        .run(&mut wall, &mut rng)
+        .unwrap();
     assert_eq!(
         report.powered_ids.len(),
         3,
@@ -33,7 +36,12 @@ fn coverage_grows_with_voltage_like_fig12() {
     let count_at = |v: f64| {
         let mut rng = StdRng::seed_from_u64(2);
         let mut wall = SelfSensingWall::common_wall(&[0.5, 1.5, 3.0, 4.5]);
-        wall.survey(v, &mut rng).unwrap().powered_ids.len()
+        SurveyOptions::new()
+            .tx_voltage(v)
+            .run(&mut wall, &mut rng)
+            .unwrap()
+            .powered_ids
+            .len()
     };
     let lo = count_at(50.0);
     let mid = count_at(150.0);
@@ -68,7 +76,10 @@ fn casting_then_survey_respects_geometry() {
 
     let mut rng = StdRng::seed_from_u64(3);
     let mut wall = SelfSensingWall::new(Structure::s1_slab(), &[0.5, 1.0]);
-    let report = wall.survey(100.0, &mut rng).unwrap();
+    let report = SurveyOptions::new()
+        .tx_voltage(100.0)
+        .run(&mut wall, &mut rng)
+        .unwrap();
     assert_eq!(report.inventoried_ids.len(), 2);
 }
 
@@ -149,7 +160,10 @@ fn surveys_are_reproducible() {
     let run = |seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
-        let r = wall.survey(150.0, &mut rng).unwrap();
+        let r = SurveyOptions::new()
+            .tx_voltage(150.0)
+            .run(&mut wall, &mut rng)
+            .unwrap();
         (r.powered_ids, r.inventoried_ids, r.readings.len())
     };
     assert_eq!(run(11), run(11));

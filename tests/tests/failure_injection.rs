@@ -10,7 +10,10 @@ use rand::SeedableRng;
 fn undervoltage_survey_reports_nothing() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut wall = SelfSensingWall::common_wall(&[1.0, 2.0]);
-    let report = wall.survey(10.0, &mut rng).unwrap();
+    let report = SurveyOptions::new()
+        .tx_voltage(10.0)
+        .run(&mut wall, &mut rng)
+        .unwrap();
     assert!(report.powered_ids.is_empty());
     assert!(report.inventoried_ids.is_empty());
     assert!(report.readings.is_empty());
@@ -189,14 +192,11 @@ fn every_fault_kind_survives_a_full_survey() {
         );
         let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
         let mut rng = StdRng::seed_from_u64(12);
-        let report = wall
-            .survey_under(
-                200.0,
-                &plan,
-                &RetryPolicy::paper_default(),
-                &mut rng,
-                &Pool::serial(),
-            )
+        let report = SurveyOptions::new()
+            .tx_voltage(200.0)
+            .fault_plan(&plan)
+            .retry_policy(RetryPolicy::paper_default())
+            .run(&mut wall, &mut rng)
             .unwrap_or_else(|e| panic!("{kind:?} survey errored: {e}"));
         assert_eq!(
             report.outcomes.len(),
@@ -239,14 +239,11 @@ fn wall_to_wall_brownout_unpowers_everyone_without_panicking() {
     );
     let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
     let mut rng = StdRng::seed_from_u64(14);
-    let report = wall
-        .survey_under(
-            200.0,
-            &plan,
-            &RetryPolicy::paper_default(),
-            &mut rng,
-            &Pool::serial(),
-        )
+    let report = SurveyOptions::new()
+        .tx_voltage(200.0)
+        .fault_plan(&plan)
+        .retry_policy(RetryPolicy::paper_default())
+        .run(&mut wall, &mut rng)
         .unwrap();
     // A brownout through the charge phase kills harvesting itself: every
     // capsule is Unpowered, nothing is inventoried, nothing read.

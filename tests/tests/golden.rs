@@ -195,21 +195,21 @@ fn common_wall_survey_report_matches_golden() {
 
     let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
     let mut rng = StdRng::seed_from_u64(SEED);
-    let report = wall.survey(DRIVE_V, &mut rng).expect("survey must succeed");
+    let report = SurveyOptions::new()
+        .tx_voltage(DRIVE_V)
+        .run(&mut wall, &mut rng)
+        .expect("survey must succeed");
     assert_eq!(report.powered_ids.len(), STANDOFFS.len());
     computed.insert("survey_quiet_digest".into(), report.digest());
 
     let plan = FaultPlan::generate(SEED, &FaultIntensity::moderate(60));
     let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
     let mut rng = StdRng::seed_from_u64(SEED);
-    let faulted = wall
-        .survey_under(
-            DRIVE_V,
-            &plan,
-            &RetryPolicy::paper_default(),
-            &mut rng,
-            &Pool::serial(),
-        )
+    let faulted = SurveyOptions::new()
+        .tx_voltage(DRIVE_V)
+        .fault_plan(&plan)
+        .retry_policy(RetryPolicy::paper_default())
+        .run(&mut wall, &mut rng)
         .expect("faulted survey must succeed");
     computed.insert("survey_moderate_retry_digest".into(), faulted.digest());
     computed.insert("fault_plan_moderate_digest".into(), plan.digest());
@@ -217,8 +217,8 @@ fn common_wall_survey_report_matches_golden() {
     check_fixture(
         "survey_common_wall.golden",
         "Survey-report digests for the S3 common wall (tests/tests/golden.rs).\n\
-         quiet: survey(200 V, seed 0x600DF00D), standoffs [0.5, 1.0, 1.5] m.\n\
-         faulted: survey_under with FaultIntensity::moderate(60) and the\n\
+         quiet: run_survey(200 V, seed 0x600DF00D), standoffs [0.5, 1.0, 1.5] m.\n\
+         faulted: a fault plan of FaultIntensity::moderate(60) and the\n\
          paper-default retry policy, same seed. A diff here means survey\n\
          results are no longer reproducible across sessions.",
         &computed,

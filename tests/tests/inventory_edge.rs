@@ -104,14 +104,11 @@ fn reads_reacquire_capsules_displaced_by_the_final_inventory_round() {
     assert!(plan.windows().is_empty(), "calm means no fault windows");
     let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0, 1.5]);
     let mut rng = StdRng::seed_from_u64(2022);
-    let report = wall
-        .survey_under(
-            200.0,
-            &plan,
-            &RetryPolicy::none(),
-            &mut rng,
-            &Pool::serial(),
-        )
+    let report = SurveyOptions::new()
+        .tx_voltage(200.0)
+        .fault_plan(&plan)
+        .retry_policy(RetryPolicy::none())
+        .run(&mut wall, &mut rng)
         .unwrap();
     assert_eq!(report.inventoried_ids.len(), 3);
     assert_eq!(report.readings.len(), 9, "outcomes: {:?}", report.outcomes);
@@ -129,7 +126,6 @@ fn retry_budget_exhaustion_is_graceful() {
     use ecocapsule::prelude::*;
     use faults::{FaultKind, FaultWindow};
     use node::capsule::EcoCapsule;
-    use reader::robust::RetryPolicy;
 
     // One brownout covering the entire horizon: nothing can get through.
     let plan = FaultPlan::from_windows(
@@ -156,11 +152,9 @@ fn retry_budget_exhaustion_is_graceful() {
     let report = session.inventory_robust(
         &mut capsules,
         &env,
-        2,
-        0.3,
-        10,
-        &RetryPolicy::paper_default(),
+        &RobustConfig::new(2).max_rounds(10),
         &mut timeline,
+        &mut NullRecorder,
         &mut rng,
     );
     assert!(report.found.is_empty(), "a dead channel yields nothing");
@@ -173,11 +167,9 @@ fn retry_budget_exhaustion_is_graceful() {
     let report = session.inventory_robust(
         &mut capsules,
         &env,
-        2,
-        0.3,
-        30,
-        &RetryPolicy::paper_default(),
+        &RobustConfig::new(2).max_rounds(30),
         &mut timeline,
+        &mut NullRecorder,
         &mut rng,
     );
     assert_eq!(report.found.len(), 3, "found {:?}", report.found);

@@ -1,0 +1,130 @@
+//! Observability traces as cross-layer witnesses: the recorded event
+//! stream of a survey must be byte-identical at every worker count, and
+//! the quiet-plan trace is pinned as a golden JSONL fixture.
+//!
+//! To regenerate the fixture after an *intentional* schema or
+//! instrumentation change:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test -p integration-tests --test obs_trace
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use ecocapsule::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+const STANDOFFS: [f64; 3] = [0.5, 1.0, 1.5];
+const DRIVE_V: f64 = 200.0;
+const SEED: u64 = 0x600D_F00D;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Records a faulted survey's trace on `workers` workers.
+fn faulted_trace(workers: usize) -> String {
+    let plan = FaultPlan::generate(SEED, &FaultIntensity::moderate(60));
+    let pool = if workers <= 1 {
+        Pool::serial()
+    } else {
+        Pool::new(workers)
+    };
+    let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rec = MemoryRecorder::new();
+    SurveyOptions::new()
+        .tx_voltage(DRIVE_V)
+        .fault_plan(&plan)
+        .retry_policy(RetryPolicy::paper_default())
+        .pool(pool)
+        .recorder(&mut rec)
+        .run(&mut wall, &mut rng)
+        .expect("faulted survey must succeed");
+    assert_eq!(rec.unmatched_closes(), 0, "trace must be well-formed");
+    rec.to_jsonl()
+}
+
+/// A faulted parallel survey's trace is byte-identical at workers
+/// 1, 2 and max — the acceptance witness for the recording contract.
+#[test]
+fn faulted_trace_is_byte_identical_across_worker_counts() {
+    let reference = faulted_trace(1);
+    assert!(!reference.is_empty(), "trace must not be empty");
+    for workers in [2, Pool::max_parallel().workers()] {
+        assert_eq!(faulted_trace(workers), reference, "workers={workers}");
+    }
+}
+
+/// The quiet-plan survey trace, event for event, against a committed
+/// JSONL fixture: any drift in the event schema, slot-clock stamping,
+/// or phase instrumentation shows up as a reviewable fixture diff.
+#[test]
+fn quiet_plan_trace_matches_golden_jsonl() {
+    let quiet = FaultPlan::quiet();
+    let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rec = MemoryRecorder::new();
+    SurveyOptions::new()
+        .tx_voltage(DRIVE_V)
+        .fault_plan(&quiet)
+        .retry_policy(RetryPolicy::none())
+        .recorder(&mut rec)
+        .run(&mut wall, &mut rng)
+        .expect("quiet-plan survey must succeed");
+    let computed = rec.to_jsonl();
+
+    let path = fixture_path("survey_quiet_trace.jsonl");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &computed).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing fixture survey_quiet_trace.jsonl; run with GOLDEN_REGEN=1 to create it")
+    });
+    assert_eq!(
+        computed, golden,
+        "quiet-plan trace diverged from the golden JSONL; if the change \
+         is intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
+    );
+}
+
+/// Aggregates derived from a trace line up with the survey report: a
+/// quiet channel identifies and reads everything it powers.
+#[test]
+fn trace_aggregates_match_the_report() {
+    let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rec = MemoryRecorder::new();
+    let report = SurveyOptions::new()
+        .tx_voltage(DRIVE_V)
+        .recorder(&mut rec)
+        .run(&mut wall, &mut rng)
+        .expect("survey must succeed");
+    assert_eq!(
+        rec.counter_total("survey.powered"),
+        report.powered_ids.len() as u64
+    );
+    assert_eq!(
+        rec.counter_total("survey.inventoried"),
+        report.inventoried_ids.len() as u64
+    );
+    assert_eq!(
+        rec.counter_total("survey.readings"),
+        report.readings.len() as u64
+    );
+    assert_eq!(
+        rec.counter_total("inventory.identified"),
+        report.inventoried_ids.len() as u64
+    );
+    let survey_span = rec.histogram("survey").expect("survey span histogram");
+    assert_eq!(survey_span.count(), 1, "exactly one survey span");
+    // Slot stamps never run backwards across the merged stream.
+    let slots: Vec<u64> = rec.events().iter().map(|e| e.slot()).collect();
+    assert!(slots.windows(2).all(|w| w[0] <= w[1]), "{slots:?}");
+}

@@ -220,6 +220,49 @@ proptest! {
     }
 }
 
+// Each case below runs three full waveform-level surveys, so the case
+// count is deliberately tiny — coverage comes from the arbitrary seed
+// (and the channel flag), not from volume.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A recorded survey's event stream is invariant under worker
+    /// count: for any seed and either channel (quiet or faulted), the
+    /// `MemoryRecorder` trace at 1, 2 and N workers is byte-identical —
+    /// per-task buffers replayed in capsule order cannot leak
+    /// scheduling order into the trace.
+    #[test]
+    fn survey_traces_are_worker_count_invariant(seed in any::<u64>(), faulted in any::<bool>()) {
+        use ecocapsule::prelude::*;
+        let plan = FaultPlan::generate(seed, &FaultIntensity::mild(40));
+        let trace = |workers: usize| {
+            let mut wall = SelfSensingWall::common_wall(&[0.5, 1.0]);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rec = MemoryRecorder::new();
+            let pool = if workers <= 1 { Pool::serial() } else { Pool::new(workers) };
+            let mut options = SurveyOptions::new()
+                .tx_voltage(200.0)
+                .pool(pool)
+                .recorder(&mut rec);
+            if faulted {
+                options = options
+                    .fault_plan(&plan)
+                    .retry_policy(RetryPolicy::paper_default());
+            }
+            options.run(&mut wall, &mut rng).expect("valid survey");
+            rec.to_jsonl()
+        };
+        let reference = trace(1);
+        prop_assert!(!reference.is_empty());
+        prop_assert_eq!(trace(2), reference.clone(), "workers=2");
+        prop_assert_eq!(
+            trace(Pool::max_parallel().workers()),
+            reference,
+            "workers=max"
+        );
+    }
+}
+
 /// Monte-Carlo (not proptest — needs big samples): the FM0 BER curve is
 /// monotone in SNR.
 #[test]
