@@ -11,7 +11,10 @@
 //! - `faults` — the fault-intensity × retry-policy matrix behind
 //!   `BENCH_faults.json` (see [`faults`]);
 //! - `obs` — recorded-survey trace summaries and the worker-count
-//!   trace-identity invariant behind `BENCH_obs.json` (see [`obs`]).
+//!   trace-identity invariant behind `BENCH_obs.json` (see [`obs`]);
+//! - `fleet` — scheduler scaling vs. wall count and the fleet
+//!   digest-identity invariants behind `BENCH_fleet.json` (see
+//!   [`fleet`]).
 //!
 //! The library half is deliberately thin: the table printers the binaries
 //! share, plus the [`sweeps`] grid, [`faults`] matrix and [`obs`] trace
@@ -21,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod faults;
+pub mod fleet;
 pub mod obs;
 pub mod sweeps;
 

@@ -132,6 +132,33 @@ impl<'a> SurveyOptions<'a> {
     pub fn run<R: Rng>(self, wall: &mut SelfSensingWall, rng: &mut R) -> EcoResult<SurveyReport> {
         wall.run_survey(self, rng)
     }
+
+    /// Upper-bound virtual-slot demand of surveying a wall of
+    /// `capsule_count` capsules under this configuration — the TDMA
+    /// budget a fleet scheduler must grant before the survey may run.
+    ///
+    /// Accounting mirrors the engine's slot contract: one charge slot
+    /// per capsule; an inventory allowance of four nominal rounds at the
+    /// engine's initial frame size `2^q` (`q = ⌈log₂ n⌉ + 1`); and a
+    /// per-capsule read window — `QUIET_READ_SLOTS_PER_CAPSULE` quiet,
+    /// or the retry policy's
+    /// [`RetryPolicy::worst_case_capsule_read_slots`] when a fault plan
+    /// is installed. Always ≥ 1, so even a capsule-less wall costs a
+    /// scheduling quantum.
+    #[must_use]
+    pub fn slot_demand(&self, capsule_count: usize) -> u64 {
+        let n = capsule_count as u64;
+        let q = (capsule_count.max(1) as f64).log2().ceil() as u8 + 1;
+        let inventory_slots = 4u64.saturating_mul(1u64 << q.min(62));
+        let read_slots_per_capsule = if self.fault_plan.is_some() {
+            self.retry_policy.worst_case_capsule_read_slots()
+        } else {
+            QUIET_READ_SLOTS_PER_CAPSULE
+        };
+        n.saturating_add(inventory_slots)
+            .saturating_add(n.saturating_mul(read_slots_per_capsule))
+            .max(1)
+    }
 }
 
 /// A wall (or slab/column) with EcoCapsules implanted at known standoffs
@@ -185,7 +212,7 @@ impl CapsuleOutcome {
 }
 
 /// Outcome of one survey pass (charge → inventory → read).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SurveyReport {
     /// IDs of the capsules that powered up at the chosen drive voltage.
     pub powered_ids: Vec<u32>,
@@ -669,17 +696,14 @@ impl SelfSensingWall {
         );
         rec.span_close("phase.inventory", 0, timeline.slot());
 
-        // Phase 3: retried sensor reads on disjoint timeline slices.
-        // Each slice covers one session re-acquisition (≤ 2 slots per
-        // attempt — see `ensure_session_with_retry`) plus three retried
-        // reads, each with its cumulative backoff. Each task records
-        // into its own buffer; buffers are replayed into the session
-        // recorder in capsule order, so the event stream is bit-identical
-        // for every worker count.
+        // Phase 3: retried sensor reads on disjoint timeline slices,
+        // each sized to the policy's worst case (see
+        // `RetryPolicy::worst_case_capsule_read_slots` for the slot
+        // accounting). Each task records into its own buffer; buffers
+        // are replayed into the session recorder in capsule order, so
+        // the event stream is bit-identical for every worker count.
         let budget = policy.max_attempts.max(1);
-        let worst_case_backoff: u64 = (1..budget).map(|a| policy.backoff_slots(a)).sum();
-        let slots_per_capsule = (2 * u64::from(budget) + worst_case_backoff)
-            + 3 * (u64::from(budget) + worst_case_backoff);
+        let slots_per_capsule = policy.worst_case_capsule_read_slots();
         let read_base_slot = timeline.slot();
         let session = &self.session;
         let environment = &self.environment;
@@ -991,6 +1015,28 @@ mod tests {
             run(&mut |w, r| w.survey(200.0, r)),
             run(&mut |w, r| SurveyOptions::default().run(w, r)),
         );
+    }
+
+    #[test]
+    fn slot_demand_scales_with_capsules_and_fault_posture() {
+        let quiet = SurveyOptions::new();
+        assert!(
+            quiet.slot_demand(0) >= 1,
+            "empty wall still costs a quantum"
+        );
+        let mut last = 0;
+        for n in 1..=8 {
+            let d = SurveyOptions::new().slot_demand(n);
+            assert!(d > last, "demand must grow with capsule count");
+            last = d;
+        }
+        // A faulted posture can only cost more: its per-capsule read
+        // window (worst-case retries) dominates the quiet window.
+        let plan = FaultPlan::quiet();
+        let faulted = SurveyOptions::new()
+            .fault_plan(&plan)
+            .retry_policy(RetryPolicy::paper_default());
+        assert!(faulted.slot_demand(3) > SurveyOptions::new().slot_demand(3));
     }
 
     #[test]

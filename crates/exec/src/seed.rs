@@ -34,6 +34,28 @@ pub fn derive(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Two-level seed derivation: the stream for sub-task `inner` of task
+/// `outer`.
+///
+/// A fleet survey derives one stream per wall and, inside each wall's
+/// survey, one stream per phase/capsule; composing [`derive()`] twice
+/// keeps the two index spaces from colliding (`derive2(b, 1, 0)` and
+/// `derive2(b, 0, 1)` are unrelated, unlike `derive(b, 1 + 0)` vs
+/// `derive(b, 0 + 1)`).
+///
+/// ```
+/// let base = 0x5EED_u64;
+/// assert_ne!(exec::seed::derive2(base, 1, 0), exec::seed::derive2(base, 0, 1));
+/// assert_eq!(
+///     exec::seed::derive2(base, 3, 4),
+///     exec::seed::derive(exec::seed::derive(base, 3), 4)
+/// );
+/// ```
+#[must_use]
+pub fn derive2(base: u64, outer: u64, inner: u64) -> u64 {
+    derive(derive(base, outer), inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,6 +63,19 @@ mod tests {
     #[test]
     fn derive_is_deterministic() {
         assert_eq!(derive(42, 7), derive(42, 7));
+    }
+
+    #[test]
+    fn derive2_separates_index_levels() {
+        // The matrix of (outer, inner) seeds must be collision-free on a
+        // small grid — the property a flat `derive(base, a + b)` lacks.
+        let base = 0xF1EE7;
+        let mut seeds: Vec<u64> = (0..16)
+            .flat_map(|a| (0..16).map(move |b| derive2(base, a, b)))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 256, "derive2 grid must be collision-free");
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Fleet-level results: per-wall survey outcomes plus aggregated
+//! observability.
+
+use std::collections::BTreeMap;
+
+use ecocapsule::scenario::SurveyReport;
+use obs::Histogram;
+
+/// Everything one wall produced: its survey report plus the
+/// observability captured by the wall-private recorder, frozen into
+/// owned form so the result survives checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallResult {
+    /// The wall's [`crate::WallSpec::name`].
+    pub name: String,
+    /// Scheduling round in which the wall's slot credit covered its
+    /// demand and the survey executed (1-based).
+    pub round_completed: u64,
+    /// Total slots granted to the wall (equals its slot demand).
+    pub granted_slots: u64,
+    /// The survey report itself.
+    pub report: SurveyReport,
+    /// Counter totals from the wall's recorder, ordered by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms from the wall's recorder, ordered by name.
+    pub histograms: Vec<(String, Histogram)>,
+    /// The wall's trace, one JSON event per line.
+    pub trace_jsonl: String,
+}
+
+impl WallResult {
+    /// Stable digest over every field. Folds the report digest with the
+    /// scheduling outcome, counters, histograms and the raw trace text,
+    /// `u64::MAX`-separated — so two fleet runs agree only if every wall
+    /// agrees observably, not just numerically.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut words = crate::str_words(&self.name);
+        words.push(u64::MAX);
+        words.push(self.round_completed);
+        words.push(self.granted_slots);
+        words.push(self.report.digest());
+        words.push(u64::MAX);
+        for (name, total) in &self.counters {
+            words.extend(crate::str_words(name));
+            words.push(*total);
+        }
+        words.push(u64::MAX);
+        for (name, h) in &self.histograms {
+            words.extend(crate::str_words(name));
+            words.extend(h.encode_words());
+        }
+        words.push(u64::MAX);
+        words.extend(crate::str_words(&self.trace_jsonl));
+        faults::fnv1a64(words)
+    }
+}
+
+/// The aggregated outcome of a fleet run: one [`WallResult`] per wall in
+/// spec order, plus how many scheduling rounds the run took.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetReport {
+    /// Per-wall results, in the order the specs were given (not the
+    /// order walls completed).
+    pub walls: Vec<WallResult>,
+    /// Scheduling rounds consumed.
+    pub rounds: u64,
+}
+
+impl FleetReport {
+    /// Stable digest: the round count and every wall digest,
+    /// `u64::MAX`-separated. Bit-identical across worker counts and
+    /// checkpoint/resume splits — the witness the differential tests and
+    /// the bench identity gate compare.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let words = [self.rounds]
+            .into_iter()
+            .chain(self.walls.iter().flat_map(|w| [w.digest(), u64::MAX]));
+        faults::fnv1a64(words)
+    }
+
+    /// The fleet-level trace: for each wall in spec order, a
+    /// `fleet_wall` header line carrying the wall name and completion
+    /// round, followed by that wall's own JSONL events verbatim.
+    #[must_use]
+    pub fn merged_trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for w in &self.walls {
+            out.push_str(&format!(
+                "{{\"ev\":\"fleet_wall\",\"wall\":\"{}\",\"round\":{},\"granted_slots\":{}}}\n",
+                escape_json(&w.name),
+                w.round_completed,
+                w.granted_slots
+            ));
+            out.push_str(&w.trace_jsonl);
+        }
+        out
+    }
+
+    /// Fleet-wide histograms: every wall's histograms merged by name via
+    /// [`Histogram::merge`], ordered by name.
+    #[must_use]
+    pub fn merged_histograms(&self) -> BTreeMap<String, Histogram> {
+        let mut merged: BTreeMap<String, Histogram> = BTreeMap::new();
+        for w in &self.walls {
+            for (name, h) in &w.histograms {
+                merged.entry(name.clone()).or_default().merge(h);
+            }
+        }
+        merged
+    }
+
+    /// Fleet-wide counter totals, summed by name across walls.
+    #[must_use]
+    pub fn merged_counter_totals(&self) -> BTreeMap<String, u64> {
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for w in &self.walls {
+            for (name, total) in &w.counters {
+                *merged.entry(name.clone()).or_default() += total;
+            }
+        }
+        merged
+    }
+}
+
+/// Minimal JSON string escaping for wall names embedded in the merged
+/// trace (backslash and double quote; names are ASCII identifiers in
+/// practice).
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wall(name: &str, round: u64) -> WallResult {
+        let mut h = Histogram::new();
+        h.record(round);
+        WallResult {
+            name: name.into(),
+            round_completed: round,
+            granted_slots: 10 * round,
+            report: SurveyReport::default(),
+            counters: vec![("reads".into(), round)],
+            histograms: vec![("latency_slots".into(), h)],
+            trace_jsonl: format!("{{\"ev\":\"x\",\"n\":{round}}}\n"),
+        }
+    }
+
+    #[test]
+    fn digest_sees_every_field() {
+        let base = wall("a", 1);
+        let mut renamed = base.clone();
+        renamed.name = "b".into();
+        let mut retimed = base.clone();
+        retimed.round_completed = 2;
+        let mut recounted = base.clone();
+        recounted.counters[0].1 = 99;
+        let mut retraced = base.clone();
+        retraced.trace_jsonl.push_str("{\"ev\":\"y\"}\n");
+        for v in [renamed, retimed, recounted, retraced] {
+            assert_ne!(v.digest(), base.digest());
+        }
+    }
+
+    #[test]
+    fn merged_trace_prefixes_each_wall_with_a_header() {
+        let report = FleetReport {
+            walls: vec![wall("a", 1), wall("b", 2)],
+            rounds: 2,
+        };
+        let trace = report.merged_trace_jsonl();
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"ev\":\"fleet_wall\"") && lines[0].contains("\"wall\":\"a\""));
+        assert_eq!(lines[1], "{\"ev\":\"x\",\"n\":1}");
+        assert!(lines[2].contains("\"wall\":\"b\""));
+    }
+
+    #[test]
+    fn merging_aggregates_across_walls() {
+        let report = FleetReport {
+            walls: vec![wall("a", 1), wall("b", 2)],
+            rounds: 2,
+        };
+        let counters = report.merged_counter_totals();
+        assert_eq!(counters.get("reads"), Some(&3));
+        let hists = report.merged_histograms();
+        let h = hists.get("latency_slots").expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 2);
+    }
+
+    #[test]
+    fn names_with_quotes_stay_valid_json() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,422 @@
+//! Batched round-robin slot budgeting with aging.
+//!
+//! The reader infrastructure has one resource: virtual TDMA slots. Each
+//! scheduling round spends at most [`SlotBudget::round_budget_slots`]
+//! of them, handing every serviced wall at most one
+//! [`SlotBudget::quantum_slots`] quantum. Service order is round-robin —
+//! serviced walls rotate to the back of the queue — except that walls
+//! passed over for [`SlotBudget::aging_rounds`] consecutive rounds jump
+//! to the front, so a big round budget spent on a few large walls can
+//! never starve the small ones. A wall whose accumulated credit covers
+//! its demand is *due*: its survey executes in that round and it leaves
+//! the queue.
+//!
+//! Everything here is integer arithmetic over explicit state — no
+//! clocks, no randomness — so the grant schedule is a pure function of
+//! `(demands, budget)` and replays identically on resume.
+
+use std::collections::VecDeque;
+
+/// The per-round slot budget and fairness knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotBudget {
+    /// Largest grant any wall receives in one round (≥ 1; 0 is treated
+    /// as 1).
+    pub quantum_slots: u64,
+    /// Total slots spent per round (raised to the quantum when smaller,
+    /// so every round makes progress).
+    pub round_budget_slots: u64,
+    /// Consecutive grantless rounds after which a pending wall is
+    /// served first (≥ 1; 0 is treated as 1).
+    pub aging_rounds: u32,
+}
+
+impl Default for SlotBudget {
+    fn default() -> Self {
+        SlotBudget {
+            quantum_slots: 32,
+            round_budget_slots: 128,
+            aging_rounds: 4,
+        }
+    }
+}
+
+impl SlotBudget {
+    /// The effective quantum (the configured value, floored at 1).
+    #[must_use]
+    pub fn effective_quantum_slots(&self) -> u64 {
+        self.quantum_slots.max(1)
+    }
+
+    /// The effective round budget (never below the quantum).
+    #[must_use]
+    pub fn effective_round_budget_slots(&self) -> u64 {
+        self.round_budget_slots.max(self.effective_quantum_slots())
+    }
+
+    /// The effective aging threshold (the configured value, floored
+    /// at 1).
+    #[must_use]
+    pub fn effective_aging_rounds(&self) -> u32 {
+        self.aging_rounds.max(1)
+    }
+
+    /// Digest words, for the checkpoint config digest.
+    pub(crate) fn config_words(&self) -> [u64; 3] {
+        [
+            self.quantum_slots,
+            self.round_budget_slots,
+            u64::from(self.aging_rounds),
+        ]
+    }
+}
+
+/// One grant in the schedule log: `slots` slots to wall `wall` in round
+/// `round`. The log is what the fairness properties audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// 1-based scheduling round.
+    pub round: u64,
+    /// Wall index (position in the fleet's spec list).
+    pub wall: usize,
+    /// Slots granted (≤ the quantum).
+    pub slots: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WallState {
+    demand_slots: u64,
+    credit_slots: u64,
+    age_rounds: u32,
+    done: bool,
+}
+
+/// The deterministic fleet scheduler. Owns per-wall demand/credit/age
+/// state, the round-robin queue, and the grant log; knows nothing about
+/// surveys — [`crate::Fleet`] maps *due* walls to survey executions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheduler {
+    budget: SlotBudget,
+    walls: Vec<WallState>,
+    queue: VecDeque<usize>,
+    round: u64,
+    grants: Vec<Grant>,
+}
+
+impl Scheduler {
+    /// A scheduler over walls with the given slot demands, all pending,
+    /// queued in index order. Zero demands are floored at 1 (every wall
+    /// costs at least a quantum to visit).
+    #[must_use]
+    pub fn new(demands: &[u64], budget: SlotBudget) -> Self {
+        Scheduler {
+            budget,
+            walls: demands
+                .iter()
+                .map(|&d| WallState {
+                    demand_slots: d.max(1),
+                    credit_slots: 0,
+                    age_rounds: 0,
+                    done: false,
+                })
+                .collect(),
+            queue: (0..demands.len()).collect(),
+            round: 0,
+            grants: Vec::new(),
+        }
+    }
+
+    /// The configured budget.
+    #[must_use]
+    pub fn budget(&self) -> &SlotBudget {
+        &self.budget
+    }
+
+    /// True once every wall's demand is covered (vacuously true for an
+    /// empty fleet).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.walls.iter().all(|w| w.done)
+    }
+
+    /// Rounds planned so far.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of walls still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.walls.iter().filter(|w| !w.done).count()
+    }
+
+    /// Slots granted to wall `wall` so far (its credit; equals its
+    /// demand exactly once the wall is due).
+    #[must_use]
+    pub fn granted_slots(&self, wall: usize) -> u64 {
+        self.walls.get(wall).map_or(0, |w| w.credit_slots)
+    }
+
+    /// The full grant log, in grant order.
+    #[must_use]
+    pub fn grants(&self) -> &[Grant] {
+        &self.grants
+    }
+
+    /// Plans one scheduling round and returns the walls that became due
+    /// (credit reached demand), in service order. Returns an empty list
+    /// without consuming a round when the fleet is already done.
+    pub fn plan_round(&mut self) -> Vec<usize> {
+        if self.is_done() {
+            return Vec::new();
+        }
+        self.round += 1;
+        let quantum = self.budget.effective_quantum_slots();
+        let mut remaining = self.budget.effective_round_budget_slots();
+        let threshold = self.budget.effective_aging_rounds();
+
+        // Service order: aged walls first, then the rest; both groups in
+        // queue order.
+        let (aged, fresh): (Vec<usize>, Vec<usize>) = self
+            .queue
+            .iter()
+            .copied()
+            .partition(|&i| self.walls.get(i).is_some_and(|w| w.age_rounds >= threshold));
+
+        let mut serviced = vec![false; self.walls.len()];
+        let mut due = Vec::new();
+        for i in aged.into_iter().chain(fresh) {
+            if remaining == 0 {
+                break;
+            }
+            let Some(w) = self.walls.get_mut(i) else {
+                continue;
+            };
+            let want = w
+                .demand_slots
+                .saturating_sub(w.credit_slots)
+                .min(quantum)
+                .min(remaining);
+            w.credit_slots += want;
+            remaining -= want;
+            w.age_rounds = 0;
+            serviced[i] = true;
+            if w.credit_slots >= w.demand_slots {
+                w.done = true;
+                due.push(i);
+            }
+            self.grants.push(Grant {
+                round: self.round,
+                wall: i,
+                slots: want,
+            });
+        }
+
+        // Age every pending wall that was passed over, then rebuild the
+        // queue: unserviced pending walls keep their order, serviced
+        // still-pending walls rotate to the back, due walls leave.
+        let mut back = Vec::new();
+        let mut front = VecDeque::new();
+        for &i in &self.queue {
+            let Some(w) = self.walls.get_mut(i) else {
+                continue;
+            };
+            if w.done {
+                continue;
+            }
+            if serviced.get(i).copied().unwrap_or(false) {
+                back.push(i);
+            } else {
+                w.age_rounds = w.age_rounds.saturating_add(1);
+                front.push_back(i);
+            }
+        }
+        front.extend(back);
+        self.queue = front;
+        due
+    }
+
+    /// Serializable dynamic state of wall `wall`:
+    /// `(credit, age, done)` — what a checkpoint stores alongside the
+    /// queue, round and grant log.
+    pub(crate) fn wall_state(&self, wall: usize) -> Option<(u64, u32, bool)> {
+        self.walls
+            .get(wall)
+            .map(|w| (w.credit_slots, w.age_rounds, w.done))
+    }
+
+    /// The pending queue, front first.
+    pub(crate) fn queue(&self) -> impl Iterator<Item = usize> + '_ {
+        self.queue.iter().copied()
+    }
+
+    /// Rebuilds a scheduler from checkpointed dynamic state. Demands
+    /// come from the (digest-verified) specs; everything else from the
+    /// checkpoint.
+    pub(crate) fn restore(
+        demands: &[u64],
+        budget: SlotBudget,
+        states: &[(u64, u32, bool)],
+        queue: Vec<usize>,
+        round: u64,
+        grants: Vec<Grant>,
+    ) -> Self {
+        Scheduler {
+            budget,
+            walls: demands
+                .iter()
+                .zip(states)
+                .map(|(&d, &(credit_slots, age_rounds, done))| WallState {
+                    demand_slots: d.max(1),
+                    credit_slots,
+                    age_rounds,
+                    done,
+                })
+                .collect(),
+            queue: queue.into(),
+            round,
+            grants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_completion(s: &mut Scheduler) -> Vec<Vec<usize>> {
+        let mut rounds = Vec::new();
+        while !s.is_done() {
+            rounds.push(s.plan_round());
+            assert!(rounds.len() < 100_000, "scheduler must make progress");
+        }
+        rounds
+    }
+
+    #[test]
+    fn every_wall_completes_with_exact_credit() {
+        let demands = [100, 1, 37, 64, 250];
+        let mut s = Scheduler::new(&demands, SlotBudget::default());
+        let rounds = run_to_completion(&mut s);
+        let due: Vec<usize> = rounds.into_iter().flatten().collect();
+        let mut sorted = due.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4], "each wall due exactly once");
+        for (i, &d) in demands.iter().enumerate() {
+            assert_eq!(s.granted_slots(i), d, "credit equals demand exactly");
+        }
+    }
+
+    #[test]
+    fn round_spend_never_exceeds_the_budget() {
+        let mut s = Scheduler::new(
+            &[500, 500, 500, 500],
+            SlotBudget {
+                quantum_slots: 32,
+                round_budget_slots: 70,
+                aging_rounds: 2,
+            },
+        );
+        run_to_completion(&mut s);
+        let mut by_round = std::collections::BTreeMap::new();
+        for g in s.grants() {
+            *by_round.entry(g.round).or_insert(0u64) += g.slots;
+            assert!(g.slots <= 32, "{g:?} exceeds quantum");
+        }
+        assert!(by_round.values().all(|&spent| spent <= 70), "{by_round:?}");
+    }
+
+    #[test]
+    fn small_wall_finishes_first_under_equal_treatment() {
+        // Demands 1 and 1000: the small wall is due in round 1.
+        let mut s = Scheduler::new(&[1000, 1], SlotBudget::default());
+        let due = s.plan_round();
+        assert_eq!(due, vec![1]);
+        assert!(!s.is_done());
+    }
+
+    #[test]
+    fn aging_promotes_a_starved_wall() {
+        // Budget of one quantum per round over three walls: pure
+        // round-robin would serve 0,1,2,0,1,2,…; with aging_rounds=1 a
+        // passed-over wall is served no later than two rounds on.
+        let mut s = Scheduler::new(
+            &[1000, 1000, 1000],
+            SlotBudget {
+                quantum_slots: 8,
+                round_budget_slots: 8,
+                aging_rounds: 1,
+            },
+        );
+        for _ in 0..12 {
+            let _ = s.plan_round();
+        }
+        let mut last_grant_round = [0u64; 3];
+        let mut max_gap = [0u64; 3];
+        for g in s.grants() {
+            let gap = g.round - last_grant_round[g.wall];
+            max_gap[g.wall] = max_gap[g.wall].max(gap);
+            last_grant_round[g.wall] = g.round;
+        }
+        assert!(
+            max_gap.iter().all(|&gap| gap <= 3),
+            "a wall starved: {max_gap:?}"
+        );
+    }
+
+    #[test]
+    fn quantum_larger_than_demand_grants_exactly_the_demand() {
+        let mut s = Scheduler::new(
+            &[5],
+            SlotBudget {
+                quantum_slots: 10_000,
+                round_budget_slots: 10_000,
+                aging_rounds: 4,
+            },
+        );
+        assert_eq!(s.plan_round(), vec![0]);
+        assert_eq!(s.granted_slots(0), 5, "never over-grants");
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn zero_walls_is_vacuously_done() {
+        let mut s = Scheduler::new(&[], SlotBudget::default());
+        assert!(s.is_done());
+        assert!(s.plan_round().is_empty());
+        assert_eq!(s.round(), 0, "no round is consumed");
+    }
+
+    #[test]
+    fn degenerate_budget_knobs_are_floored() {
+        let b = SlotBudget {
+            quantum_slots: 0,
+            round_budget_slots: 0,
+            aging_rounds: 0,
+        };
+        assert_eq!(b.effective_quantum_slots(), 1);
+        assert_eq!(b.effective_round_budget_slots(), 1);
+        assert_eq!(b.effective_aging_rounds(), 1);
+        let mut s = Scheduler::new(&[3, 2], b);
+        run_to_completion(&mut s);
+        assert_eq!(s.granted_slots(0), 3);
+        assert_eq!(s.granted_slots(1), 2);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let demands = [9, 81, 3, 700, 44];
+        let budget = SlotBudget {
+            quantum_slots: 16,
+            round_budget_slots: 48,
+            aging_rounds: 2,
+        };
+        let mut a = Scheduler::new(&demands, budget);
+        let mut b = Scheduler::new(&demands, budget);
+        let ra = run_to_completion(&mut a);
+        let rb = run_to_completion(&mut b);
+        assert_eq!(ra, rb);
+        assert_eq!(a.grants(), b.grants());
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-wall configuration: what one member of the fleet looks like.
+
+use dsp::EcoResult;
+use ecocapsule::scenario::{SelfSensingWall, SurveyOptions, SurveyReport};
+use faults::FaultPlan;
+use obs::MemoryRecorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reader::robust::RetryPolicy;
+
+/// One wall of the fleet: geometry, drive, seed, and channel posture.
+///
+/// A spec is a pure value — surveying it never mutates it, so the fleet
+/// can re-run any wall (e.g. after a resume) and get bit-identical
+/// results. The survey itself always runs on [`exec::Pool::serial`]
+/// with an RNG seeded from [`WallSpec::seed`]: fleet-level parallelism
+/// shards across walls, never inside one (a wall's TDMA inventory is a
+/// shared medium and cannot be split without changing the protocol).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallSpec {
+    /// Wall name — the key under which results, traces and fixtures
+    /// report it.
+    pub name: String,
+    /// Capsule standoffs (m) from the reader's mounting point; one
+    /// capsule per entry, all strictly positive.
+    pub standoffs_m: Vec<f64>,
+    /// TX drive voltage (V) for the charging phase.
+    pub tx_voltage_v: f64,
+    /// RNG seed for this wall's survey — same seed, same report.
+    pub seed: u64,
+    /// Fault plan: `None` surveys a quiet channel.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry budget for must-answer commands; consulted only when a
+    /// fault plan is installed.
+    pub retry_policy: RetryPolicy,
+}
+
+impl WallSpec {
+    /// A quiet-channel wall at 200 V with the paper-default retry
+    /// policy and seed 0.
+    #[must_use]
+    pub fn new(name: impl Into<String>, standoffs_m: Vec<f64>) -> Self {
+        WallSpec {
+            name: name.into(),
+            standoffs_m,
+            tx_voltage_v: 200.0,
+            seed: 0,
+            fault_plan: None,
+            retry_policy: RetryPolicy::paper_default(),
+        }
+    }
+
+    /// The §6 footbridge pilot as one wall among many: five EcoCapsules
+    /// at the [`shm::pilot::ecocapsule_standoffs`] geometry, 200 V.
+    #[must_use]
+    pub fn footbridge_pilot(seed: u64) -> Self {
+        WallSpec::new(
+            "footbridge-pilot",
+            shm::pilot::ecocapsule_standoffs().to_vec(),
+        )
+        .seed(seed)
+    }
+
+    /// Replaces the survey seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the TX drive voltage (V).
+    #[must_use]
+    pub fn tx_voltage(mut self, tx_voltage_v: f64) -> Self {
+        self.tx_voltage_v = tx_voltage_v;
+        self
+    }
+
+    /// Routes this wall's surveys through `plan`'s fault timeline.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Replaces the retry budget for must-answer commands.
+    #[must_use]
+    pub fn retry_policy(mut self, retry_policy: RetryPolicy) -> Self {
+        self.retry_policy = retry_policy;
+        self
+    }
+
+    /// The wall's survey configuration as [`SurveyOptions`] (serial
+    /// pool, no recorder — the fleet installs its own).
+    fn survey_options(&self) -> SurveyOptions<'_> {
+        let mut options = SurveyOptions::new().tx_voltage(self.tx_voltage_v);
+        if let Some(plan) = &self.fault_plan {
+            options = options.fault_plan(plan).retry_policy(self.retry_policy);
+        }
+        options
+    }
+
+    /// Upper-bound virtual-slot demand of one survey of this wall — the
+    /// budget the scheduler must grant before the survey may run.
+    #[must_use]
+    pub fn slot_demand(&self) -> u64 {
+        self.survey_options().slot_demand(self.standoffs_m.len())
+    }
+
+    /// Runs one survey of this wall: fresh wall state, the spec's seed,
+    /// a private recorder, serial pool. Errors only on an invalid link
+    /// budget (non-positive drive voltage or degenerate geometry).
+    #[must_use]
+    pub fn survey(&self) -> EcoResult<(SurveyReport, MemoryRecorder)> {
+        let mut wall = SelfSensingWall::common_wall(&self.standoffs_m);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rec = MemoryRecorder::new();
+        let mut options = self.survey_options();
+        options = options.recorder(&mut rec);
+        let report = options.run(&mut wall, &mut rng)?;
+        Ok((report, rec))
+    }
+
+    /// Stable digest words of the full configuration, for the fleet
+    /// config digest a checkpoint pins.
+    pub(crate) fn config_words(&self) -> Vec<u64> {
+        let mut words = crate::str_words(&self.name);
+        words.push(self.standoffs_m.len() as u64);
+        words.extend(self.standoffs_m.iter().map(|d| d.to_bits()));
+        words.push(self.tx_voltage_v.to_bits());
+        words.push(self.seed);
+        match &self.fault_plan {
+            None => words.push(0),
+            Some(plan) => {
+                words.push(1);
+                words.push(plan.digest());
+            }
+        }
+        words.push(u64::from(self.retry_policy.max_attempts));
+        words.push(self.retry_policy.backoff_base_slots);
+        words.push(self.retry_policy.backoff_cap_slots);
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::FaultIntensity;
+
+    #[test]
+    fn zero_capsule_wall_surveys_to_an_empty_report() {
+        let (report, rec) = WallSpec::new("bare", vec![]).survey().unwrap();
+        assert!(report.powered_ids.is_empty());
+        assert!(report.readings.is_empty());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(rec.unmatched_closes(), 0);
+    }
+
+    #[test]
+    fn surveys_are_a_pure_function_of_the_spec() {
+        let spec = WallSpec::new("w", vec![0.5]).seed(7);
+        let (a, rec_a) = spec.survey().unwrap();
+        let (b, rec_b) = spec.survey().unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(rec_a.to_jsonl(), rec_b.to_jsonl());
+        assert!(!rec_a.is_empty());
+    }
+
+    #[test]
+    fn pilot_wall_reads_all_five_capsules() {
+        let (report, _) = WallSpec::footbridge_pilot(3).survey().unwrap();
+        assert_eq!(report.powered_ids.len(), shm::pilot::ECOCAPSULE_COUNT);
+        assert_eq!(report.readings.len(), 3 * shm::pilot::ECOCAPSULE_COUNT);
+    }
+
+    #[test]
+    fn config_words_cover_every_field() {
+        let base = WallSpec::new("w", vec![0.5]).seed(1);
+        let variants = [
+            base.clone().seed(2),
+            base.clone().tx_voltage(150.0),
+            WallSpec::new("w2", vec![0.5]).seed(1),
+            WallSpec::new("w", vec![0.6]).seed(1),
+            base.clone()
+                .fault_plan(FaultPlan::generate(1, &FaultIntensity::mild(40))),
+            base.clone().retry_policy(RetryPolicy::none()),
+        ];
+        let d0 = faults::fnv1a64(base.config_words());
+        for v in variants {
+            assert_ne!(faults::fnv1a64(v.config_words()), d0, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn faulted_posture_raises_slot_demand() {
+        let quiet = WallSpec::new("q", vec![0.5, 1.0]);
+        let faulted = quiet
+            .clone()
+            .fault_plan(FaultPlan::generate(0, &FaultIntensity::mild(40)));
+        assert!(faulted.slot_demand() > quiet.slot_demand());
+        assert!(WallSpec::new("empty", vec![]).slot_demand() >= 1);
+    }
+}

@@ -93,6 +93,65 @@ impl Histogram {
         self.percentile(99)
     }
 
+    /// Folds `other` into `self`: bucket counts, count, and sum add
+    /// (saturating); max takes the larger. Merging is associative and
+    /// commutative, so a fleet can aggregate per-wall histograms in any
+    /// grouping and get the same summary.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Stable word serialization: `[count, sum, max, n, (idx, count)…]`
+    /// with one pair per non-empty bucket, in bucket order. The format
+    /// feeds both checkpoint encoders and digests — two histograms are
+    /// equal iff their words are equal.
+    pub fn encode_words(&self) -> Vec<u64> {
+        let mut words = vec![self.count, self.sum, self.max];
+        let occupied: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(idx, n)| (idx, *n))
+            .collect();
+        words.push(occupied.len() as u64);
+        for (idx, n) in occupied {
+            words.push(idx as u64);
+            words.push(n);
+        }
+        words
+    }
+
+    /// Inverse of [`Histogram::encode_words`]. Returns `None` on a
+    /// malformed word stream (bad length, bucket index ≥ 65, or trailing
+    /// words).
+    pub fn decode_words(words: &[u64]) -> Option<Histogram> {
+        let (&count, rest) = words.split_first()?;
+        let (&sum, rest) = rest.split_first()?;
+        let (&max, rest) = rest.split_first()?;
+        let (&pairs, rest) = rest.split_first()?;
+        if rest.len() as u64 != pairs.checked_mul(2)? {
+            return None;
+        }
+        let mut h = Histogram::new();
+        h.count = count;
+        h.sum = sum;
+        h.max = max;
+        for pair in rest.chunks(2) {
+            let idx = usize::try_from(pair[0]).ok()?;
+            if idx >= BUCKETS {
+                return None;
+            }
+            h.buckets[idx] = *pair.get(1)?;
+        }
+        Some(h)
+    }
+
     /// Inclusive upper bound of bucket `idx`.
     fn bucket_upper(idx: usize) -> u64 {
         if idx == 0 {
@@ -146,6 +205,72 @@ mod tests {
             assert!(p >= last, "p{pct} = {p} < previous {last}");
             last = p;
         }
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [0u64, 1, 7, 8, 1000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 1_000_000, 42] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let words = h.encode_words();
+        assert_eq!(Histogram::decode_words(&words), Some(h));
+        // Empty histogram round-trips too.
+        let empty = Histogram::new();
+        assert_eq!(Histogram::decode_words(&empty.encode_words()), Some(empty));
+    }
+
+    #[test]
+    fn malformed_words_are_rejected() {
+        assert_eq!(Histogram::decode_words(&[]), None);
+        assert_eq!(
+            Histogram::decode_words(&[1, 2, 3]),
+            None,
+            "missing pair count"
+        );
+        assert_eq!(
+            Histogram::decode_words(&[1, 2, 3, 1, 0]),
+            None,
+            "truncated pair"
+        );
+        assert_eq!(
+            Histogram::decode_words(&[1, 2, 3, 1, 65, 1]),
+            None,
+            "bucket index out of range"
+        );
+        assert_eq!(
+            Histogram::decode_words(&[1, 2, 3, 0, 9]),
+            None,
+            "trailing words"
+        );
     }
 
     #[test]

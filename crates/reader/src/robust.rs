@@ -91,6 +91,31 @@ impl RetryPolicy {
             .saturating_mul(1u64 << attempt.saturating_sub(1).min(62));
         doubled.min(self.backoff_cap_slots)
     }
+
+    /// Cumulative backoff of a command that exhausts its attempt budget:
+    /// the sum of every inter-attempt wait. (The last attempt is not
+    /// followed by a wait.)
+    #[must_use]
+    pub fn worst_case_backoff_slots(&self) -> u64 {
+        let budget = self.max_attempts.max(1);
+        (1..budget).fold(0u64, |acc, a| acc.saturating_add(self.backoff_slots(a)))
+    }
+
+    /// Worst-case timeline slots one capsule's read phase can consume
+    /// under this policy: a session re-acquisition (≤ 2 slots per
+    /// attempt — see [`ReaderSession::ensure_session_with_retry`]) plus
+    /// three retried sensor reads, each with its cumulative backoff.
+    ///
+    /// This sizes the disjoint per-capsule timeline slices the faulted
+    /// survey engine hands to parallel read tasks, and the fleet
+    /// scheduler's per-wall slot-demand estimate — both must agree, so
+    /// the formula lives here, once.
+    #[must_use]
+    pub fn worst_case_capsule_read_slots(&self) -> u64 {
+        let budget = u64::from(self.max_attempts.max(1));
+        let backoff = self.worst_case_backoff_slots();
+        (2 * budget + backoff) + 3 * (budget + backoff)
+    }
 }
 
 /// The full configuration of a robust (fault-aware) reader session:
@@ -752,5 +777,27 @@ mod tests {
             assert!(ev.slot() >= last, "slot clock must be monotone");
             last = ev.slot();
         }
+    }
+
+    #[test]
+    fn worst_case_slot_helpers_match_the_policy() {
+        let none = RetryPolicy::none();
+        assert_eq!(none.worst_case_backoff_slots(), 0);
+        // budget 1: 2 session slots + 3 reads of 1 slot each.
+        assert_eq!(none.worst_case_capsule_read_slots(), 5);
+
+        let paper = RetryPolicy::paper_default();
+        // 4 attempts, waits 1 + 2 + 4 (cap 8 never binds).
+        assert_eq!(paper.worst_case_backoff_slots(), 7);
+        // (2*4 + 7) + 3*(4 + 7) = 15 + 33.
+        assert_eq!(paper.worst_case_capsule_read_slots(), 48);
+
+        // The cap binds: waits 4, 8, 8 with base 4 / cap 8.
+        let capped = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_slots: 4,
+            backoff_cap_slots: 8,
+        };
+        assert_eq!(capped.worst_case_backoff_slots(), 20);
     }
 }

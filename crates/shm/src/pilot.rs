@@ -319,6 +319,20 @@ pub const ECOCAPSULE_COST_USD: f64 = 950.0;
 /// EcoCapsules deployed in the preliminary test (§6).
 pub const ECOCAPSULE_COUNT: usize = 5;
 
+/// Reader standoffs (m) of the five preliminary EcoCapsules, nearest
+/// first.
+///
+/// Substitution note: §6 reports that five EcoCapsules were implanted in
+/// the footbridge deck but not their exact mounting geometry, so we
+/// space them evenly from 0.4 m to 2.0 m — inside the ~2.1 m coverage
+/// the paper's Fig 12 link budget gives a 200 V drive. This is the wall
+/// geometry the fleet scheduler uses to run the pilot as one wall among
+/// many.
+#[must_use]
+pub fn ecocapsule_standoffs() -> [f64; ECOCAPSULE_COUNT] {
+    [0.4, 0.8, 1.2, 1.6, 2.0]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +544,19 @@ mod tests {
             .sum::<f64>()
             / 12.0;
         assert!(post > pre, "post-COVID PAO {post} vs pre {pre}");
+    }
+
+    #[test]
+    fn pilot_standoffs_form_a_valid_wall() {
+        let standoffs = ecocapsule_standoffs();
+        assert_eq!(standoffs.len(), ECOCAPSULE_COUNT);
+        assert!(standoffs.iter().all(|&d| d > 0.0));
+        assert!(
+            standoffs.windows(2).all(|w| w[0] < w[1]),
+            "standoffs are sorted nearest-first"
+        );
+        // Fig 12: ~2.1 m of coverage at 200 V — every capsule inside it.
+        assert!(standoffs.iter().all(|&d| d <= 2.05));
     }
 
     #[test]

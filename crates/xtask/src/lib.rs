@@ -15,10 +15,13 @@
 //! | `no-lock-in-hotpath` | no `.lock()` in designated compute hot-path files without a reasoned `lint:allow` |
 //! | `no-deprecated-internal-calls` | no calls to deprecated in-repo shims (`.survey(`, `.survey_with(`, `.survey_under(`) — use `SurveyOptions` |
 //!
-//! Binary targets (`src/bin/**`, `src/main.rs`) and `#[cfg(test)]`
-//! regions are exempt from the panic, float-eq, and must-use rules.
-//! The deprecated-shim rule applies to binaries too (first-party code
-//! must not depend on shims slated for removal).
+//! Run as `cargo xtask lint`, the engine also walks the workspace
+//! `examples/` directory, classifying those files as binaries.
+//! Binary targets (`src/bin/**`, `src/main.rs`, `examples/**`) and
+//! `#[cfg(test)]` regions are exempt from the panic, float-eq, and
+//! must-use rules. The deprecated-shim rule applies to binaries and
+//! examples too (first-party code must not depend on shims slated for
+//! removal).
 //! Any finding can be suppressed with `// lint:allow(<rule>) <reason>`
 //! on the same line or the line above — the reason text is mandatory
 //! and a missing reason is itself reported.
@@ -102,6 +105,11 @@ impl Default for LintConfig {
                 // per-slot locking would serialise the whole pool.
                 "faults/src/plan.rs".to_string(),
                 "faults/src/digest.rs".to_string(),
+                // The fleet scheduler and engine sit on every wall's
+                // path through the pool: a mutex in either serialises
+                // the whole fleet round.
+                "fleet/src/scheduler.rs".to_string(),
+                "fleet/src/engine.rs".to_string(),
             ],
             // The pre-SurveyOptions survey entry points, kept only as
             // #[deprecated] shims for out-of-tree callers.
@@ -280,6 +288,13 @@ fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>>
             collect_rs(&src, &mut paths)?;
         }
     }
+    // Workspace examples are first-party code too — linted as binaries
+    // so the deprecated-shim rule catches them (the directory is absent
+    // in the fixture corpora, hence the guard).
+    let examples_dir = root.join("examples");
+    if examples_dir.is_dir() {
+        collect_rs(&examples_dir, &mut paths)?;
+    }
     paths.sort();
     let mut files = Vec::new();
     for path in paths {
@@ -288,7 +303,10 @@ fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>>
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let class = if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
+        let class = if rel.starts_with("examples/")
+            || rel.contains("/src/bin/")
+            || rel.ends_with("/src/main.rs")
+        {
             FileClass::Bin
         } else {
             FileClass::Lib

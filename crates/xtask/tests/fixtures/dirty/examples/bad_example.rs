@@ -1,0 +1,8 @@
+//! Example still calling a deprecated survey shim — the lint must see
+//! workspace examples, not just `crates/*/src`.
+
+fn main() {
+    let mut wall = hotlib::wall();
+    let report = wall.survey(200.0);
+    println!("{report:?}");
+}

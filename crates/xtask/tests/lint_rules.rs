@@ -118,3 +118,22 @@ fn reasonless_suppression_is_itself_a_finding_and_does_not_suppress() {
         "the targeted finding must survive a reason-less directive: {findings:#?}"
     );
 }
+
+#[test]
+fn workspace_examples_are_scanned_for_deprecated_calls() {
+    let findings = lint_workspace(&fixture("dirty"), &hot_cfg()).unwrap();
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == rules::RULE_NO_DEPRECATED && f.file.contains("examples/"))
+        .expect("deprecated-call finding inside examples/");
+    assert!(hit.file.ends_with("examples/bad_example.rs"), "{hit:?}");
+    assert!(hit.msg.contains("survey"), "{hit:?}");
+    // Examples are binary-class: the `println!`/shape rules that only
+    // apply to library code must stay quiet there.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.file.contains("examples/") && f.rule == rules::RULE_NO_PANIC),
+        "{findings:#?}"
+    );
+}

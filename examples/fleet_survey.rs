@@ -1,0 +1,80 @@
+//! Fleet survey: eight heterogeneous walls — mixed capsule counts,
+//! quiet and faulted channels, the §6 footbridge pilot among them —
+//! scheduled over one reader budget, serial vs. parallel, with the
+//! fleet digest cross-checked against a standalone single-wall survey.
+//!
+//! ```sh
+//! cargo run -p ecocapsule-fleet --example fleet_survey --release
+//! ```
+//!
+//! Determinism contract (DESIGN.md §6): each wall's survey is a pure
+//! function of its [`WallSpec`], so the fleet digest is bit-identical
+//! at any worker count and across any checkpoint/resume split.
+
+use ecocapsule::prelude::*;
+use faults::{FaultIntensity, FaultPlan};
+use fleet::{run_fleet, FleetOptions, WallSpec};
+
+mod common;
+
+fn city_block() -> Vec<WallSpec> {
+    let mut specs = vec![WallSpec::footbridge_pilot(42)];
+    for i in 0..7u64 {
+        let standoffs: Vec<f64> = (0..=(i % 3)).map(|c| 0.4 + 0.3 * c as f64).collect();
+        let mut spec = WallSpec::new(format!("tower-{i}"), standoffs).seed(100 + i);
+        if i % 2 == 1 {
+            spec = spec.fault_plan(FaultPlan::generate(i, &FaultIntensity::mild(2_000)));
+        }
+        specs.push(spec);
+    }
+    specs
+}
+
+fn main() {
+    let options = FleetOptions::new().quantum_slots(32).round_budget_slots(96);
+    let serial = run_fleet(city_block(), &options).expect("serial fleet");
+    let parallel =
+        run_fleet(city_block(), &options.pool(Pool::max_parallel())).expect("parallel fleet");
+
+    println!(
+        "fleet of {} walls surveyed in {} scheduling rounds",
+        serial.walls.len(),
+        serial.rounds
+    );
+    for wall in &serial.walls {
+        println!(
+            "  {:<18} round {:>2}  {:>4} slots  {} readings",
+            wall.name,
+            wall.round_completed,
+            wall.granted_slots,
+            wall.report.readings.len()
+        );
+    }
+    println!(
+        "serial digest {:#018x} == parallel digest {:#018x}: {}",
+        serial.digest(),
+        parallel.digest(),
+        serial.digest() == parallel.digest()
+    );
+    assert_eq!(serial.digest(), parallel.digest(), "fleet digest diverged");
+
+    // The pilot wall inside the fleet matches a standalone survey of the
+    // same geometry and seed — the fleet adds scheduling, not physics.
+    let standalone = common::surveyed(
+        &shm::pilot::ecocapsule_standoffs(),
+        42,
+        SurveyOptions::new().tx_voltage(200.0),
+    );
+    assert_eq!(
+        serial.walls[0].report.digest(),
+        standalone.digest(),
+        "fleet-scheduled pilot wall diverged from a standalone survey"
+    );
+    println!("footbridge pilot matches its standalone survey: true");
+
+    let counters = serial.merged_counter_totals();
+    println!("fleet-wide counters: {} names", counters.len());
+    for (name, total) in counters.iter().take(4) {
+        println!("  {name} = {total}");
+    }
+}

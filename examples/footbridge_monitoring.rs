@@ -6,6 +6,9 @@
 //! cargo run -p ecocapsule --example footbridge_monitoring
 //! ```
 
+mod common;
+
+use ecocapsule::prelude::*;
 use shm::footbridge::{Footbridge, Section};
 use shm::health::{crowding_risk, grade_sections, pao_m2_per_ped};
 use shm::pilot::{Channel, PilotStudy, CONVENTIONAL_COST_USD, ECOCAPSULE_COST_USD};
@@ -18,6 +21,18 @@ fn main() {
         bridge.main_span_m,
         bridge.side_span_m,
         bridge.sensor_count()
+    );
+
+    // One wireless survey pass over the pilot's embedded capsule chain,
+    // driven through the same `SurveyOptions` front door the fleet uses.
+    let standoffs = shm::pilot::ecocapsule_standoffs();
+    let report = common::surveyed(&standoffs, 42, SurveyOptions::new().tx_voltage(200.0));
+    println!(
+        "\nPilot capsule survey at 200 V: {}/{} powered, {} readings, digest {:#018x}",
+        report.powered_ids.len(),
+        standoffs.len(),
+        report.readings.len(),
+        report.digest()
     );
 
     let study = PilotStudy::new(2021_07);

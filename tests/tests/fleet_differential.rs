@@ -1,0 +1,96 @@
+//! Differential witness for the fleet scheduler: a fleet of K walls
+//! must produce, wall for wall, exactly the reports that K standalone
+//! `SurveyOptions` runs produce — at every worker count, quiet and
+//! faulted walls alike. The scheduler may only decide *when* a wall is
+//! surveyed, never *what* the survey sees.
+
+use ecocapsule::prelude::*;
+use exec::Pool;
+use fleet::{run_fleet, FleetOptions, WallSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The differential fleet: quiet and faulted walls, mixed capsule
+/// counts (zero included), distinct seeds. Kept small — each capsule
+/// survey is the full charge→inventory→read stack.
+fn walls() -> Vec<WallSpec> {
+    vec![
+        WallSpec::new("quiet-one", vec![0.5]).seed(11),
+        WallSpec::new("quiet-none", vec![]).seed(12),
+        WallSpec::new("noisy-one", vec![0.6])
+            .seed(13)
+            .fault_plan(FaultPlan::generate(4, &FaultIntensity::mild(200))),
+        WallSpec::new("noisy-none", vec![])
+            .seed(14)
+            .fault_plan(FaultPlan::generate(5, &FaultIntensity::mild(200))),
+    ]
+}
+
+/// Runs one wall exactly the way a standalone caller would: fresh wall,
+/// own RNG, no fleet in sight.
+fn standalone_digest(spec: &WallSpec) -> u64 {
+    let mut wall = SelfSensingWall::common_wall(&spec.standoffs_m);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut options = SurveyOptions::new().tx_voltage(spec.tx_voltage_v);
+    if let Some(plan) = &spec.fault_plan {
+        options = options.fault_plan(plan).retry_policy(spec.retry_policy);
+    }
+    options
+        .run(&mut wall, &mut rng)
+        .expect("standalone survey must succeed")
+        .digest()
+}
+
+/// K walls through the fleet == K sequential standalone surveys, with
+/// the fleet's own digest invariant across worker counts 1, 2 and max.
+#[test]
+fn fleet_matches_sequential_surveys_at_every_worker_count() {
+    let reference: Vec<u64> = walls().iter().map(standalone_digest).collect();
+
+    let mut fleet_digests = Vec::new();
+    for workers in [1, 2, Pool::max_parallel().workers()] {
+        let options = FleetOptions::new().pool(Pool::new(workers));
+        let report = run_fleet(walls(), &options).expect("fleet must complete");
+        assert_eq!(report.walls.len(), reference.len());
+        for (wall, &standalone) in report.walls.iter().zip(&reference) {
+            assert_eq!(
+                wall.report.digest(),
+                standalone,
+                "wall `{}` diverged from its standalone survey (workers={workers})",
+                wall.name
+            );
+        }
+        fleet_digests.push(report.digest());
+    }
+    assert!(
+        fleet_digests.windows(2).all(|w| w[0] == w[1]),
+        "fleet digest varied with worker count: {fleet_digests:x?}"
+    );
+}
+
+/// Slot budgeting must also be invisible to the results: squeezing the
+/// same fleet through a tight quantum changes rounds, not reports.
+#[test]
+fn slot_budget_changes_schedule_but_not_results() {
+    let roomy = run_fleet(walls(), &FleetOptions::new()).expect("roomy fleet");
+    let tight = run_fleet(
+        walls(),
+        &FleetOptions::new().quantum_slots(4).round_budget_slots(9),
+    )
+    .expect("tight fleet");
+    assert!(
+        tight.rounds > roomy.rounds,
+        "tight budget must take more rounds ({} vs {})",
+        tight.rounds,
+        roomy.rounds
+    );
+    for (t, r) in tight.walls.iter().zip(&roomy.walls) {
+        assert_eq!(
+            t.report.digest(),
+            r.report.digest(),
+            "wall `{}` changed under a different slot budget",
+            t.name
+        );
+        assert_eq!(t.trace_jsonl, r.trace_jsonl, "wall `{}` trace", t.name);
+    }
+}

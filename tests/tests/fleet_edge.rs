@@ -1,0 +1,99 @@
+//! Degenerate fleets the scheduler must take in stride: no walls, one
+//! wall, walls with nothing in them, walls nothing can power, and a
+//! quantum so large one grant covers a whole wall.
+
+use ecocapsule::scenario::CapsuleOutcome;
+use fleet::{run_fleet, Fleet, FleetOptions, WallSpec};
+
+#[test]
+fn zero_walls_completes_in_zero_rounds() {
+    let report = run_fleet(Vec::new(), &FleetOptions::new()).expect("empty fleet");
+    assert!(report.walls.is_empty());
+    assert_eq!(report.rounds, 0);
+    assert!(report.merged_trace_jsonl().is_empty());
+    assert!(report.merged_histograms().is_empty());
+
+    // And a checkpoint of nothing round-trips to nothing.
+    let fleet = Fleet::new(Vec::new(), &FleetOptions::new());
+    assert!(fleet.is_done());
+    let bytes = fleet.checkpoint().expect("checkpoint").to_bytes();
+    let resumed = Fleet::resume(
+        Vec::new(),
+        &FleetOptions::new(),
+        &fleet::FleetCheckpoint::from_bytes(&bytes).expect("decode"),
+    )
+    .expect("resume")
+    .run_to_completion()
+    .expect("complete");
+    assert_eq!(resumed.digest(), report.digest());
+}
+
+#[test]
+fn one_wall_fleet_is_just_that_wall() {
+    let report = run_fleet(
+        vec![WallSpec::new("solo", vec![0.5]).seed(3)],
+        &FleetOptions::new(),
+    )
+    .expect("solo fleet");
+    assert_eq!(report.walls.len(), 1);
+    let (standalone, _) = WallSpec::new("solo", vec![0.5]).seed(3).survey().unwrap();
+    assert_eq!(report.walls[0].report.digest(), standalone.digest());
+}
+
+#[test]
+fn zero_capsule_wall_completes_with_an_empty_report() {
+    let report = run_fleet(
+        vec![
+            WallSpec::new("bare-a", vec![]).seed(1),
+            WallSpec::new("bare-b", vec![]).seed(2),
+        ],
+        &FleetOptions::new(),
+    )
+    .expect("bare fleet");
+    for wall in &report.walls {
+        assert!(wall.report.outcomes.is_empty());
+        assert!(wall.report.readings.is_empty());
+        assert!(wall.round_completed > 0, "still scheduled through a round");
+        assert!(!wall.trace_jsonl.is_empty(), "survey span still recorded");
+    }
+}
+
+/// A wall whose every capsule sits beyond the drive voltage's coverage:
+/// the survey completes, every outcome is `Unpowered`, and the fleet
+/// carries it like any other wall.
+#[test]
+fn all_unpowered_wall_reports_unpowered_outcomes() {
+    let specs = vec![WallSpec::new("dark", vec![4.0]).seed(5).tx_voltage(50.0)];
+    let report = run_fleet(specs, &FleetOptions::new()).expect("dark fleet");
+    let wall = &report.walls[0];
+    assert!(
+        wall.report.powered_ids.is_empty(),
+        "nothing powers at 4 m / 50 V"
+    );
+    assert!(wall.report.readings.is_empty());
+    assert_eq!(wall.report.outcomes.len(), 1);
+    assert!(matches!(
+        wall.report.outcomes[0],
+        (_, CapsuleOutcome::Unpowered)
+    ));
+}
+
+/// A quantum far above any wall's demand degenerates to one grant per
+/// wall: everything is due in round one, in spec order.
+#[test]
+fn quantum_larger_than_total_demand_finishes_in_one_round() {
+    let specs = vec![
+        WallSpec::new("a", vec![]).seed(1),
+        WallSpec::new("b", vec![]).seed(2),
+        WallSpec::new("c", vec![]).seed(3),
+    ];
+    let report = run_fleet(
+        specs,
+        &FleetOptions::new()
+            .quantum_slots(1_000_000)
+            .round_budget_slots(10_000_000),
+    )
+    .expect("roomy fleet");
+    assert_eq!(report.rounds, 1);
+    assert!(report.walls.iter().all(|w| w.round_completed == 1));
+}

@@ -1,0 +1,139 @@
+//! Property tests for the fleet scheduler: fairness of the slot
+//! budgeting for arbitrary demand vectors and budgets, and
+//! checkpoint/resume equivalence at arbitrary round boundaries.
+//!
+//! Gated behind the non-default `fuzz` feature so the default offline
+//! test run stays fast: `cargo test -p integration-tests --features fuzz`.
+
+#![cfg(feature = "fuzz")]
+
+use fleet::{Fleet, FleetCheckpoint, FleetOptions, Scheduler, SlotBudget, WallSpec};
+use proptest::prelude::*;
+
+/// Fleets of zero-capsule walls: surveys are near-free, so resume
+/// equivalence can be fuzzed densely. Wall *content* is covered by the
+/// differential tests; these properties are about *scheduling*.
+fn bare_specs(n: usize) -> Vec<WallSpec> {
+    (0..n)
+        .map(|i| WallSpec::new(format!("wall-{i}"), vec![]).seed(i as u64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every wall terminates with credit exactly equal to its demand,
+    /// each wall is due exactly once, no round overspends the budget,
+    /// and no grant exceeds the quantum — for arbitrary demand vectors
+    /// and budget knobs (degenerate zeros included).
+    #[test]
+    fn scheduler_terminates_exactly(
+        demands in proptest::collection::vec(0u64..5_000, 0..24),
+        quantum_slots in 0u64..200,
+        round_budget_slots in 0u64..600,
+        aging_rounds in 0u32..6,
+    ) {
+        let budget = SlotBudget { quantum_slots, round_budget_slots, aging_rounds };
+        let mut s = Scheduler::new(&demands, budget);
+        let mut due = Vec::new();
+        let mut rounds = 0u64;
+        while !s.is_done() {
+            due.extend(s.plan_round());
+            rounds += 1;
+            prop_assert!(rounds < 3_000_000, "scheduler failed to terminate");
+        }
+        let mut sorted = due.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..demands.len()).collect::<Vec<_>>());
+        for (i, &d) in demands.iter().enumerate() {
+            prop_assert_eq!(s.granted_slots(i), d.max(1));
+        }
+        let quantum = budget.effective_quantum_slots();
+        let round_budget = budget.effective_round_budget_slots();
+        let mut spent_by_round = std::collections::BTreeMap::new();
+        for g in s.grants() {
+            prop_assert!(g.slots <= quantum, "{g:?} over quantum");
+            *spent_by_round.entry(g.round).or_insert(0u64) += g.slots;
+        }
+        for (&round, &spent) in &spent_by_round {
+            prop_assert!(spent <= round_budget, "round {round} spent {spent}");
+        }
+    }
+
+    /// No wall starves: under a saturated budget that cycles about half
+    /// the fleet per round, the gap between two consecutive grants to
+    /// the same wall stays within a bound set by the aging threshold —
+    /// every wall's service share stays within a bounded factor of its
+    /// quantum.
+    #[test]
+    fn no_wall_starves_under_saturation(
+        walls in 2usize..12,
+        quantum_slots in 1u64..64,
+        aging_rounds in 1u32..5,
+        demand_quanta in 1_000u64..5_000,
+    ) {
+        // All demands large and equal: the fleet saturates the budget
+        // for many rounds, the regime where starvation would show.
+        let demands = vec![demand_quanta * quantum_slots; walls];
+        let budget = SlotBudget {
+            quantum_slots,
+            round_budget_slots: quantum_slots * (walls as u64).div_ceil(2),
+            aging_rounds,
+        };
+        let mut s = Scheduler::new(&demands, budget);
+        for _ in 0..(4 * walls as u64 + 40) {
+            let _ = s.plan_round();
+        }
+        // A fleet cycled by half needs two rounds per full pass; aging
+        // can defer a wall by at most `aging_rounds` further passes.
+        let bound = 2 * (u64::from(aging_rounds) + 2);
+        let mut last = vec![0u64; walls];
+        for g in s.grants() {
+            let gap = g.round - last[g.wall];
+            prop_assert!(
+                gap <= bound,
+                "wall {} waited {gap} rounds (bound {bound})", g.wall
+            );
+            last[g.wall] = g.round;
+        }
+        // And the run must not end with anyone ancient either.
+        let round = s.round();
+        for (wall, &seen) in last.iter().enumerate() {
+            prop_assert!(round - seen <= bound, "wall {wall} stale since {seen}");
+        }
+    }
+
+    /// Interrupting a fleet at any round boundary, serializing through
+    /// the byte format, and resuming yields the same report digest and
+    /// round count as the uninterrupted run.
+    #[test]
+    fn resume_at_any_round_boundary_is_equivalent(
+        walls in 0usize..10,
+        quantum_slots in 1u64..8,
+        round_budget_slots in 1u64..20,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let options = FleetOptions {
+            pool: exec::Pool::serial(),
+            budget: SlotBudget { quantum_slots, round_budget_slots, aging_rounds: 2 },
+        };
+        let baseline =
+            fleet::run_fleet(bare_specs(walls), &options).expect("uninterrupted fleet");
+
+        let split = (split_frac * baseline.rounds as f64) as u64;
+        let mut fleet = Fleet::new(bare_specs(walls), &options);
+        for _ in 0..split {
+            if !fleet.is_done() {
+                fleet.run_round().expect("partial round");
+            }
+        }
+        let bytes = fleet.checkpoint().expect("checkpoint").to_bytes();
+        let checkpoint = FleetCheckpoint::from_bytes(&bytes).expect("decode");
+        let resumed = Fleet::resume(bare_specs(walls), &options, &checkpoint)
+            .expect("resume")
+            .run_to_completion()
+            .expect("resumed fleet");
+        prop_assert_eq!(resumed.digest(), baseline.digest(), "split at round {}", split);
+        prop_assert_eq!(resumed.rounds, baseline.rounds);
+    }
+}

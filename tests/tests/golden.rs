@@ -224,3 +224,109 @@ fn common_wall_survey_report_matches_golden() {
         &computed,
     );
 }
+
+/// The canonical three-wall fleet used by the fleet golden fixtures:
+/// one quiet wall, one zero-capsule wall, one faulted wall.
+fn fleet_three_walls() -> Vec<fleet::WallSpec> {
+    use faults::{FaultIntensity, FaultPlan};
+    vec![
+        fleet::WallSpec::new("quiet", vec![0.5]).seed(0x3A11_0001),
+        fleet::WallSpec::new("bare", vec![]).seed(0x3A11_0002),
+        fleet::WallSpec::new("noisy", vec![0.6])
+            .seed(0x3A11_0003)
+            .fault_plan(FaultPlan::generate(0x3A11, &FaultIntensity::mild(60))),
+    ]
+}
+
+/// A three-wall fleet run pinned end to end: per-wall report digests,
+/// per-wall result digests (scheduling + observability included), the
+/// fleet digest, the round count, and the byte digest of a mid-run
+/// checkpoint — the cross-session determinism witness for the fleet
+/// scheduler and its checkpoint wire format.
+#[test]
+fn fleet_three_walls_matches_golden() {
+    let options = fleet::FleetOptions::new()
+        .quantum_slots(16)
+        .round_budget_slots(24);
+    let report = fleet::run_fleet(fleet_three_walls(), &options).expect("fleet must complete");
+
+    let mut computed = BTreeMap::new();
+    computed.insert("fleet_digest".into(), report.digest());
+    computed.insert("fleet_rounds".into(), report.rounds);
+    for wall in &report.walls {
+        computed.insert(
+            format!("wall_{}_report_digest", wall.name),
+            wall.report.digest(),
+        );
+        computed.insert(format!("wall_{}_result_digest", wall.name), wall.digest());
+        computed.insert(format!("wall_{}_round", wall.name), wall.round_completed);
+    }
+
+    // One round in, checkpoint through the byte format: pins the wire
+    // encoding itself, not just the scheduler's outcome.
+    let mut fleet_run = fleet::Fleet::new(fleet_three_walls(), &options);
+    fleet_run.run_round().expect("first round");
+    let bytes = fleet_run.checkpoint().expect("checkpoint").to_bytes();
+    computed.insert(
+        "checkpoint_round1_bytes_digest".into(),
+        faults::fnv1a64(bytes.iter().map(|&b| u64::from(b))),
+    );
+    let resumed = fleet::Fleet::resume(
+        fleet_three_walls(),
+        &options,
+        &fleet::FleetCheckpoint::from_bytes(&bytes).expect("decode"),
+    )
+    .expect("resume")
+    .run_to_completion()
+    .expect("resumed fleet");
+    assert_eq!(
+        resumed.digest(),
+        report.digest(),
+        "resumed fleet must match the uninterrupted run"
+    );
+
+    check_fixture(
+        "fleet_three_walls.golden",
+        "Fleet-run digests for the canonical three-wall fleet\n\
+         (tests/tests/golden.rs): quiet [0.5 m], bare [], and a faulted\n\
+         wall [0.6 m] under FaultIntensity::mild(60), quantum 16 slots,\n\
+         round budget 24 slots. Pins per-wall report digests, per-wall\n\
+         result digests (scheduling + observability), the fleet digest,\n\
+         the round count, and the byte digest of a round-1 checkpoint.\n\
+         A diff here means fleet scheduling, per-wall surveys, or the\n\
+         ECOFLEET checkpoint wire format changed.",
+        &computed,
+    );
+}
+
+/// The same fleet's merged trace, line for line, against a committed
+/// JSONL fixture: `fleet_wall` headers interleaved with each wall's
+/// survey events. Any drift in the merged-trace schema or in per-wall
+/// recording shows up as a reviewable fixture diff.
+#[test]
+fn fleet_three_walls_trace_matches_golden_jsonl() {
+    let options = fleet::FleetOptions::new()
+        .quantum_slots(16)
+        .round_budget_slots(24);
+    let report = fleet::run_fleet(fleet_three_walls(), &options).expect("fleet must complete");
+    let computed = report.merged_trace_jsonl();
+    assert!(!computed.is_empty(), "merged trace must not be empty");
+
+    let path = fixture_path("fleet_three_walls_trace.jsonl");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &computed).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing fixture fleet_three_walls_trace.jsonl; \
+             run with GOLDEN_REGEN=1 to create it"
+        )
+    });
+    assert_eq!(
+        computed, golden,
+        "fleet merged trace diverged from the golden JSONL; if the change \
+         is intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
+    );
+}
