@@ -162,6 +162,23 @@ pub fn lex(src: &str) -> Lexed {
             }
             continue;
         }
+        // Raw identifiers: `r#fn` is an identifier *named* `fn`, not the
+        // keyword. Lexing it as [`r`, `#`, `fn`] would leak phantom
+        // keyword tokens into every rule, so consume the whole thing as
+        // one Ident whose text keeps the `r#` prefix (ensuring it never
+        // compares equal to the bare keyword).
+        if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).map(is_ident_start).unwrap_or(false)
+        {
+            cur.bump();
+            cur.bump();
+            let name = cur.eat_while(is_ident_continue);
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: format!("r#{name}"),
+                line,
+            });
+            continue;
+        }
         // Raw strings and byte strings: r"..", r#".."#, b"..", br#".."#, b'.'.
         if (c == 'r' || c == 'b') && lex_maybe_string_prefix(&mut cur, &mut out, line) {
             continue;
@@ -456,6 +473,65 @@ mod tests {
         let lexed = lex("/// doc\n//! inner doc\n// plain\nx");
         assert_eq!(lexed.comments.len(), 1);
         assert!(lexed.comments[0].text.contains("plain"));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_leak_keyword_tokens() {
+        // `r#fn` / `r#type` are identifiers, not the keywords: a naive
+        // lexer splits them into [r, #, fn] and every downstream rule
+        // then sees a phantom `fn`.
+        let toks = kinds("fn r#type() -> u32 { r#fn + 1 }");
+        assert_eq!(toks[1], (TokKind::Ident, "r#type".into()));
+        assert!(toks.iter().filter(|(_, t)| t == "fn").count() == 1);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn raw_identifier_prefix_does_not_break_raw_strings() {
+        // `r#"…"#` must still lex as a raw string after the raw-ident fix.
+        let toks = kinds(r##"let s = r#"unwrap() inside"#; after"##);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::StrLit));
+        assert!(toks.iter().all(|(_, t)| t != "unwrap"));
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some("after"));
+    }
+
+    #[test]
+    fn raw_strings_track_line_numbers() {
+        let lexed = lex("let s = r#\"line one\nline two\"#;\nnext_tok");
+        let next = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "next_tok")
+            .expect("token after raw string");
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn mismatched_hash_runs_inside_raw_strings_do_not_close_early() {
+        // `"#` inside an `r##"…"##` string is content, not a terminator.
+        let toks = kinds(r###"let s = r##"has "# inside"##; end"###);
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some("end"));
+        assert!(toks.iter().all(|(_, t)| t != "has" && t != "inside"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_does_not_hang() {
+        let lexed = lex("before /* unterminated /* nested */ still open");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "before");
+    }
+
+    #[test]
+    fn lifetime_ticks_next_to_generics_and_labels() {
+        let toks = kinds("fn f<'a, 'b>(x: &'a str) { 'outer: loop { break 'outer; } }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "b", "a", "outer", "outer"]);
     }
 
     #[test]

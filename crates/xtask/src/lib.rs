@@ -1,27 +1,31 @@
 //! `xtask` — workspace-wide static analysis for the EcoCapsule repo.
 //!
 //! Run as `cargo xtask lint` (aliased in `.cargo/config.toml`). The
-//! engine walks every `crates/*/src/**.rs` file, lexes it with the
-//! dependency-free lexer in [`lexer`], and applies the rules in
-//! [`rules`]:
+//! engine is a **two-pass analyzer**:
 //!
-//! | rule | meaning |
-//! |------|---------|
-//! | `no-panic-in-lib`  | no `unwrap()`/`expect(`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` in library code; no slice indexing in hot-path files |
-//! | `unit-suffix`      | physical quantities carry unit suffixes; `+`/`-`/comparisons never mix units |
-//! | `no-float-eq`      | no `==`/`!=` on float expressions |
-//! | `deny-unsafe`      | every lib crate root has `#![forbid(unsafe_code)]` |
-//! | `must-use-results` | pub Result-returning fns are `#[must_use]`; no discarded Results |
-//! | `no-lock-in-hotpath` | no `.lock()` in designated compute hot-path files without a reasoned `lint:allow` |
-//! | `no-deprecated-internal-calls` | no calls to deprecated in-repo shims (`.survey(`, `.survey_with(`, `.survey_under(`) — use `SurveyOptions` |
+//! * **Pass 1** walks every `crates/*/src/**.rs`, `crates/*/tests/**.rs`,
+//!   workspace `tests/`, and `examples/` file, lexes it with the
+//!   dependency-free lexer in [`lexer`], and extracts per-file facts
+//!   ([`workspace::FileFacts`]: fn spans, call sites, lock acquisitions,
+//!   pool-task closure ranges, hash-typed bindings, re-export aliases),
+//!   which fold into a workspace [`workspace::Model`] — a symbol table
+//!   and approximate name-based call graph.
+//! * **Pass 2** runs the rules in [`rules`] against each file and the
+//!   model. `cargo xtask lint --list-rules` prints the authoritative
+//!   rule list from [`rules::RULE_METAS`]; see DESIGN.md §7 for each
+//!   rule's rationale.
 //!
-//! Run as `cargo xtask lint`, the engine also walks the workspace
-//! `examples/` directory, classifying those files as binaries.
-//! Binary targets (`src/bin/**`, `src/main.rs`, `examples/**`) and
-//! `#[cfg(test)]` regions are exempt from the panic, float-eq, and
-//! must-use rules. The deprecated-shim rule applies to binaries and
-//! examples too (first-party code must not depend on shims slated for
-//! removal).
+//! File classes scope the rules: library sources get everything; binary
+//! targets (`src/bin/**`, `src/main.rs`, `examples/**`) are exempt from
+//! the panic, float-eq, must-use, and wall-clock rules; integration-test
+//! trees (`crates/*/tests/**`, workspace `tests/`) keep the determinism
+//! rules (`rng-discipline`, `no-nondeterministic-iteration`,
+//! `no-wallclock-in-deterministic`) plus directive hygiene, since tests
+//! are exactly where nondeterminism hides as flakiness. Directories
+//! named `fixtures` are skipped — lint corpora contain deliberate
+//! violations. `#[cfg(test)]` regions inside library files stay exempt
+//! from everything except directive hygiene.
+//!
 //! Any finding can be suppressed with `// lint:allow(<rule>) <reason>`
 //! on the same line or the line above — the reason text is mandatory
 //! and a missing reason is itself reported.
@@ -30,9 +34,10 @@
 
 pub mod lexer;
 pub mod rules;
+pub mod workspace;
 
 use lexer::{Lexed, Tok};
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -66,6 +71,9 @@ pub enum FileClass {
     Lib,
     /// Binary target source: exempt from panic/float-eq/must-use rules.
     Bin,
+    /// Integration-test source (`crates/*/tests/`, workspace `tests/`):
+    /// determinism rules and directive hygiene only.
+    Test,
 }
 
 /// Engine configuration.
@@ -82,6 +90,12 @@ pub struct LintConfig {
     /// `no-deprecated-internal-calls` when invoked as `.name(` anywhere
     /// in first-party code (binaries included; test regions exempt).
     pub deprecated_calls: Vec<String>,
+    /// Path prefixes (relative to the workspace root, `/` separators)
+    /// where wall-clock reads are legitimate: bench harnesses and timing
+    /// shims that *measure* wall time. Everywhere else
+    /// `no-wallclock-in-deterministic` bans `Instant::now`/
+    /// `SystemTime::now` in favour of the slot clock.
+    pub wallclock_allowed: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -117,6 +131,12 @@ impl Default for LintConfig {
                 "survey".to_string(),
                 "survey_with".to_string(),
                 "survey_under".to_string(),
+            ],
+            // The bench harness and the vendored criterion shim exist to
+            // measure wall time; everything else runs on the slot clock.
+            wallclock_allowed: vec![
+                "crates/bench/src/".to_string(),
+                "crates/xcriterion/src/".to_string(),
             ],
         }
     }
@@ -262,15 +282,20 @@ struct SourceFile {
     is_lib_root: bool,
     is_hot: bool,
     is_lock_hot: bool,
+    wallclock_ok: bool,
     lexed: Lexed,
     tests: Vec<(u32, u32)>,
 }
 
-/// Recursively collect `.rs` files under `dir`.
+/// Recursively collect `.rs` files under `dir`, skipping any directory
+/// named `fixtures` — lint corpora are deliberately dirty.
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {
+            if path.file_name().map(|n| n == "fixtures").unwrap_or(false) {
+                continue;
+            }
             collect_rs(&path, out)?;
         } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
             out.push(path);
@@ -283,17 +308,30 @@ fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>>
     let crates_dir = root.join("crates");
     let mut paths = Vec::new();
     for entry in std::fs::read_dir(&crates_dir)? {
-        let src = entry?.path().join("src");
+        let krate = entry?.path();
+        let src = krate.join("src");
         if src.is_dir() {
             collect_rs(&src, &mut paths)?;
+        }
+        // Per-crate integration tests are first-party code: the
+        // determinism rules apply there (flaky tests are where captured
+        // RNGs and wall-clock reads hide).
+        let tests = krate.join("tests");
+        if tests.is_dir() {
+            collect_rs(&tests, &mut paths)?;
         }
     }
     // Workspace examples are first-party code too — linted as binaries
     // so the deprecated-shim rule catches them (the directory is absent
-    // in the fixture corpora, hence the guard).
+    // in the fixture corpora, hence the guard). Same for the workspace
+    // integration-test crate at `tests/`.
     let examples_dir = root.join("examples");
     if examples_dir.is_dir() {
         collect_rs(&examples_dir, &mut paths)?;
+    }
+    let ws_tests = root.join("tests");
+    if ws_tests.is_dir() {
+        collect_rs(&ws_tests, &mut paths)?;
     }
     paths.sort();
     let mut files = Vec::new();
@@ -303,7 +341,9 @@ fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>>
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let class = if rel.starts_with("examples/")
+        let class = if rel.starts_with("tests/") || rel.contains("/tests/") {
+            FileClass::Test
+        } else if rel.starts_with("examples/")
             || rel.contains("/src/bin/")
             || rel.ends_with("/src/main.rs")
         {
@@ -311,9 +351,13 @@ fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>>
         } else {
             FileClass::Lib
         };
-        let is_lib_root = rel.ends_with("/src/lib.rs");
+        let is_lib_root = rel.ends_with("/src/lib.rs") && class == FileClass::Lib;
         let is_hot = cfg.hot_paths.iter().any(|h| rel.ends_with(h.as_str()));
         let is_lock_hot = cfg.lock_hot_paths.iter().any(|h| rel.ends_with(h.as_str()));
+        let wallclock_ok = cfg
+            .wallclock_allowed
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()));
         let text = std::fs::read_to_string(&path)?;
         let lexed = lexer::lex(&text);
         let tests = test_regions(&lexed.tokens);
@@ -323,6 +367,7 @@ fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>>
             is_lib_root,
             is_hot,
             is_lock_hot,
+            wallclock_ok,
             lexed,
             tests,
         });
@@ -336,20 +381,21 @@ fn load_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<SourceFile>>
 pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Finding>> {
     let files = load_files(root, cfg)?;
 
-    // Pass 1: workspace-wide set of Result-returning fn names (from lib
-    // files only; bins may define local helpers at their own risk).
-    let mut result_fn_names: BTreeSet<String> = BTreeSet::new();
-    for f in files.iter().filter(|f| f.class == FileClass::Lib) {
-        for (name, line, _, _) in rules::result_fns(&f.lexed.tokens) {
-            if !in_regions(&f.tests, line) {
-                result_fn_names.insert(name);
-            }
-        }
-    }
+    // Pass 1: per-file facts folded into the workspace model (symbol
+    // table, re-export aliases, sink reachability, lock graph).
+    let rel_paths: Vec<String> = files.iter().map(|f| f.rel_path.clone()).collect();
+    let lib_mask: Vec<bool> = files.iter().map(|f| f.class == FileClass::Lib).collect();
+    let facts: Vec<workspace::FileFacts> = files
+        .iter()
+        .map(|f| workspace::FileFacts::extract(&f.lexed.tokens))
+        .collect();
+    let model = workspace::Model::build(facts, &lib_mask);
 
-    // Pass 2: per-file rules.
+    // Pass 2: per-file rules against the model, then the global rules,
+    // then one suppression pass over everything.
     let mut all = Vec::new();
-    for f in &files {
+    let mut directives_by_file: BTreeMap<String, Vec<Directive>> = BTreeMap::new();
+    for (idx, f) in files.iter().enumerate() {
         let mut raw: Vec<Finding> = Vec::new();
         let directives = {
             let mut dir_findings = Vec::new();
@@ -357,40 +403,120 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Find
             raw.append(&mut dir_findings);
             ds
         };
+        let facts = &model.files[idx];
         if f.class == FileClass::Lib {
             rules::no_panic_in_lib(&f.lexed.tokens, f.is_hot, &mut raw);
             rules::no_float_eq(&f.lexed.tokens, &mut raw);
             rules::must_use_definitions(&f.lexed.tokens, &mut raw);
-            rules::must_use_call_sites(&f.lexed.tokens, &|n| result_fn_names.contains(n), &mut raw);
+            rules::must_use_call_sites(&f.lexed.tokens, &|n| model.returns_result(n), &mut raw);
             rules::no_lock_in_hotpath(&f.lexed.tokens, f.is_lock_hot, &mut raw);
         }
-        rules::unit_suffix_discipline(&f.lexed.tokens, &mut raw);
-        rules::no_deprecated_internal_calls(&f.lexed.tokens, &cfg.deprecated_calls, &mut raw);
-        if f.is_lib_root && f.class == FileClass::Lib {
+        if f.class != FileClass::Bin {
+            // Determinism rules: library and test code. Binaries and
+            // examples may demo wall-clock timing or iterate however
+            // they like — their output is not digested.
+            rules::no_wallclock(&f.lexed.tokens, f.wallclock_ok, &mut raw);
+            rules::no_nondeterministic_iteration(
+                &f.lexed.tokens,
+                &|name, tok| facts.is_hash_use(name, tok),
+                &|tok| facts.enclosing_fn(tok).map(|s| s.name.clone()),
+                &|name| model.reaches_sink(name),
+                &mut raw,
+            );
+        }
+        // Seed discipline binds everywhere a pool task can be spawned.
+        rules::rng_discipline(&f.lexed.tokens, &facts.task_regions, &mut raw);
+        if f.class != FileClass::Test {
+            rules::unit_suffix_discipline(&f.lexed.tokens, &mut raw);
+            rules::no_deprecated_internal_calls(&f.lexed.tokens, &cfg.deprecated_calls, &mut raw);
+        }
+        if f.is_lib_root {
             rules::deny_unsafe(&f.lexed.tokens, &mut raw);
         }
         for mut finding in raw {
             finding.file = f.rel_path.clone();
             // Test regions are exempt from everything except directive
-            // hygiene (a bad lint:allow is bad anywhere).
-            if finding.rule != rules::RULE_LINT_ALLOW && in_regions(&f.tests, finding.line) {
+            // hygiene (a bad lint:allow is bad anywhere) and the
+            // determinism rules, which exist to keep tests honest.
+            let test_exempt = !matches!(
+                finding.rule,
+                rules::RULE_LINT_ALLOW
+                    | rules::RULE_RNG_DISCIPLINE
+                    | rules::RULE_NO_HASH_ITER
+                    | rules::RULE_NO_WALLCLOCK
+            );
+            if test_exempt && in_regions(&f.tests, finding.line) {
                 continue;
             }
-            // Suppression: a matching directive on the same line or the
-            // line directly above.
-            let suppressed = finding.rule != rules::RULE_LINT_ALLOW
-                && directives.iter().any(|d| {
-                    d.rule == finding.rule
-                        && (d.line == finding.line || d.line + 1 == finding.line)
-                        && !d.reason.is_empty()
-                });
-            if !suppressed {
-                all.push(finding);
+            all.push(finding);
+        }
+        directives_by_file.insert(f.rel_path.clone(), directives);
+    }
+
+    // Global rules: findings already carry their anchor file/line.
+    model.lock_order_cycles(&rel_paths, &mut all);
+
+    // Suppression: a matching directive on the same line or the line
+    // directly above, in the finding's own file.
+    all.retain(|finding| {
+        if finding.rule == rules::RULE_LINT_ALLOW {
+            return true;
+        }
+        let Some(directives) = directives_by_file.get(&finding.file) else {
+            return true;
+        };
+        !directives.iter().any(|d| {
+            d.rule == finding.rule
+                && (d.line == finding.line || d.line + 1 == finding.line)
+                && !d.reason.is_empty()
+        })
+    });
+    all.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(all)
+}
+
+/// Renders findings as the `ecocapsule-lint/1` JSON report consumed by
+/// CI: a stable schema name, a verdict, and one object per finding.
+#[must_use]
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
             }
         }
+        out
     }
-    all.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
-    Ok(all)
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ecocapsule-lint/1\",\n");
+    out.push_str(&format!("  \"clean\": {},\n", findings.is_empty()));
+    out.push_str(&format!("  \"finding_count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
+            f.rule,
+            esc(&f.msg)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 #[cfg(test)]

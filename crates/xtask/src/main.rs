@@ -3,9 +3,11 @@
 //! Usage (via the `.cargo/config.toml` alias):
 //!
 //! ```text
-//! cargo xtask lint             # lint the workspace, exit 1 on findings
-//! cargo xtask lint --root DIR  # lint another tree (used by fixtures)
-//! cargo xtask rules            # list the rules and their meaning
+//! cargo xtask lint                    # lint the workspace, exit 1 on findings
+//! cargo xtask lint --format json      # machine-readable report (ecocapsule-lint/1)
+//! cargo xtask lint --root DIR         # lint another tree (used by fixtures)
+//! cargo xtask lint --list-rules       # list every rule and its scope
+//! cargo xtask rules                   # same listing, as a subcommand
 //! ```
 
 use std::path::PathBuf;
@@ -20,14 +22,22 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: cargo xtask <lint [--root DIR] | rules>");
+            eprintln!(
+                "usage: cargo xtask <lint [--root DIR] [--format text|json] [--list-rules] | rules>"
+            );
             ExitCode::from(2)
         }
     }
 }
 
+enum Format {
+    Text,
+    Json,
+}
+
 fn lint(args: &[String]) -> ExitCode {
     let mut root = None;
+    let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -38,6 +48,21 @@ fn lint(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!(
+                        "error: --format requires `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                print_rules();
+                return ExitCode::SUCCESS;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 return ExitCode::from(2);
@@ -55,20 +80,26 @@ fn lint(args: &[String]) -> ExitCode {
         },
     };
     match xtask::lint_workspace(&root, &xtask::LintConfig::default()) {
-        Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: clean ✓");
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            match format {
+                Format::Json => print!("{}", xtask::findings_to_json(&findings)),
+                Format::Text if findings.is_empty() => println!("xtask lint: clean ✓"),
+                Format::Text => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    println!("\nxtask lint: {} finding(s)", findings.len());
+                    println!(
+                        "suppress intentional cases with `// lint:allow(<rule>) <reason>` \
+                         (reason mandatory); see CONTRIBUTING.md"
+                    );
+                }
             }
-            println!("\nxtask lint: {} finding(s)", findings.len());
-            println!(
-                "suppress intentional cases with `// lint:allow(<rule>) <reason>` \
-                 (reason mandatory); see CONTRIBUTING.md"
-            );
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -91,21 +122,37 @@ fn workspace_root() -> Option<PathBuf> {
     }
 }
 
+/// Prints the rule listing from the single source of truth,
+/// [`xtask::rules::RULE_METAS`].
 fn print_rules() {
     println!("xtask lint rules:");
-    println!("  no-panic-in-lib   no unwrap()/expect(/panic!/todo!/unimplemented!/unreachable!");
-    println!("                    in library code; no slice indexing in hot-path files");
-    println!("  unit-suffix       physical quantities carry unit suffixes (_hz, _db, _m_s, …);");
-    println!("                    +/-/comparisons must not mix different unit suffixes");
-    println!("  no-float-eq       no ==/!= on float expressions; compare with a tolerance");
-    println!("  deny-unsafe       every lib crate root carries #![forbid(unsafe_code)]");
-    println!("  must-use-results  pub Result fns are #[must_use]; Results are never discarded");
-    println!("  no-lock-in-hotpath  no mutex .lock() in designated compute hot-path files;");
-    println!("                    O(1) critical sections need a reasoned lint:allow");
-    println!("  no-deprecated-internal-calls  no .survey()/.survey_with()/.survey_under()");
-    println!("                    shim calls in first-party code; use SurveyOptions");
-    println!();
+    for meta in xtask::rules::RULE_METAS {
+        println!("\n  {}", meta.name);
+        for line in wrap(meta.summary, 66) {
+            println!("      {line}");
+        }
+        println!("      scope: {}", meta.scope);
+    }
     println!(
-        "suppress: // lint:allow(<rule>) <reason>   (same line or line above; reason required)"
+        "\nsuppress: // lint:allow(<rule>) <reason>   (same line or line above; reason required)"
     );
+}
+
+/// Greedy word wrap for terminal output.
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut cur = String::new();
+    for word in text.split_whitespace() {
+        if !cur.is_empty() && cur.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut cur));
+        }
+        if !cur.is_empty() {
+            cur.push(' ');
+        }
+        cur.push_str(word);
+    }
+    if !cur.is_empty() {
+        lines.push(cur);
+    }
+    lines
 }

@@ -23,6 +23,14 @@ pub const RULE_MUST_USE: &str = "must-use-results";
 pub const RULE_NO_LOCK: &str = "no-lock-in-hotpath";
 /// Deprecated-shim call rule name.
 pub const RULE_NO_DEPRECATED: &str = "no-deprecated-internal-calls";
+/// RNG seed-discipline rule name (task closures and ambient entropy).
+pub const RULE_RNG_DISCIPLINE: &str = "rng-discipline";
+/// HashMap/HashSet iteration on digest/trace-feeding paths rule name.
+pub const RULE_NO_HASH_ITER: &str = "no-nondeterministic-iteration";
+/// Wall-clock reads outside the allowlisted timing set rule name.
+pub const RULE_NO_WALLCLOCK: &str = "no-wallclock-in-deterministic";
+/// Lock-acquisition-order cycle rule name.
+pub const RULE_LOCK_ORDER: &str = "lock-order-cycles";
 /// Pseudo-rule for malformed `lint:allow` directives (not suppressible).
 pub const RULE_LINT_ALLOW: &str = "lint-allow";
 
@@ -35,6 +43,100 @@ pub const ALL_RULES: &[&str] = &[
     RULE_MUST_USE,
     RULE_NO_LOCK,
     RULE_NO_DEPRECATED,
+    RULE_RNG_DISCIPLINE,
+    RULE_NO_HASH_ITER,
+    RULE_NO_WALLCLOCK,
+    RULE_LOCK_ORDER,
+];
+
+/// Self-description of one lint rule, for `--list-rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Rule identifier as used in findings and `lint:allow`.
+    pub name: &'static str,
+    /// One-line invariant statement.
+    pub summary: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
+}
+
+/// Metadata for every rule, in reporting order (the `lint-allow`
+/// directive-hygiene pseudo-rule included, marked unsuppressible).
+pub const RULE_METAS: &[RuleMeta] = &[
+    RuleMeta {
+        name: RULE_NO_PANIC,
+        summary: "no unwrap()/expect(/panic!/todo!/unimplemented!/unreachable! in library \
+                  code; no slice indexing in designated hot-path files",
+        scope: "library code (hot-path indexing per config)",
+    },
+    RuleMeta {
+        name: RULE_UNIT_SUFFIX,
+        summary: "physical quantities carry unit suffixes (_hz, _db, _m_s, ...); +/- and \
+                  comparisons never mix two different suffixes",
+        scope: "library and binary code",
+    },
+    RuleMeta {
+        name: RULE_NO_FLOAT_EQ,
+        summary: "no ==/!= against float literals or between unit-suffixed floats; compare \
+                  against a tolerance",
+        scope: "library code",
+    },
+    RuleMeta {
+        name: RULE_DENY_UNSAFE,
+        summary: "every library crate root carries #![forbid(unsafe_code)]",
+        scope: "crate roots",
+    },
+    RuleMeta {
+        name: RULE_MUST_USE,
+        summary: "pub Result-returning fns are #[must_use]; no statement discards a call \
+                  whose name resolves (workspace-wide, re-exports included, ambiguous \
+                  names skipped) to a Result-returning fn",
+        scope: "library code, workspace-resolved call sites",
+    },
+    RuleMeta {
+        name: RULE_NO_LOCK,
+        summary: "no mutex .lock() in designated compute hot-path files without a \
+                  reasoned lint:allow",
+        scope: "lock hot-path files per config",
+    },
+    RuleMeta {
+        name: RULE_NO_DEPRECATED,
+        summary: "no calls to deprecated in-repo shims (.survey/.survey_with/.survey_under); \
+                  build a SurveyOptions instead",
+        scope: "all first-party code, examples included",
+    },
+    RuleMeta {
+        name: RULE_RNG_DISCIPLINE,
+        summary: "code inside a par_map/spawn task closure derives its RNG seed via \
+                  exec::seed::derive; no captured RNG crossing the task boundary, no \
+                  ambient entropy (thread_rng/from_entropy) anywhere",
+        scope: "all first-party code, test trees included",
+    },
+    RuleMeta {
+        name: RULE_NO_HASH_ITER,
+        summary: "no HashMap/HashSet iteration inside a function from which a digest, \
+                  trace, checkpoint, or export sink is reachable; use BTreeMap or sort \
+                  the collected entries",
+        scope: "library and test code, workspace call graph",
+    },
+    RuleMeta {
+        name: RULE_NO_WALLCLOCK,
+        summary: "no Instant::now()/SystemTime::now() outside the allowlisted bench/obs \
+                  timing set; deterministic code uses the slot clock",
+        scope: "library and test code, allowlist per config",
+    },
+    RuleMeta {
+        name: RULE_LOCK_ORDER,
+        summary: "the workspace lock-acquisition graph (direct and call-mediated) is \
+                  cycle-free; a cycle means two paths can deadlock",
+        scope: "workspace-wide",
+    },
+    RuleMeta {
+        name: RULE_LINT_ALLOW,
+        summary: "lint:allow directives name a known rule and carry a written reason \
+                  (not suppressible)",
+        scope: "everywhere",
+    },
 ];
 
 /// Unit suffixes recognised by the unit-suffix rule. Longest match wins
@@ -219,7 +321,7 @@ pub fn no_deprecated_internal_calls(
     }
 }
 
-fn is_keyword(s: &str) -> bool {
+pub(crate) fn is_keyword(s: &str) -> bool {
     matches!(
         s,
         "as" | "break"
@@ -254,6 +356,267 @@ fn is_keyword(s: &str) -> bool {
             | "where"
             | "while"
     )
+}
+
+/// True for identifiers that conventionally name an RNG value.
+fn is_rng_ident(name: &str) -> bool {
+    name == "rng" || name.ends_with("_rng") || name.starts_with("rng_")
+}
+
+/// Rule 8: RNG discipline across task boundaries.
+///
+/// A parallel survey is only reproducible when every pool task draws
+/// from its own stream seeded via `exec::seed::derive` — one shared RNG
+/// crossing a `par_map`/`spawn` closure makes the draw order depend on
+/// scheduling. Three violations, in the order a reviewer meets them:
+///
+/// 1. an RNG-named identifier used inside a task closure without being
+///    bound inside it (`let [mut] <name> = …` or a closure parameter) —
+///    captured shared state crossing the task boundary;
+/// 2. `seed_from_u64(…)` inside a task closure whose argument mentions
+///    neither `derive`/`derive2` nor a `seed`-named value — a constant
+///    or index-derived seed that `exec::seed::derive` exists to replace;
+/// 3. `thread_rng()`/`from_entropy()` anywhere — ambient entropy that no
+///    seed can reproduce.
+///
+/// `regions` is the file's task-closure token ranges from pass 1
+/// ([`crate::workspace::FileFacts::task_regions`]).
+pub fn rng_discipline(tokens: &[Tok], regions: &[(usize, usize)], findings: &mut Vec<Finding>) {
+    for &(start, end) in regions {
+        // Closure parameters sit between the opening `|` and its mate;
+        // they are bindings, not captures.
+        let mut params_end = start;
+        if tokens.get(start).map(|t| t.is_op("|")).unwrap_or(false) {
+            let mut j = start + 1;
+            while j <= end {
+                if tokens.get(j).map(|t| t.is_op("|")).unwrap_or(false) {
+                    params_end = j;
+                    break;
+                }
+                j += 1;
+            }
+        }
+        for i in start..=end {
+            let Some(t) = tokens.get(i) else { break };
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if is_rng_ident(&t.text) && i > params_end {
+                // A binding is a closure param or `let [mut] name` — NOT
+                // `&mut name` at a call site, whose `mut` is a borrow.
+                let is_binding = |j: usize| {
+                    if j <= params_end {
+                        return true;
+                    }
+                    let prev = |n: usize| tokens.get(j.wrapping_sub(n));
+                    prev(1).map(|p| p.is_ident("let")).unwrap_or(false)
+                        || (prev(1).map(|p| p.is_ident("mut")).unwrap_or(false)
+                            && prev(2).map(|p| p.is_ident("let")).unwrap_or(false))
+                };
+                let bound_inside = (start..=i).any(|j| {
+                    let Some(b) = tokens.get(j) else { return false };
+                    b.kind == TokKind::Ident && b.text == t.text && is_binding(j)
+                });
+                if !bound_inside {
+                    push(
+                        findings,
+                        RULE_RNG_DISCIPLINE,
+                        t.line,
+                        format!(
+                            "`{}` is captured by a task closure; a shared RNG crossing \
+                             the task boundary makes draws scheduling-dependent — bind a \
+                             task-local RNG seeded via exec::seed::derive",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            if t.text == "seed_from_u64" && tokens.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false)
+            {
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                let mut disciplined = false;
+                while let Some(tk) = tokens.get(j) {
+                    if tk.is_op("(") {
+                        depth += 1;
+                    } else if tk.is_op(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if tk.kind == TokKind::Ident
+                        && (tk.text == "derive" || tk.text == "derive2" || tk.text.contains("seed"))
+                    {
+                        disciplined = true;
+                    }
+                    j += 1;
+                }
+                if !disciplined {
+                    push(
+                        findings,
+                        RULE_RNG_DISCIPLINE,
+                        t.line,
+                        "task-local RNG seeded without exec::seed::derive; a constant or \
+                         raw-index seed correlates task streams — derive the seed from \
+                         (base, task index)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+    // Ambient entropy is a violation anywhere, tasks or not.
+    for (i, t) in tokens.iter().enumerate() {
+        let calls = tokens.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false);
+        if calls && (t.is_ident("thread_rng") || t.is_ident("from_entropy")) {
+            push(
+                findings,
+                RULE_RNG_DISCIPLINE,
+                t.line,
+                format!(
+                    "{}() draws ambient entropy that no seed reproduces; thread a seeded \
+                     StdRng through instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Iterator-yielding methods whose order on a hash collection is
+/// unspecified.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Rule 9: no HashMap/HashSet iteration on a digest/trace-feeding path.
+///
+/// `is_hash_use` says whether an identifier at a token index refers to
+/// a hash-typed binding visible there, and `reaches_sink` whether a
+/// digest/trace/export sink is reachable from a given enclosing
+/// function (both from pass 1). An iteration is excused when the same
+/// or next statement sorts what it produced (`…collect(); v.sort…;`),
+/// matching the "BTreeMap or an explicit sort" contract.
+pub fn no_nondeterministic_iteration(
+    tokens: &[Tok],
+    is_hash_use: &dyn Fn(&str, usize) -> bool,
+    enclosing_fn: &dyn Fn(usize) -> Option<String>,
+    reaches_sink: &dyn Fn(&str) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !is_hash_use(&t.text, i) {
+            continue;
+        }
+        // `map.iter()`-family method call, or a bare `for … in [&[mut]] map`.
+        let dotted = tokens.get(i + 1).map(|n| n.is_op(".")).unwrap_or(false)
+            && tokens
+                .get(i + 2)
+                .map(|m| {
+                    m.kind == TokKind::Ident
+                        && HASH_ITER_METHODS.contains(&m.text.as_str())
+                        && tokens.get(i + 3).map(|p| p.is_op("(")).unwrap_or(false)
+                })
+                .unwrap_or(false);
+        let for_in = (1..=2).any(|back| {
+            i >= back
+                && tokens
+                    .get(i - back)
+                    .map(|p| p.is_ident("in"))
+                    .unwrap_or(false)
+                && (back == 1
+                    || tokens
+                        .get(i - 1)
+                        .map(|p| p.is_op("&") || p.is_ident("mut"))
+                        .unwrap_or(false))
+        });
+        if !dotted && !for_in {
+            continue;
+        }
+        let Some(caller) = enclosing_fn(i) else {
+            continue;
+        };
+        if !reaches_sink(&caller) {
+            continue;
+        }
+        // Excuse: the produced sequence is sorted within this statement
+        // or the next one.
+        let mut semis = 0;
+        let mut sorted = false;
+        let mut j = i + 1;
+        while let Some(tk) = tokens.get(j) {
+            if tk.is_op(";") {
+                semis += 1;
+                if semis == 2 {
+                    break;
+                }
+            } else if tk.kind == TokKind::Ident && tk.text.starts_with("sort") {
+                sorted = true;
+                break;
+            }
+            j += 1;
+        }
+        if sorted {
+            continue;
+        }
+        push(
+            findings,
+            RULE_NO_HASH_ITER,
+            t.line,
+            format!(
+                "iteration over hash collection `{}` inside `{}`, which feeds a \
+                 digest/trace/export sink; hash order is unspecified — use a BTreeMap \
+                 or sort the collected entries",
+                t.text, caller
+            ),
+        );
+    }
+}
+
+/// Rule 10: no wall-clock reads in deterministic code.
+///
+/// Every guarantee in the repo — bit-identical traces, seed-paired
+/// benches, resume digests — is stated over the slot clock.
+/// `Instant::now()`/`SystemTime::now()` only belong in the allowlisted
+/// timing set (bench harnesses measuring wall time); `allowed` is
+/// decided per file from [`crate::LintConfig::wallclock_allowed`].
+pub fn no_wallclock(tokens: &[Tok], allowed: bool, findings: &mut Vec<Finding>) {
+    if allowed {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        let clock_type = t.is_ident("Instant") || t.is_ident("SystemTime");
+        if !clock_type {
+            continue;
+        }
+        let is_now_call = tokens.get(i + 1).map(|n| n.is_op("::")).unwrap_or(false)
+            && tokens
+                .get(i + 2)
+                .map(|m| m.is_ident("now"))
+                .unwrap_or(false)
+            && tokens.get(i + 3).map(|p| p.is_op("(")).unwrap_or(false);
+        if is_now_call {
+            push(
+                findings,
+                RULE_NO_WALLCLOCK,
+                t.line,
+                format!(
+                    "{}::now() in deterministic code; timestamps must come from the \
+                     slot clock (obs::SlotClock) — wall time is allowlisted only for \
+                     bench harnesses",
+                    t.text
+                ),
+            );
+        }
+    }
 }
 
 /// Rule 2a: declared names (let-bindings, fn params, struct fields) that

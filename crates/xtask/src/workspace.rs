@@ -1,0 +1,985 @@
+//! Pass 1 of the workspace analyzer: a symbol table and approximate
+//! call graph over every scanned file.
+//!
+//! The per-file token rules in [`crate::rules`] can only see one file at
+//! a time. The cross-file rules added for the determinism contract —
+//! `rng-discipline`, `no-nondeterministic-iteration`,
+//! `lock-order-cycles`, and the workspace-resolved `must-use-results`
+//! call-site check — need facts that span crates: which functions exist
+//! (and under which re-exported aliases), who calls whom, which token
+//! ranges run as pool tasks, and where locks are acquired. This module
+//! extracts those facts from the token streams ([`FileFacts`]) and folds
+//! them into a workspace [`Model`].
+//!
+//! Everything here is *approximate by design*: resolution is name-based
+//! (no type inference, no module hygiene), which keeps `xtask`
+//! dependency-free and fast. Rules built on the model are scoped so a
+//! misresolution produces at worst a suppressible finding, never a
+//! missed build break — and every suppression carries a written reason,
+//! so the places where the approximation bites stay auditable.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `fn` definition: its name and the token/line extent of its body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name as written (methods included).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub tok_start: usize,
+    /// Token index of the body's closing `}` (or the trailing `;` for a
+    /// bodiless trait/extern declaration).
+    pub tok_end: usize,
+    /// Whether the return type mentions `Result`/`EcoResult`.
+    pub returns_result: bool,
+}
+
+/// One call site: `name(` anywhere (free fns, methods, tuple ctors).
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name as written at the call site.
+    pub name: String,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+}
+
+/// One lock acquisition: `x.lock()` or the house `lock(&x)` helper.
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    /// Approximate lock identity: the receiver / argument identifier.
+    pub name: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Token index of the acquisition.
+    pub tok: usize,
+}
+
+/// Facts extracted from one file's token stream.
+#[derive(Debug, Default)]
+pub struct FileFacts {
+    /// Every `fn` definition, in source order.
+    pub fns: Vec<FnSpan>,
+    /// Every call site, in source order.
+    pub calls: Vec<Call>,
+    /// Every lock acquisition, in source order.
+    pub locks: Vec<LockAcq>,
+    /// Token ranges (inclusive) of closures handed to `par_map(…)` or
+    /// `.spawn(…)` — code that runs as a pool task.
+    pub task_regions: Vec<(usize, usize)>,
+    /// Names bound to `HashMap`/`HashSet` values in this file (lets,
+    /// params, struct fields), with the binding's token index so uses
+    /// can be scoped to the binding's enclosing function.
+    pub hash_bindings: Vec<(String, usize)>,
+    /// `pub use … as alias` pairs: `(alias, target)`.
+    pub reexports: Vec<(String, String)>,
+}
+
+/// Per-name definition facts for workspace `must-use-results`
+/// resolution.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NameFacts {
+    /// Number of workspace definitions with this name.
+    pub defs: usize,
+    /// How many of them return `Result`/`EcoResult`.
+    pub result_defs: usize,
+}
+
+/// The workspace model: per-file facts plus the global tables pass 2
+/// queries.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// Facts for each scanned file, parallel to the engine's file list.
+    pub files: Vec<FileFacts>,
+    /// Definition facts per function name (library files only).
+    pub fn_names: BTreeMap<String, NameFacts>,
+    /// Function names from which a digest/trace/export sink is reachable
+    /// through the approximate call graph.
+    pub sink_reaching: BTreeSet<String>,
+}
+
+/// Function names whose output ordering is observable: digests, traces,
+/// serialized formats, exports. A function that (transitively) calls one
+/// of these must not iterate a `HashMap`/`HashSet` on the way.
+pub const DIGEST_SINKS: &[&str] = &[
+    "digest",
+    "digest_words",
+    "fnv1a",
+    "to_bytes",
+    "to_jsonl",
+    "encode_words",
+    "checkpoint",
+    "write_jsonl",
+    "export",
+];
+
+/// Callee names excluded from the call graph: `lock(…)` calls are
+/// modelled as acquisitions (not calls), and `drop(x)` *releases* a
+/// guard — following it into `Drop::drop` impls would invert its
+/// meaning and report every guarded release as a re-acquisition.
+const NON_CALLEES: &[&str] = &["lock", "drop"];
+
+impl FileFacts {
+    /// Extracts all per-file facts from one token stream.
+    #[must_use]
+    pub fn extract(tokens: &[Tok]) -> FileFacts {
+        let mut facts = FileFacts {
+            fns: fn_spans(tokens),
+            ..FileFacts::default()
+        };
+        extract_calls_and_locks(tokens, &mut facts);
+        facts.task_regions = task_regions(tokens);
+        facts.hash_bindings = hash_bindings(tokens);
+        facts.reexports = reexports(tokens);
+        facts
+    }
+
+    /// The innermost function span containing token index `tok`.
+    #[must_use]
+    pub fn enclosing_fn(&self, tok: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.tok_start <= tok && tok <= f.tok_end)
+            .min_by_key(|f| f.tok_end - f.tok_start)
+    }
+
+    /// Whether an identifier use at token `tok` refers to a hash-typed
+    /// binding: same name, bound in the same enclosing function or at
+    /// file scope (struct fields, statics). A `BTreeMap` local in one
+    /// function is not poisoned by a `HashMap` param of the same name
+    /// in another.
+    #[must_use]
+    pub fn is_hash_use(&self, name: &str, tok: usize) -> bool {
+        let use_span = self.enclosing_fn(tok).map(|f| (f.tok_start, f.tok_end));
+        self.hash_bindings.iter().any(|(n, btok)| {
+            if n != name {
+                return false;
+            }
+            match (use_span, self.enclosing_fn(*btok)) {
+                (Some((s, e)), Some(_)) => s <= *btok && *btok <= e,
+                // A file-scope binding is visible everywhere; a use at
+                // file scope sees everything.
+                _ => true,
+            }
+        })
+    }
+}
+
+impl Model {
+    /// Builds the model over every scanned file's facts. `lib_mask[i]`
+    /// marks files whose definitions feed the symbol table (library
+    /// code; bins define local helpers at their own risk, mirroring the
+    /// pre-existing must-use scope).
+    #[must_use]
+    pub fn build(files: Vec<FileFacts>, lib_mask: &[bool]) -> Model {
+        let mut fn_names: BTreeMap<String, NameFacts> = BTreeMap::new();
+        for (facts, &is_lib) in files.iter().zip(lib_mask) {
+            if !is_lib {
+                continue;
+            }
+            for f in &facts.fns {
+                let entry = fn_names.entry(f.name.clone()).or_default();
+                entry.defs += 1;
+                if f.returns_result {
+                    entry.result_defs += 1;
+                }
+            }
+        }
+        // `pub use inner::f as g` gives `g` the facts of `f` unless `g`
+        // is itself defined somewhere (a real definition wins).
+        let mut aliases: Vec<(String, NameFacts)> = Vec::new();
+        for (facts, &is_lib) in files.iter().zip(lib_mask) {
+            if !is_lib {
+                continue;
+            }
+            for (alias, target) in &facts.reexports {
+                if let Some(&target_facts) = fn_names.get(target) {
+                    if !fn_names.contains_key(alias) {
+                        aliases.push((alias.clone(), target_facts));
+                    }
+                }
+            }
+        }
+        for (alias, f) in aliases {
+            fn_names.insert(alias, f);
+        }
+
+        // Name-level call graph: fn name -> callee names, then the
+        // fixpoint of "reaches a digest sink".
+        let mut callees: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for facts in &files {
+            for call in &facts.calls {
+                if let Some(caller) = facts.enclosing_fn(call.tok) {
+                    callees
+                        .entry(caller.name.as_str())
+                        .or_default()
+                        .insert(call.name.as_str());
+                }
+            }
+        }
+        let mut reaching: BTreeSet<String> = BTreeSet::new();
+        loop {
+            let mut grew = false;
+            for (&caller, callee_set) in &callees {
+                if reaching.contains(caller) {
+                    continue;
+                }
+                let hits = callee_set.iter().any(|c| {
+                    DIGEST_SINKS.contains(c) || c.starts_with("digest_") || reaching.contains(*c)
+                });
+                if hits {
+                    reaching.insert(caller.to_string());
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        Model {
+            files,
+            fn_names,
+            sink_reaching: reaching,
+        }
+    }
+
+    /// Workspace-resolved `must-use-results` predicate: a call to `name`
+    /// is known Result-returning only when every workspace definition of
+    /// that name (there may be several, across crates) returns `Result`.
+    /// An ambiguous name — defined both ways somewhere — is skipped
+    /// instead of guessed, which is the precision upgrade over the old
+    /// flat name set.
+    #[must_use]
+    pub fn returns_result(&self, name: &str) -> bool {
+        self.fn_names
+            .get(name)
+            .map(|f| f.result_defs > 0 && f.result_defs == f.defs)
+            .unwrap_or(false)
+    }
+
+    /// Whether a digest/trace/export sink is reachable from `fn_name`.
+    #[must_use]
+    pub fn reaches_sink(&self, fn_name: &str) -> bool {
+        DIGEST_SINKS.contains(&fn_name)
+            || fn_name.starts_with("digest_")
+            || self.sink_reaching.contains(fn_name)
+    }
+
+    /// Detects potential deadlock cycles in the workspace lock-order
+    /// graph and reports one finding per cycle.
+    ///
+    /// Nodes are approximate lock identities (receiver names); an edge
+    /// `a → b` means some function acquires `a` and later — in the same
+    /// body, or in a function it calls after the acquisition — acquires
+    /// `b`. A cycle means two call paths can interleave into a deadlock.
+    /// The report site is the lexicographically first acquisition of the
+    /// cycle's first lock, so reruns are stable.
+    pub fn lock_order_cycles(&self, rel_paths: &[String], findings: &mut Vec<Finding>) {
+        // Locks each function acquires directly.
+        let mut direct: BTreeMap<&str, Vec<&LockAcq>> = BTreeMap::new();
+        let mut call_sites: BTreeMap<&str, Vec<(&str, usize)>> = BTreeMap::new();
+        for facts in &self.files {
+            for acq in &facts.locks {
+                if let Some(f) = facts.enclosing_fn(acq.tok) {
+                    direct.entry(f.name.as_str()).or_default().push(acq);
+                }
+            }
+            for call in &facts.calls {
+                if let Some(f) = facts.enclosing_fn(call.tok) {
+                    call_sites
+                        .entry(f.name.as_str())
+                        .or_default()
+                        .push((call.name.as_str(), call.tok));
+                }
+            }
+        }
+        // Locks a function acquires transitively (any call depth).
+        let mut memo: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        let fn_names: Vec<&str> = direct
+            .keys()
+            .chain(call_sites.keys())
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for name in &fn_names {
+            let mut seen = BTreeSet::new();
+            transitive_locks(name, &direct, &call_sites, &mut seen, &mut memo);
+        }
+
+        // Edges of the lock-order graph.
+        let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+        for facts in &self.files {
+            for (i, acq) in facts.locks.iter().enumerate() {
+                let Some(f) = facts.enclosing_fn(acq.tok) else {
+                    continue;
+                };
+                // Later acquisitions in the same body. Self-edges are
+                // skipped: re-acquiring the same name is a guard-lifetime
+                // question (the first guard may have dropped), not a lock
+                // *ordering* violation.
+                for later in facts.locks.iter().skip(i + 1) {
+                    if later.tok <= f.tok_end && later.name != acq.name {
+                        edges.insert((acq.name.clone(), later.name.clone()));
+                    }
+                }
+                // Acquisitions inside functions called after this one.
+                if let Some(calls) = call_sites.get(f.name.as_str()) {
+                    for &(callee, tok) in calls {
+                        if tok > acq.tok && tok <= f.tok_end {
+                            if let Some(held) = memo.get(callee) {
+                                for m in held.iter().filter(|m| **m != acq.name) {
+                                    edges.insert((acq.name.clone(), m.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle detection: a cycle exists iff some lock can reach itself.
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for (a, b) in &edges {
+            adj.entry(a.as_str()).or_default().insert(b.as_str());
+        }
+        let mut reported: BTreeSet<String> = BTreeSet::new();
+        for start in adj.keys().copied().collect::<Vec<_>>() {
+            if reported.contains(start) {
+                continue;
+            }
+            if let Some(path) = cycle_through(start, &adj) {
+                for node in &path {
+                    reported.insert(node.clone());
+                }
+                // Anchor the finding at the first acquisition of the
+                // cycle's first lock, in path order.
+                let site = self
+                    .files
+                    .iter()
+                    .zip(rel_paths)
+                    .flat_map(|(facts, rel)| {
+                        facts
+                            .locks
+                            .iter()
+                            .filter(|a| a.name == path[0])
+                            .map(move |a| (rel.clone(), a.line))
+                    })
+                    .min();
+                let (file, line) = site.unwrap_or_default();
+                findings.push(Finding {
+                    file,
+                    line,
+                    rule: rules::RULE_LOCK_ORDER,
+                    msg: format!(
+                        "potential lock-order cycle: {} -> {}; two call paths \
+                         acquiring these locks in different orders can deadlock — \
+                         pick one global order",
+                        path.join(" -> "),
+                        path[0],
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// DFS for a cycle starting and ending at `start`; returns the node
+/// path (without the repeated endpoint) if one exists.
+fn cycle_through<'g>(
+    start: &'g str,
+    adj: &BTreeMap<&'g str, BTreeSet<&'g str>>,
+) -> Option<Vec<String>> {
+    fn dfs<'g>(
+        at: &'g str,
+        start: &'g str,
+        adj: &BTreeMap<&'g str, BTreeSet<&'g str>>,
+        path: &mut Vec<&'g str>,
+        on_path: &mut BTreeSet<&'g str>,
+    ) -> bool {
+        if let Some(next) = adj.get(at) {
+            for &n in next {
+                if n == start {
+                    return true;
+                }
+                if on_path.insert(n) {
+                    path.push(n);
+                    if dfs(n, start, adj, path, on_path) {
+                        return true;
+                    }
+                    path.pop();
+                    on_path.remove(n);
+                }
+            }
+        }
+        false
+    }
+    let mut path = vec![start];
+    let mut on_path = BTreeSet::new();
+    on_path.insert(start);
+    if dfs(start, start, adj, &mut path, &mut on_path) {
+        Some(path.into_iter().map(str::to_string).collect())
+    } else {
+        None
+    }
+}
+
+fn transitive_locks<'a>(
+    name: &'a str,
+    direct: &BTreeMap<&'a str, Vec<&LockAcq>>,
+    call_sites: &BTreeMap<&'a str, Vec<(&'a str, usize)>>,
+    seen: &mut BTreeSet<&'a str>,
+    memo: &mut BTreeMap<&'a str, BTreeSet<String>>,
+) -> BTreeSet<String> {
+    if let Some(done) = memo.get(name) {
+        return done.clone();
+    }
+    if !seen.insert(name) {
+        return BTreeSet::new(); // recursion cut; partial result is fine
+    }
+    let mut out: BTreeSet<String> = direct
+        .get(name)
+        .map(|acqs| acqs.iter().map(|a| a.name.clone()).collect())
+        .unwrap_or_default();
+    if let Some(calls) = call_sites.get(name) {
+        for &(callee, _) in calls {
+            out.extend(transitive_locks(callee, direct, call_sites, seen, memo));
+        }
+    }
+    memo.insert(name, out.clone());
+    out
+}
+
+/// All `fn` definition spans in a token stream, nested fns included.
+fn fn_spans(tokens: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Find the parameter list, skipping a generic parameter list.
+        let mut j = i + 2;
+        while let Some(tk) = tokens.get(j) {
+            if tk.is_op("(") {
+                break;
+            }
+            if tk.is_op("{") || tk.is_op(";") {
+                break;
+            }
+            j += 1;
+        }
+        if !tokens.get(j).map(|tk| tk.is_op("(")).unwrap_or(false) {
+            continue;
+        }
+        // Match the parameter close.
+        let mut depth = 0i32;
+        while let Some(tk) = tokens.get(j) {
+            if tk.is_op("(") {
+                depth += 1;
+            } else if tk.is_op(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        // Scan the return type for Result, up to the body or `;`.
+        let mut returns_result = false;
+        let mut k = j + 1;
+        if tokens.get(k).map(|n| n.is_op("->")).unwrap_or(false) {
+            while let Some(tk) = tokens.get(k) {
+                if tk.is_op("{") || tk.is_op(";") {
+                    break;
+                }
+                if tk.is_ident("Result") || tk.is_ident("EcoResult") {
+                    returns_result = true;
+                }
+                k += 1;
+            }
+        }
+        // Find the body open (skipping a where clause) and its close.
+        while let Some(tk) = tokens.get(k) {
+            if tk.is_op("{") || tk.is_op(";") {
+                break;
+            }
+            k += 1;
+        }
+        let tok_end = if tokens.get(k).map(|tk| tk.is_op("{")).unwrap_or(false) {
+            let mut braces = 0i32;
+            let mut e = k;
+            loop {
+                match tokens.get(e) {
+                    Some(tk) if tk.is_op("{") => braces += 1,
+                    Some(tk) if tk.is_op("}") => {
+                        braces -= 1;
+                        if braces == 0 {
+                            break e;
+                        }
+                    }
+                    Some(_) => {}
+                    None => break e.saturating_sub(1),
+                }
+                e += 1;
+            }
+        } else {
+            k // bodiless declaration: span ends at `;`
+        };
+        out.push(FnSpan {
+            name: name.text.clone(),
+            line: t.line,
+            tok_start: i,
+            tok_end,
+            returns_result,
+        });
+    }
+    out
+}
+
+/// Collects call sites and lock acquisitions in one walk.
+fn extract_calls_and_locks(tokens: &[Tok], facts: &mut FileFacts) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is_paren = tokens.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false);
+        if !next_is_paren {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+        let after_fn = prev.map(|p| p.is_ident("fn")).unwrap_or(false);
+        if after_fn {
+            continue;
+        }
+        let after_dot = prev.map(|p| p.is_op(".")).unwrap_or(false);
+
+        // `x.lock()` — acquisition named by the receiver expression.
+        if t.text == "lock" && after_dot {
+            if let Some(name) = receiver_name(tokens, i - 1) {
+                facts.locks.push(LockAcq {
+                    name,
+                    line: t.line,
+                    tok: i,
+                });
+            }
+            continue;
+        }
+        // The house helper `lock(&shared.state)` — acquisition named by
+        // the last identifier of the first argument.
+        if t.text == "lock" && !after_dot {
+            if let Some(name) = first_arg_last_ident(tokens, i + 1) {
+                facts.locks.push(LockAcq {
+                    name,
+                    line: t.line,
+                    tok: i,
+                });
+            }
+            continue;
+        }
+        if crate::rules::is_keyword(&t.text) || NON_CALLEES.contains(&t.text.as_str()) {
+            continue;
+        }
+        facts.calls.push(Call {
+            name: t.text.clone(),
+            tok: i,
+        });
+    }
+    // The `lock` helper's own `mutex.lock()` body would alias every
+    // caller's lock under the parameter name; drop acquisitions recorded
+    // inside a fn literally named `lock`.
+    let lock_fns: Vec<(usize, usize)> = facts
+        .fns
+        .iter()
+        .filter(|f| f.name == "lock" || f.name == "try_lock")
+        .map(|f| (f.tok_start, f.tok_end))
+        .collect();
+    facts
+        .locks
+        .retain(|a| !lock_fns.iter().any(|&(s, e)| s <= a.tok && a.tok <= e));
+}
+
+/// The identifier naming the receiver of `.method()` whose `.` sits at
+/// token `dot`: `mutex.lock()` → `mutex`, `self.state.lock()` → `state`,
+/// `plan_cache().lock()` → `plan_cache`.
+fn receiver_name(tokens: &[Tok], dot: usize) -> Option<String> {
+    let before = tokens.get(dot.checked_sub(1)?)?;
+    if before.kind == TokKind::Ident {
+        return Some(before.text.clone());
+    }
+    if before.is_op(")") {
+        // Walk back to the matching `(`, then the ident before it.
+        let mut depth = 0i32;
+        let mut j = dot - 1;
+        loop {
+            let tk = tokens.get(j)?;
+            if tk.is_op(")") {
+                depth += 1;
+            } else if tk.is_op("(") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        let before_open = tokens.get(j.checked_sub(1)?)?;
+        if before_open.kind == TokKind::Ident {
+            return Some(before_open.text.clone());
+        }
+    }
+    None
+}
+
+/// The last identifier of the first argument of a call whose `(` is at
+/// `open`: `lock(&shared.state)` → `state`, `lock(plan_cache())` →
+/// `plan_cache`.
+fn first_arg_last_ident(tokens: &[Tok], open: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut j = open;
+    let mut last = None;
+    loop {
+        let tk = tokens.get(j)?;
+        if tk.is_op("(") {
+            depth += 1;
+        } else if tk.is_op(")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if tk.is_op(",") && depth == 1 {
+            break;
+        } else if tk.kind == TokKind::Ident && depth == 1 {
+            last = Some(tk.text.clone());
+        }
+        j += 1;
+    }
+    last
+}
+
+/// Token ranges (inclusive) of closures handed to `par_map(…, |…| …)` or
+/// `.spawn(move || …)`: the code that runs as a pool task. The range
+/// starts at the closure's opening `|` and ends at the call's closing
+/// parenthesis, which bounds the whole closure body.
+fn task_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let spawns = t.is_ident("spawn")
+            && i > 0
+            && tokens.get(i - 1).map(|p| p.is_op(".")).unwrap_or(false);
+        let maps = t.is_ident("par_map");
+        if !(spawns || maps) || !tokens.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false) {
+            continue;
+        }
+        // Find the call's matching close paren and the first closure
+        // opener (`|` or `||`) inside the argument list.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut pipe = None;
+        let close = loop {
+            let Some(tk) = tokens.get(j) else { break None };
+            if tk.is_op("(") {
+                depth += 1;
+            } else if tk.is_op(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break Some(j);
+                }
+            } else if depth == 1 && pipe.is_none() && (tk.is_op("|") || tk.is_op("||")) {
+                pipe = Some(j);
+            }
+            j += 1;
+        };
+        if let (Some(start), Some(end)) = (pipe, close) {
+            out.push((start, end));
+        }
+    }
+    out
+}
+
+/// Names bound to `HashMap`/`HashSet` values: `let` bindings, `fn`
+/// params, and struct fields whose type or initializer mentions either.
+fn hash_bindings(tokens: &[Tok]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let hashy = |t: &Tok| t.is_ident("HashMap") || t.is_ident("HashSet");
+    for (i, t) in tokens.iter().enumerate() {
+        // `let [mut] NAME … = … HashMap … ;` or `let NAME: … HashMap … = …`
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).map(|n| n.is_ident("mut")).unwrap_or(false) {
+                j += 1;
+            }
+            let Some(name) = tokens.get(j).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            let mut k = j + 1;
+            let mut found = false;
+            while let Some(tk) = tokens.get(k) {
+                if tk.is_op(";") || tk.is_op("{") {
+                    break;
+                }
+                if hashy(tk) {
+                    found = true;
+                    break;
+                }
+                k += 1;
+            }
+            if found {
+                out.push((name.text.clone(), j));
+            }
+            continue;
+        }
+        // `NAME : … HashMap< …` — a param or struct field annotation.
+        if t.kind == TokKind::Ident && tokens.get(i + 1).map(|n| n.is_op(":")).unwrap_or(false) {
+            let mut k = i + 2;
+            let mut angle = 0i32;
+            while let Some(tk) = tokens.get(k) {
+                match tk.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => {
+                        if angle == 0 {
+                            break;
+                        }
+                        angle -= 1;
+                    }
+                    ">>" => angle -= 2,
+                    "," | ")" | "{" | "}" | ";" | "=" if angle <= 0 => break,
+                    _ => {}
+                }
+                if hashy(tk) {
+                    out.push((t.text.clone(), i));
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `pub use … as alias;` pairs, as `(alias, final path segment)`.
+fn reexports(tokens: &[Tok]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("pub")
+            || !tokens
+                .get(i + 1)
+                .map(|n| n.is_ident("use"))
+                .unwrap_or(false)
+        {
+            continue;
+        }
+        // Scan to `;`, remembering the ident before `as` and after it.
+        let mut target: Option<String> = None;
+        let mut alias: Option<String> = None;
+        let mut last_ident: Option<String> = None;
+        let mut j = i + 2;
+        while let Some(tk) = tokens.get(j) {
+            if tk.is_op(";") {
+                break;
+            }
+            if tk.is_ident("as") {
+                target = last_ident.take();
+                alias = tokens
+                    .get(j + 1)
+                    .filter(|n| n.kind == TokKind::Ident)
+                    .map(|n| n.text.clone());
+                j += 2;
+                continue;
+            }
+            if tk.kind == TokKind::Ident {
+                last_ident = Some(tk.text.clone());
+            }
+            j += 1;
+        }
+        if let (Some(alias), Some(target)) = (alias, target) {
+            out.push((alias, target));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn facts(src: &str) -> FileFacts {
+        FileFacts::extract(&lex(src).tokens)
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies_and_detect_result() {
+        let f = facts(
+            "pub fn a(x: u32) -> EcoResult<u32> { helper(x) }\n\
+             fn helper(x: u32) -> u32 { x }\n",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert!(f.fns[0].returns_result);
+        assert!(!f.fns[1].returns_result);
+        assert!(f.fns[0].tok_end > f.fns[0].tok_start);
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let f = facts("fn outer() { fn inner() { probe(); } }");
+        let call = f.calls.iter().find(|c| c.name == "probe").unwrap();
+        assert_eq!(f.enclosing_fn(call.tok).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn lock_acquisitions_capture_receiver_and_helper_arg() {
+        let f = facts(
+            "fn a(m: &Mutex<u32>) { let g = m.lock(); }\n\
+             fn b() { let g = lock(&shared.state); let h = lock(plan_cache()); }\n\
+             fn c() { cache().lock(); }\n",
+        );
+        let names: Vec<&str> = f.locks.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["m", "state", "plan_cache", "cache"]);
+    }
+
+    #[test]
+    fn the_lock_helper_body_is_not_an_acquisition() {
+        let f = facts("fn lock(mutex: &Mutex<u32>) -> Guard { mutex.lock().unwrap() }");
+        assert!(f.locks.is_empty(), "{:?}", f.locks);
+    }
+
+    #[test]
+    fn task_regions_cover_par_map_and_spawn_closures() {
+        let f = facts(
+            "fn go(pool: &Pool) { pool.par_map(&xs, |i, &x| { body(i, x) }); \
+             scope.spawn(move || { task_body(); }); }",
+        );
+        assert_eq!(f.task_regions.len(), 2);
+        let (s, e) = f.task_regions[0];
+        assert!(s < e);
+    }
+
+    #[test]
+    fn hash_bindings_cover_lets_params_and_fields() {
+        let f = facts(
+            "struct S { cache: HashMap<u32, u32>, names: Vec<String> }\n\
+             fn g(m: &HashMap<String, u64>, n: usize) {\n\
+               let local = HashMap::new();\n\
+               let sorted: BTreeMap<u32, u32> = BTreeMap::new();\n\
+             }\n",
+        );
+        let names: Vec<&str> = f.hash_bindings.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"cache"));
+        assert!(names.contains(&"m"));
+        assert!(names.contains(&"local"));
+        assert!(!names.contains(&"names"));
+        assert!(!names.contains(&"sorted"));
+        assert!(!names.contains(&"n"));
+    }
+
+    #[test]
+    fn hash_uses_are_scoped_to_the_binding_fn() {
+        let f = facts(
+            "fn a(counts: &HashMap<u32, u64>) { read(counts.iter()); }\n\
+             fn b() { let counts = BTreeMap::new(); read(counts.iter()); }\n",
+        );
+        let uses: Vec<usize> = f
+            .calls
+            .iter()
+            .filter(|c| c.name == "read")
+            .map(|c| c.tok)
+            .collect();
+        assert_eq!(uses.len(), 2);
+        // `counts` two tokens after each `read(`.
+        assert!(f.is_hash_use("counts", uses[0] + 2));
+        assert!(!f.is_hash_use("counts", uses[1] + 2));
+    }
+
+    #[test]
+    fn reexport_aliases_are_recorded() {
+        let f = facts("pub use engine::run_fleet as run; pub use spec::WallSpec;");
+        assert_eq!(
+            f.reexports,
+            vec![("run".to_string(), "run_fleet".to_string())]
+        );
+    }
+
+    #[test]
+    fn must_use_resolution_skips_ambiguous_names() {
+        let a = facts("pub fn fetch() -> EcoResult<u32> { Ok(1) }");
+        let b = facts("pub fn fetch() -> u32 { 1 }\npub fn fallible() -> Result<(), E> { Ok(()) }");
+        let model = Model::build(vec![a, b], &[true, true]);
+        assert!(
+            !model.returns_result("fetch"),
+            "ambiguous name must be skipped"
+        );
+        assert!(model.returns_result("fallible"));
+        assert!(!model.returns_result("unknown"));
+    }
+
+    #[test]
+    fn reexported_alias_inherits_result_facts() {
+        let a = facts("pub fn run_fleet() -> EcoResult<()> { Ok(()) }");
+        let b = facts("pub use engine::run_fleet as run;");
+        let model = Model::build(vec![a, b], &[true, true]);
+        assert!(model.returns_result("run"));
+    }
+
+    #[test]
+    fn sink_reachability_is_transitive() {
+        let f = facts(
+            "fn leaf(x: &[u64]) -> u64 { digest(x) }\n\
+             fn mid(x: &[u64]) -> u64 { leaf(x) }\n\
+             fn unrelated() -> u32 { 1 }\n",
+        );
+        let model = Model::build(vec![f], &[true]);
+        assert!(model.reaches_sink("leaf"));
+        assert!(model.reaches_sink("mid"));
+        assert!(model.reaches_sink("digest"));
+        assert!(!model.reaches_sink("unrelated"));
+    }
+
+    #[test]
+    fn opposite_lock_orders_form_a_cycle() {
+        let f = facts(
+            "fn a(x: &Mutex<u32>, y: &Mutex<u32>) { let g = x.lock(); let h = y.lock(); }\n\
+             fn b(x: &Mutex<u32>, y: &Mutex<u32>) { let h = y.lock(); let g = x.lock(); }\n",
+        );
+        let model = Model::build(vec![f], &[true]);
+        let mut findings = Vec::new();
+        model.lock_order_cycles(&["lib.rs".to_string()], &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].msg.contains("cycle"));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_cycle_free() {
+        let f = facts(
+            "fn a(x: &Mutex<u32>, y: &Mutex<u32>) { let g = x.lock(); let h = y.lock(); }\n\
+             fn b(x: &Mutex<u32>, y: &Mutex<u32>) { let g = x.lock(); let h = y.lock(); }\n",
+        );
+        let model = Model::build(vec![f], &[true]);
+        let mut findings = Vec::new();
+        model.lock_order_cycles(&["lib.rs".to_string()], &mut findings);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn call_mediated_lock_edges_are_seen() {
+        // a() holds X while calling helper(), which takes Y; b() does the
+        // reverse through a second helper — a cross-function cycle.
+        let f = facts(
+            "fn take_y(y: &Mutex<u32>) { let g = y.lock(); }\n\
+             fn take_x(x: &Mutex<u32>) { let g = x.lock(); }\n\
+             fn a(x: &Mutex<u32>) { let g = x.lock(); take_y(&Y); }\n\
+             fn b(y: &Mutex<u32>) { let g = y.lock(); take_x(&X); }\n",
+        );
+        let model = Model::build(vec![f], &[true]);
+        let mut findings = Vec::new();
+        model.lock_order_cycles(&["lib.rs".to_string()], &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+    }
+}

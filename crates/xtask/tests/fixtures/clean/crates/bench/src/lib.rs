@@ -1,0 +1,12 @@
+//! Fixture: a bench-harness crate. `crates/bench/src/` is on the
+//! default wall-clock allowlist, so measuring wall time here is clean
+//! without any suppression.
+
+#![forbid(unsafe_code)]
+
+/// Wall-time measurement is this crate's whole job.
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,47 @@
+//! Fixture: the compliant shapes of the determinism rules.
+
+/// Task-local RNG, seed derived from (base, task index): bit-identical
+/// at any worker count.
+pub fn derived_seeds(pool: &Pool, walls: &[u32], base_seed: u64) -> Vec<u64> {
+    pool.par_map(walls, |i, w| {
+        let mut task_rng = StdRng::seed_from_u64(derive(base_seed, i as u64));
+        step_with(*w, &mut task_rng)
+    })
+}
+
+/// Ordered iteration: a BTreeMap feeds the digest, so the byte stream
+/// is the same every run.
+pub fn digest_ordered(ids: &[u32]) -> u64 {
+    let mut counts = BTreeMap::new();
+    for id in ids {
+        *counts.entry(*id).or_insert(0u64) += 1;
+    }
+    let mut acc = 0u64;
+    for (id, n) in counts.iter() {
+        acc = acc.wrapping_add(u64::from(*id).wrapping_mul(*n));
+    }
+    digest(&[acc])
+}
+
+/// Hash iteration is fine when the collected entries are sorted before
+/// anything order-sensitive sees them.
+pub fn digest_sorted_hash(counts: &HashMap<u32, u64>) -> u64 {
+    let mut entries: Vec<(u32, u64)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
+    entries.sort();
+    digest_pairs(&entries)
+}
+
+/// Both paths take alpha_bank before beta_bank: one global order, no
+/// cycle.
+pub fn drain(s: &Shared) {
+    let a = s.alpha_bank.lock();
+    let b = s.beta_bank.lock();
+    transfer(a, b);
+}
+
+/// Same order from the second path.
+pub fn rebalance(s: &Shared) {
+    let a = s.alpha_bank.lock();
+    let b = s.beta_bank.lock();
+    transfer(b, a);
+}

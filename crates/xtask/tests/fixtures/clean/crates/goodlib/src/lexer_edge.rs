@@ -1,0 +1,18 @@
+//! Fixture: lexer edge cases in a fully compliant file — raw strings,
+//! nested block comments, and lifetimes must produce zero findings.
+
+/// Raw strings with fake terminators inside.
+pub fn banner() -> &'static str {
+    r#"report "digest" block: */ not a comment, == not an op"#
+}
+
+/* a nested /* block */ comment that closes correctly */
+
+/// Lifetimes everywhere; nothing after a tick is swallowed.
+pub fn longest<'a>(x: &'a str, y: &'a str) -> &'a str {
+    if x.len() >= y.len() {
+        x
+    } else {
+        y
+    }
+}

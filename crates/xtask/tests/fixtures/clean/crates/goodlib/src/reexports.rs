@@ -1,0 +1,47 @@
+//! Fixture: alias and ambiguity shapes the workspace resolver must
+//! respect — a `Result` used through a re-export alias, and a name with
+//! conflicting workspace definitions that call sites must skip.
+
+pub mod decode {
+    /// Result-returning decode used through the alias below.
+    #[must_use]
+    pub fn decode_frame(bytes: &[u8]) -> EcoResult<u32> {
+        match bytes {
+            [a, b, c, d, ..] => Ok(u32::from_le_bytes([*a, *b, *c, *d])),
+            _ => Err(EcoError::empty_input("frame")),
+        }
+    }
+}
+
+pub use decode::decode_frame as read_frame;
+
+/// GOOD: the alias's `Result` is propagated, not discarded.
+#[must_use]
+pub fn first_frame(bytes: &[u8]) -> EcoResult<u32> {
+    let frame = read_frame(bytes)?;
+    Ok(frame)
+}
+
+pub mod quiet {
+    /// Same name as `loud::gain`, infallible.
+    #[must_use]
+    pub fn gain(gain_db: f64) -> f64 {
+        gain_db
+    }
+}
+
+pub mod loud {
+    /// Same name as `quiet::gain`, fallible: the pair makes `gain`
+    /// ambiguous workspace-wide, so call sites are skipped, not
+    /// guessed.
+    #[must_use]
+    pub fn gain(gain_db: f64) -> EcoResult<f64> {
+        Ok(gain_db)
+    }
+}
+
+/// GOOD: an ambiguous name discarded as a statement is not flagged —
+/// the resolver refuses to guess which `gain` this is.
+pub fn warm_up() {
+    quiet::gain(3.0);
+}

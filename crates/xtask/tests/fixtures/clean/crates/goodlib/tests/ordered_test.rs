@@ -1,0 +1,11 @@
+//! Fixture: a compliant integration test — seeds derived, ordered
+//! collections, slot clock. Scanned as test-class code; must stay
+//! finding-free.
+
+#[test]
+fn survey_is_reproducible() {
+    let mut task_rng = StdRng::seed_from_u64(derive(0xEC0, 7));
+    let mut counts = BTreeMap::new();
+    counts.insert(1u32, task_rng.next_u64());
+    assert_eq!(counts.len(), 1);
+}

@@ -1,0 +1,10 @@
+//! Fixture: an integration test in `crates/*/tests/` that violates the
+//! determinism rules — proves the scanner reaches test trees.
+
+#[test]
+fn flaky_assertion() {
+    let mut rng = thread_rng();
+    let sample = rng.next_u64();
+    let started = Instant::now();
+    assert!(sample > 0 || started.elapsed().as_nanos() > 0);
+}

@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads in deterministic code.
+
+#![forbid(unsafe_code)]
+
+/// Timestamps a sample with wall time: replays can never match.
+pub fn stamp_sample(v: u64) -> (u64, Instant) {
+    let t = Instant::now();
+    (v, t)
+}
+
+/// Same problem through SystemTime.
+pub fn stamp_epoch(v: u64) -> u64 {
+    let t = SystemTime::now();
+    v
+}

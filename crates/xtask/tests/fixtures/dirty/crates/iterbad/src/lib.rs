@@ -1,0 +1,17 @@
+//! Fixture: HashMap iteration feeding a digest — order-dependent output.
+
+#![forbid(unsafe_code)]
+
+/// Accumulates per-capsule counts in a HashMap, then digests them in
+/// hash order: the digest changes run to run.
+pub fn digest_counts(ids: &[u32]) -> u64 {
+    let mut counts = HashMap::new();
+    for id in ids {
+        *counts.entry(*id).or_insert(0u64) += 1;
+    }
+    let mut acc = 0u64;
+    for (id, n) in counts.iter() {
+        acc = acc.wrapping_add(u64::from(*id).wrapping_mul(*n));
+    }
+    digest(&[acc])
+}

@@ -1,0 +1,28 @@
+//! Fixture: violations placed *after* lexer edge cases. A lexer that
+//! mishandles raw strings, nested block comments, or lifetime ticks
+//! desyncs and silently misses them — this file regression-tests that
+//! the findings below still surface.
+
+#![forbid(unsafe_code)]
+
+/// The raw string contains a fake close-quote and a fake comment
+/// terminator; the float comparison after it must still be seen.
+pub fn after_raw_string(x: f64) -> bool {
+    let marker = r#"not a real "end" and not a comment: */ still text"#;
+    keep(marker);
+    x == 0.5
+}
+
+/* outer comment /* properly nested inner */ still commented here */
+/// The nested block comment above must close exactly once; this unwrap
+/// must still be seen.
+pub fn after_nested_comment(opt: Option<u32>) -> u32 {
+    opt.unwrap()
+}
+
+/// A lifetime tick is not a char literal: the code after `'a` must not
+/// be swallowed as a string.
+pub fn after_lifetime<'a>(vals: &'a [f64]) -> bool {
+    let first: &'a f64 = &vals[0];
+    *first == 0.25
+}

@@ -1,0 +1,19 @@
+//! Fixture: two code paths acquire the same pair of locks in opposite
+//! orders — the classic deadlock shape `lock-order-cycles` exists for.
+
+#![forbid(unsafe_code)]
+
+/// Path 1: alpha_bank, then beta_bank.
+pub fn drain_alpha_into_beta(s: &Shared) {
+    let a = s.alpha_bank.lock();
+    let b = s.beta_bank.lock();
+    transfer(a, b);
+}
+
+/// Path 2: beta_bank, then alpha_bank. Interleave with path 1 and both
+/// threads wait forever.
+pub fn drain_beta_into_alpha(s: &Shared) {
+    let b = s.beta_bank.lock();
+    let a = s.alpha_bank.lock();
+    transfer(b, a);
+}

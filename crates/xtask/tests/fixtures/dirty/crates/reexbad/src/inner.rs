@@ -1,0 +1,13 @@
+//! Fixture: the workspace-resolution target behind the `reexbad` alias.
+
+/// Decodes one dosimeter line into a voltage sample.
+#[must_use]
+pub fn decode_sample(line: &str) -> EcoResult<f64> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Err(EcoError::empty_input("sample line"));
+    }
+    trimmed
+        .parse::<f64>()
+        .map_err(|_| EcoError::numerical("sample parse"))
+}

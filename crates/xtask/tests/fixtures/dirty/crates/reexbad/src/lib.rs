@@ -1,0 +1,18 @@
+//! Fixture: a `Result` discarded through a re-export alias. The callee
+//! lives in `inner.rs` under its original name; this file renames it
+//! with `pub use … as` and then drops the returned `Result` on the
+//! floor — only workspace resolution can see the violation.
+
+#![forbid(unsafe_code)]
+
+pub mod inner;
+
+pub use inner::decode_sample as read_sample;
+
+/// BAD: `read_sample` resolves — through the alias — to a
+/// `Result`-returning fn, and this statement discards it.
+pub fn ingest(lines: &[&str]) {
+    for line in lines {
+        read_sample(line);
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: every shape of `rng-discipline` violation.
+
+#![forbid(unsafe_code)]
+
+/// A shared RNG captured by the task closure: draws become
+/// scheduling-dependent.
+pub fn captured_rng(pool: &Pool, walls: &[u32], rng: &mut StdRng) -> Vec<u64> {
+    pool.par_map(walls, |_i, w| step(*w, rng))
+}
+
+/// A task-local RNG seeded from a constant instead of
+/// `exec::seed::derive`: every task draws the same stream.
+pub fn constant_seed(pool: &Pool, walls: &[u32]) -> Vec<u64> {
+    pool.par_map(walls, |_i, w| {
+        let mut task_rng = StdRng::seed_from_u64(42);
+        step_with(*w, &mut task_rng)
+    })
+}
+
+/// Ambient entropy: no seed reproduces this run.
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,136 @@
+//! Hostile-input corpus for the ECOFLEET checkpoint format: every
+//! truncation and a dense sweep of single-bit flips over a real
+//! checkpoint. The contract under attack is the `no-panic-in-lib`
+//! invariant's runtime face — `FleetCheckpoint::from_bytes` and
+//! `Fleet::resume` must *return* errors on corrupt input, never panic,
+//! never loop, never allocate absurdly.
+
+use faults::{FaultIntensity, FaultPlan};
+use fleet::{Fleet, FleetCheckpoint, FleetOptions, WallSpec};
+
+/// Zero-capsule walls keep each survey near-free, so the corpus spends
+/// its time attacking the decoder rather than running physics. Fault
+/// plans on the odd walls put both wall-spec shapes in the config
+/// digest the corpus later flips.
+fn specs() -> Vec<WallSpec> {
+    (0..4)
+        .map(|i| {
+            let spec = WallSpec::new(format!("hostile-{i}"), vec![]).seed(11 + i as u64);
+            if i % 2 == 1 {
+                spec.fault_plan(FaultPlan::generate(i as u64, &FaultIntensity::mild(200)))
+            } else {
+                spec
+            }
+        })
+        .collect()
+}
+
+fn options() -> FleetOptions {
+    // A zero-capsule wall demands exactly 8 slots (inventory-dominated),
+    // so a round budget of one full quantum completes exactly one wall
+    // per round — completion staggers and a mid-run round must exist.
+    FleetOptions::new().quantum_slots(8).round_budget_slots(8)
+}
+
+/// A checkpoint with some walls done and some pending, so the bytes
+/// exercise both wall-entry branches plus a live queue and grant log.
+fn mid_run_checkpoint() -> FleetCheckpoint {
+    let mut fleet = Fleet::new(specs(), &options());
+    while !fleet.is_done() {
+        fleet.run_round().expect("round runs");
+        let cp = fleet.checkpoint().expect("checkpoint");
+        if cp.walls_done() > 0 && cp.walls_done() < specs().len() {
+            return cp;
+        }
+    }
+    panic!("budget never produced a mid-run checkpoint");
+}
+
+#[test]
+fn every_truncation_is_an_error_not_a_panic() {
+    let bytes = mid_run_checkpoint().to_bytes();
+    for n in 0..bytes.len() {
+        let result = FleetCheckpoint::from_bytes(&bytes[..n]);
+        assert!(
+            result.is_err(),
+            "truncation to {n}/{} bytes decoded as Ok",
+            bytes.len()
+        );
+    }
+    // Sanity: the untruncated bytes do decode.
+    FleetCheckpoint::from_bytes(&bytes).expect("full checkpoint decodes");
+}
+
+#[test]
+fn every_byte_survives_a_bit_flip_without_panicking() {
+    let bytes = mid_run_checkpoint().to_bytes();
+    for (i, _) in bytes.iter().enumerate() {
+        // One deterministic flip per byte keeps the sweep dense but
+        // bounded; the header test below covers all eight bits where
+        // structure is concentrated.
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 1 << (i % 8);
+        match FleetCheckpoint::from_bytes(&flipped) {
+            // A flip that still parses must then face resume's semantic
+            // checks; Ok or Err are both fine — returning is the test.
+            Ok(cp) => {
+                let _ = Fleet::resume(specs(), &options(), &cp);
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn header_bits_are_fully_swept() {
+    let bytes = mid_run_checkpoint().to_bytes();
+    let header = bytes.len().min(64);
+    for i in 0..header {
+        for bit in 0..8 {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 1 << bit;
+            if let Ok(cp) = FleetCheckpoint::from_bytes(&flipped) {
+                let _ = Fleet::resume(specs(), &options(), &cp);
+            }
+        }
+    }
+}
+
+#[test]
+fn flipped_config_digest_decodes_but_resume_rejects_it() {
+    let bytes = mid_run_checkpoint().to_bytes();
+    // Wire layout: magic(8) + version(8), then config_digest at 16..24.
+    let mut flipped = bytes.clone();
+    flipped[16] ^= 0x01;
+    let cp =
+        FleetCheckpoint::from_bytes(&flipped).expect("a digest flip leaves the structure intact");
+    let err = Fleet::resume(specs(), &options(), &cp);
+    assert!(
+        err.is_err(),
+        "resume accepted a checkpoint for another config"
+    );
+}
+
+#[test]
+fn resume_rejects_wall_count_mismatch() {
+    let cp = mid_run_checkpoint();
+    let mut fewer = specs();
+    fewer.pop();
+    assert!(Fleet::resume(fewer, &options(), &cp).is_err());
+    let mut more = specs();
+    more.push(WallSpec::new("hostile-extra", vec![]).seed(99));
+    assert!(Fleet::resume(more, &options(), &cp).is_err());
+}
+
+#[test]
+fn garbage_prefixes_and_empty_input_error_cleanly() {
+    assert!(FleetCheckpoint::from_bytes(&[]).is_err());
+    assert!(FleetCheckpoint::from_bytes(b"ECOFLEE").is_err());
+    assert!(FleetCheckpoint::from_bytes(b"NOTFLEET").is_err());
+    // Magic alone, then nothing: version read must fail, not wrap.
+    assert!(FleetCheckpoint::from_bytes(b"ECOFLEET").is_err());
+    // All-0xFF body: absurd version.
+    let mut hostile = b"ECOFLEET".to_vec();
+    hostile.extend_from_slice(&[0xFF; 64]);
+    assert!(FleetCheckpoint::from_bytes(&hostile).is_err());
+}
