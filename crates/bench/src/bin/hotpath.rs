@@ -1,0 +1,74 @@
+//! The hot-path runner: times every survey kernel scalar vs. batched,
+//! verifies bit-identity, and writes `BENCH_hotpath.json`.
+//!
+//! ```sh
+//! cargo run -p bench --bin hotpath --release            # full trajectory
+//! cargo run -p bench --bin hotpath --release -- --smoke # CI gate
+//! cargo run -p bench --bin hotpath -- --out /tmp/h.json
+//! ```
+//!
+//! Exit codes: `0` success, `1` a stage failed or batched output
+//! diverged from scalar, `2` bad usage.
+
+use bench::hotpath::{run_all, to_json, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = Scale::full();
+    let mut out_path = String::from("BENCH_hotpath.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => scale = Scale::smoke(),
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out requires a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    println!(
+        "hotpath: {} profile",
+        if scale.smoke { "smoke" } else { "full" },
+    );
+
+    let results = match run_all(&scale) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hotpath failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:>10} {:>10} {:>6} {:>14} {:>14} {:>8} {:>10}",
+        "stage", "samples", "reps", "serial_ns", "batched_ns", "speedup", "identical"
+    );
+    for r in &results {
+        println!(
+            "{:>10} {:>10} {:>6} {:>14.2} {:>14.2} {:>7.2}x {:>10}",
+            r.name,
+            r.samples_per_pass,
+            r.reps,
+            r.serial_ns_per_sample,
+            r.batched_ns_per_sample,
+            r.speedup(),
+            r.bit_identical(),
+        );
+    }
+
+    let json = to_json(&results, &scale);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: hotpath [--smoke] [--out PATH]");
+    ExitCode::from(2)
+}

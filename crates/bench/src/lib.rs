@@ -14,7 +14,9 @@
 //!   trace-identity invariant behind `BENCH_obs.json` (see [`obs`]);
 //! - `fleet` — scheduler scaling vs. wall count and the fleet
 //!   digest-identity invariants behind `BENCH_fleet.json` (see
-//!   [`fleet`]).
+//!   [`fleet`]);
+//! - `hotpath` — per-stage scalar-vs-batched ns/sample of the survey
+//!   inner loop behind `BENCH_hotpath.json` (see [`hotpath`]).
 //!
 //! The library half is deliberately thin: the table printers the binaries
 //! share, plus the [`sweeps`] grid, [`faults`] matrix and [`obs`] trace
@@ -25,6 +27,7 @@
 
 pub mod faults;
 pub mod fleet;
+pub mod hotpath;
 pub mod obs;
 pub mod sweeps;
 

@@ -120,6 +120,24 @@ impl LinkBudget {
             * self.attenuation.amplitude_factor(self.carrier_hz, d_m))
     }
 
+    /// Received voltages for a whole batch of capsule distances at one
+    /// TX drive — the structure-of-arrays lane form of
+    /// [`LinkBudget::received_voltage`] the batched survey engine uses
+    /// for a wall's charge phase.
+    ///
+    /// Every lane evaluates the identical per-distance expression, so
+    /// `out[i]` is bit-identical to `received_voltage(v_tx_v, d[i])`.
+    /// Validation is hoisted: any invalid drive or distance fails the
+    /// whole batch *before* any lane is produced (the scalar loop in
+    /// older engines failed mid-iteration; surveys validate distances at
+    /// construction, so valid inputs see no behavioral difference).
+    #[must_use]
+    pub fn received_voltage_lanes(&self, v_tx_v: f64, d_m: &[f64]) -> EcoResult<Vec<f64>> {
+        d_m.iter()
+            .map(|&d| self.received_voltage(v_tx_v, d))
+            .collect()
+    }
+
     /// Maximum distance (m) at which the received voltage still meets
     /// `v_activate_v`, or `Ok(None)` if even contact distance fails.
     /// Capped at the structure's physical extent (the paper's S1/S2
@@ -332,6 +350,24 @@ mod tests {
         assert_eq!(spreading_exponent(2.0).unwrap(), 1.0);
         let mid = spreading_exponent(0.45).unwrap();
         assert!(mid > 0.5 && mid < 1.0);
+    }
+
+    #[test]
+    fn voltage_lanes_match_scalar_bitwise() {
+        let lb = LinkBudget::for_structure(&Structure::s3_common_wall()).unwrap();
+        let distances: Vec<f64> = (1..40).map(|i| i as f64 * 0.13).collect();
+        let lanes = lb.received_voltage_lanes(200.0, &distances).unwrap();
+        for (&d, &lane) in distances.iter().zip(&lanes) {
+            let scalar = lb.received_voltage(200.0, d).unwrap();
+            assert_eq!(lane.to_bits(), scalar.to_bits(), "distance {d}");
+        }
+        // Whole-batch validation: one bad distance fails the lot.
+        assert!(lb.received_voltage_lanes(200.0, &[1.0, -1.0]).is_err());
+        assert!(lb.received_voltage_lanes(-5.0, &[1.0]).is_err());
+        assert_eq!(
+            lb.received_voltage_lanes(200.0, &[]).unwrap(),
+            Vec::<f64>::new()
+        );
     }
 
     #[test]

@@ -129,6 +129,74 @@ pub fn synthesize_uplink<R: Rng>(
     (y, fm0)
 }
 
+/// [`synthesize_uplink`] with an explicit [`dsp::batch::Engine`].
+///
+/// Under [`Engine::Scalar`](dsp::batch::Engine::Scalar) this *is* the
+/// scalar synthesizer. Under the batched engine the two per-sample `sin`
+/// evaluations are replaced by lookups into shared
+/// [`dsp::batch::sin_table`] tone banks keyed on `(ω, delay)` — the
+/// per-entry expressions and the coefficient products are written
+/// exactly as the scalar loop writes them, so the waveform is
+/// **bit-identical** and the RNG is stepped by the identical noise
+/// branch (stream positions match after the call). See DESIGN.md §8.
+pub fn synthesize_uplink_with<R: Rng>(
+    cfg: &UplinkConfig,
+    bits: &[bool],
+    bitrate_bps: f64,
+    lead_s: f64,
+    noise_sigma: f64,
+    rng: &mut R,
+    engine: dsp::batch::Engine,
+) -> (Vec<f64>, Fm0) {
+    if !engine.is_batched() {
+        return synthesize_uplink(cfg, bits, bitrate_bps, lead_s, noise_sigma, rng);
+    }
+    assert!(
+        bitrate_bps > 0.0 && lead_s >= 0.0,
+        "invalid uplink parameters"
+    );
+    let fm0 = Fm0::for_bitrate(bitrate_bps, cfg.fs_hz);
+    let baseband = fm0.encode(bits); // ±1
+    let n_lead = (lead_s * cfg.fs_hz).round() as usize;
+    let delay_samples = (cfg.delay_s * cfg.fs_hz).round() as usize;
+    let n_tail = 3 * fm0.samples_per_bit() + delay_samples;
+    let n_total = n_lead + baseband.len() + n_tail;
+    let w = 2.0 * std::f64::consts::PI * cfg.carrier_hz / cfg.fs_hz;
+
+    // Shared tone banks: leak_bank[i] = sin(w·i) (offset 0 is bitwise
+    // neutral: i − 0.0 ≡ i), bs_bank[i] = sin(w·(i − delay)). The
+    // reflection coefficient products mirror the scalar left-to-right
+    // association (amp · m) · sin exactly.
+    let leak_bank = dsp::batch::sin_table(w, 0.0, n_total);
+    let bs_bank = dsp::batch::sin_table(w, delay_samples as f64, n_total);
+    let c_hi = cfg.backscatter_amplitude * 1.0;
+    let c_lo = cfg.backscatter_amplitude * cfg.absorptive_residual;
+    let start = n_lead + delay_samples;
+
+    let mut y = Vec::with_capacity(n_total);
+    for i in 0..n_total {
+        let c = if i < start {
+            c_lo
+        } else {
+            let k = i - start;
+            if k < baseband.len() && baseband[k] > 0.0 {
+                c_hi
+            } else {
+                c_lo
+            }
+        };
+        let leak = cfg.leak_amplitude * leak_bank[i];
+        let bs = c * bs_bank[i];
+        let n = if noise_sigma > 0.0 {
+            crate::noise::gaussian(rng) * noise_sigma
+        } else {
+            0.0
+        };
+        y.push(leak + bs + n);
+    }
+    (y, fm0)
+}
+
 /// The backscatter link frequency implied by an FM0 bitrate: the
 /// fundamental of the densest toggling pattern (a run of zeros toggles
 /// every half-symbol ⇒ BLF = bitrate).
@@ -229,5 +297,54 @@ mod tests {
     #[test]
     fn blf_is_bitrate() {
         assert_eq!(blf_hz(2e3), 2e3);
+    }
+
+    #[test]
+    fn batched_synthesis_is_bit_identical_to_scalar() {
+        use dsp::batch::Engine;
+        use rand::Rng;
+        let bits = [true, false, true, true, false, false, true, false];
+        for (noise, faulted) in [(0.0, false), (0.02, false), (0.02, true)] {
+            let mut cfg = UplinkConfig::paper_default();
+            if faulted {
+                // A velocity shift moves the delay — a second tone-bank key.
+                cfg.delay_s /= 1.03;
+                cfg.leak_amplitude *= 2.5;
+            }
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let mut rng_b = StdRng::seed_from_u64(77);
+            let (ya, _) = synthesize_uplink(&cfg, &bits, 1e3, 1e-3, noise, &mut rng_a);
+            let (yb, _) =
+                synthesize_uplink_with(&cfg, &bits, 1e3, 1e-3, noise, &mut rng_b, Engine::Batched);
+            assert_eq!(ya.len(), yb.len());
+            for (i, (a, b)) in ya.iter().zip(yb.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "sample {i} (noise {noise})");
+            }
+            // The engines must also leave the RNG stream at one position.
+            let next_a: u64 = rng_a.gen();
+            let next_b: u64 = rng_b.gen();
+            assert_eq!(next_a, next_b, "rng stream diverged (noise {noise})");
+        }
+    }
+
+    #[test]
+    fn scalar_engine_variant_is_the_scalar_path() {
+        use dsp::batch::Engine;
+        let cfg = UplinkConfig::paper_default();
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let (ya, _) = synthesize_uplink(&cfg, &[true, false], 1e3, 0.0, 0.05, &mut rng_a);
+        let (yb, _) = synthesize_uplink_with(
+            &cfg,
+            &[true, false],
+            1e3,
+            0.0,
+            0.05,
+            &mut rng_b,
+            Engine::Scalar,
+        );
+        for (a, b) in ya.iter().zip(yb.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -62,6 +62,7 @@ pub mod prelude {
     };
     pub use channel::linkbudget::LinkBudget;
     pub use concrete::{ConcreteGrade, Structure};
+    pub use dsp::batch::Engine;
     pub use exec::Pool;
     pub use faults::{FaultIntensity, FaultPlan, Timeline};
     pub use node::capsule::{EcoCapsule, Environment};

@@ -4,6 +4,7 @@
 use channel::linkbudget::LinkBudget;
 use concrete::structure::Structure;
 use concrete::ConcreteGrade;
+use dsp::batch::Engine;
 use dsp::EcoResult;
 use exec::Pool;
 use faults::{FaultPlan, Timeline};
@@ -58,6 +59,13 @@ pub struct SurveyOptions<'a> {
     pub retry_policy: RetryPolicy,
     /// Observability sink; `None` records nothing at zero cost.
     pub recorder: Option<&'a mut dyn Recorder>,
+    /// Hot-path engine: [`Engine::Batched`] (the default) runs waveform
+    /// synthesis and decoding through the shared-table `dsp::batch`
+    /// kernels; [`Engine::Scalar`] keeps the per-sample reference loops.
+    /// Reports, digests and traces are bit-identical under either
+    /// engine (DESIGN.md §8) — the switch exists for differential
+    /// testing and benchmarking, not for accuracy trade-offs.
+    pub engine: Engine,
 }
 
 impl std::fmt::Debug for SurveyOptions<'_> {
@@ -68,6 +76,7 @@ impl std::fmt::Debug for SurveyOptions<'_> {
             .field("fault_plan", &self.fault_plan.is_some())
             .field("retry_policy", &self.retry_policy)
             .field("recorder", &self.recorder.is_some())
+            .field("engine", &self.engine)
             .finish()
     }
 }
@@ -80,6 +89,7 @@ impl Default for SurveyOptions<'_> {
             fault_plan: None,
             retry_policy: RetryPolicy::paper_default(),
             recorder: None,
+            engine: Engine::default(),
         }
     }
 }
@@ -123,6 +133,15 @@ impl<'a> SurveyOptions<'a> {
     #[must_use]
     pub fn recorder(mut self, rec: &'a mut dyn Recorder) -> Self {
         self.recorder = Some(rec);
+        self
+    }
+
+    /// Selects the hot-path engine. [`Engine::Scalar`] is the reference
+    /// escape hatch for differential testing; results are bit-identical
+    /// to the batched default either way.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -367,12 +386,16 @@ impl SelfSensingWall {
             fault_plan,
             retry_policy,
             recorder,
+            engine,
         } = options;
         let mut null = NullRecorder;
         let rec: &mut dyn Recorder = match recorder {
             Some(rec) => rec,
             None => &mut null,
         };
+        // The session drives every waveform transaction; phase-3 tasks
+        // clone it, so setting the engine here propagates to all workers.
+        self.session.engine = engine;
         match fault_plan {
             None => self.run_survey_quiet(tx_voltage_v, &pool, rec, rng),
             Some(plan) => {
@@ -426,11 +449,15 @@ impl SelfSensingWall {
         let mut clock = SlotClock::new(0);
         rec.span_open("survey", 0, clock.now());
 
-        // Phase 1: wireless charging, one virtual slot per capsule.
+        // Phase 1: wireless charging, one virtual slot per capsule. The
+        // link-budget voltages are computed as one SoA lane batch (bit-
+        // identical per lane to the scalar query; the whole batch is
+        // validated before any capsule state mutates).
         rec.span_open("phase.charge", 0, clock.now());
-        for (d, capsule) in self.capsules.iter_mut() {
+        let distances: Vec<f64> = self.capsules.iter().map(|(d, _)| *d).collect();
+        let v_lanes = lb.received_voltage_lanes(tx_voltage_v, &distances)?;
+        for ((_, capsule), v_rx) in self.capsules.iter_mut().zip(v_lanes) {
             let slot = clock.tick();
-            let v_rx = lb.received_voltage(tx_voltage_v, *d)?;
             capsule.harvest_observed(v_rx, 1.0, slot, rec); // a second of CBW ≫ any cold start
             if v_rx >= MIN_ACTIVATION_V && capsule.is_operational() {
                 report.powered_ids.push(capsule.id);
@@ -644,12 +671,14 @@ impl SelfSensingWall {
         let mut timeline = Timeline::new(plan);
         rec.span_open("survey", 0, timeline.slot());
 
-        // Phase 1: wireless charging, one slot per capsule.
+        // Phase 1: wireless charging, one slot per capsule. Voltages come
+        // from the same SoA lane batch as the quiet path.
         rec.span_open("phase.charge", 0, timeline.slot());
-        for (d, capsule) in self.capsules.iter_mut() {
+        let distances: Vec<f64> = self.capsules.iter().map(|(d, _)| *d).collect();
+        let v_lanes = lb.received_voltage_lanes(tx_voltage_v, &distances)?;
+        for ((_, capsule), v_rx) in self.capsules.iter_mut().zip(v_lanes) {
             let slot = timeline.slot();
             let p = timeline.advance();
-            let v_rx = lb.received_voltage(tx_voltage_v, *d)?;
             capsule.harvest_under_observed(v_rx, 1.0, &p, slot, rec);
             if capsule.is_operational() {
                 report.powered_ids.push(capsule.id);

@@ -54,38 +54,21 @@ fn transform(input: &[Complex], inverse: bool) -> EcoResult<Vec<Complex>> {
         fft_pow2_in_place(&mut buf, inverse)?;
         return Ok(buf);
     }
-    // Bluestein: express the length-n DFT as a convolution, evaluated with
-    // a power-of-two FFT of length >= 2n-1.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let m = (2 * n - 1).next_power_of_two();
-    // Chirp w[k] = exp(sign * i*pi*k^2/n); reduce k^2 mod 2n to keep the
-    // angle argument small (k*k overflows f64 precision for big n).
-    let chirp: Vec<Complex> = (0..n)
-        .map(|k| {
-            let k2 = (k as u128 * k as u128) % (2 * n as u128);
-            Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
-        })
-        .collect();
+    // Bluestein: express the length-n DFT as a convolution, evaluated
+    // with a power-of-two FFT of length >= 2n-1. The chirp and the
+    // kernel spectrum FFT(b) depend only on (n, direction) and come from
+    // the shared plan cache — the values are identical to the per-call
+    // construction this branch used to run, but the ~n trig evaluations
+    // and one of the three m-point FFTs now happen once per length.
+    let bplan = plan::bluestein_for(n, inverse)?;
+    let m = bplan.padded_size();
+    let chirp = bplan.chirp();
     let mut a = vec![Complex::ZERO; m];
     for ((slot, x), c) in a.iter_mut().zip(buf.iter()).zip(chirp.iter()) {
         *slot = *x * *c;
     }
-    let mut b = vec![Complex::ZERO; m];
-    if let (Some(slot), Some(c0)) = (b.first_mut(), chirp.first()) {
-        *slot = c0.conj();
-    }
-    for (k, c) in chirp.iter().enumerate().skip(1) {
-        let cc = c.conj();
-        if let Some(slot) = b.get_mut(k) {
-            *slot = cc;
-        }
-        if let Some(slot) = b.get_mut(m - k) {
-            *slot = cc;
-        }
-    }
     fft_pow2_in_place(&mut a, false)?;
-    fft_pow2_in_place(&mut b, false)?;
-    for (x, y) in a.iter_mut().zip(b.iter()) {
+    for (x, y) in a.iter_mut().zip(bplan.kernel_spectrum().iter()) {
         *x *= *y;
     }
     fft_pow2_in_place(&mut a, true)?;

@@ -19,17 +19,22 @@
 //! - [`spectrogram`] short-time Fourier analysis (FSK diagnostics),
 //! - [`window`] tapers, [`resample`] decimation,
 //! - [`stats`] waveform statistics, SNR and BER estimation,
-//! - [`plan`] thread-safe FFT twiddle/window coefficient caches shared
-//!   by the hot paths above.
+//! - [`plan`] thread-safe FFT twiddle/window/Bluestein coefficient
+//!   caches shared by the hot paths above,
+//! - [`batch`] structure-of-arrays hot-path kernels: shared tone banks,
+//!   the bit-exact fast matched filter, waveform memos and the
+//!   [`batch::Engine`] switch the survey pipeline dispatches on.
 //!
 //! Everything is deterministic. The only global state is the [`plan`]
-//! cache, which holds *immutable* precomputed tables: caching changes
-//! when trigonometry is evaluated, never the value of any result, so
-//! outputs stay bit-identical across runs and across threads.
+//! and [`batch`] caches, which hold *immutable* precomputed tables:
+//! caching changes when trigonometry is evaluated, never the value of
+//! any result, so outputs stay bit-identical across runs and across
+//! threads (DESIGN.md §8 states the full hot-path contract).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod complex;
 pub mod correlate;
 pub mod ddc;

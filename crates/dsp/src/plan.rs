@@ -147,11 +147,103 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// Precomputed Bluestein chirp-z tables for one `(length, direction)`
+/// pair: the chirp sequence and the **pre-transformed** convolution
+/// kernel `FFT(b)`.
+///
+/// Both depend only on the transform length and direction — not on the
+/// signal — yet the seed fallback rebuilt the ~`n` `cis` evaluations
+/// *and* re-ran one of its three `m`-point FFTs on every call. For the
+/// reader's ~44 k-sample captures that one kernel FFT is a 131072-point
+/// transform per carrier estimate, the single largest line item in the
+/// decode hot path. Obtain plans through [`bluestein_for`]; the cached
+/// tables are bit-identical to freshly built ones.
+#[derive(Debug)]
+pub struct BluesteinPlan {
+    n: usize,
+    m: usize,
+    chirp: Vec<Complex>,
+    fft_b: Vec<Complex>,
+}
+
+impl BluesteinPlan {
+    fn build(n: usize, inverse: bool) -> EcoResult<Self> {
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let m = (2 * n - 1).next_power_of_two();
+        // Chirp w[k] = exp(sign * i*pi*k^2/n); reduce k^2 mod 2n to keep
+        // the angle argument small (k*k overflows f64 precision for big n).
+        let chirp: Vec<Complex> = (0..n)
+            .map(|k| {
+                let k2 = (k as u128 * k as u128) % (2 * n as u128);
+                Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+            })
+            .collect();
+        let mut b = vec![Complex::ZERO; m];
+        if let (Some(slot), Some(c0)) = (b.first_mut(), chirp.first()) {
+            *slot = c0.conj();
+        }
+        for (k, c) in chirp.iter().enumerate().skip(1) {
+            let cc = c.conj();
+            if let Some(slot) = b.get_mut(k) {
+                *slot = cc;
+            }
+            if let Some(slot) = b.get_mut(m - k) {
+                *slot = cc;
+            }
+        }
+        plan_for(m)?.process(&mut b, false)?;
+        Ok(BluesteinPlan {
+            n,
+            m,
+            chirp,
+            fft_b: b,
+        })
+    }
+
+    /// The transform length this plan was built for.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The padded power-of-two convolution length (`≥ 2n − 1`).
+    #[must_use]
+    pub fn padded_size(&self) -> usize {
+        self.m
+    }
+
+    /// The chirp sequence `exp(sign·iπk²/n)`, `k in 0..n`.
+    #[must_use]
+    pub fn chirp(&self) -> &[Complex] {
+        &self.chirp
+    }
+
+    /// The forward FFT of the convolution kernel `b`, length
+    /// [`BluesteinPlan::padded_size`].
+    #[must_use]
+    pub fn kernel_spectrum(&self) -> &[Complex] {
+        &self.fft_b
+    }
+}
+
 struct PlanCache {
     plans: HashMap<usize, Arc<FftPlan>>,
     hits: u64,
     misses: u64,
 }
+
+struct BluesteinCache {
+    plans: HashMap<(usize, bool), Arc<BluesteinPlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Distinct `(length, direction)` Bluestein plans kept resident. Each
+/// entry holds `n + m` complex values (~2.8 MB at the reader's capture
+/// sizes); capture lengths are fixed by frame geometry so a handful of
+/// entries serves every survey. Beyond the cap plans are built fresh
+/// and not inserted.
+const BLUESTEIN_CAP: usize = 16;
 
 struct WindowCache {
     windows: HashMap<(Window, usize), Arc<Vec<f64>>>,
@@ -161,6 +253,7 @@ struct WindowCache {
 
 static PLANS: OnceLock<Mutex<PlanCache>> = OnceLock::new();
 static WINDOWS: OnceLock<Mutex<WindowCache>> = OnceLock::new();
+static BLUESTEINS: OnceLock<Mutex<BluesteinCache>> = OnceLock::new();
 
 fn plan_cache() -> &'static Mutex<PlanCache> {
     PLANS.get_or_init(|| {
@@ -234,6 +327,62 @@ pub fn window_for(shape: Window, n: usize) -> Arc<Vec<f64>> {
     let fresh = Arc::new(shape.build(n));
     let mut c = lock(cache);
     Arc::clone(c.windows.entry((shape, n)).or_insert(fresh))
+}
+
+fn bluestein_cache() -> &'static Mutex<BluesteinCache> {
+    BLUESTEINS.get_or_init(|| {
+        Mutex::new(BluesteinCache {
+            plans: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    })
+}
+
+/// The shared Bluestein plan for a non-power-of-two transform of length
+/// `n` in the given direction, building and caching it on first use.
+///
+/// The tables are pure functions of `(n, inverse)` and bit-identical to
+/// the per-call construction the Bluestein fallback previously ran, so
+/// caching changes only when the chirp trigonometry and the kernel FFT
+/// are evaluated — never any transform output.
+#[must_use]
+pub fn bluestein_for(n: usize, inverse: bool) -> EcoResult<Arc<BluesteinPlan>> {
+    if n == 0 {
+        return Err(EcoError::EmptyInput {
+            what: "bluestein plan length",
+        });
+    }
+    let key = (n, inverse);
+    let cache = bluestein_cache();
+    let over_cap;
+    {
+        let mut c = lock(cache);
+        let cached = c.plans.get(&key).map(Arc::clone);
+        if let Some(plan) = cached {
+            c.hits += 1;
+            return Ok(plan);
+        }
+        c.misses += 1;
+        over_cap = c.plans.len() >= BLUESTEIN_CAP;
+    }
+    let fresh = Arc::new(BluesteinPlan::build(n, inverse)?);
+    if over_cap {
+        return Ok(fresh);
+    }
+    let mut c = lock(cache);
+    Ok(Arc::clone(c.plans.entry(key).or_insert(fresh)))
+}
+
+/// Current [`CacheStats`] of the Bluestein plan cache.
+#[must_use]
+pub fn bluestein_cache_stats() -> CacheStats {
+    let c = lock(bluestein_cache());
+    CacheStats {
+        hits: c.hits,
+        misses: c.misses,
+        entries: c.plans.len(),
+    }
 }
 
 /// Current [`CacheStats`] of the FFT plan cache.
@@ -341,6 +490,59 @@ mod tests {
                 "all threads must converge on one cached table"
             );
         }
+    }
+
+    #[test]
+    fn bluestein_lookup_misses_then_hits() {
+        let n = 7331; // a length only this test uses
+        let before = bluestein_cache_stats();
+        let a = bluestein_for(n, false).unwrap();
+        let mid = bluestein_cache_stats();
+        let b = bluestein_for(n, false).unwrap();
+        let after = bluestein_cache_stats();
+        assert!(mid.misses >= before.misses + 1, "first lookup is a miss");
+        assert!(after.hits >= mid.hits + 1, "second lookup is a hit");
+        assert!(Arc::ptr_eq(&a, &b), "both lookups share one plan");
+        assert_eq!(a.size(), n);
+        assert_eq!(a.padded_size(), (2 * n - 1).next_power_of_two());
+    }
+
+    #[test]
+    fn bluestein_keys_on_direction() {
+        let fwd = bluestein_for(99, false).unwrap();
+        let inv = bluestein_for(99, true).unwrap();
+        assert!(!Arc::ptr_eq(&fwd, &inv));
+        // Opposite chirp signs: conjugate chirps, identical magnitudes.
+        for (f, i) in fwd.chirp().iter().zip(inv.chirp().iter()) {
+            assert_eq!(f.re.to_bits(), i.re.to_bits());
+            assert_eq!(f.im.to_bits(), (-i.im).to_bits());
+        }
+    }
+
+    #[test]
+    fn bluestein_cached_plan_matches_fresh_build() {
+        let cached = bluestein_for(101, false).unwrap();
+        let fresh = BluesteinPlan::build(101, false).unwrap();
+        for (a, b) in cached.chirp().iter().zip(fresh.chirp().iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        for (a, b) in cached
+            .kernel_spectrum()
+            .iter()
+            .zip(fresh.kernel_spectrum().iter())
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn bluestein_zero_length_is_an_error() {
+        assert!(matches!(
+            bluestein_for(0, false),
+            Err(EcoError::EmptyInput { .. })
+        ));
     }
 
     #[test]

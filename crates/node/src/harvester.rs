@@ -114,6 +114,62 @@ impl Harvester {
         }
         out
     }
+
+    /// Structure-of-arrays form of [`Harvester::simulate_store`] for a
+    /// whole wall: simulates every capsule's storage capacitor at once,
+    /// where lane `i` sees the shared input envelope scaled by
+    /// `gains[i]` (each capsule's link-budget voltage gain).
+    ///
+    /// The per-lane recurrence never mixes lanes, and every per-lane
+    /// expression is written exactly as the scalar loop writes it, so
+    /// trace `i` is **bit-identical** to
+    /// `simulate_store(&[(dur, v·gains[i]), …], dt_s)` (the lane rule in
+    /// `dsp::batch`; DESIGN.md §8). The win is memory traversal: one
+    /// pass over time with all capsules' state contiguous, instead of
+    /// one full envelope walk per capsule.
+    pub fn simulate_store_lanes(
+        &self,
+        envelope: &[(f64, f64)],
+        dt_s: f64,
+        gains: &[f64],
+    ) -> Vec<Vec<(f64, f64)>> {
+        assert!(dt_s > 0.0, "time step must be positive");
+        assert!(
+            gains.iter().all(|&g| g >= 0.0),
+            "gains must be non-negative"
+        );
+        let lanes = gains.len();
+        let mut v_store = vec![0.0f64; lanes];
+        let mut targets = vec![0.0f64; lanes];
+        let mut tau_charge = vec![0.0f64; lanes];
+        let mut out: Vec<Vec<(f64, f64)>> = vec![Vec::new(); lanes];
+        let mut t = 0.0;
+        for &(dur, v_base) in envelope {
+            assert!(dur >= 0.0 && v_base >= 0.0, "invalid envelope entry");
+            // Per-segment, per-lane constants hoisted out of the time
+            // loop: the same values the scalar loop recomputes per step.
+            for (lane, &g) in gains.iter().enumerate() {
+                let v_in = v_base * g;
+                targets[lane] = self.multiplier_output_v(v_in).min(3.6);
+                tau_charge[lane] = COLD_START_A_VS / (v_in - COLD_START_V0).max(1e-3);
+            }
+            let n = (dur / dt_s).ceil() as usize;
+            for _ in 0..n {
+                for lane in 0..lanes {
+                    let target = targets[lane];
+                    let tau = if target > v_store[lane] {
+                        tau_charge[lane]
+                    } else {
+                        20e-3 // load discharge
+                    };
+                    v_store[lane] += (target - v_store[lane]) * (dt_s / tau).min(1.0);
+                    out[lane].push((t, v_store[lane]));
+                }
+                t += dt_s;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +247,28 @@ mod tests {
         let mid = trace[(50e-3 / 1e-4) as usize - 1].1;
         let end = trace.last().unwrap().1;
         assert!(end < mid, "store must droop unpowered: {mid} → {end}");
+    }
+
+    #[test]
+    fn store_lanes_match_scalar_bitwise() {
+        let h = Harvester::default();
+        let envelope = [(30e-3, 1.5), (5e-3, 0.0), (20e-3, 0.8), (10e-3, 2.0)];
+        let gains = [1.0, 0.61, 0.25, 0.0, 1.37];
+        let lanes = h.simulate_store_lanes(&envelope, 1e-4, &gains);
+        assert_eq!(lanes.len(), gains.len());
+        for (lane, &g) in gains.iter().enumerate() {
+            let scaled: Vec<(f64, f64)> = envelope.iter().map(|&(d, v)| (d, v * g)).collect();
+            let scalar = h.simulate_store(&scaled, 1e-4);
+            assert_eq!(lanes[lane].len(), scalar.len(), "lane {lane}");
+            for (i, ((ta, va), (tb, vb))) in lanes[lane].iter().zip(&scalar).enumerate() {
+                assert_eq!(ta.to_bits(), tb.to_bits(), "lane {lane} step {i} time");
+                assert_eq!(va.to_bits(), vb.to_bits(), "lane {lane} step {i} volts");
+            }
+        }
+        // Degenerate batches.
+        assert!(h.simulate_store_lanes(&envelope, 1e-4, &[]).is_empty());
+        let empty = h.simulate_store_lanes(&[], 1e-4, &gains);
+        assert!(empty.iter().all(Vec::is_empty));
     }
 
     #[test]

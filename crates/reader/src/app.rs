@@ -9,11 +9,21 @@
 
 use crate::rx::{Capture, Receiver, RxError};
 use crate::tx::Transmitter;
-use channel::uplink::{faulted_noise_sigma, synthesize_uplink, UplinkConfig};
+use channel::uplink::{faulted_noise_sigma, synthesize_uplink_with, UplinkConfig};
+use dsp::batch::Engine;
 use node::capsule::{EcoCapsule, Environment};
 use obs::{Recorder, SlotClock};
 use protocol::frame::{Command, Reply, SensorKind};
 use rand::Rng;
+
+/// Downlink waveforms are pure functions of (PIE segments, FSK scheme,
+/// carrier, sample rate); a survey re-broadcasts the same handful of
+/// commands (Query, QueryRep, Ack, ReadSensor) to every capsule and
+/// every retry slot, so the batched engine memoizes the post-suppression
+/// waveform on the exact parameter bits. 32 entries comfortably covers
+/// the command vocabulary; distinct RN16s in Ack keys miss and are
+/// computed uncached beyond the cap.
+static DOWNLINK_WAVES: dsp::batch::WaveMemo = dsp::batch::WaveMemo::new(32);
 
 /// A reader session against one or more in-concrete capsules.
 ///
@@ -37,6 +47,10 @@ pub struct ReaderSession {
     pub uplink_bitrate: f64,
     /// RX noise sigma (V) added to captures.
     pub noise_sigma: f64,
+    /// Hot-path engine for waveform synthesis and decoding. Batched by
+    /// default; results are bit-identical under either engine (DESIGN.md
+    /// §8), so this only selects how fast transactions run.
+    pub engine: Engine,
 }
 
 impl ReaderSession {
@@ -53,7 +67,34 @@ impl ReaderSession {
             tx_voltage_v: 100.0,
             uplink_bitrate: 1000.0,
             noise_sigma: 0.002,
+            engine: Engine::default(),
         }
+    }
+
+    /// Synthesizes the post-concrete downlink waveform for `segments`:
+    /// phase-continuous FSK drive synthesis followed by the ≈4:1
+    /// off-resonance suppression of low edges.
+    fn synthesize_downlink(&self, segments: &[phy::pie::Segment]) -> Vec<f64> {
+        let mut wave = phy::modulation::synthesize_drive(
+            segments,
+            phy::modulation::DownlinkScheme::FskInOokOut {
+                off_hz: self.tx.off_hz,
+            },
+            self.tx.carrier_hz,
+            self.tx.fs_hz,
+        );
+        // Concrete off-resonance suppression of low edges (≈4:1).
+        let mut idx = 0usize;
+        for seg in segments {
+            let n = (seg.duration_s * self.tx.fs_hz).round() as usize;
+            for _ in 0..n {
+                if !seg.high && idx < wave.len() {
+                    wave[idx] *= 0.25;
+                }
+                idx += 1;
+            }
+        }
+        wave
     }
 
     /// One full command/reply transaction against `capsule`:
@@ -100,27 +141,24 @@ impl ReaderSession {
         }
         capsule.apply_fault(p);
         // Downlink. The node-side demodulation operates on the ideal
-        // post-concrete waveform: FSK low edges arrive suppressed.
+        // post-concrete waveform: FSK low edges arrive suppressed. The
+        // batched engine memoizes the waveform on its exact parameter
+        // bits (a survey repeats the same commands per capsule/slot);
+        // the scalar engine synthesizes every time. Same bits either way.
         let segments = self.tx.pie.encode(&cmd.encode());
-        let mut wave = phy::modulation::synthesize_drive(
-            &segments,
-            phy::modulation::DownlinkScheme::FskInOokOut {
-                off_hz: self.tx.off_hz,
-            },
-            self.tx.carrier_hz,
-            self.tx.fs_hz,
-        );
-        // Concrete off-resonance suppression of low edges (≈4:1).
-        let mut idx = 0usize;
-        for seg in &segments {
-            let n = (seg.duration_s * self.tx.fs_hz).round() as usize;
-            for _ in 0..n {
-                if !seg.high && idx < wave.len() {
-                    wave[idx] *= 0.25;
-                }
-                idx += 1;
+        let wave = if self.engine.is_batched() {
+            let mut key = Vec::with_capacity(3 + 2 * segments.len());
+            key.push(self.tx.carrier_hz.to_bits());
+            key.push(self.tx.fs_hz.to_bits());
+            key.push(self.tx.off_hz.to_bits());
+            for seg in &segments {
+                key.push(seg.duration_s.to_bits());
+                key.push(u64::from(seg.high));
             }
-        }
+            DOWNLINK_WAVES.get_or_compute(&key, || self.synthesize_downlink(&segments))
+        } else {
+            std::sync::Arc::new(self.synthesize_downlink(&segments))
+        };
         let decoded_cmd = capsule.demodulate_downlink(&wave, self.tx.fs_hz);
         let Some(decoded_cmd) = decoded_cmd else {
             return Ok(None);
@@ -131,19 +169,20 @@ impl ReaderSession {
 
         // Uplink, through the faulted channel.
         let bits = capsule.backscatter_bits(&reply);
-        let (samples, _) = synthesize_uplink(
+        let (samples, _) = synthesize_uplink_with(
             &self.uplink.under_fault(p),
             &bits,
             self.uplink_bitrate,
             1e-3,
             faulted_noise_sigma(self.noise_sigma, p),
             rng,
+            self.engine,
         );
         let capture = Capture {
             samples,
             fs_hz: self.uplink.fs_hz,
         };
-        self.rx.decode_reply(&capture).map(Some)
+        self.rx.decode_reply_with(&capture, self.engine).map(Some)
     }
 
     /// Inventories `capsules` with waveform-level rounds: Query/QueryRep
@@ -459,6 +498,49 @@ mod tests {
             .read_sensor(&mut capsule, SensorKind::Temperature, &env, &mut rng)
             .unwrap();
         assert!(value.is_some(), "the reopened session serves reads");
+    }
+
+    #[test]
+    fn engines_transact_bit_identically() {
+        use rand::Rng as _;
+        let mut scalar_session = ReaderSession::paper_default();
+        scalar_session.engine = Engine::Scalar;
+        let batched_session = ReaderSession::paper_default();
+        assert!(
+            batched_session.engine.is_batched(),
+            "batched is the default"
+        );
+        let env = Environment::default();
+        for seed in [1u64, 2, 9] {
+            let mut ca = powered(0x42);
+            let mut cb = powered(0x42);
+            let mut ra = StdRng::seed_from_u64(seed);
+            let mut rb = StdRng::seed_from_u64(seed);
+            // Drive the same command schedule through both engines: the
+            // replies and the RNG stream positions must stay in lockstep.
+            let schedule = [
+                Command::Query { q: 0, session: 0 },
+                Command::Query { q: 0, session: 0 },
+                Command::ReadSensor {
+                    kind: SensorKind::Temperature,
+                },
+            ];
+            for cmd in &schedule {
+                let a = scalar_session.transact(&mut ca, cmd, &env, &mut ra);
+                let b = batched_session.transact(&mut cb, cmd, &env, &mut rb);
+                assert_eq!(a, b, "seed {seed}, cmd {cmd:?}");
+                if let Ok(Some(Reply::Rn16 { rn16 })) = a {
+                    let a2 =
+                        scalar_session.transact(&mut ca, &Command::Ack { rn16 }, &env, &mut ra);
+                    let b2 =
+                        batched_session.transact(&mut cb, &Command::Ack { rn16 }, &env, &mut rb);
+                    assert_eq!(a2, b2, "seed {seed}, ack");
+                }
+            }
+            let na: u64 = ra.gen();
+            let nb: u64 = rb.gen();
+            assert_eq!(na, nb, "rng stream diverged at seed {seed}");
+        }
     }
 
     #[test]

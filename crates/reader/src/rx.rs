@@ -88,15 +88,35 @@ impl Receiver {
 
     /// Decodes a framed uplink reply from a capture: preamble sync (both
     /// polarities — the backscatter phase is unknown) then ML FM0 and
-    /// frame parsing.
+    /// frame parsing. This is the scalar reference path; the survey
+    /// engine dispatches through [`Receiver::decode_reply_with`].
     #[must_use]
     pub fn decode_reply(&self, capture: &Capture) -> Result<Reply, RxError> {
+        self.decode_reply_with(capture, dsp::batch::Engine::Scalar)
+    }
+
+    /// [`Receiver::decode_reply`] with an explicit
+    /// [`dsp::batch::Engine`]: the batched engine replaces the `O(n·m)`
+    /// preamble correlation with [`dsp::batch::best_match_exact`], which
+    /// is bit-identical by construction (prefix-sum prescan + scalar
+    /// rescore of the candidate lags), so the decoded reply — and every
+    /// digest downstream of it — is the same under either engine.
+    #[must_use]
+    pub fn decode_reply_with(
+        &self,
+        capture: &Capture,
+        engine: dsp::batch::Engine,
+    ) -> Result<Reply, RxError> {
         let baseband = self.extract_baseband(capture)?;
         let fm0 = Fm0::for_bitrate(self.bitrate_bps, capture.fs_hz);
         let pre_wave = fm0.encode(&PREAMBLE_BITS);
 
+        let matched = match engine {
+            dsp::batch::Engine::Scalar => correlate::best_match(&baseband, &pre_wave),
+            dsp::batch::Engine::Batched => dsp::batch::best_match_exact(&baseband, &pre_wave),
+        };
         let mut best: Option<(usize, f64, f64)> = None; // (lag, |score|, sign)
-        if let Some((lag, score)) = correlate::best_match(&baseband, &pre_wave) {
+        if let Some((lag, score)) = matched {
             best = Some((lag, score.abs(), score.signum()));
         }
         let (lag, score, sign) = best.ok_or(RxError::NoPreamble)?;
@@ -298,6 +318,22 @@ mod tests {
         let capture = make_capture(&framed_bits(&reply), 2e3, 0.01, 2);
         let rx = Receiver::new(2e3);
         assert_eq!(rx.decode_reply(&capture), Ok(reply));
+    }
+
+    #[test]
+    fn batched_decode_matches_scalar() {
+        use dsp::batch::Engine;
+        let rx = Receiver::new(1e3);
+        for (bits, noise, seed) in [
+            (framed_bits(&Reply::NodeId { id: 0xC0FFEE }), 0.0, 1),
+            (framed_bits(&Reply::Rn16 { rn16: 0xABCD }), 0.02, 2),
+            (Vec::new(), 0.0, 3), // carrier-only: both engines must reject
+        ] {
+            let capture = make_capture(&bits, 1e3, noise, seed);
+            let scalar = rx.decode_reply_with(&capture, Engine::Scalar);
+            let batched = rx.decode_reply_with(&capture, Engine::Batched);
+            assert_eq!(scalar, batched, "seed {seed}");
+        }
     }
 
     #[test]

@@ -114,6 +114,10 @@ impl Default for LintConfig {
                 "dsp/src/spectrogram.rs".to_string(),
                 "dsp/src/correlate.rs".to_string(),
                 "dsp/src/ddc.rs".to_string(),
+                // The batched kernels sit on the survey inner loop; the
+                // shared tone-bank caches may only take a lock on the
+                // explicitly-annotated probe lines, never per sample.
+                "dsp/src/batch.rs".to_string(),
                 "exec/src/pool.rs".to_string(),
                 // FaultPlan is shared read-only across sweep workers;
                 // per-slot locking would serialise the whole pool.

@@ -1,0 +1,104 @@
+//! Differential witness for the batched execution engine: a survey run
+//! with [`Engine::Batched`] (the default) must produce, bit for bit, the
+//! report digest and observability trace of the same survey run with
+//! [`Engine::Scalar`] — quiet and faulted, at every worker count. The
+//! engine may only change *how* the kernels are evaluated (tone banks,
+//! run-length prescans, lane-structured integration), never *what* they
+//! compute (DESIGN.md §8).
+
+use ecocapsule::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STANDOFFS: [f64; 4] = [0.5, 0.8, 1.0, 1.5];
+const DRIVE_V: f64 = 200.0;
+const SEED: u64 = 0xBA7C_D1FF;
+
+/// Runs one survey with the given engine and worker count, returning
+/// the report digest and the recorded JSONL trace.
+fn survey(engine: Engine, faulted: bool, workers: usize) -> (u64, String) {
+    let plan = if faulted {
+        FaultPlan::generate(SEED, &FaultIntensity::moderate(60))
+    } else {
+        FaultPlan::quiet()
+    };
+    let pool = if workers <= 1 {
+        Pool::serial()
+    } else {
+        Pool::new(workers)
+    };
+    let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rec = MemoryRecorder::new();
+    let report = SurveyOptions::new()
+        .tx_voltage(DRIVE_V)
+        .fault_plan(&plan)
+        .retry_policy(if faulted {
+            RetryPolicy::paper_default()
+        } else {
+            RetryPolicy::none()
+        })
+        .pool(pool)
+        .engine(engine)
+        .recorder(&mut rec)
+        .run(&mut wall, &mut rng)
+        .expect("survey must succeed");
+    assert_eq!(rec.unmatched_closes(), 0, "trace must be well-formed");
+    (report.digest(), rec.to_jsonl())
+}
+
+/// Quiet surveys: batched digest and trace equal the scalar reference
+/// at workers 1, 2 and max.
+#[test]
+fn quiet_batched_survey_is_bit_identical_to_scalar() {
+    let (ref_digest, ref_trace) = survey(Engine::Scalar, false, 1);
+    for workers in [1, 2, Pool::max_parallel().workers()] {
+        let (digest, trace) = survey(Engine::Batched, false, workers);
+        assert_eq!(digest, ref_digest, "digest diverged (workers={workers})");
+        assert_eq!(trace, ref_trace, "trace diverged (workers={workers})");
+    }
+}
+
+/// Faulted surveys with retries: the engines must agree even when the
+/// channel is perturbed and the RNG stream is consumed by noise draws.
+#[test]
+fn faulted_batched_survey_is_bit_identical_to_scalar() {
+    let (ref_digest, ref_trace) = survey(Engine::Scalar, true, 1);
+    for workers in [1, 2, Pool::max_parallel().workers()] {
+        let (digest, trace) = survey(Engine::Batched, true, workers);
+        assert_eq!(digest, ref_digest, "digest diverged (workers={workers})");
+        assert_eq!(trace, ref_trace, "trace diverged (workers={workers})");
+    }
+}
+
+/// The scalar escape hatch is itself worker-count invariant — the
+/// engine comparison above would be vacuous if the reference drifted.
+#[test]
+fn scalar_reference_is_worker_count_invariant() {
+    let (d1, t1) = survey(Engine::Scalar, true, 1);
+    let (d2, t2) = survey(Engine::Scalar, true, 2);
+    assert_eq!(d1, d2);
+    assert_eq!(t1, t2);
+}
+
+/// The f32 tone lane is the *only* approximate kernel, and its error is
+/// bounded by the documented constant over a deterministic parameter
+/// grid (the `fuzz`-gated property test in `dsp::batch` randomizes the
+/// same bound).
+#[test]
+fn tone_f32_error_bound_holds_on_grid() {
+    for &carrier_hz in &[230e3, 95e3, 512e3] {
+        for &offset in &[0.0, 17.0, 1941.5] {
+            let omega = 2.0 * std::f64::consts::PI * carrier_hz / 1.0e6;
+            let lane = dsp::batch::tone_f32(omega, offset, 4096);
+            let exact = dsp::batch::sin_table(omega, offset, 4096);
+            for (i, (&f, &d)) in lane.iter().zip(exact.iter()).enumerate() {
+                let err = (f64::from(f) - d).abs();
+                assert!(
+                    err <= dsp::batch::TONE_F32_MAX_ABS_ERR,
+                    "entry {i} (carrier {carrier_hz}, offset {offset}): err {err:e}"
+                );
+            }
+        }
+    }
+}
