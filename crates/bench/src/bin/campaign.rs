@@ -1,0 +1,106 @@
+//! The campaign runner: sweeps the damage-scenario × seasonal-drift
+//! grid and the quiet-seed false-alarm sweep, checks the campaign
+//! digest identities (serial vs. parallel vs. checkpoint/resume) at
+//! every grid point, and writes `BENCH_campaign.json`.
+//!
+//! ```sh
+//! cargo run -p bench --bin campaign --release             # full profile
+//! cargo run -p bench --bin campaign --release -- --smoke  # CI gate
+//! ```
+//!
+//! Exit codes: `0` success, `1` a campaign failed, a digest diverged,
+//! damage went undetected, or a quiet campaign raised an alarm,
+//! `2` bad usage.
+
+use bench::campaign::{run_campaign_bench, to_json, verify, CampaignScale};
+use exec::Pool;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = CampaignScale::full();
+    let mut workers: Option<usize> = None;
+    let mut out_path = String::from("BENCH_campaign.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => scale = CampaignScale::smoke(),
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => workers = Some(w),
+                None => return usage("--workers requires a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out requires a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let pool = workers.map_or_else(Pool::max_parallel, Pool::new);
+    println!(
+        "campaign: {} profile, {} worker(s), {} epochs, onset at {}, drift grid {:?}",
+        if scale.smoke { "smoke" } else { "full" },
+        pool.workers(),
+        scale.epochs,
+        scale.onset_epoch,
+        scale.drift_scales,
+    );
+
+    let report = match run_campaign_bench(&scale, &pool) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "\n{:>17} {:>6} {:>10} {:>9} {:>8} {:>11} {:>7} {:>7} {:>7}",
+        "scenario",
+        "drift",
+        "serial_ms",
+        "detected",
+        "latency",
+        "feature",
+        "alarms",
+        "par",
+        "resume"
+    );
+    for r in &report.scenario_rows {
+        println!(
+            "{:>17} {:>6.2} {:>10.1} {:>9} {:>8} {:>11} {:>7} {:>7} {:>7}",
+            r.scenario,
+            r.drift,
+            r.serial_ms,
+            r.detection_epoch.map_or("-".into(), |e| e.to_string()),
+            r.latency_epochs.map_or("-".into(), |l| l.to_string()),
+            r.detection_feature,
+            r.control_false_alarms,
+            r.parallel_identical,
+            r.resume_identical,
+        );
+    }
+    println!("\n{:>6} {:>20} {:>13}", "seed", "digest", "false_alarms");
+    for r in &report.quiet_rows {
+        println!("{:>6} {:>#20x} {:>13}", r.seed, r.digest, r.false_alarms);
+    }
+
+    if let Err(e) = verify(&report) {
+        eprintln!("campaign failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let json = to_json(&report, &pool, &scale);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: campaign [--smoke] [--workers N] [--out PATH]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,386 @@
+//! The campaign bench: detection latency and false-alarm curves over a
+//! damage-scenario × seasonal-drift grid, plus the campaign determinism
+//! invariants — for every grid point the campaign digest must be
+//! identical serial vs. parallel and across a checkpoint/resume split
+//! at the campaign's midpoint.
+//!
+//! Each grid point runs a two-wall campaign: a monitored wall following
+//! one of the damage presets ([`DamageScenario::crack_onset`],
+//! [`DamageScenario::slow_degradation`],
+//! [`DamageScenario::capsule_aging`]) and a quiet control wall under
+//! the same seasonal drift. The row records when (and through which
+//! feature) the damage was detected and how many alarms the control
+//! tripped (the committed artifact pins that at zero). A second grid
+//! sweeps the quiet preset across seeds: the false-alarm rate must be
+//! zero on every one. The emitted `BENCH_campaign.json` (schema
+//! `ecocapsule-bench-campaign/1`) is committed at the repo root; CI
+//! re-runs the smoke profile and gates on [`verify`].
+
+use campaign::{
+    run_campaign, Campaign, CampaignCheckpoint, CampaignOptions, CampaignWallSpec, DamageScenario,
+};
+use dsp::{EcoError, EcoResult};
+use exec::Pool;
+use fleet::{FleetOptions, WallSpec};
+use std::time::Instant;
+
+/// Fixed bench seed: digests must be comparable across commits.
+const CAMPAIGN_SEED: u64 = 0xCA4A_1600;
+
+/// Bench size: [`CampaignScale::full`] for the committed summary,
+/// [`CampaignScale::smoke`] for the CI gate.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignScale {
+    /// Epochs per campaign.
+    pub epochs: u64,
+    /// Epoch the damage presets switch on (after the baseline window).
+    pub onset_epoch: u64,
+    /// Seasonal-drift multipliers to sweep (0 = still air, 1 = the
+    /// temperate preset, 2 = doubled swings).
+    pub drift_scales: &'static [f64],
+    /// Campaign seeds for the quiet false-alarm sweep.
+    pub quiet_seeds: &'static [u64],
+    /// True for the reduced CI profile.
+    pub smoke: bool,
+}
+
+impl CampaignScale {
+    /// The committed-summary profile.
+    #[must_use]
+    pub fn full() -> Self {
+        CampaignScale {
+            epochs: 14,
+            onset_epoch: 7,
+            drift_scales: &[0.0, 1.0, 2.0],
+            quiet_seeds: &[1, 2, 3, 4, 5],
+            smoke: false,
+        }
+    }
+
+    /// The CI profile: shorter campaigns, one drift point, fewer quiet
+    /// seeds, same invariants.
+    #[must_use]
+    pub fn smoke() -> Self {
+        CampaignScale {
+            epochs: 9,
+            onset_epoch: 5,
+            drift_scales: &[1.0],
+            quiet_seeds: &[1, 2],
+            smoke: true,
+        }
+    }
+}
+
+/// The three benched damage presets, by name.
+#[must_use]
+pub fn damage_presets(onset_epoch: u64) -> [(&'static str, DamageScenario); 3] {
+    [
+        ("crack_onset", DamageScenario::crack_onset(onset_epoch)),
+        (
+            "slow_degradation",
+            DamageScenario::slow_degradation(onset_epoch),
+        ),
+        ("capsule_aging", DamageScenario::capsule_aging(onset_epoch)),
+    ]
+}
+
+/// Scales a scenario's seasonal amplitudes and climate jitter by
+/// `drift`, leaving the damage script untouched.
+#[must_use]
+pub fn with_drift(mut scenario: DamageScenario, drift: f64) -> DamageScenario {
+    scenario.seasonal.temperature_amplitude_c *= drift;
+    scenario.seasonal.humidity_amplitude_percent *= drift;
+    scenario.temperature_jitter_c *= drift;
+    scenario.humidity_jitter_percent *= drift;
+    scenario
+}
+
+/// The two-wall campaign at one grid point: the monitored wall under
+/// `scenario`, a quiet control under the same drift.
+fn grid_specs(scenario: &DamageScenario, drift: f64) -> Vec<CampaignWallSpec> {
+    vec![
+        CampaignWallSpec::new(
+            WallSpec::new("monitored", vec![0.4, 0.8, 1.2]).seed(CAMPAIGN_SEED),
+            scenario.clone(),
+        ),
+        CampaignWallSpec::new(
+            WallSpec::new("control", vec![0.6]).seed(CAMPAIGN_SEED ^ 1),
+            with_drift(DamageScenario::quiet(), drift),
+        ),
+    ]
+}
+
+fn grid_options(scale: &CampaignScale) -> CampaignOptions {
+    CampaignOptions::new()
+        .epochs(scale.epochs)
+        .seed(CAMPAIGN_SEED)
+}
+
+/// One damage grid point.
+#[derive(Debug, Clone)]
+pub struct ScenarioRow {
+    /// Damage preset name.
+    pub scenario: &'static str,
+    /// Seasonal-drift multiplier.
+    pub drift: f64,
+    /// Epoch the damage switched on.
+    pub onset_epoch: u64,
+    /// Serial wall-clock (ms).
+    pub serial_ms: f64,
+    /// The serial campaign digest.
+    pub digest: u64,
+    /// Parallel digest equals the serial digest.
+    pub parallel_identical: bool,
+    /// Checkpoint/resume digest equals the serial digest.
+    pub resume_identical: bool,
+    /// Epoch the checkpoint was taken at (the midpoint).
+    pub checkpoint_epoch: u64,
+    /// Epoch the monitored wall's first detection fired, or `None`.
+    pub detection_epoch: Option<u64>,
+    /// `detection_epoch − onset_epoch`, or `None` if undetected.
+    pub latency_epochs: Option<u64>,
+    /// Feature the first detection fired on (`"none"` if undetected).
+    pub detection_feature: &'static str,
+    /// Alarms on the quiet control wall (the artifact pins 0).
+    pub control_false_alarms: usize,
+}
+
+/// One quiet-seed grid point.
+#[derive(Debug, Clone)]
+pub struct QuietRow {
+    /// Campaign seed.
+    pub seed: u64,
+    /// The campaign digest.
+    pub digest: u64,
+    /// Detections across the whole quiet campaign (must be 0).
+    pub false_alarms: usize,
+}
+
+/// The full campaign bench result.
+#[derive(Debug, Clone)]
+pub struct CampaignBenchReport {
+    /// One row per (scenario, drift) grid point.
+    pub scenario_rows: Vec<ScenarioRow>,
+    /// One row per quiet seed.
+    pub quiet_rows: Vec<QuietRow>,
+}
+
+/// Runs a campaign halfway, freezes it through the byte format, and
+/// finishes the run from the decoded checkpoint on a parallel pool.
+fn resumed_digest(
+    specs: Vec<CampaignWallSpec>,
+    options: &CampaignOptions,
+    pool: &Pool,
+) -> EcoResult<(u64, u64)> {
+    let split = options.epochs / 2;
+    let mut first_leg = Campaign::new(specs.clone(), options.clone())?;
+    for _ in 0..split {
+        first_leg.run_epoch()?;
+    }
+    let bytes = CampaignCheckpoint::of(&first_leg).to_bytes();
+    let report = CampaignCheckpoint::from_bytes(&bytes)?
+        .resume(
+            specs,
+            options.clone().fleet(FleetOptions::new().pool(*pool)),
+        )?
+        .run_to_completion()?;
+    Ok((report.digest(), split))
+}
+
+/// Runs the damage grid and the quiet-seed sweep.
+#[must_use]
+pub fn run_campaign_bench(scale: &CampaignScale, pool: &Pool) -> EcoResult<CampaignBenchReport> {
+    let options = grid_options(scale);
+    let mut scenario_rows = Vec::new();
+    for (name, preset) in damage_presets(scale.onset_epoch) {
+        for &drift in scale.drift_scales {
+            let scenario = with_drift(preset.clone(), drift);
+            let specs = grid_specs(&scenario, drift);
+
+            let t0 = Instant::now();
+            let serial = run_campaign(specs.clone(), options.clone())?;
+            let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let parallel = run_campaign(
+                specs.clone(),
+                options.clone().fleet(FleetOptions::new().pool(*pool)),
+            )?;
+            let (resume_digest, checkpoint_epoch) = resumed_digest(specs, &options, pool)?;
+
+            let detection = serial.first_detection("monitored");
+            scenario_rows.push(ScenarioRow {
+                scenario: name,
+                drift,
+                onset_epoch: scale.onset_epoch,
+                serial_ms,
+                digest: serial.digest(),
+                parallel_identical: parallel.digest() == serial.digest(),
+                resume_identical: resume_digest == serial.digest(),
+                checkpoint_epoch,
+                detection_epoch: detection.map(|d| d.epoch),
+                latency_epochs: detection.map(|d| d.epoch.saturating_sub(scale.onset_epoch)),
+                detection_feature: detection.map_or("none", |d| d.feature),
+                control_false_alarms: serial
+                    .detections
+                    .iter()
+                    .filter(|d| d.wall == "control")
+                    .count(),
+            });
+        }
+    }
+
+    let mut quiet_rows = Vec::new();
+    for &seed in scale.quiet_seeds {
+        let specs = vec![
+            CampaignWallSpec::new(
+                WallSpec::new("quiet-a", vec![0.4, 0.8, 1.2]).seed(seed),
+                DamageScenario::quiet(),
+            ),
+            CampaignWallSpec::new(
+                WallSpec::new("quiet-b", vec![0.6]).seed(seed ^ 0xFF),
+                with_drift(DamageScenario::quiet(), 2.0),
+            ),
+        ];
+        let report = run_campaign(specs, grid_options(scale).seed(seed))?;
+        quiet_rows.push(QuietRow {
+            seed,
+            digest: report.digest(),
+            false_alarms: report.detections.len(),
+        });
+    }
+
+    Ok(CampaignBenchReport {
+        scenario_rows,
+        quiet_rows,
+    })
+}
+
+/// Checks the bench invariants: at least three distinct damage
+/// scenarios, every digest identity holds, every damage row detected
+/// its damage at non-negative latency, and not one false alarm — on
+/// the in-grid controls or across the quiet-seed sweep.
+#[must_use]
+pub fn verify(report: &CampaignBenchReport) -> EcoResult<()> {
+    let mut scenarios: Vec<&str> = report.scenario_rows.iter().map(|r| r.scenario).collect();
+    scenarios.sort_unstable();
+    scenarios.dedup();
+    if scenarios.len() < 3 {
+        return Err(EcoError::Numerical {
+            what: "campaign bench needs at least three damage scenarios",
+        });
+    }
+    for row in &report.scenario_rows {
+        if !row.parallel_identical {
+            return Err(EcoError::Numerical {
+                what: "parallel campaign digest diverged from serial digest",
+            });
+        }
+        if !row.resume_identical {
+            return Err(EcoError::Numerical {
+                what: "resumed campaign digest diverged from uninterrupted digest",
+            });
+        }
+        if row.detection_epoch.is_none() {
+            return Err(EcoError::Numerical {
+                what: "a damage scenario went undetected",
+            });
+        }
+        if row.detection_epoch < Some(row.onset_epoch) {
+            return Err(EcoError::Numerical {
+                what: "damage detected before its onset epoch",
+            });
+        }
+        if row.control_false_alarms != 0 {
+            return Err(EcoError::Numerical {
+                what: "quiet control wall tripped an alarm",
+            });
+        }
+    }
+    if report.quiet_rows.is_empty() {
+        return Err(EcoError::Numerical {
+            what: "campaign bench swept no quiet seeds",
+        });
+    }
+    for row in &report.quiet_rows {
+        if row.false_alarms != 0 {
+            return Err(EcoError::Numerical {
+                what: "quiet campaign fired a false alarm",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Renders the report as `BENCH_campaign.json` (schema
+/// `ecocapsule-bench-campaign/1`). Hand-rolled, like the other bench
+/// emitters — the workspace is hermetic, so no serde.
+#[must_use]
+pub fn to_json(report: &CampaignBenchReport, pool: &Pool, scale: &CampaignScale) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"ecocapsule-bench-campaign/1\",\n");
+    out.push_str(&format!("  \"pool_workers\": {},\n", pool.workers()));
+    out.push_str(&format!("  \"smoke\": {},\n", scale.smoke));
+    out.push_str(&format!("  \"epochs\": {},\n", scale.epochs));
+    out.push_str(&format!("  \"onset_epoch\": {},\n", scale.onset_epoch));
+    out.push_str("  \"scenario_rows\": [\n");
+    for (k, r) in report.scenario_rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"scenario\": \"{}\",\n", r.scenario));
+        out.push_str(&format!("      \"drift\": {:.2},\n", r.drift));
+        out.push_str(&format!("      \"serial_ms\": {:.3},\n", r.serial_ms));
+        out.push_str(&format!("      \"digest\": \"{:#018x}\",\n", r.digest));
+        out.push_str(&format!(
+            "      \"parallel_identical\": {},\n",
+            r.parallel_identical
+        ));
+        out.push_str(&format!(
+            "      \"resume_identical\": {},\n",
+            r.resume_identical
+        ));
+        out.push_str(&format!(
+            "      \"checkpoint_epoch\": {},\n",
+            r.checkpoint_epoch
+        ));
+        match r.detection_epoch {
+            Some(epoch) => {
+                out.push_str(&format!("      \"detection_epoch\": {epoch},\n"));
+            }
+            None => out.push_str("      \"detection_epoch\": null,\n"),
+        }
+        match r.latency_epochs {
+            Some(latency) => {
+                out.push_str(&format!("      \"latency_epochs\": {latency},\n"));
+            }
+            None => out.push_str("      \"latency_epochs\": null,\n"),
+        }
+        out.push_str(&format!(
+            "      \"detection_feature\": \"{}\",\n",
+            r.detection_feature
+        ));
+        out.push_str(&format!(
+            "      \"control_false_alarms\": {}\n",
+            r.control_false_alarms
+        ));
+        out.push_str(if k + 1 == report.scenario_rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"quiet_rows\": [\n");
+    for (k, r) in report.quiet_rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"seed\": {},\n", r.seed));
+        out.push_str(&format!("      \"digest\": \"{:#018x}\",\n", r.digest));
+        out.push_str(&format!("      \"false_alarms\": {}\n", r.false_alarms));
+        out.push_str(if k + 1 == report.quiet_rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

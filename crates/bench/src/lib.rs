@@ -16,7 +16,11 @@
 //!   digest-identity invariants behind `BENCH_fleet.json` (see
 //!   [`fleet`]);
 //! - `hotpath` — per-stage scalar-vs-batched ns/sample of the survey
-//!   inner loop behind `BENCH_hotpath.json` (see [`hotpath`]).
+//!   inner loop behind `BENCH_hotpath.json` (see [`hotpath`]);
+//! - `campaign` — detection-latency/false-alarm curves over the
+//!   damage-scenario × seasonal-drift grid and the campaign
+//!   digest-identity invariants behind `BENCH_campaign.json` (see
+//!   [`campaign`]).
 //!
 //! The library half is deliberately thin: the table printers the binaries
 //! share, plus the [`sweeps`] grid, [`faults`] matrix and [`obs`] trace
@@ -25,6 +29,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod faults;
 pub mod fleet;
 pub mod hotpath;

@@ -1,0 +1,761 @@
+//! Streaming drift analytics: per-wall baselines, drift scores, health
+//! grades and detection events.
+//!
+//! Each wall gets a [`WallGrader`] that learns a feature baseline from
+//! the campaign's early quiet epochs, then scores every later epoch by
+//! how far its [`WallFeatures`] drift from that baseline. Scores map
+//! monotonically onto [`HealthLevel`] grades, and a feature that stays
+//! above the detection threshold for a debounce window fires a
+//! [`DetectionEvent`] — once per feature per wall.
+//!
+//! Drift immunity is structural, not statistical: the only scored
+//! features are thermally *compensated* strain (the sensor's own
+//! temperature reading cancels the seasonal term at
+//! [`THERMAL_STRAIN_PER_C`]), powered/read fractions and cold-start
+//! energy cost. Raw temperature and humidity are carried for context
+//! but never scored, so seasonal swings cannot trip an alarm.
+
+use std::collections::BTreeMap;
+
+use dsp::{EcoError, EcoResult};
+use ecocapsule::scenario::{CapsuleOutcome, SurveyReport, THERMAL_STRAIN_PER_C};
+use fleet::WallResult;
+use protocol::frame::SensorKind;
+use shm::health::HealthLevel;
+
+use crate::state::NOMINAL_TEMPERATURE_C;
+
+/// Histogram the node records its cold-start time into, per harvest.
+const COLD_START_HISTOGRAM: &str = "energy.cold_start_us";
+
+/// The four scored drift features, in wire-tag order.
+pub const FEATURES: [&str; 4] = ["strain", "powered", "read", "cold_start"];
+
+/// Grading knobs: how long to baseline, how far is "damage", and the
+/// noise floors that keep quantization from manufacturing huge z-scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradeConfig {
+    /// Epochs spent learning the baseline (no scoring, grade A).
+    pub baseline_epochs: u64,
+    /// Drift score at which a feature is considered a detection.
+    pub detect_z: f64,
+    /// Consecutive epochs a feature must stay above
+    /// [`detect_z`](GradeConfig::detect_z) before its event fires —
+    /// debounces one-epoch flukes such as a single lost inventory.
+    pub debounce_epochs: u64,
+    /// Smallest strain sigma used in the z denominator (strain units);
+    /// floors the compensated-strain noise at ~20× the gauge LSB.
+    pub strain_sigma_floor: f64,
+    /// Unit drop in powered/read fraction worth one point of score.
+    pub fraction_floor: f64,
+    /// Cold-start mean increase (µs) worth one point of score.
+    pub cold_start_floor_us: f64,
+}
+
+impl Default for GradeConfig {
+    fn default() -> Self {
+        GradeConfig {
+            baseline_epochs: 4,
+            detect_z: 8.0,
+            debounce_epochs: 2,
+            strain_sigma_floor: 2.0e-6,
+            fraction_floor: 0.02,
+            cold_start_floor_us: 50.0,
+        }
+    }
+}
+
+impl GradeConfig {
+    /// Checks every knob is positive and finite.
+    #[must_use]
+    pub fn validate(&self) -> EcoResult<()> {
+        if self.baseline_epochs == 0 {
+            return Err(EcoError::Protocol {
+                what: "grading needs at least one baseline epoch",
+            });
+        }
+        if self.debounce_epochs == 0 {
+            return Err(EcoError::Protocol {
+                what: "grading needs a debounce window of at least one epoch",
+            });
+        }
+        for (what, value) in [
+            ("grading detect_z", self.detect_z),
+            ("grading strain sigma floor", self.strain_sigma_floor),
+            ("grading fraction floor", self.fraction_floor),
+            ("grading cold-start floor", self.cold_start_floor_us),
+        ] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(EcoError::NonPositive { what, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Stable digest words (floats as bits).
+    #[must_use]
+    pub fn config_words(&self) -> [u64; 6] {
+        [
+            self.baseline_epochs,
+            self.detect_z.to_bits(),
+            self.debounce_epochs,
+            self.strain_sigma_floor.to_bits(),
+            self.fraction_floor.to_bits(),
+            self.cold_start_floor_us.to_bits(),
+        ]
+    }
+}
+
+/// One epoch's feature vector for one wall, extracted from its
+/// [`WallResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WallFeatures {
+    /// Mean of the wall's strain readings (strain units); 0 when none.
+    pub strain_mean: f64,
+    /// Mean of the wall's temperature readings (°C); 0 when none.
+    pub temperature_mean_c: f64,
+    /// Mean of the wall's humidity readings (%); 0 when none.
+    pub humidity_mean: f64,
+    /// Fraction of implanted capsules that powered up.
+    pub powered_fraction: f64,
+    /// Fraction of implanted capsules whose sensors were read out.
+    pub read_fraction: f64,
+    /// Mean node cold-start time (µs); 0 when nothing powered.
+    pub cold_start_mean_us: f64,
+    /// Number of strain readings behind `strain_mean` (0 means the
+    /// strain/temperature/humidity means are absent, not zero).
+    pub readings: u64,
+}
+
+/// Mean of the readings of one sensor kind, with the sample count.
+fn kind_mean(report: &SurveyReport, kind: SensorKind) -> (f64, u64) {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for (_, k, value) in &report.readings {
+        if *k == kind {
+            sum += value;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        (0.0, 0)
+    } else {
+        (sum / n as f64, n)
+    }
+}
+
+impl WallFeatures {
+    /// Extracts the feature vector from one wall's fleet result.
+    /// `capsule_count` is the wall's implanted-capsule count (the
+    /// denominator for the powered/read fractions); a bare wall reports
+    /// all-zero features.
+    #[must_use]
+    pub fn of(result: &WallResult, capsule_count: usize) -> WallFeatures {
+        let report = &result.report;
+        let (strain_mean, readings) = kind_mean(report, SensorKind::Strain);
+        let (temperature_mean_c, _) = kind_mean(report, SensorKind::Temperature);
+        let (humidity_mean, _) = kind_mean(report, SensorKind::Humidity);
+        let denom = capsule_count.max(1) as f64;
+        let read = report
+            .outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, CapsuleOutcome::Read { .. }))
+            .count();
+        let cold_start_mean_us = result
+            .histograms
+            .iter()
+            .find(|(name, _)| name == COLD_START_HISTOGRAM)
+            .map(|(_, h)| h.mean())
+            .unwrap_or(0.0);
+        WallFeatures {
+            strain_mean,
+            temperature_mean_c,
+            humidity_mean,
+            powered_fraction: if capsule_count == 0 {
+                0.0
+            } else {
+                report.powered_ids.len() as f64 / denom
+            },
+            read_fraction: if capsule_count == 0 {
+                0.0
+            } else {
+                read as f64 / denom
+            },
+            cold_start_mean_us,
+            readings,
+        }
+    }
+
+    /// The strain mean with the seasonal thermal term removed, using
+    /// the wall's *own* temperature reading — the measurement and the
+    /// compensation see the same sensor, so drift cancels to
+    /// quantization level.
+    #[must_use]
+    pub fn compensated_strain(&self) -> f64 {
+        self.strain_mean - THERMAL_STRAIN_PER_C * (self.temperature_mean_c - NOMINAL_TEMPERATURE_C)
+    }
+
+    /// Stable word serialization (floats as bits, count last).
+    #[must_use]
+    pub fn encode_words(&self) -> [u64; 7] {
+        [
+            self.strain_mean.to_bits(),
+            self.temperature_mean_c.to_bits(),
+            self.humidity_mean.to_bits(),
+            self.powered_fraction.to_bits(),
+            self.read_fraction.to_bits(),
+            self.cold_start_mean_us.to_bits(),
+            self.readings,
+        ]
+    }
+
+    /// Inverse of [`WallFeatures::encode_words`].
+    #[must_use]
+    pub fn decode_words(words: &[u64]) -> Option<WallFeatures> {
+        if words.len() != 7 {
+            return None;
+        }
+        Some(WallFeatures {
+            strain_mean: f64::from_bits(words[0]),
+            temperature_mean_c: f64::from_bits(words[1]),
+            humidity_mean: f64::from_bits(words[2]),
+            powered_fraction: f64::from_bits(words[3]),
+            read_fraction: f64::from_bits(words[4]),
+            cold_start_mean_us: f64::from_bits(words[5]),
+            readings: words[6],
+        })
+    }
+}
+
+/// Streaming mean/variance accumulator (count, sum, sum of squares).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FeatureBaseline {
+    /// Samples folded in.
+    pub n: u64,
+    /// Running sum.
+    pub sum: f64,
+    /// Running sum of squares.
+    pub sum_sq: f64,
+}
+
+impl FeatureBaseline {
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+    }
+
+    /// Mean of the folded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.sum / self.n as f64
+    }
+
+    /// Population standard deviation (0 when fewer than two samples).
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let var = (self.sum_sq - self.sum * self.sum / n) / n;
+        var.max(0.0).sqrt()
+    }
+
+    /// Stable word serialization.
+    #[must_use]
+    pub fn encode_words(&self) -> [u64; 3] {
+        [self.n, self.sum.to_bits(), self.sum_sq.to_bits()]
+    }
+
+    /// Inverse of [`FeatureBaseline::encode_words`].
+    #[must_use]
+    pub fn decode_words(words: &[u64]) -> Option<FeatureBaseline> {
+        if words.len() != 3 {
+            return None;
+        }
+        Some(FeatureBaseline {
+            n: words[0],
+            sum: f64::from_bits(words[1]),
+            sum_sq: f64::from_bits(words[2]),
+        })
+    }
+}
+
+/// What one grading step concluded about one wall at one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallAssessment {
+    /// The wall's drift score this epoch (max over scored features).
+    pub score: f64,
+    /// The health grade the score maps to.
+    pub grade: HealthLevel,
+    /// Feature whose detection fired *this* epoch, if any (from
+    /// [`FEATURES`]); each feature fires at most once per wall.
+    pub fired: Option<&'static str>,
+}
+
+/// A damage detection: which wall, when, and on what evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionEvent {
+    /// Wall name.
+    pub wall: String,
+    /// Epoch the detection fired (after debouncing).
+    pub epoch: u64,
+    /// First simulated day of that epoch.
+    pub day: u64,
+    /// The drifting feature (one of [`FEATURES`]).
+    pub feature: &'static str,
+    /// The wall's drift score at firing time.
+    pub score: f64,
+}
+
+/// Per-wall streaming grader: baseline, debounce streaks and fired
+/// flags for the four scored features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallGrader {
+    config: GradeConfig,
+    strain: FeatureBaseline,
+    powered: FeatureBaseline,
+    read: FeatureBaseline,
+    cold_start: FeatureBaseline,
+    streaks: [u64; 4],
+    fired: [bool; 4],
+}
+
+impl WallGrader {
+    /// A fresh grader with an empty baseline.
+    #[must_use]
+    pub fn new(config: GradeConfig) -> Self {
+        WallGrader {
+            config,
+            strain: FeatureBaseline::default(),
+            powered: FeatureBaseline::default(),
+            read: FeatureBaseline::default(),
+            cold_start: FeatureBaseline::default(),
+            streaks: [0; 4],
+            fired: [false; 4],
+        }
+    }
+
+    /// Per-feature drift scores for `features` against the learned
+    /// baseline: `[strain, powered, read, cold_start]`. Strain is
+    /// two-sided on the compensated value; the availability features
+    /// are one-sided (only drops/increases toward failure count).
+    #[must_use]
+    pub fn scores(&self, features: &WallFeatures) -> [f64; 4] {
+        let cfg = &self.config;
+        let z_strain = if features.readings == 0 || self.strain.n == 0 {
+            0.0
+        } else {
+            let sigma = self.strain.std().max(cfg.strain_sigma_floor);
+            (features.compensated_strain() - self.strain.mean()).abs() / sigma
+        };
+        let z_powered =
+            (self.powered.mean() - features.powered_fraction).max(0.0) / cfg.fraction_floor;
+        let z_read = (self.read.mean() - features.read_fraction).max(0.0) / cfg.fraction_floor;
+        let z_cold = (features.cold_start_mean_us - self.cold_start.mean()).max(0.0)
+            / cfg.cold_start_floor_us;
+        [z_strain, z_powered, z_read, z_cold]
+    }
+
+    /// Maps a drift score onto a health grade. Monotone: a larger score
+    /// never grades better.
+    #[must_use]
+    pub fn grade_of(&self, score: f64) -> HealthLevel {
+        let z = self.config.detect_z;
+        if score < 0.125 * z {
+            HealthLevel::A
+        } else if score < 0.25 * z {
+            HealthLevel::B
+        } else if score < 0.5 * z {
+            HealthLevel::C
+        } else if score < z {
+            HealthLevel::D
+        } else if score < 2.0 * z {
+            HealthLevel::E
+        } else {
+            HealthLevel::F
+        }
+    }
+
+    /// Feeds one epoch's features through the grader. During the
+    /// baseline window the features are learned and the wall grades A;
+    /// afterwards the baseline freezes and drift is scored.
+    pub fn observe(&mut self, epoch: u64, features: &WallFeatures) -> WallAssessment {
+        if epoch < self.config.baseline_epochs {
+            if features.readings > 0 {
+                self.strain.push(features.compensated_strain());
+            }
+            self.powered.push(features.powered_fraction);
+            self.read.push(features.read_fraction);
+            self.cold_start.push(features.cold_start_mean_us);
+            return WallAssessment {
+                score: 0.0,
+                grade: HealthLevel::A,
+                fired: None,
+            };
+        }
+        let scores = self.scores(features);
+        let mut fired = None;
+        for (i, &z) in scores.iter().enumerate() {
+            if z >= self.config.detect_z {
+                self.streaks[i] += 1;
+                if self.streaks[i] >= self.config.debounce_epochs && !self.fired[i] {
+                    self.fired[i] = true;
+                    fired = fired.or(Some(FEATURES[i]));
+                }
+            } else {
+                self.streaks[i] = 0;
+            }
+        }
+        let score = scores.iter().fold(0.0f64, |a, &b| a.max(b));
+        WallAssessment {
+            score,
+            grade: self.grade_of(score),
+            fired,
+        }
+    }
+
+    /// Stable word serialization of the full grader state (config
+    /// excluded — it lives in the campaign config digest).
+    #[must_use]
+    pub fn encode_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(20);
+        for b in [&self.strain, &self.powered, &self.read, &self.cold_start] {
+            words.extend(b.encode_words());
+        }
+        words.extend(self.streaks);
+        words.extend(self.fired.iter().map(|&f| u64::from(f)));
+        words
+    }
+
+    /// Inverse of [`WallGrader::encode_words`] under `config`. Returns
+    /// `None` on a malformed word stream (bad length or a fired flag
+    /// that is not 0/1).
+    #[must_use]
+    pub fn decode_words(config: GradeConfig, words: &[u64]) -> Option<WallGrader> {
+        if words.len() != 20 {
+            return None;
+        }
+        let mut grader = WallGrader::new(config);
+        grader.strain = FeatureBaseline::decode_words(&words[0..3])?;
+        grader.powered = FeatureBaseline::decode_words(&words[3..6])?;
+        grader.read = FeatureBaseline::decode_words(&words[6..9])?;
+        grader.cold_start = FeatureBaseline::decode_words(&words[9..12])?;
+        grader.streaks.copy_from_slice(&words[12..16]);
+        for (flag, &w) in grader.fired.iter_mut().zip(&words[16..20]) {
+            *flag = match w {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+        }
+        Some(grader)
+    }
+}
+
+/// The campaign's grading front: one [`WallGrader`] per wall, keyed by
+/// name so the assessment of a wall depends only on that wall's own
+/// feature series — never on the order walls are presented in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignGrader {
+    config: GradeConfig,
+    graders: BTreeMap<String, WallGrader>,
+}
+
+impl CampaignGrader {
+    /// A fresh grader for the named walls. Errors on a duplicate name —
+    /// two walls sharing a grader would corrupt both baselines.
+    #[must_use]
+    pub fn new(config: GradeConfig, wall_names: &[String]) -> EcoResult<CampaignGrader> {
+        config.validate()?;
+        let mut graders = BTreeMap::new();
+        for name in wall_names {
+            if graders
+                .insert(name.clone(), WallGrader::new(config))
+                .is_some()
+            {
+                return Err(EcoError::Protocol {
+                    what: "duplicate wall name in campaign",
+                });
+            }
+        }
+        Ok(CampaignGrader { config, graders })
+    }
+
+    /// The grading configuration.
+    #[must_use]
+    pub fn config(&self) -> GradeConfig {
+        self.config
+    }
+
+    /// Feeds one wall-epoch through its grader. Errors on a wall name
+    /// the grader was not built for.
+    #[must_use]
+    pub fn observe(
+        &mut self,
+        wall: &str,
+        epoch: u64,
+        features: &WallFeatures,
+    ) -> EcoResult<WallAssessment> {
+        let grader = self.graders.get_mut(wall).ok_or(EcoError::Protocol {
+            what: "grading a wall the campaign does not know",
+        })?;
+        Ok(grader.observe(epoch, features))
+    }
+
+    /// The per-wall graders in name order (for checkpointing).
+    #[must_use]
+    pub fn graders(&self) -> &BTreeMap<String, WallGrader> {
+        &self.graders
+    }
+
+    /// Replaces one wall's grader state (for resume). Errors on an
+    /// unknown wall.
+    #[must_use]
+    pub fn restore(&mut self, wall: &str, grader: WallGrader) -> EcoResult<()> {
+        match self.graders.get_mut(wall) {
+            Some(slot) => {
+                *slot = grader;
+                Ok(())
+            }
+            None => Err(EcoError::Protocol {
+                what: "restoring a wall the campaign does not know",
+            }),
+        }
+    }
+}
+
+/// Wire tag of a feature name, for checkpoints and digests.
+#[must_use]
+pub fn feature_tag(feature: &str) -> Option<u64> {
+    FEATURES
+        .iter()
+        .position(|&f| f == feature)
+        .map(|i| i as u64)
+}
+
+/// Inverse of [`feature_tag`].
+#[must_use]
+pub fn feature_from_tag(tag: u64) -> Option<&'static str> {
+    usize::try_from(tag)
+        .ok()
+        .and_then(|i| FEATURES.get(i))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_features() -> WallFeatures {
+        WallFeatures {
+            // 50 µε of true strain plus the thermal term its own 30 °C
+            // reading implies — physically consistent, so compensation
+            // recovers exactly 50 µε.
+            strain_mean: 50.0e-6 + THERMAL_STRAIN_PER_C * 5.0,
+            temperature_mean_c: 30.0,
+            humidity_mean: 70.0,
+            powered_fraction: 1.0,
+            read_fraction: 1.0,
+            cold_start_mean_us: 900.0,
+            readings: 5,
+        }
+    }
+
+    /// Observes `n` baseline epochs of quiet features (with small
+    /// seeded thermal variation the compensation must cancel).
+    fn baselined(config: GradeConfig) -> WallGrader {
+        let mut g = WallGrader::new(config);
+        for epoch in 0..config.baseline_epochs {
+            let dt = epoch as f64 - 1.5;
+            let f = WallFeatures {
+                temperature_mean_c: 30.0 + 4.0 * dt,
+                strain_mean: 50.0e-6 + THERMAL_STRAIN_PER_C * (4.0 * dt + 5.0),
+                ..quiet_features()
+            };
+            let a = g.observe(epoch, &f);
+            assert_eq!(a.grade, HealthLevel::A);
+            assert!(a.fired.is_none());
+        }
+        g
+    }
+
+    #[test]
+    fn thermal_swings_cancel_but_real_strain_scores() {
+        let config = GradeConfig::default();
+        let mut g = baselined(config);
+        // A +20 °C swing with matching thermal strain: compensated
+        // drift is zero, score stays tiny.
+        let seasonal = WallFeatures {
+            temperature_mean_c: 50.0,
+            strain_mean: 50.0e-6 + THERMAL_STRAIN_PER_C * 25.0,
+            ..quiet_features()
+        };
+        let a = g.observe(config.baseline_epochs, &seasonal);
+        assert!(a.score < 1.0, "seasonal epoch scored {}", a.score);
+        assert_eq!(a.grade, HealthLevel::A);
+        // The same epoch plus 180 µε of inelastic strain: scores far
+        // beyond the detection threshold.
+        let damaged = WallFeatures {
+            strain_mean: seasonal.strain_mean + 180.0e-6,
+            ..seasonal
+        };
+        let a = g.observe(config.baseline_epochs + 1, &damaged);
+        assert!(a.score > config.detect_z, "damage scored only {}", a.score);
+        assert_eq!(a.grade, HealthLevel::F);
+    }
+
+    #[test]
+    fn detection_debounces_and_fires_once() {
+        let config = GradeConfig::default();
+        let mut g = baselined(config);
+        let dead = WallFeatures {
+            powered_fraction: 0.6,
+            read_fraction: 0.6,
+            ..quiet_features()
+        };
+        let e0 = config.baseline_epochs;
+        assert_eq!(g.observe(e0, &dead).fired, None, "first epoch debounced");
+        assert_eq!(
+            g.observe(e0 + 1, &dead).fired,
+            Some("powered"),
+            "second consecutive epoch fires"
+        );
+        assert_eq!(g.observe(e0 + 2, &dead).fired, None, "fires only once");
+    }
+
+    #[test]
+    fn one_epoch_blips_never_fire() {
+        let config = GradeConfig::default();
+        let mut g = baselined(config);
+        let blip = WallFeatures {
+            read_fraction: 0.6,
+            ..quiet_features()
+        };
+        let e0 = config.baseline_epochs;
+        assert_eq!(g.observe(e0, &blip).fired, None);
+        // Recovery resets the streak; the next blip is debounced again.
+        assert!(g.observe(e0 + 1, &quiet_features()).fired.is_none());
+        assert_eq!(g.observe(e0 + 2, &blip).fired, None);
+    }
+
+    #[test]
+    fn scores_are_monotone_in_injected_strain() {
+        let config = GradeConfig::default();
+        let g = baselined(config);
+        let mut last = -1.0;
+        for k in 0..10 {
+            let f = WallFeatures {
+                strain_mean: 50.0e-6 + THERMAL_STRAIN_PER_C * 5.0 + k as f64 * 40.0e-6,
+                ..quiet_features()
+            };
+            let score = g.scores(&f).iter().fold(0.0f64, |a, &b| a.max(b));
+            assert!(score >= last, "severity {k}: {score} < {last}");
+            let grade = g.grade_of(score);
+            assert!(grade >= g.grade_of(last.max(0.0)), "grade regressed at {k}");
+            last = score;
+        }
+    }
+
+    #[test]
+    fn grades_cover_all_bands_monotonically() {
+        let g = WallGrader::new(GradeConfig::default());
+        let expected = [
+            (0.0, HealthLevel::A),
+            (1.5, HealthLevel::B),
+            (3.0, HealthLevel::C),
+            (5.0, HealthLevel::D),
+            (10.0, HealthLevel::E),
+            (20.0, HealthLevel::F),
+        ];
+        for (score, grade) in expected {
+            assert_eq!(g.grade_of(score), grade, "score {score}");
+        }
+    }
+
+    #[test]
+    fn bare_walls_grade_quietly() {
+        let config = GradeConfig::default();
+        let mut g = WallGrader::new(config);
+        for epoch in 0..config.baseline_epochs + 5 {
+            let a = g.observe(epoch, &WallFeatures::default());
+            assert_eq!(a.score, 0.0);
+            assert_eq!(a.grade, HealthLevel::A);
+            assert!(a.fired.is_none());
+        }
+    }
+
+    #[test]
+    fn grader_words_round_trip() {
+        let config = GradeConfig::default();
+        let mut g = baselined(config);
+        let dead = WallFeatures {
+            powered_fraction: 0.0,
+            read_fraction: 0.0,
+            readings: 0,
+            ..quiet_features()
+        };
+        g.observe(config.baseline_epochs, &dead);
+        let words = g.encode_words();
+        assert_eq!(WallGrader::decode_words(config, &words), Some(g));
+        assert_eq!(WallGrader::decode_words(config, &words[..19]), None);
+        let mut bad = words;
+        bad[16] = 7;
+        assert_eq!(WallGrader::decode_words(config, &bad), None, "bad flag");
+    }
+
+    #[test]
+    fn campaign_grader_rejects_duplicates_and_strangers() {
+        let names = vec!["a".to_string(), "a".to_string()];
+        assert!(CampaignGrader::new(GradeConfig::default(), &names).is_err());
+        let mut g = CampaignGrader::new(GradeConfig::default(), &["a".to_string()]).unwrap();
+        assert!(g.observe("b", 0, &WallFeatures::default()).is_err());
+        assert!(g
+            .restore("b", WallGrader::new(GradeConfig::default()))
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = [
+            GradeConfig {
+                baseline_epochs: 0,
+                ..GradeConfig::default()
+            },
+            GradeConfig {
+                debounce_epochs: 0,
+                ..GradeConfig::default()
+            },
+            GradeConfig {
+                detect_z: 0.0,
+                ..GradeConfig::default()
+            },
+            GradeConfig {
+                strain_sigma_floor: -1.0,
+                ..GradeConfig::default()
+            },
+            GradeConfig {
+                fraction_floor: f64::NAN,
+                ..GradeConfig::default()
+            },
+        ];
+        for config in bad {
+            assert!(config.validate().is_err(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn feature_tags_round_trip() {
+        for (i, &f) in FEATURES.iter().enumerate() {
+            assert_eq!(feature_tag(f), Some(i as u64));
+            assert_eq!(feature_from_tag(i as u64), Some(f));
+        }
+        assert_eq!(feature_tag("bogus"), None);
+        assert_eq!(feature_from_tag(4), None);
+    }
+}

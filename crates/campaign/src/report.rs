@@ -1,0 +1,278 @@
+//! Campaign results: the per-epoch record stream, detections, and the
+//! digest/trace witnesses the differential tests compare.
+
+use shm::health::HealthLevel;
+
+use crate::grade::{feature_tag, DetectionEvent, WallFeatures};
+
+/// Wire/digest tag of a health grade.
+#[must_use]
+pub fn health_tag(grade: HealthLevel) -> u64 {
+    match grade {
+        HealthLevel::A => 0,
+        HealthLevel::B => 1,
+        HealthLevel::C => 2,
+        HealthLevel::D => 3,
+        HealthLevel::E => 4,
+        HealthLevel::F => 5,
+    }
+}
+
+/// Inverse of [`health_tag`].
+#[must_use]
+pub fn health_from_tag(tag: u64) -> Option<HealthLevel> {
+    Some(match tag {
+        0 => HealthLevel::A,
+        1 => HealthLevel::B,
+        2 => HealthLevel::C,
+        3 => HealthLevel::D,
+        4 => HealthLevel::E,
+        5 => HealthLevel::F,
+        _ => return None,
+    })
+}
+
+/// One wall's outcome at one epoch: the survey witness plus the
+/// analytics verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallEpoch {
+    /// Wall name.
+    pub name: String,
+    /// Digest of the wall's full [`fleet::WallResult`] this epoch.
+    pub result_digest: u64,
+    /// The feature vector the grader scored.
+    pub features: WallFeatures,
+    /// Drift score this epoch.
+    pub score: f64,
+    /// Health grade this epoch.
+    pub grade: HealthLevel,
+}
+
+/// One completed epoch: when it ran, the fleet-level witness, and every
+/// wall's outcome in spec order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// First simulated day of the epoch.
+    pub day: u64,
+    /// [`fleet::FleetReport::digest`] of the epoch's fleet run.
+    pub fleet_digest: u64,
+    /// Per-wall outcomes, in spec order.
+    pub walls: Vec<WallEpoch>,
+}
+
+/// The aggregated outcome of a campaign run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignReport {
+    /// Epochs the campaign was configured for.
+    pub epochs: u64,
+    /// Simulated days per epoch.
+    pub days_per_epoch: u64,
+    /// One record per completed epoch, in order.
+    pub records: Vec<EpochRecord>,
+    /// Every detection fired, in firing order.
+    pub detections: Vec<DetectionEvent>,
+}
+
+impl CampaignReport {
+    /// Stable digest over the whole campaign: schedule, every epoch
+    /// record (fleet digest, per-wall features/score/grade bit-exact)
+    /// and every detection, `u64::MAX`-separated. Bit-identical across
+    /// fleet worker counts and checkpoint/resume splits.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut words = vec![self.epochs, self.days_per_epoch, u64::MAX];
+        for r in &self.records {
+            words.push(r.epoch);
+            words.push(r.day);
+            words.push(r.fleet_digest);
+            for w in &r.walls {
+                words.extend(crate::str_words(&w.name));
+                words.push(w.result_digest);
+                words.extend(w.features.encode_words());
+                words.push(w.score.to_bits());
+                words.push(health_tag(w.grade));
+            }
+            words.push(u64::MAX);
+        }
+        for d in &self.detections {
+            words.extend(crate::str_words(&d.wall));
+            words.push(d.epoch);
+            words.push(d.day);
+            words.push(feature_tag(d.feature).unwrap_or(u64::MAX));
+            words.push(d.score.to_bits());
+        }
+        faults::fnv1a64(words)
+    }
+
+    /// The campaign trace: one `campaign_epoch` header per epoch, one
+    /// `campaign_wall` line per wall per epoch, and one
+    /// `campaign_detection` line per detection at the epoch it fired —
+    /// floats rendered as bit-exact hex so the text is byte-identical
+    /// whenever the digests are.
+    #[must_use]
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!(
+                "{{\"ev\":\"campaign_epoch\",\"epoch\":{},\"day\":{},\"fleet_digest\":\"{:#018x}\"}}\n",
+                r.epoch, r.day, r.fleet_digest
+            ));
+            for w in &r.walls {
+                out.push_str(&format!(
+                    "{{\"ev\":\"campaign_wall\",\"epoch\":{},\"wall\":\"{}\",\"grade\":\"{}\",\"score_bits\":\"{:#018x}\",\"powered_bits\":\"{:#018x}\",\"strain_bits\":\"{:#018x}\"}}\n",
+                    r.epoch,
+                    escape_json(&w.name),
+                    w.grade,
+                    w.score.to_bits(),
+                    w.features.powered_fraction.to_bits(),
+                    w.features.strain_mean.to_bits()
+                ));
+            }
+            for d in self.detections.iter().filter(|d| d.epoch == r.epoch) {
+                out.push_str(&format!(
+                    "{{\"ev\":\"campaign_detection\",\"epoch\":{},\"day\":{},\"wall\":\"{}\",\"feature\":\"{}\",\"score_bits\":\"{:#018x}\"}}\n",
+                    d.epoch,
+                    d.day,
+                    escape_json(&d.wall),
+                    d.feature,
+                    d.score.to_bits()
+                ));
+            }
+        }
+        out
+    }
+
+    /// A wall's health-grade timeline, one grade per completed epoch.
+    #[must_use]
+    pub fn grade_timeline(&self, wall: &str) -> Vec<(u64, HealthLevel)> {
+        self.records
+            .iter()
+            .filter_map(|r| {
+                r.walls
+                    .iter()
+                    .find(|w| w.name == wall)
+                    .map(|w| (r.epoch, w.grade))
+            })
+            .collect()
+    }
+
+    /// The first detection on `wall`, if any.
+    #[must_use]
+    pub fn first_detection(&self, wall: &str) -> Option<&DetectionEvent> {
+        self.detections.iter().find(|d| d.wall == wall)
+    }
+}
+
+/// Minimal JSON string escaping for wall names embedded in the trace.
+pub(crate) fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wall_epoch(name: &str, grade: HealthLevel) -> WallEpoch {
+        WallEpoch {
+            name: name.into(),
+            result_digest: 7,
+            features: WallFeatures::default(),
+            score: 1.25,
+            grade,
+        }
+    }
+
+    fn report() -> CampaignReport {
+        CampaignReport {
+            epochs: 2,
+            days_per_epoch: 30,
+            records: vec![
+                EpochRecord {
+                    epoch: 0,
+                    day: 0,
+                    fleet_digest: 11,
+                    walls: vec![wall_epoch("a", HealthLevel::A)],
+                },
+                EpochRecord {
+                    epoch: 1,
+                    day: 30,
+                    fleet_digest: 12,
+                    walls: vec![wall_epoch("a", HealthLevel::E)],
+                },
+            ],
+            detections: vec![DetectionEvent {
+                wall: "a".into(),
+                epoch: 1,
+                day: 30,
+                feature: "strain",
+                score: 9.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn digest_sees_every_field() {
+        let base = report();
+        let mut regraded = base.clone();
+        regraded.records[1].walls[0].grade = HealthLevel::F;
+        let mut rescored = base.clone();
+        rescored.records[1].walls[0].score = 2.0;
+        let mut redigested = base.clone();
+        redigested.records[0].fleet_digest = 99;
+        let mut undetected = base.clone();
+        undetected.detections.clear();
+        let mut refeatured = base.clone();
+        refeatured.records[0].walls[0].features.powered_fraction = 0.5;
+        for v in [regraded, rescored, redigested, undetected, refeatured] {
+            assert_ne!(v.digest(), base.digest());
+        }
+    }
+
+    #[test]
+    fn trace_interleaves_epochs_walls_and_detections() {
+        let trace = report().trace_jsonl();
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("\"ev\":\"campaign_epoch\"") && lines[0].contains("\"epoch\":0"));
+        assert!(
+            lines[1].contains("\"ev\":\"campaign_wall\"") && lines[1].contains("\"grade\":\"A\"")
+        );
+        assert!(lines[3].contains("\"grade\":\"E\""));
+        assert!(
+            lines[4].contains("\"ev\":\"campaign_detection\"")
+                && lines[4].contains("\"feature\":\"strain\"")
+        );
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn timeline_and_first_detection_query_by_wall() {
+        let r = report();
+        assert_eq!(
+            r.grade_timeline("a"),
+            vec![(0, HealthLevel::A), (1, HealthLevel::E)]
+        );
+        assert!(r.grade_timeline("missing").is_empty());
+        assert_eq!(r.first_detection("a").map(|d| d.epoch), Some(1));
+        assert!(r.first_detection("missing").is_none());
+    }
+
+    #[test]
+    fn health_tags_round_trip() {
+        for grade in [
+            HealthLevel::A,
+            HealthLevel::B,
+            HealthLevel::C,
+            HealthLevel::D,
+            HealthLevel::E,
+            HealthLevel::F,
+        ] {
+            assert_eq!(health_from_tag(health_tag(grade)), Some(grade));
+        }
+        assert_eq!(health_from_tag(6), None);
+    }
+}

@@ -1,0 +1,411 @@
+//! Damage scenarios: the deterministic script a structure follows over
+//! a campaign's lifetime.
+//!
+//! A [`DamageScenario`] is pure configuration — it never holds state.
+//! Each epoch the campaign engine feeds it, together with a derived
+//! seed, to [`crate::StructureState::step`], which folds seasonal
+//! climate, progressive damage and capsule aging into the next
+//! [`ecocapsule::scenario::WallCondition`]. Scenarios therefore compose
+//! with checkpoint/resume for free: the script is pinned by the config
+//! digest, the state by the checkpoint.
+
+use dsp::{EcoError, EcoResult};
+
+/// Onset epoch meaning "never": a scenario whose damage never starts.
+pub const NEVER: u64 = u64::MAX;
+
+/// Seasonal climate drift: a sinusoid in internal concrete temperature
+/// and relative humidity over the campaign's epochs.
+///
+/// The analytics layer must *not* flag this as damage — the point of
+/// modelling it is to prove the thermal-compensation path in
+/// [`crate::grade`] keeps quiet campaigns quiet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seasonal {
+    /// Peak temperature excursion (°C) around the 25 °C nominal; ≥ 0.
+    pub temperature_amplitude_c: f64,
+    /// Peak relative-humidity excursion (%) around the 70 % nominal; ≥ 0.
+    pub humidity_amplitude_percent: f64,
+    /// Period of one full cycle, in epochs; > 0.
+    pub period_epochs: f64,
+    /// Phase offset, in epochs (0 starts the cycle at its zero crossing).
+    pub phase_epochs: f64,
+}
+
+impl Seasonal {
+    /// No drift at all: constant nominal climate.
+    #[must_use]
+    pub fn none() -> Self {
+        Seasonal {
+            temperature_amplitude_c: 0.0,
+            humidity_amplitude_percent: 0.0,
+            period_epochs: 12.0,
+            phase_epochs: 0.0,
+        }
+    }
+
+    /// A temperate annual cycle at monthly epochs: ±8 °C, ±10 % RH over
+    /// 12 epochs.
+    #[must_use]
+    pub fn temperate() -> Self {
+        Seasonal {
+            temperature_amplitude_c: 8.0,
+            humidity_amplitude_percent: 10.0,
+            period_epochs: 12.0,
+            phase_epochs: 0.0,
+        }
+    }
+
+    /// Checks amplitudes are finite and non-negative and the period is
+    /// positive and finite.
+    #[must_use]
+    pub fn validate(&self) -> EcoResult<()> {
+        for (what, value) in [
+            (
+                "seasonal temperature amplitude",
+                self.temperature_amplitude_c,
+            ),
+            (
+                "seasonal humidity amplitude",
+                self.humidity_amplitude_percent,
+            ),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(EcoError::NonPositive { what, value });
+            }
+        }
+        if !(self.period_epochs > 0.0 && self.period_epochs.is_finite()) {
+            return Err(EcoError::NonPositive {
+                what: "seasonal period epochs",
+                value: self.period_epochs,
+            });
+        }
+        if !self.phase_epochs.is_finite() {
+            return Err(EcoError::NonPositive {
+                what: "seasonal phase epochs",
+                value: self.phase_epochs,
+            });
+        }
+        Ok(())
+    }
+
+    /// Stable digest words (floats as bits).
+    #[must_use]
+    pub fn config_words(&self) -> [u64; 4] {
+        [
+            self.temperature_amplitude_c.to_bits(),
+            self.humidity_amplitude_percent.to_bits(),
+            self.period_epochs.to_bits(),
+            self.phase_epochs.to_bits(),
+        ]
+    }
+}
+
+/// The lifetime script of one wall: when damage starts, how fast each
+/// physical channel degrades, and how the climate drifts underneath.
+///
+/// All rates are per epoch and scale linearly with
+/// [`severity`](DamageScenario::severity), so a bench can sweep a
+/// severity grid over one preset without re-deriving the physics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DamageScenario {
+    /// Epoch at which damage begins ([`NEVER`] for a healthy life).
+    pub onset_epoch: u64,
+    /// Linear scale on every damage rate below; ≥ 0, 0 disables damage.
+    pub severity: f64,
+    /// One-time fractional elastic-modulus loss at onset (0.05 = −5 %).
+    pub onset_stiffness_loss: f64,
+    /// Fractional elastic-modulus loss per epoch after onset.
+    pub stiffness_loss_per_epoch: f64,
+    /// One-time added S-wave attenuation (Np/m) at onset — a crack
+    /// opening across the charging path.
+    pub onset_crack_alpha_np_m: f64,
+    /// Attenuation growth (Np/m) per epoch after onset.
+    pub crack_alpha_growth_np_m: f64,
+    /// One-time inelastic strain jump at onset (dimensionless strain).
+    pub onset_strain: f64,
+    /// Creep strain accumulated per epoch after onset.
+    pub creep_strain_per_epoch: f64,
+    /// Multiplicative harvest derating applied to every capsule per
+    /// epoch after onset (0.1 = each capsule keeps ~90 % of its harvest
+    /// efficiency per epoch).
+    pub capsule_derate_per_epoch: f64,
+    /// Derating below which a capsule is declared dead (clamped to 0).
+    pub capsule_death_threshold: f64,
+    /// Seasonal climate drift, always active (damage or not).
+    pub seasonal: Seasonal,
+    /// Seeded uniform temperature jitter amplitude (°C) per epoch.
+    pub temperature_jitter_c: f64,
+    /// Seeded uniform humidity jitter amplitude (%) per epoch.
+    pub humidity_jitter_percent: f64,
+}
+
+impl DamageScenario {
+    /// The do-nothing scenario: no damage, no drift, no jitter. A
+    /// campaign under it surveys a bitwise-pristine wall every epoch —
+    /// the anchor for the zero-damage differential test.
+    #[must_use]
+    pub fn frozen() -> Self {
+        DamageScenario {
+            onset_epoch: NEVER,
+            severity: 0.0,
+            onset_stiffness_loss: 0.0,
+            stiffness_loss_per_epoch: 0.0,
+            onset_crack_alpha_np_m: 0.0,
+            crack_alpha_growth_np_m: 0.0,
+            onset_strain: 0.0,
+            creep_strain_per_epoch: 0.0,
+            capsule_derate_per_epoch: 0.0,
+            capsule_death_threshold: 0.0,
+            seasonal: Seasonal::none(),
+            temperature_jitter_c: 0.0,
+            humidity_jitter_percent: 0.0,
+        }
+    }
+
+    /// Healthy structure under realistic drift: temperate seasons plus
+    /// small seeded climate jitter, no damage ever. The false-alarm
+    /// anchor — grading must never fire on it.
+    #[must_use]
+    pub fn quiet() -> Self {
+        DamageScenario {
+            seasonal: Seasonal::temperate(),
+            temperature_jitter_c: 0.4,
+            humidity_jitter_percent: 1.5,
+            ..DamageScenario::frozen()
+        }
+    }
+
+    /// A crack opens at `onset_epoch`: step changes in attenuation,
+    /// stiffness and inelastic strain, then slow growth. The abrupt-
+    /// damage preset.
+    #[must_use]
+    pub fn crack_onset(onset_epoch: u64) -> Self {
+        DamageScenario {
+            onset_epoch,
+            severity: 1.0,
+            onset_stiffness_loss: 0.05,
+            onset_crack_alpha_np_m: 0.8,
+            crack_alpha_growth_np_m: 0.05,
+            onset_strain: 180.0e-6,
+            creep_strain_per_epoch: 5.0e-6,
+            ..DamageScenario::quiet()
+        }
+    }
+
+    /// Gradual stiffness loss and creep from `onset_epoch`, no step
+    /// change — the slow-degradation preset that stresses baseline
+    /// drift tracking.
+    #[must_use]
+    pub fn slow_degradation(onset_epoch: u64) -> Self {
+        DamageScenario {
+            onset_epoch,
+            severity: 1.0,
+            stiffness_loss_per_epoch: 0.01,
+            creep_strain_per_epoch: 60.0e-6,
+            ..DamageScenario::quiet()
+        }
+    }
+
+    /// Capsules age and die from `onset_epoch`: harvest efficiency
+    /// decays multiplicatively until capsules drop below the death
+    /// threshold and go dark — the instrumentation-failure preset.
+    #[must_use]
+    pub fn capsule_aging(onset_epoch: u64) -> Self {
+        DamageScenario {
+            onset_epoch,
+            severity: 1.0,
+            capsule_derate_per_epoch: 0.18,
+            capsule_death_threshold: 0.35,
+            ..DamageScenario::quiet()
+        }
+    }
+
+    /// Replaces the severity scale (0 disables damage entirely).
+    #[must_use]
+    pub fn with_severity(mut self, severity: f64) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Checks every rate is finite and non-negative, the death
+    /// threshold sits in [0, 1], and the seasonal block validates.
+    #[must_use]
+    pub fn validate(&self) -> EcoResult<()> {
+        for (what, value) in [
+            ("scenario severity", self.severity),
+            ("scenario onset stiffness loss", self.onset_stiffness_loss),
+            (
+                "scenario stiffness loss per epoch",
+                self.stiffness_loss_per_epoch,
+            ),
+            ("scenario onset crack alpha", self.onset_crack_alpha_np_m),
+            ("scenario crack alpha growth", self.crack_alpha_growth_np_m),
+            ("scenario onset strain", self.onset_strain),
+            (
+                "scenario creep strain per epoch",
+                self.creep_strain_per_epoch,
+            ),
+            (
+                "scenario capsule derate per epoch",
+                self.capsule_derate_per_epoch,
+            ),
+            ("scenario temperature jitter", self.temperature_jitter_c),
+            ("scenario humidity jitter", self.humidity_jitter_percent),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(EcoError::NonPositive { what, value });
+            }
+        }
+        if !(self.capsule_death_threshold >= 0.0 && self.capsule_death_threshold <= 1.0) {
+            return Err(EcoError::OutOfRange {
+                what: "scenario capsule death threshold",
+                value: self.capsule_death_threshold,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        self.seasonal.validate()
+    }
+
+    /// Stable digest words over every field (floats as bits).
+    #[must_use]
+    pub fn config_words(&self) -> Vec<u64> {
+        let mut words = vec![
+            self.onset_epoch,
+            self.severity.to_bits(),
+            self.onset_stiffness_loss.to_bits(),
+            self.stiffness_loss_per_epoch.to_bits(),
+            self.onset_crack_alpha_np_m.to_bits(),
+            self.crack_alpha_growth_np_m.to_bits(),
+            self.onset_strain.to_bits(),
+            self.creep_strain_per_epoch.to_bits(),
+            self.capsule_derate_per_epoch.to_bits(),
+            self.capsule_death_threshold.to_bits(),
+            self.temperature_jitter_c.to_bits(),
+            self.humidity_jitter_percent.to_bits(),
+        ];
+        words.extend(self.seasonal.config_words());
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for s in [
+            DamageScenario::frozen(),
+            DamageScenario::quiet(),
+            DamageScenario::crack_onset(6),
+            DamageScenario::slow_degradation(6),
+            DamageScenario::capsule_aging(6),
+        ] {
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected() {
+        let bad = [
+            DamageScenario {
+                severity: -1.0,
+                ..DamageScenario::quiet()
+            },
+            DamageScenario {
+                creep_strain_per_epoch: f64::NAN,
+                ..DamageScenario::quiet()
+            },
+            DamageScenario {
+                capsule_death_threshold: 1.5,
+                ..DamageScenario::quiet()
+            },
+            DamageScenario {
+                seasonal: Seasonal {
+                    period_epochs: 0.0,
+                    ..Seasonal::temperate()
+                },
+                ..DamageScenario::quiet()
+            },
+            DamageScenario {
+                seasonal: Seasonal {
+                    phase_epochs: f64::INFINITY,
+                    ..Seasonal::temperate()
+                },
+                ..DamageScenario::quiet()
+            },
+        ];
+        for s in bad {
+            assert!(s.validate().is_err(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn config_words_cover_every_field() {
+        let base = DamageScenario::crack_onset(6);
+        let variants = [
+            DamageScenario::crack_onset(7),
+            base.clone().with_severity(0.5),
+            DamageScenario {
+                onset_stiffness_loss: 0.06,
+                ..base.clone()
+            },
+            DamageScenario {
+                stiffness_loss_per_epoch: 0.01,
+                ..base.clone()
+            },
+            DamageScenario {
+                onset_crack_alpha_np_m: 0.9,
+                ..base.clone()
+            },
+            DamageScenario {
+                crack_alpha_growth_np_m: 0.06,
+                ..base.clone()
+            },
+            DamageScenario {
+                onset_strain: 170.0e-6,
+                ..base.clone()
+            },
+            DamageScenario {
+                creep_strain_per_epoch: 6.0e-6,
+                ..base.clone()
+            },
+            DamageScenario {
+                capsule_derate_per_epoch: 0.1,
+                ..base.clone()
+            },
+            DamageScenario {
+                capsule_death_threshold: 0.2,
+                ..base.clone()
+            },
+            DamageScenario {
+                temperature_jitter_c: 0.5,
+                ..base.clone()
+            },
+            DamageScenario {
+                humidity_jitter_percent: 2.0,
+                ..base.clone()
+            },
+            DamageScenario {
+                seasonal: Seasonal {
+                    temperature_amplitude_c: 9.0,
+                    ..Seasonal::temperate()
+                },
+                ..base.clone()
+            },
+            DamageScenario {
+                seasonal: Seasonal {
+                    phase_epochs: 3.0,
+                    ..Seasonal::temperate()
+                },
+                ..base.clone()
+            },
+        ];
+        let d0 = faults::fnv1a64(base.config_words());
+        for v in variants {
+            assert_ne!(faults::fnv1a64(v.config_words()), d0, "{v:?}");
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Evolving structure state: what the wall actually *is* at each epoch.
+//!
+//! [`StructureState`] is the campaign's only mutable physics — a small
+//! vector of damage/climate variables advanced once per epoch by
+//! [`StructureState::step`] under a [`crate::DamageScenario`] script and
+//! a derived seed, then projected into a
+//! [`ecocapsule::scenario::WallCondition`] for the survey. Everything is
+//! pure integer/float arithmetic off [`exec::seed::derive`] streams, so
+//! the same `(scenario, seed)` pair always produces the same state —
+//! the property checkpoint/resume identity rests on.
+
+use dsp::{EcoError, EcoResult};
+use ecocapsule::scenario::{WallCondition, THERMAL_STRAIN_PER_C};
+use exec::seed::derive;
+
+/// Stiffness never degrades below this factor: a structure at 5 % of
+/// its as-built modulus has long since collapsed; flooring keeps the
+/// mix validation (factor ∈ (0, 1]) satisfiable forever.
+pub const MIN_STIFFNESS_FACTOR: f64 = 0.05;
+
+/// Creep strain cap, safely inside the ±3000 µε gauge linear range even
+/// with worst-case seasonal thermal strain on top.
+pub const MAX_CREEP_STRAIN: f64 = 2000.0e-6;
+
+/// Nominal internal concrete temperature (°C) — the reference both the
+/// seasonal model and the thermal-compensation path in [`crate::grade`]
+/// are anchored to.
+pub const NOMINAL_TEMPERATURE_C: f64 = 25.0;
+
+/// Nominal relative humidity (%).
+pub const NOMINAL_HUMIDITY_PERCENT: f64 = 70.0;
+
+/// A uniform draw in [0, 1) from a derived seed word (53 mantissa bits,
+/// bit-exact on every platform).
+fn unit(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A uniform draw in [−1, 1) from a derived seed word.
+fn signed_unit(word: u64) -> f64 {
+    unit(word) * 2.0 - 1.0
+}
+
+/// The physical state of one wall after some epochs of service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureState {
+    /// Epochs of service already applied (also the next service epoch
+    /// [`StructureState::step`] will simulate).
+    pub epoch: u64,
+    /// Current elastic-modulus scale in (0, 1].
+    pub stiffness_factor: f64,
+    /// Current added S-wave attenuation (Np/m) from cracking.
+    pub crack_alpha_np_m: f64,
+    /// Accumulated inelastic (creep + damage) strain, thermal excluded.
+    pub creep_strain: f64,
+    /// Current internal concrete temperature (°C).
+    pub temperature_c: f64,
+    /// Current relative humidity (%).
+    pub humidity_percent: f64,
+    /// Per-capsule harvest derating in [0, 1]; dead capsules sit at 0.
+    pub capsule_derating: Vec<f64>,
+}
+
+impl StructureState {
+    /// The as-built state: no damage, nominal climate, every capsule at
+    /// full efficiency. Its condition is bitwise
+    /// [`WallCondition::pristine`] (plus the derating vector, which
+    /// derates by 1.0 — a multiplicative no-op).
+    #[must_use]
+    pub fn pristine(capsule_count: usize) -> Self {
+        StructureState {
+            epoch: 0,
+            stiffness_factor: 1.0,
+            crack_alpha_np_m: 0.0,
+            creep_strain: 0.0,
+            temperature_c: NOMINAL_TEMPERATURE_C,
+            humidity_percent: NOMINAL_HUMIDITY_PERCENT,
+            capsule_derating: vec![1.0; capsule_count],
+        }
+    }
+
+    /// Advances one epoch of simulated service under `scenario`.
+    ///
+    /// `seed` must be unique per (wall, epoch) — the engine derives it
+    /// as [`crate::evolve_seed`] — and feeds the climate jitter and
+    /// per-capsule aging draws. Climate is recomputed absolutely each
+    /// epoch (seasonal sinusoid + jitter); damage accumulates.
+    pub fn step(&mut self, scenario: &crate::DamageScenario, seed: u64) {
+        let epoch = self.epoch;
+        let t = epoch as f64 + scenario.seasonal.phase_epochs;
+        let angle = std::f64::consts::TAU * t / scenario.seasonal.period_epochs;
+        let swing = angle.sin();
+        self.temperature_c = NOMINAL_TEMPERATURE_C
+            + scenario.seasonal.temperature_amplitude_c * swing
+            + scenario.temperature_jitter_c * signed_unit(derive(seed, 0));
+        self.humidity_percent = (NOMINAL_HUMIDITY_PERCENT
+            + scenario.seasonal.humidity_amplitude_percent * swing
+            + scenario.humidity_jitter_percent * signed_unit(derive(seed, 1)))
+        .clamp(0.0, 100.0);
+
+        let sev = scenario.severity;
+        if sev > 0.0 && epoch >= scenario.onset_epoch {
+            if epoch == scenario.onset_epoch {
+                self.stiffness_factor *= 1.0 - (scenario.onset_stiffness_loss * sev).min(0.95);
+                self.crack_alpha_np_m += scenario.onset_crack_alpha_np_m * sev;
+                self.creep_strain += scenario.onset_strain * sev;
+            }
+            self.stiffness_factor *= 1.0 - (scenario.stiffness_loss_per_epoch * sev).min(0.95);
+            self.stiffness_factor = self.stiffness_factor.max(MIN_STIFFNESS_FACTOR);
+            self.crack_alpha_np_m += scenario.crack_alpha_growth_np_m * sev;
+            self.creep_strain =
+                (self.creep_strain + scenario.creep_strain_per_epoch * sev).min(MAX_CREEP_STRAIN);
+            for (i, derate) in self.capsule_derating.iter_mut().enumerate() {
+                // Each capsule ages at its own seeded pace (×0.75..1.25
+                // of the nominal rate) so deaths stagger realistically.
+                let pace = 0.75 + 0.5 * unit(derive(seed, 16 + i as u64));
+                *derate *=
+                    (1.0 - (scenario.capsule_derate_per_epoch * sev * pace).min(1.0)).max(0.0);
+                if *derate < scenario.capsule_death_threshold {
+                    *derate = 0.0;
+                }
+            }
+        }
+        self.epoch += 1;
+    }
+
+    /// Projects the state into the condition the next survey runs
+    /// under. Thermal strain rides on top of the inelastic strain at
+    /// [`THERMAL_STRAIN_PER_C`] per °C away from nominal — the same
+    /// constant the grading layer compensates with.
+    #[must_use]
+    pub fn condition(&self) -> WallCondition {
+        WallCondition {
+            stiffness_factor: self.stiffness_factor,
+            crack_alpha_np_m: self.crack_alpha_np_m,
+            temperature_c: self.temperature_c,
+            humidity_percent: self.humidity_percent,
+            strain: self.creep_strain
+                + THERMAL_STRAIN_PER_C * (self.temperature_c - NOMINAL_TEMPERATURE_C),
+            capsule_derating: self.capsule_derating.clone(),
+        }
+    }
+
+    /// Checks every variable is finite and in its physical range.
+    #[must_use]
+    pub fn validate(&self) -> EcoResult<()> {
+        if !(self.stiffness_factor > 0.0 && self.stiffness_factor <= 1.0) {
+            return Err(EcoError::OutOfRange {
+                what: "state stiffness_factor",
+                value: self.stiffness_factor,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        if !(self.crack_alpha_np_m >= 0.0 && self.crack_alpha_np_m.is_finite()) {
+            return Err(EcoError::NonPositive {
+                what: "state crack_alpha_np_m",
+                value: self.crack_alpha_np_m,
+            });
+        }
+        for (what, value) in [
+            ("state creep_strain", self.creep_strain),
+            ("state temperature_c", self.temperature_c),
+            ("state humidity_percent", self.humidity_percent),
+        ] {
+            if !value.is_finite() {
+                return Err(EcoError::NonPositive { what, value });
+            }
+        }
+        for &d in &self.capsule_derating {
+            if !(d >= 0.0 && d <= 1.0) {
+                return Err(EcoError::OutOfRange {
+                    what: "state capsule derating",
+                    value: d,
+                    min: 0.0,
+                    max: 1.0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Stable word serialization: `[epoch, 5 float-bit words, n,
+    /// derate-bit words…]` — feeds both the checkpoint encoder and the
+    /// campaign digest.
+    #[must_use]
+    pub fn encode_words(&self) -> Vec<u64> {
+        let mut words = vec![
+            self.epoch,
+            self.stiffness_factor.to_bits(),
+            self.crack_alpha_np_m.to_bits(),
+            self.creep_strain.to_bits(),
+            self.temperature_c.to_bits(),
+            self.humidity_percent.to_bits(),
+            self.capsule_derating.len() as u64,
+        ];
+        words.extend(self.capsule_derating.iter().map(|d| d.to_bits()));
+        words
+    }
+
+    /// Inverse of [`StructureState::encode_words`]. Returns `None` on a
+    /// malformed word stream (bad length or trailing words).
+    #[must_use]
+    pub fn decode_words(words: &[u64]) -> Option<StructureState> {
+        if words.len() < 7 {
+            return None;
+        }
+        let n = usize::try_from(words[6]).ok()?;
+        if words.len() != 7usize.checked_add(n)? {
+            return None;
+        }
+        Some(StructureState {
+            epoch: words[0],
+            stiffness_factor: f64::from_bits(words[1]),
+            crack_alpha_np_m: f64::from_bits(words[2]),
+            creep_strain: f64::from_bits(words[3]),
+            temperature_c: f64::from_bits(words[4]),
+            humidity_percent: f64::from_bits(words[5]),
+            capsule_derating: words[7..].iter().map(|&w| f64::from_bits(w)).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DamageScenario;
+
+    #[test]
+    fn pristine_state_projects_a_pristine_condition() {
+        let state = StructureState::pristine(3);
+        let condition = state.condition();
+        assert_eq!(condition.stiffness_factor.to_bits(), 1.0f64.to_bits());
+        assert_eq!(condition.strain.to_bits(), 0.0f64.to_bits());
+        assert_eq!(condition.capsule_derating, vec![1.0; 3]);
+        state.validate().unwrap();
+    }
+
+    #[test]
+    fn frozen_scenario_only_advances_the_clock() {
+        let mut state = StructureState::pristine(2);
+        let before = state.condition();
+        for epoch in 0..10 {
+            state.step(&DamageScenario::frozen(), exec::seed::derive(9, epoch));
+        }
+        assert_eq!(state.epoch, 10);
+        assert_eq!(state.condition(), before, "frozen evolution is a no-op");
+    }
+
+    #[test]
+    fn stepping_is_a_pure_function_of_scenario_and_seed() {
+        let scenario = DamageScenario::crack_onset(3);
+        let mut a = StructureState::pristine(4);
+        let mut b = StructureState::pristine(4);
+        for epoch in 0..8 {
+            let seed = exec::seed::derive(42, epoch);
+            a.step(&scenario, seed);
+            b.step(&scenario, seed);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crack_onset_applies_step_damage_once() {
+        let scenario = DamageScenario::crack_onset(2);
+        let mut state = StructureState::pristine(1);
+        for epoch in 0..2 {
+            state.step(&scenario, exec::seed::derive(1, epoch));
+        }
+        assert_eq!(state.crack_alpha_np_m.to_bits(), 0.0f64.to_bits());
+        state.step(&scenario, exec::seed::derive(1, 2));
+        let after_onset = state.crack_alpha_np_m;
+        assert!(after_onset >= scenario.onset_crack_alpha_np_m);
+        assert!(state.creep_strain >= scenario.onset_strain);
+        assert!(state.stiffness_factor < 1.0);
+        state.step(&scenario, exec::seed::derive(1, 3));
+        let growth = state.crack_alpha_np_m - after_onset;
+        assert!(
+            growth > 0.0 && growth < scenario.onset_crack_alpha_np_m,
+            "later epochs grow, not re-jump (grew {growth})"
+        );
+        state.validate().unwrap();
+    }
+
+    #[test]
+    fn seasonal_drift_cycles_and_stays_valid() {
+        let scenario = DamageScenario::quiet();
+        let mut state = StructureState::pristine(1);
+        let mut min_t = f64::INFINITY;
+        let mut max_t = f64::NEG_INFINITY;
+        for epoch in 0..12 {
+            state.step(&scenario, exec::seed::derive(7, epoch));
+            min_t = min_t.min(state.temperature_c);
+            max_t = max_t.max(state.temperature_c);
+            state.validate().unwrap();
+        }
+        assert!(max_t > 30.0, "summer peak missing (max {max_t})");
+        assert!(min_t < 20.0, "winter trough missing (min {min_t})");
+        assert_eq!(state.creep_strain.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn aging_kills_capsules_through_the_death_threshold() {
+        let scenario = DamageScenario::capsule_aging(0);
+        let mut state = StructureState::pristine(5);
+        for epoch in 0..30 {
+            state.step(&scenario, exec::seed::derive(3, epoch));
+        }
+        assert!(
+            state.capsule_derating.iter().all(|&d| d == 0.0),
+            "all capsules dead after 30 aging epochs: {:?}",
+            state.capsule_derating
+        );
+        state.validate().unwrap();
+    }
+
+    #[test]
+    fn degradation_floors_never_break_validation() {
+        let scenario = DamageScenario::slow_degradation(0).with_severity(50.0);
+        let mut state = StructureState::pristine(2);
+        for epoch in 0..200 {
+            state.step(&scenario, exec::seed::derive(5, epoch));
+            state.validate().unwrap();
+        }
+        assert_eq!(state.stiffness_factor, MIN_STIFFNESS_FACTOR);
+        assert_eq!(state.creep_strain, MAX_CREEP_STRAIN);
+        state.condition().validate().unwrap();
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let scenario = DamageScenario::crack_onset(1);
+        let mut state = StructureState::pristine(3);
+        for epoch in 0..4 {
+            state.step(&scenario, exec::seed::derive(11, epoch));
+        }
+        let words = state.encode_words();
+        assert_eq!(StructureState::decode_words(&words), Some(state));
+    }
+
+    #[test]
+    fn malformed_words_are_rejected() {
+        let words = StructureState::pristine(2).encode_words();
+        assert_eq!(StructureState::decode_words(&words[..6]), None, "truncated");
+        let mut extra = words.clone();
+        extra.push(0);
+        assert_eq!(StructureState::decode_words(&extra), None, "trailing");
+        let mut bad_len = words;
+        bad_len[6] = 9;
+        assert_eq!(StructureState::decode_words(&bad_len), None, "bad count");
+    }
+}

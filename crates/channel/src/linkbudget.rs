@@ -85,6 +85,22 @@ impl LinkBudget {
         })
     }
 
+    /// The same link with `extra_np_m` added to its absorption law —
+    /// the crack/damage hook one layer up from
+    /// [`PowerLawAttenuation::with_added_alpha`]. Coupling, spreading and
+    /// carrier are untouched: a crack on the path scatters energy out of
+    /// the guided mode without changing how the wave was launched.
+    /// Errors when the summed coefficient would be negative. Adding
+    /// literal `0.0` is a bitwise no-op, so a pristine structure's link
+    /// budget — and every received voltage — is bit-identical.
+    #[must_use]
+    pub fn with_added_attenuation(&self, extra_np_m: f64) -> EcoResult<LinkBudget> {
+        Ok(LinkBudget {
+            attenuation: self.attenuation.with_added_alpha(extra_np_m)?,
+            ..self.clone()
+        })
+    }
+
     /// Received open-circuit voltage at distance `d_m` for TX drive
     /// `v_tx_v` volts.
     ///
@@ -317,6 +333,28 @@ mod tests {
             let rw = range(&p1, v);
             assert!(rc > rw, "at {v} V: concrete {rc} vs water {rw}");
         }
+    }
+
+    #[test]
+    fn added_attenuation_shortens_range_and_weakens_rx() {
+        let lb = LinkBudget::for_structure(&Structure::s3_common_wall()).unwrap();
+        let cracked = lb.with_added_attenuation(0.4).unwrap();
+        for d in [0.5, 1.0, 2.0] {
+            assert!(
+                cracked.received_voltage(200.0, d).unwrap()
+                    < lb.received_voltage(200.0, d).unwrap()
+            );
+        }
+        assert!(range(&cracked, 200.0) < range(&lb, 200.0));
+        // Zero extra leaves every received voltage bit-identical.
+        let same = lb.with_added_attenuation(0.0).unwrap();
+        for d in [0.5, 1.3, 2.7] {
+            assert_eq!(
+                same.received_voltage(200.0, d).unwrap().to_bits(),
+                lb.received_voltage(200.0, d).unwrap().to_bits(),
+            );
+        }
+        assert!(lb.with_added_attenuation(-1.0).is_err());
     }
 
     #[test]

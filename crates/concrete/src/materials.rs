@@ -9,7 +9,7 @@
 //! masses) density.
 
 use elastic::attenuation::PowerLawAttenuation;
-use elastic::Material;
+use elastic::{EcoError, EcoResult, Material};
 
 /// The three evaluated concrete grades.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -212,6 +212,31 @@ impl ConcreteMix {
         self.resonant_frequency_hz() - 50e3
     }
 
+    /// The same mix with its elastic modulus scaled by `factor` ∈ (0, 1]
+    /// — the progressive-damage hook. Micro-cracking degrades stiffness
+    /// long before it shows in compressive strength, which drags both
+    /// wave speeds (`E → c_p, c_s`) and the transducer/concrete resonance
+    /// ([`ConcreteMix::resonant_frequency_hz`] tracks `E_c`) — exactly
+    /// the signature a lifetime campaign watches for. Density and mix
+    /// masses are unchanged (cracking does not remove mass). Multiplying
+    /// by literal `1.0` is a bitwise no-op, so a pristine mix keeps its
+    /// exact wave speeds and carrier.
+    #[must_use]
+    pub fn with_stiffness_factor(&self, factor: f64) -> EcoResult<ConcreteMix> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(EcoError::OutOfRange {
+                what: "stiffness factor",
+                value: factor,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(ConcreteMix {
+            ec_gpa: self.ec_gpa * factor,
+            ..*self
+        })
+    }
+
     /// Relative transmission-amplitude scale of this concrete vs NC.
     ///
     /// §5.3: "high density (i.e., high compressive strength) results in a
@@ -267,6 +292,24 @@ mod tests {
             assert!((200e3..250e3).contains(&f), "{g}: {f}");
             let off = g.mix().off_resonant_frequency_hz();
             assert!(off < f && off > 150e3);
+        }
+    }
+
+    #[test]
+    fn stiffness_factor_degrades_speeds_and_resonance() {
+        let nc = ConcreteGrade::Nc.mix();
+        let cracked = nc.with_stiffness_factor(0.8).unwrap();
+        assert!((cracked.ec_gpa - 0.8 * nc.ec_gpa).abs() < 1e-12);
+        assert_eq!(cracked.density_kg_m3(), nc.density_kg_m3());
+        assert!(cracked.material().cp_m_s < nc.material().cp_m_s);
+        assert!(cracked.material().cs_m_s < nc.material().cs_m_s);
+        assert!(cracked.resonant_frequency_hz() < nc.resonant_frequency_hz());
+        // Unity factor is a bitwise no-op (golden invariance).
+        let same = nc.with_stiffness_factor(1.0).unwrap();
+        assert_eq!(same.ec_gpa.to_bits(), nc.ec_gpa.to_bits());
+        // Out-of-range factors (and NaN) are rejected.
+        for bad in [0.0, -0.3, 1.5, f64::NAN] {
+            assert!(nc.with_stiffness_factor(bad).is_err(), "{bad}");
         }
     }
 

@@ -59,6 +59,7 @@ pub mod scenario;
 pub mod prelude {
     pub use crate::scenario::{
         CapsuleOutcome, MonitoringCampaign, SelfSensingWall, SurveyOptions, SurveyReport,
+        WallCondition,
     };
     pub use channel::linkbudget::LinkBudget;
     pub use concrete::{ConcreteGrade, Structure};

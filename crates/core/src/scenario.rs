@@ -180,6 +180,148 @@ impl<'a> SurveyOptions<'a> {
     }
 }
 
+/// Thermal strain per °C of temperature change in the host concrete
+/// (coefficient of thermal expansion, ≈10 µε/°C for ordinary mixes).
+///
+/// The single constant both sides of a monitoring campaign share: the
+/// structure-evolution model uses it to fold seasonal temperature into
+/// the strain a capsule's gauge reads, and the analytics layer uses it
+/// to *compensate* measured strain with measured temperature — so
+/// seasonal drift cancels (to sensor quantization) instead of firing
+/// false damage alarms.
+pub const THERMAL_STRAIN_PER_C: f64 = 10.0e-6;
+
+/// The time-varying physical condition of a wall: what a lifetime of
+/// service has done to the structure and its implanted capsules.
+///
+/// A [`SelfSensingWall`] is built *under* a condition
+/// ([`SelfSensingWall::common_wall_under`]); the condition bends the
+/// physics every survey rides on:
+///
+/// - `stiffness_factor` scales the concrete's elastic modulus
+///   ([`concrete::materials::ConcreteMix::with_stiffness_factor`]) —
+///   progressive micro-cracking slows both wave speeds and drags the
+///   transducer resonance (and with it the carrier) down;
+/// - `crack_alpha_np_m` adds S-wave attenuation to the charging link
+///   ([`channel::linkbudget::LinkBudget::with_added_attenuation`]) — a
+///   discrete crack scattering energy out of the guided mode;
+/// - `temperature_c` / `humidity_percent` / `strain` set the
+///   [`Environment`] the sensors sample — seasonal drift plus
+///   accumulated creep;
+/// - `capsule_derating` multiplies each capsule's received charging
+///   voltage (capsule order): electrode/PZT aging in (0, 1), a dead
+///   capsule at exactly `0.0`, a healthy one at `1.0`.
+///
+/// [`WallCondition::pristine`] is the identity: every factor is the
+/// multiplicative/additive no-op (`×1.0`, `+0.0`), chosen so a pristine
+/// wall is **bit-identical** to one built without a condition — the
+/// golden survey fixtures pin this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallCondition {
+    /// Elastic-modulus scale in (0, 1]; 1 = undamaged.
+    pub stiffness_factor: f64,
+    /// Added S-wave attenuation (Np/m) on the charging path; ≥ 0.
+    pub crack_alpha_np_m: f64,
+    /// Internal concrete temperature (°C).
+    pub temperature_c: f64,
+    /// Internal relative humidity (%).
+    pub humidity_percent: f64,
+    /// Internal strain (signed, strain units): creep + thermal + damage.
+    pub strain: f64,
+    /// Per-capsule charging derate in [0, 1], capsule order; capsules
+    /// beyond the end of the vector are healthy (`1.0`).
+    pub capsule_derating: Vec<f64>,
+}
+
+impl Default for WallCondition {
+    fn default() -> Self {
+        WallCondition::pristine()
+    }
+}
+
+impl WallCondition {
+    /// The as-built condition: no damage, nominal climate
+    /// ([`Environment::default`]), every capsule healthy. Surveying
+    /// under it is bit-identical to surveying without a condition.
+    #[must_use]
+    pub fn pristine() -> Self {
+        WallCondition {
+            stiffness_factor: 1.0,
+            crack_alpha_np_m: 0.0,
+            temperature_c: 25.0,
+            humidity_percent: 70.0,
+            strain: 0.0,
+            capsule_derating: Vec::new(),
+        }
+    }
+
+    /// Validates every field. The comparisons are written so `NaN`
+    /// fails them (a hostile checkpoint cannot smuggle one in).
+    #[must_use]
+    pub fn validate(&self) -> EcoResult<()> {
+        if !(self.stiffness_factor > 0.0 && self.stiffness_factor <= 1.0) {
+            return Err(dsp::EcoError::OutOfRange {
+                what: "condition stiffness_factor",
+                value: self.stiffness_factor,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        if !(self.crack_alpha_np_m >= 0.0) {
+            return Err(dsp::EcoError::OutOfRange {
+                what: "condition crack_alpha_np_m",
+                value: self.crack_alpha_np_m,
+                min: 0.0,
+                max: f64::INFINITY,
+            });
+        }
+        if !self.temperature_c.is_finite() || !self.humidity_percent.is_finite() {
+            return Err(dsp::EcoError::Protocol {
+                what: "condition climate must be finite",
+            });
+        }
+        if !self.strain.is_finite() {
+            return Err(dsp::EcoError::Protocol {
+                what: "condition strain must be finite",
+            });
+        }
+        for &d in &self.capsule_derating {
+            if !(0.0..=1.0).contains(&d) {
+                return Err(dsp::EcoError::OutOfRange {
+                    what: "condition capsule derate",
+                    value: d,
+                    min: 0.0,
+                    max: 1.0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charging derate for capsule index `i` (capsule order); capsules
+    /// past the end of the vector are healthy.
+    #[must_use]
+    pub fn derate(&self, i: usize) -> f64 {
+        self.capsule_derating.get(i).copied().unwrap_or(1.0)
+    }
+
+    /// Stable digest words over every field (floats as bits, length-
+    /// prefixed derating) for config digests that pin a condition.
+    #[must_use]
+    pub fn digest_words(&self) -> Vec<u64> {
+        let mut words = vec![
+            self.stiffness_factor.to_bits(),
+            self.crack_alpha_np_m.to_bits(),
+            self.temperature_c.to_bits(),
+            self.humidity_percent.to_bits(),
+            self.strain.to_bits(),
+            self.capsule_derating.len() as u64,
+        ];
+        words.extend(self.capsule_derating.iter().map(|d| d.to_bits()));
+        words
+    }
+}
+
 /// A wall (or slab/column) with EcoCapsules implanted at known standoffs
 /// from the reader's mounting point, plus the reader itself.
 #[derive(Debug, Clone)]
@@ -192,6 +334,10 @@ pub struct SelfSensingWall {
     pub session: ReaderSession,
     /// Ambient/internal conditions at the capsules.
     pub environment: Environment,
+    /// The structural condition the wall is surveyed under;
+    /// [`WallCondition::pristine`] unless built via
+    /// [`SelfSensingWall::common_wall_under`].
+    pub condition: WallCondition,
 }
 
 /// Why a capsule did — or did not — contribute readings to a survey.
@@ -314,6 +460,33 @@ impl SelfSensingWall {
         SelfSensingWall::new(Structure::s3_common_wall(), distances_m)
     }
 
+    /// The S3 common wall *as a lifetime of service left it*: the
+    /// condition degrades the concrete stiffness (wave speeds, carrier),
+    /// installs the seasonal/creep environment the sensors will sample,
+    /// and arms the crack-attenuation and capsule-derating hooks the
+    /// survey engine applies.
+    ///
+    /// Under [`WallCondition::pristine`] the result is bit-identical to
+    /// [`SelfSensingWall::common_wall`] — every condition factor is a
+    /// floating-point no-op — which is what lets a zero-damage campaign
+    /// reproduce plain fleet digests exactly.
+    ///
+    /// Errors when the condition fails [`WallCondition::validate`].
+    #[must_use]
+    pub fn common_wall_under(distances_m: &[f64], condition: &WallCondition) -> EcoResult<Self> {
+        condition.validate()?;
+        let mut structure = Structure::s3_common_wall();
+        structure.mix = structure
+            .mix
+            .with_stiffness_factor(condition.stiffness_factor)?;
+        let mut wall = SelfSensingWall::new(structure, distances_m);
+        wall.environment.temperature_c = condition.temperature_c;
+        wall.environment.humidity_percent = condition.humidity_percent;
+        wall.environment.strain = condition.strain;
+        wall.condition = condition.clone();
+        Ok(wall)
+    }
+
     /// Builds a wall with capsules `1000, 1001, …` at the standoffs.
     pub fn new(structure: Structure, distances_m: &[f64]) -> Self {
         let capsules = distances_m
@@ -333,13 +506,16 @@ impl SelfSensingWall {
             capsules,
             session: ReaderSession::paper_default(),
             environment,
+            condition: WallCondition::pristine(),
         }
     }
 
-    /// The wall's charging link budget.
+    /// The wall's charging link budget, with the condition's crack
+    /// attenuation folded in (a `+0.0` bitwise no-op when pristine).
     #[must_use]
     pub fn link_budget(&self) -> EcoResult<LinkBudget> {
-        LinkBudget::for_structure(&self.structure)
+        LinkBudget::for_structure(&self.structure)?
+            .with_added_attenuation(self.condition.crack_alpha_np_m)
     }
 
     /// One full survey pass driven by a [`SurveyOptions`] configuration:
@@ -456,7 +632,11 @@ impl SelfSensingWall {
         rec.span_open("phase.charge", 0, clock.now());
         let distances: Vec<f64> = self.capsules.iter().map(|(d, _)| *d).collect();
         let v_lanes = lb.received_voltage_lanes(tx_voltage_v, &distances)?;
-        for ((_, capsule), v_rx) in self.capsules.iter_mut().zip(v_lanes) {
+        // Each lane is scaled by the capsule's condition derate (aging /
+        // death); `×1.0` is a bitwise no-op for healthy capsules.
+        let condition = &self.condition;
+        for (i, ((_, capsule), v_lane)) in self.capsules.iter_mut().zip(v_lanes).enumerate() {
+            let v_rx = v_lane * condition.derate(i);
             let slot = clock.tick();
             capsule.harvest_observed(v_rx, 1.0, slot, rec); // a second of CBW ≫ any cold start
             if v_rx >= MIN_ACTIVATION_V && capsule.is_operational() {
@@ -676,7 +856,11 @@ impl SelfSensingWall {
         rec.span_open("phase.charge", 0, timeline.slot());
         let distances: Vec<f64> = self.capsules.iter().map(|(d, _)| *d).collect();
         let v_lanes = lb.received_voltage_lanes(tx_voltage_v, &distances)?;
-        for ((_, capsule), v_rx) in self.capsules.iter_mut().zip(v_lanes) {
+        // Condition derating mirrors the quiet path: scale each lane
+        // before the harvester sees it (`×1.0` no-op when healthy).
+        let condition = &self.condition;
+        for (i, ((_, capsule), v_lane)) in self.capsules.iter_mut().zip(v_lanes).enumerate() {
+            let v_rx = v_lane * condition.derate(i);
             let slot = timeline.slot();
             let p = timeline.advance();
             capsule.harvest_under_observed(v_rx, 1.0, &p, slot, rec);
@@ -964,6 +1148,189 @@ mod tests {
             .unwrap()
             .2;
         assert!((temp - 25.0).abs() < 0.1, "temperature read {temp}");
+    }
+
+    #[test]
+    fn pristine_condition_is_a_bitwise_noop() {
+        // The whole golden-fixture story rides on this: building under
+        // WallCondition::pristine() must reproduce common_wall exactly.
+        let survey = |wall: &mut SelfSensingWall| {
+            let mut rng = StdRng::seed_from_u64(42);
+            SurveyOptions::new()
+                .tx_voltage(150.0)
+                .run(wall, &mut rng)
+                .unwrap()
+        };
+        let plain = survey(&mut SelfSensingWall::common_wall(&[0.5, 1.2, 2.0]));
+        let under = survey(
+            &mut SelfSensingWall::common_wall_under(&[0.5, 1.2, 2.0], &WallCondition::pristine())
+                .unwrap(),
+        );
+        assert_eq!(plain.digest(), under.digest());
+        for ((_, _, a), (_, _, b)) in plain.readings.iter().zip(under.readings.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn condition_environment_reaches_the_sensors() {
+        let condition = WallCondition {
+            temperature_c: 31.0,
+            humidity_percent: 82.0,
+            strain: 240e-6,
+            ..WallCondition::pristine()
+        };
+        let mut wall = SelfSensingWall::common_wall_under(&[0.5], &condition).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = SurveyOptions::new().run(&mut wall, &mut rng).unwrap();
+        let read = |kind: SensorKind| {
+            report
+                .readings
+                .iter()
+                .find(|(_, k, _)| *k == kind)
+                .map(|(_, _, v)| *v)
+                .expect("reading present")
+        };
+        assert!((read(SensorKind::Temperature) - 31.0).abs() < 0.1);
+        assert!((read(SensorKind::Humidity) - 82.0).abs() < 0.5);
+        assert!((read(SensorKind::Strain) - 240e-6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crack_attenuation_darkens_far_capsules() {
+        // At 50 V a 1.0 m capsule is comfortably in range on a pristine
+        // wall (Fig 12: ~1.3 m)…
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut pristine = SelfSensingWall::common_wall(&[1.0]);
+        let report = SurveyOptions::new()
+            .tx_voltage(50.0)
+            .run(&mut pristine, &mut rng)
+            .unwrap();
+        assert_eq!(report.powered_ids, vec![1000]);
+        // …but a crack on the path scatters the charge below threshold.
+        let cracked = WallCondition {
+            crack_alpha_np_m: 1.5,
+            ..WallCondition::pristine()
+        };
+        let mut wall = SelfSensingWall::common_wall_under(&[1.0], &cracked).unwrap();
+        let report = SurveyOptions::new()
+            .tx_voltage(50.0)
+            .run(&mut wall, &mut rng)
+            .unwrap();
+        assert!(report.powered_ids.is_empty());
+        assert_eq!(report.outcome_of(1000), Some(CapsuleOutcome::Unpowered));
+    }
+
+    #[test]
+    fn capsule_derating_ages_and_kills_individually() {
+        let condition = WallCondition {
+            // Capsule 0 dead, capsule 1 heavily aged, capsule 2 healthy
+            // (past the vector's end).
+            capsule_derating: vec![0.0, 0.02],
+            ..WallCondition::pristine()
+        };
+        let mut wall = SelfSensingWall::common_wall_under(&[0.5, 0.6, 0.7], &condition).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let report = SurveyOptions::new()
+            .tx_voltage(200.0)
+            .run(&mut wall, &mut rng)
+            .unwrap();
+        assert_eq!(report.outcome_of(1000), Some(CapsuleOutcome::Unpowered));
+        assert_eq!(report.outcome_of(1001), Some(CapsuleOutcome::Unpowered));
+        assert_eq!(
+            report.outcome_of(1002),
+            Some(CapsuleOutcome::Read { readings: 3 })
+        );
+    }
+
+    #[test]
+    fn degraded_stiffness_shifts_stress_conversion() {
+        let degraded = WallCondition {
+            stiffness_factor: 0.7,
+            ..WallCondition::pristine()
+        };
+        let wall = SelfSensingWall::common_wall_under(&[0.5], &degraded).unwrap();
+        let pristine = SelfSensingWall::common_wall(&[0.5]);
+        assert!(wall.environment.concrete_e_pa < pristine.environment.concrete_e_pa);
+        assert!(
+            wall.link_budget().unwrap().carrier_hz < pristine.link_budget().unwrap().carrier_hz,
+            "softened matrix must drag the resonant carrier down"
+        );
+    }
+
+    #[test]
+    fn invalid_conditions_are_rejected() {
+        let bads = [
+            WallCondition {
+                stiffness_factor: 0.0,
+                ..WallCondition::pristine()
+            },
+            WallCondition {
+                stiffness_factor: f64::NAN,
+                ..WallCondition::pristine()
+            },
+            WallCondition {
+                crack_alpha_np_m: -0.1,
+                ..WallCondition::pristine()
+            },
+            WallCondition {
+                temperature_c: f64::INFINITY,
+                ..WallCondition::pristine()
+            },
+            WallCondition {
+                strain: f64::NAN,
+                ..WallCondition::pristine()
+            },
+            WallCondition {
+                capsule_derating: vec![1.2],
+                ..WallCondition::pristine()
+            },
+            WallCondition {
+                capsule_derating: vec![f64::NAN],
+                ..WallCondition::pristine()
+            },
+        ];
+        for bad in bads {
+            assert!(
+                SelfSensingWall::common_wall_under(&[0.5], &bad).is_err(),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn condition_digest_words_cover_every_field() {
+        let base = WallCondition::pristine();
+        let variants = [
+            WallCondition {
+                stiffness_factor: 0.9,
+                ..base.clone()
+            },
+            WallCondition {
+                crack_alpha_np_m: 0.2,
+                ..base.clone()
+            },
+            WallCondition {
+                temperature_c: 26.0,
+                ..base.clone()
+            },
+            WallCondition {
+                humidity_percent: 71.0,
+                ..base.clone()
+            },
+            WallCondition {
+                strain: 1e-6,
+                ..base.clone()
+            },
+            WallCondition {
+                capsule_derating: vec![1.0],
+                ..base.clone()
+            },
+        ];
+        let d0 = faults::fnv1a64(base.digest_words());
+        for v in variants {
+            assert_ne!(faults::fnv1a64(v.digest_words()), d0, "{v:?}");
+        }
     }
 
     #[test]

@@ -54,6 +54,18 @@ impl PowerLawAttenuation {
         })
     }
 
+    /// The same law with `extra_np_m` added to the reference coefficient
+    /// α₀ — the state-dependent damage hook: a crack crossing the
+    /// propagation path scatters the carrier, raising the whole curve by
+    /// a frequency-independent offset at `f0`. Errors when the summed
+    /// coefficient would be negative (an "extra" that amplifies is a
+    /// calibration bug, never physics). Adding literal `0.0` is a bitwise
+    /// no-op, so a pristine structure keeps its exact attenuation law.
+    #[must_use]
+    pub fn with_added_alpha(&self, extra_np_m: f64) -> EcoResult<Self> {
+        PowerLawAttenuation::new(self.alpha0_np_m + extra_np_m, self.f0_hz, self.exponent)
+    }
+
     /// Attenuation coefficient at `f_hz` in Np/m.
     pub fn alpha_np_m(&self, f_hz: f64) -> f64 {
         assert!(f_hz >= 0.0, "frequency must be non-negative");
@@ -134,6 +146,21 @@ mod tests {
         let law = PowerLawAttenuation::new(1.0, 100e3, 2.0).unwrap();
         assert!(law.alpha_np_m(200e3) > law.alpha_np_m(100e3));
         assert!((law.alpha_np_m(200e3) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn added_alpha_shifts_the_whole_curve() {
+        let law = PowerLawAttenuation::new(0.2, 230e3, 1.0).unwrap();
+        let cracked = law.with_added_alpha(0.3).unwrap();
+        assert!((cracked.alpha_np_m(230e3) - 0.5).abs() < 1e-12);
+        assert_eq!(cracked.f0_hz, law.f0_hz);
+        assert_eq!(cracked.exponent, law.exponent);
+        // Zero extra is a bitwise no-op: pristine structures keep their
+        // exact law (golden-fixture invariance rides on this).
+        let same = law.with_added_alpha(0.0).unwrap();
+        assert_eq!(same.alpha0_np_m.to_bits(), law.alpha0_np_m.to_bits());
+        // An extra that would amplify is rejected.
+        assert!(law.with_added_alpha(-0.25).is_err());
     }
 
     #[test]

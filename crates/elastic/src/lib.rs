@@ -34,3 +34,8 @@ pub mod rayleigh;
 pub mod snell;
 
 pub use material::Material;
+
+// Canonical workspace error type, re-exported so downstream layers that
+// depend on `elastic` alone (e.g. `concrete`) can return typed errors
+// without a direct `dsp` dependency.
+pub use dsp::{EcoError, EcoResult};

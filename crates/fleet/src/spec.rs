@@ -1,7 +1,7 @@
 //! Per-wall configuration: what one member of the fleet looks like.
 
 use dsp::EcoResult;
-use ecocapsule::scenario::{SelfSensingWall, SurveyOptions, SurveyReport};
+use ecocapsule::scenario::{SelfSensingWall, SurveyOptions, SurveyReport, WallCondition};
 use faults::FaultPlan;
 use obs::MemoryRecorder;
 use rand::rngs::StdRng;
@@ -33,6 +33,10 @@ pub struct WallSpec {
     /// Retry budget for must-answer commands; consulted only when a
     /// fault plan is installed.
     pub retry_policy: RetryPolicy,
+    /// Structural condition the wall is surveyed under — the campaign
+    /// layer's hook for evolving physics between rounds. Pristine by
+    /// default, which is a bitwise no-op on every survey result.
+    pub condition: WallCondition,
 }
 
 impl WallSpec {
@@ -47,6 +51,7 @@ impl WallSpec {
             seed: 0,
             fault_plan: None,
             retry_policy: RetryPolicy::paper_default(),
+            condition: WallCondition::pristine(),
         }
     }
 
@@ -89,6 +94,13 @@ impl WallSpec {
         self
     }
 
+    /// Replaces the structural condition the wall is surveyed under.
+    #[must_use]
+    pub fn condition(mut self, condition: WallCondition) -> Self {
+        self.condition = condition;
+        self
+    }
+
     /// The wall's survey configuration as [`SurveyOptions`] (serial
     /// pool, no recorder — the fleet installs its own).
     fn survey_options(&self) -> SurveyOptions<'_> {
@@ -111,7 +123,7 @@ impl WallSpec {
     /// budget (non-positive drive voltage or degenerate geometry).
     #[must_use]
     pub fn survey(&self) -> EcoResult<(SurveyReport, MemoryRecorder)> {
-        let mut wall = SelfSensingWall::common_wall(&self.standoffs_m);
+        let mut wall = SelfSensingWall::common_wall_under(&self.standoffs_m, &self.condition)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut rec = MemoryRecorder::new();
         let mut options = self.survey_options();
@@ -121,8 +133,10 @@ impl WallSpec {
     }
 
     /// Stable digest words of the full configuration, for the fleet
-    /// config digest a checkpoint pins.
-    pub(crate) fn config_words(&self) -> Vec<u64> {
+    /// config digest a checkpoint pins (and for layers above — the
+    /// campaign engine folds them into its own config digest).
+    #[must_use]
+    pub fn config_words(&self) -> Vec<u64> {
         let mut words = crate::str_words(&self.name);
         words.push(self.standoffs_m.len() as u64);
         words.extend(self.standoffs_m.iter().map(|d| d.to_bits()));
@@ -138,6 +152,7 @@ impl WallSpec {
         words.push(u64::from(self.retry_policy.max_attempts));
         words.push(self.retry_policy.backoff_base_slots);
         words.push(self.retry_policy.backoff_cap_slots);
+        words.extend(self.condition.digest_words());
         words
     }
 }
@@ -184,11 +199,50 @@ mod tests {
             base.clone()
                 .fault_plan(FaultPlan::generate(1, &FaultIntensity::mild(40))),
             base.clone().retry_policy(RetryPolicy::none()),
+            base.clone().condition(WallCondition {
+                stiffness_factor: 0.9,
+                ..WallCondition::pristine()
+            }),
         ];
         let d0 = faults::fnv1a64(base.config_words());
         for v in variants {
             assert_ne!(faults::fnv1a64(v.config_words()), d0, "{v:?}");
         }
+    }
+
+    #[test]
+    fn pristine_condition_spec_matches_default_spec() {
+        let plain = WallSpec::new("w", vec![0.5, 1.0]).seed(11);
+        let under = plain.clone().condition(WallCondition::pristine());
+        let (a, rec_a) = plain.survey().unwrap();
+        let (b, rec_b) = under.survey().unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(rec_a.to_jsonl(), rec_b.to_jsonl());
+    }
+
+    #[test]
+    fn degraded_condition_changes_the_survey() {
+        let spec = WallSpec::new("w", vec![1.0]).seed(11).tx_voltage(50.0);
+        let (healthy, _) = spec.survey().unwrap();
+        let (cracked, _) = spec
+            .clone()
+            .condition(WallCondition {
+                crack_alpha_np_m: 1.5,
+                ..WallCondition::pristine()
+            })
+            .survey()
+            .unwrap();
+        assert_eq!(healthy.powered_ids, vec![1000]);
+        assert!(cracked.powered_ids.is_empty());
+    }
+
+    #[test]
+    fn invalid_condition_surfaces_as_an_error() {
+        let spec = WallSpec::new("w", vec![0.5]).condition(WallCondition {
+            stiffness_factor: -1.0,
+            ..WallCondition::pristine()
+        });
+        assert!(spec.survey().is_err());
     }
 
     #[test]

@@ -83,6 +83,18 @@ impl Histogram {
         self.max
     }
 
+    /// Exact arithmetic mean of the recorded observations (`sum/count`,
+    /// one f64 division — deterministic and platform-independent), or
+    /// `0.0` for an empty histogram. Unlike the percentiles this is not
+    /// bucket-quantized: `sum` tracks the raw values, so campaign-level
+    /// drift analytics can baseline on it without log2 rounding noise.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
     /// Median (p50).
     pub fn p50(&self) -> u64 {
         self.percentile(50)
@@ -167,6 +179,21 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0, "empty histogram means 0");
+        h.record(1);
+        h.record(2);
+        h.record(6);
+        // (1+2+6)/3 = 3 exactly, even though 6 sits in the [4,8) bucket.
+        assert_eq!(h.mean(), 3.0);
+        let mut other = Histogram::new();
+        other.record(5);
+        h.merge(&other);
+        assert_eq!(h.mean(), 3.5);
+    }
 
     #[test]
     fn zero_and_small_values_land_in_exact_buckets() {

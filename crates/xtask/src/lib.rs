@@ -128,6 +128,13 @@ impl Default for LintConfig {
                 // the whole fleet round.
                 "fleet/src/scheduler.rs".to_string(),
                 "fleet/src/engine.rs".to_string(),
+                // The campaign engine drives one fleet round per epoch
+                // and its per-epoch evolution/grading runs between
+                // rounds on the same thread budget; a lock in either
+                // stalls every wall of the epoch.
+                "campaign/src/engine.rs".to_string(),
+                "campaign/src/state.rs".to_string(),
+                "campaign/src/grade.rs".to_string(),
             ],
             // The pre-SurveyOptions survey entry points, kept only as
             // #[deprecated] shims for out-of-tree callers.

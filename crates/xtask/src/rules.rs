@@ -146,7 +146,7 @@ pub const UNIT_SUFFIXES: &[&str] = &[
     "_km", "_um", "_nm", "_m", "_ns", "_us", "_ms", "_s", "_min", "_pa", "_kpa", "_mpa", "_gpa",
     "_celsius", "_c", "_pct", "_frac", "_ratio", "_mv", "_kv", "_v", "_ma", "_ua", "_a", "_mw",
     "_uw", "_kw", "_w", "_mj", "_uj", "_j", "_rad", "_deg", "_kg", "_g", "_bps", "_sps", "_ppm",
-    "_ohm", "_pf", "_nf", "_uf", "_bits", "_bytes", "_samples", "_cycles",
+    "_ohm", "_pf", "_nf", "_uf", "_bits", "_bytes", "_samples", "_cycles", "_epochs",
 ];
 
 /// Identifier words that denote a physical quantity and therefore demand

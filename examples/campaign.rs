@@ -1,0 +1,109 @@
+//! Campaign: eighteen simulated months over the §6 footbridge pilot
+//! and two neighbouring walls — one stays healthy under seasonal drift,
+//! one cracks at month nine, one's capsules age out — with streaming
+//! health grades, detections, and a checkpoint/resume digest check.
+//!
+//! ```sh
+//! cargo run -p ecocapsule-campaign --example campaign --release
+//! ```
+//!
+//! Determinism contract (DESIGN.md §9): the campaign digest is a pure
+//! function of specs + options — bit-identical at any fleet worker
+//! count and across any checkpoint/resume split.
+
+use campaign::{
+    run_campaign, Campaign, CampaignCheckpoint, CampaignOptions, CampaignWallSpec, DamageScenario,
+};
+use ecocapsule::prelude::*;
+use fleet::WallSpec;
+
+fn neighbourhood() -> Vec<CampaignWallSpec> {
+    vec![
+        CampaignWallSpec::new(
+            WallSpec::footbridge_pilot(42),
+            DamageScenario::crack_onset(9),
+        ),
+        CampaignWallSpec::new(
+            WallSpec::new("gallery-north", vec![0.4, 0.8, 1.2]).seed(7),
+            DamageScenario::quiet(),
+        ),
+        CampaignWallSpec::new(
+            WallSpec::new("gallery-south", vec![0.4, 0.8, 1.2]).seed(8),
+            DamageScenario::capsule_aging(10),
+        ),
+    ]
+}
+
+fn options() -> CampaignOptions {
+    CampaignOptions::new()
+        .epochs(18)
+        .days_per_epoch(30)
+        .seed(2026)
+}
+
+fn main() {
+    let report = run_campaign(neighbourhood(), options()).expect("campaign");
+
+    println!(
+        "campaign: {} walls x {} monthly epochs ({} simulated days)",
+        report.records[0].walls.len(),
+        report.epochs,
+        report.epochs * report.days_per_epoch
+    );
+    for spec in neighbourhood() {
+        let timeline: String = report
+            .grade_timeline(&spec.base.name)
+            .iter()
+            .map(|(_, g)| g.to_string())
+            .collect();
+        println!("  {:<18} {timeline}", spec.base.name);
+    }
+    for d in &report.detections {
+        println!(
+            "  detected {:<10} on {:<18} at epoch {:>2} (day {:>3}), score {:.1}",
+            d.feature, d.wall, d.epoch, d.day, d.score
+        );
+    }
+    assert!(
+        report.first_detection("footbridge-pilot").is_some(),
+        "crack onset must be detected"
+    );
+    assert!(
+        report.first_detection("gallery-north").is_none(),
+        "seasonal drift must never fire"
+    );
+
+    // Stop after month six, freeze to bytes, resume, and finish: the
+    // spliced run reproduces the uninterrupted digest bit-for-bit —
+    // under a parallel fleet pool, too.
+    let mut first_leg = Campaign::new(neighbourhood(), options()).expect("campaign");
+    for _ in 0..6 {
+        first_leg.run_epoch().expect("epoch");
+    }
+    let frozen = CampaignCheckpoint::of(&first_leg).to_bytes();
+    println!(
+        "checkpoint after {} epochs: {} bytes",
+        first_leg.epochs_run(),
+        frozen.len()
+    );
+    let resumed = CampaignCheckpoint::from_bytes(&frozen)
+        .expect("decode")
+        .resume(
+            neighbourhood(),
+            options().fleet(fleet::FleetOptions::new().pool(Pool::max_parallel())),
+        )
+        .expect("resume")
+        .run_to_completion()
+        .expect("second leg");
+    println!(
+        "uninterrupted digest {:#018x} == resumed digest {:#018x}: {}",
+        report.digest(),
+        resumed.digest(),
+        report.digest() == resumed.digest()
+    );
+    assert_eq!(
+        report.digest(),
+        resumed.digest(),
+        "campaign digest diverged"
+    );
+}

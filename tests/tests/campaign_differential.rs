@@ -1,0 +1,189 @@
+//! Differential witness for the campaign engine, one layer above the
+//! fleet differential: a campaign may only decide *how the structure
+//! evolves* and *which seed each epoch's survey draws from* — never
+//! what the fleet itself computes. Three contracts are pinned here:
+//!
+//! 1. the campaign digest and trace are bit-identical at every fleet
+//!    worker count;
+//! 2. checkpoint/resume at *every* epoch boundary reproduces the
+//!    uninterrupted run bit for bit;
+//! 3. a zero-damage (frozen) campaign is, epoch by epoch, exactly K
+//!    independent `fleet::run_fleet` rounds over pristine walls seeded
+//!    with the campaign's derived survey seeds.
+
+use campaign::{
+    run_campaign, Campaign, CampaignCheckpoint, CampaignOptions, CampaignWallSpec, DamageScenario,
+    StructureState,
+};
+use exec::Pool;
+use fleet::{FleetOptions, WallSpec};
+
+const EPOCHS: u64 = 6;
+const SEED: u64 = 0xD1FF_CA4A;
+
+/// The differential neighbourhood: one wall cracking mid-campaign, one
+/// quietly riding seasonal drift, one with zero capsules (the grader
+/// must cope with empty surveys every epoch). Capsule counts are kept
+/// minimal — every epoch is a full charge→inventory→read fleet round.
+fn neighbourhood() -> Vec<CampaignWallSpec> {
+    vec![
+        CampaignWallSpec::new(
+            WallSpec::new("diff-crack", vec![0.5]).seed(21),
+            DamageScenario::crack_onset(3),
+        ),
+        CampaignWallSpec::new(
+            WallSpec::new("diff-quiet", vec![0.6]).seed(22),
+            DamageScenario::quiet(),
+        ),
+        CampaignWallSpec::new(
+            WallSpec::new("diff-bare", vec![]).seed(23),
+            DamageScenario::frozen(),
+        ),
+    ]
+}
+
+fn options() -> CampaignOptions {
+    CampaignOptions::new().epochs(EPOCHS).seed(SEED)
+}
+
+/// Contract 1: worker counts 1, 2 and max produce the same campaign
+/// digest *and* the same trace bytes — scheduling parallelism is
+/// invisible to everything the campaign reports.
+#[test]
+fn campaign_is_identical_at_every_worker_count() {
+    let mut digests = Vec::new();
+    let mut traces = Vec::new();
+    for workers in [1, 2, Pool::max_parallel().workers()] {
+        let report = run_campaign(
+            neighbourhood(),
+            options().fleet(FleetOptions::new().pool(Pool::new(workers))),
+        )
+        .expect("campaign must complete");
+        digests.push(report.digest());
+        traces.push(report.trace_jsonl());
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "campaign digest varied with worker count: {digests:x?}"
+    );
+    assert!(
+        traces.windows(2).all(|w| w[0] == w[1]),
+        "campaign trace varied with worker count"
+    );
+}
+
+/// Contract 2: interrupting at every epoch boundary, freezing through
+/// the byte format, and resuming reproduces the uninterrupted digest
+/// and trace — including the degenerate splits at epoch 0 (nothing run)
+/// and epoch N (nothing left).
+#[test]
+fn resume_at_every_epoch_boundary_is_equivalent() {
+    let baseline = run_campaign(neighbourhood(), options()).expect("uninterrupted campaign");
+    for split in 0..=EPOCHS {
+        let mut first_leg = Campaign::new(neighbourhood(), options()).expect("campaign");
+        for _ in 0..split {
+            first_leg.run_epoch().expect("first-leg epoch");
+        }
+        let bytes = CampaignCheckpoint::of(&first_leg).to_bytes();
+        let resumed = CampaignCheckpoint::from_bytes(&bytes)
+            .expect("decode")
+            .resume(neighbourhood(), options())
+            .expect("resume")
+            .run_to_completion()
+            .expect("second leg");
+        assert_eq!(
+            resumed.digest(),
+            baseline.digest(),
+            "digest diverged after a split at epoch {split}"
+        );
+        assert_eq!(
+            resumed.trace_jsonl(),
+            baseline.trace_jsonl(),
+            "trace diverged after a split at epoch {split}"
+        );
+    }
+}
+
+/// Contract 3 (the zero-damage differential): with every scenario
+/// frozen, the structure never leaves its pristine state, so epoch k of
+/// the campaign must equal an *independent* `fleet::run_fleet` round
+/// over the same walls with the derived survey seed and an explicit
+/// pristine condition — campaign adds evolution and grading on top of
+/// the fleet, and with evolution switched off it must add nothing.
+#[test]
+fn frozen_campaign_equals_independent_fleet_rounds() {
+    let specs: Vec<CampaignWallSpec> = neighbourhood()
+        .into_iter()
+        .map(|s| CampaignWallSpec::new(s.base, DamageScenario::frozen()))
+        .collect();
+    let report = run_campaign(specs.clone(), options()).expect("frozen campaign");
+    assert_eq!(report.records.len() as u64, EPOCHS);
+
+    for record in &report.records {
+        let epoch_specs: Vec<WallSpec> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let pristine = StructureState::pristine(spec.base.standoffs_m.len());
+                spec.base
+                    .clone()
+                    .seed(campaign::survey_seed(
+                        SEED,
+                        record.epoch,
+                        i as u64,
+                        spec.base.seed,
+                    ))
+                    .condition(pristine.condition())
+            })
+            .collect();
+        let fleet_report =
+            fleet::run_fleet(epoch_specs, &FleetOptions::new()).expect("independent fleet round");
+        assert_eq!(
+            record.fleet_digest,
+            fleet_report.digest(),
+            "epoch {} diverged from its independent fleet round",
+            record.epoch
+        );
+        for (wall, result) in record.walls.iter().zip(&fleet_report.walls) {
+            assert_eq!(
+                wall.result_digest,
+                result.digest(),
+                "wall `{}` diverged at epoch {}",
+                wall.name,
+                record.epoch
+            );
+        }
+    }
+    // And with no damage anywhere, nothing may ever fire.
+    assert!(
+        report.detections.is_empty(),
+        "frozen campaign raised detections: {:?}",
+        report.detections
+    );
+}
+
+/// The slot budget changes *when* walls are surveyed within an epoch
+/// (and so the scheduling half of each result digest), but the
+/// analytics riding on the surveys — features, scores, grades,
+/// detections — must not move at all.
+#[test]
+fn slot_budget_is_invisible_to_the_analytics() {
+    let roomy = run_campaign(neighbourhood(), options()).expect("roomy campaign");
+    let tight = run_campaign(
+        neighbourhood(),
+        options().fleet(FleetOptions::new().quantum_slots(4).round_budget_slots(9)),
+    )
+    .expect("tight campaign");
+    assert_eq!(roomy.detections, tight.detections, "detections moved");
+    for (r, t) in roomy.records.iter().zip(&tight.records) {
+        for (rw, tw) in r.walls.iter().zip(&t.walls) {
+            assert_eq!(rw.features, tw.features, "wall `{}` features", rw.name);
+            assert_eq!(
+                (rw.score.to_bits(), rw.grade),
+                (tw.score.to_bits(), tw.grade),
+                "wall `{}` assessment moved under a different slot budget",
+                rw.name
+            );
+        }
+    }
+}

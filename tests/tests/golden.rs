@@ -330,3 +330,106 @@ fn fleet_three_walls_trace_matches_golden_jsonl() {
          is intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
     );
 }
+
+/// The canonical golden campaign: the §6 footbridge pilot cracking at
+/// epoch 5, with a quiet two-capsule control wall riding the same
+/// seasons, eight monthly epochs.
+fn footbridge_campaign() -> (Vec<campaign::CampaignWallSpec>, campaign::CampaignOptions) {
+    let specs = vec![
+        campaign::CampaignWallSpec::new(
+            fleet::WallSpec::footbridge_pilot(42),
+            campaign::DamageScenario::crack_onset(5),
+        ),
+        campaign::CampaignWallSpec::new(
+            fleet::WallSpec::new("control", vec![0.6, 1.1]).seed(7),
+            campaign::DamageScenario::quiet(),
+        ),
+    ];
+    let options = campaign::CampaignOptions::new().epochs(8).seed(0x601D_CA4A);
+    (specs, options)
+}
+
+/// The footbridge campaign pinned end to end: the campaign digest, the
+/// detection tally, and each wall's health-grade timeline and first
+/// detection — the cross-session determinism witness for structure
+/// evolution, per-epoch surveying, and drift grading together.
+#[test]
+fn campaign_footbridge_matches_golden() {
+    let (specs, options) = footbridge_campaign();
+    let report = campaign::run_campaign(specs.clone(), options).expect("campaign must complete");
+
+    let mut computed = BTreeMap::new();
+    computed.insert("campaign_digest".into(), report.digest());
+    computed.insert("campaign_detections".into(), report.detections.len() as u64);
+    // All eight per-epoch fleet digests folded into one word.
+    computed.insert(
+        "fleet_digests_digest".into(),
+        faults::fnv1a64(report.records.iter().map(|r| r.fleet_digest)),
+    );
+    for spec in &specs {
+        let name = &spec.base.name;
+        let timeline = report.grade_timeline(name);
+        assert_eq!(timeline.len(), 8, "wall `{name}` missing epochs");
+        computed.insert(
+            format!("wall_{name}_timeline_digest"),
+            faults::fnv1a64(timeline.iter().map(|(_, g)| campaign::health_tag(*g))),
+        );
+        computed.insert(
+            format!("wall_{name}_first_detection_epoch"),
+            report.first_detection(name).map_or(u64::MAX, |d| d.epoch),
+        );
+    }
+
+    check_fixture(
+        "campaign_footbridge.golden",
+        "Campaign digests for the golden footbridge campaign\n\
+         (tests/tests/golden.rs): the footbridge pilot under\n\
+         crack_onset(5) plus a quiet control wall [0.6, 1.1] m, eight\n\
+         monthly epochs, seed 0x601DCA4A. Pins the campaign digest, the\n\
+         detection tally, the folded per-epoch fleet digests, and each\n\
+         wall's health-grade timeline and first detection epoch\n\
+         (0xffff… = never). A diff here means structure evolution, the\n\
+         per-epoch surveys, or the drift grading changed behaviour.",
+        &computed,
+    );
+}
+
+/// The same campaign's trace, line for line, against a committed JSONL
+/// fixture — computed at one worker *and* at the maximum worker count,
+/// which must agree byte for byte before either faces the fixture.
+#[test]
+fn campaign_footbridge_trace_matches_golden_jsonl() {
+    let (specs, options) = footbridge_campaign();
+    let serial = campaign::run_campaign(specs.clone(), options.clone())
+        .expect("serial campaign")
+        .trace_jsonl();
+    let parallel = campaign::run_campaign(
+        specs,
+        options.fleet(fleet::FleetOptions::new().pool(exec::Pool::max_parallel())),
+    )
+    .expect("parallel campaign")
+    .trace_jsonl();
+    assert_eq!(
+        serial, parallel,
+        "campaign trace must be identical at any worker count"
+    );
+    assert!(!serial.is_empty(), "campaign trace must not be empty");
+
+    let path = fixture_path("campaign_footbridge_trace.jsonl");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &serial).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing fixture campaign_footbridge_trace.jsonl; \
+             run with GOLDEN_REGEN=1 to create it"
+        )
+    });
+    assert_eq!(
+        serial, golden,
+        "campaign trace diverged from the golden JSONL; if the change is \
+         intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
+    );
+}

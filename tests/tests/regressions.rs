@@ -32,3 +32,49 @@ fn grading_regression_pao_just_below_collapse_threshold() {
     // only guarantees C or worse.
     assert_eq!(Region::Bangkok.grade(pao), HealthLevel::C);
 }
+
+/// Regression for the campaign property pass ("quiet preset never
+/// fires"), shrunk by hand to its boundary: a wall whose temperature
+/// sits 5 °C off nominal with a strain reading that *includes* the
+/// thermal term its own temperature implies.
+///
+/// An early grader compared *raw* strain against the baseline: at
+/// +5 °C the thermal term alone is 50 µε, which against the 2 µε sigma
+/// floor scores z = 25 — three times the detection threshold — and the
+/// quiet preset false-alarmed on every summer epoch. The fix scores
+/// compensated strain (`WallFeatures::compensated_strain`), under which
+/// the same features are an exact baseline match.
+#[test]
+fn campaign_regression_thermal_consistent_strain_must_not_fire() {
+    use campaign::{GradeConfig, WallFeatures, WallGrader};
+    use ecocapsule::scenario::THERMAL_STRAIN_PER_C;
+    use shm::health::HealthLevel;
+
+    let config = GradeConfig::default();
+    let at = |temperature_c: f64| WallFeatures {
+        // Inelastic strain 50 µε, plus exactly the thermal strain the
+        // wall's own temperature sensor implies.
+        strain_mean: 50.0e-6 + THERMAL_STRAIN_PER_C * (temperature_c - 25.0),
+        temperature_mean_c: temperature_c,
+        humidity_mean: 70.0,
+        powered_fraction: 1.0,
+        read_fraction: 1.0,
+        cold_start_mean_us: 150.0,
+        readings: 2,
+    };
+
+    let mut grader = WallGrader::new(config);
+    for epoch in 0..config.baseline_epochs {
+        grader.observe(epoch, &at(25.0));
+    }
+    // The raw-strain deviation really is far past the threshold — the
+    // case only passes because compensation cancels it.
+    let summer = at(30.0);
+    let raw_z = (summer.strain_mean - 50.0e-6).abs() / config.strain_sigma_floor;
+    assert!(raw_z > 3.0 * config.detect_z, "counterexample went stale");
+    for epoch in config.baseline_epochs..config.baseline_epochs + 4 {
+        let assessment = grader.observe(epoch, &summer);
+        assert_eq!(assessment.fired, None, "thermal drift fired at {epoch}");
+        assert_eq!(assessment.grade, HealthLevel::A, "thermal drift graded");
+    }
+}
