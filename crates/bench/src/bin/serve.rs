@@ -1,0 +1,105 @@
+//! The serve runner: spawns the daemon, hammers it with concurrent
+//! readers for the whole live survey window, measures round-trip
+//! latency percentiles and throughput, times a restart from the exit
+//! checkpoint, checks the serve digest identities (serial vs. parallel
+//! vs. daemon vs. restart), and writes `BENCH_serve.json`.
+//!
+//! ```sh
+//! cargo run -p bench --bin serve --release             # full profile
+//! cargo run -p bench --bin serve --release -- --smoke  # CI gate
+//! ```
+//!
+//! Exit codes: `0` success, `1` the daemon failed, a digest diverged,
+//! or a reader starved, `2` bad usage.
+
+use bench::serve::{run_serve_bench, to_json, verify, ServeScale};
+use exec::Pool;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = ServeScale::full();
+    let mut workers: Option<usize> = None;
+    let mut out_path = String::from("BENCH_serve.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => scale = ServeScale::smoke(),
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => workers = Some(w),
+                None => return usage("--workers requires a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage("--out requires a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let pool = workers.map_or_else(Pool::max_parallel, Pool::new);
+    println!(
+        "serve: {} profile, {} worker(s), {} walls x {} cycles, {} readers",
+        if scale.smoke { "smoke" } else { "full" },
+        pool.workers(),
+        scale.walls,
+        scale.cycles,
+        scale.readers,
+    );
+
+    let report = match run_serve_bench(&scale, &pool) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "\nlive window {:.1} ms, {} reads, {:.0} q/s, p50 {} µs, p99 {} µs, max {} µs",
+        report.live_ms,
+        report.reads_total,
+        report.throughput_qps,
+        report.p50_us,
+        report.p99_us,
+        report.max_us,
+    );
+    println!(
+        "{:>7} {:>8} {:>8} {:>8} {:>8}",
+        "reader", "reads", "p50_us", "p99_us", "max_us"
+    );
+    for r in &report.reader_rows {
+        println!(
+            "{:>7} {:>8} {:>8} {:>8} {:>8}",
+            r.reader, r.reads, r.p50_us, r.p99_us, r.max_us
+        );
+    }
+    println!(
+        "\nserial {:.1} ms, digest {:#018x}; parallel {} daemon {} restart {}; recovery {:.3} ms ({} checkpoint bytes)",
+        report.serial_ms,
+        report.serial_digest,
+        report.parallel_identical,
+        report.daemon_identical,
+        report.restart_identical,
+        report.recovery_ms,
+        report.checkpoint_bytes,
+    );
+
+    if let Err(e) = verify(&report) {
+        eprintln!("serve bench failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let json = to_json(&report, &pool, &scale);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: serve [--smoke] [--workers N] [--out PATH]");
+    ExitCode::from(2)
+}

@@ -16,9 +16,7 @@
 //! `ecocapsule-bench-campaign/1`) is committed at the repo root; CI
 //! re-runs the smoke profile and gates on [`verify`].
 
-use campaign::{
-    run_campaign, Campaign, CampaignCheckpoint, CampaignOptions, CampaignWallSpec, DamageScenario,
-};
+use campaign::{Campaign, CampaignCheckpoint, CampaignOptions, CampaignWallSpec, DamageScenario};
 use dsp::{EcoError, EcoResult};
 use exec::Pool;
 use fleet::{FleetOptions, WallSpec};
@@ -198,13 +196,13 @@ pub fn run_campaign_bench(scale: &CampaignScale, pool: &Pool) -> EcoResult<Campa
             let specs = grid_specs(&scenario, drift);
 
             let t0 = Instant::now();
-            let serial = run_campaign(specs.clone(), options.clone())?;
+            let serial = options.clone().run(specs.clone())?;
             let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-            let parallel = run_campaign(
-                specs.clone(),
-                options.clone().fleet(FleetOptions::new().pool(*pool)),
-            )?;
+            let parallel = options
+                .clone()
+                .fleet(FleetOptions::new().pool(*pool))
+                .run(specs.clone())?;
             let (resume_digest, checkpoint_epoch) = resumed_digest(specs, &options, pool)?;
 
             let detection = serial.first_detection("monitored");
@@ -241,7 +239,7 @@ pub fn run_campaign_bench(scale: &CampaignScale, pool: &Pool) -> EcoResult<Campa
                 with_drift(DamageScenario::quiet(), 2.0),
             ),
         ];
-        let report = run_campaign(specs, grid_options(scale).seed(seed))?;
+        let report = grid_options(scale).seed(seed).run(specs)?;
         quiet_rows.push(QuietRow {
             seed,
             digest: report.digest(),

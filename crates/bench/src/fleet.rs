@@ -13,7 +13,7 @@
 use dsp::{EcoError, EcoResult};
 use exec::Pool;
 use faults::{FaultIntensity, FaultPlan};
-use fleet::{run_fleet, Fleet, FleetCheckpoint, FleetOptions, WallSpec};
+use fleet::{Fleet, FleetCheckpoint, FleetOptions, WallSpec};
 use std::time::Instant;
 
 /// Fixed bench seed, like the sweep grids: digests must be comparable
@@ -149,11 +149,11 @@ pub fn run_fleet_bench(scale: &FleetScale, pool: &Pool) -> EcoResult<FleetBenchR
         let capsules = specs.iter().map(|s| s.standoffs_m.len()).sum();
 
         let t0 = Instant::now();
-        let serial = run_fleet(specs.clone(), &options)?;
+        let serial = options.run(specs.clone())?;
         let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t1 = Instant::now();
-        let parallel = run_fleet(specs.clone(), &options.pool(*pool))?;
+        let parallel = options.pool(*pool).run(specs.clone())?;
         let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         let (resume_digest, checkpoint_round) = resumed_digest(specs, &options, serial.rounds)?;

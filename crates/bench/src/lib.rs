@@ -20,7 +20,10 @@
 //! - `campaign` — detection-latency/false-alarm curves over the
 //!   damage-scenario × seasonal-drift grid and the campaign
 //!   digest-identity invariants behind `BENCH_campaign.json` (see
-//!   [`campaign`]).
+//!   [`campaign`]);
+//! - `serve` — live-daemon query throughput/latency under concurrent
+//!   readers, restart recovery time, and the serve digest-identity
+//!   invariants behind `BENCH_serve.json` (see [`serve`]).
 //!
 //! The library half is deliberately thin: the table printers the binaries
 //! share, plus the [`sweeps`] grid, [`faults`] matrix and [`obs`] trace
@@ -34,6 +37,7 @@ pub mod faults;
 pub mod fleet;
 pub mod hotpath;
 pub mod obs;
+pub mod serve;
 pub mod sweeps;
 
 /// Prints a two-column numeric series with a caption.

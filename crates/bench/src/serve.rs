@@ -1,0 +1,371 @@
+//! The serve bench: query throughput and latency percentiles measured
+//! over the real TCP wire while the daemon's survey loop is live, the
+//! restart-from-checkpoint recovery time, and the serve digest
+//! identities — the store must be bit-identical serial vs. parallel
+//! vs. the daemon under concurrent readers vs. a restart from the
+//! daemon's own exit checkpoint.
+//!
+//! Each reader thread owns one connection and round-robins the read
+//! verbs (`FleetSummary`, `LatestHealth`, `FeatureSeries`,
+//! `HistogramSnapshot`), timing every round-trip into an
+//! [`obs::Histogram`] of microseconds. Readers run for the entire live
+//! window — from spawn until the survey loop reaches its cycle limit —
+//! so every recorded latency competes with real survey work. The
+//! emitted `BENCH_serve.json` (schema `ecocapsule-bench-serve/1`) is
+//! committed at the repo root; CI re-runs the smoke profile and gates
+//! on [`verify`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dsp::{EcoError, EcoResult};
+use exec::Pool;
+use faults::{FaultIntensity, FaultPlan};
+use fleet::{FleetOptions, WallSpec};
+use obs::Histogram;
+use serve::{Client, Request, ServeCheckpoint, ServeEngine, ServeOptions};
+
+/// Fixed bench seed: digests must be comparable across commits.
+const SERVE_SEED: u64 = 0x5E4E_2026;
+
+/// Bench size: [`ServeScale::full`] for the committed summary,
+/// [`ServeScale::smoke`] for the CI gate.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeScale {
+    /// Survey cycles the daemon runs before it only serves reads.
+    pub cycles: u64,
+    /// Rows each wall's ring retains.
+    pub history_cycles: u64,
+    /// Walls in the fleet.
+    pub walls: usize,
+    /// Concurrent reader connections (the artifact pins ≥ 4).
+    pub readers: usize,
+    /// True for the reduced CI profile.
+    pub smoke: bool,
+}
+
+impl ServeScale {
+    /// The committed-summary profile.
+    #[must_use]
+    pub fn full() -> Self {
+        ServeScale {
+            cycles: 6,
+            history_cycles: 4,
+            walls: 6,
+            readers: 8,
+            smoke: false,
+        }
+    }
+
+    /// The CI profile: fewer cycles and walls, the pinned minimum of
+    /// four readers, same invariants.
+    #[must_use]
+    pub fn smoke() -> Self {
+        ServeScale {
+            cycles: 2,
+            history_cycles: 4,
+            walls: 3,
+            readers: 4,
+            smoke: true,
+        }
+    }
+}
+
+/// The benched fleet: mixed capsule counts, a fault plan on every
+/// third wall, distinct seeds.
+#[must_use]
+pub fn bench_specs(scale: &ServeScale) -> Vec<WallSpec> {
+    (0..scale.walls)
+        .map(|i| {
+            let standoffs: Vec<f64> = (0..(i % 3)).map(|c| 0.4 + 0.3 * c as f64).collect();
+            let spec = WallSpec::new(format!("serve-{i}"), standoffs).seed(SERVE_SEED ^ i as u64);
+            if i % 3 == 2 {
+                spec.fault_plan(FaultPlan::generate(i as u64, &FaultIntensity::mild(400)))
+            } else {
+                spec
+            }
+        })
+        .collect()
+}
+
+fn bench_options(scale: &ServeScale) -> EcoResult<ServeOptions> {
+    ServeOptions::new()
+        .seed(SERVE_SEED)
+        .history_cycles(scale.history_cycles)
+        .cycle_limit(scale.cycles)
+        .checkpoint_every_cycles(1)
+        .build()
+}
+
+/// One reader thread's tally.
+#[derive(Debug, Clone)]
+pub struct ReaderRow {
+    /// Reader index.
+    pub reader: usize,
+    /// Round-trips completed during the live window.
+    pub reads: u64,
+    /// Median round-trip latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile round-trip latency (µs).
+    pub p99_us: u64,
+    /// Worst round-trip latency (µs).
+    pub max_us: u64,
+}
+
+/// The full serve bench result.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Survey cycles the daemon completed.
+    pub cycles: u64,
+    /// Wall-clock of the live window: spawn → cycle limit reached (ms).
+    pub live_ms: f64,
+    /// Round-trips across all readers during the live window.
+    pub reads_total: u64,
+    /// `reads_total / live_ms`, in queries per second.
+    pub throughput_qps: f64,
+    /// Merged median round-trip latency (µs).
+    pub p50_us: u64,
+    /// Merged 99th-percentile round-trip latency (µs).
+    pub p99_us: u64,
+    /// Merged worst round-trip latency (µs).
+    pub max_us: u64,
+    /// One row per reader.
+    pub reader_rows: Vec<ReaderRow>,
+    /// Wall-clock of the offline serial reference run (ms).
+    pub serial_ms: f64,
+    /// The offline serial store digest.
+    pub serial_digest: u64,
+    /// Offline parallel-fleet digest equals the serial digest.
+    pub parallel_identical: bool,
+    /// The live daemon's final digest equals the serial digest.
+    pub daemon_identical: bool,
+    /// A restart from the daemon's exit checkpoint equals the serial
+    /// digest.
+    pub restart_identical: bool,
+    /// Wall-clock to decode the exit checkpoint and rebuild a serving
+    /// engine from it (ms).
+    pub recovery_ms: f64,
+    /// Size of the ECOSERVE exit checkpoint (bytes).
+    pub checkpoint_bytes: usize,
+}
+
+/// The read verbs a reader round-robins.
+fn reader_request(k: u64, scale: &ServeScale) -> Request {
+    let wall = format!("serve-{}", k % scale.walls as u64);
+    match k % 4 {
+        0 => Request::FleetSummary,
+        1 => Request::LatestHealth { wall },
+        2 => Request::FeatureSeries {
+            wall,
+            from_cycle: 0,
+            to_cycle: u64::MAX,
+        },
+        _ => Request::HistogramSnapshot {
+            name: "inventory.q".to_string(),
+        },
+    }
+}
+
+/// Runs the serve bench: reference engines, the live daemon under
+/// concurrent readers, and the restart leg.
+#[must_use]
+pub fn run_serve_bench(scale: &ServeScale, pool: &Pool) -> EcoResult<ServeBenchReport> {
+    // Offline references: serial, then the same run on a parallel pool.
+    let t0 = Instant::now();
+    let mut serial = ServeEngine::new(bench_specs(scale), bench_options(scale)?)?;
+    serial.run_to_limit()?;
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let serial_digest = serial.digest();
+
+    let parallel_options = bench_options(scale)?.fleet(FleetOptions::new().pool(*pool));
+    let mut parallel = ServeEngine::new(bench_specs(scale), parallel_options)?;
+    parallel.run_to_limit()?;
+
+    // The live daemon, with every reader hammering it from spawn on.
+    let engine = ServeEngine::new(bench_specs(scale), bench_options(scale)?)?;
+    let handle = serve::spawn(engine, "127.0.0.1:0")?;
+    let addr = handle.addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let live_start = Instant::now();
+    let readers: Vec<_> = (0..scale.readers)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let scale = *scale;
+            std::thread::spawn(move || -> EcoResult<(u64, Histogram)> {
+                let mut client = Client::connect(&addr)?;
+                let mut latencies = Histogram::new();
+                let mut reads = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let req = reader_request(reads, &scale);
+                    let t = Instant::now();
+                    client.call(&req)?;
+                    latencies.record(t.elapsed().as_micros() as u64);
+                    reads += 1;
+                }
+                Ok((reads, latencies))
+            })
+        })
+        .collect();
+
+    // The live window ends when the survey loop reaches its limit.
+    let mut control = Client::connect(&addr)?;
+    let cycles = loop {
+        let (cycles, _) = control.fleet_summary()?;
+        if cycles >= scale.cycles {
+            break cycles;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    let live_ms = live_start.elapsed().as_secs_f64() * 1e3;
+    stop.store(true, Ordering::SeqCst);
+
+    let mut reader_rows = Vec::new();
+    let mut merged = Histogram::new();
+    for (reader, join) in readers.into_iter().enumerate() {
+        let (reads, latencies) = join.join().map_err(|_| EcoError::Protocol {
+            what: "a serve bench reader panicked",
+        })??;
+        merged.merge(&latencies);
+        reader_rows.push(ReaderRow {
+            reader,
+            reads,
+            p50_us: latencies.p50(),
+            p99_us: latencies.p99(),
+            max_us: latencies.max(),
+        });
+    }
+    let reads_total: u64 = reader_rows.iter().map(|r| r.reads).sum();
+
+    control.shutdown()?;
+    let daemon_engine = handle.join()?;
+
+    // The restart leg: decode the exit checkpoint and rebuild a serving
+    // engine — the recovery a crashed daemon's replacement would pay.
+    let frozen = ServeCheckpoint::of(&daemon_engine)?.to_bytes();
+    let checkpoint_bytes = frozen.len();
+    let t1 = Instant::now();
+    let restarted =
+        ServeCheckpoint::from_bytes(&frozen)?.resume(bench_specs(scale), bench_options(scale)?)?;
+    let recovery_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    Ok(ServeBenchReport {
+        cycles,
+        live_ms,
+        reads_total,
+        throughput_qps: reads_total as f64 / (live_ms / 1e3),
+        p50_us: merged.p50(),
+        p99_us: merged.p99(),
+        max_us: merged.max(),
+        reader_rows,
+        serial_ms,
+        serial_digest,
+        parallel_identical: parallel.digest() == serial_digest,
+        daemon_identical: daemon_engine.digest() == serial_digest,
+        restart_identical: restarted.digest() == serial_digest,
+        recovery_ms,
+        checkpoint_bytes,
+    })
+}
+
+/// Checks the bench invariants: the pinned reader floor, every reader
+/// actually sustained load, and every digest identity holds.
+#[must_use]
+pub fn verify(report: &ServeBenchReport) -> EcoResult<()> {
+    if report.reader_rows.len() < 4 {
+        return Err(EcoError::Numerical {
+            what: "serve bench needs at least four concurrent readers",
+        });
+    }
+    for row in &report.reader_rows {
+        if row.reads == 0 {
+            return Err(EcoError::Numerical {
+                what: "a serve bench reader completed no round-trips",
+            });
+        }
+    }
+    if report.p99_us < report.p50_us {
+        return Err(EcoError::Numerical {
+            what: "serve bench latency percentiles are inverted",
+        });
+    }
+    if !report.parallel_identical {
+        return Err(EcoError::Numerical {
+            what: "parallel serve digest diverged from serial digest",
+        });
+    }
+    if !report.daemon_identical {
+        return Err(EcoError::Numerical {
+            what: "live daemon digest diverged from serial digest",
+        });
+    }
+    if !report.restart_identical {
+        return Err(EcoError::Numerical {
+            what: "restarted serve digest diverged from serial digest",
+        });
+    }
+    Ok(())
+}
+
+/// Renders the report as `BENCH_serve.json` (schema
+/// `ecocapsule-bench-serve/1`). Hand-rolled, like the other bench
+/// emitters — the workspace is hermetic, so no serde.
+#[must_use]
+pub fn to_json(report: &ServeBenchReport, pool: &Pool, scale: &ServeScale) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"ecocapsule-bench-serve/1\",\n");
+    out.push_str(&format!("  \"pool_workers\": {},\n", pool.workers()));
+    out.push_str(&format!("  \"smoke\": {},\n", scale.smoke));
+    out.push_str(&format!("  \"cycles\": {},\n", report.cycles));
+    out.push_str(&format!("  \"walls\": {},\n", scale.walls));
+    out.push_str(&format!("  \"readers\": {},\n", scale.readers));
+    out.push_str(&format!("  \"live_ms\": {:.3},\n", report.live_ms));
+    out.push_str(&format!("  \"reads_total\": {},\n", report.reads_total));
+    out.push_str(&format!(
+        "  \"throughput_qps\": {:.1},\n",
+        report.throughput_qps
+    ));
+    out.push_str(&format!("  \"p50_us\": {},\n", report.p50_us));
+    out.push_str(&format!("  \"p99_us\": {},\n", report.p99_us));
+    out.push_str(&format!("  \"max_us\": {},\n", report.max_us));
+    out.push_str(&format!("  \"serial_ms\": {:.3},\n", report.serial_ms));
+    out.push_str(&format!(
+        "  \"serial_digest\": \"{:#018x}\",\n",
+        report.serial_digest
+    ));
+    out.push_str(&format!(
+        "  \"parallel_identical\": {},\n",
+        report.parallel_identical
+    ));
+    out.push_str(&format!(
+        "  \"daemon_identical\": {},\n",
+        report.daemon_identical
+    ));
+    out.push_str(&format!(
+        "  \"restart_identical\": {},\n",
+        report.restart_identical
+    ));
+    out.push_str(&format!("  \"recovery_ms\": {:.3},\n", report.recovery_ms));
+    out.push_str(&format!(
+        "  \"checkpoint_bytes\": {},\n",
+        report.checkpoint_bytes
+    ));
+    out.push_str("  \"reader_rows\": [\n");
+    for (k, r) in report.reader_rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"reader\": {},\n", r.reader));
+        out.push_str(&format!("      \"reads\": {},\n", r.reads));
+        out.push_str(&format!("      \"p50_us\": {},\n", r.p50_us));
+        out.push_str(&format!("      \"p99_us\": {},\n", r.p99_us));
+        out.push_str(&format!("      \"max_us\": {}\n", r.max_us));
+        out.push_str(if k + 1 == report.reader_rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

@@ -4,8 +4,9 @@
 //! Each epoch the engine (1) advances every wall's [`StructureState`]
 //! one epoch under its [`DamageScenario`] script, (2) builds the
 //! epoch's [`fleet::WallSpec`]s — the evolved condition plus a derived
-//! per-epoch survey seed — and runs them through [`fleet::run_fleet`],
-//! and (3) streams every wall's [`WallFeatures`] through the
+//! per-epoch survey seed — and runs them through
+//! [`fleet::FleetOptions::run`], and (3) streams every wall's
+//! [`WallFeatures`] through the
 //! [`CampaignGrader`], collecting grades and detections into the
 //! [`CampaignReport`].
 //!
@@ -137,7 +138,8 @@ impl CampaignOptions {
         self
     }
 
-    /// Checks the schedule is non-degenerate and grading validates.
+    /// Checks the schedule is non-degenerate and the nested fleet and
+    /// grading options validate.
     #[must_use]
     pub fn validate(&self) -> EcoResult<()> {
         if self.epochs == 0 {
@@ -150,7 +152,25 @@ impl CampaignOptions {
                 what: "campaign needs at least one day per epoch",
             });
         }
+        self.fleet.validate()?;
         self.grading.validate()
+    }
+
+    /// Validates and returns the finished options — the terminal verb of
+    /// the builder chain, shared across the whole
+    /// `SurveyOptions`/`FleetOptions`/`CampaignOptions`/`ServeOptions`
+    /// family.
+    #[must_use]
+    pub fn build(self) -> EcoResult<Self> {
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Runs a whole campaign over `specs` start to finish — the one-call
+    /// entry point, mirroring [`fleet::FleetOptions::run`] one layer up.
+    #[must_use]
+    pub fn run(self, specs: Vec<CampaignWallSpec>) -> EcoResult<CampaignReport> {
+        Campaign::new(specs, self)?.run_to_completion()
     }
 }
 
@@ -296,7 +316,7 @@ impl Campaign {
                 evolve_seed(self.options.seed, epoch, i as u64),
             );
         }
-        let fleet_report = fleet::run_fleet(self.epoch_specs(epoch), &self.options.fleet)?;
+        let fleet_report = self.options.fleet.run(self.epoch_specs(epoch))?;
         let mut walls = Vec::with_capacity(self.specs.len());
         for (spec, result) in self.specs.iter().zip(&fleet_report.walls) {
             let features = WallFeatures::of(result, spec.base.standoffs_m.len());
@@ -381,14 +401,21 @@ impl Campaign {
     }
 }
 
-/// Runs a whole campaign start to finish — the campaign analogue of
-/// [`fleet::run_fleet`], one layer up.
+/// Runs a whole campaign start to finish.
+///
+/// Deprecated in favour of the builder-family entry point
+/// [`CampaignOptions::run`]; this shim delegates there and stays
+/// digest-equivalent.
+#[deprecated(
+    since = "0.9.0",
+    note = "use CampaignOptions::run (e.g. options.run(specs))"
+)]
 #[must_use]
 pub fn run_campaign(
     specs: Vec<CampaignWallSpec>,
     options: CampaignOptions,
 ) -> EcoResult<CampaignReport> {
-    Campaign::new(specs, options)?.run_to_completion()
+    options.run(specs)
 }
 
 #[cfg(test)]
@@ -414,8 +441,8 @@ mod tests {
 
     #[test]
     fn campaigns_are_a_pure_function_of_config() {
-        let a = run_campaign(tiny_specs(), tiny_options()).unwrap();
-        let b = run_campaign(tiny_specs(), tiny_options()).unwrap();
+        let a = tiny_options().run(tiny_specs()).unwrap();
+        let b = tiny_options().run(tiny_specs()).unwrap();
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.trace_jsonl(), b.trace_jsonl());
         assert_eq!(a.records.len(), 3);
@@ -424,8 +451,8 @@ mod tests {
 
     #[test]
     fn seeds_change_the_surveys_but_not_the_schedule() {
-        let a = run_campaign(tiny_specs(), tiny_options()).unwrap();
-        let b = run_campaign(tiny_specs(), tiny_options().seed(10)).unwrap();
+        let a = tiny_options().run(tiny_specs()).unwrap();
+        let b = tiny_options().seed(10).run(tiny_specs()).unwrap();
         assert_ne!(a.digest(), b.digest());
         assert_eq!(a.records.len(), b.records.len());
     }
@@ -452,9 +479,24 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_campaign_shim_is_digest_equivalent() {
+        let via_shim = run_campaign(tiny_specs(), tiny_options()).unwrap();
+        let via_builder = tiny_options().run(tiny_specs()).unwrap();
+        assert_eq!(via_shim.digest(), via_builder.digest());
+        assert_eq!(via_shim.trace_jsonl(), via_builder.trace_jsonl());
+    }
+
+    #[test]
     fn degenerate_configs_are_rejected() {
         assert!(Campaign::new(tiny_specs(), tiny_options().epochs(0)).is_err());
         assert!(Campaign::new(tiny_specs(), tiny_options().days_per_epoch(0)).is_err());
+        assert!(tiny_options().build().is_ok());
+        assert!(tiny_options().epochs(0).build().is_err());
+        assert!(tiny_options()
+            .fleet(FleetOptions::new().quantum_slots(0))
+            .build()
+            .is_err());
         let twin = vec![
             CampaignWallSpec::new(WallSpec::new("w", vec![]), DamageScenario::frozen()),
             CampaignWallSpec::new(WallSpec::new("w", vec![]), DamageScenario::frozen()),

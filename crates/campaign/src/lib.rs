@@ -14,8 +14,9 @@
 //!   death. All of it is scripted, seeded via [`exec::seed::derive`]
 //!   streams, and projected into an
 //!   [`ecocapsule::scenario::WallCondition`] per epoch.
-//! - **Campaign driver** ([`Campaign`], [`run_campaign`]): each epoch
-//!   evolves every wall, runs the fleet ([`fleet::run_fleet`]) under
+//! - **Campaign driver** ([`Campaign`], [`CampaignOptions::run`]): each
+//!   epoch evolves every wall, runs the fleet
+//!   ([`fleet::FleetOptions::run`]) under
 //!   the evolved conditions with derived survey seeds, and records the
 //!   epoch. [`CampaignCheckpoint`] freezes the whole thing at any
 //!   epoch boundary — ECOFLEET-style versioned bytes plus a trailing
@@ -42,9 +43,10 @@ mod scenario;
 mod state;
 
 pub use checkpoint::CampaignCheckpoint;
+#[allow(deprecated)]
+pub use engine::run_campaign;
 pub use engine::{
-    config_digest, evolve_seed, run_campaign, survey_seed, Campaign, CampaignOptions,
-    CampaignWallSpec,
+    config_digest, evolve_seed, survey_seed, Campaign, CampaignOptions, CampaignWallSpec,
 };
 pub use grade::{
     CampaignGrader, DetectionEvent, GradeConfig, WallAssessment, WallFeatures, WallGrader,

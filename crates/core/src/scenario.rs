@@ -145,6 +145,31 @@ impl<'a> SurveyOptions<'a> {
         self
     }
 
+    /// Checks the options describe a physically runnable survey (a
+    /// positive, finite drive voltage).
+    #[must_use]
+    pub fn validate(&self) -> EcoResult<()> {
+        if !(self.tx_voltage_v > 0.0 && self.tx_voltage_v.is_finite()) {
+            return Err(dsp::EcoError::OutOfRange {
+                what: "survey tx_voltage_v",
+                value: self.tx_voltage_v,
+                min: f64::MIN_POSITIVE,
+                max: f64::MAX,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates and returns the finished options — the terminal verb of
+    /// the builder chain, shared across the whole
+    /// `SurveyOptions`/`FleetOptions`/`CampaignOptions`/`ServeOptions`
+    /// family.
+    #[must_use]
+    pub fn build(self) -> EcoResult<Self> {
+        self.validate()?;
+        Ok(self)
+    }
+
     /// Runs the configured survey — sugar for
     /// [`SelfSensingWall::run_survey`].
     #[must_use]

@@ -484,6 +484,7 @@ mod tests {
         });
         let first = &plans[0];
         assert_eq!(first.size(), n);
+        // lint:allow(no-nondeterministic-iteration) `plans` is a Vec of Arc handles in thread-join order, not the hash-keyed plan cache
         for p in &plans {
             assert!(
                 Arc::ptr_eq(first, p),

@@ -64,6 +64,31 @@ impl FleetOptions {
         self.budget.aging_rounds = aging_rounds;
         self
     }
+
+    /// Checks the options describe a non-degenerate run (every slot
+    /// budget knob at least one).
+    #[must_use]
+    pub fn validate(&self) -> EcoResult<()> {
+        self.budget.validate()
+    }
+
+    /// Validates and returns the finished options — the terminal verb of
+    /// the builder chain, shared across the whole
+    /// `SurveyOptions`/`FleetOptions`/`CampaignOptions`/`ServeOptions`
+    /// family.
+    #[must_use]
+    pub fn build(self) -> EcoResult<Self> {
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Runs `specs` to completion under these options — the one-call
+    /// entry point, mirroring `SurveyOptions::run` one layer up.
+    #[must_use]
+    pub fn run(&self, specs: Vec<WallSpec>) -> EcoResult<FleetReport> {
+        self.validate()?;
+        Fleet::new(specs, self).run_to_completion()
+    }
 }
 
 /// A fleet run in progress: the specs, the scheduler, and the results
@@ -272,11 +297,18 @@ fn config_digest(specs: &[WallSpec], budget: &SlotBudget) -> u64 {
     faults::fnv1a64(words)
 }
 
-/// Runs `specs` to completion under `options` — the one-call entry
-/// point, mirroring the core `run_survey` engine one layer up.
+/// Runs `specs` to completion under `options`.
+///
+/// Deprecated in favour of the builder-family entry point
+/// [`FleetOptions::run`]; this shim delegates there and stays
+/// digest-equivalent.
+#[deprecated(
+    since = "0.9.0",
+    note = "use FleetOptions::run (e.g. options.run(specs))"
+)]
 #[must_use]
 pub fn run_fleet(specs: Vec<WallSpec>, options: &FleetOptions) -> EcoResult<FleetReport> {
-    Fleet::new(specs, options).run_to_completion()
+    options.run(specs)
 }
 
 #[cfg(test)]
@@ -315,8 +347,11 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_runs_are_digest_identical() {
-        let serial = run_fleet(live_specs(), &FleetOptions::new()).unwrap();
-        let parallel = run_fleet(live_specs(), &FleetOptions::new().pool(Pool::new(4))).unwrap();
+        let serial = FleetOptions::new().run(live_specs()).unwrap();
+        let parallel = FleetOptions::new()
+            .pool(Pool::new(4))
+            .run(live_specs())
+            .unwrap();
         assert_eq!(serial.digest(), parallel.digest());
         assert_eq!(
             serial.merged_trace_jsonl(),
@@ -337,7 +372,7 @@ mod tests {
             WallSpec::new("big", vec![0.5]).seed(1),
             WallSpec::new("small", vec![]).seed(2),
         ];
-        let report = run_fleet(specs, &FleetOptions::new().quantum_slots(8)).unwrap();
+        let report = FleetOptions::new().quantum_slots(8).run(specs).unwrap();
         assert_eq!(report.walls[0].name, "big");
         assert_eq!(report.walls[1].name, "small");
         assert!(report.walls[0].round_completed > report.walls[1].round_completed);
@@ -348,7 +383,7 @@ mod tests {
         // Tight budget over eight bare walls: completion spreads across
         // many rounds, so every split lands at a distinct frontier.
         let options = FleetOptions::new().quantum_slots(3).round_budget_slots(7);
-        let baseline = run_fleet(bare_specs(8), &options).unwrap();
+        let baseline = options.run(bare_specs(8)).unwrap();
         assert!(baseline.rounds > 3, "budget too loose to test splits");
 
         for split in [0, 1, 2, baseline.rounds] {
@@ -392,9 +427,34 @@ mod tests {
 
     #[test]
     fn empty_fleet_completes_immediately() {
-        let report = run_fleet(Vec::new(), &FleetOptions::new()).unwrap();
+        let report = FleetOptions::new().run(Vec::new()).unwrap();
         assert!(report.walls.is_empty());
         assert_eq!(report.rounds, 0);
         assert_ne!(report.digest(), 0);
+    }
+
+    #[test]
+    fn build_rejects_degenerate_budgets_and_run_refuses_them() {
+        assert!(FleetOptions::new().build().is_ok());
+        assert!(FleetOptions::new().quantum_slots(0).build().is_err());
+        assert!(FleetOptions::new().round_budget_slots(0).build().is_err());
+        assert!(FleetOptions::new().aging_rounds(0).build().is_err());
+        assert!(FleetOptions::new()
+            .quantum_slots(0)
+            .run(bare_specs(1))
+            .is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_fleet_shim_is_digest_equivalent() {
+        let options = FleetOptions::new().quantum_slots(3).round_budget_slots(7);
+        let via_shim = run_fleet(live_specs(), &options).unwrap();
+        let via_builder = options.run(live_specs()).unwrap();
+        assert_eq!(via_shim.digest(), via_builder.digest());
+        assert_eq!(
+            via_shim.merged_trace_jsonl(),
+            via_builder.merged_trace_jsonl()
+        );
     }
 }

@@ -41,7 +41,9 @@ mod scheduler;
 mod spec;
 
 pub use checkpoint::FleetCheckpoint;
-pub use engine::{run_fleet, Fleet, FleetOptions};
+#[allow(deprecated)]
+pub use engine::run_fleet;
+pub use engine::{Fleet, FleetOptions};
 pub use report::{FleetReport, WallResult};
 pub use scheduler::{Grant, Scheduler, SlotBudget};
 pub use spec::WallSpec;

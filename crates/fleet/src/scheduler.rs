@@ -17,6 +17,8 @@
 
 use std::collections::VecDeque;
 
+use dsp::{EcoError, EcoResult};
+
 /// The per-round slot budget and fairness knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlotBudget {
@@ -59,6 +61,30 @@ impl SlotBudget {
     #[must_use]
     pub fn effective_aging_rounds(&self) -> u32 {
         self.aging_rounds.max(1)
+    }
+
+    /// Checks every knob is non-degenerate. The runtime floors zeros at
+    /// 1 (`effective_*`) so pre-builder configurations keep working;
+    /// the builder path ([`crate::FleetOptions::build`]) refuses them
+    /// up front instead of silently rewriting them.
+    #[must_use]
+    pub fn validate(&self) -> EcoResult<()> {
+        if self.quantum_slots == 0 {
+            return Err(EcoError::Protocol {
+                what: "slot budget needs a quantum of at least one slot",
+            });
+        }
+        if self.round_budget_slots == 0 {
+            return Err(EcoError::Protocol {
+                what: "slot budget needs a round budget of at least one slot",
+            });
+        }
+        if self.aging_rounds == 0 {
+            return Err(EcoError::Protocol {
+                what: "slot budget needs an aging threshold of at least one round",
+            });
+        }
+        Ok(())
     }
 
     /// Digest words, for the checkpoint config digest.

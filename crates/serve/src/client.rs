@@ -1,0 +1,142 @@
+//! [`Client`]: the typed wrapper around the wire protocol.
+//!
+//! One TCP connection, one request/response in flight at a time. Every
+//! verb has a typed method; [`Client::call`] exposes the raw
+//! [`Request`]/[`Response`] pair for callers that need full fidelity
+//! (typed methods flatten a server-side [`Response::Error`] into an
+//! [`EcoError::Protocol`]).
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dsp::{EcoError, EcoResult};
+use obs::Histogram;
+
+use crate::store::{FeatureRow, WallSummary};
+use crate::wire::{decode_response, encode_request, read_frame, write_frame, Request, Response};
+
+/// A connected query client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon (e.g. the address from
+    /// [`crate::ServeHandle::addr`]). Reads time out after five seconds
+    /// so a dead daemon surfaces as an error, not a hang.
+    #[must_use]
+    pub fn connect(addr: &str) -> EcoResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(|_| EcoError::Protocol {
+            what: "serve client could not connect",
+        })?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .map_err(|_| EcoError::Protocol {
+                what: "serve client could not set its read timeout",
+            })?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads one response — the raw protocol
+    /// round trip every typed method goes through.
+    #[must_use]
+    pub fn call(&mut self, req: &Request) -> EcoResult<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let payload = read_frame(&mut self.stream)?;
+        decode_response(&payload)
+    }
+
+    /// The newest graded feature row of `wall`.
+    #[must_use]
+    pub fn latest_health(&mut self, wall: &str) -> EcoResult<FeatureRow> {
+        match self.call(&Request::LatestHealth { wall: wall.into() })? {
+            Response::Health { row, .. } => Ok(row),
+            Response::Error { .. } => Err(EcoError::Protocol {
+                what: "server answered an error to LatestHealth",
+            }),
+            _ => Err(EcoError::Protocol {
+                what: "server answered the wrong response type to LatestHealth",
+            }),
+        }
+    }
+
+    /// `wall`'s retained rows with cycles in `[from_cycle, to_cycle]`.
+    #[must_use]
+    pub fn feature_series(
+        &mut self,
+        wall: &str,
+        from_cycle: u64,
+        to_cycle: u64,
+    ) -> EcoResult<Vec<FeatureRow>> {
+        let req = Request::FeatureSeries {
+            wall: wall.into(),
+            from_cycle,
+            to_cycle,
+        };
+        match self.call(&req)? {
+            Response::Series { rows, .. } => Ok(rows),
+            Response::Error { .. } => Err(EcoError::Protocol {
+                what: "server answered an error to FeatureSeries",
+            }),
+            _ => Err(EcoError::Protocol {
+                what: "server answered the wrong response type to FeatureSeries",
+            }),
+        }
+    }
+
+    /// One fleet-wide merged histogram by name.
+    #[must_use]
+    pub fn histogram(&mut self, name: &str) -> EcoResult<Histogram> {
+        match self.call(&Request::HistogramSnapshot { name: name.into() })? {
+            Response::HistogramWords { words, .. } => {
+                Histogram::decode_words(&words).ok_or(EcoError::Protocol {
+                    what: "server answered malformed histogram words",
+                })
+            }
+            Response::Error { .. } => Err(EcoError::Protocol {
+                what: "server answered an error to HistogramSnapshot",
+            }),
+            _ => Err(EcoError::Protocol {
+                what: "server answered the wrong response type to HistogramSnapshot",
+            }),
+        }
+    }
+
+    /// The cycle counter and one summary line per wall.
+    #[must_use]
+    pub fn fleet_summary(&mut self) -> EcoResult<(u64, Vec<WallSummary>)> {
+        match self.call(&Request::FleetSummary)? {
+            Response::Summary { cycles_done, walls } => Ok((cycles_done, walls)),
+            Response::Error { .. } => Err(EcoError::Protocol {
+                what: "server answered an error to FleetSummary",
+            }),
+            _ => Err(EcoError::Protocol {
+                what: "server answered the wrong response type to FleetSummary",
+            }),
+        }
+    }
+
+    /// Asks the daemon to checkpoint at its next round boundary.
+    /// Returns the cycles ingested when the verb was accepted.
+    #[must_use]
+    pub fn checkpoint_now(&mut self) -> EcoResult<u64> {
+        self.control(&Request::CheckpointNow)
+    }
+
+    /// Asks the daemon to finish its current round, publish, and exit.
+    /// Returns the cycles ingested when the verb was accepted.
+    #[must_use]
+    pub fn shutdown(&mut self) -> EcoResult<u64> {
+        self.control(&Request::Shutdown)
+    }
+
+    fn control(&mut self, req: &Request) -> EcoResult<u64> {
+        match self.call(req)? {
+            Response::Ack { verb, cycles_done } if verb == req.tag() => Ok(cycles_done),
+            _ => Err(EcoError::Protocol {
+                what: "server answered the wrong response type to a control verb",
+            }),
+        }
+    }
+}

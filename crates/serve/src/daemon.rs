@@ -1,0 +1,296 @@
+//! The daemon: the survey loop on one thread, a TCP accept loop on
+//! another, one short-lived handler thread per connection.
+//!
+//! Thread roles:
+//!
+//! - **Survey thread** owns the [`ServeEngine`] outright — no lock ever
+//!   guards engine state. It ticks scheduling rounds, publishes each
+//!   completed cycle through the engine's [`crate::SharedStore`], and
+//!   serializes ECOSERVE checkpoints into the handle's checkpoint slot
+//!   (on the configured cadence, on `CheckpointNow`, and once more on
+//!   exit).
+//! - **Accept thread** blocks on [`std::net::TcpListener::incoming`]
+//!   and spawns a handler per connection. Shutdown wakes it with a
+//!   loopback self-connect, so no platform-specific polling is needed.
+//! - **Handler threads** answer queries entirely from
+//!   [`crate::StoreSnapshot`] clones — they never touch the engine, so
+//!   a slow reader can never stall a survey. Control verbs flip atomic
+//!   flags the survey thread observes at its next round boundary.
+//!
+//! A malformed *frame* (bad magic, forged length, checksum mismatch)
+//! drops the connection — the framing can no longer be trusted. A
+//! well-framed but malformed *payload* answers a [`Response::Error`]
+//! and keeps the connection.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use dsp::{EcoError, EcoResult};
+
+use crate::checkpoint::ServeCheckpoint;
+use crate::engine::ServeEngine;
+use crate::store::SharedStore;
+use crate::wire::{decode_request, encode_response, read_frame, write_frame, Request, Response};
+
+/// How often an idle thread rechecks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Shared daemon control state: the flags the handler threads flip and
+/// the survey thread observes, plus the latest-checkpoint slot.
+struct Control {
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    checkpoint_requested: AtomicBool,
+    latest_checkpoint: Mutex<Option<Vec<u8>>>,
+}
+
+impl Control {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept thread out of its blocking accept: the
+        // connection itself is the signal and is dropped immediately.
+        drop(TcpStream::connect(self.addr));
+    }
+
+    fn store_checkpoint(&self, bytes: Vec<u8>) {
+        let mut slot = match self.latest_checkpoint.lock() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *slot = Some(bytes);
+    }
+}
+
+/// A running daemon: the bound address plus handles to its threads.
+/// Obtain one with [`spawn`], stop it with a `Shutdown` verb (or
+/// [`ServeHandle::request_shutdown`]) and reap it with
+/// [`ServeHandle::join`].
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    control: Arc<Control>,
+    survey: JoinHandle<EcoResult<ServeEngine>>,
+    accept: JoinHandle<()>,
+}
+
+impl std::fmt::Debug for Control {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Control")
+            .field("addr", &self.addr)
+            .field("shutdown", &self.shutdown)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeHandle {
+    /// The address the daemon actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The newest ECOSERVE checkpoint the survey thread has written, if
+    /// any (cadence, `CheckpointNow`, or exit).
+    #[must_use]
+    pub fn latest_checkpoint(&self) -> Option<Vec<u8>> {
+        match self.control.latest_checkpoint.lock() {
+            Ok(slot) => slot.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Requests shutdown without a client connection (equivalent to the
+    /// `Shutdown` verb).
+    pub fn request_shutdown(&self) {
+        self.control.request_shutdown();
+    }
+
+    /// Waits for the daemon to exit and returns the final engine (its
+    /// store holds everything ingested). Call only after shutdown has
+    /// been requested — the daemon otherwise runs until its cycle limit
+    /// and keeps serving reads. A final checkpoint is always written to
+    /// the slot before the survey thread exits.
+    #[must_use]
+    pub fn join(self) -> EcoResult<ServeEngine> {
+        let engine = self.survey.join().map_err(|_| EcoError::Protocol {
+            what: "serve survey thread panicked",
+        })?;
+        self.accept.join().map_err(|_| EcoError::Protocol {
+            what: "serve accept thread panicked",
+        })?;
+        engine
+    }
+}
+
+/// Starts the daemon: binds `bind_addr` (use `"127.0.0.1:0"` for an
+/// ephemeral port), then spawns the survey and accept threads. The
+/// engine moves into the survey thread; readers see it only through
+/// published snapshots.
+#[must_use]
+pub fn spawn(engine: ServeEngine, bind_addr: &str) -> EcoResult<ServeHandle> {
+    let listener = TcpListener::bind(bind_addr).map_err(|_| EcoError::Protocol {
+        what: "serve could not bind its listener",
+    })?;
+    let addr = listener.local_addr().map_err(|_| EcoError::Protocol {
+        what: "serve could not resolve its bound address",
+    })?;
+    let control = Arc::new(Control {
+        addr,
+        shutdown: AtomicBool::new(false),
+        checkpoint_requested: AtomicBool::new(false),
+        latest_checkpoint: Mutex::new(None),
+    });
+    let shared = engine.shared();
+
+    let survey = {
+        let control = Arc::clone(&control);
+        thread::spawn(move || survey_loop(engine, &control))
+    };
+    let accept = {
+        let control = Arc::clone(&control);
+        thread::spawn(move || accept_loop(&listener, &shared, &control))
+    };
+    Ok(ServeHandle {
+        addr,
+        control,
+        survey,
+        accept,
+    })
+}
+
+/// The survey thread body: tick rounds, publish cycles, serve the
+/// checkpoint flags, exit on shutdown (writing one final checkpoint).
+fn survey_loop(mut engine: ServeEngine, control: &Control) -> EcoResult<ServeEngine> {
+    let outcome = loop {
+        if control.shutdown.load(Ordering::SeqCst) {
+            break Ok(());
+        }
+        let requested = control.checkpoint_requested.swap(false, Ordering::SeqCst);
+        if engine.at_cycle_limit() {
+            if requested {
+                control.store_checkpoint(ServeCheckpoint::of(&engine)?.to_bytes());
+            }
+            thread::sleep(POLL_INTERVAL);
+            continue;
+        }
+        let boundary = match engine.tick() {
+            Ok(boundary) => boundary,
+            Err(e) => break Err(e),
+        };
+        let cadence = engine.options().checkpoint_every_cycles;
+        let cadence_due = boundary && cadence != 0 && engine.cycles_done() % cadence == 0;
+        if requested || cadence_due {
+            control.store_checkpoint(ServeCheckpoint::of(&engine)?.to_bytes());
+        }
+    };
+    // Tear the daemon down whichever way the loop ended, and leave a
+    // final checkpoint for the next incarnation.
+    control.request_shutdown();
+    control.store_checkpoint(ServeCheckpoint::of(&engine)?.to_bytes());
+    outcome?;
+    Ok(engine)
+}
+
+/// The accept thread body: one handler thread per connection, all
+/// joined before the accept thread itself exits.
+fn accept_loop(listener: &TcpListener, shared: &Arc<SharedStore>, control: &Arc<Control>) {
+    let mut handlers = Vec::new();
+    for stream in listener.incoming() {
+        if control.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let control = Arc::clone(control);
+        handlers.push(thread::spawn(move || {
+            handle_connection(stream, &shared, &control);
+        }));
+    }
+    for handler in handlers {
+        drop(handler.join());
+    }
+}
+
+/// One connection's request/response loop. Returns (closing the
+/// connection) on EOF, an untrustworthy frame, a write failure, or
+/// daemon shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &SharedStore, control: &Control) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    loop {
+        // Idle-wait for the next frame so shutdown is noticed promptly.
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if control.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A frame has begun arriving; on loopback the rest follows
+        // within the read timeout.
+        if stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .is_err()
+        {
+            return;
+        }
+        let Ok(payload) = read_frame(&mut stream) else {
+            return;
+        };
+        if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+            return;
+        }
+        let (response, shutdown_after) = answer(&payload, shared, control);
+        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+            return;
+        }
+        if shutdown_after {
+            control.request_shutdown();
+            return;
+        }
+    }
+}
+
+/// Decodes and answers one request payload; the bool says whether the
+/// daemon must shut down after the response is written.
+fn answer(payload: &[u8], shared: &SharedStore, control: &Control) -> (Response, bool) {
+    let req = match decode_request(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            return (
+                Response::Error {
+                    what: format!("malformed request: {e}"),
+                },
+                false,
+            )
+        }
+    };
+    match req {
+        Request::CheckpointNow => {
+            control.checkpoint_requested.store(true, Ordering::SeqCst);
+            let ack = Response::Ack {
+                verb: req.tag(),
+                cycles_done: shared.snapshot().cycles_done(),
+            };
+            (ack, false)
+        }
+        Request::Shutdown => {
+            let ack = Response::Ack {
+                verb: req.tag(),
+                cycles_done: shared.snapshot().cycles_done(),
+            };
+            (ack, true)
+        }
+        read_verb => (shared.snapshot().answer(&read_verb), false),
+    }
+}

@@ -1,0 +1,324 @@
+//! The always-on survey engine: cycles of fleet surveys feeding the
+//! indexed store.
+//!
+//! A *cycle* is one complete [`fleet::Fleet`] run over the service's
+//! walls, with per-cycle survey seeds derived from the service seed via
+//! [`crate::cycle_seed`] — so cycle 3 of wall 1 surveys on the same
+//! stream no matter how the run was scheduled, parallelised or
+//! restarted. The engine advances one scheduling *round* per
+//! [`ServeEngine::tick`]; when a cycle's fleet completes, every
+//! [`fleet::WallResult`] is graded ([`campaign::CampaignGrader`]
+//! streaming baselines, exactly the campaign analytics) and ingested,
+//! and the new [`StoreSnapshot`] is published for readers.
+//!
+//! Round boundaries are also checkpoint boundaries: an ECOSERVE
+//! snapshot ([`crate::ServeCheckpoint`]) embeds the in-flight fleet's
+//! ECOFLEET bytes, so a restart resumes mid-cycle bit-identically.
+//!
+//! This file is on the survey hot path (`xtask lint` keeps locks out of
+//! it); publishing goes through [`SharedStore`]'s O(1) swap.
+
+use std::sync::Arc;
+
+use campaign::{CampaignGrader, WallFeatures};
+use dsp::{EcoError, EcoResult};
+use fleet::{Fleet, FleetReport, WallSpec};
+
+use crate::options::{config_digest, ServeOptions};
+use crate::store::{FeatureRow, SharedStore, StoreSnapshot};
+
+/// The service's survey loop state: specs, analytics, the working store
+/// and the in-flight fleet of the current cycle.
+#[derive(Debug)]
+pub struct ServeEngine {
+    specs: Vec<WallSpec>,
+    options: ServeOptions,
+    grader: CampaignGrader,
+    store: StoreSnapshot,
+    shared: Arc<SharedStore>,
+    fleet: Option<Fleet>,
+}
+
+impl ServeEngine {
+    /// A fresh engine over `specs`. Errors on degenerate options, an
+    /// empty wall set (the loop would spin surveying nothing) or
+    /// duplicate wall names (the store and grader are keyed by name).
+    #[must_use]
+    pub fn new(specs: Vec<WallSpec>, options: ServeOptions) -> EcoResult<ServeEngine> {
+        let options = options.build()?;
+        if specs.is_empty() {
+            return Err(EcoError::Protocol {
+                what: "serve needs at least one wall",
+            });
+        }
+        let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+        let grader = CampaignGrader::new(options.grading, &names)?;
+        let store = StoreSnapshot::new(&names, options.history_cycles as usize);
+        let shared = Arc::new(SharedStore::new(store.clone()));
+        Ok(ServeEngine {
+            specs,
+            options,
+            grader,
+            store,
+            shared,
+            fleet: None,
+        })
+    }
+
+    /// Survey cycles fully ingested so far.
+    #[must_use]
+    pub fn cycles_done(&self) -> u64 {
+        self.store.cycles_done()
+    }
+
+    /// True when the configured cycle limit (if any) has been reached.
+    #[must_use]
+    pub fn at_cycle_limit(&self) -> bool {
+        self.options.cycle_limit != 0 && self.cycles_done() >= self.options.cycle_limit
+    }
+
+    /// True between cycles — the only boundary where no fleet is in
+    /// flight.
+    #[must_use]
+    pub fn at_cycle_boundary(&self) -> bool {
+        self.fleet.is_none()
+    }
+
+    /// The reader-facing store handle; clone the `Arc` into every
+    /// reader thread.
+    #[must_use]
+    pub fn shared(&self) -> Arc<SharedStore> {
+        Arc::clone(&self.shared)
+    }
+
+    /// The newest published snapshot (what a client would query).
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        self.shared.snapshot()
+    }
+
+    /// The wall specs, in spec order.
+    #[must_use]
+    pub fn specs(&self) -> &[WallSpec] {
+        &self.specs
+    }
+
+    /// The service options.
+    #[must_use]
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// The grading front (checkpointing reads its per-wall state).
+    #[must_use]
+    pub fn grader(&self) -> &CampaignGrader {
+        &self.grader
+    }
+
+    /// The working store (what the next publish will expose).
+    #[must_use]
+    pub fn store(&self) -> &StoreSnapshot {
+        &self.store
+    }
+
+    /// The in-flight fleet of the current cycle, if any.
+    #[must_use]
+    pub fn fleet(&self) -> Option<&Fleet> {
+        self.fleet.as_ref()
+    }
+
+    /// Stable digest of everything ingested so far — the witness the
+    /// serial/parallel/restart differentials compare.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.store.digest()
+    }
+
+    /// Digest pinning this engine's static configuration.
+    #[must_use]
+    pub fn config_digest(&self) -> u64 {
+        config_digest(&self.specs, &self.options)
+    }
+
+    /// The specs of cycle `cycle`: each wall reseeded onto its derived
+    /// per-cycle stream.
+    fn cycle_specs(&self, cycle: u64) -> Vec<WallSpec> {
+        cycle_specs(&self.specs, &self.options, cycle)
+    }
+
+    /// Advances the service by one scheduling round. Starts a new
+    /// cycle's fleet if none is in flight; when the round completes the
+    /// fleet, grades + ingests every wall, publishes the new snapshot,
+    /// and returns `true` (a cycle boundary). Errors past the cycle
+    /// limit.
+    #[must_use]
+    pub fn tick(&mut self) -> EcoResult<bool> {
+        if self.at_cycle_limit() {
+            return Err(EcoError::Protocol {
+                what: "serve engine ticked past its cycle limit",
+            });
+        }
+        let mut fleet = match self.fleet.take() {
+            Some(fleet) => fleet,
+            None => Fleet::new(self.cycle_specs(self.cycles_done()), &self.options.fleet),
+        };
+        fleet.run_round()?;
+        if !fleet.is_done() {
+            self.fleet = Some(fleet);
+            return Ok(false);
+        }
+        let report = fleet.run_to_completion()?;
+        self.ingest(&report)?;
+        self.shared.publish(self.store.clone());
+        Ok(true)
+    }
+
+    /// Runs rounds until the current cycle completes and is published.
+    #[must_use]
+    pub fn run_cycle(&mut self) -> EcoResult<()> {
+        while !self.tick()? {}
+        Ok(())
+    }
+
+    /// Runs every remaining cycle up to the limit. Errors if the
+    /// options set no limit (the loop would never return).
+    #[must_use]
+    pub fn run_to_limit(&mut self) -> EcoResult<()> {
+        if self.options.cycle_limit == 0 {
+            return Err(EcoError::Protocol {
+                what: "serve engine has no cycle limit to run to",
+            });
+        }
+        while !self.at_cycle_limit() {
+            self.run_cycle()?;
+        }
+        Ok(())
+    }
+
+    /// Grades and ingests one completed cycle's fleet report.
+    fn ingest(&mut self, report: &FleetReport) -> EcoResult<()> {
+        let cycle = self.cycles_done();
+        for (spec, result) in self.specs.iter().zip(&report.walls) {
+            let features = WallFeatures::of(result, spec.standoffs_m.len());
+            let assessment = self.grader.observe(&result.name, cycle, &features)?;
+            let row = FeatureRow {
+                cycle,
+                features,
+                score: assessment.score,
+                grade: assessment.grade,
+                result_digest: result.digest(),
+            };
+            self.store
+                .ingest_wall(&result.name, row, &result.histograms)?;
+        }
+        self.store.set_cycles_done(cycle + 1);
+        Ok(())
+    }
+
+    /// Rebuilds an engine mid-flight from checkpointed state; used by
+    /// [`crate::ServeCheckpoint::resume`], which has already verified
+    /// the config digest.
+    pub(crate) fn restore(
+        specs: Vec<WallSpec>,
+        options: ServeOptions,
+        grader: CampaignGrader,
+        store: StoreSnapshot,
+        fleet: Option<Fleet>,
+    ) -> ServeEngine {
+        let shared = Arc::new(SharedStore::new(store.clone()));
+        ServeEngine {
+            specs,
+            options,
+            grader,
+            store,
+            shared,
+            fleet,
+        }
+    }
+}
+
+/// The fleet specs of one service cycle: each wall reseeded onto its
+/// derived per-cycle stream (shared with checkpoint resume, which must
+/// rebuild the in-flight cycle's fleet under the very same seeds).
+pub(crate) fn cycle_specs(specs: &[WallSpec], options: &ServeOptions, cycle: u64) -> Vec<WallSpec> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            spec.clone()
+                .seed(crate::cycle_seed(options.seed, cycle, i as u64, spec.seed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec::Pool;
+    use fleet::FleetOptions;
+
+    fn specs() -> Vec<WallSpec> {
+        vec![
+            WallSpec::new("live", vec![0.5]).seed(7),
+            WallSpec::new("bare", vec![]).seed(8),
+        ]
+    }
+
+    fn options() -> ServeOptions {
+        ServeOptions::new().seed(5).cycle_limit(3).history_cycles(2)
+    }
+
+    #[test]
+    fn cycles_publish_and_honour_the_limit() {
+        let mut engine = ServeEngine::new(specs(), options()).unwrap();
+        assert_eq!(engine.snapshot().cycles_done(), 0);
+        engine.run_to_limit().unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.cycles_done(), 3);
+        // history_cycles = 2: cycle 0 was evicted.
+        let rows = snap.feature_series("live", 0, u64::MAX).unwrap();
+        let cycles: Vec<u64> = rows.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![1, 2]);
+        assert!(engine.tick().is_err(), "ticking past the limit errors");
+    }
+
+    #[test]
+    fn serial_and_parallel_services_are_digest_identical() {
+        let mut serial = ServeEngine::new(specs(), options()).unwrap();
+        serial.run_to_limit().unwrap();
+        let mut parallel = ServeEngine::new(
+            specs(),
+            options().fleet(FleetOptions::new().pool(Pool::new(4))),
+        )
+        .unwrap();
+        parallel.run_to_limit().unwrap();
+        assert_eq!(serial.digest(), parallel.digest());
+    }
+
+    #[test]
+    fn cycles_survey_on_distinct_streams() {
+        let mut engine = ServeEngine::new(specs(), options()).unwrap();
+        engine.run_cycle().unwrap();
+        engine.run_cycle().unwrap();
+        let snap = engine.snapshot();
+        let rows = snap.feature_series("live", 0, u64::MAX).unwrap();
+        assert_ne!(
+            rows[0].result_digest, rows[1].result_digest,
+            "each cycle surveys fresh"
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        assert!(ServeEngine::new(Vec::new(), options()).is_err());
+        assert!(ServeEngine::new(specs(), options().history_cycles(0)).is_err());
+        let twins = vec![
+            WallSpec::new("w", vec![]).seed(1),
+            WallSpec::new("w", vec![]).seed(2),
+        ];
+        assert!(
+            ServeEngine::new(twins, options()).is_err(),
+            "duplicate names"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Always-on survey service: the batch library turned into a daemon.
+//!
+//! The paper's end state is a *continuously* monitored building —
+//! operators ask "how healthy is wall W right now?" at any time, while
+//! readers keep surveying the embedded capsules. This crate is that
+//! backend, built from the layers below with zero new dependencies:
+//!
+//! - [`ServeEngine`]: runs survey *cycles* (one [`fleet::Fleet`] run
+//!   per cycle, seeds derived via [`cycle_seed`]) and ingests every
+//!   [`fleet::WallResult`] through the campaign analytics into an
+//!   indexed in-memory store ([`StoreSnapshot`]: per-wall ring-buffered
+//!   [`FeatureRow`] series, mergeable [`obs::Histogram`]s, latest
+//!   digests).
+//! - [`spawn`] / [`ServeHandle`]: the daemon — survey loop on one
+//!   thread, a TCP accept loop answering the length-prefixed ECSV
+//!   protocol ([`Request`]/[`Response`]), swap-on-publish snapshots so
+//!   concurrent readers never block a survey.
+//! - [`Client`]: the typed connection wrapper.
+//! - [`ServeCheckpoint`]: ECOSERVE bytes freezing the whole service —
+//!   store, grader baselines, and (mid-cycle) the in-flight fleet's
+//!   embedded ECOFLEET bytes — for bit-identical restarts.
+//!
+//! The options family is one coherent surface:
+//! `SurveyOptions` (one wall) → `FleetOptions` (walls in space) →
+//! `CampaignOptions` (walls over time) → [`ServeOptions`] (walls
+//! forever). All four build the same way — chaining verbs, `EcoResult`
+//! validation at `build()` — and [`prelude`] imports the whole family
+//! at once. (The `ecocapsule` facade sits at the *bottom* of the
+//! dependency graph, so the workspace-wide prelude lives here, at the
+//! top, re-exporting `ecocapsule::prelude` plus the fleet, campaign
+//! and serve surfaces.)
+//!
+//! Determinism contract: [`StoreSnapshot::digest`] is a pure function
+//! of specs + options — bit-identical for any fleet worker count, any
+//! number of concurrent readers, and across any checkpoint/restart
+//! split, mid-cycle included. `BENCH_serve.json` gates all three.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod checkpoint;
+mod client;
+mod daemon;
+mod engine;
+mod options;
+mod store;
+mod wire;
+
+pub use checkpoint::ServeCheckpoint;
+pub use client::Client;
+pub use daemon::{spawn, ServeHandle};
+pub use engine::ServeEngine;
+pub use options::{config_digest, ServeOptions};
+pub use store::{FeatureRow, SharedStore, StoreSnapshot, WallSeries, WallSummary};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_response, frame_bytes, read_frame,
+    unframe_bytes, write_frame, Request, Response, MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_VERSION,
+};
+
+/// One import for the whole stack: the core survey surface
+/// (`ecocapsule::prelude`) plus the fleet, campaign and serve layers —
+/// the `SurveyOptions` / `FleetOptions` / `CampaignOptions` /
+/// `ServeOptions` family and the types their builders take.
+pub mod prelude {
+    pub use campaign::{
+        Campaign, CampaignOptions, CampaignReport, CampaignWallSpec, DamageScenario, GradeConfig,
+        WallFeatures,
+    };
+    pub use ecocapsule::prelude::*;
+    pub use fleet::{Fleet, FleetOptions, FleetReport, SlotBudget, WallSpec};
+
+    pub use crate::client::Client;
+    pub use crate::daemon::{spawn, ServeHandle};
+    pub use crate::engine::ServeEngine;
+    pub use crate::options::ServeOptions;
+    pub use crate::store::{FeatureRow, StoreSnapshot, WallSummary};
+    pub use crate::wire::{Request, Response};
+}
+
+/// Seed for the survey of `(cycle, wall)`, folded with the wall's own
+/// base seed — the serve analogue of [`campaign::survey_seed`], on a
+/// disjoint purpose stream (purpose index 2; campaign evolution and
+/// surveys use 0 and 1).
+#[must_use]
+pub fn cycle_seed(service_seed: u64, cycle: u64, wall: u64, base_seed: u64) -> u64 {
+    use exec::seed::{derive, derive2};
+    derive(derive2(derive(service_seed, 2), cycle, wall), base_seed)
+}
+
+/// Packs a string into digest words: its bytes 8 per word
+/// (little-endian, zero-padded) followed by the byte length, so `"a"`
+/// and `"a\0"` digest differently. (Same packing as the fleet and
+/// campaign layers'.)
+pub(crate) fn str_words(s: &str) -> Vec<u64> {
+    let bytes = s.as_bytes();
+    let mut words: Vec<u64> = bytes
+        .chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << (8 * i)))
+        })
+        .collect();
+    words.push(bytes.len() as u64);
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_seeds_are_disjoint_from_campaign_streams() {
+        let mut seen = std::collections::BTreeSet::new();
+        for cycle in 0..8 {
+            for wall in 0..8 {
+                assert!(seen.insert(cycle_seed(1, cycle, wall, 0)));
+                assert!(seen.insert(campaign::evolve_seed(1, cycle, wall)));
+                assert!(seen.insert(campaign::survey_seed(1, cycle, wall, 0)));
+            }
+        }
+        assert_ne!(cycle_seed(1, 0, 0, 5), cycle_seed(1, 0, 0, 6));
+    }
+
+    #[test]
+    fn str_words_distinguishes_length_and_content() {
+        assert_ne!(str_words("a"), str_words("b"));
+        assert_ne!(str_words("a"), str_words("a\0"));
+        assert_eq!(str_words(""), vec![0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Daemon configuration, in the [`ecocapsule::scenario::SurveyOptions`]
+//! house style: an owned struct with chaining verbs, validated by
+//! [`ServeOptions::build`] into an [`EcoResult`].
+
+use campaign::GradeConfig;
+use dsp::{EcoError, EcoResult};
+use fleet::{FleetOptions, WallSpec};
+
+/// Everything the always-on service needs: the seed its survey cycles
+/// derive from, how much history each wall's ring retains, the
+/// checkpoint cadence, and the fleet/grading configuration underneath.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOptions {
+    /// Service seed: cycle `c` of wall `w` surveys on a stream derived
+    /// from it via [`crate::cycle_seed`] — every cycle is fresh, yet the
+    /// whole service history is a pure function of this one value.
+    pub seed: u64,
+    /// Rows each wall's ring-buffered series retains (≥ 1). Older
+    /// cycles are evicted oldest-first.
+    pub history_cycles: u64,
+    /// Automatic ECOSERVE checkpoint cadence in cycles; 0 disables the
+    /// cadence (checkpoints then happen only on `CheckpointNow`).
+    pub checkpoint_every_cycles: u64,
+    /// Stop after this many cycles; 0 means run until `Shutdown`.
+    pub cycle_limit: u64,
+    /// Fleet scheduling options for each cycle's survey.
+    pub fleet: FleetOptions,
+    /// Drift-grading configuration for the streaming analytics.
+    pub grading: GradeConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            seed: 0,
+            history_cycles: 64,
+            checkpoint_every_cycles: 0,
+            cycle_limit: 0,
+            fleet: FleetOptions::default(),
+            grading: GradeConfig::default(),
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Seed 0, 64 retained cycles, no checkpoint cadence, no cycle
+    /// limit, serial fleet, default grading.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeOptions::default()
+    }
+
+    /// Replaces the service seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the per-wall ring retention.
+    #[must_use]
+    pub fn history_cycles(mut self, history_cycles: u64) -> Self {
+        self.history_cycles = history_cycles;
+        self
+    }
+
+    /// Replaces the automatic checkpoint cadence (0 disables it).
+    #[must_use]
+    pub fn checkpoint_every_cycles(mut self, checkpoint_every_cycles: u64) -> Self {
+        self.checkpoint_every_cycles = checkpoint_every_cycles;
+        self
+    }
+
+    /// Replaces the cycle limit (0 means run until `Shutdown`).
+    #[must_use]
+    pub fn cycle_limit(mut self, cycle_limit: u64) -> Self {
+        self.cycle_limit = cycle_limit;
+        self
+    }
+
+    /// Replaces the per-cycle fleet options.
+    #[must_use]
+    pub fn fleet(mut self, fleet: FleetOptions) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Replaces the grading configuration.
+    #[must_use]
+    pub fn grading(mut self, grading: GradeConfig) -> Self {
+        self.grading = grading;
+        self
+    }
+
+    /// Checks the retention is non-degenerate and the nested options
+    /// validate.
+    #[must_use]
+    pub fn validate(&self) -> EcoResult<()> {
+        if self.history_cycles == 0 {
+            return Err(EcoError::Protocol {
+                what: "serve needs at least one retained cycle per wall",
+            });
+        }
+        self.fleet.validate()?;
+        self.grading.validate()
+    }
+
+    /// Validates and returns the finished options — the terminal verb of
+    /// the builder chain, shared across the whole options family.
+    #[must_use]
+    pub fn build(self) -> EcoResult<Self> {
+        self.validate()?;
+        Ok(self)
+    }
+}
+
+/// Digest pinning the static service configuration: seed, retention,
+/// slot budget, grading knobs and every wall spec, `u64::MAX`-separated.
+/// The fleet pool, checkpoint cadence and cycle limit are deliberately
+/// excluded — they are operational knobs, and the store contents must
+/// not depend on them.
+#[must_use]
+pub fn config_digest(specs: &[WallSpec], options: &ServeOptions) -> u64 {
+    let mut words = vec![
+        options.seed,
+        options.history_cycles,
+        options.fleet.budget.quantum_slots,
+        options.fleet.budget.round_budget_slots,
+        u64::from(options.fleet.budget.aging_rounds),
+    ];
+    words.extend(options.grading.config_words());
+    words.push(specs.len() as u64);
+    for spec in specs {
+        words.push(u64::MAX);
+        words.extend(spec.config_words());
+    }
+    faults::fnv1a64(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec::Pool;
+
+    #[test]
+    fn builder_chain_builds_and_degenerate_options_do_not() {
+        let options = ServeOptions::new()
+            .seed(7)
+            .history_cycles(8)
+            .checkpoint_every_cycles(2)
+            .cycle_limit(10)
+            .build()
+            .unwrap();
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.history_cycles, 8);
+        assert!(ServeOptions::new().history_cycles(0).build().is_err());
+    }
+
+    #[test]
+    fn config_digest_excludes_operational_knobs() {
+        let specs = vec![WallSpec::new("w", vec![]).seed(1)];
+        let base = ServeOptions::new();
+        let d0 = config_digest(&specs, &base);
+        assert_eq!(
+            config_digest(&specs, &base.checkpoint_every_cycles(5).cycle_limit(9)),
+            d0
+        );
+        assert_eq!(
+            config_digest(&specs, &base.fleet(FleetOptions::new().pool(Pool::new(4)))),
+            d0
+        );
+        assert_ne!(config_digest(&specs, &base.seed(1)), d0);
+        assert_ne!(config_digest(&specs, &base.history_cycles(2)), d0);
+        assert_ne!(
+            config_digest(&specs, &base.fleet(FleetOptions::new().quantum_slots(3))),
+            d0
+        );
+        assert_ne!(config_digest(&[], &base), d0);
+    }
+}

@@ -1,0 +1,502 @@
+//! The indexed in-memory store the daemon serves queries from.
+//!
+//! Every completed survey cycle is *ingested*: each wall's
+//! [`fleet::WallResult`] is reduced to a graded [`FeatureRow`]
+//! (the campaign layer's [`WallFeatures`] plus its drift score and
+//! health grade), appended to that wall's ring-buffered time series,
+//! and the wall's [`obs::Histogram`]s are merged into the fleet-wide
+//! per-name histograms. The whole store is then *published* as one
+//! immutable [`StoreSnapshot`] behind an [`std::sync::Arc`].
+//!
+//! Memory model (swap-on-publish): reader threads never see a
+//! half-ingested cycle and never block the survey loop. The survey loop
+//! mutates its private working copy, clones it into an `Arc`, and swaps
+//! the [`SharedStore`] pointer under a mutex held for O(1) — readers
+//! clone the `Arc` under the same O(1) lock and then answer entirely
+//! from their immutable snapshot. There is no lock anywhere on the
+//! survey hot path itself (`xtask lint` enforces this file and the
+//! engine under `no-lock-in-hotpath`).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use campaign::{health_from_tag, health_tag, WallFeatures};
+use dsp::{EcoError, EcoResult};
+use obs::Histogram;
+use shm::health::HealthLevel;
+
+use crate::wire::{Request, Response};
+
+/// One wall-cycle in the store: the graded feature vector the campaign
+/// analytics would compute for it, plus the survey's result digest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureRow {
+    /// Survey cycle the row was ingested from (0-based).
+    pub cycle: u64,
+    /// The extracted feature vector.
+    pub features: WallFeatures,
+    /// Drift score of the cycle (max over scored features).
+    pub score: f64,
+    /// Health grade the score maps to.
+    pub grade: HealthLevel,
+    /// [`fleet::WallResult::digest`] of the underlying survey — the
+    /// bit-identity witness the restart differential compares.
+    pub result_digest: u64,
+}
+
+impl FeatureRow {
+    /// Stable word serialization: cycle, the seven feature words, score
+    /// bits, grade tag, result digest.
+    #[must_use]
+    pub fn encode_words(&self) -> [u64; 11] {
+        let f = self.features.encode_words();
+        [
+            self.cycle,
+            f[0],
+            f[1],
+            f[2],
+            f[3],
+            f[4],
+            f[5],
+            f[6],
+            self.score.to_bits(),
+            health_tag(self.grade),
+            self.result_digest,
+        ]
+    }
+
+    /// Inverse of [`FeatureRow::encode_words`].
+    #[must_use]
+    pub fn decode_words(words: &[u64]) -> Option<FeatureRow> {
+        if words.len() != 11 {
+            return None;
+        }
+        Some(FeatureRow {
+            cycle: words[0],
+            features: WallFeatures::decode_words(&words[1..8])?,
+            score: f64::from_bits(words[8]),
+            grade: health_from_tag(words[9])?,
+            result_digest: words[10],
+        })
+    }
+}
+
+/// One summary line of [`Request::FleetSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallSummary {
+    /// Wall name.
+    pub name: String,
+    /// Cycle of the wall's newest retained row.
+    pub cycle: u64,
+    /// The wall's newest health grade.
+    pub grade: HealthLevel,
+    /// The wall's newest drift score.
+    pub score: f64,
+    /// The wall's newest survey result digest.
+    pub result_digest: u64,
+}
+
+/// A ring-buffered per-wall time series: the newest `capacity` rows,
+/// oldest evicted first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallSeries {
+    capacity: usize,
+    rows: VecDeque<FeatureRow>,
+}
+
+impl WallSeries {
+    /// An empty series retaining at most `capacity` rows (floored at 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        WallSeries {
+            capacity: capacity.max(1),
+            rows: VecDeque::new(),
+        }
+    }
+
+    /// Appends a row, evicting the oldest once the ring is full.
+    pub fn push(&mut self, row: FeatureRow) {
+        if self.rows.len() == self.capacity {
+            self.rows.pop_front();
+        }
+        self.rows.push_back(row);
+    }
+
+    /// The retention limit.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The newest retained row.
+    #[must_use]
+    pub fn latest(&self) -> Option<&FeatureRow> {
+        self.rows.back()
+    }
+
+    /// Retained rows with `from_cycle <= cycle <= to_cycle`, oldest
+    /// first. Cycles that have been evicted are silently absent — the
+    /// ring's history is the contract, not the full campaign.
+    #[must_use]
+    pub fn range(&self, from_cycle: u64, to_cycle: u64) -> Vec<FeatureRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.cycle >= from_cycle && r.cycle <= to_cycle)
+            .copied()
+            .collect()
+    }
+
+    /// Retained rows oldest first.
+    pub fn rows(&self) -> impl Iterator<Item = &FeatureRow> {
+        self.rows.iter()
+    }
+
+    /// Retained row count (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing has been ingested yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// One immutable, self-consistent view of everything the daemon has
+/// ingested: the cycle counter, every wall's ring-buffered series, and
+/// the fleet-wide merged histograms.
+///
+/// Queries ([`StoreSnapshot::answer`]) are pure functions of the
+/// snapshot, so "what a client sees" is byte-comparable across worker
+/// counts and restarts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSnapshot {
+    cycles_done: u64,
+    walls: BTreeMap<String, WallSeries>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl StoreSnapshot {
+    /// An empty store for the named walls, each ring retaining
+    /// `history_cycles` rows.
+    #[must_use]
+    pub fn new(wall_names: &[String], history_cycles: usize) -> Self {
+        StoreSnapshot {
+            cycles_done: 0,
+            walls: wall_names
+                .iter()
+                .map(|n| (n.clone(), WallSeries::new(history_cycles)))
+                .collect(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Survey cycles fully ingested.
+    #[must_use]
+    pub fn cycles_done(&self) -> u64 {
+        self.cycles_done
+    }
+
+    /// Marks `cycles` cycles as fully ingested (engine-internal).
+    pub(crate) fn set_cycles_done(&mut self, cycles: u64) {
+        self.cycles_done = cycles;
+    }
+
+    /// Ingests one wall's cycle: appends the row to the wall's ring and
+    /// merges the survey's histograms into the fleet-wide ones. Errors
+    /// on a wall the store was not built for.
+    #[must_use]
+    pub fn ingest_wall(
+        &mut self,
+        wall: &str,
+        row: FeatureRow,
+        histograms: &[(String, Histogram)],
+    ) -> EcoResult<()> {
+        let series = self.walls.get_mut(wall).ok_or(EcoError::Protocol {
+            what: "ingesting a wall the store does not know",
+        })?;
+        series.push(row);
+        for (name, h) in histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        Ok(())
+    }
+
+    /// Installs a restored fleet-wide histogram (checkpoint resume).
+    pub(crate) fn restore_histogram(&mut self, name: String, histogram: Histogram) {
+        self.histograms.insert(name, histogram);
+    }
+
+    /// The walls of the store, in name order.
+    pub fn walls(&self) -> impl Iterator<Item = (&String, &WallSeries)> {
+        self.walls.iter()
+    }
+
+    /// The fleet-wide histograms, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&String, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    /// The newest graded row of `wall`.
+    #[must_use]
+    pub fn latest_health(&self, wall: &str) -> Option<&FeatureRow> {
+        self.walls.get(wall).and_then(WallSeries::latest)
+    }
+
+    /// `wall`'s retained rows in the inclusive cycle range, or `None`
+    /// for an unknown wall.
+    #[must_use]
+    pub fn feature_series(
+        &self,
+        wall: &str,
+        from_cycle: u64,
+        to_cycle: u64,
+    ) -> Option<Vec<FeatureRow>> {
+        self.walls.get(wall).map(|s| s.range(from_cycle, to_cycle))
+    }
+
+    /// One fleet-wide merged histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// One summary line per wall, in name order (walls with no ingested
+    /// cycle yet are omitted).
+    #[must_use]
+    pub fn summary(&self) -> Vec<WallSummary> {
+        self.walls
+            .iter()
+            .filter_map(|(name, series)| {
+                series.latest().map(|row| WallSummary {
+                    name: name.clone(),
+                    cycle: row.cycle,
+                    grade: row.grade,
+                    score: row.score,
+                    result_digest: row.result_digest,
+                })
+            })
+            .collect()
+    }
+
+    /// Answers one read query from this snapshot. Control verbs are the
+    /// daemon's job and answer [`Response::Error`] here.
+    #[must_use]
+    pub fn answer(&self, req: &Request) -> Response {
+        match req {
+            Request::LatestHealth { wall } => match self.latest_health(wall) {
+                Some(row) => Response::Health {
+                    wall: wall.clone(),
+                    row: *row,
+                },
+                None => Response::Error {
+                    what: format!("no ingested cycle for wall `{wall}`"),
+                },
+            },
+            Request::FeatureSeries {
+                wall,
+                from_cycle,
+                to_cycle,
+            } => match self.feature_series(wall, *from_cycle, *to_cycle) {
+                Some(rows) => Response::Series {
+                    wall: wall.clone(),
+                    rows,
+                },
+                None => Response::Error {
+                    what: format!("unknown wall `{wall}`"),
+                },
+            },
+            Request::HistogramSnapshot { name } => match self.histogram(name) {
+                Some(h) => Response::HistogramWords {
+                    name: name.clone(),
+                    words: h.encode_words(),
+                },
+                None => Response::Error {
+                    what: format!("unknown histogram `{name}`"),
+                },
+            },
+            Request::FleetSummary => Response::Summary {
+                cycles_done: self.cycles_done,
+                walls: self.summary(),
+            },
+            Request::CheckpointNow | Request::Shutdown => Response::Error {
+                what: "control verb routed to a read-only snapshot".to_string(),
+            },
+        }
+    }
+
+    /// Stable digest over the cycle counter, every wall's retained rows
+    /// and every histogram, `u64::MAX`-separated — the witness the
+    /// serve differential tests and the bench identity gates compare.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut words = vec![self.cycles_done];
+        for (name, series) in &self.walls {
+            words.push(u64::MAX);
+            words.extend(crate::str_words(name));
+            words.push(series.len() as u64);
+            for row in series.rows() {
+                words.extend(row.encode_words());
+            }
+        }
+        for (name, h) in &self.histograms {
+            words.push(u64::MAX);
+            words.extend(crate::str_words(name));
+            words.extend(h.encode_words());
+        }
+        faults::fnv1a64(words)
+    }
+}
+
+/// The publish/subscribe handoff between the survey loop and the reader
+/// threads: a single `Arc` swapped under a mutex whose critical section
+/// is O(1) on both sides.
+#[derive(Debug)]
+pub struct SharedStore {
+    current: Mutex<Arc<StoreSnapshot>>,
+}
+
+impl SharedStore {
+    /// Wraps an initial snapshot.
+    #[must_use]
+    pub fn new(snapshot: StoreSnapshot) -> Self {
+        SharedStore {
+            current: Mutex::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// Publishes a new snapshot: readers that ask after this call see
+    /// it; readers mid-query keep their old `Arc` undisturbed.
+    pub fn publish(&self, snapshot: StoreSnapshot) {
+        let next = Arc::new(snapshot);
+        // lint:allow(no-lock-in-hotpath) O(1) pointer swap; the snapshot was built off-line
+        if let Ok(mut current) = self.current.lock() {
+            *current = next;
+        }
+    }
+
+    /// The newest published snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        // lint:allow(no-lock-in-hotpath) O(1) Arc clone; queries run on the clone, not under the lock
+        match self.current.lock() {
+            Ok(current) => Arc::clone(&current),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cycle: u64) -> FeatureRow {
+        FeatureRow {
+            cycle,
+            features: WallFeatures {
+                strain_mean: cycle as f64 * 1e-6,
+                ..WallFeatures::default()
+            },
+            score: cycle as f64,
+            grade: HealthLevel::A,
+            result_digest: 100 + cycle,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let mut series = WallSeries::new(3);
+        for c in 0..5 {
+            series.push(row(c));
+        }
+        let cycles: Vec<u64> = series.rows().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert_eq!(series.latest().unwrap().cycle, 4);
+        assert_eq!(series.range(0, 2), vec![row(2)]);
+        assert_eq!(series.range(3, 3), vec![row(3)]);
+        assert!(series.range(5, 9).is_empty());
+    }
+
+    #[test]
+    fn feature_rows_round_trip() {
+        let r = row(7);
+        assert_eq!(FeatureRow::decode_words(&r.encode_words()), Some(r));
+        assert_eq!(FeatureRow::decode_words(&[0; 10]), None);
+        let mut bad = r.encode_words();
+        bad[9] = 99; // grade tag out of range
+        assert!(FeatureRow::decode_words(&bad).is_none());
+    }
+
+    #[test]
+    fn snapshot_answers_each_verb() {
+        let mut store = StoreSnapshot::new(&["w".to_string()], 4);
+        let mut h = Histogram::new();
+        h.record(5);
+        store
+            .ingest_wall("w", row(0), &[("lat".to_string(), h)])
+            .unwrap();
+        store.set_cycles_done(1);
+
+        match store.answer(&Request::LatestHealth { wall: "w".into() }) {
+            Response::Health { row: r, .. } => assert_eq!(r.cycle, 0),
+            other => panic!("{other:?}"),
+        }
+        match store.answer(&Request::FleetSummary) {
+            Response::Summary { cycles_done, walls } => {
+                assert_eq!(cycles_done, 1);
+                assert_eq!(walls.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match store.answer(&Request::HistogramSnapshot { name: "lat".into() }) {
+            Response::HistogramWords { words, .. } => {
+                assert_eq!(Histogram::decode_words(&words).unwrap().count(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            store.answer(&Request::LatestHealth { wall: "x".into() }),
+            Response::Error { .. }
+        ));
+        assert!(matches!(
+            store.answer(&Request::Shutdown),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn publish_swaps_while_old_snapshots_survive() {
+        let shared = SharedStore::new(StoreSnapshot::new(&["w".to_string()], 4));
+        let before = shared.snapshot();
+        let mut next = (*before).clone();
+        next.ingest_wall("w", row(0), &[]).unwrap();
+        next.set_cycles_done(1);
+        shared.publish(next);
+        let after = shared.snapshot();
+        assert_eq!(before.cycles_done(), 0, "old snapshot is undisturbed");
+        assert_eq!(after.cycles_done(), 1);
+        assert_ne!(before.digest(), after.digest());
+    }
+
+    #[test]
+    fn digest_sees_rows_histograms_and_cycles() {
+        let names = vec!["w".to_string()];
+        let base = StoreSnapshot::new(&names, 4);
+        let mut with_row = base.clone();
+        with_row.ingest_wall("w", row(0), &[]).unwrap();
+        let mut with_cycles = base.clone();
+        with_cycles.set_cycles_done(1);
+        let mut with_hist = base.clone();
+        let mut h = Histogram::new();
+        h.record(1);
+        with_hist
+            .ingest_wall("w", row(0), &[("lat".to_string(), h)])
+            .unwrap();
+        let d0 = base.digest();
+        assert_ne!(with_row.digest(), d0);
+        assert_ne!(with_cycles.digest(), d0);
+        assert_ne!(with_hist.digest(), with_row.digest());
+    }
+}

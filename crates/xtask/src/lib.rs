@@ -90,6 +90,11 @@ pub struct LintConfig {
     /// `no-deprecated-internal-calls` when invoked as `.name(` anywhere
     /// in first-party code (binaries included; test regions exempt).
     pub deprecated_calls: Vec<String>,
+    /// Free-function names of deprecated in-repo shims flagged by
+    /// `no-deprecated-internal-calls` when invoked as `name(` — bare or
+    /// path-qualified — anywhere in first-party code (definitions and
+    /// re-exports excluded; test regions exempt).
+    pub deprecated_free_calls: Vec<String>,
     /// Path prefixes (relative to the workspace root, `/` separators)
     /// where wall-clock reads are legitimate: bench harnesses and timing
     /// shims that *measure* wall time. Everywhere else
@@ -135,6 +140,12 @@ impl Default for LintConfig {
                 "campaign/src/engine.rs".to_string(),
                 "campaign/src/state.rs".to_string(),
                 "campaign/src/grade.rs".to_string(),
+                // The serve survey loop and its store ingest run on the
+                // daemon's survey thread; readers see only published
+                // snapshots, so these files may lock exclusively on the
+                // annotated O(1) publish/snapshot swap lines.
+                "serve/src/engine.rs".to_string(),
+                "serve/src/store.rs".to_string(),
             ],
             // The pre-SurveyOptions survey entry points, kept only as
             // #[deprecated] shims for out-of-tree callers.
@@ -143,11 +154,18 @@ impl Default for LintConfig {
                 "survey_with".to_string(),
                 "survey_under".to_string(),
             ],
+            // The pre-builder fleet/campaign entry points, likewise kept
+            // only as #[deprecated] shims; in-repo code goes through
+            // FleetOptions::run / CampaignOptions::run.
+            deprecated_free_calls: vec!["run_fleet".to_string(), "run_campaign".to_string()],
             // The bench harness and the vendored criterion shim exist to
             // measure wall time; everything else runs on the slot clock.
             wallclock_allowed: vec![
                 "crates/bench/src/".to_string(),
                 "crates/xcriterion/src/".to_string(),
+                // The daemon's idle polling sleeps real time between
+                // shutdown-flag checks; nothing digested depends on it.
+                "crates/serve/src/daemon.rs".to_string(),
             ],
         }
     }
@@ -439,7 +457,12 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Find
         rules::rng_discipline(&f.lexed.tokens, &facts.task_regions, &mut raw);
         if f.class != FileClass::Test {
             rules::unit_suffix_discipline(&f.lexed.tokens, &mut raw);
-            rules::no_deprecated_internal_calls(&f.lexed.tokens, &cfg.deprecated_calls, &mut raw);
+            rules::no_deprecated_internal_calls(
+                &f.lexed.tokens,
+                &cfg.deprecated_calls,
+                &cfg.deprecated_free_calls,
+                &mut raw,
+            );
         }
         if f.is_lib_root {
             rules::deny_unsafe(&f.lexed.tokens, &mut raw);

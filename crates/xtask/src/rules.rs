@@ -101,8 +101,9 @@ pub const RULE_METAS: &[RuleMeta] = &[
     },
     RuleMeta {
         name: RULE_NO_DEPRECATED,
-        summary: "no calls to deprecated in-repo shims (.survey/.survey_with/.survey_under); \
-                  build a SurveyOptions instead",
+        summary: "no calls to deprecated in-repo shims — method shims \
+                  (.survey/.survey_with/.survey_under) or free-fn shims \
+                  (run_fleet/run_campaign); build the matching options and call run()",
         scope: "all first-party code, examples included",
     },
     RuleMeta {
@@ -289,24 +290,29 @@ pub fn no_lock_in_hotpath(tokens: &[Tok], is_lock_hot: bool, findings: &mut Vec<
     }
 }
 
-/// Rule 7: no calls to deprecated in-repo shims (`.survey(`,
-/// `.survey_with(`, `.survey_under(`) anywhere in first-party code,
-/// binaries included. The shims exist only so out-of-tree callers get a
-/// deprecation warning instead of a breakage; in-repo code must go
-/// through `SurveyOptions`/`run_survey`. Test regions are exempt (the
-/// shim-equivalence test deliberately calls all three).
+/// Rule 7: no calls to deprecated in-repo shims anywhere in first-party
+/// code, binaries included. Two shapes are covered: deprecated *methods*
+/// invoked as `.survey(`/`.survey_with(`/`.survey_under(`, and
+/// deprecated *free functions* invoked as `run_fleet(`/`run_campaign(`
+/// (bare or path-qualified). The shims exist only so out-of-tree
+/// callers get a deprecation warning instead of a breakage; in-repo
+/// code must go through the options-builder family
+/// (`SurveyOptions`/`FleetOptions`/`CampaignOptions`/`ServeOptions` and
+/// their `run`). Test regions are exempt (the shim-equivalence tests
+/// deliberately call the shims).
 pub fn no_deprecated_internal_calls(
     tokens: &[Tok],
     deprecated: &[String],
+    deprecated_free: &[String],
     findings: &mut Vec<Finding>,
 ) {
     for (i, t) in tokens.iter().enumerate() {
-        let is_method_call = t.kind == TokKind::Ident
-            && deprecated.iter().any(|d| d == &t.text)
-            && i > 0
-            && tokens.get(i - 1).map(|p| p.is_op(".")).unwrap_or(false)
-            && tokens.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false);
-        if is_method_call {
+        if t.kind != TokKind::Ident || !tokens.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+        let after_dot = prev.map(|p| p.is_op(".")).unwrap_or(false);
+        if after_dot && deprecated.iter().any(|d| d == &t.text) {
             push(
                 findings,
                 RULE_NO_DEPRECATED,
@@ -314,6 +320,24 @@ pub fn no_deprecated_internal_calls(
                 format!(
                     ".{}() is a deprecated shim; build a SurveyOptions and call \
                      run() / run_survey() instead",
+                    t.text
+                ),
+            );
+        }
+        // A free (or path-qualified) call to a deprecated free-fn shim.
+        // `fn run_fleet(` is the shim's own definition, `.run_fleet(`
+        // would be some unrelated method — neither is a call site.
+        let is_definition = prev
+            .map(|p| p.kind == TokKind::Ident && p.text == "fn")
+            .unwrap_or(false);
+        if !after_dot && !is_definition && deprecated_free.iter().any(|d| d == &t.text) {
+            push(
+                findings,
+                RULE_NO_DEPRECATED,
+                t.line,
+                format!(
+                    "{}() is a deprecated shim; build the matching options and call \
+                     its run() instead",
                     t.text
                 ),
             );
@@ -1087,7 +1111,7 @@ mod tests {
         let deprecated = vec!["survey".to_string(), "survey_under".to_string()];
         let lexed = lex("fn f() { let r = wall.survey(200.0); }");
         let mut out = Vec::new();
-        no_deprecated_internal_calls(&lexed.tokens, &deprecated, &mut out);
+        no_deprecated_internal_calls(&lexed.tokens, &deprecated, &[], &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].msg.contains("SurveyOptions"));
     }
@@ -1101,7 +1125,29 @@ mod tests {
              let s = self.survey; }",
         );
         let mut out = Vec::new();
-        no_deprecated_internal_calls(&lexed.tokens, &deprecated, &mut out);
+        no_deprecated_internal_calls(&lexed.tokens, &deprecated, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn deprecated_free_fn_call_fires_bare_and_path_qualified() {
+        let free = vec!["run_fleet".to_string()];
+        let lexed = lex("fn f() { let a = run_fleet(s, &o); let b = fleet::run_fleet(s, &o); }");
+        let mut out = Vec::new();
+        no_deprecated_internal_calls(&lexed.tokens, &[], &free, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].msg.contains("run()"));
+    }
+
+    #[test]
+    fn free_fn_definitions_and_reexports_do_not_trip_the_deprecated_rule() {
+        let free = vec!["run_fleet".to_string()];
+        // The shim's own definition, a re-export, a lookalike method,
+        // and a bare mention without a call.
+        let lexed = lex("pub fn run_fleet(s: S) {} pub use engine::run_fleet; \
+             fn g() { c.run_fleet(1); let f = run_fleet; }");
+        let mut out = Vec::new();
+        no_deprecated_internal_calls(&lexed.tokens, &[], &free, &mut out);
         assert!(out.is_empty(), "{out:?}");
     }
 

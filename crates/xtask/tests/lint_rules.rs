@@ -22,6 +22,7 @@ fn hot_cfg() -> LintConfig {
             "survey_with".to_string(),
             "survey_under".to_string(),
         ],
+        deprecated_free_calls: vec!["run_fleet".to_string(), "run_campaign".to_string()],
         wallclock_allowed: vec![],
     }
 }
@@ -63,6 +64,7 @@ fn hot_path_indexing_requires_configuration() {
         hot_paths: vec![],
         lock_hot_paths: vec![],
         deprecated_calls: vec![],
+        deprecated_free_calls: vec![],
         wallclock_allowed: vec![],
     };
     let findings = lint_workspace(&fixture("dirty"), &cold).unwrap();

@@ -1,6 +1,6 @@
-//! Campaign: eighteen simulated months over the §6 footbridge pilot
-//! and two neighbouring walls — one stays healthy under seasonal drift,
-//! one cracks at month nine, one's capsules age out — with streaming
+//! Campaign: eighteen simulated months over three walls of the shared
+//! demo city block — one stays healthy under seasonal drift, one
+//! cracks at month nine, one's capsules age out — with streaming
 //! health grades, detections, and a checkpoint/resume digest check.
 //!
 //! ```sh
@@ -11,26 +11,21 @@
 //! function of specs + options — bit-identical at any fleet worker
 //! count and across any checkpoint/resume split.
 
-use campaign::{
-    run_campaign, Campaign, CampaignCheckpoint, CampaignOptions, CampaignWallSpec, DamageScenario,
-};
+use campaign::{Campaign, CampaignCheckpoint, CampaignOptions, CampaignWallSpec, DamageScenario};
 use ecocapsule::prelude::*;
-use fleet::WallSpec;
 
+#[path = "common/walls.rs"]
+mod walls;
+
+/// Three walls of the shared city block, each under a lifetime script:
+/// the pilot cracks at month nine, tower-0 stays quiet under seasonal
+/// drift, tower-2's capsules age out from month ten.
 fn neighbourhood() -> Vec<CampaignWallSpec> {
+    let block = walls::city_block();
     vec![
-        CampaignWallSpec::new(
-            WallSpec::footbridge_pilot(42),
-            DamageScenario::crack_onset(9),
-        ),
-        CampaignWallSpec::new(
-            WallSpec::new("gallery-north", vec![0.4, 0.8, 1.2]).seed(7),
-            DamageScenario::quiet(),
-        ),
-        CampaignWallSpec::new(
-            WallSpec::new("gallery-south", vec![0.4, 0.8, 1.2]).seed(8),
-            DamageScenario::capsule_aging(10),
-        ),
+        CampaignWallSpec::new(block[0].clone(), DamageScenario::crack_onset(9)),
+        CampaignWallSpec::new(block[1].clone(), DamageScenario::quiet()),
+        CampaignWallSpec::new(block[3].clone(), DamageScenario::capsule_aging(10)),
     ]
 }
 
@@ -42,7 +37,7 @@ fn options() -> CampaignOptions {
 }
 
 fn main() {
-    let report = run_campaign(neighbourhood(), options()).expect("campaign");
+    let report = options().run(neighbourhood()).expect("campaign");
 
     println!(
         "campaign: {} walls x {} monthly epochs ({} simulated days)",
@@ -69,7 +64,7 @@ fn main() {
         "crack onset must be detected"
     );
     assert!(
-        report.first_detection("gallery-north").is_none(),
+        report.first_detection("tower-0").is_none(),
         "seasonal drift must never fire"
     );
 

@@ -1,0 +1,23 @@
+//! The shared demo fleet: one city block that the fleet, campaign and
+//! serve examples all survey, so their outputs describe the same walls
+//! and their digests are comparable across layers.
+
+use faults::{FaultIntensity, FaultPlan};
+use fleet::WallSpec;
+
+/// Eight heterogeneous walls: the §6 footbridge pilot plus seven
+/// towers with mixed capsule counts (one to three capsules each); odd
+/// towers survey through a mild fault plan so the robust session layer
+/// stays exercised.
+pub fn city_block() -> Vec<WallSpec> {
+    let mut specs = vec![WallSpec::footbridge_pilot(42)];
+    for i in 0..7u64 {
+        let standoffs: Vec<f64> = (0..=(i % 3)).map(|c| 0.4 + 0.3 * c as f64).collect();
+        let mut spec = WallSpec::new(format!("tower-{i}"), standoffs).seed(100 + i);
+        if i % 2 == 1 {
+            spec = spec.fault_plan(FaultPlan::generate(i, &FaultIntensity::mild(2_000)));
+        }
+        specs.push(spec);
+    }
+    specs
+}

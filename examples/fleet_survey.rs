@@ -12,29 +12,24 @@
 //! at any worker count and across any checkpoint/resume split.
 
 use ecocapsule::prelude::*;
-use faults::{FaultIntensity, FaultPlan};
-use fleet::{run_fleet, FleetOptions, WallSpec};
+use fleet::FleetOptions;
+use walls::city_block;
 
 mod common;
-
-fn city_block() -> Vec<WallSpec> {
-    let mut specs = vec![WallSpec::footbridge_pilot(42)];
-    for i in 0..7u64 {
-        let standoffs: Vec<f64> = (0..=(i % 3)).map(|c| 0.4 + 0.3 * c as f64).collect();
-        let mut spec = WallSpec::new(format!("tower-{i}"), standoffs).seed(100 + i);
-        if i % 2 == 1 {
-            spec = spec.fault_plan(FaultPlan::generate(i, &FaultIntensity::mild(2_000)));
-        }
-        specs.push(spec);
-    }
-    specs
-}
+#[path = "common/walls.rs"]
+mod walls;
 
 fn main() {
-    let options = FleetOptions::new().quantum_slots(32).round_budget_slots(96);
-    let serial = run_fleet(city_block(), &options).expect("serial fleet");
-    let parallel =
-        run_fleet(city_block(), &options.pool(Pool::max_parallel())).expect("parallel fleet");
+    let options = FleetOptions::new()
+        .quantum_slots(32)
+        .round_budget_slots(96)
+        .build()
+        .expect("valid fleet options");
+    let serial = options.run(city_block()).expect("serial fleet");
+    let parallel = options
+        .pool(Pool::max_parallel())
+        .run(city_block())
+        .expect("parallel fleet");
 
     println!(
         "fleet of {} walls surveyed in {} scheduling rounds",

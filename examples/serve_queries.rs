@@ -1,0 +1,93 @@
+//! Serve: the shared demo city block behind the always-on daemon —
+//! spawn it on an ephemeral port, query it over the ECSV wire protocol
+//! while it surveys, then shut it down, freeze the final checkpoint,
+//! and resume a second daemon that answers bit-identically.
+//!
+//! ```sh
+//! cargo run -p ecocapsule-serve --example serve_queries --release
+//! ```
+//!
+//! Determinism contract (DESIGN.md §10): the store digest is a pure
+//! function of specs + options — bit-identical for any fleet worker
+//! count, any number of concurrent readers, and across any
+//! checkpoint/restart split.
+
+use serve::prelude::*;
+use serve::ServeCheckpoint;
+
+#[path = "common/walls.rs"]
+mod walls;
+
+fn options() -> ServeOptions {
+    ServeOptions::new()
+        .seed(2026)
+        .history_cycles(8)
+        .cycle_limit(2)
+        .checkpoint_every_cycles(1)
+        .build()
+        .expect("valid serve options")
+}
+
+fn main() {
+    let engine = ServeEngine::new(walls::city_block(), options()).expect("engine");
+    let handle = serve::spawn(engine, "127.0.0.1:0").expect("daemon");
+    let addr = handle.addr().to_string();
+    println!("daemon serving the city block on {addr}");
+
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Poll the summary until the daemon has ingested its two cycles —
+    // reads never block the survey loop, so early answers are simply
+    // emptier.
+    let (cycles, summaries) = loop {
+        let (cycles, summaries) = client.fleet_summary().expect("summary");
+        if cycles >= 2 {
+            break (cycles, summaries);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    println!("fleet summary after {cycles} cycles:");
+    for s in &summaries {
+        println!(
+            "  {:<18} cycle {:>2}  grade {}  score {:>6.2}",
+            s.name, s.cycle, s.grade, s.score
+        );
+    }
+
+    // One of each read verb against the pilot wall.
+    let latest = client.latest_health("footbridge-pilot").expect("health");
+    println!(
+        "latest footbridge-pilot: cycle {} grade {} score {:.2}",
+        latest.cycle, latest.grade, latest.score
+    );
+    let series = client
+        .feature_series("footbridge-pilot", 0, u64::MAX)
+        .expect("series");
+    println!("retained series: {} rows", series.len());
+    let hist = client.histogram("inventory.q").expect("histogram");
+    println!(
+        "fleet-wide inventory.q histogram: n={} p50={} p99={}",
+        hist.count(),
+        hist.p50(),
+        hist.p99()
+    );
+
+    // Controlled shutdown: ack carries the ingest watermark, join hands
+    // the final engine (and its store) back.
+    let at = client.shutdown().expect("shutdown ack");
+    println!("shutdown acknowledged at {at} cycles");
+    let engine = handle.join().expect("daemon exits cleanly");
+    let digest = engine.digest();
+    println!("final store digest {digest:#018x}");
+
+    // The exit checkpoint restarts a second daemon whose store answers
+    // bit-identically.
+    let frozen = ServeCheckpoint::of(&engine).expect("checkpoint").to_bytes();
+    println!("ECOSERVE checkpoint: {} bytes", frozen.len());
+    let resumed = ServeCheckpoint::from_bytes(&frozen)
+        .expect("decode")
+        .resume(walls::city_block(), options())
+        .expect("resume");
+    assert_eq!(resumed.digest(), digest, "restart diverged");
+    println!("resumed store digest matches: true");
+}

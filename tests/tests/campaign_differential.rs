@@ -8,12 +8,11 @@
 //! 2. checkpoint/resume at *every* epoch boundary reproduces the
 //!    uninterrupted run bit for bit;
 //! 3. a zero-damage (frozen) campaign is, epoch by epoch, exactly K
-//!    independent `fleet::run_fleet` rounds over pristine walls seeded
+//!    independent `FleetOptions::run` rounds over pristine walls seeded
 //!    with the campaign's derived survey seeds.
 
 use campaign::{
-    run_campaign, Campaign, CampaignCheckpoint, CampaignOptions, CampaignWallSpec, DamageScenario,
-    StructureState,
+    Campaign, CampaignCheckpoint, CampaignOptions, CampaignWallSpec, DamageScenario, StructureState,
 };
 use exec::Pool;
 use fleet::{FleetOptions, WallSpec};
@@ -54,11 +53,10 @@ fn campaign_is_identical_at_every_worker_count() {
     let mut digests = Vec::new();
     let mut traces = Vec::new();
     for workers in [1, 2, Pool::max_parallel().workers()] {
-        let report = run_campaign(
-            neighbourhood(),
-            options().fleet(FleetOptions::new().pool(Pool::new(workers))),
-        )
-        .expect("campaign must complete");
+        let report = options()
+            .fleet(FleetOptions::new().pool(Pool::new(workers)))
+            .run(neighbourhood())
+            .expect("campaign must complete");
         digests.push(report.digest());
         traces.push(report.trace_jsonl());
     }
@@ -78,7 +76,9 @@ fn campaign_is_identical_at_every_worker_count() {
 /// and epoch N (nothing left).
 #[test]
 fn resume_at_every_epoch_boundary_is_equivalent() {
-    let baseline = run_campaign(neighbourhood(), options()).expect("uninterrupted campaign");
+    let baseline = options()
+        .run(neighbourhood())
+        .expect("uninterrupted campaign");
     for split in 0..=EPOCHS {
         let mut first_leg = Campaign::new(neighbourhood(), options()).expect("campaign");
         for _ in 0..split {
@@ -106,7 +106,7 @@ fn resume_at_every_epoch_boundary_is_equivalent() {
 
 /// Contract 3 (the zero-damage differential): with every scenario
 /// frozen, the structure never leaves its pristine state, so epoch k of
-/// the campaign must equal an *independent* `fleet::run_fleet` round
+/// the campaign must equal an *independent* fleet round
 /// over the same walls with the derived survey seed and an explicit
 /// pristine condition — campaign adds evolution and grading on top of
 /// the fleet, and with evolution switched off it must add nothing.
@@ -116,7 +116,7 @@ fn frozen_campaign_equals_independent_fleet_rounds() {
         .into_iter()
         .map(|s| CampaignWallSpec::new(s.base, DamageScenario::frozen()))
         .collect();
-    let report = run_campaign(specs.clone(), options()).expect("frozen campaign");
+    let report = options().run(specs.clone()).expect("frozen campaign");
     assert_eq!(report.records.len() as u64, EPOCHS);
 
     for record in &report.records {
@@ -136,8 +136,9 @@ fn frozen_campaign_equals_independent_fleet_rounds() {
                     .condition(pristine.condition())
             })
             .collect();
-        let fleet_report =
-            fleet::run_fleet(epoch_specs, &FleetOptions::new()).expect("independent fleet round");
+        let fleet_report = FleetOptions::new()
+            .run(epoch_specs)
+            .expect("independent fleet round");
         assert_eq!(
             record.fleet_digest,
             fleet_report.digest(),
@@ -168,12 +169,11 @@ fn frozen_campaign_equals_independent_fleet_rounds() {
 /// detections — must not move at all.
 #[test]
 fn slot_budget_is_invisible_to_the_analytics() {
-    let roomy = run_campaign(neighbourhood(), options()).expect("roomy campaign");
-    let tight = run_campaign(
-        neighbourhood(),
-        options().fleet(FleetOptions::new().quantum_slots(4).round_budget_slots(9)),
-    )
-    .expect("tight campaign");
+    let roomy = options().run(neighbourhood()).expect("roomy campaign");
+    let tight = options()
+        .fleet(FleetOptions::new().quantum_slots(4).round_budget_slots(9))
+        .run(neighbourhood())
+        .expect("tight campaign");
     assert_eq!(roomy.detections, tight.detections, "detections moved");
     for (r, t) in roomy.records.iter().zip(&tight.records) {
         for (rw, tw) in r.walls.iter().zip(&t.walls) {

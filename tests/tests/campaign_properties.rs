@@ -12,8 +12,8 @@
 #![cfg(feature = "fuzz")]
 
 use campaign::{
-    run_campaign, CampaignGrader, CampaignOptions, CampaignWallSpec, DamageScenario, GradeConfig,
-    StructureState, WallFeatures, WallGrader,
+    CampaignGrader, CampaignOptions, CampaignWallSpec, DamageScenario, GradeConfig, StructureState,
+    WallFeatures, WallGrader,
 };
 use fleet::WallSpec;
 use proptest::prelude::*;
@@ -155,10 +155,11 @@ proptest! {
             WallSpec::new("quiet-fuzz", vec![0.8]).seed(5),
             DamageScenario::quiet(),
         )];
-        let report = run_campaign(
-            specs,
-            CampaignOptions::new().epochs(7).seed(seed),
-        ).expect("quiet campaign must complete");
+        let report = CampaignOptions::new()
+            .epochs(7)
+            .seed(seed)
+            .run(specs)
+            .expect("quiet campaign must complete");
         prop_assert!(
             report.detections.is_empty(),
             "quiet campaign fired under seed {seed}: {:?}",

@@ -6,7 +6,7 @@
 
 use ecocapsule::prelude::*;
 use exec::Pool;
-use fleet::{run_fleet, FleetOptions, WallSpec};
+use fleet::{FleetOptions, WallSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -50,7 +50,7 @@ fn fleet_matches_sequential_surveys_at_every_worker_count() {
     let mut fleet_digests = Vec::new();
     for workers in [1, 2, Pool::max_parallel().workers()] {
         let options = FleetOptions::new().pool(Pool::new(workers));
-        let report = run_fleet(walls(), &options).expect("fleet must complete");
+        let report = options.run(walls()).expect("fleet must complete");
         assert_eq!(report.walls.len(), reference.len());
         for (wall, &standalone) in report.walls.iter().zip(&reference) {
             assert_eq!(
@@ -72,12 +72,12 @@ fn fleet_matches_sequential_surveys_at_every_worker_count() {
 /// same fleet through a tight quantum changes rounds, not reports.
 #[test]
 fn slot_budget_changes_schedule_but_not_results() {
-    let roomy = run_fleet(walls(), &FleetOptions::new()).expect("roomy fleet");
-    let tight = run_fleet(
-        walls(),
-        &FleetOptions::new().quantum_slots(4).round_budget_slots(9),
-    )
-    .expect("tight fleet");
+    let roomy = FleetOptions::new().run(walls()).expect("roomy fleet");
+    let tight = FleetOptions::new()
+        .quantum_slots(4)
+        .round_budget_slots(9)
+        .run(walls())
+        .expect("tight fleet");
     assert!(
         tight.rounds > roomy.rounds,
         "tight budget must take more rounds ({} vs {})",

@@ -3,11 +3,11 @@
 //! quantum so large one grant covers a whole wall.
 
 use ecocapsule::scenario::CapsuleOutcome;
-use fleet::{run_fleet, Fleet, FleetOptions, WallSpec};
+use fleet::{Fleet, FleetOptions, WallSpec};
 
 #[test]
 fn zero_walls_completes_in_zero_rounds() {
-    let report = run_fleet(Vec::new(), &FleetOptions::new()).expect("empty fleet");
+    let report = FleetOptions::new().run(Vec::new()).expect("empty fleet");
     assert!(report.walls.is_empty());
     assert_eq!(report.rounds, 0);
     assert!(report.merged_trace_jsonl().is_empty());
@@ -30,11 +30,9 @@ fn zero_walls_completes_in_zero_rounds() {
 
 #[test]
 fn one_wall_fleet_is_just_that_wall() {
-    let report = run_fleet(
-        vec![WallSpec::new("solo", vec![0.5]).seed(3)],
-        &FleetOptions::new(),
-    )
-    .expect("solo fleet");
+    let report = FleetOptions::new()
+        .run(vec![WallSpec::new("solo", vec![0.5]).seed(3)])
+        .expect("solo fleet");
     assert_eq!(report.walls.len(), 1);
     let (standalone, _) = WallSpec::new("solo", vec![0.5]).seed(3).survey().unwrap();
     assert_eq!(report.walls[0].report.digest(), standalone.digest());
@@ -42,14 +40,12 @@ fn one_wall_fleet_is_just_that_wall() {
 
 #[test]
 fn zero_capsule_wall_completes_with_an_empty_report() {
-    let report = run_fleet(
-        vec![
+    let report = FleetOptions::new()
+        .run(vec![
             WallSpec::new("bare-a", vec![]).seed(1),
             WallSpec::new("bare-b", vec![]).seed(2),
-        ],
-        &FleetOptions::new(),
-    )
-    .expect("bare fleet");
+        ])
+        .expect("bare fleet");
     for wall in &report.walls {
         assert!(wall.report.outcomes.is_empty());
         assert!(wall.report.readings.is_empty());
@@ -64,7 +60,7 @@ fn zero_capsule_wall_completes_with_an_empty_report() {
 #[test]
 fn all_unpowered_wall_reports_unpowered_outcomes() {
     let specs = vec![WallSpec::new("dark", vec![4.0]).seed(5).tx_voltage(50.0)];
-    let report = run_fleet(specs, &FleetOptions::new()).expect("dark fleet");
+    let report = FleetOptions::new().run(specs).expect("dark fleet");
     let wall = &report.walls[0];
     assert!(
         wall.report.powered_ids.is_empty(),
@@ -87,13 +83,11 @@ fn quantum_larger_than_total_demand_finishes_in_one_round() {
         WallSpec::new("b", vec![]).seed(2),
         WallSpec::new("c", vec![]).seed(3),
     ];
-    let report = run_fleet(
-        specs,
-        &FleetOptions::new()
-            .quantum_slots(1_000_000)
-            .round_budget_slots(10_000_000),
-    )
-    .expect("roomy fleet");
+    let report = FleetOptions::new()
+        .quantum_slots(1_000_000)
+        .round_budget_slots(10_000_000)
+        .run(specs)
+        .expect("roomy fleet");
     assert_eq!(report.rounds, 1);
     assert!(report.walls.iter().all(|w| w.round_completed == 1));
 }

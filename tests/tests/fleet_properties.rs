@@ -117,8 +117,7 @@ proptest! {
             pool: exec::Pool::serial(),
             budget: SlotBudget { quantum_slots, round_budget_slots, aging_rounds: 2 },
         };
-        let baseline =
-            fleet::run_fleet(bare_specs(walls), &options).expect("uninterrupted fleet");
+        let baseline = options.run(bare_specs(walls)).expect("uninterrupted fleet");
 
         let split = (split_frac * baseline.rounds as f64) as u64;
         let mut fleet = Fleet::new(bare_specs(walls), &options);

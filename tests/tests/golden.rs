@@ -248,7 +248,9 @@ fn fleet_three_walls_matches_golden() {
     let options = fleet::FleetOptions::new()
         .quantum_slots(16)
         .round_budget_slots(24);
-    let report = fleet::run_fleet(fleet_three_walls(), &options).expect("fleet must complete");
+    let report = options
+        .run(fleet_three_walls())
+        .expect("fleet must complete");
 
     let mut computed = BTreeMap::new();
     computed.insert("fleet_digest".into(), report.digest());
@@ -308,7 +310,9 @@ fn fleet_three_walls_trace_matches_golden_jsonl() {
     let options = fleet::FleetOptions::new()
         .quantum_slots(16)
         .round_budget_slots(24);
-    let report = fleet::run_fleet(fleet_three_walls(), &options).expect("fleet must complete");
+    let report = options
+        .run(fleet_three_walls())
+        .expect("fleet must complete");
     let computed = report.merged_trace_jsonl();
     assert!(!computed.is_empty(), "merged trace must not be empty");
 
@@ -356,7 +360,7 @@ fn footbridge_campaign() -> (Vec<campaign::CampaignWallSpec>, campaign::Campaign
 #[test]
 fn campaign_footbridge_matches_golden() {
     let (specs, options) = footbridge_campaign();
-    let report = campaign::run_campaign(specs.clone(), options).expect("campaign must complete");
+    let report = options.run(specs.clone()).expect("campaign must complete");
 
     let mut computed = BTreeMap::new();
     computed.insert("campaign_digest".into(), report.digest());
@@ -400,15 +404,16 @@ fn campaign_footbridge_matches_golden() {
 #[test]
 fn campaign_footbridge_trace_matches_golden_jsonl() {
     let (specs, options) = footbridge_campaign();
-    let serial = campaign::run_campaign(specs.clone(), options.clone())
+    let serial = options
+        .clone()
+        .run(specs.clone())
         .expect("serial campaign")
         .trace_jsonl();
-    let parallel = campaign::run_campaign(
-        specs,
-        options.fleet(fleet::FleetOptions::new().pool(exec::Pool::max_parallel())),
-    )
-    .expect("parallel campaign")
-    .trace_jsonl();
+    let parallel = options
+        .fleet(fleet::FleetOptions::new().pool(exec::Pool::max_parallel()))
+        .run(specs)
+        .expect("parallel campaign")
+        .trace_jsonl();
     assert_eq!(
         serial, parallel,
         "campaign trace must be identical at any worker count"

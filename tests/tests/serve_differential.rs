@@ -1,0 +1,229 @@
+//! Differential witness for the serve layer: what a client reads must
+//! be a pure function of specs + options — bit-identical across fleet
+//! worker counts, across checkpoint/restart splits (cycle boundaries
+//! and mid-cycle alike), and across the TCP wire with concurrent
+//! readers hammering the daemon while surveys run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use exec::Pool;
+use faults::{FaultIntensity, FaultPlan};
+use fleet::{FleetOptions, WallSpec};
+use serve::{Client, Request, Response, ServeCheckpoint, ServeEngine, ServeOptions};
+
+/// Quiet and faulted walls with mixed capsule counts, so the store's
+/// rows carry non-trivial features and per-wall digests.
+fn specs() -> Vec<WallSpec> {
+    vec![
+        WallSpec::new("quiet-one", vec![0.5]).seed(11),
+        WallSpec::new("quiet-none", vec![]).seed(12),
+        WallSpec::new("noisy-one", vec![0.6])
+            .seed(13)
+            .fault_plan(FaultPlan::generate(4, &FaultIntensity::mild(200))),
+    ]
+}
+
+fn options() -> ServeOptions {
+    ServeOptions::new()
+        .seed(404)
+        .history_cycles(4)
+        .cycle_limit(3)
+        .build()
+        .expect("valid serve options")
+}
+
+/// One of each read verb, with hits and misses.
+fn probe_requests() -> Vec<Request> {
+    vec![
+        Request::FleetSummary,
+        Request::LatestHealth {
+            wall: "quiet-one".to_string(),
+        },
+        Request::LatestHealth {
+            wall: "no-such-wall".to_string(),
+        },
+        Request::FeatureSeries {
+            wall: "noisy-one".to_string(),
+            from_cycle: 0,
+            to_cycle: u64::MAX,
+        },
+        Request::FeatureSeries {
+            wall: "quiet-none".to_string(),
+            from_cycle: 1,
+            to_cycle: 1,
+        },
+        Request::HistogramSnapshot {
+            name: "inventory.q".to_string(),
+        },
+        Request::HistogramSnapshot {
+            name: "no-such-histogram".to_string(),
+        },
+    ]
+}
+
+/// Every probe answer of one engine's store, for whole-store equality
+/// assertions that cover the query surface, not just the digest.
+fn probe_answers(engine: &ServeEngine) -> Vec<Response> {
+    let store = engine.store();
+    probe_requests().iter().map(|r| store.answer(r)).collect()
+}
+
+#[test]
+fn worker_count_never_changes_what_a_client_reads() {
+    let mut serial = ServeEngine::new(specs(), options()).expect("engine");
+    serial.run_to_limit().expect("runs");
+
+    for workers in [2, Pool::max_parallel().workers()] {
+        let parallel_options = options().fleet(FleetOptions::new().pool(Pool::new(workers)));
+        let mut parallel = ServeEngine::new(specs(), parallel_options).expect("engine");
+        parallel.run_to_limit().expect("runs");
+        assert_eq!(
+            serial.digest(),
+            parallel.digest(),
+            "store digest diverged at {workers} workers"
+        );
+        assert_eq!(
+            probe_answers(&serial),
+            probe_answers(&parallel),
+            "query answers diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn restart_from_every_cycle_boundary_matches_uninterrupted() {
+    let mut uninterrupted = ServeEngine::new(specs(), options()).expect("engine");
+    uninterrupted.run_to_limit().expect("runs");
+    let reference = probe_answers(&uninterrupted);
+
+    for split in 1..=2u64 {
+        let mut first = ServeEngine::new(specs(), options()).expect("engine");
+        while first.cycles_done() < split {
+            first.run_cycle().expect("first leg runs");
+        }
+        let bytes = ServeCheckpoint::of(&first).expect("checkpoint").to_bytes();
+        let mut resumed = ServeCheckpoint::from_bytes(&bytes)
+            .expect("decode")
+            .resume(specs(), options())
+            .expect("resume");
+        assert_eq!(resumed.cycles_done(), split);
+        resumed.run_to_limit().expect("second leg runs");
+        assert_eq!(
+            resumed.digest(),
+            uninterrupted.digest(),
+            "digest diverged after a split at cycle {split}"
+        );
+        assert_eq!(
+            probe_answers(&resumed),
+            reference,
+            "query answers diverged after a split at cycle {split}"
+        );
+    }
+}
+
+#[test]
+fn restart_from_a_mid_cycle_checkpoint_matches_uninterrupted() {
+    // A budget this tight cannot finish a cycle in one round, so a
+    // mid-cycle boundary (fleet in flight, rows not yet ingested) must
+    // exist for the checkpoint to capture.
+    let tight = || options().fleet(FleetOptions::new().quantum_slots(3).round_budget_slots(7));
+
+    let mut uninterrupted = ServeEngine::new(specs(), tight()).expect("engine");
+    uninterrupted.run_to_limit().expect("runs");
+
+    let mut first = ServeEngine::new(specs(), tight()).expect("engine");
+    let boundary = first.tick().expect("first round runs");
+    assert!(!boundary, "tight budget must leave the cycle in flight");
+    let cp = ServeCheckpoint::of(&first).expect("checkpoint");
+    assert!(cp.is_mid_cycle(), "fleet in flight must be captured");
+    let mut resumed = ServeCheckpoint::from_bytes(&cp.to_bytes())
+        .expect("decode")
+        .resume(specs(), tight())
+        .expect("resume");
+    resumed.run_to_limit().expect("second leg runs");
+    assert_eq!(resumed.digest(), uninterrupted.digest());
+    assert_eq!(probe_answers(&resumed), probe_answers(&uninterrupted));
+}
+
+/// End-to-end over a real socket: concurrent readers poll the daemon
+/// throughout its run; once the surveys finish, every wire answer must
+/// equal the offline engine's answer to the same request, and the final
+/// engines must be digest-identical.
+#[test]
+fn live_daemon_with_concurrent_readers_matches_an_offline_engine() {
+    let mut offline = ServeEngine::new(specs(), options()).expect("engine");
+    offline.run_to_limit().expect("runs");
+
+    let engine = ServeEngine::new(specs(), options()).expect("engine");
+    let handle = serve::spawn(engine, "127.0.0.1:0").expect("daemon");
+    let addr = handle.addr().to_string();
+
+    // Readers hammer the store while the survey loop is live. Snapshot
+    // answers may be from any prefix of the run — the assertion here is
+    // only that they are well-formed and monotone in cycle count.
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("reader connects");
+                let mut last_cycles = 0u64;
+                let mut reads = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let (cycles, _) = client.fleet_summary().expect("summary");
+                    assert!(cycles >= last_cycles, "cycle counter went backwards");
+                    last_cycles = cycles;
+                    let _ = client.latest_health("quiet-one");
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    // Wait (virtually instantly on these specs) for the run to finish.
+    let mut control = Client::connect(&addr).expect("control connects");
+    loop {
+        let (cycles, _) = control.fleet_summary().expect("summary");
+        if cycles >= 3 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::SeqCst);
+    for reader in readers {
+        let reads = reader.join().expect("reader exits cleanly");
+        assert!(reads > 0, "reader never completed a round-trip");
+    }
+
+    // Every read verb over the wire equals the offline store's answer.
+    for req in probe_requests() {
+        let wire = control.call(&req).expect("wire answer");
+        assert_eq!(
+            wire,
+            offline.store().answer(&req),
+            "wire answer diverged for {req:?}"
+        );
+    }
+
+    let at = control.shutdown().expect("shutdown ack");
+    assert_eq!(at, 3);
+    let daemon_engine = handle.join().expect("daemon exits cleanly");
+    assert_eq!(daemon_engine.digest(), offline.digest());
+
+    // The exit checkpoint restarts a store that answers identically.
+    let resumed = ServeCheckpoint::from_bytes(&handle_checkpoint_bytes(&daemon_engine))
+        .expect("decode")
+        .resume(specs(), options())
+        .expect("resume");
+    assert_eq!(resumed.digest(), offline.digest());
+    assert_eq!(probe_answers(&resumed), probe_answers(&offline));
+}
+
+/// The daemon's final checkpoint, re-derived from the joined engine so
+/// the test does not depend on handle teardown ordering.
+fn handle_checkpoint_bytes(engine: &ServeEngine) -> Vec<u8> {
+    ServeCheckpoint::of(engine).expect("checkpoint").to_bytes()
+}
