@@ -7,11 +7,12 @@
 //!
 //! Experiment IDs match DESIGN.md §5. Absolute numbers come from our
 //! simulation substrate, not the authors' testbed; EXPERIMENTS.md records
-//! paper-vs-measured for each.
+//! paper-vs-measured for each. The numbers themselves are computed by
+//! `bench::experiments` — the same runners `cargo xtask repro` gates —
+//! and this binary only formats them.
 
+use bench::experiments as exp;
 use bench::{fmt, print_series, print_table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,40 +63,24 @@ fn main() {
 
 /// §3.2: half-beam angle and insonified cone of a bare PZT on the wall.
 fn fig03a() {
-    let alpha = elastic::beam::half_beam_angle(3338.0, 230e3, 0.040).unwrap();
-    let vol = elastic::beam::cone_volume_m3(alpha, 0.15) * 1e6;
+    let (alpha_deg, vol) = exp::fig03a_data().expect("paper geometry is valid");
     print_table(
         "Fig 3(a) context — bare-PZT beam (paper: α ≈ 11°, ≈132 cm³ cone)",
         &["alpha_deg", "cone_cm3"],
-        &[vec![fmt(alpha.to_degrees(), 2), fmt(vol, 1)]],
+        &[vec![fmt(alpha_deg, 2), fmt(vol, 1)]],
     );
 }
 
 /// §3.2's motivation quantified: what fraction of a wall can one fixed
 /// TX position charge, bare PZT vs prism?
 fn fig03b() {
-    use channel::linkbudget::LinkBudget;
-    use concrete::structure::Structure;
-    use elastic::beam::{cone_volume_m3, half_beam_angle};
-    let s3 = Structure::s3_common_wall();
-    // Bare PZT: the 11° P-cone through a 20 cm wall.
-    let alpha = half_beam_angle(3338.0, 230e3, 0.040).unwrap();
-    let cone_m3 = cone_volume_m3(alpha, 0.20);
-    let wall_m3 = 20.0 * 20.0 * 0.20;
-    // Prism: everything inside the power-up radius is charged via
-    // S-reflections; approximate the covered face as a half-disc of the
-    // Fig 12 range around the TX.
-    let lb = LinkBudget::for_structure(&s3).expect("paper structure is valid");
-    let mut rows = Vec::new();
-    for v in [50.0, 100.0, 200.0, 250.0] {
-        let r = lb.max_range_m(v, 0.5).ok().flatten().unwrap_or(0.0);
-        let covered_m3 = (std::f64::consts::PI * r * r / 2.0).min(20.0 * 20.0) * 0.20;
-        rows.push(vec![
-            fmt(v, 0),
-            format!("{:.5}", cone_m3 / wall_m3 * 100.0),
-            fmt(covered_m3 / wall_m3 * 100.0, 2),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = exp::fig03b_data()
+        .expect("paper structure is valid")
+        .iter()
+        .map(|&(v, bare_pct, prism_pct)| {
+            vec![fmt(v, 0), format!("{bare_pct:.5}"), fmt(prism_pct, 2)]
+        })
+        .collect();
     print_table(
         "Fig 3 context — % of the S3 wall charged from one TX spot: bare PZT cone vs prism",
         &["V", "bare_PZT_%", "prism_%"],
@@ -107,128 +92,56 @@ fn fig03b() {
 
 /// Fig 4: relative transmitted P/S amplitude vs incident angle.
 fn fig04() {
-    let iface = elastic::interface::SolidInterface::new(
-        elastic::Material::PLA,
-        elastic::Material::CONCRETE_REF,
-    );
-    let mut rows = Vec::new();
-    for deg in (0..=80).step_by(5) {
-        let theta = (deg as f64).to_radians();
-        if theta >= std::f64::consts::FRAC_PI_2 {
-            break;
-        }
-        let s = iface.incident_p(theta);
-        rows.push(vec![
-            fmt(deg as f64, 0),
-            fmt(
-                if s.energy_trans_p > 0.0 {
-                    s.trans_p.abs()
-                } else {
-                    0.0
-                },
-                4,
-            ),
-            fmt(
-                if s.energy_trans_s > 0.0 {
-                    s.trans_s.abs()
-                } else {
-                    0.0
-                },
-                4,
-            ),
-        ]);
-    }
+    let (sweep, ca1_deg, ca2_deg) = exp::fig04_data().expect("paper interface is valid");
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&(deg, p_amp, s_amp)| vec![fmt(deg, 0), fmt(p_amp, 4), fmt(s_amp, 4)])
+        .collect();
     print_table(
         "Fig 4 — relative P/S amplitudes vs incident angle (CAs ≈ 34°/73°)",
         &["angle_deg", "P_amp", "S_amp"],
         &rows,
     );
-    let (ca1, ca2) = elastic::snell::s_only_window(
-        elastic::Material::PLA.cp_m_s,
-        &elastic::Material::CONCRETE_REF,
-    )
-    .unwrap()
-    .unwrap();
-    println!(
-        "critical angles: {:.1}° and {:.1}° (paper: ~34° and ~73°)",
-        ca1.to_degrees(),
-        ca2.to_degrees()
-    );
+    println!("critical angles: {ca1_deg:.1}° and {ca2_deg:.1}° (paper: ~34° and ~73°)");
 }
 
 /// Fig 5(b): concrete frequency response of the four blocks.
 fn fig05() {
-    use concrete::response::Block;
-    use concrete::ConcreteGrade;
-    let blocks = [
-        ("NC-7cm", Block::new(ConcreteGrade::Nc.mix(), 0.07)),
-        ("NC-15cm", Block::new(ConcreteGrade::Nc.mix(), 0.15)),
-        ("UHPC-15cm", Block::new(ConcreteGrade::Uhpc.mix(), 0.15)),
-        ("UHPFRC-15cm", Block::new(ConcreteGrade::Uhpfrc.mix(), 0.15)),
-    ];
-    let mut rows = Vec::new();
-    let mut f = 20e3;
-    while f <= 400e3 + 1.0 {
-        let mut row = vec![fmt(f / 1e3, 0)];
-        for (_, b) in &blocks {
-            row.push(fmt(b.rx_amplitude_mv(f, 100.0), 0));
-        }
-        rows.push(row);
-        f += 20e3;
-    }
+    let (sweep, peaks) = exp::fig05_data();
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&(f, amps)| {
+            let mut row = vec![fmt(f / 1e3, 0)];
+            row.extend(amps.iter().map(|&a| fmt(a, 0)));
+            row
+        })
+        .collect();
     print_table(
         "Fig 5(b) — RX amplitude (mV) vs TX frequency at 100 V",
         &["f_kHz", "NC-7cm", "NC-15cm", "UHPC-15", "UHPFRC-15"],
         &rows,
     );
-    for (name, b) in &blocks {
-        println!(
-            "{name}: peak {:.0} mV at {:.0} kHz",
-            b.rx_amplitude_mv(b.peak_frequency_hz(), 100.0),
-            b.peak_frequency_hz() / 1e3
-        );
+    for (name, peak_mv, peak_hz) in peaks {
+        println!("{name}: peak {peak_mv:.0} mV at {:.0} kHz", peak_hz / 1e3);
     }
 }
 
 /// Fig 7: ring effect — PIE bit-0 tail with OOK vs FSK suppression.
 fn fig07() {
-    use phy::modulation::{synthesize_drive, DownlinkScheme};
-    use phy::pie::Pie;
-    use phy::pzt::{measure_tail_s, Pzt};
-    let fs = 2.0e6;
-    let pzt = Pzt::reader_disc(fs);
-    let pie = Pie::new(0.5e-3); // 0.5 ms edges as in the figure
-    let segments = pie.encode(&[false]);
-
-    let ook = pzt.respond(&synthesize_drive(&segments, DownlinkScheme::Ook, 230e3, fs));
-    let tail_ook = measure_tail_s(&ook, 0.5e-3, 0.05, fs);
-
-    let fsk_drive = synthesize_drive(
-        &segments,
-        DownlinkScheme::FskInOokOut { off_hz: 180e3 },
-        230e3,
-        fs,
-    );
-    let mut fsk = pzt.respond(&fsk_drive);
-    // Concrete off-resonance damping of the low edge.
-    let n_high = (0.5e-3 * fs) as usize;
-    for x in fsk.iter_mut().skip(n_high) {
-        *x *= 0.25;
-    }
-    let peak = |w: &[f64], a: usize, b: usize| w[a..b].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    let d = exp::fig07_data();
     print_table(
         "Fig 7 — ring effect: low-edge residual after the high edge",
         &["scheme", "tail_ms", "low_edge_peak"],
         &[
             vec![
                 "OOK".into(),
-                tail_ook.map_or("-".into(), |t| fmt(t * 1e3, 3)),
-                fmt(peak(&ook, n_high + n_high / 2, 2 * n_high), 3),
+                d.tail_ook_s.map_or("-".into(), |t| fmt(t * 1e3, 3)),
+                fmt(d.ook_low_edge_peak, 3),
             ],
             vec![
                 "FSK".into(),
                 "suppressed".into(),
-                fmt(peak(&fsk, n_high + n_high / 2, 2 * n_high), 3),
+                fmt(d.fsk_low_edge_peak, 3),
             ],
         ],
     );
@@ -237,28 +150,11 @@ fn fig07() {
 
 /// Fig 12: power-up range vs TX voltage for S1–S4 and the PAB pools.
 fn fig12() {
-    use channel::linkbudget::{LinkBudget, PabPool};
-    use concrete::structure::Structure;
-    let structures = Structure::paper_set();
-    let mut rows = Vec::new();
-    for v in (10..=250).step_by(20) {
-        let mut row = vec![fmt(v as f64, 0)];
-        for s in &structures {
-            let r = LinkBudget::for_structure(s)
-                .expect("paper structure is valid")
-                .max_range_m(v as f64, 0.5)
-                .expect("valid link query");
-            row.push(r.map_or("-".into(), |r| fmt(r * 100.0, 0)));
-        }
-        for pool in [PabPool::Pool1, PabPool::Pool2] {
-            let r = pool
-                .link_budget()
-                .max_range_m(v as f64, 0.5)
-                .expect("valid link query");
-            row.push(r.map_or("-".into(), |r| fmt(r * 100.0, 0)));
-        }
-        rows.push(row);
-    }
+    let rows: Vec<Vec<String>> = exp::fig12_data()
+        .expect("paper structures are valid")
+        .iter()
+        .map(|(v, row)| exp::fig12_row_strings(*v, row))
+        .collect();
     print_table(
         "Fig 12 — max power-up range (cm) vs TX voltage",
         &["V", "S1", "S2", "S3", "S4", "PAB-P1", "PAB-P2"],
@@ -269,32 +165,21 @@ fn fig12() {
 
 /// Fig 13: node power consumption vs uplink bitrate.
 fn fig13() {
-    use node::power::PowerModel;
-    let rows: Vec<(f64, f64)> = [0.0, 1e3, 2e3, 3e3, 4e3, 5e3, 6e3, 7e3, 8e3]
-        .iter()
-        .map(|&r| (r / 1e3, PowerModel.consumption_w(r) * 1e6))
-        .collect();
     print_series(
         "Fig 13 — power (µW) vs bitrate (kbps); paper: 80.1 µW standby, ~360 µW active",
         "kbps",
         "µW",
-        &rows,
+        &exp::fig13_data(),
     );
 }
 
 /// Fig 14: cold-start time vs activation voltage.
 fn fig14() {
-    use node::harvester::Harvester;
-    let h = Harvester::default();
-    let rows: Vec<(f64, f64)> = [0.4, 0.5, 0.6, 0.8, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0]
-        .iter()
-        .map(|&v| (v, h.cold_start_s(v).map_or(f64::NAN, |t| t * 1e3)))
-        .collect();
     print_series(
         "Fig 14 — cold start (ms) vs input voltage; paper: 55 ms @ 0.5 V, 4.4 ms @ 2 V",
         "V",
         "ms",
-        &rows,
+        &exp::fig14_data(),
     );
 }
 
@@ -304,14 +189,10 @@ fn fig14() {
 /// any worker count (including `--workers 1` via `exec::Pool::serial`).
 fn fig15() {
     let pool = exec::Pool::max_parallel();
-    let snrs = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 18.0];
-    let rows: Vec<Vec<String>> = pool.par_map(&snrs, |i, &snr| {
-        let bits = if snr >= 8.0 { 2_000_000 } else { 200_000 };
-        let mut rng = StdRng::seed_from_u64(exec::seed::derive(15, i as u64));
-        let eco = reader::rx::simulate_fm0_ber(snr, bits, &mut rng);
-        let pab = baselines::pab::pab_ber(snr, bits, &mut rng);
-        vec![fmt(snr, 0), format!("{eco:.2e}"), format!("{pab:.2e}")]
-    });
+    let rows: Vec<Vec<String>> = exp::fig15_data(exp::Profile::Full, &pool)
+        .iter()
+        .map(|&(snr, eco, pab)| vec![fmt(snr, 0), format!("{eco:.2e}"), format!("{pab:.2e}")])
+        .collect();
     print_table(
         "Fig 15 — BER vs SNR (paper: EcoCapsule hits 1e-5 at 8 dB, PAB at 11 dB)",
         &["SNR_dB", "EcoCapsule", "PAB"],
@@ -323,40 +204,12 @@ fn fig15() {
 /// receive chain (carrier estimation → DDC → preamble sync → ML FM0 →
 /// CRC) at three noise levels, validating the symbol-level Monte-Carlo.
 fn fig15wave() {
-    use channel::uplink::{synthesize_uplink, UplinkConfig};
-    use protocol::frame::Reply;
-    use reader::rx::{Capture, Receiver};
-    let cfg = UplinkConfig {
-        delay_s: 0.0,
-        ..UplinkConfig::paper_default()
-    };
-    let rx = Receiver::new(2e3);
-    let mut rows = Vec::new();
-    for (label, sigma) in [("quiet", 0.005), ("moderate", 0.03), ("heavy", 0.3)] {
-        let mut ok = 0;
-        let trials = 40;
-        for t in 0..trials {
-            let mut rng = StdRng::seed_from_u64(1000 + t);
-            let reply = Reply::NodeId {
-                id: 0xEC0 + t as u32,
-            };
-            let mut bits = phy::fm0::PREAMBLE_BITS.to_vec();
-            bits.extend(reply.encode());
-            let (samples, _) = synthesize_uplink(&cfg, &bits, 2e3, 1e-3, sigma, &mut rng);
-            if rx.decode_reply(&Capture {
-                samples,
-                fs_hz: cfg.fs_hz,
-            }) == Ok(reply)
-            {
-                ok += 1;
-            }
-        }
-        rows.push(vec![
-            label.to_string(),
-            fmt(sigma, 3),
-            format!("{ok}/{trials}"),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = exp::fig15wave_data(exp::Profile::Full)
+        .iter()
+        .map(|&(label, sigma, ok, trials)| {
+            vec![label.to_string(), fmt(sigma, 3), format!("{ok}/{trials}")]
+        })
+        .collect();
     print_table(
         "Fig 15 cross-check — full-chain frame success vs RX noise (backscatter amplitude 0.1)",
         &["noise", "sigma_V", "frames_ok"],
@@ -368,17 +221,17 @@ fn fig15wave() {
 
 /// Fig 16: SNR vs bitrate for EcoCapsule, PAB and U²B.
 fn fig16() {
-    let mut rows = Vec::new();
-    for r in [1e3, 2e3, 4e3, 6e3, 8e3, 10e3, 12e3, 13e3, 14e3, 15e3] {
-        let (eco, pab, u2b) = ecocapsule::scenario::fig16_point(r);
-        rows.push(vec![fmt(r / 1e3, 0), fmt(eco, 2), fmt(pab, 2), fmt(u2b, 2)]);
-    }
+    let (sweep, crossover) = exp::fig16_data();
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&(r, eco, pab, u2b)| vec![fmt(r / 1e3, 0), fmt(eco, 2), fmt(pab, 2), fmt(u2b, 2)])
+        .collect();
     print_table(
         "Fig 16 — SNR (dB) vs bitrate (kbps); paper: Eco viable to 13 kbps, PAB to 3, U²B crosses ~9",
         &["kbps", "EcoCapsule", "PAB", "U2B"],
         &rows,
     );
-    if let Some(x) = baselines::u2b::crossover_bps(16e3) {
+    if let Some(x) = crossover {
         println!(
             "U²B overtakes EcoCapsule at {:.1} kbps (paper: ~9 kbps)",
             x / 1e3
@@ -388,15 +241,9 @@ fn fig16() {
 
 /// Fig 17: throughput vs concrete grade.
 fn fig17() {
-    use concrete::ConcreteGrade;
-    let rows: Vec<Vec<String>> = ConcreteGrade::ALL
+    let rows: Vec<Vec<String>> = exp::fig17_data()
         .iter()
-        .map(|&g| {
-            vec![
-                g.to_string(),
-                fmt(ecocapsule::scenario::throughput_for_grade(g) / 1e3, 1),
-            ]
-        })
+        .map(|&(g, t)| vec![g.to_string(), fmt(t / 1e3, 1)])
         .collect();
     print_table(
         "Fig 17 — max throughput (kbps) per concrete (paper: all ≥ 13, UHPC/UHPFRC ≈ +2)",
@@ -407,44 +254,11 @@ fn fig17() {
 
 /// Fig 18: SNR CDF vs node position (top / middle / bottom of a wall).
 fn fig18() {
-    use channel::multipath::Wall2d;
-    use dsp::stats::percentile;
-    let mix = concrete::ConcreteGrade::Nc.mix();
-    let wall = Wall2d::new(2.0, 2.0, mix.material().cs_m_s, mix.attenuation_s(), 230e3);
-    let src = (0.1, 1.0);
-    // Coherent superposition of S-reflections: positions inside each band
-    // fade differently, producing the CDF spread the figure shows. All
-    // bands keep a similar reader distance (~1 m), per the paper.
-    let amplitudes = |y0: f64, y1: f64| -> Vec<f64> {
-        let mut amps = Vec::new();
-        for iy in 0..12 {
-            for ix in 0..8 {
-                let x = 0.95 + 0.012 * ix as f64;
-                let y = y0 + (y1 - y0) * iy as f64 / 11.0;
-                amps.push(wall.coherent_amplitude(src, (x, y), 4));
-            }
-        }
-        amps
-    };
-    let top = amplitudes(1.85, 1.98);
-    let middle = amplitudes(0.85, 1.15);
-    let bottom = amplitudes(0.02, 0.15);
-    // Calibrate the noise floor so the middle band's median lands at the
-    // paper's 7 dB; the margin bands then fall where the physics puts them.
-    let mid_median = percentile(&middle, 50.0).unwrap();
-    let floor = mid_median / 10f64.powf(7.0 / 20.0);
-    let snrs =
-        |amps: &[f64]| -> Vec<f64> { amps.iter().map(|&a| 20.0 * (a / floor).log10()).collect() };
-    let mut rows = Vec::new();
-    for (name, amps) in [("top", &top), ("middle", &middle), ("bottom", &bottom)] {
-        let s = snrs(amps);
-        rows.push(vec![
-            name.to_string(),
-            fmt(percentile(&s, 10.0).unwrap(), 1),
-            fmt(percentile(&s, 50.0).unwrap(), 1),
-            fmt(percentile(&s, 90.0).unwrap(), 1),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = exp::fig18_data()
+        .expect("wall bands are non-empty")
+        .iter()
+        .map(|&(name, p10, p50, p90)| vec![name.to_string(), fmt(p10, 1), fmt(p50, 1), fmt(p90, 1)])
+        .collect();
     print_table(
         "Fig 18 — SNR (dB) percentiles by node position (paper medians: top 11, bottom 8, middle 7)",
         &["position", "p10", "p50", "p90"],
@@ -455,30 +269,20 @@ fn fig18() {
 
 /// Fig 19: downlink SNR vs prism incident angle.
 fn fig19() {
-    let ch = channel::downlink::DownlinkChannel::paper_default();
-    let sweep = ch.snr_vs_incident_angle(&[0.0, 15.0, 30.0, 45.0, 50.0, 60.0, 70.0, 75.0], 1e3);
-    let rows: Vec<(f64, f64)> = sweep;
     print_series(
         "Fig 19 — downlink SNR (dB) vs incident angle (paper: peak ~15 dB at 50–70°; dips below CA1)",
         "deg",
         "SNR_dB",
-        &rows,
+        &exp::fig19_data(),
     );
 }
 
 /// Fig 20: downlink SNR vs bitrate for FSK vs OOK.
 fn fig20() {
-    use phy::modulation::DownlinkScheme;
-    let ch = channel::downlink::DownlinkChannel::paper_default();
-    let off = concrete::ConcreteGrade::Nc
-        .mix()
-        .off_resonant_frequency_hz();
-    let mut rows = Vec::new();
-    for r in [1e3, 2e3, 4e3, 6e3, 8e3, 10e3] {
-        let fsk = ch.symbol_snr_db(r, DownlinkScheme::FskInOokOut { off_hz: off });
-        let ook = ch.symbol_snr_db(r, DownlinkScheme::Ook);
-        rows.push(vec![fmt(r / 1e3, 0), fmt(fsk, 2), fmt(ook, 2)]);
-    }
+    let rows: Vec<Vec<String>> = exp::fig20_data()
+        .iter()
+        .map(|&(r, fsk, ook)| vec![fmt(r / 1e3, 0), fmt(fsk, 2), fmt(ook, 2)])
+        .collect();
     print_table(
         "Fig 20 — downlink SNR (dB) vs bitrate: FSK (anti-ring) vs OOK (paper: FSK 3–5× better)",
         &["kbps", "FSK", "OOK"],
@@ -488,39 +292,29 @@ fn fig20() {
 
 /// Fig 21 (+ Appendix D): pilot-study streams, anomaly window, health.
 fn fig21() {
-    use shm::footbridge::Section;
-    use shm::health::grade_sections;
-    use shm::pilot::{Channel, PilotStudy};
-    let study = PilotStudy::new(2021_07);
-    let rows: Vec<(f64, f64)> = study.daily_activity(Channel::Acceleration(1));
+    let d = exp::fig21_data();
     print_series(
         "Fig 21(a) — daily RMS deck acceleration (m/s²), July 2021",
         "day",
         "rms",
-        &rows,
+        &d.accel,
     );
-    let stress: Vec<(f64, f64)> = study.daily_activity(Channel::Stress(1));
     print_series(
         "Fig 21(b) — daily stress variation (MPa)",
         "day",
         "std",
-        &stress,
+        &d.stress,
     );
-    let anomalies = study.detect_anomalies(Channel::Acceleration(1), 1.8);
-    println!("anomalous days: {anomalies:?} (paper: storm window 7/15–7/23)");
+    println!(
+        "anomalous days: {:?} (paper: storm window 7/15–7/23)",
+        d.anomalies
+    );
     println!(
         "acceleration↔stress mutual verification r = {:.2}",
-        study.mutual_verification(Channel::Acceleration(1), Channel::Stress(1))
+        d.mutual_r
     );
-    let statuses = grade_sections(&[
-        (Section::A, 1, 1.0),
-        (Section::B, 3, 1.5),
-        (Section::C, 1, 2.0),
-        (Section::D, 3, 1.1),
-        (Section::E, 0, 0.0),
-    ]);
     println!("\nFig 21(c) — real-time section health:");
-    for s in statuses {
+    for s in d.statuses {
         println!(
             "  {}: No. {} | speed {:.1} m/s | health {}",
             s.section, s.pedestrians, s.speed_m_s, s.health
@@ -530,7 +324,7 @@ fn fig21() {
 
 /// Fig 22: received & demodulated backscatter signal.
 fn fig22() {
-    let w = ecocapsule::scenario::fig22_waveform(4e-3, 1000.0, 18e-3);
+    let w = exp::fig22_data();
     // Print a decimated view (every ~0.5 ms).
     let rows: Vec<(f64, f64)> = w.iter().step_by(25).map(|&(t, v)| (t * 1e3, v)).collect();
     print_series(
@@ -543,20 +337,11 @@ fn fig22() {
 
 /// Fig 24 (Appendix C): uplink spectrum — carrier + BLF sidebands.
 fn fig24() {
-    use channel::uplink::{blf_hz, synthesize_uplink, UplinkConfig};
-    use dsp::fft::power_spectrum;
-    let cfg = UplinkConfig::paper_default();
-    let mut rng = StdRng::seed_from_u64(24);
-    let bits = vec![false; 400];
-    let bitrate = 4e3;
-    let (y, _) = synthesize_uplink(&cfg, &bits, bitrate, 0.0, 0.001, &mut rng);
-    let (freqs, power) = power_spectrum(&y, cfg.fs_hz).unwrap();
-    let mut rows = Vec::new();
-    for (f, p) in freqs.iter().zip(&power) {
-        if (190e3..=270e3).contains(f) && f % 2e3 < freqs[1] - freqs[0] {
-            rows.push((*f / 1e3, 10.0 * (p + 1e-18).log10()));
-        }
-    }
+    let (sweep, blf) = exp::fig24_data().expect("spectrum grid is power-of-two");
+    let rows: Vec<(f64, f64)> = sweep
+        .iter()
+        .map(|&(f, p)| (f / 1e3, 10.0 * (p + 1e-18).log10()))
+        .collect();
     print_series(
         "Fig 24 — received uplink spectrum (dB, log scale) around the carrier",
         "kHz",
@@ -565,27 +350,26 @@ fn fig24() {
     );
     println!(
         "expect peaks at 230 kHz (CBW) and 230 ± {:.0} kHz (backscatter sidebands)",
-        blf_hz(bitrate) / 1e3
+        blf / 1e3
     );
 }
 
 /// Table 1: concrete registry.
 fn tab01() {
-    use concrete::ConcreteGrade;
-    let mut rows = Vec::new();
-    for g in ConcreteGrade::ALL {
-        let m = g.mix();
-        let mat = m.material();
-        rows.push(vec![
-            m.name.to_string(),
-            fmt(m.fco_mpa, 1),
-            fmt(m.ec_gpa, 1),
-            fmt(m.poisson, 2),
-            fmt(m.density_kg_m3(), 0),
-            fmt(mat.cp_m_s, 0),
-            fmt(mat.cs_m_s, 0),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = exp::tab01_data()
+        .iter()
+        .map(|(m, mat)| {
+            vec![
+                m.name.to_string(),
+                fmt(m.fco_mpa, 1),
+                fmt(m.ec_gpa, 1),
+                fmt(m.poisson, 2),
+                fmt(m.density_kg_m3(), 0),
+                fmt(mat.cp_m_s, 0),
+                fmt(mat.cs_m_s, 0),
+            ]
+        })
+        .collect();
     print_table(
         "Table 1 — concretes (+ derived wave speeds)",
         &["mix", "fco_MPa", "Ec_GPa", "nu", "rho", "cp_m_s", "cs_m_s"],
@@ -595,15 +379,8 @@ fn tab01() {
 
 /// Table 2: PAO health levels per region.
 fn tab02() {
-    use shm::health::Region;
-    let regions = [
-        ("US", Region::UnitedStates),
-        ("HongKong", Region::HongKong),
-        ("Bangkok", Region::Bangkok),
-        ("Manila", Region::Manila),
-    ];
     let mut rows = Vec::new();
-    for (name, r) in regions {
+    for (name, r) in exp::tab02_regions() {
         let t = r.thresholds_m2_per_ped();
         rows.push(vec![
             name.to_string(),
@@ -623,21 +400,17 @@ fn tab02() {
 
 /// Eqn 4 + §4.1: shell pressure ratings and max building heights.
 fn eqn04() {
-    use node::shell::Shell;
-    let rows = [
-        ("resin", Shell::paper_resin(), 2300.0),
-        ("steel", Shell::paper_steel(), 2360.0),
-    ]
-    .iter()
-    .map(|(name, shell, rho)| {
-        vec![
-            name.to_string(),
-            fmt(shell.dp_max_pa() / 1e6, 1),
-            fmt(shell.max_building_height_m(*rho), 0),
-            fmt(shell.deformation_fraction(shell.dp_max_pa()) * 100.0, 2),
-        ]
-    })
-    .collect::<Vec<_>>();
+    let rows: Vec<Vec<String>> = exp::eqn04_data()
+        .iter()
+        .map(|(name, shell, rho)| {
+            vec![
+                name.to_string(),
+                fmt(shell.dp_max_pa() / 1e6, 1),
+                fmt(shell.max_building_height_m(*rho), 0),
+                fmt(shell.deformation_fraction(shell.dp_max_pa()) * 100.0, 2),
+            ]
+        })
+        .collect();
     print_table(
         "Eqn 4 / §4.1 — shell ratings (paper: 4.3 MPa → 195 m resin; 115.2 MPa → 4985 m steel)",
         &["shell", "dPmax_MPa", "hmax_m", "def_%"],
@@ -647,10 +420,7 @@ fn eqn04() {
 
 /// Eqn 5: Helmholtz resonator design.
 fn eqn05() {
-    use phy::hra::HelmholtzResonator;
-    let cs = 1941.0;
-    let paper = HelmholtzResonator::paper_geometry();
-    let tuned = paper.design_for(230e3, cs);
+    let (paper, tuned, cs) = exp::eqn05_data();
     print_table(
         "Eqn 5 — HRA resonance (paper geometry lands at ~159 kHz; retuned cavity hits 230 kHz)",
         &["design", "Vc_mm3", "f_kHz"],

@@ -1,0 +1,995 @@
+//! Reusable experiment runners behind every paper figure and table.
+//!
+//! Each `fig*_data` / `tab*_data` / `eqn*_data` function computes the
+//! numbers one evaluation artifact needs, with no printing: the
+//! `experiments` binary formats them into the tables EXPERIMENTS.md
+//! quotes, and `crates/repro` turns them into paper-vs-sim PASS/FAIL
+//! rows. Keeping one compute path for both consumers is what makes the
+//! repro gate honest — the harness can only pass on numbers the figure
+//! binary would print.
+//!
+//! Heavy Monte-Carlo experiments take a [`Profile`]: [`Profile::Full`]
+//! reproduces the committed EXPERIMENTS.md numbers, while
+//! [`Profile::KickTires`] shrinks trial counts to CI scale (the
+//! deterministic seeds are shared, so a kick-tires run is bit-stable
+//! across worker counts — see `crates/repro`'s differential suite).
+
+use crate::fmt;
+use dsp::{EcoError, EcoResult};
+use exec::Pool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How much work a scalable experiment does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Reduced trial counts: minutes for the whole suite, CI-gated.
+    KickTires,
+    /// The committed EXPERIMENTS.md trajectory (paper scale).
+    Full,
+}
+
+impl Profile {
+    /// True for the reduced profile.
+    #[must_use]
+    pub fn is_kick(self) -> bool {
+        matches!(self, Profile::KickTires)
+    }
+}
+
+/// One named scalar extracted from an experiment, for the repro gate.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Stable metric name (referenced by the repro manifest).
+    pub name: &'static str,
+    /// Measured value. Booleans are encoded as 1.0 / 0.0.
+    pub value: f64,
+}
+
+impl Metric {
+    fn new(name: &'static str, value: f64) -> Self {
+        Metric { name, value }
+    }
+
+    fn flag(name: &'static str, ok: bool) -> Self {
+        Metric {
+            name,
+            value: if ok { 1.0 } else { 0.0 },
+        }
+    }
+}
+
+/// Every experiment tag the runners know, in EXPERIMENTS.md order.
+/// `pilot` is the standing §6 footbridge deployment gate.
+pub const FIGURE_TAGS: &[&str] = &[
+    "fig03a",
+    "fig03b",
+    "fig04",
+    "fig05",
+    "fig07",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig15wave",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig24",
+    "tab01",
+    "tab02",
+    "eqn04",
+    "eqn05",
+    "pilot",
+];
+
+// ---------------------------------------------------------------------------
+// Per-figure data runners.
+// ---------------------------------------------------------------------------
+
+/// §3.2 context: half-beam angle (degrees) and insonified cone (cm³)
+/// of a bare PZT through a 15 cm wall.
+#[must_use]
+pub fn fig03a_data() -> EcoResult<(f64, f64)> {
+    let alpha =
+        elastic::beam::half_beam_angle(3338.0, 230e3, 0.040).ok_or(EcoError::Numerical {
+            what: "fig03a beam angle",
+        })?;
+    let vol_cm3 = elastic::beam::cone_volume_m3(alpha, 0.15) * 1e6;
+    Ok((alpha.to_degrees(), vol_cm3))
+}
+
+/// §3.2 motivation: % of the S3 wall charged from one TX spot, bare
+/// PZT cone vs prism S-reflections, per drive voltage.
+#[must_use]
+pub fn fig03b_data() -> EcoResult<Vec<(f64, f64, f64)>> {
+    use channel::linkbudget::LinkBudget;
+    use concrete::structure::Structure;
+    use elastic::beam::{cone_volume_m3, half_beam_angle};
+    let s3 = Structure::s3_common_wall();
+    // Bare PZT: the 11° P-cone through a 20 cm wall.
+    let alpha = half_beam_angle(3338.0, 230e3, 0.040).ok_or(EcoError::Numerical {
+        what: "fig03b beam angle",
+    })?;
+    let cone_m3 = cone_volume_m3(alpha, 0.20);
+    let wall_m3 = 20.0 * 20.0 * 0.20;
+    // Prism: everything inside the power-up radius is charged via
+    // S-reflections; approximate the covered face as a half-disc of the
+    // Fig 12 range around the TX.
+    let lb = LinkBudget::for_structure(&s3)?;
+    let mut rows = Vec::new();
+    for v in [50.0, 100.0, 200.0, 250.0] {
+        let r = lb.max_range_m(v, 0.5)?.unwrap_or(0.0);
+        let covered_m3 = (std::f64::consts::PI * r * r / 2.0).min(20.0 * 20.0) * 0.20;
+        rows.push((v, cone_m3 / wall_m3 * 100.0, covered_m3 / wall_m3 * 100.0));
+    }
+    Ok(rows)
+}
+
+/// Fig 4: relative transmitted P/S amplitude per incident angle, plus
+/// the two critical angles (degrees).
+#[must_use]
+pub fn fig04_data() -> EcoResult<(Vec<(f64, f64, f64)>, f64, f64)> {
+    let iface = elastic::interface::SolidInterface::new(
+        elastic::Material::PLA,
+        elastic::Material::CONCRETE_REF,
+    );
+    let mut rows = Vec::new();
+    for deg in (0..=80).step_by(5) {
+        let theta = (deg as f64).to_radians();
+        if theta >= std::f64::consts::FRAC_PI_2 {
+            break;
+        }
+        let s = iface.incident_p(theta);
+        let p_amp = if s.energy_trans_p > 0.0 {
+            s.trans_p.abs()
+        } else {
+            0.0
+        };
+        let s_amp = if s.energy_trans_s > 0.0 {
+            s.trans_s.abs()
+        } else {
+            0.0
+        };
+        rows.push((deg as f64, p_amp, s_amp));
+    }
+    let window = elastic::snell::s_only_window(
+        elastic::Material::PLA.cp_m_s,
+        &elastic::Material::CONCRETE_REF,
+    )?;
+    let (ca1, ca2) = window.ok_or(EcoError::Numerical {
+        what: "fig04 critical-angle window",
+    })?;
+    Ok((rows, ca1.to_degrees(), ca2.to_degrees()))
+}
+
+/// The four Fig 5(b) blocks, in table order.
+pub const FIG05_BLOCKS: [&str; 4] = ["NC-7cm", "NC-15cm", "UHPC-15cm", "UHPFRC-15cm"];
+
+/// Fig 5(b): RX amplitude (mV) per frequency for the four blocks, plus
+/// each block's `(name, peak_mv, peak_hz)`.
+#[allow(clippy::type_complexity)]
+pub fn fig05_data() -> (Vec<(f64, [f64; 4])>, Vec<(&'static str, f64, f64)>) {
+    use concrete::response::Block;
+    use concrete::ConcreteGrade;
+    let blocks = [
+        Block::new(ConcreteGrade::Nc.mix(), 0.07),
+        Block::new(ConcreteGrade::Nc.mix(), 0.15),
+        Block::new(ConcreteGrade::Uhpc.mix(), 0.15),
+        Block::new(ConcreteGrade::Uhpfrc.mix(), 0.15),
+    ];
+    let mut rows = Vec::new();
+    let mut f = 20e3;
+    while f <= 400e3 + 1.0 {
+        let mut amps = [0.0; 4];
+        for (slot, b) in amps.iter_mut().zip(&blocks) {
+            *slot = b.rx_amplitude_mv(f, 100.0);
+        }
+        rows.push((f, amps));
+        f += 20e3;
+    }
+    let peaks = FIG05_BLOCKS
+        .iter()
+        .zip(&blocks)
+        .map(|(name, b)| {
+            let peak_hz = b.peak_frequency_hz();
+            (*name, b.rx_amplitude_mv(peak_hz, 100.0), peak_hz)
+        })
+        .collect();
+    (rows, peaks)
+}
+
+/// Fig 7 outcome: OOK ring tail and the two low-edge residual peaks.
+#[derive(Debug, Clone)]
+pub struct Fig07 {
+    /// OOK tail duration after the drive stops (s), if detected.
+    pub tail_ook_s: Option<f64>,
+    /// OOK low-edge residual peak (normalized amplitude).
+    pub ook_low_edge_peak: f64,
+    /// FSK low-edge residual peak after concrete damping.
+    pub fsk_low_edge_peak: f64,
+}
+
+/// Fig 7: ring effect — PIE bit-0 tail with OOK vs FSK suppression.
+pub fn fig07_data() -> Fig07 {
+    use phy::modulation::{synthesize_drive, DownlinkScheme};
+    use phy::pie::Pie;
+    use phy::pzt::{measure_tail_s, Pzt};
+    let fs = 2.0e6;
+    let pzt = Pzt::reader_disc(fs);
+    let pie = Pie::new(0.5e-3); // 0.5 ms edges as in the figure
+    let segments = pie.encode(&[false]);
+
+    let ook = pzt.respond(&synthesize_drive(&segments, DownlinkScheme::Ook, 230e3, fs));
+    let tail_ook_s = measure_tail_s(&ook, 0.5e-3, 0.05, fs);
+
+    let fsk_drive = synthesize_drive(
+        &segments,
+        DownlinkScheme::FskInOokOut { off_hz: 180e3 },
+        230e3,
+        fs,
+    );
+    let mut fsk = pzt.respond(&fsk_drive);
+    // Concrete off-resonance damping of the low edge.
+    let n_high = (0.5e-3 * fs) as usize;
+    for x in fsk.iter_mut().skip(n_high) {
+        *x *= 0.25;
+    }
+    let peak = |w: &[f64], a: usize, b: usize| w[a..b].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    Fig07 {
+        tail_ook_s,
+        ook_low_edge_peak: peak(&ook, n_high + n_high / 2, 2 * n_high),
+        fsk_low_edge_peak: peak(&fsk, n_high + n_high / 2, 2 * n_high),
+    }
+}
+
+/// Column labels of the Fig 12 table, after the voltage column.
+pub const FIG12_COLUMNS: [&str; 6] = ["S1", "S2", "S3", "S4", "PAB-P1", "PAB-P2"];
+
+/// Fig 12: max power-up range (cm) per drive voltage, for S1–S4 and
+/// the two PAB pools (`None` = no power-up at that voltage).
+#[allow(clippy::type_complexity)]
+#[must_use]
+pub fn fig12_data() -> EcoResult<Vec<(f64, Vec<Option<f64>>)>> {
+    let mut rows = Vec::new();
+    for v in (10..=250).step_by(20) {
+        rows.push((v as f64, fig12_ranges_cm(v as f64)?));
+    }
+    Ok(rows)
+}
+
+/// One Fig 12 row: ranges (cm) at `tx_voltage_v` in [`FIG12_COLUMNS`]
+/// order.
+#[must_use]
+pub fn fig12_ranges_cm(tx_voltage_v: f64) -> EcoResult<Vec<Option<f64>>> {
+    use channel::linkbudget::{LinkBudget, PabPool};
+    use concrete::structure::Structure;
+    let mut row = Vec::new();
+    for s in &Structure::paper_set() {
+        let r = LinkBudget::for_structure(s)?.max_range_m(tx_voltage_v, 0.5)?;
+        row.push(r.map(|r| r * 100.0));
+    }
+    for pool in [PabPool::Pool1, PabPool::Pool2] {
+        let r = pool.link_budget().max_range_m(tx_voltage_v, 0.5)?;
+        row.push(r.map(|r| r * 100.0));
+    }
+    Ok(row)
+}
+
+/// Fig 13: `(bitrate_kbps, power_uw)` per uplink bitrate.
+pub fn fig13_data() -> Vec<(f64, f64)> {
+    use node::power::PowerModel;
+    [0.0, 1e3, 2e3, 3e3, 4e3, 5e3, 6e3, 7e3, 8e3]
+        .iter()
+        .map(|&r| (r / 1e3, PowerModel.consumption_w(r) * 1e6))
+        .collect()
+}
+
+/// Fig 14: `(input_v, cold_start_ms)` per activation voltage (NaN when
+/// the harvester never starts).
+pub fn fig14_data() -> Vec<(f64, f64)> {
+    use node::harvester::Harvester;
+    let h = Harvester::default();
+    [0.4, 0.5, 0.6, 0.8, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0]
+        .iter()
+        .map(|&v| (v, h.cold_start_s(v).map_or(f64::NAN, |t| t * 1e3)))
+        .collect()
+}
+
+/// Fig 15: `(snr_db, eco_ber, pab_ber)` Monte-Carlo over the actual ML
+/// FM0 decoder. The SNR points are independent, so they fan out over
+/// the worker pool with per-point seeds derived from one base — the
+/// table is identical at any worker count.
+pub fn fig15_data(profile: Profile, pool: &Pool) -> Vec<(f64, f64, f64)> {
+    let snrs = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 18.0];
+    pool.par_map(&snrs, |i, &snr| {
+        let bits = match profile {
+            Profile::Full if snr >= 8.0 => 2_000_000,
+            Profile::Full => 200_000,
+            Profile::KickTires => 20_000,
+        };
+        let mut rng = StdRng::seed_from_u64(exec::seed::derive(15, i as u64));
+        let eco = reader::rx::simulate_fm0_ber(snr, bits, &mut rng);
+        let pab = baselines::pab::pab_ber(snr, bits, &mut rng);
+        (snr, eco, pab)
+    })
+}
+
+/// Fig 15 cross-check: framed replies through the *complete* receive
+/// chain per noise level; returns `(label, sigma_v, frames_ok, trials)`.
+pub fn fig15wave_data(profile: Profile) -> Vec<(&'static str, f64, usize, usize)> {
+    use channel::uplink::{synthesize_uplink, UplinkConfig};
+    use protocol::frame::Reply;
+    use reader::rx::{Capture, Receiver};
+    let cfg = UplinkConfig {
+        delay_s: 0.0,
+        ..UplinkConfig::paper_default()
+    };
+    let rx = Receiver::new(2e3);
+    let trials = if profile.is_kick() { 10 } else { 40 };
+    let mut rows = Vec::new();
+    for (label, sigma) in [("quiet", 0.005), ("moderate", 0.03), ("heavy", 0.3)] {
+        let mut ok = 0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+            let reply = Reply::NodeId {
+                id: 0xEC0 + t as u32,
+            };
+            let mut bits = phy::fm0::PREAMBLE_BITS.to_vec();
+            bits.extend(reply.encode());
+            let (samples, _) = synthesize_uplink(&cfg, &bits, 2e3, 1e-3, sigma, &mut rng);
+            if rx.decode_reply(&Capture {
+                samples,
+                fs_hz: cfg.fs_hz,
+            }) == Ok(reply)
+            {
+                ok += 1;
+            }
+        }
+        rows.push((label, sigma, ok, trials));
+    }
+    rows
+}
+
+/// Fig 16: `(bitrate_bps, eco_db, pab_db, u2b_db)` rows plus the U²B
+/// crossover bitrate (bps), if any.
+#[allow(clippy::type_complexity)]
+pub fn fig16_data() -> (Vec<(f64, f64, f64, f64)>, Option<f64>) {
+    let mut rows = Vec::new();
+    for r in [1e3, 2e3, 4e3, 6e3, 8e3, 10e3, 12e3, 13e3, 14e3, 15e3] {
+        let (eco, pab, u2b) = ecocapsule::scenario::fig16_point(r);
+        rows.push((r, eco, pab, u2b));
+    }
+    (rows, baselines::u2b::crossover_bps(16e3))
+}
+
+/// Fig 17: `(grade, throughput_bps)` per concrete grade.
+pub fn fig17_data() -> Vec<(concrete::ConcreteGrade, f64)> {
+    use concrete::ConcreteGrade;
+    ConcreteGrade::ALL
+        .iter()
+        .map(|&g| (g, ecocapsule::scenario::throughput_for_grade(g)))
+        .collect()
+}
+
+/// Fig 18: SNR percentiles `(band, p10, p50, p90)` per wall band (top /
+/// middle / bottom), middle-band median calibrated to the paper's 7 dB.
+#[must_use]
+pub fn fig18_data() -> EcoResult<Vec<(&'static str, f64, f64, f64)>> {
+    use channel::multipath::Wall2d;
+    use dsp::stats::percentile;
+    let mix = concrete::ConcreteGrade::Nc.mix();
+    let wall = Wall2d::new(2.0, 2.0, mix.material().cs_m_s, mix.attenuation_s(), 230e3);
+    let src = (0.1, 1.0);
+    // Coherent superposition of S-reflections: positions inside each band
+    // fade differently, producing the CDF spread the figure shows. All
+    // bands keep a similar reader distance (~1 m), per the paper.
+    let amplitudes = |y0: f64, y1: f64| -> Vec<f64> {
+        let mut amps = Vec::new();
+        for iy in 0..12 {
+            for ix in 0..8 {
+                let x = 0.95 + 0.012 * ix as f64;
+                let y = y0 + (y1 - y0) * iy as f64 / 11.0;
+                amps.push(wall.coherent_amplitude(src, (x, y), 4));
+            }
+        }
+        amps
+    };
+    let top = amplitudes(1.85, 1.98);
+    let middle = amplitudes(0.85, 1.15);
+    let bottom = amplitudes(0.02, 0.15);
+    // Calibrate the noise floor so the middle band's median lands at the
+    // paper's 7 dB; the margin bands then fall where the physics puts them.
+    let pct = |s: &[f64], p: f64| {
+        percentile(s, p).ok_or(EcoError::EmptyInput {
+            what: "fig18 SNR band",
+        })
+    };
+    let mid_median = pct(&middle, 50.0)?;
+    let floor = mid_median / 10f64.powf(7.0 / 20.0);
+    let snrs =
+        |amps: &[f64]| -> Vec<f64> { amps.iter().map(|&a| 20.0 * (a / floor).log10()).collect() };
+    let mut rows = Vec::new();
+    for (name, amps) in [("top", &top), ("middle", &middle), ("bottom", &bottom)] {
+        let s = snrs(amps);
+        rows.push((name, pct(&s, 10.0)?, pct(&s, 50.0)?, pct(&s, 90.0)?));
+    }
+    Ok(rows)
+}
+
+/// Fig 19: `(incident_deg, snr_db)` downlink sweep over prism angles.
+pub fn fig19_data() -> Vec<(f64, f64)> {
+    let ch = channel::downlink::DownlinkChannel::paper_default();
+    ch.snr_vs_incident_angle(&[0.0, 15.0, 30.0, 45.0, 50.0, 60.0, 70.0, 75.0], 1e3)
+}
+
+/// Fig 20: `(bitrate_bps, fsk_db, ook_db)` downlink SNR per scheme.
+pub fn fig20_data() -> Vec<(f64, f64, f64)> {
+    use phy::modulation::DownlinkScheme;
+    let ch = channel::downlink::DownlinkChannel::paper_default();
+    let off = concrete::ConcreteGrade::Nc
+        .mix()
+        .off_resonant_frequency_hz();
+    [1e3, 2e3, 4e3, 6e3, 8e3, 10e3]
+        .iter()
+        .map(|&r| {
+            (
+                r,
+                ch.symbol_snr_db(r, DownlinkScheme::FskInOokOut { off_hz: off }),
+                ch.symbol_snr_db(r, DownlinkScheme::Ook),
+            )
+        })
+        .collect()
+}
+
+/// Fig 21 (+ Appendix D) outcome: pilot streams, anomaly window, and
+/// section health.
+#[derive(Debug, Clone)]
+pub struct Fig21 {
+    /// Daily RMS deck acceleration (m/s²) for July 2021.
+    pub accel: Vec<(f64, f64)>,
+    /// Daily stress variation (MPa).
+    pub stress: Vec<(f64, f64)>,
+    /// Days flagged anomalous on the acceleration channel.
+    pub anomalies: Vec<f64>,
+    /// Acceleration↔stress daily correlation.
+    pub mutual_r: f64,
+    /// Graded section statuses of the example frame.
+    pub statuses: Vec<shm::health::SectionStatus>,
+}
+
+/// Fig 21: pilot-study streams, anomaly window, health grades.
+pub fn fig21_data() -> Fig21 {
+    use shm::footbridge::Section;
+    use shm::health::grade_sections;
+    use shm::pilot::{Channel, PilotStudy};
+    let study = PilotStudy::new(2021_07);
+    Fig21 {
+        accel: study.daily_activity(Channel::Acceleration(1)),
+        stress: study.daily_activity(Channel::Stress(1)),
+        anomalies: study.detect_anomalies(Channel::Acceleration(1), 1.8),
+        mutual_r: study.mutual_verification(Channel::Acceleration(1), Channel::Stress(1)),
+        statuses: grade_sections(&[
+            (Section::A, 1, 1.0),
+            (Section::B, 3, 1.5),
+            (Section::C, 1, 2.0),
+            (Section::D, 3, 1.1),
+            (Section::E, 0, 0.0),
+        ]),
+    }
+}
+
+/// Fig 22: the demodulated backscatter envelope `(t_s, mv)`.
+pub fn fig22_data() -> Vec<(f64, f64)> {
+    ecocapsule::scenario::fig22_waveform(4e-3, 1000.0, 18e-3)
+}
+
+/// Fig 24: `(freq_hz, power)` spectrum points around the carrier, on
+/// the binary's decimated grid, plus the BLF (Hz) at 4 kbps.
+#[must_use]
+pub fn fig24_data() -> EcoResult<(Vec<(f64, f64)>, f64)> {
+    use channel::uplink::{blf_hz, synthesize_uplink, UplinkConfig};
+    use dsp::fft::power_spectrum;
+    let cfg = UplinkConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(24);
+    let bits = vec![false; 400];
+    let bitrate = 4e3;
+    let (y, _) = synthesize_uplink(&cfg, &bits, bitrate, 0.0, 0.001, &mut rng);
+    let (freqs, power) = power_spectrum(&y, cfg.fs_hz)?;
+    let mut rows = Vec::new();
+    for (f, p) in freqs.iter().zip(&power) {
+        if (190e3..=270e3).contains(f) && f % 2e3 < freqs[1] - freqs[0] {
+            rows.push((*f, *p));
+        }
+    }
+    Ok((rows, blf_hz(bitrate)))
+}
+
+/// Table 1: per-grade `(mix, derived material)` registry rows.
+pub fn tab01_data() -> Vec<(concrete::ConcreteMix, elastic::Material)> {
+    use concrete::ConcreteGrade;
+    ConcreteGrade::ALL
+        .iter()
+        .map(|&g| {
+            let m = g.mix();
+            let mat = m.material();
+            (m, mat)
+        })
+        .collect()
+}
+
+/// Table 2 region set, in table order.
+pub fn tab02_regions() -> [(&'static str, shm::health::Region); 4] {
+    use shm::health::Region;
+    [
+        ("US", Region::UnitedStates),
+        ("HongKong", Region::HongKong),
+        ("Bangkok", Region::Bangkok),
+        ("Manila", Region::Manila),
+    ]
+}
+
+/// Eqn 4 / §4.1: `(name, shell, density)` rating inputs.
+pub fn eqn04_data() -> [(&'static str, node::shell::Shell, f64); 2] {
+    use node::shell::Shell;
+    [
+        ("resin", Shell::paper_resin(), 2300.0),
+        ("steel", Shell::paper_steel(), 2360.0),
+    ]
+}
+
+/// Eqn 5: the paper-geometry HRA and its retuned twin, with the §3.3
+/// shear speed they are evaluated at.
+pub fn eqn05_data() -> (
+    phy::hra::HelmholtzResonator,
+    phy::hra::HelmholtzResonator,
+    f64,
+) {
+    use phy::hra::HelmholtzResonator;
+    let cs = 1941.0;
+    let paper = HelmholtzResonator::paper_geometry();
+    let tuned = paper.design_for(230e3, cs);
+    (paper, tuned, cs)
+}
+
+/// The §6 pilot gate: the five-capsule footbridge wall surveyed through
+/// the fleet engine, plus the Fig 21 anomaly cross-check.
+#[derive(Debug, Clone)]
+pub struct PilotOutcome {
+    /// Implanted capsules on the pilot wall.
+    pub capsules: usize,
+    /// Capsules read end to end.
+    pub read: usize,
+    /// Sensor readings collected.
+    pub readings: usize,
+    /// The wall's deterministic result digest.
+    pub wall_digest: u64,
+    /// True when every detected anomalous day lies in the storm window.
+    pub storm_contained: bool,
+    /// Number of anomalous days detected.
+    pub storm_days: usize,
+    /// Acceleration↔stress mutual-verification correlation.
+    pub mutual_r: f64,
+}
+
+/// Runs the standing footbridge pilot: one fleet round over the §6
+/// wall, then the Appendix D storm cross-check.
+#[must_use]
+pub fn pilot_data() -> EcoResult<PilotOutcome> {
+    use ecocapsule::scenario::CapsuleOutcome;
+    use shm::pilot::{Channel, PilotStudy};
+    let report = fleet::FleetOptions::new().run(vec![fleet::WallSpec::footbridge_pilot(42)])?;
+    let wall = report.walls.first().ok_or(EcoError::EmptyInput {
+        what: "pilot fleet walls",
+    })?;
+    let read = wall
+        .report
+        .outcomes
+        .iter()
+        .filter(|(_, o)| matches!(o, CapsuleOutcome::Read { .. }))
+        .count();
+    let study = PilotStudy::new(2021_07);
+    let anomalies = study.detect_anomalies(Channel::Acceleration(1), 1.8);
+    Ok(PilotOutcome {
+        capsules: wall.report.outcomes.len(),
+        read,
+        readings: wall.report.readings.len(),
+        wall_digest: wall.digest(),
+        storm_contained: !anomalies.is_empty()
+            && anomalies.iter().all(|&d| PilotStudy::in_storm(d)),
+        storm_days: anomalies.len(),
+        mutual_r: study.mutual_verification(Channel::Acceleration(1), Channel::Stress(1)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The metric dispatcher for the repro gate.
+// ---------------------------------------------------------------------------
+
+/// Computes the repro-gate metrics for one experiment tag. Unknown tags
+/// are a named error, never a panic — the manifest lint keeps the tag
+/// set in sync with EXPERIMENTS.md.
+#[must_use]
+pub fn metrics(tag: &str, profile: Profile, pool: &Pool) -> EcoResult<Vec<Metric>> {
+    match tag {
+        "fig03a" => {
+            let (alpha_deg, cone_cm3) = fig03a_data()?;
+            Ok(vec![
+                Metric::new("half_beam_angle_deg", alpha_deg),
+                Metric::new("insonified_cone_cm3", cone_cm3),
+            ])
+        }
+        "fig03b" => {
+            let rows = fig03b_data()?;
+            let bare = rows.first().map_or(f64::NAN, |r| r.1);
+            let prism_250v = rows.last().map_or(f64::NAN, |r| r.2);
+            Ok(vec![
+                Metric::new("bare_pzt_coverage_pct", bare),
+                Metric::new("prism_coverage_250v_pct", prism_250v),
+            ])
+        }
+        "fig04" => {
+            let (_, ca1_deg, ca2_deg) = fig04_data()?;
+            Ok(vec![
+                Metric::new("first_critical_angle_deg", ca1_deg),
+                Metric::new("second_critical_angle_deg", ca2_deg),
+            ])
+        }
+        "fig05" => {
+            let (_, peaks) = fig05_data();
+            let peak_v = |idx: usize| peaks.get(idx).map_or(f64::NAN, |p| p.1 / 1e3);
+            let in_band = peaks
+                .iter()
+                .all(|&(_, _, f_hz)| (200e3..=250e3).contains(&f_hz));
+            Ok(vec![
+                Metric::new("nc_7cm_peak_v", peak_v(0)),
+                Metric::new("nc_15cm_peak_v", peak_v(1)),
+                Metric::new("uhpc_15cm_peak_v", peak_v(2)),
+                Metric::new("uhpfrc_15cm_peak_v", peak_v(3)),
+                Metric::flag("peaks_in_resonance_band", in_band),
+            ])
+        }
+        "fig07" => {
+            let d = fig07_data();
+            Ok(vec![
+                Metric::new("ook_tail_ms", d.tail_ook_s.map_or(f64::NAN, |t| t * 1e3)),
+                Metric::new(
+                    "fsk_suppression_ratio",
+                    d.ook_low_edge_peak / d.fsk_low_edge_peak.max(1e-12),
+                ),
+            ])
+        }
+        "fig12" => {
+            let at = |v: f64, col: usize| -> EcoResult<f64> {
+                Ok(fig12_ranges_cm(v)?
+                    .get(col)
+                    .copied()
+                    .flatten()
+                    .unwrap_or(0.0))
+            };
+            // Columns: 0..=3 are S1..S4, 4/5 the PAB pools.
+            let s2_200v = at(210.0, 1)?;
+            let s3_50v = at(50.0, 2)?;
+            let s3_200v = at(210.0, 2)?;
+            let s3_max = at(250.0, 2)?;
+            let s4_200v = at(210.0, 3)?;
+            let p1_50v = at(50.0, 4)?;
+            Ok(vec![
+                Metric::new("s3_range_50v_cm", s3_50v),
+                Metric::new("s3_range_200v_cm", s3_200v),
+                Metric::new("s3_range_250v_cm", s3_max),
+                Metric::new("pab_pool1_range_50v_cm", p1_50v),
+                Metric::flag(
+                    "ordering_s3_s4_s2_at_200v",
+                    s3_200v > s4_200v && s4_200v > s2_200v,
+                ),
+            ])
+        }
+        "fig13" => {
+            let rows = fig13_data();
+            let at = |kbps: f64| {
+                rows.iter()
+                    .find(|(k, _)| (k - kbps).abs() < 1e-9)
+                    .map_or(f64::NAN, |&(_, uw)| uw)
+            };
+            Ok(vec![
+                Metric::new("standby_uw", at(0.0)),
+                Metric::new("active_4kbps_uw", at(4.0)),
+            ])
+        }
+        "fig14" => {
+            let rows = fig14_data();
+            let at = |v: f64| {
+                rows.iter()
+                    .find(|(x, _)| (x - v).abs() < 1e-9)
+                    .map_or(f64::NAN, |&(_, ms)| ms)
+            };
+            Ok(vec![
+                Metric::new("cold_start_0v5_ms", at(0.5)),
+                Metric::new("cold_start_2v_ms", at(2.0)),
+                Metric::flag("no_start_below_0v5", at(0.4).is_nan()),
+            ])
+        }
+        "fig15" => {
+            let rows = fig15_data(profile, pool);
+            let at = |snr: f64| {
+                rows.iter()
+                    .find(|(s, _, _)| (s - snr).abs() < 1e-9)
+                    .copied()
+                    .unwrap_or((snr, f64::NAN, f64::NAN))
+            };
+            let (_, eco2, _) = at(2.0);
+            let (_, eco8, pab8) = at(8.0);
+            Ok(vec![
+                Metric::new("eco_ber_2db", eco2),
+                Metric::flag("waterfall_monotone", eco2 > eco8),
+                Metric::new("eco_ber_8db", eco8),
+                Metric::new("pab_over_eco_8db", pab8 / eco8.max(1e-6)),
+            ])
+        }
+        "fig15wave" => {
+            let rows = fig15wave_data(profile);
+            let frac = |idx: usize| {
+                rows.get(idx)
+                    .map_or(f64::NAN, |&(_, _, ok, n)| ok as f64 / n as f64)
+            };
+            Ok(vec![
+                Metric::new("quiet_frame_success", frac(0)),
+                Metric::new("moderate_frame_success", frac(1)),
+                Metric::new("heavy_frame_success", frac(2)),
+            ])
+        }
+        "fig16" => {
+            let (rows, crossover) = fig16_data();
+            let eco_at = |bps: f64| {
+                rows.iter()
+                    .find(|(r, _, _, _)| (r - bps).abs() < 1e-9)
+                    .map_or(f64::NAN, |&(_, eco, _, _)| eco)
+            };
+            Ok(vec![
+                Metric::new("eco_snr_1kbps_db", eco_at(1e3)),
+                Metric::new("eco_snr_13kbps_db", eco_at(13e3)),
+                Metric::new(
+                    "u2b_crossover_kbps",
+                    crossover.map_or(f64::NAN, |x| x / 1e3),
+                ),
+            ])
+        }
+        "fig17" => {
+            use concrete::ConcreteGrade;
+            let rows = fig17_data();
+            let of = |g: ConcreteGrade| {
+                rows.iter()
+                    .find(|(x, _)| *x == g)
+                    .map_or(f64::NAN, |&(_, t)| t / 1e3)
+            };
+            let nc = of(ConcreteGrade::Nc);
+            let uhpc = of(ConcreteGrade::Uhpc);
+            let uhpfrc = of(ConcreteGrade::Uhpfrc);
+            Ok(vec![
+                Metric::new("nc_throughput_kbps", nc),
+                Metric::new("uhpfrc_throughput_kbps", uhpfrc),
+                Metric::flag("denser_concrete_carries_more", uhpc > nc && uhpfrc > nc),
+            ])
+        }
+        "fig18" => {
+            let rows = fig18_data()?;
+            let p50 = |idx: usize| rows.get(idx).map_or(f64::NAN, |r| r.2);
+            let (top, middle, bottom) = (p50(0), p50(1), p50(2));
+            Ok(vec![
+                Metric::new("middle_median_db", middle),
+                Metric::new("margin_gain_db", top.min(bottom) - middle),
+                Metric::flag("margins_beat_middle", top >= middle && bottom >= middle),
+            ])
+        }
+        "fig19" => {
+            let sweep = fig19_data();
+            let at = |deg: f64| {
+                sweep
+                    .iter()
+                    .find(|(a, _)| (a - deg).abs() < 1e-9)
+                    .map_or(f64::NAN, |&(_, snr)| snr)
+            };
+            let (peak_deg, peak_db) =
+                sweep
+                    .iter()
+                    .copied()
+                    .fold((f64::NAN, f64::NEG_INFINITY), |(bd, bs), (d, s)| {
+                        if s > bs {
+                            (d, s)
+                        } else {
+                            (bd, bs)
+                        }
+                    });
+            // Past the second critical angle the channel reports no
+            // transmission at all (non-finite SNR) — that counts as dead.
+            let past_ca2 = at(75.0);
+            Ok(vec![
+                Metric::new("peak_snr_db", peak_db),
+                Metric::flag("peak_in_s_window", (40.0..=70.0).contains(&peak_deg)),
+                Metric::flag(
+                    "dead_past_ca2",
+                    !past_ca2.is_finite() || past_ca2 <= peak_db - 20.0,
+                ),
+            ])
+        }
+        "fig20" => {
+            let rows = fig20_data();
+            let at = |bps: f64| {
+                rows.iter()
+                    .find(|(r, _, _)| (r - bps).abs() < 1e-9)
+                    .copied()
+                    .unwrap_or((bps, f64::NAN, f64::NAN))
+            };
+            let (_, fsk2, ook2) = at(2e3);
+            let (_, fsk4, ook4) = at(4e3);
+            Ok(vec![
+                Metric::new("fsk_gain_2kbps_db", fsk2 - ook2),
+                Metric::flag("ook_collapses_at_4kbps", fsk4 - ook4 >= 5.0),
+            ])
+        }
+        "fig21" => {
+            use shm::health::HealthLevel;
+            use shm::pilot::PilotStudy;
+            let d = fig21_data();
+            let contained =
+                !d.anomalies.is_empty() && d.anomalies.iter().all(|&x| PilotStudy::in_storm(x));
+            let healthy = d
+                .statuses
+                .iter()
+                .all(|s| matches!(s.health, HealthLevel::A | HealthLevel::B));
+            Ok(vec![
+                Metric::flag("storm_anomalies_contained", contained),
+                Metric::new("mutual_verification_r", d.mutual_r),
+                Metric::flag("sections_all_healthy", healthy),
+            ])
+        }
+        "fig22" => {
+            let w = fig22_data();
+            let after: Vec<f64> = w
+                .iter()
+                .filter(|(t, _)| *t > 5e-3)
+                .map(|(_, v)| *v)
+                .collect();
+            let hi = after.iter().copied().fold(f64::MIN, f64::max);
+            let lo = after.iter().copied().fold(f64::MAX, f64::min);
+            // Skip the first millisecond: the diode envelope is still
+            // charging from zero there, which is detector start-up, not
+            // backscatter modulation.
+            let before: Vec<f64> = w
+                .iter()
+                .filter(|(t, _)| *t > 1e-3 && *t < 3.5e-3)
+                .map(|(_, v)| *v)
+                .collect();
+            let bhi = before.iter().copied().fold(f64::MIN, f64::max);
+            let blo = before.iter().copied().fold(f64::MAX, f64::min);
+            Ok(vec![
+                Metric::new("switch_contrast_mv", hi - lo),
+                Metric::flag("cbw_only_before_switch", bhi - blo < (hi - lo) / 2.0),
+            ])
+        }
+        "fig24" => {
+            let (rows, blf) = fig24_data()?;
+            let near = |target_hz: f64| {
+                rows.iter()
+                    .filter(|(f, _)| (f - target_hz).abs() < 1.5e3)
+                    .map(|&(_, p)| p)
+                    .fold(0.0f64, f64::max)
+            };
+            let sideband = near(230e3 + blf);
+            let guard = near(230e3 + blf / 2.0).max(1e-18);
+            Ok(vec![Metric::new(
+                "sideband_over_guard_db",
+                10.0 * (sideband / guard).log10(),
+            )])
+        }
+        "tab01" => {
+            use concrete::ConcreteGrade;
+            let uhpfrc = ConcreteGrade::Uhpfrc.mix();
+            let nc_mat = ConcreteGrade::Nc.mix().material();
+            Ok(vec![
+                Metric::new("uhpfrc_fco_mpa", uhpfrc.fco_mpa),
+                Metric::new("nc_cp_m_s", nc_mat.cp_m_s),
+            ])
+        }
+        "tab02" => {
+            use shm::health::{HealthLevel, Region};
+            let consistent = Region::UnitedStates.grade(3.5) == HealthLevel::B
+                && Region::HongKong.grade(3.5) == HealthLevel::A
+                && Region::Bangkok.grade(3.5) == HealthLevel::A;
+            let monotone = tab02_regions().iter().all(|(_, r)| {
+                let t = r.thresholds_m2_per_ped();
+                t.windows(2).all(|w| w[0] > w[1])
+            });
+            Ok(vec![
+                Metric::flag("regional_grades_differ", consistent),
+                Metric::flag("thresholds_monotone", monotone),
+            ])
+        }
+        "eqn04" => {
+            let [(_, resin, rho_r), (_, steel, rho_s)] = eqn04_data();
+            Ok(vec![
+                Metric::new("resin_dp_max_mpa", resin.dp_max_pa() / 1e6),
+                Metric::new("resin_h_max_m", resin.max_building_height_m(rho_r)),
+                Metric::new("steel_dp_max_mpa", steel.dp_max_pa() / 1e6),
+                Metric::new("steel_h_max_m", steel.max_building_height_m(rho_s)),
+            ])
+        }
+        "eqn05" => {
+            let (paper, tuned, cs) = eqn05_data();
+            Ok(vec![
+                Metric::new("paper_geometry_khz", paper.resonant_frequency_hz(cs) / 1e3),
+                Metric::new("retuned_khz", tuned.resonant_frequency_hz(cs) / 1e3),
+            ])
+        }
+        "pilot" => {
+            let p = pilot_data()?;
+            Ok(vec![
+                Metric::new(
+                    "capsules_read_fraction",
+                    p.read as f64 / p.capsules.max(1) as f64,
+                ),
+                Metric::new("readings", p.readings as f64),
+                Metric::flag("storm_anomalies_contained", p.storm_contained),
+                Metric::new("mutual_verification_r", p.mutual_r),
+            ])
+        }
+        _ => Err(EcoError::Protocol {
+            what: "unknown experiment tag",
+        }),
+    }
+}
+
+/// Formats one Fig 12 row of the table the binary prints.
+#[must_use]
+pub fn fig12_row_strings(v: f64, row: &[Option<f64>]) -> Vec<String> {
+    let mut out = vec![fmt(v, 0)];
+    out.extend(row.iter().map(|r| r.map_or("-".into(), |cm| fmt(cm, 0))));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_tag_yields_metrics() {
+        let pool = Pool::serial();
+        for tag in FIGURE_TAGS {
+            // fig15 Monte-Carlo is the slow one; kick scale keeps this
+            // suite fast while exercising the same code path.
+            let ms = metrics(tag, Profile::KickTires, &pool).expect(tag);
+            assert!(!ms.is_empty(), "{tag} produced no metrics");
+            for m in &ms {
+                assert!(
+                    m.value.is_finite(),
+                    "{tag}/{} is not finite: {}",
+                    m.name,
+                    m.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_a_named_error() {
+        let pool = Pool::serial();
+        assert!(metrics("fig99", Profile::KickTires, &pool).is_err());
+    }
+
+    #[test]
+    fn metric_names_are_unique_per_tag() {
+        let pool = Pool::serial();
+        for tag in ["fig04", "fig13", "tab01"] {
+            let ms = metrics(tag, Profile::KickTires, &pool).expect(tag);
+            let mut names: Vec<_> = ms.iter().map(|m| m.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), ms.len(), "{tag} repeats a metric name");
+        }
+    }
+}

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod experiments;
 pub mod faults;
 pub mod fleet;
 pub mod hotpath;

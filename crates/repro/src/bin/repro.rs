@@ -1,0 +1,209 @@
+//! The repro CLI: regenerate every paper figure with paper-vs-sim
+//! pass/fail gates.
+//!
+//! ```sh
+//! repro --kick-tires                 # CI gate: reduced grids, minutes
+//! repro --full                       # paper-scale trajectory
+//! repro --regen                      # rewrite BENCH_*.json + fixtures
+//! repro --only fig12,fig13           # subset of manifest tags
+//! repro --canary                     # append the must-FAIL canary row
+//! repro --check-report report.json   # validate a committed report
+//! ```
+//!
+//! Exit codes: `0` all gated rows pass, `1` any FAIL (or an invalid
+//! report under `--check-report`), `2` bad usage.
+
+use repro::runner::{Mode, RunConfig, Status};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = RunConfig::kick_tires(PathBuf::from("."));
+    let mut out_md = String::from("REPRO_REPORT.md");
+    let mut out_json = String::from("repro-report.json");
+    let mut check_report: Option<String> = None;
+    let mut mode_set = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kick-tires" => {
+                cfg.mode = Mode::KickTires;
+                mode_set = true;
+            }
+            "--full" => {
+                cfg.mode = Mode::Full;
+                mode_set = true;
+            }
+            "--regen" => cfg.regen = true,
+            "--canary" => cfg.canary = true,
+            "--workers" => match it.next().and_then(|w| w.parse::<usize>().ok()) {
+                Some(w) if w >= 1 => cfg.workers = w,
+                _ => return usage("--workers requires a positive integer"),
+            },
+            "--dir" => match it.next() {
+                Some(d) => cfg.dir = PathBuf::from(d),
+                None => return usage("--dir requires a path"),
+            },
+            "--only" => match it.next() {
+                Some(tags) => {
+                    cfg.only = Some(
+                        tags.split(',')
+                            .map(|t| t.trim().to_string())
+                            .filter(|t| !t.is_empty())
+                            .collect::<BTreeSet<String>>(),
+                    );
+                }
+                None => return usage("--only requires a comma-separated tag list"),
+            },
+            "--out-md" => match it.next() {
+                Some(p) => out_md = p.clone(),
+                None => return usage("--out-md requires a path"),
+            },
+            "--out-json" => match it.next() {
+                Some(p) => out_json = p.clone(),
+                None => return usage("--out-json requires a path"),
+            },
+            "--check-report" => match it.next() {
+                Some(p) => check_report = Some(p.clone()),
+                None => return usage("--check-report requires a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Some(path) = check_report {
+        return check_committed_report(&path);
+    }
+    if !mode_set && !cfg.regen {
+        return usage("pick a mode: --kick-tires or --full (or --regen)");
+    }
+    // --regen without an explicit mode regenerates at full scale — the
+    // committed artifacts are the paper-scale trajectory.
+    if cfg.regen && !mode_set {
+        cfg.mode = Mode::Full;
+    }
+
+    let mut rows = repro::manifest();
+    if cfg.canary {
+        rows.push(repro::canary_row());
+    }
+    if let Err(e) = repro::validate(&rows) {
+        eprintln!("manifest invalid: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(only) = &cfg.only {
+        let known: BTreeSet<&str> = rows.iter().map(|r| r.tag).collect();
+        for tag in only {
+            if !known.contains(tag.as_str()) {
+                return usage(&format!("unknown manifest tag `{tag}`"));
+            }
+        }
+    }
+
+    println!(
+        "repro: {} mode, {} worker(s), {} row(s){}{}",
+        cfg.mode.label(),
+        cfg.workers,
+        cfg.only.as_ref().map_or(rows.len(), BTreeSet::len),
+        if cfg.regen {
+            ", regenerating artifacts"
+        } else {
+            ""
+        },
+        if cfg.canary { ", canary armed" } else { "" },
+    );
+
+    let report = repro::run(&rows, &cfg);
+
+    for row in &report.rows {
+        println!(
+            "  {:<14} {:<5} {:>8.0} ms",
+            row.tag,
+            row.status.label(),
+            row.elapsed_ms
+        );
+        if let Some(e) = &row.error {
+            println!("  {:<14} error: {e}", "");
+        }
+        for check in row.checks.iter().filter(|c| c.status == Status::Fail) {
+            println!(
+                "  {:<14}   FAIL {}: paper {} vs sim {} ({})",
+                "",
+                check.metric,
+                check.paper,
+                check.sim.map_or("<missing>".into(), |v| format!("{v}")),
+                check.tolerance,
+            );
+        }
+    }
+    println!(
+        "repro: {} PASS, {} FAIL, {} SKIP; digest {:#018x}",
+        report.passed(),
+        report.failed(),
+        report.skipped(),
+        report.digest
+    );
+
+    if let Err(e) = std::fs::write(&out_md, repro::report::to_markdown(&report)) {
+        eprintln!("cannot write {out_md}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_json, repro::report::to_json(&report)) {
+        eprintln!("cannot write {out_json}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_md} and {out_json}");
+
+    if report.failed() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Validates a committed `repro-report.json`: parses, checks the
+/// schema, and fails on any FAIL row.
+fn check_committed_report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match repro::parse_report(&text) {
+        Ok(parsed) => {
+            let failed = parsed.failed_tags();
+            if failed.is_empty() {
+                println!(
+                    "{path}: valid {} report, {} row(s), digest {}",
+                    parsed.mode,
+                    parsed.rows.len(),
+                    parsed.digest
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("{path}: FAIL rows committed: {failed:?}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid repro report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: repro (--kick-tires | --full) [--regen] [--canary] \
+         [--workers N] [--dir PATH] [--only tag,tag] \
+         [--out-md PATH] [--out-json PATH]"
+    );
+    eprintln!("       repro --check-report PATH");
+    ExitCode::from(2)
+}

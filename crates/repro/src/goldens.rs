@@ -1,0 +1,571 @@
+//! Golden-fixture computation, shared by the integration tests and the
+//! repro harness.
+//!
+//! The committed fixtures under `tests/fixtures/` pin wire encodings,
+//! survey/fleet/campaign digests, and recorded traces. Historically
+//! each test recomputed its own vectors; this module is now the single
+//! compute path, so `tests/tests/golden.rs` (compare mode),
+//! `GOLDEN_REGEN=1` (targeted regen), and `repro --regen` (regenerate
+//! everything) cannot drift apart. Fixture names, headers, and digests
+//! are unchanged from the pre-extraction files.
+
+use dsp::{EcoError, EcoResult};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// How a fixture is serialized on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixtureKind {
+    /// `key = 0x%016x` lines with a `#` header block.
+    Digests,
+    /// Verbatim text (JSONL traces).
+    Text,
+}
+
+/// One committed fixture the harness knows how to recompute.
+#[derive(Debug, Clone, Copy)]
+pub struct Fixture {
+    /// File name under `tests/fixtures/`.
+    pub name: &'static str,
+    /// On-disk format.
+    pub kind: FixtureKind,
+    metric: &'static str,
+}
+
+impl Fixture {
+    /// The PASS/FAIL metric name this fixture contributes to the
+    /// repro report's `golden` row.
+    #[must_use]
+    pub fn ok_metric(&self) -> &'static str {
+        self.metric
+    }
+}
+
+/// Every golden fixture, in regeneration order.
+pub const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "frames.golden",
+        kind: FixtureKind::Digests,
+        metric: "ok_frames",
+    },
+    Fixture {
+        name: "crc.golden",
+        kind: FixtureKind::Digests,
+        metric: "ok_crc",
+    },
+    Fixture {
+        name: "survey_common_wall.golden",
+        kind: FixtureKind::Digests,
+        metric: "ok_survey_common_wall",
+    },
+    Fixture {
+        name: "fleet_three_walls.golden",
+        kind: FixtureKind::Digests,
+        metric: "ok_fleet_three_walls",
+    },
+    Fixture {
+        name: "campaign_footbridge.golden",
+        kind: FixtureKind::Digests,
+        metric: "ok_campaign_footbridge",
+    },
+    Fixture {
+        name: "survey_quiet_trace.jsonl",
+        kind: FixtureKind::Text,
+        metric: "ok_survey_quiet_trace",
+    },
+    Fixture {
+        name: "fleet_three_walls_trace.jsonl",
+        kind: FixtureKind::Text,
+        metric: "ok_fleet_three_walls_trace",
+    },
+    Fixture {
+        name: "campaign_footbridge_trace.jsonl",
+        kind: FixtureKind::Text,
+        metric: "ok_campaign_footbridge_trace",
+    },
+];
+
+/// Recomputed fixture content, before serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// Digest fixtures: name → 64-bit word.
+    Digests(BTreeMap<String, u64>),
+    /// Trace fixtures: the exact bytes.
+    Text(String),
+}
+
+const SURVEY_STANDOFFS: [f64; 3] = [0.5, 1.0, 1.5];
+const SURVEY_DRIVE_V: f64 = 200.0;
+const SURVEY_SEED: u64 = 0x600D_F00D;
+
+/// Recomputes one fixture by name.
+#[must_use]
+pub fn compute(name: &str) -> EcoResult<Content> {
+    match name {
+        "frames.golden" => frames_digests().map(Content::Digests),
+        "crc.golden" => crc_digests().map(Content::Digests),
+        "survey_common_wall.golden" => survey_common_wall_digests().map(Content::Digests),
+        "fleet_three_walls.golden" => fleet_three_walls_digests().map(Content::Digests),
+        "campaign_footbridge.golden" => campaign_footbridge_digests().map(Content::Digests),
+        "survey_quiet_trace.jsonl" => survey_quiet_trace().map(Content::Text),
+        "fleet_three_walls_trace.jsonl" => fleet_three_walls_trace().map(Content::Text),
+        "campaign_footbridge_trace.jsonl" => campaign_footbridge_trace().map(Content::Text),
+        _ => Err(EcoError::Protocol {
+            what: "unknown golden fixture",
+        }),
+    }
+}
+
+/// The fixed `#` header each digest fixture carries (kept byte-for-byte
+/// from the original test files so regeneration does not churn them).
+#[must_use]
+pub fn header(name: &str) -> &'static str {
+    match name {
+        "frames.golden" => {
+            "FNV-1a digests of Command/Reply wire encodings (tests/tests/golden.rs).\n\
+             A diff here means the Gen2 frame layout changed on the wire."
+        }
+        "crc.golden" => {
+            "Gen2 CRC-5 / CRC-16 vectors (tests/tests/golden.rs).\n\
+             A diff here means a CRC polynomial or preset changed."
+        }
+        "survey_common_wall.golden" => {
+            "Survey-report digests for the S3 common wall (tests/tests/golden.rs).\n\
+             quiet: run_survey(200 V, seed 0x600DF00D), standoffs [0.5, 1.0, 1.5] m.\n\
+             faulted: a fault plan of FaultIntensity::moderate(60) and the\n\
+             paper-default retry policy, same seed. A diff here means survey\n\
+             results are no longer reproducible across sessions."
+        }
+        "fleet_three_walls.golden" => {
+            "Fleet-run digests for the canonical three-wall fleet\n\
+             (tests/tests/golden.rs): quiet [0.5 m], bare [], and a faulted\n\
+             wall [0.6 m] under FaultIntensity::mild(60), quantum 16 slots,\n\
+             round budget 24 slots. Pins per-wall report digests, per-wall\n\
+             result digests (scheduling + observability), the fleet digest,\n\
+             the round count, and the byte digest of a round-1 checkpoint.\n\
+             A diff here means fleet scheduling, per-wall surveys, or the\n\
+             ECOFLEET checkpoint wire format changed."
+        }
+        "campaign_footbridge.golden" => {
+            "Campaign digests for the golden footbridge campaign\n\
+             (tests/tests/golden.rs): the footbridge pilot under\n\
+             crack_onset(5) plus a quiet control wall [0.6, 1.1] m, eight\n\
+             monthly epochs, seed 0x601DCA4A. Pins the campaign digest, the\n\
+             detection tally, the folded per-epoch fleet digests, and each\n\
+             wall's health-grade timeline and first detection epoch\n\
+             (0xffff… = never). A diff here means structure evolution, the\n\
+             per-epoch surveys, or the drift grading changed behaviour."
+        }
+        _ => "",
+    }
+}
+
+/// Serializes recomputed content the way the fixture files store it.
+#[must_use]
+pub fn render(name: &str, content: &Content) -> String {
+    match content {
+        Content::Text(text) => text.clone(),
+        Content::Digests(map) => {
+            let mut out = String::new();
+            for line in header(name).lines() {
+                let _ = writeln!(out, "# {line}");
+            }
+            for (key, value) in map {
+                let _ = writeln!(out, "{key} = {value:#018x}");
+            }
+            out
+        }
+    }
+}
+
+/// Parses a committed digest fixture.
+#[must_use]
+pub fn parse_digests(text: &str) -> EcoResult<BTreeMap<String, u64>> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or(EcoError::Protocol {
+            what: "golden fixture line is not `name = 0x…`",
+        })?;
+        let value = value.trim().trim_start_matches("0x");
+        let word = u64::from_str_radix(value, 16).map_err(|_| EcoError::Protocol {
+            what: "golden fixture value is not hex",
+        })?;
+        map.insert(key.trim().to_string(), word);
+    }
+    Ok(map)
+}
+
+/// The default fixture directory, resolved from a workspace root.
+#[must_use]
+pub fn fixture_dir(workspace_root: &Path) -> PathBuf {
+    workspace_root.join("tests").join("fixtures")
+}
+
+/// Recomputes `fixture` and compares against the committed file.
+/// `Ok(true)` = identical; `Ok(false)` = missing or diverged.
+#[must_use]
+pub fn check(dir: &Path, fixture: &Fixture) -> EcoResult<bool> {
+    let computed = compute(fixture.name)?;
+    let Ok(text) = std::fs::read_to_string(dir.join(fixture.name)) else {
+        return Ok(false);
+    };
+    Ok(match (&computed, fixture.kind) {
+        (Content::Text(t), _) => *t == text,
+        (Content::Digests(map), _) => parse_digests(&text).is_ok_and(|golden| golden == *map),
+    })
+}
+
+/// Recomputes `fixture` and rewrites the committed file.
+#[must_use]
+pub fn regen(dir: &Path, fixture: &Fixture) -> EcoResult<()> {
+    let content = compute(fixture.name)?;
+    let rendered = render(fixture.name, &content);
+    std::fs::create_dir_all(dir).map_err(|_| EcoError::Protocol {
+        what: "cannot create fixture directory",
+    })?;
+    std::fs::write(dir.join(fixture.name), rendered).map_err(|_| EcoError::Protocol {
+        what: "cannot write fixture",
+    })?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Per-fixture computations (moved verbatim from tests/tests/golden.rs
+// and tests/tests/obs_trace.rs; assertions became named errors).
+// ---------------------------------------------------------------------------
+
+/// Every command and reply variant's exact wire bits, digested.
+#[must_use]
+pub fn frames_digests() -> EcoResult<BTreeMap<String, u64>> {
+    use faults::digest::fnv1a64_bits;
+    use protocol::frame::{Command, Reply, SensorKind};
+
+    let commands: [(&str, Command); 8] = [
+        ("cmd_query_q4_s0", Command::Query { q: 4, session: 0 }),
+        ("cmd_query_q15_s3", Command::Query { q: 15, session: 3 }),
+        ("cmd_query_rep", Command::QueryRep),
+        ("cmd_ack_0xbeef", Command::Ack { rn16: 0xBEEF }),
+        (
+            "cmd_read_strain",
+            Command::ReadSensor {
+                kind: SensorKind::Strain,
+            },
+        ),
+        ("cmd_set_blf_42", Command::SetBlf { offset_100hz: 42 }),
+        (
+            "cmd_select_prefix",
+            Command::Select {
+                prefix: 0xDEAD_0000,
+                prefix_bits: 16,
+            },
+        ),
+        (
+            "cmd_select_all",
+            Command::Select {
+                prefix: 0,
+                prefix_bits: 0,
+            },
+        ),
+    ];
+    let replies: [(&str, Reply); 3] = [
+        ("reply_rn16_0x1234", Reply::Rn16 { rn16: 0x1234 }),
+        ("reply_node_id_1000", Reply::NodeId { id: 1000 }),
+        (
+            "reply_sensor_temp_0x0a0b",
+            Reply::SensorData {
+                kind: SensorKind::Temperature,
+                raw: 0x0A0B,
+            },
+        ),
+    ];
+
+    let mut computed = BTreeMap::new();
+    for (name, cmd) in commands {
+        let bits = cmd.encode();
+        if Command::decode(&bits) != Ok(cmd) {
+            return Err(EcoError::Protocol {
+                what: "command wire encoding failed to roundtrip",
+            });
+        }
+        computed.insert(name.to_string(), fnv1a64_bits(&bits));
+    }
+    for (name, reply) in replies {
+        let bits = reply.encode();
+        if Reply::decode(&bits) != Ok(reply) {
+            return Err(EcoError::Protocol {
+                what: "reply wire encoding failed to roundtrip",
+            });
+        }
+        computed.insert(name.to_string(), fnv1a64_bits(&bits));
+    }
+    Ok(computed)
+}
+
+/// CRC-5 and CRC-16 outputs for fixed bit patterns, including the
+/// classic CCITT check string.
+#[must_use]
+pub fn crc_digests() -> EcoResult<BTreeMap<String, u64>> {
+    use protocol::crc::{crc16, crc16_check, crc5};
+
+    fn bits_of(value: u64, width: usize) -> Vec<bool> {
+        (0..width).rev().map(|i| (value >> i) & 1 == 1).collect()
+    }
+    let ascii_123456789: Vec<bool> = b"123456789"
+        .iter()
+        .flat_map(|b| bits_of(*b as u64, 8))
+        .collect();
+
+    let mut computed = BTreeMap::new();
+    computed.insert("crc5_zero16".into(), u64::from(crc5(&bits_of(0, 16))));
+    computed.insert(
+        "crc5_pattern".into(),
+        u64::from(crc5(&bits_of(0b1101_0110_1010_0011, 16))),
+    );
+    computed.insert("crc16_zero32".into(), u64::from(crc16(&bits_of(0, 32))));
+    computed.insert(
+        "crc16_cafebabe".into(),
+        u64::from(crc16(&bits_of(0xCAFE_BABE, 32))),
+    );
+    computed.insert(
+        "crc16_ascii_123456789".into(),
+        u64::from(crc16(&ascii_123456789)),
+    );
+
+    // The CCITT reference value holds regardless of fixtures.
+    if crc16(&ascii_123456789) != !0x29B1 {
+        return Err(EcoError::Protocol {
+            what: "CRC-16 failed the CCITT reference vector",
+        });
+    }
+    // And framing any payload with its CRC-16 passes the residue check.
+    let payload = bits_of(0xCAFE_BABE, 32);
+    let mut framed = payload.clone();
+    framed.extend(bits_of(u64::from(crc16(&payload)), 16));
+    if !crc16_check(&framed) {
+        return Err(EcoError::Protocol {
+            what: "CRC-16 residue check failed",
+        });
+    }
+    Ok(computed)
+}
+
+/// One full `common_wall` survey, quiet and faulted, pinned by report
+/// digest.
+#[must_use]
+pub fn survey_common_wall_digests() -> EcoResult<BTreeMap<String, u64>> {
+    use ecocapsule::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut computed = BTreeMap::new();
+
+    let mut wall = SelfSensingWall::common_wall(&SURVEY_STANDOFFS);
+    let mut rng = StdRng::seed_from_u64(SURVEY_SEED);
+    let report = SurveyOptions::new()
+        .tx_voltage(SURVEY_DRIVE_V)
+        .run(&mut wall, &mut rng)?;
+    if report.powered_ids.len() != SURVEY_STANDOFFS.len() {
+        return Err(EcoError::Protocol {
+            what: "quiet common-wall survey did not power every capsule",
+        });
+    }
+    computed.insert("survey_quiet_digest".into(), report.digest());
+
+    let plan = FaultPlan::generate(SURVEY_SEED, &FaultIntensity::moderate(60));
+    let mut wall = SelfSensingWall::common_wall(&SURVEY_STANDOFFS);
+    let mut rng = StdRng::seed_from_u64(SURVEY_SEED);
+    let faulted = SurveyOptions::new()
+        .tx_voltage(SURVEY_DRIVE_V)
+        .fault_plan(&plan)
+        .retry_policy(RetryPolicy::paper_default())
+        .run(&mut wall, &mut rng)?;
+    computed.insert("survey_moderate_retry_digest".into(), faulted.digest());
+    computed.insert("fault_plan_moderate_digest".into(), plan.digest());
+    Ok(computed)
+}
+
+/// The canonical three-wall fleet used by the fleet golden fixtures:
+/// one quiet wall, one zero-capsule wall, one faulted wall.
+#[must_use]
+pub fn fleet_three_walls() -> Vec<fleet::WallSpec> {
+    use faults::{FaultIntensity, FaultPlan};
+    vec![
+        fleet::WallSpec::new("quiet", vec![0.5]).seed(0x3A11_0001),
+        fleet::WallSpec::new("bare", vec![]).seed(0x3A11_0002),
+        fleet::WallSpec::new("noisy", vec![0.6])
+            .seed(0x3A11_0003)
+            .fault_plan(FaultPlan::generate(0x3A11, &FaultIntensity::mild(60))),
+    ]
+}
+
+fn fleet_golden_options() -> fleet::FleetOptions {
+    fleet::FleetOptions::new()
+        .quantum_slots(16)
+        .round_budget_slots(24)
+}
+
+/// A three-wall fleet run pinned end to end, including the byte digest
+/// of a round-1 checkpoint and a resume-identity witness.
+#[must_use]
+pub fn fleet_three_walls_digests() -> EcoResult<BTreeMap<String, u64>> {
+    let options = fleet_golden_options();
+    let report = options.run(fleet_three_walls())?;
+
+    let mut computed = BTreeMap::new();
+    computed.insert("fleet_digest".into(), report.digest());
+    computed.insert("fleet_rounds".into(), report.rounds);
+    for wall in &report.walls {
+        computed.insert(
+            format!("wall_{}_report_digest", wall.name),
+            wall.report.digest(),
+        );
+        computed.insert(format!("wall_{}_result_digest", wall.name), wall.digest());
+        computed.insert(format!("wall_{}_round", wall.name), wall.round_completed);
+    }
+
+    // One round in, checkpoint through the byte format: pins the wire
+    // encoding itself, not just the scheduler's outcome.
+    let mut fleet_run = fleet::Fleet::new(fleet_three_walls(), &options);
+    fleet_run.run_round()?;
+    let checkpoint = fleet_run.checkpoint()?;
+    let bytes = checkpoint.to_bytes();
+    computed.insert(
+        "checkpoint_round1_bytes_digest".into(),
+        faults::fnv1a64(bytes.iter().map(|&b| u64::from(b))),
+    );
+    let resumed = fleet::Fleet::resume(
+        fleet_three_walls(),
+        &options,
+        &fleet::FleetCheckpoint::from_bytes(&bytes)?,
+    )?
+    .run_to_completion()?;
+    if resumed.digest() != report.digest() {
+        return Err(EcoError::Protocol {
+            what: "resumed fleet diverged from the uninterrupted run",
+        });
+    }
+    Ok(computed)
+}
+
+/// The same fleet's merged trace, byte for byte.
+#[must_use]
+pub fn fleet_three_walls_trace() -> EcoResult<String> {
+    let report = fleet_golden_options().run(fleet_three_walls())?;
+    let trace = report.merged_trace_jsonl();
+    if trace.is_empty() {
+        return Err(EcoError::EmptyInput {
+            what: "fleet merged trace",
+        });
+    }
+    Ok(trace)
+}
+
+/// The canonical golden campaign: the §6 footbridge pilot cracking at
+/// epoch 5, with a quiet two-capsule control wall riding the same
+/// seasons, eight monthly epochs.
+#[must_use]
+pub fn footbridge_campaign() -> (Vec<campaign::CampaignWallSpec>, campaign::CampaignOptions) {
+    let specs = vec![
+        campaign::CampaignWallSpec::new(
+            fleet::WallSpec::footbridge_pilot(42),
+            campaign::DamageScenario::crack_onset(5),
+        ),
+        campaign::CampaignWallSpec::new(
+            fleet::WallSpec::new("control", vec![0.6, 1.1]).seed(7),
+            campaign::DamageScenario::quiet(),
+        ),
+    ];
+    let options = campaign::CampaignOptions::new().epochs(8).seed(0x601D_CA4A);
+    (specs, options)
+}
+
+/// The footbridge campaign pinned end to end: campaign digest,
+/// detection tally, per-wall grade timelines and first detections.
+#[must_use]
+pub fn campaign_footbridge_digests() -> EcoResult<BTreeMap<String, u64>> {
+    let (specs, options) = footbridge_campaign();
+    let report = options.run(specs.clone())?;
+
+    let mut computed = BTreeMap::new();
+    computed.insert("campaign_digest".into(), report.digest());
+    computed.insert("campaign_detections".into(), report.detections.len() as u64);
+    // All eight per-epoch fleet digests folded into one word.
+    computed.insert(
+        "fleet_digests_digest".into(),
+        faults::fnv1a64(report.records.iter().map(|r| r.fleet_digest)),
+    );
+    for spec in &specs {
+        let name = &spec.base.name;
+        let timeline = report.grade_timeline(name);
+        if timeline.len() != 8 {
+            return Err(EcoError::LengthMismatch {
+                what: "campaign wall grade timeline",
+                expected: 8,
+                actual: timeline.len(),
+            });
+        }
+        computed.insert(
+            format!("wall_{name}_timeline_digest"),
+            faults::fnv1a64(timeline.iter().map(|(_, g)| campaign::health_tag(*g))),
+        );
+        computed.insert(
+            format!("wall_{name}_first_detection_epoch"),
+            report.first_detection(name).map_or(u64::MAX, |d| d.epoch),
+        );
+    }
+    Ok(computed)
+}
+
+/// The campaign's trace, computed serial *and* parallel (which must
+/// agree byte for byte before either faces the fixture).
+#[must_use]
+pub fn campaign_footbridge_trace() -> EcoResult<String> {
+    let (specs, options) = footbridge_campaign();
+    let serial = options.clone().run(specs.clone())?.trace_jsonl();
+    let parallel = options
+        .fleet(fleet::FleetOptions::new().pool(exec::Pool::max_parallel()))
+        .run(specs)?
+        .trace_jsonl();
+    if serial != parallel {
+        return Err(EcoError::Protocol {
+            what: "campaign trace differs across worker counts",
+        });
+    }
+    if serial.is_empty() {
+        return Err(EcoError::EmptyInput {
+            what: "campaign trace",
+        });
+    }
+    Ok(serial)
+}
+
+/// The quiet-plan survey trace pinned as JSONL.
+#[must_use]
+pub fn survey_quiet_trace() -> EcoResult<String> {
+    use ecocapsule::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let quiet = FaultPlan::quiet();
+    let mut wall = SelfSensingWall::common_wall(&SURVEY_STANDOFFS);
+    let mut rng = StdRng::seed_from_u64(SURVEY_SEED);
+    let mut rec = MemoryRecorder::new();
+    SurveyOptions::new()
+        .tx_voltage(SURVEY_DRIVE_V)
+        .fault_plan(&quiet)
+        .retry_policy(RetryPolicy::none())
+        .recorder(&mut rec)
+        .run(&mut wall, &mut rng)?;
+    let trace = rec.to_jsonl();
+    if trace.is_empty() {
+        return Err(EcoError::EmptyInput {
+            what: "quiet-plan survey trace",
+        });
+    }
+    Ok(trace)
+}

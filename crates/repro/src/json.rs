@@ -1,0 +1,408 @@
+//! A minimal JSON reader for the repro harness.
+//!
+//! The workspace is hermetic (no serde), but the harness must *ingest*
+//! JSON it did not write: committed `BENCH_*.json` gate files and
+//! `repro-report.json` under `--check-report`. This parser covers the
+//! full JSON grammar the harness emits and consumes, returns named
+//! errors for everything else, and never panics — the hostile-input
+//! suite in `crates/repro/tests/report_hostile.rs` holds it to that.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number. Finite by construction: the grammar has no
+    /// NaN/Infinity literals and overflowing literals are rejected.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Key order is normalized; duplicate keys are rejected.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object under this value, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array under this value, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string under this value, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number under this value, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The bool under this value, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+}
+
+/// Why a JSON document was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Input ended inside a value (truncation).
+    UnexpectedEnd,
+    /// An impossible byte at `offset`.
+    UnexpectedByte {
+        /// Byte offset into the document.
+        offset: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A number literal that does not parse to a finite f64.
+    BadNumber {
+        /// Byte offset of the literal.
+        offset: usize,
+    },
+    /// A malformed string escape or raw control character.
+    BadString {
+        /// Byte offset inside the string.
+        offset: usize,
+    },
+    /// The same key appeared twice in one object.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+    },
+    /// Value nesting beyond the supported depth.
+    TooDeep,
+    /// Bytes after the end of the top-level value.
+    TrailingData {
+        /// Byte offset of the first trailing byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::UnexpectedEnd => write!(f, "unexpected end of JSON input"),
+            JsonError::UnexpectedByte { offset, byte } => {
+                write!(f, "unexpected byte 0x{byte:02x} at offset {offset}")
+            }
+            JsonError::BadNumber { offset } => {
+                write!(f, "non-finite or malformed number at offset {offset}")
+            }
+            JsonError::BadString { offset } => write!(f, "malformed string at offset {offset}"),
+            JsonError::DuplicateKey { key } => write!(f, "duplicate object key `{key}`"),
+            JsonError::TooDeep => write!(f, "value nesting exceeds the supported depth"),
+            JsonError::TrailingData { offset } => {
+                write!(f, "trailing data after the document at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Deepest value nesting accepted (hostile inputs cannot blow the stack).
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document; the whole input must be consumed.
+#[must_use]
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError::TrailingData { offset: pos });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError::TooDeep);
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::UnexpectedEnd),
+        Some(b'{') => parse_obj(bytes, pos, depth),
+        Some(b'[') => parse_arr(bytes, pos, depth),
+        Some(b'"') => parse_str(bytes, pos).map(Value::Str),
+        Some(b't') => parse_lit(bytes, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", Value::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, b"null", Value::Null),
+        Some(b'-' | b'0'..=b'9') => parse_num(bytes, pos),
+        Some(&byte) => Err(JsonError::UnexpectedByte { offset: *pos, byte }),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Value) -> Result<Value, JsonError> {
+    if bytes.len() < *pos + lit.len() {
+        return Err(JsonError::UnexpectedEnd);
+    }
+    if &bytes[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError::UnexpectedByte {
+            offset: *pos,
+            byte: bytes[*pos],
+        })
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError::BadNumber { offset: start })?;
+    match text.parse::<f64>() {
+        Ok(n) if n.is_finite() => Ok(Value::Num(n)),
+        _ => Err(JsonError::BadNumber { offset: start }),
+    }
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    // Caller guarantees bytes[*pos] == b'"'.
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::UnexpectedEnd),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    None => return Err(JsonError::UnexpectedEnd),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or(JsonError::UnexpectedEnd)?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError::BadString { offset: *pos })?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::BadString { offset: *pos })?;
+                        // Surrogates are rejected rather than paired; the
+                        // harness never emits them.
+                        let ch =
+                            char::from_u32(code).ok_or(JsonError::BadString { offset: *pos })?;
+                        out.push(ch);
+                        *pos += 4;
+                    }
+                    Some(_) => return Err(JsonError::BadString { offset: *pos }),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => return Err(JsonError::BadString { offset: *pos }),
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so char
+                // boundaries are well-formed).
+                let rest = &bytes[*pos..];
+                let s =
+                    std::str::from_utf8(rest).map_err(|_| JsonError::BadString { offset: *pos })?;
+                let ch = s.chars().next().ok_or(JsonError::UnexpectedEnd)?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            Some(&byte) => return Err(JsonError::UnexpectedByte { offset: *pos, byte }),
+            None => return Err(JsonError::UnexpectedEnd),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return match bytes.get(*pos) {
+                Some(&byte) => Err(JsonError::UnexpectedByte { offset: *pos, byte }),
+                None => Err(JsonError::UnexpectedEnd),
+            };
+        }
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return match bytes.get(*pos) {
+                Some(&byte) => Err(JsonError::UnexpectedByte { offset: *pos, byte }),
+                None => Err(JsonError::UnexpectedEnd),
+            };
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        if map.insert(key.clone(), value).is_some() {
+            return Err(JsonError::DuplicateKey { key });
+        }
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            Some(&byte) => return Err(JsonError::UnexpectedByte { offset: *pos, byte }),
+            None => Err(JsonError::UnexpectedEnd)?,
+        }
+    }
+}
+
+/// Escapes `s` into a JSON string literal body (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a finite f64 the way the harness emits numbers: shortest
+/// representation that round-trips through `parse`.
+pub fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_simple_documents() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": "x\ny", "c": true, "d": null}"#)
+            .expect("valid document");
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_arr()).map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x\ny"));
+    }
+
+    #[test]
+    fn rejects_truncation_nan_and_duplicates() {
+        assert_eq!(parse(r#"{"a": 1"#), Err(JsonError::UnexpectedEnd));
+        assert!(matches!(parse("1e999"), Err(JsonError::BadNumber { .. })));
+        assert!(matches!(
+            parse("NaN"),
+            Err(JsonError::UnexpectedByte { .. })
+        ));
+        assert_eq!(
+            parse(r#"{"k": 1, "k": 2}"#),
+            Err(JsonError::DuplicateKey { key: "k".into() })
+        );
+        assert!(matches!(
+            parse("[1] x"),
+            Err(JsonError::TrailingData { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_hostile_depth() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert_eq!(parse(&deep), Err(JsonError::TooDeep));
+    }
+}

@@ -1,0 +1,35 @@
+//! The one-command repro harness: every paper figure, bench gate, and
+//! golden fixture behind a single manifest with paper-vs-sim PASS/FAIL
+//! tolerances.
+//!
+//! ```sh
+//! cargo xtask repro --kick-tires   # CI scale, minutes
+//! cargo xtask repro --full         # paper scale
+//! cargo xtask repro --regen        # rewrite BENCH_*.json + fixtures
+//! ```
+//!
+//! Layers (DESIGN.md §11 states the contract):
+//!
+//! - [`mod@manifest`] — the experiment rows, reference values, and the
+//!   tolerance policy ([`manifest::Tolerance`]); validated with named
+//!   errors and pinned against EXPERIMENTS.md by the
+//!   `repro-manifest-coverage` lint.
+//! - [`runner`] — executes rows over `exec::Pool` (results are
+//!   bit-identical at any worker count) and folds the run digest.
+//! - [`report`] — renders `REPRO_REPORT.md` + `repro-report.json`
+//!   (schema `ecocapsule-repro/1`) and defensively parses the latter.
+//! - [`goldens`] — the shared golden-fixture compute path (also used by
+//!   `tests/tests/golden.rs`).
+//! - [`json`] — the hermetic JSON reader behind the ingestion gates.
+
+#![forbid(unsafe_code)]
+
+pub mod goldens;
+pub mod json;
+pub mod manifest;
+pub mod report;
+pub mod runner;
+
+pub use manifest::{canary_row, coverage, manifest, validate, ManifestError, Tolerance};
+pub use report::{parse_report, ParsedReport, ReportError, SCHEMA};
+pub use runner::{run, Mode, RunConfig, RunReport, Status};

@@ -1,0 +1,366 @@
+//! Report emission and ingestion: `REPRO_REPORT.md` for humans,
+//! `repro-report.json` (schema `ecocapsule-repro/1`) for CI gates.
+//!
+//! The JSON reader is defensive — truncated documents, wrong schema
+//! versions, and non-finite deltas come back as named [`ReportError`]s,
+//! never panics — because CI parses the *committed* report, which a bad
+//! merge could corrupt.
+
+use crate::json::{self, JsonError, Value};
+use crate::runner::{RunReport, Status};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// The schema tag every `repro-report.json` must carry.
+pub const SCHEMA: &str = "ecocapsule-repro/1";
+
+/// Why a report document was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The document is not valid JSON (truncation, NaN literals, …).
+    Json(JsonError),
+    /// The top level is not an object.
+    NotAnObject,
+    /// Missing or wrong `schema` value.
+    BadSchema(String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field exists but has the wrong type or an impossible value.
+    BadField(&'static str),
+    /// A numeric field carries a non-finite value.
+    NonFinite(&'static str),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ReportError::NotAnObject => write!(f, "report root is not an object"),
+            ReportError::BadSchema(got) => {
+                write!(f, "unsupported report schema `{got}` (want `{SCHEMA}`)")
+            }
+            ReportError::MissingField(name) => write!(f, "missing report field `{name}`"),
+            ReportError::BadField(name) => write!(f, "malformed report field `{name}`"),
+            ReportError::NonFinite(name) => {
+                write!(f, "non-finite value in report field `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<JsonError> for ReportError {
+    fn from(e: JsonError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+/// One parsed check row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedCheck {
+    /// Metric name.
+    pub metric: String,
+    /// Paper reference.
+    pub paper: f64,
+    /// Simulated value (absent when the producer errored).
+    pub sim: Option<f64>,
+    /// Signed relative delta in percent.
+    pub delta_pct: Option<f64>,
+    /// Tolerance label.
+    pub tolerance: String,
+    /// PASS / FAIL / SKIP.
+    pub status: String,
+}
+
+/// One parsed experiment row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRow {
+    /// Manifest tag.
+    pub tag: String,
+    /// PASS / FAIL / SKIP.
+    pub status: String,
+    /// Checks under the row.
+    pub checks: Vec<ParsedCheck>,
+}
+
+/// A parsed `repro-report.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedReport {
+    /// Run mode label.
+    pub mode: String,
+    /// Harness pool width.
+    pub workers: u64,
+    /// The run digest (hex, as committed).
+    pub digest: String,
+    /// Experiment rows.
+    pub rows: Vec<ParsedRow>,
+}
+
+impl ParsedReport {
+    /// Tags of rows that failed.
+    #[must_use]
+    pub fn failed_tags(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.status == "FAIL")
+            .map(|r| r.tag.as_str())
+            .collect()
+    }
+}
+
+fn req<'a>(obj: &'a Value, name: &'static str) -> Result<&'a Value, ReportError> {
+    obj.get(name).ok_or(ReportError::MissingField(name))
+}
+
+fn finite_num(v: &Value, name: &'static str) -> Result<f64, ReportError> {
+    let n = v.as_num().ok_or(ReportError::BadField(name))?;
+    if n.is_finite() {
+        Ok(n)
+    } else {
+        Err(ReportError::NonFinite(name))
+    }
+}
+
+fn opt_num(obj: &Value, name: &'static str) -> Result<Option<f64>, ReportError> {
+    match obj.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => finite_num(v, name).map(Some),
+    }
+}
+
+/// Parses and validates a `repro-report.json` document.
+#[must_use]
+pub fn parse_report(text: &str) -> Result<ParsedReport, ReportError> {
+    let doc = json::parse(text)?;
+    if doc.as_obj().is_none() {
+        return Err(ReportError::NotAnObject);
+    }
+    let schema = req(&doc, "schema")?
+        .as_str()
+        .ok_or(ReportError::BadField("schema"))?;
+    if schema != SCHEMA {
+        return Err(ReportError::BadSchema(schema.to_string()));
+    }
+    let mode = req(&doc, "mode")?
+        .as_str()
+        .ok_or(ReportError::BadField("mode"))?
+        .to_string();
+    let workers = finite_num(req(&doc, "workers")?, "workers")?;
+    // Exact integrality test on a parsed count; bit-level on purpose.
+    // lint:allow(no-float-eq) fract()==0 is the definition of an integer-valued f64
+    if workers < 1.0 || workers.fract() != 0.0 {
+        return Err(ReportError::BadField("workers"));
+    }
+    let digest = req(&doc, "digest")?
+        .as_str()
+        .ok_or(ReportError::BadField("digest"))?;
+    if !digest.starts_with("0x") || u64::from_str_radix(&digest[2..], 16).is_err() {
+        return Err(ReportError::BadField("digest"));
+    }
+    let rows_json = req(&doc, "rows")?
+        .as_arr()
+        .ok_or(ReportError::BadField("rows"))?;
+
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for row in rows_json {
+        let tag = req(row, "tag")?
+            .as_str()
+            .ok_or(ReportError::BadField("tag"))?
+            .to_string();
+        let status = req(row, "status")?
+            .as_str()
+            .ok_or(ReportError::BadField("status"))?
+            .to_string();
+        if !matches!(status.as_str(), "PASS" | "FAIL" | "SKIP") {
+            return Err(ReportError::BadField("status"));
+        }
+        let checks_json = req(row, "checks")?
+            .as_arr()
+            .ok_or(ReportError::BadField("checks"))?;
+        let mut checks = Vec::with_capacity(checks_json.len());
+        for check in checks_json {
+            let status = req(check, "status")?
+                .as_str()
+                .ok_or(ReportError::BadField("status"))?
+                .to_string();
+            if !matches!(status.as_str(), "PASS" | "FAIL" | "SKIP") {
+                return Err(ReportError::BadField("status"));
+            }
+            checks.push(ParsedCheck {
+                metric: req(check, "metric")?
+                    .as_str()
+                    .ok_or(ReportError::BadField("metric"))?
+                    .to_string(),
+                paper: finite_num(req(check, "paper")?, "paper")?,
+                sim: opt_num(check, "sim")?,
+                delta_pct: opt_num(check, "delta_pct")?,
+                tolerance: req(check, "tolerance")?
+                    .as_str()
+                    .ok_or(ReportError::BadField("tolerance"))?
+                    .to_string(),
+                status,
+            });
+        }
+        rows.push(ParsedRow {
+            tag,
+            status,
+            checks,
+        });
+    }
+    Ok(ParsedReport {
+        mode,
+        workers: workers as u64,
+        digest: digest.to_string(),
+        rows,
+    })
+}
+
+fn json_opt_num(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => json::fmt_num(x),
+        _ => "null".into(),
+    }
+}
+
+/// Renders the machine-readable report.
+#[must_use]
+pub fn to_json(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode.label());
+    let _ = writeln!(out, "  \"workers\": {},", report.workers);
+    let _ = writeln!(out, "  \"digest\": \"{:#018x}\",", report.digest);
+    let _ = writeln!(out, "  \"rows_passed\": {},", report.passed());
+    let _ = writeln!(out, "  \"rows_failed\": {},", report.failed());
+    let _ = writeln!(out, "  \"rows_skipped\": {},", report.skipped());
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"tag\": \"{}\",", json::escape(&row.tag));
+        let _ = writeln!(out, "      \"title\": \"{}\",", json::escape(&row.title));
+        let _ = writeln!(out, "      \"status\": \"{}\",", row.status.label());
+        let _ = writeln!(out, "      \"elapsed_ms\": {:.1},", row.elapsed_ms);
+        match &row.error {
+            Some(e) => {
+                let _ = writeln!(out, "      \"error\": \"{}\",", json::escape(e));
+            }
+            None => out.push_str("      \"error\": null,\n"),
+        }
+        out.push_str("      \"checks\": [\n");
+        for (j, check) in row.checks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"metric\": \"{}\", \"paper\": {}, \"sim\": {}, \
+                 \"delta_pct\": {}, \"tolerance\": \"{}\", \"status\": \"{}\"}}",
+                json::escape(&check.metric),
+                json::fmt_num(check.paper),
+                json_opt_num(check.sim),
+                json_opt_num(check.delta_pct),
+                json::escape(&check.tolerance),
+                check.status.label(),
+            );
+            out.push_str(if j + 1 < row.checks.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < report.rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn md_num(v: f64) -> String {
+    // lint:allow(no-float-eq) exact-zero formatting shortcut, not a tolerance test
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        let s = format!("{v:.4}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+/// Renders the human-readable paper-vs-sim report.
+#[must_use]
+pub fn to_markdown(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str("# Repro report\n\n");
+    let _ = writeln!(
+        out,
+        "One `{}` run of the repro manifest (`cargo xtask repro`). \
+         Paper references and tolerances live in `crates/repro/src/manifest.rs`; \
+         EXPERIMENTS.md discusses each experiment.\n",
+        report.mode.label()
+    );
+    let _ = writeln!(out, "- mode: **{}**", report.mode.label());
+    let _ = writeln!(out, "- harness workers: {}", report.workers);
+    let _ = writeln!(out, "- run digest: `{:#018x}`", report.digest);
+    let _ = writeln!(
+        out,
+        "- rows: **{} PASS**, **{} FAIL**, {} SKIP\n",
+        report.passed(),
+        report.failed(),
+        report.skipped()
+    );
+
+    out.push_str("| experiment | status | checks | time |\n");
+    out.push_str("|---|---|---|---|\n");
+    for row in &report.rows {
+        let passed = row
+            .checks
+            .iter()
+            .filter(|c| c.status == Status::Pass)
+            .count();
+        let judged = row
+            .checks
+            .iter()
+            .filter(|c| c.status != Status::Skip)
+            .count();
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {}/{} | {:.0} ms |",
+            row.tag,
+            row.status.label(),
+            passed,
+            judged,
+            row.elapsed_ms
+        );
+    }
+    out.push('\n');
+
+    for row in &report.rows {
+        let _ = writeln!(out, "## `{}` — {}\n", row.tag, row.title);
+        if let Some(e) = &row.error {
+            let _ = writeln!(out, "**producer error:** {e}\n");
+        }
+        out.push_str("| metric | paper | sim | delta | tolerance | status |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for check in &row.checks {
+            let sim = check.sim.map_or("—".into(), md_num);
+            let delta = check.delta_pct.map_or("—".into(), |d| format!("{d:+.1}%"));
+            let _ = writeln!(
+                out,
+                "| `{}` | {} | {} | {} | {} | {} |",
+                check.metric,
+                md_num(check.paper),
+                sim,
+                delta,
+                check.tolerance,
+                check.status.label()
+            );
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,200 @@
+//! Hostile-input suite (satellite 3): `repro-report.json` ingestion
+//! must reject truncation, wrong schema versions, NaN deltas, and
+//! structural garbage with named errors — never a panic — because CI
+//! parses the *committed* report, which a bad merge could corrupt.
+
+use repro::report::{self, ReportError};
+use repro::runner::{RunConfig, Status};
+use repro::{manifest, parse_report, run, SCHEMA};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// One cheap real report to mutate.
+fn real_report_json() -> String {
+    let mut cfg = RunConfig::kick_tires(workspace_root());
+    cfg.workers = 1;
+    cfg.only = Some(["tab01".to_string(), "eqn04".to_string()].into());
+    report::to_json(&run(&manifest(), &cfg))
+}
+
+/// The emitted JSON parses back, field for field.
+#[test]
+fn emitted_report_round_trips() {
+    let json = real_report_json();
+    let parsed = parse_report(&json).expect("emitted report must parse");
+    assert_eq!(parsed.mode, "kick-tires");
+    assert_eq!(parsed.workers, 1);
+    assert!(parsed.digest.starts_with("0x"));
+    assert_eq!(parsed.rows.len(), 2);
+    assert!(parsed.failed_tags().is_empty());
+    for row in &parsed.rows {
+        assert!(!row.checks.is_empty(), "row `{}` lost its checks", row.tag);
+        for check in &row.checks {
+            assert!(check.paper.is_finite());
+        }
+    }
+}
+
+/// Truncating the document anywhere yields a named error, never a
+/// panic — the whole corpus of prefixes is walked.
+#[test]
+fn every_truncation_is_a_named_error() {
+    let json = real_report_json();
+    // Walk byte prefixes on a stride to keep the corpus dense but fast;
+    // always include the pathological first few bytes.
+    let mut cuts: Vec<usize> = (0..json.len().min(16)).collect();
+    cuts.extend((16..json.len()).step_by(97));
+    for cut in cuts {
+        if !json.is_char_boundary(cut) {
+            continue;
+        }
+        let err = parse_report(&json[..cut]).expect_err("truncated report must be rejected");
+        assert!(
+            matches!(
+                err,
+                ReportError::Json(_) | ReportError::NotAnObject | ReportError::MissingField(_)
+            ),
+            "cut at {cut} produced unexpected error {err:?}"
+        );
+    }
+}
+
+/// A wrong schema version is rejected by name, carrying the offending
+/// value.
+#[test]
+fn wrong_schema_version_is_rejected() {
+    let json = real_report_json().replace(SCHEMA, "ecocapsule-repro/2");
+    assert_eq!(
+        parse_report(&json).unwrap_err(),
+        ReportError::BadSchema("ecocapsule-repro/2".into())
+    );
+}
+
+/// NaN and Infinity literals are not JSON; the parser rejects them
+/// before field validation ever runs.
+#[test]
+fn nan_deltas_are_rejected() {
+    let json = real_report_json();
+    let with_nan = json.replacen("\"delta_pct\": ", "\"delta_pct\": NaN, \"x\": ", 1);
+    assert!(
+        matches!(parse_report(&with_nan).unwrap_err(), ReportError::Json(_)),
+        "NaN literal must be a JSON-level rejection"
+    );
+    let with_inf = json.replacen("\"workers\": 1", "\"workers\": Infinity", 1);
+    assert!(matches!(
+        parse_report(&with_inf).unwrap_err(),
+        ReportError::Json(_)
+    ));
+}
+
+/// Structurally hostile documents: every one a named error, none a
+/// panic.
+#[test]
+fn hostile_corpus_never_panics() {
+    let corpus: &[(&str, &str)] = &[
+        ("empty", ""),
+        ("whitespace", "   \n\t  "),
+        ("not json", "definitely not json"),
+        ("root array", "[]"),
+        ("root number", "42"),
+        ("root string", "\"report\""),
+        ("empty object", "{}"),
+        ("null schema", "{\"schema\": null}"),
+        ("numeric schema", "{\"schema\": 1}"),
+        (
+            "missing rows",
+            "{\"schema\": \"ecocapsule-repro/1\", \"mode\": \"full\", \
+             \"workers\": 1, \"digest\": \"0x0000000000000000\"}",
+        ),
+        (
+            "rows not array",
+            "{\"schema\": \"ecocapsule-repro/1\", \"mode\": \"full\", \
+             \"workers\": 1, \"digest\": \"0x0000000000000000\", \"rows\": {}}",
+        ),
+        (
+            "fractional workers",
+            "{\"schema\": \"ecocapsule-repro/1\", \"mode\": \"full\", \
+             \"workers\": 1.5, \"digest\": \"0x0\", \"rows\": []}",
+        ),
+        (
+            "zero workers",
+            "{\"schema\": \"ecocapsule-repro/1\", \"mode\": \"full\", \
+             \"workers\": 0, \"digest\": \"0x0000000000000000\", \"rows\": []}",
+        ),
+        (
+            "non-hex digest",
+            "{\"schema\": \"ecocapsule-repro/1\", \"mode\": \"full\", \
+             \"workers\": 1, \"digest\": \"0xZZ\", \"rows\": []}",
+        ),
+        (
+            "bare digest",
+            "{\"schema\": \"ecocapsule-repro/1\", \"mode\": \"full\", \
+             \"workers\": 1, \"digest\": \"1234\", \"rows\": []}",
+        ),
+        (
+            "bad row status",
+            "{\"schema\": \"ecocapsule-repro/1\", \"mode\": \"full\", \
+             \"workers\": 1, \"digest\": \"0x0000000000000000\", \
+             \"rows\": [{\"tag\": \"fig13\", \"status\": \"MAYBE\", \"checks\": []}]}",
+        ),
+        (
+            "check missing tolerance",
+            "{\"schema\": \"ecocapsule-repro/1\", \"mode\": \"full\", \
+             \"workers\": 1, \"digest\": \"0x0000000000000000\", \
+             \"rows\": [{\"tag\": \"fig13\", \"status\": \"PASS\", \"checks\": \
+             [{\"metric\": \"m\", \"paper\": 1.0, \"sim\": 1.0, \
+               \"delta_pct\": 0.0, \"status\": \"PASS\"}]}]}",
+        ),
+        (
+            "duplicate keys",
+            "{\"schema\": \"ecocapsule-repro/1\", \"schema\": \"ecocapsule-repro/1\", \
+             \"mode\": \"full\", \"workers\": 1, \
+             \"digest\": \"0x0000000000000000\", \"rows\": []}",
+        ),
+        (
+            "trailing garbage",
+            "{\"schema\": \"ecocapsule-repro/1\", \"mode\": \"full\", \
+             \"workers\": 1, \"digest\": \"0x0000000000000000\", \"rows\": []} extra",
+        ),
+    ];
+    for (name, doc) in corpus {
+        assert!(
+            parse_report(doc).is_err(),
+            "hostile document `{name}` must be rejected"
+        );
+    }
+}
+
+/// Deeply nested arrays hit the depth limit instead of blowing the
+/// stack.
+#[test]
+fn pathological_nesting_is_bounded() {
+    let deep = format!("{}{}", "[".repeat(4000), "]".repeat(4000));
+    assert!(matches!(
+        parse_report(&deep).unwrap_err(),
+        ReportError::Json(repro::json::JsonError::TooDeep)
+    ));
+}
+
+/// A committed report carrying the canary's FAIL row is caught by the
+/// same ingestion path CI uses (`--check-report`): `failed_tags` names
+/// the canary.
+#[test]
+fn committed_canary_failure_is_caught_on_ingestion() {
+    let mut rows = manifest();
+    rows.push(repro::canary_row());
+    let mut cfg = RunConfig::kick_tires(workspace_root());
+    cfg.workers = 1;
+    cfg.canary = true;
+    cfg.only = Some(["canary".to_string()].into());
+    let report = run(&rows, &cfg);
+    assert_eq!(report.rows[0].status, Status::Fail);
+
+    let parsed = parse_report(&report::to_json(&report)).expect("canary report must still parse");
+    assert_eq!(parsed.failed_tags(), vec!["canary"]);
+}

@@ -1,0 +1,178 @@
+//! Differential suite (satellite 2): the harness must be bit-identical
+//! across worker counts, `--regen` followed by a plain run must report
+//! all-PASS (the round-trip), and the seeded canary row must
+//! demonstrably FAIL — proving the gate can actually catch a wrong
+//! value.
+
+use repro::runner::{RunConfig, Status};
+use repro::{canary_row, manifest, run};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// Cheap, deterministic figure tags — enough rows to exercise the
+/// fan-out while keeping this suite in seconds.
+const CHEAP_TAGS: &[&str] = &[
+    "fig03a", "fig04", "fig13", "fig14", "fig16", "fig17", "tab01", "tab02", "eqn04", "eqn05",
+];
+
+fn cheap_config(workers: usize) -> RunConfig {
+    let mut cfg = RunConfig::kick_tires(workspace_root());
+    cfg.workers = workers;
+    cfg.only = Some(CHEAP_TAGS.iter().map(|t| (*t).to_string()).collect());
+    cfg
+}
+
+/// A kick-tires run's digest (and every row's metrics) is identical at
+/// one, two, and max workers — the harness pool only schedules, it
+/// never leaks into results.
+#[test]
+fn kick_tires_digest_is_identical_across_worker_counts() {
+    let rows = manifest();
+    let reference = run(&rows, &cheap_config(1));
+    assert_eq!(
+        reference.rows.len(),
+        CHEAP_TAGS.len(),
+        "every selected tag must produce a row"
+    );
+    assert_eq!(reference.failed(), 0, "cheap figure rows must pass");
+
+    for workers in [2, exec::Pool::max_parallel().workers()] {
+        let report = run(&rows, &cheap_config(workers));
+        assert_eq!(
+            report.digest, reference.digest,
+            "digest must be bit-identical at workers={workers}"
+        );
+        for (a, b) in reference.rows.iter().zip(&report.rows) {
+            assert_eq!(a.tag, b.tag, "row order must be manifest order");
+            assert_eq!(a.metrics, b.metrics, "metrics drifted on `{}`", a.tag);
+            assert_eq!(a.status, b.status, "status drifted on `{}`", a.tag);
+        }
+    }
+}
+
+/// `--regen` writes a bench gate file, and the immediately following
+/// plain run reports the row all-PASS against what was just written —
+/// the round-trip the one-command workflow relies on.
+#[test]
+fn regen_then_plain_run_round_trips() {
+    let dir = std::env::temp_dir().join(format!("repro-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let rows = manifest();
+    let only: BTreeSet<String> = ["bench_obs".to_string()].into();
+
+    let mut cfg = RunConfig::kick_tires(dir.clone());
+    cfg.workers = 1;
+    cfg.only = Some(only.clone());
+    cfg.regen = true;
+    let regen_report = run(&rows, &cfg);
+    assert_eq!(regen_report.rows.len(), 1);
+    assert_eq!(
+        regen_report.failed(),
+        0,
+        "regen run must pass: {:?}",
+        regen_report.rows[0]
+    );
+    assert!(
+        dir.join("BENCH_obs.json").is_file(),
+        "--regen must write the gate file"
+    );
+
+    cfg.regen = false;
+    let plain_report = run(&rows, &cfg);
+    assert_eq!(plain_report.failed(), 0, "plain run after regen must pass");
+    assert_eq!(
+        plain_report.rows[0].status,
+        Status::Pass,
+        "bench_obs must gate PASS against the just-written file"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without the committed gate file, the same row FAILs its
+/// `committed_json_ok` check — the gate is real, not vacuous.
+#[test]
+fn missing_gate_file_fails_the_bench_row() {
+    let dir = std::env::temp_dir().join(format!("repro-missing-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let mut cfg = RunConfig::kick_tires(dir.clone());
+    cfg.workers = 1;
+    cfg.only = Some(["bench_obs".to_string()].into());
+    let report = run(&manifest(), &cfg);
+    assert_eq!(report.rows.len(), 1);
+    assert_eq!(report.rows[0].status, Status::Fail);
+    let committed = report.rows[0]
+        .checks
+        .iter()
+        .find(|c| c.metric == "committed_json_ok")
+        .expect("committed_json_ok check");
+    assert_eq!(committed.status, Status::Fail);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The canary row — correct physics judged against a deliberately
+/// wrong paper reference — must FAIL, demonstrating the tolerance gate
+/// rejects wrong values rather than rubber-stamping everything.
+#[test]
+fn canary_row_demonstrably_fails() {
+    let mut rows = manifest();
+    rows.push(canary_row());
+    let mut cfg = RunConfig::kick_tires(workspace_root());
+    cfg.workers = 1;
+    cfg.only = Some(["canary".to_string()].into());
+    cfg.canary = true;
+
+    let report = run(&rows, &cfg);
+    assert_eq!(report.rows.len(), 1);
+    assert_eq!(report.rows[0].tag, "canary");
+    assert_eq!(
+        report.rows[0].status,
+        Status::Fail,
+        "the canary must FAIL: {:?}",
+        report.rows[0]
+    );
+    assert_eq!(report.failed(), 1);
+
+    // …and the same producer against the *correct* reference passes,
+    // so the canary's failure is the wrong reference, not broken
+    // physics.
+    let mut cfg = RunConfig::kick_tires(workspace_root());
+    cfg.workers = 1;
+    cfg.only = Some(["fig13".to_string()].into());
+    let honest = run(&manifest(), &cfg);
+    assert_eq!(honest.rows[0].status, Status::Pass, "{:?}", honest.rows[0]);
+}
+
+/// Full-only checks SKIP under kick-tires (never silently PASS), and a
+/// row whose checks all skip is reported SKIP.
+#[test]
+fn full_only_checks_skip_under_kick_tires() {
+    let mut cfg = RunConfig::kick_tires(workspace_root());
+    cfg.workers = 1;
+    cfg.only = Some(["fig15".to_string()].into());
+    let report = run(&manifest(), &cfg);
+    let row = &report.rows[0];
+    let skipped: Vec<&str> = row
+        .checks
+        .iter()
+        .filter(|c| c.status == Status::Skip)
+        .map(|c| c.metric.as_str())
+        .collect();
+    assert!(
+        skipped.contains(&"eco_ber_8db"),
+        "deep-tail BER must be full-only; checks: {:?}",
+        row.checks
+    );
+    assert_ne!(row.status, Status::Fail, "{row:?}");
+}

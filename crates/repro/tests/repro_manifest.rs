@@ -1,0 +1,258 @@
+//! Manifest-integrity suite (satellite 1): the manifest must cover
+//! every tagged experiment in EXPERIMENTS.md and every committed
+//! `BENCH_*.json`, and malformed manifests must be rejected with named
+//! errors — a new figure or bench gate cannot land ungated, and a
+//! broken manifest cannot silently gate nothing.
+
+use repro::manifest::{Check, ManifestError, Producer, Row, Tolerance};
+use repro::{canary_row, coverage, manifest, validate};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn committed_bench_files(root: &Path) -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(root)
+        .expect("workspace root must be listable")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn flag(metric: &'static str) -> Check {
+    Check {
+        metric,
+        paper: 1.0,
+        tolerance: Tolerance::Exact,
+        kick: true,
+    }
+}
+
+/// The committed manifest is internally valid, with and without the
+/// canary appended.
+#[test]
+fn committed_manifest_validates() {
+    let mut rows = manifest();
+    validate(&rows).expect("committed manifest must validate");
+    rows.push(canary_row());
+    validate(&rows).expect("manifest plus canary must validate");
+}
+
+/// Every `` (`tag`) `` in EXPERIMENTS.md has a manifest row, and every
+/// figure row's tag appears in EXPERIMENTS.md — the two stay in sync
+/// in both directions.
+#[test]
+fn manifest_covers_every_experiments_md_tag() {
+    let root = workspace_root();
+    let md = std::fs::read_to_string(root.join("EXPERIMENTS.md"))
+        .expect("EXPERIMENTS.md must exist at the workspace root");
+    let md_tags = repro::manifest::tags_in_markdown(&md);
+    assert!(
+        md_tags.len() >= 23,
+        "EXPERIMENTS.md must tag every figure, table, equation, the \
+         pilot, and the bench sections; found only {md_tags:?}"
+    );
+
+    let rows = manifest();
+    let bench_files = committed_bench_files(&root);
+    coverage(&rows, &md_tags, &bench_files).expect("every tag needs a manifest row");
+
+    // And the reverse: a manifest row whose tag EXPERIMENTS.md never
+    // mentions is documentation drift.
+    for row in &rows {
+        assert!(
+            md_tags.iter().any(|t| t == row.tag) || row.tag == "golden",
+            "manifest row `{}` is not tagged in EXPERIMENTS.md",
+            row.tag
+        );
+    }
+}
+
+/// Every committed `BENCH_*.json` at the workspace root is gated by a
+/// `bench_*` manifest row.
+#[test]
+fn every_committed_bench_json_is_gated() {
+    let root = workspace_root();
+    let bench_files = committed_bench_files(&root);
+    assert_eq!(
+        bench_files.len(),
+        7,
+        "expected the seven committed bench gate files, found {bench_files:?}"
+    );
+    coverage(&manifest(), &[], &bench_files).expect("every BENCH_*.json needs a row");
+
+    // A bench file without a row is a named MissingTag, not a pass.
+    let err = coverage(&manifest(), &[], &["BENCH_warp.json".into()]).unwrap_err();
+    assert_eq!(err, ManifestError::MissingTag("bench_warp".into()));
+}
+
+/// Duplicate tags are rejected by name.
+#[test]
+fn duplicate_rows_are_rejected() {
+    let mut rows = manifest();
+    rows.push(Row {
+        tag: "fig13",
+        title: "duplicate",
+        producer: Producer::Figure,
+        checks: vec![flag("ordering_ok")],
+    });
+    assert_eq!(
+        validate(&rows).unwrap_err(),
+        ManifestError::DuplicateTag("fig13".into())
+    );
+}
+
+/// A figure row whose tag no experiment runner knows is rejected by
+/// name — the manifest cannot reference phantom experiments.
+#[test]
+fn unknown_tags_are_rejected() {
+    let mut rows = manifest();
+    rows.push(Row {
+        tag: "fig99",
+        title: "phantom",
+        producer: Producer::Figure,
+        checks: vec![flag("nope")],
+    });
+    assert_eq!(
+        validate(&rows).unwrap_err(),
+        ManifestError::UnknownTag("fig99".into())
+    );
+}
+
+/// A row with no checks could never fail; it is rejected by name.
+#[test]
+fn tolerance_free_rows_are_rejected() {
+    let mut rows = manifest();
+    rows.push(Row {
+        tag: "pilot2",
+        title: "ungated",
+        producer: Producer::Goldens,
+        checks: vec![],
+    });
+    assert_eq!(
+        validate(&rows).unwrap_err(),
+        ManifestError::ToleranceFree("pilot2".into())
+    );
+}
+
+/// An envelope with `lo > hi` (or non-finite bounds) can never pass;
+/// both are rejected by name.
+#[test]
+fn degenerate_envelopes_are_rejected() {
+    for tolerance in [
+        Tolerance::Envelope { lo: 2.0, hi: 1.0 },
+        Tolerance::Envelope {
+            lo: f64::NEG_INFINITY,
+            hi: 1.0,
+        },
+    ] {
+        let rows = vec![Row {
+            tag: "golden",
+            title: "bad envelope",
+            producer: Producer::Goldens,
+            checks: vec![Check {
+                metric: "ok_frames",
+                paper: 1.0,
+                tolerance,
+                kick: true,
+            }],
+        }];
+        assert_eq!(
+            validate(&rows).unwrap_err(),
+            ManifestError::EmptyEnvelope {
+                tag: "golden".into(),
+                metric: "ok_frames".into(),
+            }
+        );
+    }
+}
+
+/// A non-finite paper reference is rejected by name.
+#[test]
+fn non_finite_references_are_rejected() {
+    let rows = vec![Row {
+        tag: "golden",
+        title: "NaN reference",
+        producer: Producer::Goldens,
+        checks: vec![Check {
+            metric: "ok_frames",
+            paper: f64::NAN,
+            tolerance: Tolerance::RelPct(5.0),
+            kick: true,
+        }],
+    }];
+    assert_eq!(
+        validate(&rows).unwrap_err(),
+        ManifestError::NonFinitePaper {
+            tag: "golden".into(),
+            metric: "ok_frames".into(),
+        }
+    );
+}
+
+/// Two checks naming the same metric in one row are rejected by name.
+#[test]
+fn duplicate_metrics_are_rejected() {
+    let rows = vec![Row {
+        tag: "golden",
+        title: "double-checked",
+        producer: Producer::Goldens,
+        checks: vec![flag("ok_frames"), flag("ok_frames")],
+    }];
+    assert_eq!(
+        validate(&rows).unwrap_err(),
+        ManifestError::DuplicateMetric {
+            tag: "golden".into(),
+            metric: "ok_frames".into(),
+        }
+    );
+}
+
+/// The markdown tag scanner only picks up `` (`tag`) `` markers on
+/// heading lines, ignoring prose and code blocks.
+#[test]
+fn markdown_tag_scanner_is_heading_scoped() {
+    let md = "# Fig. 3a (`fig03a`)\n\
+              prose mentioning (`not_a_tag`) stays ignored\n\
+              ## Table 1 (`tab01`) and (`tab02`)\n\
+              ### untagged heading\n\
+              #### spaced marker (` bad tag `)\n";
+    assert_eq!(
+        repro::manifest::tags_in_markdown(md),
+        vec!["fig03a".to_string(), "tab01".into(), "tab02".into()]
+    );
+}
+
+/// Every check in the committed manifest names a metric its producer
+/// actually emits — checked here for the figure rows by running each
+/// producer once at kick-tires scale through the public experiments
+/// API. (The runner would surface these as FAILs; this test makes the
+/// mismatch a compile-adjacent error instead.)
+#[test]
+fn figure_checks_reference_emitted_metrics() {
+    let pool = exec::Pool::serial();
+    for row in manifest() {
+        if row.producer != Producer::Figure {
+            continue;
+        }
+        let metrics =
+            bench::experiments::metrics(row.tag, bench::experiments::Profile::KickTires, &pool)
+                .unwrap_or_else(|e| panic!("{} must produce metrics: {e}", row.tag));
+        for check in &row.checks {
+            assert!(
+                metrics.iter().any(|m| m.name == check.metric),
+                "row `{}` checks `{}`, which its producer never emits \
+                 (emitted: {:?})",
+                row.tag,
+                check.metric,
+                metrics.iter().map(|m| m.name).collect::<Vec<_>>()
+            );
+        }
+    }
+}

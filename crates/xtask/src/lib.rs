@@ -166,6 +166,9 @@ impl Default for LintConfig {
                 // The daemon's idle polling sleeps real time between
                 // shutdown-flag checks; nothing digested depends on it.
                 "crates/serve/src/daemon.rs".to_string(),
+                // The repro harness reports per-row elapsed wall time;
+                // timings are excluded from the run digest.
+                "crates/repro/src/".to_string(),
             ],
         }
     }
@@ -489,6 +492,7 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Find
 
     // Global rules: findings already carry their anchor file/line.
     model.lock_order_cycles(&rel_paths, &mut all);
+    rules::repro_manifest_coverage(root, &mut all);
 
     // Suppression: a matching directive on the same line or the line
     // directly above, in the finding's own file.

@@ -8,6 +8,7 @@
 //! cargo xtask lint --root DIR         # lint another tree (used by fixtures)
 //! cargo xtask lint --list-rules       # list every rule and its scope
 //! cargo xtask rules                   # same listing, as a subcommand
+//! cargo xtask repro --kick-tires      # repro harness (delegates to the repro bin)
 //! ```
 
 use std::path::PathBuf;
@@ -21,10 +22,46 @@ fn main() -> ExitCode {
             print_rules();
             ExitCode::SUCCESS
         }
+        Some("repro") => repro(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--root DIR] [--format text|json] [--list-rules] | rules>"
+                "usage: cargo xtask <lint [--root DIR] [--format text|json] [--list-rules] \
+                 | rules | repro [ARGS…]>"
             );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `cargo xtask repro …` delegates to the release `repro` bin so the
+/// harness runs optimized regardless of xtask's own profile; all
+/// arguments pass through unchanged.
+fn repro(args: &[String]) -> ExitCode {
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("error: could not locate workspace root (no Cargo.toml with crates/)");
+            return ExitCode::from(2);
+        }
+    };
+    let status = std::process::Command::new("cargo")
+        .current_dir(&root)
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "repro",
+            "--bin",
+            "repro",
+            "--",
+        ])
+        .args(args)
+        .status();
+    match status {
+        Ok(s) => ExitCode::from(s.code().unwrap_or(2).clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("error: failed to launch the repro bin: {e}");
             ExitCode::from(2)
         }
     }

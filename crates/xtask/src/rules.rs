@@ -31,6 +31,8 @@ pub const RULE_NO_HASH_ITER: &str = "no-nondeterministic-iteration";
 pub const RULE_NO_WALLCLOCK: &str = "no-wallclock-in-deterministic";
 /// Lock-acquisition-order cycle rule name.
 pub const RULE_LOCK_ORDER: &str = "lock-order-cycles";
+/// Repro-manifest coverage rule name (EXPERIMENTS.md tags vs manifest).
+pub const RULE_REPRO_COVERAGE: &str = "repro-manifest-coverage";
 /// Pseudo-rule for malformed `lint:allow` directives (not suppressible).
 pub const RULE_LINT_ALLOW: &str = "lint-allow";
 
@@ -47,6 +49,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_NO_HASH_ITER,
     RULE_NO_WALLCLOCK,
     RULE_LOCK_ORDER,
+    RULE_REPRO_COVERAGE,
 ];
 
 /// Self-description of one lint rule, for `--list-rules` and the docs.
@@ -131,6 +134,13 @@ pub const RULE_METAS: &[RuleMeta] = &[
         summary: "the workspace lock-acquisition graph (direct and call-mediated) is \
                   cycle-free; a cycle means two paths can deadlock",
         scope: "workspace-wide",
+    },
+    RuleMeta {
+        name: RULE_REPRO_COVERAGE,
+        summary: "every tagged EXPERIMENTS.md section and every committed BENCH_*.json has \
+                  a row in the repro manifest (crates/repro/src/manifest.rs) — a new \
+                  figure cannot land ungated",
+        scope: "workspace-wide (skipped when EXPERIMENTS.md is absent)",
     },
     RuleMeta {
         name: RULE_LINT_ALLOW,
@@ -1039,6 +1049,95 @@ pub fn must_use_call_sites(
                     t.text
                 ),
             );
+        }
+    }
+}
+
+/// Extracts `` (`tag`) `` markers from `#` heading lines of a markdown
+/// document, with the 1-based line each tag sits on. Mirrors
+/// `repro::manifest::tags_in_markdown` — duplicated here so the linter
+/// stays dependency-free.
+fn markdown_heading_tags(md: &str) -> Vec<(String, u32)> {
+    let mut tags = Vec::new();
+    for (idx, line) in md.lines().enumerate() {
+        if !line.starts_with('#') {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("(`") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find("`)") else { break };
+            let tag = &tail[..close];
+            if !tag.is_empty() && tag.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                tags.push((tag.to_string(), idx as u32 + 1));
+            }
+            rest = &tail[close + 2..];
+        }
+    }
+    tags
+}
+
+/// repro-manifest-coverage: every tagged EXPERIMENTS.md section and
+/// every committed `BENCH_*.json` at the workspace root must appear as
+/// a string literal in the repro manifest source — a purely textual
+/// gate (the manifest's structural validity is covered by
+/// `crates/repro/tests/repro_manifest.rs`). Skipped entirely when the
+/// tree has no EXPERIMENTS.md (lint fixture corpora).
+pub fn repro_manifest_coverage(root: &std::path::Path, findings: &mut Vec<Finding>) {
+    const MANIFEST_REL: &str = "crates/repro/src/manifest.rs";
+    let Ok(md) = std::fs::read_to_string(root.join("EXPERIMENTS.md")) else {
+        return;
+    };
+    let tags = markdown_heading_tags(&md);
+    let manifest_src = std::fs::read_to_string(root.join(MANIFEST_REL)).unwrap_or_default();
+    if manifest_src.is_empty() {
+        findings.push(Finding {
+            file: "EXPERIMENTS.md".to_string(),
+            line: 1,
+            rule: RULE_REPRO_COVERAGE,
+            msg: format!(
+                "EXPERIMENTS.md carries experiment tags but `{MANIFEST_REL}` is missing \
+                 or empty — the repro harness cannot gate these experiments"
+            ),
+        });
+        return;
+    }
+    for (tag, line) in &tags {
+        if !manifest_src.contains(&format!("\"{tag}\"")) {
+            findings.push(Finding {
+                file: "EXPERIMENTS.md".to_string(),
+                line: *line,
+                rule: RULE_REPRO_COVERAGE,
+                msg: format!(
+                    "experiment tag `{tag}` has no row in the repro manifest \
+                     (`{MANIFEST_REL}`); add one so `cargo xtask repro` gates it"
+                ),
+            });
+        }
+    }
+    // Every committed bench gate file needs its `bench_<stem>` row too.
+    let mut bench_files: Vec<String> = std::fs::read_dir(root)
+        .ok()
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    bench_files.sort();
+    for file in bench_files {
+        let stem = file.trim_start_matches("BENCH_").trim_end_matches(".json");
+        let tag = format!("bench_{stem}");
+        if !manifest_src.contains(&format!("\"{tag}\"")) {
+            findings.push(Finding {
+                file: MANIFEST_REL.to_string(),
+                line: 1,
+                rule: RULE_REPRO_COVERAGE,
+                msg: format!(
+                    "committed `{file}` has no `{tag}` row in the repro manifest; \
+                     every bench gate file must be regenerable via `cargo xtask repro`"
+                ),
+            });
         }
     }
 }

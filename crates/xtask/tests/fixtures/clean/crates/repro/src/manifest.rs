@@ -1,0 +1,4 @@
+//! Fixture manifest: covers every tag in the clean corpus —
+//! `figcc` from EXPERIMENTS.md and `bench_yy` for `BENCH_yy.json`.
+
+pub const TAGS: &[&str] = &["figcc", "bench_yy"];

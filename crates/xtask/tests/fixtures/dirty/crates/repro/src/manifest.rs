@@ -1,0 +1,5 @@
+//! Fixture manifest: covers `figaa` but not `figbb`, and has no
+//! `bench_zz` row for the committed `BENCH_zz.json` — both gaps must be
+//! reported by `repro-manifest-coverage`.
+
+pub const TAGS: &[&str] = &["figaa"];

@@ -286,6 +286,48 @@ fn json_report_is_stable_and_carries_every_finding() {
 }
 
 #[test]
+fn repro_coverage_names_the_missing_tag_and_bench_file() {
+    let findings = lint_workspace(&fixture("dirty"), &hot_cfg()).unwrap();
+    let coverage: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == rules::RULE_REPRO_COVERAGE)
+        .collect();
+    let md_gap = coverage
+        .iter()
+        .find(|f| f.file == "EXPERIMENTS.md")
+        .expect("missing-tag finding anchored at EXPERIMENTS.md");
+    assert!(md_gap.msg.contains("`figbb`"), "{md_gap:?}");
+    assert!(
+        md_gap.line > 1,
+        "must anchor at the heading line: {md_gap:?}"
+    );
+    let bench_gap = coverage
+        .iter()
+        .find(|f| f.file == "crates/repro/src/manifest.rs")
+        .expect("missing bench-row finding anchored at the manifest");
+    assert!(bench_gap.msg.contains("BENCH_zz.json"), "{bench_gap:?}");
+    assert!(bench_gap.msg.contains("`bench_zz`"), "{bench_gap:?}");
+    // The covered tag must NOT be reported.
+    assert!(
+        !coverage.iter().any(|f| f.msg.contains("`figaa`")),
+        "{coverage:#?}"
+    );
+}
+
+#[test]
+fn repro_coverage_skips_trees_without_experiments_md() {
+    // The badallow corpus has no EXPERIMENTS.md; the rule must stay
+    // silent rather than demanding a manifest from every tree.
+    let findings = lint_workspace(&fixture("badallow"), &LintConfig::default()).unwrap();
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == rules::RULE_REPRO_COVERAGE),
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn rule_metas_cover_every_rule() {
     let meta_names: BTreeSet<&str> = rules::RULE_METAS.iter().map(|m| m.name).collect();
     for rule in rules::ALL_RULES {

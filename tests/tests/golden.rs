@@ -1,10 +1,13 @@
 //! Golden-vector fixtures: pinned FNV-1a digests of wire encodings and
-//! one full survey report, checked into `tests/fixtures/`.
+//! full survey/fleet/campaign runs, checked into `tests/fixtures/`.
 //!
 //! These catch *silent* representation drift — a frame layout tweak, a
 //! CRC preset typo, an RNG-stream reshuffle — that behavioural tests
-//! tolerate because encode and decode drift together. Each test
-//! recomputes its vectors and compares against the committed fixture.
+//! tolerate because encode and decode drift together. The vectors are
+//! recomputed by `repro::goldens` (the same compute path `cargo xtask
+//! repro` drives) and compared against the committed fixtures, so this
+//! suite and the repro harness cannot disagree about what "golden"
+//! means.
 //!
 //! To regenerate after an *intentional* wire/report change:
 //!
@@ -12,170 +15,65 @@
 //! GOLDEN_REGEN=1 cargo test -p integration-tests --test golden
 //! ```
 //!
+//! (or `cargo xtask repro --regen` to rewrite every artifact at once),
 //! then review the fixture diff like any other code change.
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
+use repro::goldens::{self, Content, Fixture, FIXTURES};
 use std::path::PathBuf;
 
-fn fixture_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("fixtures")
-        .join(name)
+fn fixture_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR is `<workspace>/tests`; fixtures live beside us.
+    goldens::fixture_dir(&PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(".."))
 }
 
-fn load_fixture(name: &str) -> Option<BTreeMap<String, u64>> {
-    let text = std::fs::read_to_string(fixture_path(name)).ok()?;
-    let mut map = BTreeMap::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (key, value) = line
-            .split_once('=')
-            .expect("fixture line must be `name = 0x…`");
-        let value = value.trim().trim_start_matches("0x");
-        map.insert(
-            key.trim().to_string(),
-            u64::from_str_radix(value, 16).expect("fixture value must be hex"),
-        );
-    }
-    Some(map)
+fn fixture(name: &str) -> &'static Fixture {
+    FIXTURES
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("{name} is not a registered golden fixture"))
 }
 
-/// Compares `computed` against the committed fixture, or rewrites the
+/// Recomputes `name` through the shared compute path and compares the
+/// rendered bytes against the committed fixture, or rewrites the
 /// fixture when `GOLDEN_REGEN` is set.
-fn check_fixture(name: &str, header: &str, computed: &BTreeMap<String, u64>) {
+fn check_fixture(name: &str) {
+    let dir = fixture_dir();
+    let fixture = fixture(name);
     if std::env::var_os("GOLDEN_REGEN").is_some() {
-        let mut out = String::new();
-        for line in header.lines() {
-            writeln!(out, "# {line}").unwrap();
-        }
-        for (key, value) in computed {
-            writeln!(out, "{key} = {value:#018x}").unwrap();
-        }
-        std::fs::create_dir_all(fixture_path(name).parent().unwrap()).unwrap();
-        std::fs::write(fixture_path(name), out).unwrap();
+        goldens::regen(&dir, fixture).expect("fixture regeneration must succeed");
         return;
     }
-    let golden = load_fixture(name)
-        .unwrap_or_else(|| panic!("missing fixture {name}; run with GOLDEN_REGEN=1 to create it"));
-    assert_eq!(
-        &golden, computed,
-        "golden vectors diverged in {name}; if the change is intentional, \
-         regenerate with GOLDEN_REGEN=1 and review the diff"
-    );
+    let content = goldens::compute(name).expect("fixture recomputation must succeed");
+    let golden = std::fs::read_to_string(dir.join(name))
+        .unwrap_or_else(|_| panic!("missing fixture {name}; run with GOLDEN_REGEN=1 to create it"));
+    match content {
+        Content::Text(computed) => assert_eq!(
+            computed, golden,
+            "{name} diverged from the golden JSONL; if the change is \
+             intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
+        ),
+        Content::Digests(computed) => {
+            let golden = goldens::parse_digests(&golden).expect("fixture must parse");
+            assert_eq!(
+                golden, computed,
+                "golden vectors diverged in {name}; if the change is intentional, \
+                 regenerate with GOLDEN_REGEN=1 and review the diff"
+            );
+        }
+    }
 }
 
 /// Every command and reply variant's exact wire bits, digested.
 #[test]
 fn frame_encodings_match_golden_vectors() {
-    use faults::digest::fnv1a64_bits;
-    use protocol::frame::{Command, Reply, SensorKind};
-
-    let commands: [(&str, Command); 8] = [
-        ("cmd_query_q4_s0", Command::Query { q: 4, session: 0 }),
-        ("cmd_query_q15_s3", Command::Query { q: 15, session: 3 }),
-        ("cmd_query_rep", Command::QueryRep),
-        ("cmd_ack_0xbeef", Command::Ack { rn16: 0xBEEF }),
-        (
-            "cmd_read_strain",
-            Command::ReadSensor {
-                kind: SensorKind::Strain,
-            },
-        ),
-        ("cmd_set_blf_42", Command::SetBlf { offset_100hz: 42 }),
-        (
-            "cmd_select_prefix",
-            Command::Select {
-                prefix: 0xDEAD_0000,
-                prefix_bits: 16,
-            },
-        ),
-        (
-            "cmd_select_all",
-            Command::Select {
-                prefix: 0,
-                prefix_bits: 0,
-            },
-        ),
-    ];
-    let replies: [(&str, Reply); 3] = [
-        ("reply_rn16_0x1234", Reply::Rn16 { rn16: 0x1234 }),
-        ("reply_node_id_1000", Reply::NodeId { id: 1000 }),
-        (
-            "reply_sensor_temp_0x0a0b",
-            Reply::SensorData {
-                kind: SensorKind::Temperature,
-                raw: 0x0A0B,
-            },
-        ),
-    ];
-
-    let mut computed = BTreeMap::new();
-    for (name, cmd) in commands {
-        let bits = cmd.encode();
-        assert_eq!(Command::decode(&bits), Ok(cmd), "{name} must roundtrip");
-        computed.insert(name.to_string(), fnv1a64_bits(&bits));
-    }
-    for (name, reply) in replies {
-        let bits = reply.encode();
-        assert_eq!(Reply::decode(&bits), Ok(reply), "{name} must roundtrip");
-        computed.insert(name.to_string(), fnv1a64_bits(&bits));
-    }
-    check_fixture(
-        "frames.golden",
-        "FNV-1a digests of Command/Reply wire encodings (tests/tests/golden.rs).\n\
-         A diff here means the Gen2 frame layout changed on the wire.",
-        &computed,
-    );
+    check_fixture("frames.golden");
 }
 
 /// CRC-5 and CRC-16 outputs for fixed bit patterns, including the
-/// classic CCITT check string.
+/// classic CCITT check string (asserted inside the compute path).
 #[test]
 fn crc_vectors_match_golden() {
-    use protocol::crc::{crc16, crc16_check, crc5};
-
-    fn bits_of(value: u64, width: usize) -> Vec<bool> {
-        (0..width).rev().map(|i| (value >> i) & 1 == 1).collect()
-    }
-    let ascii_123456789: Vec<bool> = b"123456789"
-        .iter()
-        .flat_map(|b| bits_of(*b as u64, 8))
-        .collect();
-
-    let mut computed = BTreeMap::new();
-    computed.insert("crc5_zero16".into(), u64::from(crc5(&bits_of(0, 16))));
-    computed.insert(
-        "crc5_pattern".into(),
-        u64::from(crc5(&bits_of(0b1101_0110_1010_0011, 16))),
-    );
-    computed.insert("crc16_zero32".into(), u64::from(crc16(&bits_of(0, 32))));
-    computed.insert(
-        "crc16_cafebabe".into(),
-        u64::from(crc16(&bits_of(0xCAFE_BABE, 32))),
-    );
-    computed.insert(
-        "crc16_ascii_123456789".into(),
-        u64::from(crc16(&ascii_123456789)),
-    );
-
-    // The CCITT reference value holds regardless of fixtures.
-    assert_eq!(crc16(&ascii_123456789), !0x29B1);
-    // And framing any payload with its CRC-16 passes the residue check.
-    let payload = bits_of(0xCAFE_BABE, 32);
-    let mut framed = payload.clone();
-    framed.extend(bits_of(u64::from(crc16(&payload)), 16));
-    assert!(crc16_check(&framed));
-
-    check_fixture(
-        "crc.golden",
-        "Gen2 CRC-5 / CRC-16 vectors (tests/tests/golden.rs).\n\
-         A diff here means a CRC polynomial or preset changed.",
-        &computed,
-    );
+    check_fixture("crc.golden");
 }
 
 /// One full `common_wall` survey, quiet and faulted, pinned by report
@@ -183,258 +81,57 @@ fn crc_vectors_match_golden() {
 /// (charging, inventory, sensor reads, outcome taxonomy).
 #[test]
 fn common_wall_survey_report_matches_golden() {
-    use ecocapsule::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    const STANDOFFS: [f64; 3] = [0.5, 1.0, 1.5];
-    const DRIVE_V: f64 = 200.0;
-    const SEED: u64 = 0x600D_F00D;
-
-    let mut computed = BTreeMap::new();
-
-    let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let report = SurveyOptions::new()
-        .tx_voltage(DRIVE_V)
-        .run(&mut wall, &mut rng)
-        .expect("survey must succeed");
-    assert_eq!(report.powered_ids.len(), STANDOFFS.len());
-    computed.insert("survey_quiet_digest".into(), report.digest());
-
-    let plan = FaultPlan::generate(SEED, &FaultIntensity::moderate(60));
-    let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let faulted = SurveyOptions::new()
-        .tx_voltage(DRIVE_V)
-        .fault_plan(&plan)
-        .retry_policy(RetryPolicy::paper_default())
-        .run(&mut wall, &mut rng)
-        .expect("faulted survey must succeed");
-    computed.insert("survey_moderate_retry_digest".into(), faulted.digest());
-    computed.insert("fault_plan_moderate_digest".into(), plan.digest());
-
-    check_fixture(
-        "survey_common_wall.golden",
-        "Survey-report digests for the S3 common wall (tests/tests/golden.rs).\n\
-         quiet: run_survey(200 V, seed 0x600DF00D), standoffs [0.5, 1.0, 1.5] m.\n\
-         faulted: a fault plan of FaultIntensity::moderate(60) and the\n\
-         paper-default retry policy, same seed. A diff here means survey\n\
-         results are no longer reproducible across sessions.",
-        &computed,
-    );
-}
-
-/// The canonical three-wall fleet used by the fleet golden fixtures:
-/// one quiet wall, one zero-capsule wall, one faulted wall.
-fn fleet_three_walls() -> Vec<fleet::WallSpec> {
-    use faults::{FaultIntensity, FaultPlan};
-    vec![
-        fleet::WallSpec::new("quiet", vec![0.5]).seed(0x3A11_0001),
-        fleet::WallSpec::new("bare", vec![]).seed(0x3A11_0002),
-        fleet::WallSpec::new("noisy", vec![0.6])
-            .seed(0x3A11_0003)
-            .fault_plan(FaultPlan::generate(0x3A11, &FaultIntensity::mild(60))),
-    ]
+    check_fixture("survey_common_wall.golden");
 }
 
 /// A three-wall fleet run pinned end to end: per-wall report digests,
 /// per-wall result digests (scheduling + observability included), the
 /// fleet digest, the round count, and the byte digest of a mid-run
-/// checkpoint — the cross-session determinism witness for the fleet
-/// scheduler and its checkpoint wire format.
+/// checkpoint — the compute path also replays the checkpoint and
+/// errors if the resumed fleet diverges from the uninterrupted run.
 #[test]
 fn fleet_three_walls_matches_golden() {
-    let options = fleet::FleetOptions::new()
-        .quantum_slots(16)
-        .round_budget_slots(24);
-    let report = options
-        .run(fleet_three_walls())
-        .expect("fleet must complete");
-
-    let mut computed = BTreeMap::new();
-    computed.insert("fleet_digest".into(), report.digest());
-    computed.insert("fleet_rounds".into(), report.rounds);
-    for wall in &report.walls {
-        computed.insert(
-            format!("wall_{}_report_digest", wall.name),
-            wall.report.digest(),
-        );
-        computed.insert(format!("wall_{}_result_digest", wall.name), wall.digest());
-        computed.insert(format!("wall_{}_round", wall.name), wall.round_completed);
-    }
-
-    // One round in, checkpoint through the byte format: pins the wire
-    // encoding itself, not just the scheduler's outcome.
-    let mut fleet_run = fleet::Fleet::new(fleet_three_walls(), &options);
-    fleet_run.run_round().expect("first round");
-    let bytes = fleet_run.checkpoint().expect("checkpoint").to_bytes();
-    computed.insert(
-        "checkpoint_round1_bytes_digest".into(),
-        faults::fnv1a64(bytes.iter().map(|&b| u64::from(b))),
-    );
-    let resumed = fleet::Fleet::resume(
-        fleet_three_walls(),
-        &options,
-        &fleet::FleetCheckpoint::from_bytes(&bytes).expect("decode"),
-    )
-    .expect("resume")
-    .run_to_completion()
-    .expect("resumed fleet");
-    assert_eq!(
-        resumed.digest(),
-        report.digest(),
-        "resumed fleet must match the uninterrupted run"
-    );
-
-    check_fixture(
-        "fleet_three_walls.golden",
-        "Fleet-run digests for the canonical three-wall fleet\n\
-         (tests/tests/golden.rs): quiet [0.5 m], bare [], and a faulted\n\
-         wall [0.6 m] under FaultIntensity::mild(60), quantum 16 slots,\n\
-         round budget 24 slots. Pins per-wall report digests, per-wall\n\
-         result digests (scheduling + observability), the fleet digest,\n\
-         the round count, and the byte digest of a round-1 checkpoint.\n\
-         A diff here means fleet scheduling, per-wall surveys, or the\n\
-         ECOFLEET checkpoint wire format changed.",
-        &computed,
-    );
+    check_fixture("fleet_three_walls.golden");
 }
 
 /// The same fleet's merged trace, line for line, against a committed
 /// JSONL fixture: `fleet_wall` headers interleaved with each wall's
-/// survey events. Any drift in the merged-trace schema or in per-wall
-/// recording shows up as a reviewable fixture diff.
+/// survey events.
 #[test]
 fn fleet_three_walls_trace_matches_golden_jsonl() {
-    let options = fleet::FleetOptions::new()
-        .quantum_slots(16)
-        .round_budget_slots(24);
-    let report = options
-        .run(fleet_three_walls())
-        .expect("fleet must complete");
-    let computed = report.merged_trace_jsonl();
-    assert!(!computed.is_empty(), "merged trace must not be empty");
-
-    let path = fixture_path("fleet_three_walls_trace.jsonl");
-    if std::env::var_os("GOLDEN_REGEN").is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &computed).unwrap();
-        return;
-    }
-    let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
-        panic!(
-            "missing fixture fleet_three_walls_trace.jsonl; \
-             run with GOLDEN_REGEN=1 to create it"
-        )
-    });
-    assert_eq!(
-        computed, golden,
-        "fleet merged trace diverged from the golden JSONL; if the change \
-         is intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
-    );
-}
-
-/// The canonical golden campaign: the §6 footbridge pilot cracking at
-/// epoch 5, with a quiet two-capsule control wall riding the same
-/// seasons, eight monthly epochs.
-fn footbridge_campaign() -> (Vec<campaign::CampaignWallSpec>, campaign::CampaignOptions) {
-    let specs = vec![
-        campaign::CampaignWallSpec::new(
-            fleet::WallSpec::footbridge_pilot(42),
-            campaign::DamageScenario::crack_onset(5),
-        ),
-        campaign::CampaignWallSpec::new(
-            fleet::WallSpec::new("control", vec![0.6, 1.1]).seed(7),
-            campaign::DamageScenario::quiet(),
-        ),
-    ];
-    let options = campaign::CampaignOptions::new().epochs(8).seed(0x601D_CA4A);
-    (specs, options)
+    check_fixture("fleet_three_walls_trace.jsonl");
 }
 
 /// The footbridge campaign pinned end to end: the campaign digest, the
 /// detection tally, and each wall's health-grade timeline and first
-/// detection — the cross-session determinism witness for structure
-/// evolution, per-epoch surveying, and drift grading together.
+/// detection.
 #[test]
 fn campaign_footbridge_matches_golden() {
-    let (specs, options) = footbridge_campaign();
-    let report = options.run(specs.clone()).expect("campaign must complete");
-
-    let mut computed = BTreeMap::new();
-    computed.insert("campaign_digest".into(), report.digest());
-    computed.insert("campaign_detections".into(), report.detections.len() as u64);
-    // All eight per-epoch fleet digests folded into one word.
-    computed.insert(
-        "fleet_digests_digest".into(),
-        faults::fnv1a64(report.records.iter().map(|r| r.fleet_digest)),
-    );
-    for spec in &specs {
-        let name = &spec.base.name;
-        let timeline = report.grade_timeline(name);
-        assert_eq!(timeline.len(), 8, "wall `{name}` missing epochs");
-        computed.insert(
-            format!("wall_{name}_timeline_digest"),
-            faults::fnv1a64(timeline.iter().map(|(_, g)| campaign::health_tag(*g))),
-        );
-        computed.insert(
-            format!("wall_{name}_first_detection_epoch"),
-            report.first_detection(name).map_or(u64::MAX, |d| d.epoch),
-        );
-    }
-
-    check_fixture(
-        "campaign_footbridge.golden",
-        "Campaign digests for the golden footbridge campaign\n\
-         (tests/tests/golden.rs): the footbridge pilot under\n\
-         crack_onset(5) plus a quiet control wall [0.6, 1.1] m, eight\n\
-         monthly epochs, seed 0x601DCA4A. Pins the campaign digest, the\n\
-         detection tally, the folded per-epoch fleet digests, and each\n\
-         wall's health-grade timeline and first detection epoch\n\
-         (0xffff… = never). A diff here means structure evolution, the\n\
-         per-epoch surveys, or the drift grading changed behaviour.",
-        &computed,
-    );
+    check_fixture("campaign_footbridge.golden");
 }
 
 /// The same campaign's trace, line for line, against a committed JSONL
-/// fixture — computed at one worker *and* at the maximum worker count,
-/// which must agree byte for byte before either faces the fixture.
+/// fixture — the compute path records it at one worker *and* at the
+/// maximum worker count and errors unless they agree byte for byte.
 #[test]
 fn campaign_footbridge_trace_matches_golden_jsonl() {
-    let (specs, options) = footbridge_campaign();
-    let serial = options
-        .clone()
-        .run(specs.clone())
-        .expect("serial campaign")
-        .trace_jsonl();
-    let parallel = options
-        .fleet(fleet::FleetOptions::new().pool(exec::Pool::max_parallel()))
-        .run(specs)
-        .expect("parallel campaign")
-        .trace_jsonl();
-    assert_eq!(
-        serial, parallel,
-        "campaign trace must be identical at any worker count"
-    );
-    assert!(!serial.is_empty(), "campaign trace must not be empty");
+    check_fixture("campaign_footbridge_trace.jsonl");
+}
 
-    let path = fixture_path("campaign_footbridge_trace.jsonl");
+/// `repro::goldens::check` agrees with this suite: every committed
+/// fixture verifies clean through the harness-facing entry point too.
+#[test]
+fn harness_check_entry_point_agrees() {
     if std::env::var_os("GOLDEN_REGEN").is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &serial).unwrap();
         return;
     }
-    let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
-        panic!(
-            "missing fixture campaign_footbridge_trace.jsonl; \
-             run with GOLDEN_REGEN=1 to create it"
-        )
-    });
-    assert_eq!(
-        serial, golden,
-        "campaign trace diverged from the golden JSONL; if the change is \
-         intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
-    );
+    let dir = fixture_dir();
+    for fixture in FIXTURES {
+        assert_eq!(
+            goldens::check(&dir, fixture),
+            Ok(true),
+            "repro::goldens::check must pass for {}",
+            fixture.name
+        );
+    }
 }

@@ -62,21 +62,12 @@ fn faulted_trace_is_byte_identical_across_worker_counts() {
 
 /// The quiet-plan survey trace, event for event, against a committed
 /// JSONL fixture: any drift in the event schema, slot-clock stamping,
-/// or phase instrumentation shows up as a reviewable fixture diff.
+/// or phase instrumentation shows up as a reviewable fixture diff. The
+/// trace is recomputed by `repro::goldens` — the same compute path
+/// `cargo xtask repro --regen` rewrites the fixture with.
 #[test]
 fn quiet_plan_trace_matches_golden_jsonl() {
-    let quiet = FaultPlan::quiet();
-    let mut wall = SelfSensingWall::common_wall(&STANDOFFS);
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let mut rec = MemoryRecorder::new();
-    SurveyOptions::new()
-        .tx_voltage(DRIVE_V)
-        .fault_plan(&quiet)
-        .retry_policy(RetryPolicy::none())
-        .recorder(&mut rec)
-        .run(&mut wall, &mut rng)
-        .expect("quiet-plan survey must succeed");
-    let computed = rec.to_jsonl();
+    let computed = repro::goldens::survey_quiet_trace().expect("quiet-plan survey must succeed");
 
     let path = fixture_path("survey_quiet_trace.jsonl");
     if std::env::var_os("GOLDEN_REGEN").is_some() {
